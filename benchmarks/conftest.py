@@ -1,0 +1,22 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures or claim-level
+artefacts (see the experiment index in ``DESIGN.md`` and the recorded
+results in ``EXPERIMENTS.md``).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets the regenerated tables show up next to the timings.
+"""
+
+import pytest
+
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+
+
+@pytest.fixture()
+def medium_grid():
+    """A 24×24 torus with reproducible random identifiers."""
+    grid = ToroidalGrid.square(24)
+    return grid, random_identifiers(grid, seed=7)

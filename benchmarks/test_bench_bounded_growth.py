@@ -1,0 +1,78 @@
+"""E10 — Appendix A.2 and Lemma 17: bounded-growth speed-up ingredients.
+
+Computes the Lemma 26 thresholds for grid-like growth bounds and several
+base localities, and validates the distance-colouring palette of Lemma 17
+that the simulation relies on.
+"""
+
+from repro.analysis.experiments import ExperimentTable
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.speedup.bounded_growth import classify_locality, grid_growth_bound, simulation_palette_size
+from repro.symmetry.distance_colouring import distance_colouring
+
+
+def test_speedup_thresholds(benchmark):
+    growth_bounds = [grid_growth_bound(d) for d in (1, 2, 3)]
+    localities = {
+        "constant (T = 2)": lambda n: 2,
+        "log-like (T = n.bit_length())": lambda n: n.bit_length(),
+        "sqrt-like (T = isqrt(n))": lambda n: int(n ** 0.5),
+    }
+
+    def compute():
+        rows = []
+        for growth in growth_bounds:
+            for name, locality in localities.items():
+                threshold = classify_locality(growth, locality, maximum=200_000)
+                palette = (
+                    simulation_palette_size(growth, locality, threshold)
+                    if threshold is not None
+                    else None
+                )
+                rows.append((growth.name, name, threshold, palette))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = ExperimentTable(
+        "E10a",
+        "Lemma 26: speed-up thresholds k with f(2T(k)+3) < k",
+        ["growth bound", "base locality", "threshold k", "simulation palette"],
+    )
+    for growth_name, locality_name, threshold, palette in rows:
+        table.add_row(
+            **{
+                "growth bound": growth_name,
+                "base locality": locality_name,
+                "threshold k": threshold if threshold is not None else "none (not o(f⁻¹(n)))",
+                "simulation palette": palette if palette is not None else "-",
+            }
+        )
+    table.add_note("localities at least as large as f⁻¹(n) (the sqrt-like row on 2-d grids) admit no threshold")
+    table.show()
+
+    verdicts = {(g, l): t for g, l, t, _p in rows}
+    assert verdicts[("grid-2d", "constant (T = 2)")] is not None
+    assert verdicts[("grid-2d", "sqrt-like (T = isqrt(n))")] is None
+
+
+def test_lemma_17_distance_colouring(benchmark, medium_grid):
+    grid, identifiers = medium_grid
+
+    result = benchmark.pedantic(lambda: distance_colouring(grid, identifiers, k=2), rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "E10b",
+        "Lemma 17: distance-k colouring palettes",
+        ["k", "palette used", "paper bound (2k+1)^d", "rounds"],
+    )
+    table.add_row(
+        k=2,
+        **{"palette used": result.palette_size, "paper bound (2k+1)^d": 25, "rounds": result.rounds},
+    )
+    table.show()
+    assert result.palette_size <= 25
+    for node in grid.nodes():
+        for other in grid.ball(node, 2, "linf"):
+            if other != node:
+                assert result.colours[node] != result.colours[other]

@@ -1,0 +1,61 @@
+"""E8 — Appendix A.3, Theorem 27: corner coordination has complexity Θ(√n).
+
+The sweep reports, for bounded m×m grids, the number of rounds a corner
+needs before it sees another corner or a broken node (the lower-bound
+quantity, equal to m-1) against the paper's 2√n upper bound and the
+Proposition 28 ball sizes.
+"""
+
+import math
+
+from repro.analysis.experiments import ExperimentTable
+from repro.coordination.corner import (
+    CornerCoordinationInstance,
+    corner_ball_size,
+    rounds_until_corner_sees_special,
+    solve_corner_coordination,
+    upper_bound_rounds,
+    verify_corner_coordination,
+)
+from repro.grid.torus import RectangularGrid
+
+SIZES = (9, 16, 25, 36, 49)
+
+
+def test_corner_coordination_round_scaling(benchmark):
+    def sweep():
+        rows = []
+        for m in SIZES:
+            instance = CornerCoordinationInstance(RectangularGrid(m, m))
+            rounds = rounds_until_corner_sees_special(instance, (0, 0))
+            solution = solve_corner_coordination(instance)
+            feasible = verify_corner_coordination(instance, solution) == []
+            rows.append((m, m * m, rounds, upper_bound_rounds(m * m), feasible))
+        return rows
+
+    rows = benchmark(sweep)
+    table = ExperimentTable(
+        "E8",
+        "Corner coordination: rounds grow like √n (Theorem 27)",
+        ["m", "n = m²", "rounds needed", "2√n upper bound", "√n", "reference solution feasible"],
+    )
+    for m, n, rounds, upper, feasible in rows:
+        table.add_row(
+            m=m,
+            **{
+                "n = m²": n,
+                "rounds needed": rounds,
+                "2√n upper bound": upper,
+                "√n": round(math.sqrt(n), 1),
+                "reference solution feasible": feasible,
+            },
+        )
+    table.add_note(
+        f"Proposition 28 ball sizes (r+2 choose 2): "
+        f"{[corner_ball_size(r) for r in (1, 2, 3, 4, 5)]} for r = 1..5"
+    )
+    table.show()
+    for m, n, rounds, upper, feasible in rows:
+        assert rounds == m - 1
+        assert rounds <= upper
+        assert feasible

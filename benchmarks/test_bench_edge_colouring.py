@@ -1,0 +1,81 @@
+"""E4 — Section 10: edge colouring with 2d+1 colours versus 2d colours.
+
+Theorem 15's (2d+1)-edge-colouring is run end to end on a 96×96 torus and
+verified; Theorem 21's impossibility of 2d-edge-colourings on odd tori is
+certified both by the parity argument and by exhaustive SAT search on small
+instances.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.colouring.edge_colouring import edge_colouring
+from repro.colouring.impossibility import (
+    edge_colouring_parity_obstruction,
+    exhaustive_edge_colouring_infeasible,
+)
+from repro.core.verifier import verify_proper_edge_colouring
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+
+
+@pytest.mark.slow
+def test_five_edge_colouring_on_large_torus(benchmark):
+    grid = ToroidalGrid.square(96)
+    identifiers = random_identifiers(grid, seed=2)
+
+    result = benchmark.pedantic(lambda: edge_colouring(grid, identifiers), rounds=1, iterations=1)
+    verification = verify_proper_edge_colouring(grid, result.edge_labels, 5)
+
+    table = ExperimentTable(
+        "E4a",
+        "Theorem 15: edge (2d+1)-colouring of a 96×96 torus",
+        ["n", "colours", "valid", "marked edges", "rounds", "separation k"],
+    )
+    table.add_row(
+        n=96,
+        colours=5,
+        valid=verification.valid,
+        **{
+            "marked edges": result.metadata["marked_edges"],
+            "rounds": result.rounds,
+            "separation k": result.metadata["separation"],
+        },
+    )
+    table.add_note(
+        "the paper's constants (k = 2d, row spacing 2(4k+1)^d) are replaced by the smallest "
+        "practical ones; every structural property is verified by the checker"
+    )
+    table.show()
+    assert verification.valid
+
+
+def test_four_edge_colouring_impossible_on_odd_tori(benchmark):
+    def certify():
+        rows = []
+        # The exhaustive (SAT) certificate is affordable on the 5×5 torus;
+        # for larger odd tori the parity argument of Theorem 21 is reported
+        # (such parity-style instances are exactly the ones that are hard
+        # for resolution-based solvers).
+        odd = ToroidalGrid.square(5)
+        rows.append((5, edge_colouring_parity_obstruction(odd, 4) is not None,
+                     exhaustive_edge_colouring_infeasible(odd, 4)))
+        larger_odd = ToroidalGrid.square(7)
+        rows.append((7, edge_colouring_parity_obstruction(larger_odd, 4) is not None, "-"))
+        even_grid = ToroidalGrid.square(4)
+        rows.append((4, edge_colouring_parity_obstruction(even_grid, 4) is not None,
+                     exhaustive_edge_colouring_infeasible(even_grid, 4)))
+        return rows
+
+    rows = benchmark.pedantic(certify, rounds=1, iterations=1)
+    table = ExperimentTable(
+        "E4b",
+        "Theorem 21: 2d-edge-colourings do not exist on odd tori",
+        ["n", "parity obstruction", "exhaustively infeasible"],
+    )
+    for n, parity, exhaustive in rows:
+        table.add_row(n=n, **{"parity obstruction": parity, "exhaustively infeasible": exhaustive})
+    table.show()
+    assert rows[0][1] and rows[0][2] is True
+    assert rows[1][1]
+    assert not rows[2][1] and rows[2][2] is False

@@ -1,0 +1,93 @@
+"""E2 — Section 7: tile counts and the 4-colouring synthesis instance.
+
+Paper targets reproduced here:
+
+* the complete list of 3×2 tiles for ``k = 1`` (the paper displays 16),
+* 2079 tiles for 7×5 windows at ``k = 3``,
+* 4-colouring synthesis fails for ``k = 1`` and ``k = 2`` and succeeds at
+  ``k = 3`` with 7×5 windows, "with SAT solvers in a matter of seconds"
+  (here: the built-in CDCL solver).
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.core.catalog import vertex_colouring_problem
+from repro.orientation.problems import x_orientation_problem
+from repro.synthesis.synthesiser import synthesise, synthesise_with_budget
+from repro.synthesis.tiles import enumerate_tiles
+
+
+def test_tile_count_3x2_k1(benchmark):
+    tiles = benchmark(enumerate_tiles, 2, 3, 1)
+    table = ExperimentTable(
+        "E2a",
+        "Tiles for 3×2 windows at k = 1 (paper displays the full list)",
+        ["window", "k", "tiles (paper)", "tiles (reproduced)"],
+    )
+    table.add_row(window="3×2", k=1, **{"tiles (paper)": 16, "tiles (reproduced)": len(tiles)})
+    table.show()
+    assert len(tiles) == 16
+
+
+@pytest.mark.slow
+def test_tile_count_7x5_k3(benchmark):
+    tiles = benchmark.pedantic(enumerate_tiles, args=(7, 5, 3), rounds=1, iterations=1)
+    table = ExperimentTable(
+        "E2b",
+        "Tiles for 7×5 windows at k = 3",
+        ["window", "k", "tiles (paper)", "tiles (reproduced)"],
+    )
+    table.add_row(window="7×5", k=3, **{"tiles (paper)": 2079, "tiles (reproduced)": len(tiles)})
+    table.show()
+    assert len(tiles) == 2079
+
+
+def test_orientation_synthesis_succeeds_at_k1(benchmark):
+    problem = x_orientation_problem({1, 3, 4})
+
+    def run():
+        return synthesise_with_budget(problem, max_k=1)
+
+    search = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert search.succeeded
+    table = ExperimentTable(
+        "E2c",
+        "{1,3,4}-orientation synthesis (Lemma 23: k = 1 suffices)",
+        ["k", "window", "tiles", "engine", "succeeded"],
+    )
+    best = search.best
+    table.add_row(k=best.k, window=f"{best.width}×{best.height}", tiles=best.tile_count,
+                  engine=best.engine, succeeded=best.success)
+    table.show()
+
+
+@pytest.mark.slow
+def test_four_colouring_synthesis_headline(benchmark):
+    problem = vertex_colouring_problem(4)
+
+    def run():
+        rows = []
+        for k, width, height in ((1, 3, 3), (2, 5, 3), (3, 7, 5)):
+            outcome = synthesise(problem, k=k, width=width, height=height, engine="sat")
+            rows.append(outcome)
+        return rows
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ExperimentTable(
+        "E2d",
+        "4-colouring synthesis across k (paper: k = 1, 2 impossible, k = 3 with 7×5 succeeds)",
+        ["k", "window", "tiles", "succeeded", "engine", "SAT conflicts"],
+    )
+    for outcome in outcomes:
+        table.add_row(
+            k=outcome.k,
+            window=f"{outcome.width}×{outcome.height}",
+            tiles=outcome.tile_count,
+            succeeded=outcome.success,
+            engine=outcome.engine,
+            **{"SAT conflicts": outcome.stats.get("conflicts", "-")},
+        )
+    table.show()
+    assert [outcome.success for outcome in outcomes] == [False, False, True]
+    assert outcomes[-1].tile_count == 2079

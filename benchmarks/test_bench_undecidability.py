@@ -1,0 +1,61 @@
+"""E7 — Section 6: the problem family ``L_M`` behind Theorem 3.
+
+For a halting machine the anchored branch is produced in Θ(log* n) style and
+accepted by the local checker; for a non-halting machine the anchored branch
+is impossible and only the global 3-colouring branch remains.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.errors import UnsolvableInstanceError
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.undecidability.lm_problem import check_lm_labelling
+from repro.undecidability.lm_solver import solve_lm_globally, solve_lm_locally
+from repro.undecidability.turing import halting_machine, non_halting_machine
+
+
+@pytest.mark.slow
+def test_lm_both_branches(benchmark):
+    # The anchored branch needs anchors at spacing 4(s+1); on a 40×40 torus
+    # that accommodates machines halting within a handful of steps (the
+    # busier example machine is exercised in examples/undecidability_demo.py
+    # and in the unit tests).
+    grid = ToroidalGrid.square(40)
+    identifiers = random_identifiers(grid, seed=11)
+    machines = [halting_machine(), non_halting_machine()]
+
+    def run_all():
+        rows = []
+        for machine in machines:
+            halts = machine.halts_within(64) is not None
+            try:
+                labels, result = solve_lm_locally(grid, identifiers, machine)
+                violations = len(check_lm_labelling(grid, machine, labels))
+                rows.append((machine.name, halts, True, violations, result.rounds))
+            except UnsolvableInstanceError:
+                labels, result = solve_lm_globally(grid, machine)
+                violations = len(check_lm_labelling(grid, machine, labels))
+                rows.append((machine.name, halts, False, violations, result.rounds))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = ExperimentTable(
+        "E7",
+        "L_M on a 40×40 torus: the fast branch exists exactly for halting machines",
+        ["machine", "halts", "anchored branch used", "checker violations", "rounds"],
+    )
+    for name, halts, anchored, violations, rounds in rows:
+        table.add_row(
+            machine=name,
+            halts=halts,
+            **{"anchored branch used": anchored, "checker violations": violations, "rounds": rounds},
+        )
+    table.add_note(
+        "deciding which machines admit the fast branch is the halting problem — hence Theorem 3"
+    )
+    table.show()
+    for _name, halts, anchored, violations, _rounds in rows:
+        assert violations == 0
+        assert anchored == halts

@@ -1,0 +1,93 @@
+"""E3 — Sections 8 & 9: the vertex-colouring threshold (k ≤ 3 global, k ≥ 4 local).
+
+The 4-colouring upper bound is exercised through the synthesised normal-form
+algorithm (rounds stay flat as ``n`` grows, outputs verified); the global
+side is shown by the Θ(n) cost of the 3-colouring construction and by the
+synthesis loop failing to find any local rule for 3 colours.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.rounds import measure_over_sizes
+from repro.colouring.vertex_global import global_three_colouring
+from repro.core.catalog import vertex_colouring_problem
+from repro.core.verifier import verify_proper_vertex_colouring
+from repro.synthesis.pretrained import load_four_colouring_algorithm
+from repro.synthesis.synthesiser import synthesise_with_budget
+from repro.utils.math import log_star
+
+SIZES = (16, 24, 32, 40)
+
+
+def test_four_versus_three_colouring_round_scaling(benchmark):
+    local_algorithm = load_four_colouring_algorithm()
+
+    def run_sweep():
+        local = measure_over_sizes(
+            "4-colouring (normal form, k=3)",
+            SIZES,
+            lambda grid, ids: local_algorithm.run(grid, ids),
+        )
+        global_ = measure_over_sizes(
+            "3-colouring (global)",
+            SIZES,
+            lambda grid, ids: global_three_colouring(grid),
+        )
+        return local, global_
+
+    local, global_ = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "E3a",
+        "Vertex colouring: rounds versus n (local 4-colouring vs global 3-colouring)",
+        ["n", "log* n", "4-colouring rounds", "3-colouring rounds"],
+    )
+    for index, n in enumerate(SIZES):
+        table.add_row(
+            n=n,
+            **{
+                "log* n": log_star(n),
+                "4-colouring rounds": local.rounds[index],
+                "3-colouring rounds": global_.rounds[index],
+            },
+        )
+    table.add_note(
+        f"growth ratio over the sweep: 4-colouring {local.growth_ratio():.2f}, "
+        f"3-colouring {global_.growth_ratio():.2f} (paper: Θ(log* n) versus Θ(n))"
+    )
+    table.show()
+    assert local.growth_ratio() < 1.6
+    assert global_.growth_ratio() == pytest.approx(SIZES[-1] / SIZES[0])
+
+
+def test_four_colouring_outputs_are_proper(benchmark, medium_grid):
+    grid, identifiers = medium_grid
+    algorithm = load_four_colouring_algorithm()
+
+    result = benchmark(lambda: algorithm.run(grid, identifiers))
+    assert verify_proper_vertex_colouring(grid, result.node_labels, 4).valid
+
+
+def test_three_colouring_synthesis_never_succeeds(benchmark):
+    problem = vertex_colouring_problem(3)
+
+    def run():
+        return synthesise_with_budget(problem, max_k=2)
+
+    search = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ExperimentTable(
+        "E3b",
+        "3-colouring: the synthesis loop finds no local rule (consistent with Theorem 9)",
+        ["k", "window", "tiles", "succeeded", "budget exhausted"],
+    )
+    for attempt in search.attempts:
+        table.add_row(
+            k=attempt.k,
+            window=f"{attempt.width}×{attempt.height}",
+            tiles=attempt.tile_count,
+            succeeded=attempt.success,
+            **{"budget exhausted": attempt.exhausted_budget},
+        )
+    table.show()
+    assert not search.succeeded

@@ -1,0 +1,60 @@
+"""The undecidability construction ``L_M`` in action (Section 6, Theorem 3).
+
+Run with::
+
+    python examples/undecidability_demo.py
+
+For a Turing machine ``M`` the problem ``L_M`` asks for either a proper
+3-colouring (always possible, always global) or an "anchored" labelling in
+which every anchor is the corner of a complete execution table of ``M``.
+When ``M`` halts the anchored labelling exists and can be produced in
+Θ(log* n) rounds; when it does not, the anchored branch is impossible and
+only the global branch remains — so a decision procedure for "local or
+global?" would solve the halting problem.
+
+The script builds both sides for a halting and a non-halting machine and
+checks everything with the local-rule verifier.
+"""
+
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.errors import UnsolvableInstanceError
+from repro.undecidability.lm_problem import check_lm_labelling, lm_problem_description
+from repro.undecidability.lm_solver import solve_lm_globally, solve_lm_locally
+from repro.undecidability.turing import busy_machine, halting_machine, non_halting_machine
+
+
+def show_machine(machine, grid, identifiers) -> None:
+    print(f"--- {lm_problem_description(machine)} ---")
+    table = machine.run(64)
+    if table.halted:
+        print(f"  the machine halts after {table.steps} steps")
+    else:
+        print("  the machine does not halt (within 64 simulated steps)")
+
+    try:
+        labels, result = solve_lm_locally(grid, identifiers, machine)
+        violations = check_lm_labelling(grid, machine, labels)
+        anchors = result.metadata["anchor_count"]
+        print(f"  anchored (P2) branch: {anchors} anchors, rounds={result.rounds}, "
+              f"checker violations={len(violations)}")
+    except UnsolvableInstanceError as error:
+        print(f"  anchored (P2) branch unavailable: {error}")
+
+    labels, result = solve_lm_globally(grid, machine)
+    violations = check_lm_labelling(grid, machine, labels)
+    print(f"  global (P1) branch: rounds={result.rounds}, checker violations={len(violations)}")
+    print()
+
+
+def main() -> None:
+    grid = ToroidalGrid.square(40)
+    identifiers = random_identifiers(grid, seed=11)
+    for machine in (halting_machine(), busy_machine(), non_halting_machine()):
+        show_machine(machine, grid, identifiers)
+    print("Deciding which machines admit the fast branch is exactly the halting problem —")
+    print("this is why classifying Θ(log* n) versus Θ(n) on grids is undecidable (Theorem 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package (needed by the PEP 660 editable-install path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

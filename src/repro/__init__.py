@@ -1,0 +1,35 @@
+"""repro — a reproduction of "LCL Problems on Grids" (Brandt et al., PODC 2017).
+
+The library implements, from scratch and in pure Python:
+
+* the LOCAL model of distributed computing on toroidal, consistently
+  oriented ``d``-dimensional grids (:mod:`repro.grid`,
+  :mod:`repro.local_model`);
+* locally checkable labelling (LCL) problems, their verification and their
+  complexity classes (:mod:`repro.core`);
+* the complete one-dimensional (directed cycle) theory of Section 4
+  (:mod:`repro.cycles`);
+* the symmetry-breaking substrates — Cole–Vishkin, Linial colour reduction,
+  colour-class MIS / anchors, distance and conflict colourings
+  (:mod:`repro.symmetry`);
+* the speed-up theorem and the normal form ``A' ∘ S_k`` of Section 5
+  (:mod:`repro.speedup`);
+* the automated algorithm synthesis of Section 7 and Appendix A.1 — tile
+  enumeration, tile neighbourhood graphs, CSP/SAT solving and runtime
+  lookup-table algorithms (:mod:`repro.synthesis`);
+* the concrete problems of Sections 8–11: vertex 4-colouring, global
+  3-colouring, edge (2d+1)-colouring, X-orientations
+  (:mod:`repro.colouring`, :mod:`repro.orientation`);
+* the lower-bound constructions: q-sum coordination, the 3-colouring
+  reduction machinery, the corner-coordination problem
+  (:mod:`repro.coordination`) and the undecidability construction ``L_M``
+  (:mod:`repro.undecidability`);
+* an experiment harness used by the benchmark suite (:mod:`repro.analysis`).
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every reproduced figure and claim.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

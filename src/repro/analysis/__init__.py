@@ -1,0 +1,13 @@
+"""Experiment harness: round measurements, sweeps and report tables."""
+
+from repro.analysis.rounds import RoundMeasurement, log_star_curve, measure_over_sizes
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.report import format_markdown_table
+
+__all__ = [
+    "ExperimentTable",
+    "RoundMeasurement",
+    "format_markdown_table",
+    "log_star_curve",
+    "measure_over_sizes",
+]

@@ -1,0 +1,44 @@
+"""Light-weight experiment tables used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.report import format_markdown_table
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of result rows, printable as markdown.
+
+    The benchmark for each figure/claim of the paper assembles one of these
+    and prints it, so that ``pytest benchmarks/ --benchmark-only -s`` shows
+    the regenerated rows next to the timing numbers.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row (missing columns are left blank)."""
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note printed under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table (plus notes) as markdown."""
+        lines = [f"## {self.experiment_id}: {self.title}", ""]
+        lines.append(format_markdown_table(self.columns, self.rows))
+        for note in self.notes:
+            lines.append(f"- {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table (used by the benchmarks)."""
+        print("\n" + self.render() + "\n")

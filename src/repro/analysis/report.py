@@ -1,0 +1,27 @@
+"""Markdown table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_markdown_table(columns: Sequence[str], rows: List[Dict[str, Any]]) -> str:
+    """Format rows (dictionaries) as a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, separator]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            cells.append(_format_cell(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

@@ -1,0 +1,73 @@
+"""Empirical round measurements over sweeps of the grid size.
+
+The paper's complexity claims are asymptotic (``Θ(log* n)`` versus
+``Θ(n)``); the benchmarks validate the *shape* by running algorithms over a
+sweep of grid sizes and reporting the charged round counts together with the
+reference curves (``log* n``, ``n``).  The helpers here keep that sweep
+logic in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.grid.identifiers import IdentifierAssignment, random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import AlgorithmResult
+from repro.utils.math import log_star
+
+
+@dataclass
+class RoundMeasurement:
+    """Round counts of one algorithm over a sweep of grid sizes."""
+
+    algorithm_name: str
+    sizes: List[int] = field(default_factory=list)
+    rounds: List[int] = field(default_factory=list)
+    metadata: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for the report formatter."""
+        return [
+            {
+                "n": size,
+                "rounds": rounds,
+                "log*(n)": log_star(size),
+                "rounds / n": round(rounds / size, 3),
+            }
+            for size, rounds in zip(self.sizes, self.rounds)
+        ]
+
+    def growth_ratio(self) -> float:
+        """Ratio between the last and first round counts of the sweep.
+
+        Local (``Θ(log* n)``-style) algorithms stay near 1; global
+        algorithms grow linearly with ``n``.
+        """
+        if not self.rounds or self.rounds[0] == 0:
+            return float("inf")
+        return self.rounds[-1] / self.rounds[0]
+
+
+def measure_over_sizes(
+    algorithm_name: str,
+    sizes: Sequence[int],
+    run: Callable[[ToroidalGrid, IdentifierAssignment], AlgorithmResult],
+    seed: int = 1,
+) -> RoundMeasurement:
+    """Run an algorithm on square grids of the given sizes and record rounds."""
+    measurement = RoundMeasurement(algorithm_name=algorithm_name)
+    for size in sizes:
+        grid = ToroidalGrid.square(size)
+        identifiers = random_identifiers(grid, seed=seed)
+        result = run(grid, identifiers)
+        measurement.sizes.append(size)
+        measurement.rounds.append(result.rounds)
+        measurement.metadata.append(dict(result.metadata))
+    return measurement
+
+
+def log_star_curve(sizes: Sequence[int]) -> List[int]:
+    """The reference curve ``log* n`` over the sweep."""
+    return [log_star(size) for size in sizes]

@@ -1,0 +1,41 @@
+"""Vertex and edge colouring algorithms on grids (Sections 8–10).
+
+* :mod:`repro.colouring.vertex4` — the Theorem 4 construction: anchors in
+  ``G^[ℓ]``, radii via conflict colouring, the border-count parity
+  decomposition and the final 4-colouring.
+* :mod:`repro.colouring.vertex_global` — the global algorithms for 2- and
+  3-colouring (Θ(n), Theorem 9 shows 3-colouring cannot be done faster).
+* :mod:`repro.colouring.jk_independent` — the j,k-independent sets of
+  Definition 18 (per-row ruling sets plus eastward conflict resolution).
+* :mod:`repro.colouring.edge_colouring` — the (2d+1)-edge-colouring of
+  Theorem 15 built on top of the j,k-independent sets.
+* :mod:`repro.colouring.impossibility` — the parity impossibility of
+  Theorem 21 and exhaustive small-instance infeasibility certificates.
+"""
+
+from repro.colouring.vertex_global import (
+    global_three_colouring,
+    global_two_colouring,
+)
+from repro.colouring.vertex4 import FourColouringAlgorithm, four_colouring
+from repro.colouring.jk_independent import JKIndependentSet, compute_jk_independent_set
+from repro.colouring.edge_colouring import EdgeColouringAlgorithm, edge_colouring
+from repro.colouring.impossibility import (
+    edge_colouring_parity_obstruction,
+    exhaustive_edge_colouring_infeasible,
+    exhaustive_vertex_colouring_feasible,
+)
+
+__all__ = [
+    "EdgeColouringAlgorithm",
+    "FourColouringAlgorithm",
+    "JKIndependentSet",
+    "compute_jk_independent_set",
+    "edge_colouring",
+    "edge_colouring_parity_obstruction",
+    "exhaustive_edge_colouring_infeasible",
+    "exhaustive_vertex_colouring_feasible",
+    "four_colouring",
+    "global_three_colouring",
+    "global_two_colouring",
+]

@@ -1,0 +1,245 @@
+"""Edge colouring ``d``-dimensional grids with ``2d + 1`` colours (Theorem 15).
+
+The algorithm follows the paper's three-stage plan:
+
+1. for every dimension ``q``, compute a j,k-independent set ``I_q``
+   (Definition 18): per-row ruling sets whose members then slide in the
+   positive ``q`` direction until their L∞ balls are disjoint;
+2. every member of ``I_q`` *marks* one edge of its own ``q``-row inside its
+   ball, never adjacent to a previously marked edge (the disjointness of the
+   balls bounds how many foreign marks can interfere);
+3. marked edges receive the extra colour ``2d``; the marked edges cut every
+   row into short segments whose edges are coloured alternately with the two
+   colours ``2q`` and ``2q + 1`` reserved for dimension ``q``.
+
+Every step is local; the only ``Θ(log* n)`` ingredient is the per-row
+symmetry breaking.  The paper's constants (``k = 2d``, row spacing
+``2(4k+1)^d``) force impractically large grids, so the implementation keeps
+them as parameters with smaller defaults and retries with larger values when
+a greedy stage fails; the returned colouring is always verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.verifier import verify_proper_edge_colouring
+from repro.errors import SimulationError, UnsolvableInstanceError
+from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
+from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
+from repro.colouring.jk_independent import JKIndependentSet, compute_jk_independent_set
+from repro.symmetry.linial import linial_colour_reduction
+from repro.symmetry.reduction import reduce_colours_to
+
+
+def _row_edge(grid: ToroidalGrid, node: Node, axis: int, offset: int) -> EdgeKey:
+    """The edge of ``node``'s ``axis``-row starting ``offset`` steps away.
+
+    ``offset = 0`` is the edge leaving ``node`` in the positive direction;
+    negative offsets go the other way.
+    """
+    step = tuple(offset if index == axis else 0 for index in range(grid.dimension))
+    return (grid.shift(node, step), axis)
+
+
+def _edges_adjacent(grid: ToroidalGrid, first: EdgeKey, second: EdgeKey) -> bool:
+    """Two edges are adjacent when they share an endpoint."""
+    first_nodes = {first[0], grid.step(first[0], Direction(first[1], 1))}
+    second_nodes = {second[0], grid.step(second[0], Direction(second[1], 1))}
+    return bool(first_nodes & second_nodes)
+
+
+def _mark_edges(
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    independent_sets: List[JKIndependentSet],
+    window: int,
+) -> Tuple[Set[EdgeKey], int]:
+    """Stage 2: every member marks a nearby row edge, avoiding adjacency.
+
+    Members of all dimensions are processed by the classes of a schedule
+    colouring of their joint conflict graph (members close enough that their
+    choices could interfere).  Raises on failure so the caller can retry.
+    """
+    proposers: List[Tuple[Node, int]] = []
+    for independent_set in independent_sets:
+        for member in independent_set.members:
+            proposers.append((member, independent_set.axis))
+
+    interaction = 2 * window + 2
+    adjacency: Dict[Tuple[Node, int], List[Tuple[Node, int]]] = {p: [] for p in proposers}
+    for index, first in enumerate(proposers):
+        for second in proposers[index + 1:]:
+            if grid.linf_distance(first[0], second[0]) <= interaction:
+                adjacency[first].append(second)
+                adjacency[second].append(first)
+    initial = {p: 2 * identifiers[p[0]] + p[1] for p in proposers}
+    max_degree = max((len(n) for n in adjacency.values()), default=0)
+    linial = linial_colour_reduction(adjacency, initial, max_degree=max_degree)
+    reduced = reduce_colours_to(adjacency, linial.colours)
+
+    classes: Dict[int, List[Tuple[Node, int]]] = {}
+    for proposer, colour in reduced.colours.items():
+        classes.setdefault(colour, []).append(proposer)
+
+    marked: Set[EdgeKey] = set()
+    for colour in sorted(classes):
+        for member, axis in classes[colour]:
+            chosen: Optional[EdgeKey] = None
+            for offset in range(-window, window):
+                candidate = _row_edge(grid, member, axis, offset)
+                if all(not _edges_adjacent(grid, candidate, other) for other in marked):
+                    chosen = candidate
+                    break
+            if chosen is None:
+                raise SimulationError(
+                    f"member {member} (axis {axis}) could not mark a free edge; "
+                    "increase the separation radius"
+                )
+            marked.add(chosen)
+    schedule_rounds = (linial.rounds + reduced.rounds + len(classes)) * interaction * grid.dimension
+    return marked, schedule_rounds
+
+
+def _colour_segments(
+    grid: ToroidalGrid,
+    marked: Set[EdgeKey],
+    number_of_colours: int,
+) -> Dict[EdgeKey, int]:
+    """Stage 3: marked edges take the last colour, rows alternate in between."""
+    labels: Dict[EdgeKey, int] = {}
+    special = number_of_colours - 1
+    for axis in range(grid.dimension):
+        base = 2 * axis
+        for row in grid.rows(axis):
+            length = len(row)
+            row_edges = [(row[index], axis) for index in range(length)]
+            marked_positions = [
+                index for index, edge in enumerate(row_edges) if edge in marked
+            ]
+            if not marked_positions:
+                raise SimulationError(
+                    f"row through {row[0]} along axis {axis} has no marked edge; "
+                    "the j,k-independent set failed to cover it"
+                )
+            for position in marked_positions:
+                labels[row_edges[position]] = special
+            # Colour each maximal run of unmarked edges alternately, starting
+            # right after a marked edge.
+            for start_index, start in enumerate(marked_positions):
+                end = marked_positions[(start_index + 1) % len(marked_positions)]
+                gap = (end - start) % length
+                if gap == 0:
+                    # A single marked edge in the row: the segment is the
+                    # whole remaining cycle.
+                    gap = length
+                for step in range(1, gap):
+                    position = (start + step) % length
+                    labels[row_edges[position]] = base + (step - 1) % 2
+    return labels
+
+
+def edge_colouring(
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    separation: int = 3,
+    spacing: Optional[int] = None,
+    max_retries: int = 2,
+) -> AlgorithmResult:
+    """Colour the edges of the grid with ``2d + 1`` colours.
+
+    ``separation`` is the L∞ ball radius of the j,k-independent sets (the
+    paper uses ``2d``; any value large enough for the marking stage works
+    and smaller values keep the instance sizes practical).  ``spacing``
+    overrides the per-row ruling-set distance.  The stages are retried with
+    doubled parameters up to ``max_retries`` times; the result is verified
+    before being returned.
+    """
+    number_of_colours = 2 * grid.dimension + 1
+    attempt = 0
+    current_separation = separation
+    current_spacing = spacing
+    last_error: Optional[Exception] = None
+    while attempt <= max_retries:
+        try:
+            return _edge_colouring_once(
+                grid, identifiers, current_separation, current_spacing, number_of_colours
+            )
+        except SimulationError as error:
+            last_error = error
+            attempt += 1
+            current_separation += 1
+            current_spacing = None if current_spacing is None else current_spacing * 2
+    raise SimulationError(f"edge colouring failed after {max_retries + 1} attempts: {last_error}")
+
+
+def _edge_colouring_once(
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    separation: int,
+    spacing: Optional[int],
+    number_of_colours: int,
+) -> AlgorithmResult:
+    if spacing is None:
+        spacing = (2 * separation + 1) ** 2
+    if min(grid.sides) <= spacing:
+        raise UnsolvableInstanceError(
+            f"grid side {min(grid.sides)} too small for the row spacing {spacing}; "
+            "use a larger grid or a larger spacing override"
+        )
+    independent_sets: List[JKIndependentSet] = []
+    jk_rounds = 0
+    for axis in range(grid.dimension):
+        independent_set = compute_jk_independent_set(
+            grid,
+            identifiers,
+            axis,
+            k=separation,
+            spacing=spacing,
+            movement_cap=min(3 * spacing, min(grid.sides) - 1),
+        )
+        independent_sets.append(independent_set)
+        jk_rounds = max(jk_rounds, independent_set.rounds)
+
+    marked, marking_rounds = _mark_edges(grid, identifiers, independent_sets, separation)
+    labels = _colour_segments(grid, marked, number_of_colours)
+    verification = verify_proper_edge_colouring(grid, labels, number_of_colours)
+    if not verification.valid:
+        raise SimulationError(
+            f"edge colouring verification failed with {len(verification.violations)} violations"
+        )
+    segment_rounds = 2 * (spacing + spacing)
+    total = jk_rounds + marking_rounds + segment_rounds
+    return AlgorithmResult(
+        edge_labels=labels,
+        rounds=total,
+        metadata={
+            "separation": separation,
+            "spacing": spacing,
+            "marked_edges": len(marked),
+            "jk_rounds": jk_rounds,
+            "marking_rounds": marking_rounds,
+            "segment_rounds": segment_rounds,
+        },
+    )
+
+
+@dataclass
+class EdgeColouringAlgorithm(GridAlgorithm):
+    """The Theorem 15 edge-colouring packaged as a :class:`GridAlgorithm`."""
+
+    separation: int = 3
+    spacing: Optional[int] = None
+    name: str = "edge-(2d+1)-colouring"
+
+    def run(
+        self,
+        grid: ToroidalGrid,
+        identifiers: IdentifierAssignment,
+        inputs: Optional[Mapping[Node, object]] = None,
+    ) -> AlgorithmResult:
+        return edge_colouring(
+            grid, identifiers, separation=self.separation, spacing=self.spacing
+        )

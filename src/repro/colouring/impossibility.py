@@ -1,0 +1,122 @@
+"""Infeasibility certificates for colouring problems.
+
+Two kinds of lower-bound evidence are produced here:
+
+* **Parity arguments** — Theorem 21: a ``d``-dimensional torus with odd side
+  length has no proper edge colouring with ``2d`` colours, because every
+  colour class would have to be a perfect matching and a perfect matching
+  needs an even number of nodes.
+* **Exhaustive certificates** — for small instances, the question "does any
+  feasible labelling exist at all?" is decided exactly with the CDCL SAT
+  solver; an UNSAT answer is a machine-checked certificate that the problem
+  is unsolvable on that instance, which is how the benchmarks back up the
+  "global because no solution exists for infinitely many n" classifications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
+from repro.synthesis.sat import CNF, solve_cnf
+
+
+def edge_colouring_parity_obstruction(grid: ToroidalGrid, number_of_colours: int) -> Optional[str]:
+    """Return the Theorem 21 parity obstruction, if it applies.
+
+    With ``2d`` colours on a ``2d``-regular graph every node must see each
+    colour exactly once, so each colour class is a perfect matching of the
+    ``n^d`` nodes — impossible when ``n^d`` is odd.
+    """
+    if number_of_colours != 2 * grid.dimension:
+        return None
+    if grid.node_count % 2 == 0:
+        return None
+    return (
+        f"a proper {number_of_colours}-edge-colouring of a {2 * grid.dimension}-regular "
+        f"graph partitions the edges into perfect matchings, but {grid.node_count} "
+        "nodes cannot be perfectly matched"
+    )
+
+
+def _edge_colouring_cnf(grid: ToroidalGrid, number_of_colours: int) -> Tuple[CNF, Dict[Tuple[EdgeKey, int], int]]:
+    cnf = CNF()
+    variable_of: Dict[Tuple[EdgeKey, int], int] = {}
+    for edge in grid.edges():
+        for colour in range(number_of_colours):
+            variable_of[(edge, colour)] = cnf.new_variable()
+    for edge in grid.edges():
+        cnf.add_clause(variable_of[(edge, colour)] for colour in range(number_of_colours))
+        for first in range(number_of_colours):
+            for second in range(first + 1, number_of_colours):
+                cnf.add_clause((-variable_of[(edge, first)], -variable_of[(edge, second)]))
+    for node in grid.nodes():
+        incident = grid.incident_edges(node)
+        for index, first in enumerate(incident):
+            for second in incident[index + 1:]:
+                for colour in range(number_of_colours):
+                    cnf.add_clause(
+                        (-variable_of[(first, colour)], -variable_of[(second, colour)])
+                    )
+    return cnf, variable_of
+
+
+def exhaustive_edge_colouring_infeasible(
+    grid: ToroidalGrid,
+    number_of_colours: int,
+    conflict_budget: int = 400_000,
+) -> bool:
+    """Decide by exhaustive search whether *no* proper edge colouring exists.
+
+    Returns True when the SAT solver proves unsatisfiability, False when a
+    colouring exists.  Raises :class:`repro.errors.SynthesisError` if the
+    conflict budget is exhausted without an answer (should not happen on the
+    small instances this is meant for).
+    """
+    cnf, _variables = _edge_colouring_cnf(grid, number_of_colours)
+    result = solve_cnf(cnf, conflict_budget=conflict_budget)
+    if result.satisfiable:
+        return False
+    if result.exhausted_budget:
+        raise SynthesisError("exhaustive edge-colouring search exhausted its budget")
+    return True
+
+
+def exhaustive_vertex_colouring_feasible(
+    grid: ToroidalGrid,
+    number_of_colours: int,
+    conflict_budget: int = 400_000,
+) -> Optional[Dict[Node, int]]:
+    """Search exhaustively for a proper vertex colouring of a small grid.
+
+    Returns a colouring if one exists, or None if the instance is provably
+    infeasible (for example 2-colouring with an odd side length).
+    """
+    cnf = CNF()
+    variable_of: Dict[Tuple[Node, int], int] = {}
+    for node in grid.nodes():
+        for colour in range(number_of_colours):
+            variable_of[(node, colour)] = cnf.new_variable()
+    for node in grid.nodes():
+        cnf.add_clause(variable_of[(node, colour)] for colour in range(number_of_colours))
+        for first in range(number_of_colours):
+            for second in range(first + 1, number_of_colours):
+                cnf.add_clause((-variable_of[(node, first)], -variable_of[(node, second)]))
+    for node in grid.nodes():
+        for axis in range(grid.dimension):
+            neighbour = grid.step(node, Direction(axis, 1))
+            for colour in range(number_of_colours):
+                cnf.add_clause(
+                    (-variable_of[(node, colour)], -variable_of[(neighbour, colour)])
+                )
+    result = solve_cnf(cnf, conflict_budget=conflict_budget)
+    if not result.satisfiable:
+        if result.exhausted_budget:
+            raise SynthesisError("exhaustive vertex-colouring search exhausted its budget")
+        return None
+    colouring: Dict[Node, int] = {}
+    for (node, colour), variable in variable_of.items():
+        if result.assignment and result.assignment.get(variable):
+            colouring[node] = colour
+    return colouring

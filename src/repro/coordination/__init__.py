@@ -1,0 +1,46 @@
+"""Coordination problems used in the paper's lower bounds.
+
+* :mod:`repro.coordination.qsum` — the q-sum coordination problem on
+  directed cycles (Theorem 10), the engine behind the 3-colouring and
+  {0,3,4}-orientation lower bounds.
+* :mod:`repro.coordination.three_colouring_reduction` — the Section 9
+  reduction machinery: the greedy normalisation of a 3-colouring, the
+  auxiliary directed graph on colour-3 nodes, its cycle decomposition and
+  the row invariants ``i_r(C)`` and ``s(G)``.
+* :mod:`repro.coordination.corner` — the corner coordination problem of
+  Appendix A.3, an engineered LCL with complexity ``Θ(√n)`` on general
+  bounded-degree graphs.
+"""
+
+from repro.coordination.qsum import QSumProblem, standard_q_function
+from repro.coordination.three_colouring_reduction import (
+    AuxiliaryGraph,
+    build_auxiliary_graph,
+    cycle_decomposition,
+    greedy_normalise_colouring,
+    row_invariant,
+    wrap_invariant,
+)
+from repro.coordination.corner import (
+    CornerCoordinationInstance,
+    corner_ball_size,
+    rounds_until_corner_sees_special,
+    solve_corner_coordination,
+    verify_corner_coordination,
+)
+
+__all__ = [
+    "AuxiliaryGraph",
+    "CornerCoordinationInstance",
+    "QSumProblem",
+    "build_auxiliary_graph",
+    "corner_ball_size",
+    "cycle_decomposition",
+    "greedy_normalise_colouring",
+    "rounds_until_corner_sees_special",
+    "row_invariant",
+    "solve_corner_coordination",
+    "standard_q_function",
+    "verify_corner_coordination",
+    "wrap_invariant",
+]

@@ -1,0 +1,165 @@
+"""The corner coordination problem (Appendix A.3) — a ``Θ(√n)`` LCL.
+
+On general bounded-degree graphs the paper engineers an LCL problem whose
+complexity is exactly ``Θ(√n)``: on instances that look like bounded
+(non-toroidal) grids, the four degree-2 corner nodes must coordinate through
+systems of directed pseudotrees; on any other instance the output is
+unconstrained.  The upper bound rests on a simple geometric fact
+(Proposition 28): a corner that has not yet seen another corner or a broken
+node after ``r`` rounds has seen ``(r+2 choose 2)`` nodes, so after
+``2√n`` rounds it must have seen one.
+
+This module provides the instance/terminology helpers, a reference solution
+on plain rectangular grids (two boundary paths connecting the corners), a
+verifier for the structural rules the paper states, and the round-counting
+functions used by benchmark E8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import InvalidLabellingError
+from repro.grid.torus import RectangularGrid
+
+Node = Tuple[int, int]
+DirectedEdge = Tuple[Node, Node]
+
+
+@dataclass
+class CornerCoordinationInstance:
+    """An instance of the corner coordination problem.
+
+    ``broken_nodes`` marks nodes whose neighbourhood is not grid-like (the
+    lower-bound proof creates them by rotating a ball around a boundary
+    node); on plain rectangles the set is empty.
+    """
+
+    grid: RectangularGrid
+    broken_nodes: Set[Node] = field(default_factory=set)
+
+    def corner_nodes(self) -> List[Node]:
+        """The degree-2 nodes that are not broken."""
+        return [node for node in self.grid.corners() if node not in self.broken_nodes]
+
+    def special_nodes(self) -> Set[Node]:
+        """Corners and broken nodes — what a corner needs to see to decide."""
+        return set(self.corner_nodes()) | set(self.broken_nodes)
+
+
+def corner_ball_size(radius: int) -> int:
+    """Proposition 28: the radius-``r`` ball of an unobstructed corner has
+    ``(r+2 choose 2)`` nodes."""
+    return (radius + 2) * (radius + 1) // 2
+
+
+def rounds_until_corner_sees_special(instance: CornerCoordinationInstance, corner: Node) -> int:
+    """Rounds until ``corner`` sees another corner or a broken node.
+
+    This is the distance from the corner to the nearest other special node;
+    on an ``m × m`` rectangle it equals ``m - 1 = Θ(√n)``, which is the
+    quantity benchmark E8 sweeps.
+    """
+    specials = instance.special_nodes() - {corner}
+    if not specials:
+        raise InvalidLabellingError("the instance has no other special node to see")
+    return min(instance.grid.l1_distance(corner, special) for special in specials)
+
+
+def upper_bound_rounds(node_count: int) -> int:
+    """The Appendix A.3 upper bound: ``2√n`` rounds always suffice."""
+    return math.ceil(2 * math.sqrt(node_count))
+
+
+def solve_corner_coordination(instance: CornerCoordinationInstance) -> Dict[DirectedEdge, bool]:
+    """A reference feasible output on a plain rectangle.
+
+    Two directed pseudotrees are produced: the bottom row path from the
+    south-west corner to the south-east corner, and the top row path from
+    the north-west corner to the north-east corner.  Every corner is the
+    root or leaf of one pseudotree, paths cross every column exactly once
+    and never meet outside corners.
+    """
+    if instance.broken_nodes:
+        # Any output is feasible when the instance is not a clean grid.
+        return {}
+    grid = instance.grid
+    directed: Dict[DirectedEdge, bool] = {}
+    for x in range(grid.width - 1):
+        directed[((x, 0), (x + 1, 0))] = True
+        directed[((x, grid.height - 1), (x + 1, grid.height - 1))] = True
+    return directed
+
+
+def verify_corner_coordination(
+    instance: CornerCoordinationInstance,
+    directed_edges: Dict[DirectedEdge, bool],
+) -> List[str]:
+    """Check the structural rules of the corner coordination problem.
+
+    Returns a list of violated rules (empty = feasible).  The rules checked
+    are the ones the paper states: the directed edges form pseudotrees with
+    out-degree at most one per node, only corners may be roots or leaves,
+    every corner is the root or leaf of at least one pseudotree, and a
+    directed path never uses the same row or column twice (the "consistent
+    orientation" requirement).
+    """
+    if instance.broken_nodes or not instance.corner_nodes():
+        return []
+    grid = instance.grid
+    problems: List[str] = []
+
+    selected = [edge for edge, chosen in directed_edges.items() if chosen]
+    for tail, head in selected:
+        if not (grid.contains(tail) and grid.contains(head)):
+            problems.append(f"edge {tail}->{head} leaves the grid")
+        elif grid.l1_distance(tail, head) != 1:
+            problems.append(f"edge {tail}->{head} is not a grid edge")
+
+    out_degree: Dict[Node, int] = {}
+    in_degree: Dict[Node, int] = {}
+    for tail, head in selected:
+        out_degree[tail] = out_degree.get(tail, 0) + 1
+        in_degree[head] = in_degree.get(head, 0) + 1
+    for node, degree in out_degree.items():
+        if degree > 1:
+            problems.append(f"node {node} has out-degree {degree} > 1")
+
+    corners = set(instance.corner_nodes())
+    involved = set(out_degree) | set(in_degree)
+    for node in involved:
+        if node in corners:
+            continue
+        if out_degree.get(node, 0) == 0 or in_degree.get(node, 0) == 0:
+            problems.append(f"non-corner node {node} is a root or leaf of a pseudotree")
+
+    for corner in corners:
+        if out_degree.get(corner, 0) == 0 and in_degree.get(corner, 0) == 0:
+            problems.append(f"corner {corner} is not part of any pseudotree")
+
+    # Consistent orientation: follow each maximal path and check that it
+    # never revisits a row or a column.
+    successor: Dict[Node, Node] = {tail: head for tail, head in selected}
+    roots = [node for node in involved if in_degree.get(node, 0) == 0]
+    for root in roots:
+        seen_rows: Set[int] = set()
+        seen_columns: Set[int] = set()
+        current: Optional[Node] = root
+        previous: Optional[Node] = None
+        steps = 0
+        while current is not None and steps <= len(selected) + 1:
+            if previous is not None:
+                if previous[0] != current[0] and current[0] in seen_columns:
+                    problems.append(f"path from {root} crosses column {current[0]} twice")
+                    break
+                if previous[1] != current[1] and current[1] in seen_rows:
+                    problems.append(f"path from {root} crosses row {current[1]} twice")
+                    break
+            seen_rows.add(current[1])
+            seen_columns.add(current[0])
+            previous = current
+            current = successor.get(current)
+            steps += 1
+    return problems

@@ -1,0 +1,38 @@
+"""Core LCL machinery: problem specifications, verification, complexity classes."""
+
+from repro.core.lcl import EdgeGridLCL, GridLCL, PairRelation
+from repro.core.complexity import ComplexityClass, ClassificationResult
+from repro.core.verifier import (
+    VerificationResult,
+    Violation,
+    verify_edge_labelling,
+    verify_node_labelling,
+    verify_maximal_independent_set,
+    verify_proper_edge_colouring,
+    verify_proper_vertex_colouring,
+)
+from repro.core.catalog import (
+    independent_set_problem,
+    maximal_independent_set_problem,
+    proper_edge_colouring_problem,
+    vertex_colouring_problem,
+)
+
+__all__ = [
+    "ClassificationResult",
+    "ComplexityClass",
+    "EdgeGridLCL",
+    "GridLCL",
+    "PairRelation",
+    "VerificationResult",
+    "Violation",
+    "independent_set_problem",
+    "maximal_independent_set_problem",
+    "proper_edge_colouring_problem",
+    "verify_edge_labelling",
+    "verify_maximal_independent_set",
+    "verify_node_labelling",
+    "verify_proper_edge_colouring",
+    "verify_proper_vertex_colouring",
+    "vertex_colouring_problem",
+]

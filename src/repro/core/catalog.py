@@ -1,0 +1,137 @@
+"""A catalogue of the concrete LCL problems studied in the paper.
+
+Each factory returns a fully specified problem object (a
+:class:`repro.core.lcl.GridLCL` for node labellings or an
+:class:`repro.core.lcl.EdgeGridLCL` for edge labellings) that can be fed to
+the verifier, the synthesis engine, or the classification experiments.
+
+Edge-orientation problems have their own builders in
+:mod:`repro.orientation.problems` because they come with the extra
+classification machinery of Section 11.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.lcl import EdgeGridLCL, GridLCL, PairRelation
+from repro.errors import InvalidProblemError
+
+
+def vertex_colouring_problem(number_of_colours: int) -> GridLCL:
+    """Proper vertex colouring with ``number_of_colours`` colours.
+
+    The paper shows (Sections 8 and 9) that on two-dimensional grids this is
+    ``Θ(log* n)`` for ``k >= 4`` and global for ``k <= 3``.
+    """
+    if number_of_colours < 1:
+        raise InvalidProblemError("a colouring needs at least one colour")
+    alphabet: Tuple[int, ...] = tuple(range(number_of_colours))
+    different = PairRelation.from_predicate(alphabet, lambda a, b: a != b)
+    return GridLCL(
+        name=f"vertex-{number_of_colours}-colouring",
+        alphabet=alphabet,
+        horizontal=different,
+        vertical=different,
+    )
+
+
+def independent_set_problem() -> GridLCL:
+    """Independent set (no maximality requirement).
+
+    The all-zero labelling is feasible, so this is a trivial ``O(1)``
+    problem — it appears in Figure 2 as the canonical constant-time example.
+    """
+    alphabet = (0, 1)
+    not_both_selected = PairRelation.from_predicate(alphabet, lambda a, b: not (a == 1 and b == 1))
+    return GridLCL(
+        name="independent-set",
+        alphabet=alphabet,
+        horizontal=not_both_selected,
+        vertical=not_both_selected,
+    )
+
+
+def maximal_independent_set_problem() -> GridLCL:
+    """Maximal independent set.
+
+    Independence is a pairwise constraint, but maximality ("a node outside
+    the set has a neighbour inside") needs the full cross predicate, so this
+    problem is not directly synthesisable by the pairwise tile CSP; it is
+    used by the verifier and by the Figure 2 cycle experiments.
+    """
+    alphabet = (0, 1)
+    not_both_selected = PairRelation.from_predicate(alphabet, lambda a, b: not (a == 1 and b == 1))
+
+    def maximality(centre: int, north: int, east: int, south: int, west: int) -> bool:
+        if centre == 1:
+            return north == 0 and east == 0 and south == 0 and west == 0
+        return north == 1 or east == 1 or south == 1 or west == 1
+
+    return GridLCL(
+        name="maximal-independent-set",
+        alphabet=alphabet,
+        horizontal=not_both_selected,
+        vertical=not_both_selected,
+        cross_predicate=maximality,
+    )
+
+
+def diagonal_colouring_problem(number_of_colours: int) -> GridLCL:
+    """Colouring in which only horizontally adjacent nodes must differ.
+
+    A simple auxiliary problem used in tests: it is trivially ``Θ(log* n)``
+    for two or more colours (each row is an independent cycle instance) and
+    exercises problems whose horizontal and vertical relations differ.
+    """
+    if number_of_colours < 2:
+        raise InvalidProblemError("need at least two colours")
+    alphabet: Tuple[int, ...] = tuple(range(number_of_colours))
+    different = PairRelation.from_predicate(alphabet, lambda a, b: a != b)
+    anything = PairRelation.from_predicate(alphabet, lambda a, b: True)
+    return GridLCL(
+        name=f"row-{number_of_colours}-colouring",
+        alphabet=alphabet,
+        horizontal=different,
+        vertical=anything,
+    )
+
+
+def proper_edge_colouring_problem(number_of_colours: int) -> EdgeGridLCL:
+    """Proper edge colouring: edges sharing an endpoint get different colours.
+
+    Section 10 shows this is ``Θ(log* n)`` with ``2d + 1`` colours on
+    ``d``-dimensional grids and impossible with ``2d`` colours when ``n`` is
+    odd (hence global).
+    """
+    if number_of_colours < 1:
+        raise InvalidProblemError("an edge colouring needs at least one colour")
+    alphabet: Tuple[int, ...] = tuple(range(number_of_colours))
+
+    def all_incident_distinct(incident) -> bool:
+        labels = [label for _axis, _sign, label in incident]
+        return len(labels) == len(set(labels))
+
+    return EdgeGridLCL(
+        name=f"edge-{number_of_colours}-colouring",
+        alphabet=alphabet,
+        incident_predicate=all_incident_distinct,
+    )
+
+
+def edge_orientation_alphabet() -> Tuple[Tuple[int, int, int, int], ...]:
+    """The node-labelling alphabet used to encode edge orientations.
+
+    Each node outputs a 4-tuple ``(north, east, south, west)`` with entries
+    in ``{0, 1}``; entry 1 means "this incident edge points *towards* me"
+    (i.e. contributes to my in-degree).  Consistency between the two
+    endpoints of an edge is enforced by the pair relations of the problems
+    built in :mod:`repro.orientation.problems`.
+    """
+    labels = []
+    for north in (0, 1):
+        for east in (0, 1):
+            for south in (0, 1):
+                for west in (0, 1):
+                    labels.append((north, east, south, west))
+    return tuple(labels)

@@ -1,0 +1,98 @@
+"""Complexity classes of LCL problems on grids.
+
+Theorem 2 of the paper (together with the Naor–Stockmeyer gap below
+``Θ(log* n)``) shows that on toroidal grids only three deterministic
+complexity classes exist: ``O(1)``, ``Θ(log* n)`` and ``Θ(n)``.  This module
+provides the enumeration of those classes and a small result record used by
+the classifiers (exact on cycles, evidence-based on grids) and by the
+experiment reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class ComplexityClass(enum.Enum):
+    """The deterministic complexity classes of LCL problems on toroidal grids."""
+
+    #: Solvable in a constant number of rounds ("trivial" problems: some
+    #: constant labelling is feasible).
+    CONSTANT = "O(1)"
+
+    #: Solvable in Θ(log* n) rounds ("local" problems).
+    LOG_STAR = "Θ(log* n)"
+
+    #: Requires Θ(n) rounds ("global" problems); includes problems that are
+    #: unsolvable for infinitely many n.
+    GLOBAL = "Θ(n)"
+
+    #: Used by evidence-based classifiers when neither a local algorithm was
+    #: found nor globality could be certified within the search budget.
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_local(self) -> bool:
+        """True for the sublinear classes ``O(1)`` and ``Θ(log* n)``."""
+        return self in (ComplexityClass.CONSTANT, ComplexityClass.LOG_STAR)
+
+
+@dataclass
+class ClassificationResult:
+    """Outcome of classifying a single LCL problem.
+
+    Attributes
+    ----------
+    problem_name:
+        Name of the classified problem.
+    complexity:
+        The complexity class assigned.
+    exact:
+        True when the classification is provably correct (cycles, or grid
+        problems covered by one of the paper's theorems); False when it is
+        evidence-based (e.g. "synthesis failed up to k = 5, conjectured
+        global" — recall that the classification question is undecidable on
+        grids, Theorem 3).
+    evidence:
+        Free-form diagnostic details: the flexible state found, the
+        synthesis parameters that succeeded, the infeasibility witness, ...
+    """
+
+    problem_name: str
+    complexity: ComplexityClass
+    exact: bool = True
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the experiment reports."""
+        certainty = "exact" if self.exact else "conjectured"
+        return f"{self.problem_name}: {self.complexity.value} ({certainty})"
+
+
+def merge_classifications(
+    first: ClassificationResult, second: Optional[ClassificationResult]
+) -> ClassificationResult:
+    """Combine two classification results for the same problem.
+
+    Exact results win over conjectures; among equally certain results the
+    faster (smaller) class wins, since an upper bound in a smaller class
+    subsumes membership claims in larger ones.
+    """
+    if second is None:
+        return first
+    if first.problem_name != second.problem_name:
+        raise ValueError("cannot merge classifications of different problems")
+    order = {
+        ComplexityClass.CONSTANT: 0,
+        ComplexityClass.LOG_STAR: 1,
+        ComplexityClass.GLOBAL: 2,
+        ComplexityClass.UNKNOWN: 3,
+    }
+    if first.exact != second.exact:
+        return first if first.exact else second
+    return first if order[first.complexity] <= order[second.complexity] else second

@@ -1,0 +1,202 @@
+"""LCL problem specifications on oriented two-dimensional grids.
+
+The paper (Section 3) defines an LCL problem by a finite output alphabet and
+a radius-``r`` local checkability condition; on bounded-degree graphs one may
+always normalise to radius 1 at the cost of an additive constant in the
+running time.  On a consistently oriented grid a radius-1 condition can be
+expressed through three ingredients:
+
+* a *node predicate* on the label of a single node,
+* *pair relations* constraining the labels of horizontally and vertically
+  adjacent nodes (the west/south node is always the first argument, matching
+  the grid's orientation), and
+* an optional *cross predicate* over a node and its four neighbours, for
+  conditions such as the maximality of an independent set that are not
+  expressible pairwise.
+
+Problems whose output lives on edges (edge colourings, edge orientations as
+edge labels) use :class:`EdgeGridLCL`, whose constraint is a predicate over
+the labels of the (up to) four edges incident to a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import InvalidProblemError
+
+Label = Any
+
+
+@dataclass(frozen=True)
+class PairRelation:
+    """A binary relation over output labels given as an explicit set of pairs.
+
+    The relation lists the *allowed* pairs.  ``first`` is always the node
+    with the smaller coordinate along the relevant axis (the western node
+    for horizontal pairs, the southern node for vertical pairs).
+    """
+
+    allowed: FrozenSet[Tuple[Label, Label]]
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Label, Label]]) -> "PairRelation":
+        """Build a relation from an iterable of allowed pairs."""
+        return cls(frozenset(pairs))
+
+    @classmethod
+    def from_predicate(
+        cls, alphabet: Iterable[Label], predicate: Callable[[Label, Label], bool]
+    ) -> "PairRelation":
+        """Materialise a relation from a predicate over the full alphabet."""
+        alphabet = tuple(alphabet)
+        return cls(
+            frozenset(
+                (first, second)
+                for first in alphabet
+                for second in alphabet
+                if predicate(first, second)
+            )
+        )
+
+    def permits(self, first: Label, second: Label) -> bool:
+        """Return True if the ordered pair ``(first, second)`` is allowed."""
+        return (first, second) in self.allowed
+
+    def __contains__(self, pair: Tuple[Label, Label]) -> bool:
+        return pair in self.allowed
+
+
+@dataclass(frozen=True)
+class GridLCL:
+    """A node-labelling LCL problem on oriented two-dimensional grids.
+
+    Attributes
+    ----------
+    name:
+        Human-readable problem name.
+    alphabet:
+        The finite set of output labels.
+    node_predicate:
+        Optional predicate a single node's label must satisfy.
+    horizontal:
+        Optional relation over (west label, east label) for horizontally
+        adjacent nodes.
+    vertical:
+        Optional relation over (south label, north label) for vertically
+        adjacent nodes.
+    cross_predicate:
+        Optional predicate over ``(centre, north, east, south, west)``
+        labels; used for constraints (such as maximality) that cannot be
+        expressed pairwise.  Synthesis only supports problems whose
+        constraints are pairwise (``cross_predicate is None``); verification
+        supports both.
+    """
+
+    name: str
+    alphabet: Tuple[Label, ...]
+    node_predicate: Optional[Callable[[Label], bool]] = None
+    horizontal: Optional[PairRelation] = None
+    vertical: Optional[PairRelation] = None
+    cross_predicate: Optional[Callable[[Label, Label, Label, Label, Label], bool]] = None
+
+    def __post_init__(self) -> None:
+        if not self.alphabet:
+            raise InvalidProblemError(f"problem {self.name!r} has an empty alphabet")
+        if len(set(self.alphabet)) != len(self.alphabet):
+            raise InvalidProblemError(f"problem {self.name!r} has duplicate labels")
+
+    # ------------------------------------------------------------------ #
+    # Constraint evaluation helpers
+    # ------------------------------------------------------------------ #
+
+    def node_ok(self, label: Label) -> bool:
+        """Check the single-node constraint."""
+        if self.node_predicate is None:
+            return True
+        return bool(self.node_predicate(label))
+
+    def horizontal_ok(self, west: Label, east: Label) -> bool:
+        """Check the constraint between a node and its eastern neighbour."""
+        if self.horizontal is None:
+            return True
+        return self.horizontal.permits(west, east)
+
+    def vertical_ok(self, south: Label, north: Label) -> bool:
+        """Check the constraint between a node and its northern neighbour."""
+        if self.vertical is None:
+            return True
+        return self.vertical.permits(south, north)
+
+    def cross_ok(self, centre: Label, north: Label, east: Label, south: Label, west: Label) -> bool:
+        """Check the full neighbourhood constraint, if any."""
+        if self.cross_predicate is None:
+            return True
+        return bool(self.cross_predicate(centre, north, east, south, west))
+
+    @property
+    def is_pairwise(self) -> bool:
+        """True if all constraints are expressible on single edges.
+
+        The synthesis engine of Section 7 encodes constraints on the edges
+        of the tile neighbourhood graph, so it requires pairwise problems.
+        """
+        return self.cross_predicate is None
+
+    def feasible_constant_labels(self) -> Tuple[Label, ...]:
+        """Labels ``a`` such that the constant labelling ``v ↦ a`` is feasible.
+
+        On a toroidal grid an LCL is solvable in constant time if and only
+        if such a label exists (see the discussion following Theorem 3).
+        """
+        feasible = []
+        for label in self.alphabet:
+            if not self.node_ok(label):
+                continue
+            if not self.horizontal_ok(label, label):
+                continue
+            if not self.vertical_ok(label, label):
+                continue
+            if not self.cross_ok(label, label, label, label, label):
+                continue
+            feasible.append(label)
+        return tuple(feasible)
+
+    def restrict_alphabet(self, labels: Iterable[Label]) -> "GridLCL":
+        """Return a copy of the problem with the alphabet restricted to ``labels``."""
+        labels = tuple(label for label in self.alphabet if label in set(labels))
+        return GridLCL(
+            name=f"{self.name}-restricted",
+            alphabet=labels,
+            node_predicate=self.node_predicate,
+            horizontal=self.horizontal,
+            vertical=self.vertical,
+            cross_predicate=self.cross_predicate,
+        )
+
+
+@dataclass(frozen=True)
+class EdgeGridLCL:
+    """An edge-labelling LCL problem on oriented grids of any dimension.
+
+    The constraint is evaluated at every node over the labels of its
+    incident edges.  ``incident_predicate`` receives a tuple of
+    ``(axis, sign, label)`` triples — ``sign`` is ``+1`` for the edge leaving
+    the node in the positive direction of ``axis`` and ``-1`` for the edge
+    arriving from the negative direction — so problems may distinguish the
+    geometry of the incident edges (edge orientations need this; proper edge
+    colouring does not).
+    """
+
+    name: str
+    alphabet: Tuple[Label, ...]
+    incident_predicate: Callable[[Tuple[Tuple[int, int, Label], ...]], bool]
+
+    def __post_init__(self) -> None:
+        if not self.alphabet:
+            raise InvalidProblemError(f"problem {self.name!r} has an empty alphabet")
+
+    def node_ok(self, incident: Tuple[Tuple[int, int, Label], ...]) -> bool:
+        """Check the constraint at one node given its incident edge labels."""
+        return bool(self.incident_predicate(incident))

@@ -1,0 +1,298 @@
+"""Local-checkability verification of candidate labellings.
+
+The defining feature of an LCL problem is that feasibility can be verified
+by inspecting constant-radius neighbourhoods.  The functions here do exactly
+that: they walk over every node (or edge) of a grid, evaluate the local
+constraints of a problem specification, and report *all* violations found
+(not just the first), because the violation lists are also used by the
+failure-injection tests and by the synthesis validator.
+
+Besides the generic :class:`repro.core.lcl.GridLCL` /
+:class:`repro.core.lcl.EdgeGridLCL` verifiers, a few standalone checks for
+classic problems (proper vertex colouring, proper edge colouring, maximal
+independent sets) are provided; these work on grids of any dimension and are
+used to validate the Section 8 and Section 10 algorithms for ``d >= 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.lcl import EdgeGridLCL, GridLCL
+from repro.errors import InvalidLabellingError
+from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single violated local constraint."""
+
+    kind: str
+    location: Tuple[Any, ...]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] at {self.location}: {self.detail}"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying a labelling: validity flag plus all violations."""
+
+    valid: bool
+    violations: List[Violation] = field(default_factory=list)
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "VerificationResult":
+        """Build a result from a (possibly empty) list of violations."""
+        violations = list(violations)
+        return cls(valid=not violations, violations=violations)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _require_complete_node_labelling(grid: ToroidalGrid, labels: Mapping[Node, Any]) -> None:
+    missing = [node for node in grid.nodes() if node not in labels]
+    if missing:
+        raise InvalidLabellingError(
+            f"labelling misses {len(missing)} nodes (first missing: {missing[0]})"
+        )
+
+
+def _require_complete_edge_labelling(grid: ToroidalGrid, labels: Mapping[EdgeKey, Any]) -> None:
+    missing = [edge for edge in grid.edges() if edge not in labels]
+    if missing:
+        raise InvalidLabellingError(
+            f"labelling misses {len(missing)} edges (first missing: {missing[0]})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# GridLCL verification (two-dimensional oriented grids)
+# --------------------------------------------------------------------- #
+
+def verify_node_labelling(
+    grid: ToroidalGrid,
+    problem: GridLCL,
+    labels: Mapping[Node, Any],
+    max_violations: Optional[int] = None,
+) -> VerificationResult:
+    """Verify a node labelling against a :class:`GridLCL` specification."""
+    if grid.dimension != 2:
+        raise InvalidLabellingError("GridLCL problems are defined on two-dimensional grids")
+    _require_complete_node_labelling(grid, labels)
+
+    violations: List[Violation] = []
+    alphabet = set(problem.alphabet)
+
+    def record(kind: str, location: Tuple[Any, ...], detail: str) -> bool:
+        violations.append(Violation(kind, location, detail))
+        return max_violations is not None and len(violations) >= max_violations
+
+    for node in grid.nodes():
+        label = labels[node]
+        if label not in alphabet:
+            if record("alphabet", (node,), f"label {label!r} not in the output alphabet"):
+                return VerificationResult.from_violations(violations)
+            continue
+        if not problem.node_ok(label):
+            if record("node", (node,), f"label {label!r} violates the node predicate"):
+                return VerificationResult.from_violations(violations)
+
+        east = grid.step(node, Direction(0, 1))
+        north = grid.step(node, Direction(1, 1))
+        if not problem.horizontal_ok(label, labels[east]):
+            if record(
+                "horizontal",
+                (node, east),
+                f"pair ({label!r}, {labels[east]!r}) not allowed west→east",
+            ):
+                return VerificationResult.from_violations(violations)
+        if not problem.vertical_ok(label, labels[north]):
+            if record(
+                "vertical",
+                (node, north),
+                f"pair ({label!r}, {labels[north]!r}) not allowed south→north",
+            ):
+                return VerificationResult.from_violations(violations)
+
+        if problem.cross_predicate is not None:
+            south = grid.step(node, Direction(1, -1))
+            west = grid.step(node, Direction(0, -1))
+            if not problem.cross_ok(
+                label, labels[north], labels[east], labels[south], labels[west]
+            ):
+                if record(
+                    "cross",
+                    (node,),
+                    "neighbourhood constraint violated "
+                    f"(centre={label!r}, N={labels[north]!r}, E={labels[east]!r}, "
+                    f"S={labels[south]!r}, W={labels[west]!r})",
+                ):
+                    return VerificationResult.from_violations(violations)
+
+    return VerificationResult.from_violations(violations)
+
+
+def verify_edge_labelling(
+    grid: ToroidalGrid,
+    problem: EdgeGridLCL,
+    labels: Mapping[EdgeKey, Any],
+    max_violations: Optional[int] = None,
+) -> VerificationResult:
+    """Verify an edge labelling against an :class:`EdgeGridLCL` specification."""
+    _require_complete_edge_labelling(grid, labels)
+    violations: List[Violation] = []
+    alphabet = set(problem.alphabet)
+
+    for edge in grid.edges():
+        if labels[edge] not in alphabet:
+            violations.append(
+                Violation("alphabet", (edge,), f"label {labels[edge]!r} not in the output alphabet")
+            )
+            if max_violations is not None and len(violations) >= max_violations:
+                return VerificationResult.from_violations(violations)
+
+    for node in grid.nodes():
+        incident = []
+        for axis in range(grid.dimension):
+            outgoing = (node, axis)
+            incoming = (grid.step(node, Direction(axis, -1)), axis)
+            incident.append((axis, 1, labels[outgoing]))
+            incident.append((axis, -1, labels[incoming]))
+        if not problem.node_ok(tuple(incident)):
+            violations.append(
+                Violation(
+                    "incident",
+                    (node,),
+                    f"incident edge labels {tuple(label for _, _, label in incident)!r} "
+                    "violate the node constraint",
+                )
+            )
+            if max_violations is not None and len(violations) >= max_violations:
+                return VerificationResult.from_violations(violations)
+
+    return VerificationResult.from_violations(violations)
+
+
+# --------------------------------------------------------------------- #
+# Stand-alone checks for classic problems (any dimension)
+# --------------------------------------------------------------------- #
+
+def verify_proper_vertex_colouring(
+    grid: ToroidalGrid,
+    labels: Mapping[Node, Any],
+    number_of_colours: Optional[int] = None,
+) -> VerificationResult:
+    """Check that adjacent nodes receive different labels.
+
+    If ``number_of_colours`` is given, also check that at most that many
+    distinct labels are used.
+    """
+    _require_complete_node_labelling(grid, labels)
+    violations: List[Violation] = []
+    for node in grid.nodes():
+        for axis in range(grid.dimension):
+            neighbour = grid.step(node, Direction(axis, 1))
+            if labels[node] == labels[neighbour]:
+                violations.append(
+                    Violation(
+                        "monochromatic-edge",
+                        (node, neighbour),
+                        f"both endpoints coloured {labels[node]!r}",
+                    )
+                )
+    if number_of_colours is not None:
+        used = set(labels[node] for node in grid.nodes())
+        if len(used) > number_of_colours:
+            violations.append(
+                Violation(
+                    "palette",
+                    tuple(),
+                    f"{len(used)} colours used but only {number_of_colours} allowed",
+                )
+            )
+    return VerificationResult.from_violations(violations)
+
+
+def verify_proper_edge_colouring(
+    grid: ToroidalGrid,
+    labels: Mapping[EdgeKey, Any],
+    number_of_colours: Optional[int] = None,
+) -> VerificationResult:
+    """Check that edges sharing an endpoint receive different labels."""
+    _require_complete_edge_labelling(grid, labels)
+    violations: List[Violation] = []
+    for node in grid.nodes():
+        incident = grid.incident_edges(node)
+        seen: Dict[Any, EdgeKey] = {}
+        for edge in incident:
+            label = labels[edge]
+            if label in seen:
+                violations.append(
+                    Violation(
+                        "conflicting-incident-edges",
+                        (node, seen[label], edge),
+                        f"two edges at {node} coloured {label!r}",
+                    )
+                )
+            else:
+                seen[label] = edge
+    if number_of_colours is not None:
+        used = set(labels[edge] for edge in grid.edges())
+        if len(used) > number_of_colours:
+            violations.append(
+                Violation(
+                    "palette",
+                    tuple(),
+                    f"{len(used)} colours used but only {number_of_colours} allowed",
+                )
+            )
+    return VerificationResult.from_violations(violations)
+
+
+def verify_maximal_independent_set(
+    grid: ToroidalGrid,
+    membership: Mapping[Node, Any],
+    adjacency: Optional[Mapping[Node, Sequence[Node]]] = None,
+) -> VerificationResult:
+    """Check independence and maximality of a 0/1 node labelling.
+
+    By default the underlying grid adjacency is used; passing an explicit
+    ``adjacency`` mapping allows verifying an MIS of a *power graph*
+    ``G^(k)`` / ``G^[k]`` — this is how the anchor sets of the normal form
+    are validated.
+    """
+    _require_complete_node_labelling(grid, membership)
+    violations: List[Violation] = []
+
+    def neighbours_of(node: Node) -> Sequence[Node]:
+        if adjacency is not None:
+            return adjacency[node]
+        return grid.neighbour_nodes(node)
+
+    for node in grid.nodes():
+        in_set = bool(membership[node])
+        neighbour_in_set = False
+        for neighbour in neighbours_of(node):
+            if bool(membership[neighbour]):
+                neighbour_in_set = True
+                if in_set:
+                    violations.append(
+                        Violation(
+                            "independence",
+                            (node, neighbour),
+                            "two adjacent nodes are both in the set",
+                        )
+                    )
+        if not in_set and not neighbour_in_set:
+            violations.append(
+                Violation(
+                    "maximality",
+                    (node,),
+                    "node is not in the set and has no neighbour in the set",
+                )
+            )
+    return VerificationResult.from_violations(violations)

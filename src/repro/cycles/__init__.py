@@ -1,0 +1,50 @@
+"""LCL problems on directed cycles (the one-dimensional warm-up, Section 4).
+
+On directed cycles everything is decidable: an LCL problem is represented by
+its *output neighbourhood graph* ``H``, and the complexity can be read off
+elementary properties of ``H`` (Claim 1 of the paper):
+
+* a self-loop (a feasible constant window) gives ``O(1)``,
+* a *flexible* state — one admitting closed walks of every sufficiently
+  large length — gives ``Θ(log* n)``,
+* otherwise the problem is global: ``Θ(n)`` if ``H`` has any cycle at all,
+  and unsolvable for all large ``n`` if it has none.
+
+The package also synthesises asymptotically optimal algorithms for the
+``Θ(log* n)`` problems, exactly as the proof of Claim 1 does: find a ruling
+set in a power of the cycle, place the flexible state at the chosen nodes
+and fill the gaps with pre-computed closed walks of matching lengths.
+"""
+
+from repro.cycles.lcl1d import CycleLCL, verify_cycle_labelling
+from repro.cycles.catalog import (
+    cycle_colouring_problem,
+    cycle_independent_set_problem,
+    cycle_maximal_independent_set_problem,
+    cycle_maximal_matching_problem,
+)
+from repro.cycles.neighbourhood_graph import (
+    NeighbourhoodGraph,
+    build_neighbourhood_graph,
+)
+from repro.cycles.classifier import classify_cycle_problem
+from repro.cycles.synthesis import (
+    CycleAlgorithmSynthesis,
+    solve_globally_on_cycle,
+    synthesise_cycle_algorithm,
+)
+
+__all__ = [
+    "CycleAlgorithmSynthesis",
+    "CycleLCL",
+    "NeighbourhoodGraph",
+    "build_neighbourhood_graph",
+    "classify_cycle_problem",
+    "cycle_colouring_problem",
+    "cycle_independent_set_problem",
+    "cycle_maximal_independent_set_problem",
+    "cycle_maximal_matching_problem",
+    "solve_globally_on_cycle",
+    "synthesise_cycle_algorithm",
+    "verify_cycle_labelling",
+]

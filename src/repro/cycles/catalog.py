@@ -1,0 +1,139 @@
+"""The concrete cycle LCL problems of Figure 2 (and a few more).
+
+Figure 2 of the paper illustrates four radius-1 problems on directed cycles
+together with their complexities:
+
+* 2-colouring — no flexible state, hence ``Θ(n)``;
+* 3-colouring — flexible states, hence ``Θ(log* n)``;
+* maximal independent set — flexible states (the paper highlights state
+  ``00`` with closed walks of lengths 3 and 5), hence ``Θ(log* n)``;
+* independent set — a self-loop at ``00`` (the all-zero labelling), hence
+  ``O(1)``.
+
+Maximal matching on a cycle is equivalent to a node-labelling problem over
+"my matched side" labels; it is included because the introduction of the
+paper lists it among the classic ``Θ(log* n)`` problems.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Tuple
+
+from repro.cycles.lcl1d import CycleLCL, Window1D
+
+
+def _windows_satisfying(
+    alphabet: Tuple[object, ...], radius: int, predicate: Callable[[Window1D], bool]
+) -> frozenset:
+    """All windows over ``alphabet`` of length ``2r + 1`` satisfying ``predicate``."""
+    length = 2 * radius + 1
+    return frozenset(
+        window
+        for window in itertools.product(alphabet, repeat=length)
+        if predicate(window)
+    )
+
+
+def cycle_colouring_problem(number_of_colours: int) -> CycleLCL:
+    """Proper vertex colouring of a directed cycle with the given palette."""
+    alphabet = tuple(range(1, number_of_colours + 1))
+
+    def proper(window: Window1D) -> bool:
+        return all(window[index] != window[index + 1] for index in range(len(window) - 1))
+
+    return CycleLCL(
+        name=f"cycle-{number_of_colours}-colouring",
+        alphabet=alphabet,
+        radius=1,
+        feasible_windows=_windows_satisfying(alphabet, 1, proper),
+    )
+
+
+def cycle_independent_set_problem() -> CycleLCL:
+    """Independent set on a cycle (no maximality): a trivial O(1) problem."""
+    alphabet = (0, 1)
+
+    def independent(window: Window1D) -> bool:
+        return all(not (window[index] == 1 and window[index + 1] == 1) for index in range(len(window) - 1))
+
+    return CycleLCL(
+        name="cycle-independent-set",
+        alphabet=alphabet,
+        radius=1,
+        feasible_windows=_windows_satisfying(alphabet, 1, independent),
+    )
+
+
+def cycle_maximal_independent_set_problem() -> CycleLCL:
+    """Maximal independent set on a cycle."""
+    alphabet = (0, 1)
+
+    def feasible(window: Window1D) -> bool:
+        previous, centre, following = window
+        if centre == 1:
+            return previous == 0 and following == 0
+        return previous == 1 or following == 1
+
+    return CycleLCL(
+        name="cycle-maximal-independent-set",
+        alphabet=alphabet,
+        radius=1,
+        feasible_windows=_windows_satisfying(alphabet, 1, feasible),
+    )
+
+
+def cycle_maximal_matching_problem() -> CycleLCL:
+    """Maximal matching on a directed cycle, encoded as a node labelling.
+
+    Each node outputs ``P`` ("matched with my predecessor"), ``S``
+    ("matched with my successor") or ``U`` ("unmatched").  Feasibility of a
+    window ``(a, b, c)`` requires local consistency of the matching claims
+    and maximality: an unmatched node must not have an unmatched neighbour.
+    """
+    alphabet = ("P", "S", "U")
+
+    def feasible(window: Window1D) -> bool:
+        previous, centre, following = window
+        # Consistency between the centre and its predecessor.
+        if centre == "P" and previous != "S":
+            return False
+        if previous == "S" and centre != "P":
+            return False
+        # Consistency between the centre and its successor.
+        if centre == "S" and following != "P":
+            return False
+        if following == "P" and centre != "S":
+            return False
+        # Maximality: two adjacent unmatched nodes could be matched.
+        if centre == "U" and (previous == "U" or following == "U"):
+            return False
+        return True
+
+    return CycleLCL(
+        name="cycle-maximal-matching",
+        alphabet=alphabet,
+        radius=1,
+        feasible_windows=_windows_satisfying(alphabet, 1, feasible),
+    )
+
+
+def cycle_consistent_orientation_problem() -> CycleLCL:
+    """An artificial global problem: all nodes must output the same label.
+
+    Over the alphabet {A, B} with the constraint that neighbours agree, the
+    output neighbourhood graph has two self-loops, so this is an ``O(1)``
+    problem — but restricted to *exactly one* feasible global value it would
+    not be an LCL at all.  Used in tests of the classifier.
+    """
+    alphabet = ("A", "B")
+
+    def feasible(window: Window1D) -> bool:
+        return len(set(window)) == 1
+
+    return CycleLCL(
+        name="cycle-agreement",
+        alphabet=alphabet,
+        radius=1,
+        feasible_windows=_windows_satisfying(alphabet, 1, feasible),
+    )

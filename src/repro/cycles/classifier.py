@@ -1,0 +1,72 @@
+"""Exact complexity classification of LCL problems on directed cycles.
+
+Claim 1 of the paper: the complexity of a cycle LCL problem ``P`` is
+
+* ``O(1)`` if some state of the output neighbourhood graph has a self-loop,
+* otherwise ``Θ(log* n)`` if some state is flexible,
+* otherwise ``Θ(n)``.
+
+Problems whose neighbourhood graph has no cycle at all have no feasible
+solution on long cycles; following the paper's convention such problems are
+also classified as global.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.complexity import ClassificationResult, ComplexityClass
+from repro.cycles.lcl1d import CycleLCL
+from repro.cycles.neighbourhood_graph import NeighbourhoodGraph, build_neighbourhood_graph
+
+
+def classify_cycle_problem(
+    problem: CycleLCL,
+    graph: Optional[NeighbourhoodGraph] = None,
+) -> ClassificationResult:
+    """Classify a cycle LCL problem exactly (everything is decidable here)."""
+    if graph is None:
+        graph = build_neighbourhood_graph(problem)
+
+    if graph.has_self_loop():
+        loops = graph.self_loop_states()
+        return ClassificationResult(
+            problem_name=problem.name,
+            complexity=ComplexityClass.CONSTANT,
+            exact=True,
+            evidence={
+                "reason": "constant labelling is feasible",
+                "self_loop_states": loops,
+            },
+        )
+
+    flexible = graph.flexible_states()
+    if flexible:
+        best_state = min(flexible, key=lambda state: (flexible[state], repr(state)))
+        return ClassificationResult(
+            problem_name=problem.name,
+            complexity=ComplexityClass.LOG_STAR,
+            exact=True,
+            evidence={
+                "reason": "flexible state exists",
+                "flexible_states": flexible,
+                "witness_state": best_state,
+                "witness_flexibility": flexible[best_state],
+            },
+        )
+
+    solvable = graph.has_cycle()
+    return ClassificationResult(
+        problem_name=problem.name,
+        complexity=ComplexityClass.GLOBAL,
+        exact=True,
+        evidence={
+            "reason": (
+                "no flexible state; spacing of neighbourhood occurrences needs "
+                "global coordination"
+                if solvable
+                else "no cycle in the neighbourhood graph; unsolvable on long cycles"
+            ),
+            "solvable_for_some_lengths": solvable,
+        },
+    )

@@ -1,0 +1,96 @@
+"""LCL problem specifications on directed cycles.
+
+A radius-``r`` LCL problem on a directed cycle is given by its finite output
+alphabet and the set of feasible windows of ``2r + 1`` consecutive output
+labels, read in the direction of the orientation.  A labelling of the cycle
+is feasible when every (cyclic) window of that length is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.errors import InvalidProblemError
+
+Label = object
+Window1D = Tuple[Label, ...]
+
+
+@dataclass(frozen=True)
+class CycleLCL:
+    """An LCL problem on directed cycles.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name.
+    alphabet:
+        The finite output alphabet.
+    radius:
+        The checkability radius ``r``; windows have length ``2r + 1``.
+    feasible_windows:
+        The set of feasible windows, each a tuple of ``2r + 1`` labels
+        listed in the direction of the cycle's orientation (predecessors
+        first, the centre node in the middle).
+    """
+
+    name: str
+    alphabet: Tuple[Label, ...]
+    radius: int
+    feasible_windows: FrozenSet[Window1D]
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise InvalidProblemError("the checkability radius must be at least 1")
+        expected = 2 * self.radius + 1
+        for window in self.feasible_windows:
+            if len(window) != expected:
+                raise InvalidProblemError(
+                    f"window {window!r} has length {len(window)}, expected {expected}"
+                )
+            for label in window:
+                if label not in self.alphabet:
+                    raise InvalidProblemError(
+                        f"window {window!r} uses label {label!r} outside the alphabet"
+                    )
+
+    @property
+    def window_length(self) -> int:
+        """Length of a feasible window, ``2r + 1``."""
+        return 2 * self.radius + 1
+
+    @property
+    def state_length(self) -> int:
+        """Length of a neighbourhood-graph state, ``2r``."""
+        return 2 * self.radius
+
+    def window_at(self, labels: Sequence[Label], position: int) -> Window1D:
+        """Return the cyclic window of the labelling centred at ``position``."""
+        length = len(labels)
+        return tuple(
+            labels[(position + offset) % length]
+            for offset in range(-self.radius, self.radius + 1)
+        )
+
+    def is_feasible_window(self, window: Window1D) -> bool:
+        """Return True if the window is one of the feasible windows."""
+        return tuple(window) in self.feasible_windows
+
+
+def verify_cycle_labelling(problem: CycleLCL, labels: Sequence[Label]) -> List[int]:
+    """Return the positions whose window violates the problem's constraints.
+
+    An empty list means the labelling is feasible.  The cycle must be at
+    least as long as a window so that the cyclic windows are well defined.
+    """
+    length = len(labels)
+    if length < problem.window_length:
+        raise InvalidProblemError(
+            f"cycle of length {length} is shorter than a window ({problem.window_length})"
+        )
+    violations = []
+    for position in range(length):
+        if not problem.is_feasible_window(problem.window_at(labels, position)):
+            violations.append(position)
+    return violations

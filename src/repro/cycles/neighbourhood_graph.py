@@ -1,0 +1,175 @@
+"""The output neighbourhood graph of a cycle LCL problem (Section 4).
+
+The nodes of the graph ``H`` are sequences of ``2r`` consecutive output
+labels; every feasible window ``u_1 ... u_{2r+1}`` contributes the directed
+edge ``(u_1 ... u_{2r},  u_2 ... u_{2r+1})``.  Walks in ``H`` correspond to
+feasible labellings: a closed walk of length exactly ``n`` is a feasible
+labelling of the ``n``-cycle.
+
+The complexity of the problem can be read off ``H`` (Claim 1): a self-loop
+gives ``O(1)``; a *flexible* state — one with closed walks of every
+sufficiently large length — gives ``Θ(log* n)``; otherwise the problem is
+global.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cycles.lcl1d import CycleLCL
+
+State = Tuple[object, ...]
+
+
+@dataclass
+class NeighbourhoodGraph:
+    """The output neighbourhood graph ``H`` of a cycle LCL problem."""
+
+    problem_name: str
+    states: Tuple[State, ...]
+    successors: Dict[State, Tuple[State, ...]] = field(default_factory=dict)
+
+    def has_self_loop(self) -> bool:
+        """Return True if some state has an edge to itself."""
+        return any(state in self.successors.get(state, ()) for state in self.states)
+
+    def self_loop_states(self) -> Tuple[State, ...]:
+        """Return all states carrying a self-loop."""
+        return tuple(
+            state for state in self.states if state in self.successors.get(state, ())
+        )
+
+    def closed_walk_lengths(self, state: State, max_length: int) -> Set[int]:
+        """Lengths ``1 .. max_length`` for which a closed walk at ``state`` exists.
+
+        Computed by a breadth-first layering: ``reachable[t]`` is the set of
+        states reachable from ``state`` in exactly ``t`` steps.
+        """
+        lengths: Set[int] = set()
+        current: Set[State] = {state}
+        for step in range(1, max_length + 1):
+            following: Set[State] = set()
+            for node in current:
+                following.update(self.successors.get(node, ()))
+            if state in following:
+                lengths.add(step)
+            current = following
+            if not current:
+                break
+        return lengths
+
+    def flexibility(self, state: State, safety_margin: int = 4) -> Optional[int]:
+        """Return the flexibility of ``state``, or None if it is not flexible.
+
+        A state is flexible when closed walks of every sufficiently large
+        length exist; the flexibility is the smallest ``k`` such that walks
+        of every length ``k' >= k`` exist.  Two coprime closed-walk lengths
+        ``a, b <= |V(H)|`` guarantee all lengths beyond the Frobenius bound
+        ``a·b``, so scanning lengths up to ``|V(H)|² + safety_margin·|V(H)|``
+        is sufficient to decide flexibility and to locate the exact value.
+        """
+        state_count = max(len(self.states), 2)
+        horizon = state_count * state_count + safety_margin * state_count
+        lengths = self.closed_walk_lengths(state, horizon)
+        if not lengths:
+            return None
+        overall_gcd = 0
+        for length in lengths:
+            overall_gcd = math.gcd(overall_gcd, length)
+        if overall_gcd != 1:
+            return None
+        # Find the last missing length below the horizon; everything above
+        # the scan window is guaranteed by the Frobenius bound.
+        last_missing = 0
+        for length in range(1, state_count * state_count + 1):
+            if length not in lengths:
+                last_missing = length
+        return last_missing + 1
+
+    def flexible_states(self) -> Dict[State, int]:
+        """Return all flexible states together with their flexibilities."""
+        result: Dict[State, int] = {}
+        for state in self.states:
+            value = self.flexibility(state)
+            if value is not None:
+                result[state] = value
+        return result
+
+    def has_cycle(self) -> bool:
+        """Return True if ``H`` contains any directed cycle.
+
+        Without a cycle the problem has no feasible labelling on long
+        cycles at all (any labelling of an ``n``-cycle is a closed walk of
+        length ``n``).
+        """
+        # Standard iterative DFS cycle detection with colours.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[State, int] = {state: WHITE for state in self.states}
+        for root in self.states:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[State, int]] = [(root, 0)]
+            colour[root] = GREY
+            while stack:
+                node, pointer = stack[-1]
+                successors = self.successors.get(node, ())
+                if pointer < len(successors):
+                    stack[-1] = (node, pointer + 1)
+                    target = successors[pointer]
+                    if colour[target] == GREY:
+                        return True
+                    if colour[target] == WHITE:
+                        colour[target] = GREY
+                        stack.append((target, 0))
+                else:
+                    colour[node] = BLACK
+                    stack.pop()
+        return False
+
+    def walk_of_length(self, state: State, length: int) -> Optional[List[State]]:
+        """Return a closed walk ``state -> ... -> state`` of exactly ``length`` steps.
+
+        The walk is returned as the list of ``length + 1`` visited states
+        (first and last are ``state``); None if no such walk exists.
+        """
+        if length < 1:
+            return None
+        # Dynamic programming over (remaining steps) with predecessor links.
+        reachable: List[Set[State]] = [set() for _ in range(length + 1)]
+        reachable[0] = {state}
+        for step in range(1, length + 1):
+            for node in reachable[step - 1]:
+                reachable[step].update(self.successors.get(node, ()))
+        if state not in reachable[length]:
+            return None
+        # Reconstruct backwards.
+        walk = [state]
+        current = state
+        for step in range(length, 0, -1):
+            for candidate in reachable[step - 1]:
+                if current in self.successors.get(candidate, ()):
+                    walk.append(candidate)
+                    current = candidate
+                    break
+        walk.reverse()
+        return walk
+
+
+def build_neighbourhood_graph(problem: CycleLCL) -> NeighbourhoodGraph:
+    """Construct the output neighbourhood graph of a cycle LCL problem."""
+    successors: Dict[State, Set[State]] = {}
+    states: Set[State] = set()
+    for window in problem.feasible_windows:
+        head: State = tuple(window[:-1])
+        tail: State = tuple(window[1:])
+        states.add(head)
+        states.add(tail)
+        successors.setdefault(head, set()).add(tail)
+    ordered_states = tuple(sorted(states, key=repr))
+    return NeighbourhoodGraph(
+        problem_name=problem.name,
+        states=ordered_states,
+        successors={state: tuple(sorted(targets, key=repr)) for state, targets in successors.items()},
+    )

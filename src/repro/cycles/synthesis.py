@@ -1,0 +1,158 @@
+"""Automated synthesis of optimal algorithms on directed cycles.
+
+For a cycle LCL problem with a flexible state ``u`` of flexibility ``k``,
+the proof of Claim 1 gives the optimal ``Θ(log* n)`` algorithm:
+
+1. compute a maximal independent set ``I`` of the ``k``-th power of the
+   cycle — consecutive members are then between ``k + 1`` and ``2k + 1``
+   hops apart,
+2. place the state ``u`` at every member of ``I``, and
+3. fill each gap of length ``i`` with a pre-computed closed walk of length
+   exactly ``i`` from ``u`` back to ``u`` in the neighbourhood graph.
+
+The synthesis object pre-computes the state, the flexibility and the gap
+walks; running it on a concrete cycle only needs the ruling set (the
+``Θ(log* n)`` part) plus constant-time filling.
+
+For global (but solvable) problems :func:`solve_globally_on_cycle` finds a
+feasible labelling by dynamic programming over closed walks of length
+exactly ``n`` — the brute-force ``Θ(n)`` algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.complexity import ComplexityClass
+from repro.cycles.classifier import classify_cycle_problem
+from repro.cycles.lcl1d import CycleLCL
+from repro.cycles.neighbourhood_graph import NeighbourhoodGraph, build_neighbourhood_graph
+from repro.errors import SynthesisError, UnsolvableInstanceError
+from repro.symmetry.mis import compute_mis
+
+State = Tuple[object, ...]
+
+
+@dataclass
+class CycleAlgorithmSynthesis:
+    """A synthesised optimal algorithm for a ``Θ(log* n)`` cycle problem.
+
+    Attributes
+    ----------
+    problem:
+        The problem being solved.
+    anchor_state:
+        The flexible state placed at the ruling-set nodes.
+    spacing:
+        The power of the cycle in which the ruling set is computed; equals
+        the flexibility of ``anchor_state``.
+    gap_walks:
+        For every possible gap length ``i`` (``spacing + 1 .. 2·spacing + 1``)
+        a closed walk of that length from ``anchor_state`` to itself.
+    """
+
+    problem: CycleLCL
+    anchor_state: State
+    spacing: int
+    gap_walks: Dict[int, List[State]] = field(default_factory=dict)
+
+    def run(self, identifiers: Sequence[int]) -> Tuple[List[object], int]:
+        """Solve the problem on the cycle described by its identifier sequence.
+
+        Returns the list of output labels (indexed by position along the
+        cycle) and the number of rounds charged: the ruling-set computation
+        plus a constant number of filling rounds.
+        """
+        length = len(identifiers)
+        if length < 2 * self.spacing + 2:
+            raise UnsolvableInstanceError(
+                f"cycle of length {length} is too short for spacing {self.spacing}; "
+                "solve such constant-size instances by brute force"
+            )
+
+        # Maximal independent set of the spacing-th power of the cycle.
+        adjacency: Dict[int, List[int]] = {}
+        for position in range(length):
+            neighbours = []
+            for delta in range(1, self.spacing + 1):
+                neighbours.append((position + delta) % length)
+                neighbours.append((position - delta) % length)
+            adjacency[position] = sorted(set(neighbours) - {position})
+        initial = {position: identifiers[position] for position in range(length)}
+        ruling = compute_mis(adjacency, initial, max_degree=2 * self.spacing)
+        anchors = sorted(ruling.members)
+        if not anchors:
+            raise SynthesisError("ruling set computation returned no anchors")
+
+        labels: List[Optional[object]] = [None] * length
+        for index, anchor in enumerate(anchors):
+            following = anchors[(index + 1) % len(anchors)]
+            gap = (following - anchor) % length
+            walk = self.gap_walks.get(gap)
+            if walk is None:
+                raise SynthesisError(
+                    f"no pre-computed walk for gap length {gap}; "
+                    f"available: {sorted(self.gap_walks)}"
+                )
+            for offset in range(gap):
+                labels[(anchor + offset) % length] = walk[offset][0]
+
+        if any(label is None for label in labels):
+            raise SynthesisError("gap filling left some positions unlabelled")
+        # Rounds: the ruling set on the spacing-th power (simulated on the
+        # cycle with a factor-`spacing` overhead) plus the constant filling.
+        rounds = ruling.rounds * self.spacing + (2 * self.spacing + 1)
+        return [label for label in labels], rounds
+
+
+def synthesise_cycle_algorithm(problem: CycleLCL) -> CycleAlgorithmSynthesis:
+    """Synthesise the optimal algorithm for a ``Θ(log* n)`` cycle problem.
+
+    Raises :class:`repro.errors.SynthesisError` if the problem is not in the
+    ``Θ(log* n)`` class (constant problems do not need this machinery and
+    global problems have no such algorithm).
+    """
+    graph = build_neighbourhood_graph(problem)
+    classification = classify_cycle_problem(problem, graph)
+    if classification.complexity is not ComplexityClass.LOG_STAR:
+        raise SynthesisError(
+            f"problem {problem.name!r} has complexity {classification.complexity.value}; "
+            "the normal-form synthesis applies only to Θ(log* n) problems"
+        )
+    anchor_state: State = classification.evidence["witness_state"]
+    spacing: int = classification.evidence["witness_flexibility"]
+
+    gap_walks: Dict[int, List[State]] = {}
+    for gap in range(spacing + 1, 2 * spacing + 2):
+        walk = graph.walk_of_length(anchor_state, gap)
+        if walk is None:
+            raise SynthesisError(
+                f"state {anchor_state!r} has flexibility {spacing} but no walk of length {gap}"
+            )
+        gap_walks[gap] = walk
+    return CycleAlgorithmSynthesis(
+        problem=problem,
+        anchor_state=anchor_state,
+        spacing=spacing,
+        gap_walks=gap_walks,
+    )
+
+
+def solve_globally_on_cycle(problem: CycleLCL, length: int) -> List[object]:
+    """Find a feasible labelling of the ``length``-cycle by brute force.
+
+    This is the ``Θ(n)`` algorithm available to every solvable LCL problem:
+    gather the whole instance and compute any feasible output — here a
+    closed walk of length exactly ``length`` in the neighbourhood graph.
+    Raises :class:`repro.errors.UnsolvableInstanceError` when no feasible
+    labelling exists (for example 2-colouring an odd cycle).
+    """
+    graph = build_neighbourhood_graph(problem)
+    for state in graph.states:
+        walk = graph.walk_of_length(state, length)
+        if walk is not None:
+            return [walk[offset][0] for offset in range(length)]
+    raise UnsolvableInstanceError(
+        f"problem {problem.name!r} has no feasible labelling on a cycle of length {length}"
+    )

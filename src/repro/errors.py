@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidGridError(ReproError):
+    """Raised when a grid is constructed with invalid parameters.
+
+    Examples include non-positive side lengths, a dimension of zero, or a
+    side length that is too small for the toroidal wrap-around to produce a
+    simple graph (``n >= 3`` is required so that a node has four distinct
+    neighbours in two dimensions).
+    """
+
+
+class InvalidLabellingError(ReproError):
+    """Raised when a candidate labelling does not cover the node/edge set."""
+
+
+class InvalidProblemError(ReproError):
+    """Raised when an LCL problem specification is malformed."""
+
+
+class SimulationError(ReproError):
+    """Raised when a LOCAL-model simulation violates its own contract.
+
+    A typical example is an algorithm that reads information outside of the
+    radius it declared, or a node program that never terminates within the
+    round budget given to the simulator.
+    """
+
+
+class LocalityViolationError(SimulationError):
+    """Raised when an algorithm accesses data beyond its declared radius."""
+
+
+class SynthesisError(ReproError):
+    """Raised when algorithm synthesis fails in an unexpected way.
+
+    Note that *unsatisfiability* of a synthesis instance is not an error: it
+    is reported through the return value (the paper shows that for global
+    problems the synthesis loop never succeeds).  This exception is reserved
+    for malformed inputs and internal inconsistencies.
+    """
+
+
+class UnsolvableInstanceError(ReproError):
+    """Raised when a problem instance provably has no feasible solution.
+
+    For example, 2-colouring a toroidal grid with odd side length, or
+    edge ``2d``-colouring a ``d``-dimensional grid with odd side length
+    (Theorem 21 of the paper).
+    """
+
+
+class ClassificationError(ReproError):
+    """Raised when a classification routine is asked an undecidable question.
+
+    The paper proves (Theorem 3) that distinguishing ``Θ(log* n)`` from
+    ``Θ(n)`` on two-dimensional grids is undecidable; routines that would
+    need such an oracle raise this error instead of silently looping.
+    """

@@ -1,0 +1,44 @@
+"""Toroidal grid substrate.
+
+This package implements the graph family the paper studies: ``d``-dimensional
+toroidal grids with a globally consistent orientation (each node knows which
+incident edge increases which coordinate).  It also provides the geometric
+helpers (L1 / L-infinity norms, balls, graph powers) used by the
+symmetry-breaking and speed-up machinery.
+"""
+
+from repro.grid.torus import Direction, ToroidalGrid, edge_key, edge_endpoints
+from repro.grid.geometry import (
+    ball_offsets,
+    l1_norm,
+    linf_norm,
+    offsets_within,
+)
+from repro.grid.power import PowerGraph, power_neighbours
+from repro.grid.subgrid import Window, extract_window, render_pattern
+from repro.grid.identifiers import (
+    IdentifierAssignment,
+    adversarial_identifiers,
+    random_identifiers,
+    row_major_identifiers,
+)
+
+__all__ = [
+    "Direction",
+    "IdentifierAssignment",
+    "PowerGraph",
+    "ToroidalGrid",
+    "Window",
+    "adversarial_identifiers",
+    "ball_offsets",
+    "edge_endpoints",
+    "edge_key",
+    "extract_window",
+    "l1_norm",
+    "linf_norm",
+    "offsets_within",
+    "power_neighbours",
+    "random_identifiers",
+    "render_pattern",
+    "row_major_identifiers",
+]

@@ -1,0 +1,101 @@
+"""Geometric helpers for toroidal grids: norms, offsets and balls.
+
+The paper (Section 8) works with two notions of distance on the grid:
+
+* the L1 (graph) distance ``‖v‖ = Σ_i ‖v_i‖``, which equals the hop distance
+  along grid edges, and
+* the L-infinity distance ``‖v‖_∞ = max_i ‖v_i‖``, which is used for the
+  "hypercube" balls ``B_∞(u, r)`` and the power graph ``G^[k]``.
+
+Offsets here are *relative* displacement vectors (integers, possibly
+negative); converting them to absolute toroidal coordinates is the grid's
+job (:mod:`repro.grid.torus`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Iterator, Sequence, Tuple
+
+Offset = Tuple[int, ...]
+
+
+def l1_norm(offset: Sequence[int]) -> int:
+    """Return the L1 norm of a displacement vector."""
+    return sum(abs(component) for component in offset)
+
+
+def linf_norm(offset: Sequence[int]) -> int:
+    """Return the L-infinity norm of a displacement vector."""
+    if not offset:
+        return 0
+    return max(abs(component) for component in offset)
+
+
+@lru_cache(maxsize=None)
+def ball_offsets(dimension: int, radius: int, norm: str = "l1") -> Tuple[Offset, ...]:
+    """Return all displacement vectors within ``radius`` of the origin.
+
+    Parameters
+    ----------
+    dimension:
+        Number of coordinates of the grid.
+    radius:
+        Maximum norm of the returned offsets (inclusive).
+    norm:
+        Either ``"l1"`` (graph distance balls) or ``"linf"``
+        (hypercube balls ``B_∞``).
+
+    The origin itself is included.  Results are cached because the same
+    ball shapes are queried very frequently by the MIS and Voronoi code.
+    """
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if norm not in ("l1", "linf"):
+        raise ValueError(f"unknown norm {norm!r}; expected 'l1' or 'linf'")
+
+    measure = l1_norm if norm == "l1" else linf_norm
+    result = []
+    for offset in itertools.product(range(-radius, radius + 1), repeat=dimension):
+        if measure(offset) <= radius:
+            result.append(offset)
+    return tuple(result)
+
+
+def offsets_within(dimension: int, radius: int, norm: str = "l1") -> Iterator[Offset]:
+    """Iterate over non-zero displacement vectors within ``radius``.
+
+    Equivalent to :func:`ball_offsets` with the origin removed; this is the
+    neighbourhood of a node in the power graph ``G^(k)`` (L1) or ``G^[k]``
+    (L-infinity).
+    """
+    origin = (0,) * dimension
+    for offset in ball_offsets(dimension, radius, norm):
+        if offset != origin:
+            yield offset
+
+
+def ball_size(dimension: int, radius: int, norm: str = "l1") -> int:
+    """Return the number of nodes in a radius-``radius`` ball (origin included)."""
+    return len(ball_offsets(dimension, radius, norm))
+
+
+def power_degree_bound(dimension: int, radius: int, norm: str = "l1") -> int:
+    """Return the maximum degree of the power graph ``G^(k)`` / ``G^[k]``.
+
+    For the L-infinity norm this is the paper's bound ``(2k+1)^d - 1``.
+    """
+    return ball_size(dimension, radius, norm) - 1
+
+
+def add_offsets(a: Sequence[int], b: Sequence[int]) -> Offset:
+    """Component-wise sum of two displacement vectors."""
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def negate_offset(offset: Sequence[int]) -> Offset:
+    """Return the component-wise negation of a displacement vector."""
+    return tuple(-component for component in offset)

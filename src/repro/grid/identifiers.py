@@ -1,0 +1,124 @@
+"""Unique identifier assignments for LOCAL-model simulations.
+
+In the LOCAL model every node carries a unique identifier from
+``{1, ..., poly(n)}``.  Deterministic algorithms may depend on the
+identifiers in arbitrary ways, so the library provides several assignment
+schemes: the "natural" row-major numbering, uniformly random permutations
+(seeded, for reproducibility), and an adversarial-looking scheme that mixes
+bit-reversal with an affine shuffle — useful when probing whether an
+algorithm accidentally relies on identifier structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.grid.torus import Node, ToroidalGrid
+
+
+@dataclass(frozen=True)
+class IdentifierAssignment:
+    """An injective map from nodes to positive integer identifiers."""
+
+    mapping: Dict[Node, int] = field(default_factory=dict)
+
+    def identifier(self, node: Node) -> int:
+        """Return the identifier of ``node``."""
+        return self.mapping[node]
+
+    def __getitem__(self, node: Node) -> int:
+        return self.mapping[node]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.mapping
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def items(self) -> Iterable[Tuple[Node, int]]:
+        """Iterate over ``(node, identifier)`` pairs."""
+        return self.mapping.items()
+
+    def max_identifier(self) -> int:
+        """Return the largest identifier in use."""
+        return max(self.mapping.values())
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the assignment is not injective/positive."""
+        values = list(self.mapping.values())
+        if len(set(values)) != len(values):
+            raise ValueError("identifier assignment is not injective")
+        if any(value <= 0 for value in values):
+            raise ValueError("identifiers must be positive integers")
+
+    def relabel(self, permutation: Dict[int, int]) -> "IdentifierAssignment":
+        """Return a new assignment with identifiers mapped through ``permutation``."""
+        return IdentifierAssignment(
+            {node: permutation[value] for node, value in self.mapping.items()}
+        )
+
+
+def _ordered_nodes(grid: ToroidalGrid) -> List[Node]:
+    return list(grid.nodes())
+
+
+def row_major_identifiers(grid: ToroidalGrid, start: int = 1) -> IdentifierAssignment:
+    """Assign identifiers ``start, start+1, ...`` in row-major node order."""
+    return IdentifierAssignment(
+        {node: start + index for index, node in enumerate(_ordered_nodes(grid))}
+    )
+
+
+def random_identifiers(
+    grid: ToroidalGrid, seed: int = 0, id_space_factor: int = 4
+) -> IdentifierAssignment:
+    """Assign a random injective labelling from ``{1, ..., factor * N}``.
+
+    Using an identifier space larger than the node count (``factor >= 1``)
+    exercises algorithms that must not assume the identifiers are a
+    contiguous range.
+    """
+    if id_space_factor < 1:
+        raise ValueError("id_space_factor must be at least 1")
+    nodes = _ordered_nodes(grid)
+    rng = random.Random(seed)
+    universe = rng.sample(range(1, id_space_factor * len(nodes) + 1), len(nodes))
+    return IdentifierAssignment(dict(zip(nodes, universe)))
+
+
+def adversarial_identifiers(grid: ToroidalGrid) -> IdentifierAssignment:
+    """Assign identifiers via a bit-reversal/affine shuffle of the node index.
+
+    The scheme is deterministic but deliberately destroys the spatial
+    locality of the row-major order, so that neighbouring nodes receive very
+    different identifiers.  It is useful as a structured "worst case" in
+    tests of symmetry-breaking algorithms.
+    """
+    nodes = _ordered_nodes(grid)
+    count = len(nodes)
+    bits = max(1, (count - 1).bit_length())
+
+    def shuffle(index: int) -> int:
+        reversed_bits = int(format(index, f"0{bits}b")[::-1], 2)
+        return (reversed_bits * 2654435761 + index) % (1 << 31)
+
+    scored = sorted(range(count), key=shuffle)
+    mapping = {}
+    for rank, original_index in enumerate(scored):
+        mapping[nodes[original_index]] = rank + 1
+    return IdentifierAssignment(mapping)
+
+
+def cycle_identifiers(length: int, seed: int = 0, id_space_factor: int = 4) -> List[int]:
+    """Random unique identifiers for a directed cycle of ``length`` nodes.
+
+    Returned as a list indexed by position along the cycle; used by the
+    one-dimensional (Section 4) machinery and the q-sum coordination
+    experiments.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    rng = random.Random(seed)
+    return rng.sample(range(1, id_space_factor * length + 1), length)

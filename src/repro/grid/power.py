@@ -1,0 +1,116 @@
+"""Graph powers of toroidal grids.
+
+The paper uses two flavours of graph power:
+
+* ``G^(k)`` — the usual k-th power with respect to graph (L1) distance; the
+  anchors of the normal form ``A' ∘ S_k`` are a maximal independent set in
+  ``G^(k)``.
+* ``G^[k]`` — the k-th power with respect to the L-infinity distance
+  (Definition 5); the 4-colouring and edge-colouring algorithms of
+  Sections 8 and 10 use this variant because its balls are hypercubes.
+
+A :class:`PowerGraph` is a light-weight adjacency view over a grid: it does
+not materialise the edge set unless asked to, because for moderate ``k`` the
+number of power edges grows quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.grid.geometry import offsets_within, power_degree_bound
+from repro.grid.torus import Node, ToroidalGrid
+
+
+def power_neighbours(grid: ToroidalGrid, node: Node, k: int, norm: str = "l1") -> List[Node]:
+    """Return the neighbours of ``node`` in the k-th power of ``grid``.
+
+    Nodes at distance between 1 and ``k`` (in the requested norm) from
+    ``node``; duplicates caused by wrap-around on small tori are removed.
+    """
+    seen = {node}
+    result = []
+    for offset in offsets_within(grid.dimension, k, norm):
+        target = grid.shift(node, offset)
+        if target not in seen:
+            seen.add(target)
+            result.append(target)
+    return result
+
+
+class PowerGraph:
+    """Adjacency view of ``G^(k)`` (L1) or ``G^[k]`` (L-infinity).
+
+    Parameters
+    ----------
+    grid:
+        The underlying toroidal grid.
+    k:
+        The power; ``k = 1`` gives the grid itself (for the L1 norm).
+    norm:
+        ``"l1"`` for ``G^(k)`` or ``"linf"`` for ``G^[k]``.
+    """
+
+    def __init__(self, grid: ToroidalGrid, k: int, norm: str = "l1"):
+        if k < 1:
+            raise ValueError("power k must be at least 1")
+        if norm not in ("l1", "linf"):
+            raise ValueError(f"unknown norm {norm!r}")
+        self.grid = grid
+        self.k = k
+        self.norm = norm
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes (same as the underlying grid)."""
+        return self.grid.node_count
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the nodes of the power graph."""
+        return self.grid.nodes()
+
+    def neighbours(self, node: Node) -> List[Node]:
+        """Return the power-graph neighbours of ``node``."""
+        return power_neighbours(self.grid, node, self.k, self.norm)
+
+    def are_adjacent(self, u: Node, v: Node) -> bool:
+        """Return True if ``u`` and ``v`` are within distance ``k`` (and distinct)."""
+        if u == v:
+            return False
+        if self.norm == "l1":
+            return self.grid.l1_distance(u, v) <= self.k
+        return self.grid.linf_distance(u, v) <= self.k
+
+    def max_degree(self) -> int:
+        """Upper bound on the degree: the size of a radius-k ball minus one.
+
+        On small tori where balls wrap around, the true degree can be lower;
+        the bound is what the paper's running-time analyses use.
+        """
+        return power_degree_bound(self.grid.dimension, self.k, self.norm)
+
+    def adjacency(self) -> Dict[Node, List[Node]]:
+        """Materialise the adjacency lists of the power graph."""
+        return {node: self.neighbours(node) for node in self.nodes()}
+
+    def simulation_overhead(self) -> int:
+        """Rounds of the base grid needed to simulate one power-graph round.
+
+        One communication round on ``G^(k)`` (L1) costs ``k`` rounds on the
+        grid; one round on ``G^[k]`` (L-infinity) costs ``k * d`` rounds,
+        because ``‖·‖_1 ≤ d · ‖·‖_∞`` (cf. the proof of Theorem 4).
+        """
+        if self.norm == "l1":
+            return self.k
+        return self.k * self.grid.dimension
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate over each power edge once (endpoints in canonical order)."""
+        for node in self.nodes():
+            for neighbour in self.neighbours(node):
+                if node < neighbour:
+                    yield (node, neighbour)
+
+    def __repr__(self) -> str:
+        flavour = "G^({})".format(self.k) if self.norm == "l1" else "G^[{}]".format(self.k)
+        return f"PowerGraph({flavour} of {self.grid!r})"

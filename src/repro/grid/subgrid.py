@@ -1,0 +1,158 @@
+"""Rectangular windows of two-dimensional grids.
+
+Windows ("tiles" in the paper's Section 7 and Appendix A.1) are small
+``width x height`` rectangles whose cells carry values — typically the
+anchor indicator bits of a maximal independent set.  The synthesis engine
+enumerates which window contents can occur, and the runtime lookup
+algorithms extract the window around each node and consult a table.
+
+A window's contents are stored as a tuple of columns, each column being a
+tuple of cell values ordered by increasing ``y``; the whole structure is
+hashable so windows can be used directly as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.grid.torus import Node, ToroidalGrid
+
+Pattern = Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A ``width x height`` pattern of cell values.
+
+    ``cells[x][y]`` is the value at horizontal offset ``x`` (eastwards) and
+    vertical offset ``y`` (northwards) from the window's south-west corner.
+    """
+
+    cells: Pattern
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return len(self.cells)
+
+    @property
+    def height(self) -> int:
+        """Number of rows."""
+        return len(self.cells[0]) if self.cells else 0
+
+    def value(self, x: int, y: int) -> int:
+        """Return the value stored at offset ``(x, y)``."""
+        return self.cells[x][y]
+
+    def column(self, x: int) -> Tuple[int, ...]:
+        """Return column ``x`` (a tuple of ``height`` values)."""
+        return self.cells[x]
+
+    def subwindow(self, x0: int, y0: int, width: int, height: int) -> "Window":
+        """Return the sub-window with south-west corner ``(x0, y0)``."""
+        if x0 < 0 or y0 < 0 or x0 + width > self.width or y0 + height > self.height:
+            raise ValueError("sub-window does not fit inside the window")
+        return Window(
+            tuple(
+                tuple(self.cells[x][y0:y0 + height])
+                for x in range(x0, x0 + width)
+            )
+        )
+
+    def west_part(self) -> "Window":
+        """Drop the easternmost column (used for horizontal tile edges)."""
+        return Window(self.cells[:-1])
+
+    def east_part(self) -> "Window":
+        """Drop the westernmost column."""
+        return Window(self.cells[1:])
+
+    def south_part(self) -> "Window":
+        """Drop the northernmost row (used for vertical tile edges)."""
+        return Window(tuple(column[:-1] for column in self.cells))
+
+    def north_part(self) -> "Window":
+        """Drop the southernmost row."""
+        return Window(tuple(column[1:] for column in self.cells))
+
+    def count(self, value: int) -> int:
+        """Return how many cells carry ``value``."""
+        return sum(column.count(value) for column in self.cells)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return render_pattern(self.cells)
+
+    @classmethod
+    def from_rows(cls, rows: Tuple[Tuple[int, ...], ...]) -> "Window":
+        """Build a window from rows listed north-to-south (as printed).
+
+        This matches the visual layout used in the paper's Section 7 tile
+        listing, where the topmost printed row has the largest ``y``.
+        """
+        height = len(rows)
+        width = len(rows[0]) if rows else 0
+        cells = tuple(
+            tuple(rows[height - 1 - y][x] for y in range(height))
+            for x in range(width)
+        )
+        return cls(cells)
+
+
+def extract_window(
+    grid: ToroidalGrid,
+    values: Dict[Node, int],
+    south_west: Node,
+    width: int,
+    height: int,
+) -> Window:
+    """Extract a window of node values from a two-dimensional toroidal grid.
+
+    ``south_west`` is the node occupying the window's ``(0, 0)`` offset;
+    the window extends eastwards and northwards with wrap-around.
+    """
+    if grid.dimension != 2:
+        raise ValueError("windows are only defined for two-dimensional grids")
+    columns = []
+    for x in range(width):
+        column = []
+        for y in range(height):
+            node = grid.shift(south_west, (x, y))
+            column.append(values[node])
+        columns.append(tuple(column))
+    return Window(tuple(columns))
+
+
+def window_around(
+    grid: ToroidalGrid,
+    values: Dict[Node, int],
+    centre: Node,
+    width: int,
+    height: int,
+) -> Window:
+    """Extract the window whose designated centre cell sits on ``centre``.
+
+    The centre cell is at offset ``(width // 2, height // 2)``; this is the
+    fixed reference position used by lookup-table algorithms.
+    """
+    south_west = grid.shift(centre, (-(width // 2), -(height // 2)))
+    return extract_window(grid, values, south_west, width, height)
+
+
+def build_window(width: int, height: int, fill: Callable[[int, int], int]) -> Window:
+    """Construct a window by evaluating ``fill(x, y)`` for every cell."""
+    return Window(
+        tuple(tuple(fill(x, y) for y in range(height)) for x in range(width))
+    )
+
+
+def render_pattern(cells: Pattern) -> str:
+    """Render a pattern with north at the top, matching the paper's figures."""
+    if not cells:
+        return "(empty)"
+    width = len(cells)
+    height = len(cells[0])
+    lines = []
+    for y in reversed(range(height)):
+        lines.append("".join(str(cells[x][y]) for x in range(width)))
+    return "\n".join(lines)

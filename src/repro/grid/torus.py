@@ -1,0 +1,377 @@
+"""Toroidal, consistently oriented ``d``-dimensional grid graphs.
+
+This module implements the input graphs of the paper: the node set is
+``[n_1] x ... x [n_d]``, two nodes are adjacent when they differ by one in
+exactly one coordinate (modulo the side length), and every edge carries a
+consistent orientation towards the larger coordinate.  Each node knows, for
+every incident edge, which axis it belongs to and whether it points in the
+positive ("north"/"east") or negative direction — but nodes do *not* know
+their absolute coordinates.
+
+The library uses coordinate tuples directly as node objects.  This keeps the
+simulator honest: algorithms are only ever handed *relative* information
+(views, displacements, identifiers), never the coordinates themselves.
+
+Edges are identified by the pair ``(node, axis)``, denoting the edge from
+``node`` to its positive-direction neighbour along ``axis``.  This gives each
+edge exactly one canonical key, which is convenient for edge labellings
+(edge colourings, orientations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidGridError
+from repro.grid.geometry import ball_offsets
+from repro.utils.math import toroidal_difference, toroidal_distance
+
+Node = Tuple[int, ...]
+EdgeKey = Tuple[Node, int]
+
+
+@dataclass(frozen=True, order=True)
+class Direction:
+    """An oriented axis direction, e.g. "east" = axis 0, step +1.
+
+    Attributes
+    ----------
+    axis:
+        Index of the coordinate that changes when moving in this direction.
+    step:
+        Either ``+1`` (towards larger coordinates) or ``-1``.
+    """
+
+    axis: int
+    step: int
+
+    def opposite(self) -> "Direction":
+        """Return the direction pointing the other way along the same axis."""
+        return Direction(self.axis, -self.step)
+
+    @property
+    def name(self) -> str:
+        """Human-readable name; uses compass names in two dimensions."""
+        compass = {(0, 1): "east", (0, -1): "west", (1, 1): "north", (1, -1): "south"}
+        if (self.axis, self.step) in compass:
+            return compass[(self.axis, self.step)]
+        sign = "+" if self.step > 0 else "-"
+        return f"axis{self.axis}{sign}"
+
+
+# Convenient two-dimensional constants (axis 0 = x = east/west, axis 1 = y).
+EAST = Direction(0, 1)
+WEST = Direction(0, -1)
+NORTH = Direction(1, 1)
+SOUTH = Direction(1, -1)
+
+
+def edge_key(node: Node, axis: int) -> EdgeKey:
+    """Return the canonical key of the edge leaving ``node`` along ``+axis``."""
+    return (node, axis)
+
+
+def edge_endpoints(grid: "ToroidalGrid", edge: EdgeKey) -> Tuple[Node, Node]:
+    """Return the two endpoints ``(tail, head)`` of an edge key.
+
+    The orientation is the grid's consistent orientation: the head is the
+    endpoint with the larger coordinate along the edge's axis.
+    """
+    node, axis = edge
+    return node, grid.step(node, Direction(axis, 1))
+
+
+class ToroidalGrid:
+    """A ``d``-dimensional toroidal grid with a consistent orientation."""
+
+    def __init__(self, sides: Sequence[int]):
+        sides = tuple(int(side) for side in sides)
+        if not sides:
+            raise InvalidGridError("a grid needs at least one dimension")
+        if any(side < 3 for side in sides):
+            raise InvalidGridError(
+                f"all side lengths must be at least 3 to obtain a simple graph, got {sides}"
+            )
+        self._sides = sides
+        self._dimension = len(sides)
+        self._directions = tuple(
+            Direction(axis, step)
+            for axis in range(self._dimension)
+            for step in (1, -1)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def square(cls, n: int, dimension: int = 2) -> "ToroidalGrid":
+        """Build the ``n x n x ... x n`` torus with the given dimension."""
+        if dimension <= 0:
+            raise InvalidGridError("dimension must be positive")
+        return cls((n,) * dimension)
+
+    @property
+    def sides(self) -> Tuple[int, ...]:
+        """Side length of the torus along each axis."""
+        return self._sides
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates (``d`` in the paper)."""
+        return self._dimension
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes, ``n_1 * ... * n_d``."""
+        count = 1
+        for side in self._sides:
+            count *= side
+        return count
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of edges, ``d * node_count`` on a torus."""
+        return self._dimension * self.node_count
+
+    @property
+    def degree(self) -> int:
+        """Degree of every node (``2d`` on a torus with all sides >= 3)."""
+        return 2 * self._dimension
+
+    def directions(self) -> Tuple[Direction, ...]:
+        """All ``2d`` oriented directions, positive direction first per axis."""
+        return self._directions
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes in row-major order."""
+        return itertools.product(*(range(side) for side in self._sides))
+
+    def contains(self, node: Node) -> bool:
+        """Return True if ``node`` is a valid coordinate tuple of this grid."""
+        if len(node) != self._dimension:
+            return False
+        return all(0 <= coordinate < side for coordinate, side in zip(node, self._sides))
+
+    # ------------------------------------------------------------------ #
+    # Movement and adjacency
+    # ------------------------------------------------------------------ #
+
+    def wrap(self, coordinates: Sequence[int]) -> Node:
+        """Reduce arbitrary integer coordinates modulo the side lengths."""
+        return tuple(coordinate % side for coordinate, side in zip(coordinates, self._sides))
+
+    def shift(self, node: Node, offset: Sequence[int]) -> Node:
+        """Return the node reached from ``node`` by the displacement ``offset``."""
+        return tuple(
+            (coordinate + delta) % side
+            for coordinate, delta, side in zip(node, offset, self._sides)
+        )
+
+    def step(self, node: Node, direction: Direction) -> Node:
+        """Return the neighbour of ``node`` in the given direction."""
+        coordinates = list(node)
+        axis = direction.axis
+        coordinates[axis] = (coordinates[axis] + direction.step) % self._sides[axis]
+        return tuple(coordinates)
+
+    def neighbours(self, node: Node) -> List[Tuple[Direction, Node]]:
+        """Return the ``2d`` neighbours of ``node`` together with directions."""
+        return [(direction, self.step(node, direction)) for direction in self._directions]
+
+    def neighbour_nodes(self, node: Node) -> List[Node]:
+        """Return the ``2d`` neighbours of ``node`` (nodes only)."""
+        return [self.step(node, direction) for direction in self._directions]
+
+    def are_adjacent(self, u: Node, v: Node) -> bool:
+        """Return True if ``u`` and ``v`` share a grid edge."""
+        return self.l1_distance(u, v) == 1
+
+    # ------------------------------------------------------------------ #
+    # Distances and balls
+    # ------------------------------------------------------------------ #
+
+    def displacement(self, u: Node, v: Node) -> Tuple[int, ...]:
+        """Return the minimal signed displacement taking ``v`` to ``u``.
+
+        Each component lies in ``(-n_i/2, n_i/2]``.  Two adjacent nodes can
+        compute this about each other without coordinates; the library uses
+        it to implement relative (Voronoi) coordinates.
+        """
+        return tuple(
+            toroidal_difference(a, b, side)
+            for a, b, side in zip(u, v, self._sides)
+        )
+
+    def l1_distance(self, u: Node, v: Node) -> int:
+        """Graph (hop) distance between ``u`` and ``v``."""
+        return sum(
+            toroidal_distance(a, b, side)
+            for a, b, side in zip(u, v, self._sides)
+        )
+
+    def linf_distance(self, u: Node, v: Node) -> int:
+        """L-infinity distance between ``u`` and ``v`` (used by ``G^[k]``)."""
+        return max(
+            toroidal_distance(a, b, side)
+            for a, b, side in zip(u, v, self._sides)
+        )
+
+    def ball(self, node: Node, radius: int, norm: str = "l1") -> List[Node]:
+        """Return all nodes within ``radius`` of ``node`` in the given norm.
+
+        Note that on a small torus distinct offsets may wrap onto the same
+        node; duplicates are removed.
+        """
+        seen = set()
+        result = []
+        for offset in ball_offsets(self._dimension, radius, norm):
+            target = self.shift(node, offset)
+            if target not in seen:
+                seen.add(target)
+                result.append(target)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Edges and rows
+    # ------------------------------------------------------------------ #
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate over all edges using their canonical ``(node, axis)`` keys."""
+        for node in self.nodes():
+            for axis in range(self._dimension):
+                yield (node, axis)
+
+    def incident_edges(self, node: Node) -> List[EdgeKey]:
+        """Return the ``2d`` edges incident to ``node``.
+
+        For each axis this is the outgoing edge ``(node, axis)`` and the
+        incoming edge ``(negative neighbour, axis)``.
+        """
+        edges = []
+        for axis in range(self._dimension):
+            edges.append((node, axis))
+            edges.append((self.step(node, Direction(axis, -1)), axis))
+        return edges
+
+    def edge_between(self, u: Node, v: Node) -> EdgeKey:
+        """Return the canonical key of the edge joining adjacent nodes ``u, v``."""
+        if not self.are_adjacent(u, v):
+            raise InvalidGridError(f"nodes {u} and {v} are not adjacent")
+        displacement = self.displacement(v, u)
+        axis = next(i for i, delta in enumerate(displacement) if delta != 0)
+        if displacement[axis] == 1:
+            return (u, axis)
+        return (v, axis)
+
+    def rows(self, axis: int) -> Iterator[List[Node]]:
+        """Iterate over the rows of the grid along ``axis``.
+
+        A row is the cyclic sequence of nodes obtained by fixing every other
+        coordinate and letting the ``axis`` coordinate run from 0 to
+        ``n_axis - 1``.  Rows are the "q-directional rows" of Section 10.
+        """
+        if not 0 <= axis < self._dimension:
+            raise InvalidGridError(f"axis {axis} out of range for dimension {self._dimension}")
+        other_ranges = [
+            range(side) for i, side in enumerate(self._sides) if i != axis
+        ]
+        for fixed in itertools.product(*other_ranges):
+            row = []
+            for position in range(self._sides[axis]):
+                coordinates = list(fixed)
+                coordinates.insert(axis, position)
+                row.append(tuple(coordinates))
+            yield row
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        return f"ToroidalGrid(sides={self._sides})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ToroidalGrid) and other.sides == self._sides
+
+    def __hash__(self) -> int:
+        return hash(("ToroidalGrid", self._sides))
+
+
+class RectangularGrid:
+    """A non-toroidal (bounded) 2-dimensional grid.
+
+    The paper uses bounded grids in two places: the Naor–Stockmeyer
+    undecidability discussion (Section 6) and the corner-coordination problem
+    of Appendix A.3, where degree-2 nodes ("corners") and degree-3 nodes
+    exist.  Only the features required there are implemented.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 2 or height < 2:
+            raise InvalidGridError("a rectangular grid needs width and height at least 2")
+        self.width = int(width)
+        self.height = int(height)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes."""
+        return self.width * self.height
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes in row-major order."""
+        return itertools.product(range(self.width), range(self.height))
+
+    def contains(self, node: Node) -> bool:
+        """Return True if the coordinates lie inside the rectangle."""
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbour_nodes(self, node: Node) -> List[Node]:
+        """Return the (2 to 4) neighbours of ``node``."""
+        x, y = node
+        candidates = [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+        return [candidate for candidate in candidates if self.contains(candidate)]
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node`` (2 at corners, 3 on borders, 4 inside)."""
+        return len(self.neighbour_nodes(node))
+
+    def corners(self) -> List[Node]:
+        """Return the four degree-2 corner nodes."""
+        return [
+            (0, 0),
+            (0, self.height - 1),
+            (self.width - 1, 0),
+            (self.width - 1, self.height - 1),
+        ]
+
+    def l1_distance(self, u: Node, v: Node) -> int:
+        """Graph distance between two nodes (no wrap-around)."""
+        return abs(u[0] - v[0]) + abs(u[1] - v[1])
+
+    def ball(self, node: Node, radius: int) -> List[Node]:
+        """Return all nodes within graph distance ``radius`` of ``node``."""
+        result = []
+        x, y = node
+        for dx in range(-radius, radius + 1):
+            remaining = radius - abs(dx)
+            for dy in range(-remaining, remaining + 1):
+                candidate = (x + dx, y + dy)
+                if self.contains(candidate):
+                    result.append(candidate)
+        return result
+
+    def __repr__(self) -> str:
+        return f"RectangularGrid(width={self.width}, height={self.height})"
+
+
+def adjacency_map(grid: ToroidalGrid) -> Dict[Node, List[Node]]:
+    """Materialise the adjacency lists of a toroidal grid.
+
+    Useful for feeding the grid to generic graph routines (colour reduction,
+    MIS by colour classes) that do not care about orientation.
+    """
+    return {node: grid.neighbour_nodes(node) for node in grid.nodes()}

@@ -1,0 +1,51 @@
+"""The LOCAL model of distributed computing on grids.
+
+The simulator follows the standard view of the LOCAL model used in the
+paper: a time-``t`` algorithm is a mapping from radius-``t`` neighbourhoods
+(including identifiers and the consistent orientation) to local outputs.
+Two execution styles are provided:
+
+* **Label rewriting** (:mod:`repro.local_model.simulator`): algorithms are
+  sequences of synchronous local rules; every application of a radius-``r``
+  rule costs ``r`` communication rounds.  This is the style in which the
+  symmetry-breaking and colouring algorithms are implemented, and it gives
+  exact round counts for the empirical complexity measurements.
+* **Message passing** (:mod:`repro.local_model.messaging`): explicit
+  per-node programs exchanging messages over ports, closest to the textbook
+  definition.  It is used in tests and examples to validate that the
+  rewriting style does not hide communication.
+"""
+
+from repro.local_model.algorithm import (
+    AlgorithmResult,
+    FunctionRule,
+    LocalRule,
+    GridAlgorithm,
+)
+from repro.local_model.simulator import (
+    RoundLedger,
+    apply_rule,
+    iterate_rule,
+)
+from repro.local_model.views import NeighbourhoodView, collect_view
+from repro.local_model.messaging import MessagePassingNetwork, NodeProgram
+from repro.local_model.order_invariant import (
+    order_normalise_view,
+    is_order_invariant,
+)
+
+__all__ = [
+    "AlgorithmResult",
+    "FunctionRule",
+    "GridAlgorithm",
+    "LocalRule",
+    "MessagePassingNetwork",
+    "NeighbourhoodView",
+    "NodeProgram",
+    "RoundLedger",
+    "apply_rule",
+    "collect_view",
+    "is_order_invariant",
+    "iterate_rule",
+    "order_normalise_view",
+]

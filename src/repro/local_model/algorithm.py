@@ -1,0 +1,156 @@
+"""Algorithm abstractions for the LOCAL model.
+
+Two levels are provided:
+
+* :class:`LocalRule` — a single synchronous update step of declared radius.
+  All nodes apply the rule simultaneously to their current state and the
+  states visible within the radius; applying a radius-``r`` rule costs ``r``
+  communication rounds.
+* :class:`GridAlgorithm` — a complete algorithm producing an
+  :class:`AlgorithmResult` (node and/or edge outputs plus the number of
+  rounds charged).  Concrete algorithms (4-colouring, edge colouring,
+  orientations, lookup-table algorithms, ...) subclass this.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.torus import EdgeKey, Node, ToroidalGrid
+
+Offset = Tuple[int, ...]
+LabelView = Mapping[Offset, Any]
+
+
+class LocalRule(abc.ABC):
+    """A single synchronous local update step.
+
+    Subclasses declare the ``radius`` they read and implement
+    :meth:`update`, which receives the label view of the node (offset zero
+    is the node's own current label) and returns the node's next label.
+    """
+
+    #: radius of the view handed to :meth:`update`; applying the rule is
+    #: charged ``radius`` communication rounds.
+    radius: int = 1
+
+    #: which norm the view uses ("l1" matches grid communication rounds;
+    #: "linf" views are charged ``radius * dimension`` rounds).
+    norm: str = "l1"
+
+    @abc.abstractmethod
+    def update(self, view: LabelView) -> Any:
+        """Compute the node's next label from its current local view."""
+
+    def round_cost(self, dimension: int) -> int:
+        """Rounds charged for one application of this rule."""
+        if self.norm == "l1":
+            return self.radius
+        return self.radius * dimension
+
+
+class FunctionRule(LocalRule):
+    """A :class:`LocalRule` defined by a plain function.
+
+    Convenient for one-off rules::
+
+        rule = FunctionRule(1, lambda view: min(view.values()))
+    """
+
+    def __init__(self, radius: int, function: Callable[[LabelView], Any], norm: str = "l1"):
+        self.radius = radius
+        self.norm = norm
+        self._function = function
+
+    def update(self, view: LabelView) -> Any:
+        return self._function(view)
+
+
+@dataclass
+class AlgorithmResult:
+    """Output of running a :class:`GridAlgorithm` on a concrete instance.
+
+    Attributes
+    ----------
+    node_labels:
+        Mapping from nodes to their output labels (empty for pure edge
+        problems).
+    edge_labels:
+        Mapping from canonical edge keys to output labels (empty for pure
+        node problems).
+    rounds:
+        Total number of synchronous communication rounds charged.
+    metadata:
+        Free-form diagnostic information (phase-by-phase round breakdown,
+        parameters chosen at run time, ...).
+    """
+
+    node_labels: Dict[Node, Any] = field(default_factory=dict)
+    edge_labels: Dict[EdgeKey, Any] = field(default_factory=dict)
+    rounds: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def with_extra_rounds(self, extra: int) -> "AlgorithmResult":
+        """Return a copy of the result with ``extra`` additional rounds charged."""
+        return AlgorithmResult(
+            node_labels=dict(self.node_labels),
+            edge_labels=dict(self.edge_labels),
+            rounds=self.rounds + extra,
+            metadata=dict(self.metadata),
+        )
+
+
+class GridAlgorithm(abc.ABC):
+    """A complete LOCAL-model algorithm for toroidal grids."""
+
+    #: short human-readable name used in experiment reports.
+    name: str = "unnamed-algorithm"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        grid: ToroidalGrid,
+        identifiers: IdentifierAssignment,
+        inputs: Optional[Mapping[Node, Any]] = None,
+    ) -> AlgorithmResult:
+        """Execute the algorithm on ``grid`` with the given identifiers.
+
+        ``inputs`` carries optional per-node input labels (most problems in
+        the paper have none).  Implementations must only access information
+        through local views and must report the number of rounds charged.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ConstantOutputAlgorithm(GridAlgorithm):
+    """The trivial zero-round algorithm that outputs a constant everywhere.
+
+    Only "trivial" LCL problems (complexity ``O(1)`` on toroidal grids)
+    admit such an algorithm — see the discussion after Theorem 3 in the
+    paper: on toroidal grids an LCL is solvable in constant time if and only
+    if some constant labelling is feasible.
+    """
+
+    def __init__(self, node_label: Any = None, edge_label: Any = None, name: str = "constant"):
+        self.node_label = node_label
+        self.edge_label = edge_label
+        self.name = name
+
+    def run(
+        self,
+        grid: ToroidalGrid,
+        identifiers: IdentifierAssignment,
+        inputs: Optional[Mapping[Node, Any]] = None,
+    ) -> AlgorithmResult:
+        node_labels: Dict[Node, Any] = {}
+        edge_labels: Dict[EdgeKey, Any] = {}
+        if self.node_label is not None:
+            node_labels = {node: self.node_label for node in grid.nodes()}
+        if self.edge_label is not None:
+            edge_labels = {edge: self.edge_label for edge in grid.edges()}
+        return AlgorithmResult(node_labels=node_labels, edge_labels=edge_labels, rounds=0)

@@ -1,0 +1,128 @@
+"""Radius-``t`` neighbourhood views.
+
+In the LOCAL model a time-``t`` algorithm maps the radius-``t`` view of a
+node to its output.  On a consistently oriented toroidal grid a view is
+particularly simple: the topology within the ball is known in advance, so
+the view consists of, for each displacement vector within distance ``t``,
+the identifier and any input labels of the node sitting at that offset.
+
+Views are the *only* way information flows into an algorithm in this
+library; a view constructed with radius ``t`` physically cannot leak
+information from farther away, which keeps locality honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.grid.geometry import ball_offsets
+from repro.grid.torus import Node, ToroidalGrid
+
+Offset = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NeighbourhoodView:
+    """What a single node can see after ``radius`` communication rounds.
+
+    Attributes
+    ----------
+    radius:
+        The number of rounds used to collect the view.
+    identifiers:
+        Mapping from displacement vectors (relative to the observing node)
+        to the unique identifiers of the nodes at those offsets.
+    labels:
+        Mapping from displacement vectors to auxiliary input labels (for
+        example, the anchor indicator bits of a maximal independent set, or
+        intermediate colours of an iterative algorithm).  May be empty.
+    grid_size:
+        The value of ``n`` given to all nodes as input (the paper assumes
+        nodes know ``n``).
+    """
+
+    radius: int
+    identifiers: Mapping[Offset, int]
+    labels: Mapping[Offset, Any] = field(default_factory=dict)
+    grid_size: Optional[int] = None
+
+    @property
+    def own_identifier(self) -> int:
+        """Identifier of the observing node (offset zero)."""
+        origin = self._origin()
+        return self.identifiers[origin]
+
+    @property
+    def own_label(self) -> Any:
+        """Input label of the observing node, if any."""
+        origin = self._origin()
+        return self.labels.get(origin)
+
+    def _origin(self) -> Offset:
+        some_offset = next(iter(self.identifiers))
+        return (0,) * len(some_offset)
+
+    def identifier_at(self, offset: Offset) -> int:
+        """Identifier of the node at the given displacement."""
+        return self.identifiers[offset]
+
+    def label_at(self, offset: Offset, default: Any = None) -> Any:
+        """Input label at the given displacement (``default`` if absent)."""
+        return self.labels.get(offset, default)
+
+    def offsets(self) -> Tuple[Offset, ...]:
+        """All displacement vectors contained in the view."""
+        return tuple(self.identifiers.keys())
+
+
+def collect_view(
+    grid: ToroidalGrid,
+    node: Node,
+    radius: int,
+    identifiers: Mapping[Node, int],
+    labels: Optional[Mapping[Node, Any]] = None,
+    norm: str = "l1",
+    grid_size: Optional[int] = None,
+) -> NeighbourhoodView:
+    """Gather the radius-``radius`` view of ``node``.
+
+    On a torus that is smaller than the ball diameter, several offsets can
+    wrap onto the same underlying node; in that case the node legitimately
+    "sees around the torus" and the duplicated information is included —
+    exactly as it would be in a real execution.
+    """
+    id_view: Dict[Offset, int] = {}
+    label_view: Dict[Offset, Any] = {}
+    for offset in ball_offsets(grid.dimension, radius, norm):
+        target = grid.shift(node, offset)
+        id_view[offset] = identifiers[target]
+        if labels is not None and target in labels:
+            label_view[offset] = labels[target]
+    size = grid_size if grid_size is not None else grid.sides[0]
+    return NeighbourhoodView(
+        radius=radius,
+        identifiers=id_view,
+        labels=label_view,
+        grid_size=size,
+    )
+
+
+def collect_label_view(
+    grid: ToroidalGrid,
+    node: Node,
+    radius: int,
+    labels: Mapping[Node, Any],
+    norm: str = "l1",
+) -> Dict[Offset, Any]:
+    """Return only the labels within ``radius`` of ``node``, keyed by offset.
+
+    This light-weight variant is what the label-rewriting simulator hands to
+    :class:`repro.local_model.algorithm.LocalRule` instances; identifiers are
+    omitted when a rule declares it does not need them.
+    """
+    view: Dict[Offset, Any] = {}
+    for offset in ball_offsets(grid.dimension, radius, norm):
+        target = grid.shift(node, offset)
+        view[offset] = labels[target]
+    return view

@@ -1,0 +1,45 @@
+"""Edge-orientation problems on two-dimensional grids (Section 11).
+
+For ``X ⊆ {0, 1, 2, 3, 4}``, an *X-orientation* orients every edge of the
+grid so that each node's in-degree lies in ``X``.  Theorem 22 classifies the
+complexity completely: trivial when ``2 ∈ X``, ``Θ(log* n)`` when
+``{1,3,4} ⊆ X`` or ``{0,1,3} ⊆ X``, and global otherwise (in many cases no
+solution exists for infinitely many ``n``).
+
+Orientations are encoded as node labellings: each node outputs, for each of
+its four incident edges, whether that edge points towards it; agreement of
+the two endpoints of an edge is a pairwise constraint, which makes the
+problems directly synthesisable by the Section 7 engine.
+"""
+
+from repro.orientation.problems import (
+    ORIENTATION_ALPHABET,
+    in_degree_of_label,
+    orientation_labels_to_edge_directions,
+    x_orientation_problem,
+)
+from repro.orientation.classify import (
+    classify_x_orientation,
+    counting_obstruction,
+    orientation_classification_table,
+)
+from repro.orientation.algorithms import (
+    flip_orientation_labelling,
+    solve_x_orientation_globally,
+    synthesise_x_orientation_algorithm,
+    trivial_orientation_labelling,
+)
+
+__all__ = [
+    "ORIENTATION_ALPHABET",
+    "classify_x_orientation",
+    "counting_obstruction",
+    "flip_orientation_labelling",
+    "in_degree_of_label",
+    "orientation_classification_table",
+    "orientation_labels_to_edge_directions",
+    "solve_x_orientation_globally",
+    "synthesise_x_orientation_algorithm",
+    "trivial_orientation_labelling",
+    "x_orientation_problem",
+]

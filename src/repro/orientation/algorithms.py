@@ -1,0 +1,172 @@
+"""Algorithms for X-orientation problems.
+
+Three regimes, matching the Theorem 22 classification:
+
+* ``2 ∈ X`` — output the input orientation (zero rounds);
+* ``{1,3,4} ⊆ X`` or ``{0,1,3} ⊆ X`` — synthesise a normal-form algorithm
+  with ``k = 1`` (Lemma 23); the ``{0,1,3}`` case is obtained from the
+  ``{1,3,4}`` case by flipping every edge;
+* otherwise — the global brute-force algorithm: gather the whole grid and
+  solve one exact instance, here encoded as a SAT problem over one Boolean
+  per edge.  The same encoding doubles as an unsolvability prover for the
+  small odd instances used as lower-bound evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import SynthesisError, UnsolvableInstanceError
+from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
+from repro.local_model.algorithm import AlgorithmResult
+from repro.orientation.problems import (
+    ORIENTATION_ALPHABET,
+    OrientationLabel,
+    in_degree_of_label,
+    x_orientation_problem,
+)
+from repro.speedup.normal_form import NormalFormAlgorithm
+from repro.synthesis.lookup import build_lookup_algorithm
+from repro.synthesis.sat import CNF, solve_cnf
+from repro.synthesis.synthesiser import synthesise_with_budget
+
+
+def trivial_orientation_labelling(grid: ToroidalGrid) -> Dict[Node, OrientationLabel]:
+    """The input orientation of the grid, as orientation labels.
+
+    Every edge points towards the larger coordinate, so every node has
+    in-degree exactly 2 (incoming from the west and from the south).
+    """
+    label: OrientationLabel = (0, 0, 1, 1)  # north out, east out, south in, west in
+    return {node: label for node in grid.nodes()}
+
+
+def flip_orientation_labelling(
+    labels: Dict[Node, OrientationLabel]
+) -> Dict[Node, OrientationLabel]:
+    """Reverse the direction of every edge.
+
+    Flipping maps an X-orientation to a ``{4 - x : x ∈ X}``-orientation; in
+    particular it carries ``{1,3,4}``-orientations to ``{0,1,3}``-orientations
+    and vice versa, which is how the paper handles the second local case.
+    """
+    return {
+        node: tuple(1 - bit for bit in label)  # type: ignore[misc]
+        for node, label in labels.items()
+    }
+
+
+def synthesise_x_orientation_algorithm(
+    in_degrees: Iterable[int],
+    max_k: int = 2,
+    engine: str = "auto",
+) -> NormalFormAlgorithm:
+    """Synthesise a normal-form algorithm for a local X-orientation problem.
+
+    For ``{1,3,4}`` (and supersets) the paper reports success already at
+    ``k = 1``; the same holds for ``{0,1,3}`` by symmetry.  For global
+    problems the search fails within its budget and a
+    :class:`repro.errors.SynthesisError` is raised.
+    """
+    problem = x_orientation_problem(in_degrees)
+    search = synthesise_with_budget(problem, max_k=max_k, engine=engine)
+    if not search.succeeded or search.best is None:
+        raise SynthesisError(
+            f"synthesis failed for {problem.name}; the problem is likely global "
+            f"(attempts: {[outcome.certificate for outcome in search.attempts]})"
+        )
+    return build_lookup_algorithm(search.best, name=f"{problem.name}-synthesised")
+
+
+def solve_x_orientation_globally(
+    grid: ToroidalGrid,
+    in_degrees: Iterable[int],
+    conflict_budget: int = 500_000,
+) -> Tuple[Dict[EdgeKey, int], AlgorithmResult]:
+    """Solve an X-orientation instance exactly (the Θ(n) brute-force route).
+
+    One Boolean variable per edge states whether the edge keeps its input
+    direction (towards the larger coordinate); per-node clauses forbid every
+    in-degree outside ``X``.  Returns the edge directions (``+1`` keeps the
+    input direction, ``-1`` reverses it) and an :class:`AlgorithmResult`
+    whose round count is the graph diameter — the cost of gathering the
+    whole instance at one node.
+
+    Raises :class:`repro.errors.UnsolvableInstanceError` when the instance
+    is unsatisfiable; this is how the experiments certify, for example, that
+    ``{1,3}``-orientations do not exist on odd tori (Lemma 24).
+    """
+    allowed: Set[int] = set(in_degrees)
+    cnf = CNF()
+    variable_of: Dict[EdgeKey, int] = {}
+    for edge in grid.edges():
+        variable_of[edge] = cnf.new_variable()
+
+    for node in grid.nodes():
+        incident = []
+        for axis in range(grid.dimension):
+            outgoing = (node, axis)
+            incoming = (grid.step(node, Direction(axis, -1)), axis)
+            # The outgoing edge contributes to this node's in-degree when it
+            # is reversed; the incoming edge contributes when it keeps its
+            # input direction.
+            incident.append((variable_of[outgoing], False))
+            incident.append((variable_of[incoming], True))
+        # Forbid every assignment of the incident edges whose in-degree is
+        # outside X.
+        for mask in range(1 << len(incident)):
+            in_degree = 0
+            for position, (_variable, counts_when_true) in enumerate(incident):
+                bit = bool(mask & (1 << position))
+                if bit == counts_when_true:
+                    in_degree += 1
+            if in_degree in allowed:
+                continue
+            clause = []
+            for position, (variable, _counts_when_true) in enumerate(incident):
+                bit = bool(mask & (1 << position))
+                clause.append(-variable if bit else variable)
+            cnf.add_clause(clause)
+
+    result = solve_cnf(cnf, conflict_budget=conflict_budget)
+    if not result.satisfiable:
+        if result.exhausted_budget:
+            raise SynthesisError("global orientation solver exhausted its budget")
+        raise UnsolvableInstanceError(
+            f"no {sorted(allowed)}-orientation exists on the {grid.sides} torus"
+        )
+    directions = {
+        edge: (1 if result.assignment[variable] else -1)
+        for edge, variable in variable_of.items()
+    }
+    diameter = sum(side // 2 for side in grid.sides)
+    algorithm_result = AlgorithmResult(
+        edge_labels=dict(directions),
+        rounds=diameter,
+        metadata={"engine": "sat", "conflicts": result.conflicts},
+    )
+    return directions, algorithm_result
+
+
+def in_degrees_from_edge_directions(
+    grid: ToroidalGrid, directions: Dict[EdgeKey, int]
+) -> Dict[Node, int]:
+    """Compute every node's in-degree from per-edge directions."""
+    in_degree: Dict[Node, int] = {node: 0 for node in grid.nodes()}
+    for (node, axis), direction in directions.items():
+        head = grid.step(node, Direction(axis, 1)) if direction == 1 else node
+        in_degree[head] += 1
+    return in_degree
+
+
+def run_local_orientation_algorithm(
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    in_degrees: Iterable[int],
+    algorithm: Optional[NormalFormAlgorithm] = None,
+) -> AlgorithmResult:
+    """Convenience wrapper: synthesise (or reuse) and run a local X-orientation algorithm."""
+    if algorithm is None:
+        algorithm = synthesise_x_orientation_algorithm(in_degrees)
+    return algorithm.run(grid, identifiers)

@@ -1,0 +1,100 @@
+"""X-orientation problems as pairwise LCLs.
+
+Each node outputs a 4-tuple ``(north, east, south, west)`` of bits; bit 1
+means the corresponding incident edge is oriented *towards* the node (and
+therefore contributes to its in-degree).  Two adjacent nodes must agree on
+the shared edge: exactly one of them may claim it as incoming.  This makes
+the in-degree condition a per-node predicate and the consistency condition a
+pair relation — precisely the shape required by the synthesis engine and by
+the normal form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.core.lcl import GridLCL, PairRelation
+from repro.errors import InvalidProblemError
+from repro.grid.torus import EdgeKey, Node, ToroidalGrid
+
+OrientationLabel = Tuple[int, int, int, int]
+
+#: All sixteen orientation labels ``(north, east, south, west)``.
+ORIENTATION_ALPHABET: Tuple[OrientationLabel, ...] = tuple(
+    itertools.product((0, 1), repeat=4)
+)
+
+NORTH, EAST, SOUTH, WEST = 0, 1, 2, 3
+
+
+def in_degree_of_label(label: OrientationLabel) -> int:
+    """In-degree claimed by an orientation label."""
+    return sum(label)
+
+
+def _horizontal_consistent(west_label: OrientationLabel, east_label: OrientationLabel) -> bool:
+    """The edge between a node and its eastern neighbour has exactly one head."""
+    return west_label[EAST] + east_label[WEST] == 1
+
+
+def _vertical_consistent(south_label: OrientationLabel, north_label: OrientationLabel) -> bool:
+    """The edge between a node and its northern neighbour has exactly one head."""
+    return south_label[NORTH] + north_label[SOUTH] == 1
+
+
+def x_orientation_problem(in_degrees: Iterable[int]) -> GridLCL:
+    """Build the X-orientation problem for the given set of allowed in-degrees."""
+    allowed: Set[int] = set(in_degrees)
+    if not allowed:
+        raise InvalidProblemError("the set X of allowed in-degrees must be non-empty")
+    if any(value < 0 or value > 4 for value in allowed):
+        raise InvalidProblemError("in-degrees on a two-dimensional grid lie in {0,...,4}")
+
+    name = "{" + ",".join(str(value) for value in sorted(allowed)) + "}-orientation"
+    horizontal = PairRelation.from_predicate(ORIENTATION_ALPHABET, _horizontal_consistent)
+    vertical = PairRelation.from_predicate(ORIENTATION_ALPHABET, _vertical_consistent)
+    return GridLCL(
+        name=name,
+        alphabet=ORIENTATION_ALPHABET,
+        node_predicate=lambda label: in_degree_of_label(label) in allowed,
+        horizontal=horizontal,
+        vertical=vertical,
+    )
+
+
+def orientation_labels_to_edge_directions(
+    grid: ToroidalGrid,
+    labels: Dict[Node, OrientationLabel],
+) -> Dict[EdgeKey, int]:
+    """Convert node orientation labels into per-edge directions.
+
+    The result maps every canonical edge key ``(node, axis)`` to ``+1`` when
+    the edge is oriented in the positive axis direction (away from ``node``)
+    and ``-1`` otherwise.  A :class:`ValueError` is raised if the two
+    endpoints of some edge disagree — such labellings are exactly the ones
+    the verifier rejects.
+    """
+    if grid.dimension != 2:
+        raise InvalidProblemError("orientation labels are defined for two-dimensional grids")
+    directions: Dict[EdgeKey, int] = {}
+    for node in grid.nodes():
+        label = labels[node]
+        east_neighbour = grid.shift(node, (1, 0))
+        north_neighbour = grid.shift(node, (0, 1))
+        east_label = labels[east_neighbour]
+        north_label = labels[north_neighbour]
+        if label[EAST] + east_label[WEST] != 1:
+            raise ValueError(f"inconsistent orientation of the east edge of {node}")
+        if label[NORTH] + north_label[SOUTH] != 1:
+            raise ValueError(f"inconsistent orientation of the north edge of {node}")
+        directions[(node, 0)] = -1 if label[EAST] == 1 else 1
+        directions[(node, 1)] = -1 if label[NORTH] == 1 else 1
+    return directions
+
+
+def in_degrees_from_labels(
+    grid: ToroidalGrid, labels: Dict[Node, OrientationLabel]
+) -> Dict[Node, int]:
+    """Return every node's in-degree under a consistent orientation labelling."""
+    return {node: in_degree_of_label(labels[node]) for node in grid.nodes()}

@@ -1,0 +1,43 @@
+"""The speed-up theorem and the normal form ``A' ∘ S_k`` (Section 5).
+
+Theorem 2 shows that any ``o(n)``-time algorithm for an LCL problem on grids
+can be replaced by an ``O(log* n)``-time one of a very specific shape: a
+problem-independent anchor computation ``S_k`` (a maximal independent set in
+``G^(k)``) followed by a problem-specific constant-radius rule ``A'`` that
+only looks at the placement of anchors.  This package provides
+
+* Voronoi decompositions of anchor sets and the induced *local coordinates*
+  that serve as locally unique identifiers (:mod:`repro.speedup.voronoi`),
+* the runtime normal-form algorithm composing ``S_k`` with an arbitrary
+  black-box local rule ``A'`` (:mod:`repro.speedup.normal_form`), and
+* the growth-bounded generalisation of the speed-up from Appendix A.2
+  (:mod:`repro.speedup.bounded_growth`).
+"""
+
+from repro.speedup.voronoi import (
+    VoronoiDecomposition,
+    compute_voronoi_decomposition,
+    local_identifier_assignment,
+)
+from repro.speedup.normal_form import (
+    AnchorRule,
+    NormalFormAlgorithm,
+    choose_normal_form_k,
+)
+from repro.speedup.bounded_growth import (
+    GrowthBound,
+    grid_growth_bound,
+    speedup_threshold,
+)
+
+__all__ = [
+    "AnchorRule",
+    "GrowthBound",
+    "NormalFormAlgorithm",
+    "VoronoiDecomposition",
+    "choose_normal_form_k",
+    "compute_voronoi_decomposition",
+    "grid_growth_bound",
+    "local_identifier_assignment",
+    "speedup_threshold",
+]

@@ -1,0 +1,99 @@
+"""Speed-up on graph classes of bounded growth (Appendix A.2).
+
+Lemma 26 of the paper generalises the grid speed-up: in a
+neighbourhood-hereditary, ``f``-growth-bounded graph class of bounded
+degree, any deterministic ``o(f^{-1}(n))``-time algorithm for an LCL problem
+can be replaced by an ``O(log* n)``-time one.  The constructive core of the
+argument is the choice of the constant ``k`` with ``f(2T(k) + 3) < k / C``;
+this module computes that threshold for concrete growth bounds (polynomial
+growth of grids being the motivating case) and exposes the distance-
+colouring palette sizes the lemma's simulation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class GrowthBound:
+    """A growth bound ``f`` for a graph class: ``|N_r(v)| <= f(r)``."""
+
+    name: str
+    function: Callable[[int], int]
+
+    def __call__(self, radius: int) -> int:
+        return self.function(radius)
+
+    def inverse_at(self, value: int, maximum: int = 10**6) -> int:
+        """Smallest ``r`` with ``f(r) >= value`` (a discrete inverse)."""
+        radius = 0
+        while radius <= maximum:
+            if self.function(radius) >= value:
+                return radius
+            radius += 1
+        raise SynthesisError(f"growth bound {self.name!r} never reaches {value}")
+
+
+def grid_growth_bound(dimension: int) -> GrowthBound:
+    """The growth bound of ``d``-dimensional grids: an L1 ball of radius r.
+
+    The exact ball size is used for d = 1, 2 (cycle and grid); for higher
+    dimensions the standard upper bound ``(2r + 1)^d`` is used.
+    """
+    if dimension == 1:
+        return GrowthBound("cycle", lambda r: 2 * r + 1)
+    if dimension == 2:
+        return GrowthBound("grid-2d", lambda r: 2 * r * r + 2 * r + 1)
+    return GrowthBound(f"grid-{dimension}d", lambda r: (2 * r + 1) ** dimension)
+
+
+def speedup_threshold(
+    growth: GrowthBound,
+    base_locality: Callable[[int], int],
+    hereditary_constant: int = 1,
+    maximum: int = 100000,
+) -> int:
+    """Choose the constant ``k`` of Lemma 26.
+
+    Returns the smallest ``k`` such that
+    ``growth(2 * base_locality(k) + 3) < k / hereditary_constant``; the
+    lemma's simulation then works: a distance-``(2T(k)+3)`` colouring with at
+    most ``k`` colours exists and can serve as locally unique identifiers
+    for simulating the base algorithm on instances of (pretended) size ``k``.
+    """
+    if hereditary_constant < 1:
+        raise SynthesisError("the hereditary constant must be at least 1")
+    for k in range(1, maximum + 1):
+        if growth(2 * base_locality(k) + 3) < k / hereditary_constant:
+            return k
+    raise SynthesisError(
+        "no suitable k found: the base locality does not look like o(f^{-1}(n))"
+    )
+
+
+def simulation_palette_size(growth: GrowthBound, base_locality: Callable[[int], int], k: int) -> int:
+    """Palette needed for the distance colouring used in the Lemma 26 simulation."""
+    return growth(2 * base_locality(k) + 3) + 1
+
+
+def classify_locality(
+    growth: GrowthBound,
+    base_locality: Callable[[int], int],
+    hereditary_constant: int = 1,
+    maximum: int = 100000,
+) -> Optional[int]:
+    """Return the speed-up threshold if one exists below ``maximum``, else None.
+
+    A convenience wrapper used by the Appendix A.2 experiment: localities
+    that grow at least as fast as ``f^{-1}`` (for example ``Θ(√n)`` on
+    two-dimensional grids) admit no threshold, and the function reports that
+    by returning ``None`` instead of raising.
+    """
+    try:
+        return speedup_threshold(growth, base_locality, hereditary_constant, maximum)
+    except SynthesisError:
+        return None

@@ -1,0 +1,149 @@
+"""The normal form ``A' ∘ S_k`` as a runnable algorithm (Theorem 2, Figure 1).
+
+Every ``Θ(log* n)`` LCL problem on grids has an algorithm of the form
+``A' ∘ S_k``: first a problem-independent component ``S_k`` computes a
+maximal independent set ("anchors") in the ``k``-th power of the grid, and
+then a problem-specific *finite* rule ``A'`` maps the placement of anchors
+within a constant-radius window around each node to that node's output.
+
+:class:`NormalFormAlgorithm` is the runtime realisation: it composes the
+anchor computation of :mod:`repro.symmetry.mis` with an arbitrary black-box
+:class:`AnchorRule` — in practice the lookup tables produced by the
+synthesis engine (:mod:`repro.synthesis`), which is exactly how the paper
+obtains concrete algorithms such as 4-colouring and ``{1,3,4}``-orientation.
+
+The module also exposes :func:`choose_normal_form_k`, the parameter rule
+used in the proof of Theorem 2 (the smallest even ``k >= 4`` such that the
+base algorithm's running time on ``k × k`` instances fits inside a quarter
+tile), so that the relationship between a base algorithm's locality and the
+anchor spacing can be inspected and tested.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.errors import SynthesisError
+from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.subgrid import Window, window_around
+from repro.grid.torus import Node, ToroidalGrid
+from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
+from repro.symmetry.mis import AnchorSet, compute_anchors
+
+
+class AnchorRule(abc.ABC):
+    """The problem-specific component ``A'`` of the normal form.
+
+    A rule declares the dimensions of the anchor window it inspects and
+    maps the window contents (anchor indicator bits, with the node itself
+    at the window's centre cell) to the node's output label.
+    """
+
+    #: window width (number of columns, along the x axis).
+    width: int = 1
+    #: window height (number of rows, along the y axis).
+    height: int = 1
+
+    @abc.abstractmethod
+    def output(self, window: Window) -> Any:
+        """Return the output label for a node whose anchor window is ``window``."""
+
+    @property
+    def radius(self) -> int:
+        """Locality radius of the rule (half the larger window dimension)."""
+        return max(self.width, self.height) // 2
+
+
+class FunctionAnchorRule(AnchorRule):
+    """An :class:`AnchorRule` defined by a plain function."""
+
+    def __init__(self, width: int, height: int, function: Callable[[Window], Any]):
+        self.width = width
+        self.height = height
+        self._function = function
+
+    def output(self, window: Window) -> Any:
+        return self._function(window)
+
+
+def choose_normal_form_k(base_locality: Callable[[int], int], maximum: int = 4096) -> int:
+    """Choose the anchor spacing ``k`` as in the proof of Theorem 2.
+
+    Returns the smallest even ``k >= 4`` such that
+    ``base_locality(k) < k / 4 - 4``.  ``base_locality`` plays the role of
+    the running time ``T`` of the original algorithm; the existence of such
+    a ``k`` is exactly the assumption ``T(n) = o(n)``.
+    """
+    k = 4
+    while k <= maximum:
+        if base_locality(k) < k / 4 - 4:
+            return k
+        k += 2
+    raise SynthesisError(
+        f"no suitable k <= {maximum}; the base algorithm's locality does not look sublinear"
+    )
+
+
+@dataclass
+class NormalFormAlgorithm(GridAlgorithm):
+    """The composed algorithm ``A' ∘ S_k`` for two-dimensional grids.
+
+    Attributes
+    ----------
+    rule:
+        The problem-specific finite rule ``A'``.
+    k:
+        The power of the grid in which the anchors form a maximal
+        independent set.
+    norm:
+        Which power graph to use (``"l1"`` for ``G^(k)``, as in the paper).
+    """
+
+    rule: AnchorRule
+    k: int
+    norm: str = "l1"
+    name: str = "normal-form"
+
+    def run(
+        self,
+        grid: ToroidalGrid,
+        identifiers: IdentifierAssignment,
+        inputs: Optional[Mapping[Node, Any]] = None,
+    ) -> AlgorithmResult:
+        if grid.dimension != 2:
+            raise SynthesisError("the normal-form runtime currently targets two-dimensional grids")
+        anchors = compute_anchors(grid, identifiers, self.k, norm=self.norm)
+        outputs = apply_anchor_rule(grid, anchors, self.rule)
+        rounds = anchors.rounds + self.rule.radius
+        return AlgorithmResult(
+            node_labels=outputs,
+            rounds=rounds,
+            metadata={
+                "k": self.k,
+                "anchor_count": len(anchors.members),
+                "anchor_rounds": anchors.rounds,
+                "rule_radius": self.rule.radius,
+                "phase_rounds": dict(anchors.phase_rounds),
+            },
+        )
+
+
+def apply_anchor_rule(
+    grid: ToroidalGrid,
+    anchors: AnchorSet,
+    rule: AnchorRule,
+) -> Dict[Node, Any]:
+    """Apply the constant-time component ``A'`` given an anchor set.
+
+    Every node extracts the ``width x height`` window of anchor indicator
+    bits centred on itself and evaluates the rule; this is the ``O(k)``-time
+    problem-specific part of the normal form.
+    """
+    indicator = anchors.indicator(grid)
+    outputs: Dict[Node, Any] = {}
+    for node in grid.nodes():
+        window = window_around(grid, indicator, node, rule.width, rule.height)
+        outputs[node] = rule.output(window)
+    return outputs

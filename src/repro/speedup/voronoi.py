@@ -1,0 +1,148 @@
+"""Voronoi decompositions of anchor sets and local coordinates.
+
+The proof of Theorem 2 tiles the grid into Voronoi cells of the anchor set
+(the MIS of ``G^(k)``): every node is associated with its closest anchor,
+ties broken in an arbitrary but locally consistent way.  The displacement of
+a node from its anchor serves as a *locally unique identifier*: two nodes
+with the same displacement belong to different cells and are therefore far
+apart.  This module computes the decomposition, the local coordinates, and
+verifies the locally-unique-identifier property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.grid.torus import Node, ToroidalGrid
+
+Offset = Tuple[int, ...]
+
+
+@dataclass
+class VoronoiDecomposition:
+    """A Voronoi tiling of the grid with respect to an anchor set."""
+
+    anchors: Set[Node]
+    owner: Dict[Node, Node] = field(default_factory=dict)
+    local_coordinates: Dict[Node, Offset] = field(default_factory=dict)
+
+    def tile(self, anchor: Node) -> List[Node]:
+        """Return all nodes owned by ``anchor``."""
+        return [node for node, owner in self.owner.items() if owner == anchor]
+
+    def tile_sizes(self) -> Dict[Node, int]:
+        """Return the number of nodes in each anchor's tile."""
+        sizes: Dict[Node, int] = {anchor: 0 for anchor in self.anchors}
+        for owner in self.owner.values():
+            sizes[owner] += 1
+        return sizes
+
+    def max_tile_radius(self, grid: ToroidalGrid) -> int:
+        """Largest L1 distance from a node to its owning anchor."""
+        return max(
+            grid.l1_distance(node, owner) for node, owner in self.owner.items()
+        )
+
+
+def _covering_radius(grid: ToroidalGrid, anchors: Set[Node]) -> int:
+    """Largest distance from any node to its nearest anchor (multi-source BFS)."""
+    distance: Dict[Node, int] = {anchor: 0 for anchor in anchors}
+    frontier: List[Node] = list(anchors)
+    radius = 0
+    while frontier:
+        next_frontier: List[Node] = []
+        for node in frontier:
+            for neighbour in grid.neighbour_nodes(node):
+                if neighbour not in distance:
+                    distance[neighbour] = distance[node] + 1
+                    radius = max(radius, distance[neighbour])
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+    return radius
+
+
+def compute_voronoi_decomposition(
+    grid: ToroidalGrid,
+    anchors: Set[Node],
+    search_radius: Optional[int] = None,
+) -> VoronoiDecomposition:
+    """Assign every node to its closest anchor (L1 distance).
+
+    Ties are broken by the lexicographically smallest displacement vector,
+    which is a rule every node can evaluate locally from the relative
+    positions of the nearby anchors.  ``search_radius`` bounds how far a
+    node looks for anchors; by default it is chosen generously from the
+    grid size.  If some node finds no anchor within the search radius a
+    :class:`repro.errors.SimulationError` is raised — for a maximal
+    independent set of ``G^(k)`` a radius of ``k`` always suffices.
+    """
+    if not anchors:
+        raise SimulationError("cannot build a Voronoi decomposition of an empty anchor set")
+    if search_radius is None:
+        search_radius = _covering_radius(grid, anchors)
+
+    owner: Dict[Node, Node] = {}
+    coordinates: Dict[Node, Offset] = {}
+    for node in grid.nodes():
+        best: Optional[Tuple[int, Node, Offset]] = None
+        for candidate in grid.ball(node, search_radius, "l1"):
+            if candidate not in anchors:
+                continue
+            displacement = grid.displacement(node, candidate)
+            distance = sum(abs(component) for component in displacement)
+            # Ties are broken by a fixed global order on the anchors (their
+            # coordinate tuples stand in for their unique identifiers): a
+            # globally consistent tie-break guarantees that following a
+            # node's quadrant direction towards its anchor never leaves its
+            # Voronoi tile, a property the L_M solver relies on.
+            key = (distance, candidate, displacement)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise SimulationError(
+                f"node {node} has no anchor within distance {search_radius}"
+            )
+        _, anchor, displacement = best
+        owner[node] = anchor
+        coordinates[node] = displacement
+    return VoronoiDecomposition(
+        anchors=set(anchors), owner=owner, local_coordinates=coordinates
+    )
+
+
+def local_identifier_assignment(
+    grid: ToroidalGrid,
+    decomposition: VoronoiDecomposition,
+    uniqueness_radius: int,
+) -> Dict[Node, int]:
+    """Turn local coordinates into small non-negative locally unique identifiers.
+
+    The identifier of a node is its displacement from its anchor, encoded
+    injectively as a non-negative integer.  The function verifies the
+    Theorem 2 property that no identifier repeats within L1 distance
+    ``uniqueness_radius`` and raises otherwise.
+    """
+    # The largest coordinate magnitude determines the encoding base.
+    magnitude = 0
+    for displacement in decomposition.local_coordinates.values():
+        for component in displacement:
+            magnitude = max(magnitude, abs(component))
+    base = 2 * magnitude + 1
+
+    identifiers: Dict[Node, int] = {}
+    for node, displacement in decomposition.local_coordinates.items():
+        value = 0
+        for component in displacement:
+            value = value * base + (component + magnitude)
+        identifiers[node] = value
+
+    for node in grid.nodes():
+        for other in grid.ball(node, uniqueness_radius, "l1"):
+            if other != node and identifiers[other] == identifiers[node]:
+                raise SimulationError(
+                    f"local identifiers repeat within distance {uniqueness_radius}: "
+                    f"{node} and {other} both have identifier {identifiers[node]}"
+                )
+    return identifiers

@@ -1,0 +1,43 @@
+"""Symmetry-breaking substrates.
+
+Everything with round complexity ``Θ(log* n)`` in the paper bottoms out in
+the primitives of this package:
+
+* Cole–Vishkin colour reduction on directed cycles (rows of the grid),
+* Linial's colour reduction on general bounded-degree graphs (used on the
+  power graphs ``G^(k)`` / ``G^[k]``),
+* Kuhn–Wattenhofer batch colour reduction down to ``Δ + 1`` colours,
+* greedy maximal independent sets from proper colourings — in particular
+  the *anchor* sets ``S_k`` of the normal form,
+* distance-``k`` colourings (Lemma 17), conflict colourings (Definition 6)
+  and per-row ruling sets (used by the edge-colouring algorithm).
+"""
+
+from repro.symmetry.cole_vishkin import colour_directed_cycle, three_colour_rows
+from repro.symmetry.linial import linial_colour_reduction
+from repro.symmetry.reduction import (
+    greedy_mis_from_colouring,
+    reduce_colours_to,
+)
+from repro.symmetry.mis import AnchorSet, compute_anchors, compute_mis
+from repro.symmetry.distance_colouring import distance_colouring
+from repro.symmetry.conflict_colouring import (
+    ConflictColouringInstance,
+    solve_conflict_colouring,
+)
+from repro.symmetry.ruling_sets import row_ruling_set
+
+__all__ = [
+    "AnchorSet",
+    "ConflictColouringInstance",
+    "colour_directed_cycle",
+    "compute_anchors",
+    "compute_mis",
+    "distance_colouring",
+    "greedy_mis_from_colouring",
+    "linial_colour_reduction",
+    "reduce_colours_to",
+    "row_ruling_set",
+    "solve_conflict_colouring",
+    "three_colour_rows",
+]

@@ -1,0 +1,144 @@
+"""Cole–Vishkin colour reduction on directed cycles.
+
+Cole and Vishkin showed that a directed cycle with unique identifiers can be
+3-coloured in ``O(log* n)`` synchronous rounds; Linial proved this is
+optimal.  On the oriented grid every row (in each dimension) is a directed
+cycle, so this primitive is the work-horse behind the row-wise constructions
+of Sections 9 and 10 and behind the one-dimensional warm-up of Section 4.
+
+The implementation follows the textbook algorithm:
+
+1. Start with the unique identifiers as colours (a proper colouring).
+2. Repeat the bit-trick step — the new colour is ``2 * i + b`` where ``i``
+   is the lowest bit position in which the node's colour differs from its
+   predecessor's colour and ``b`` is the node's bit at that position — until
+   all colours are below 6.  Each step costs one round.
+3. Shift down colours 5, 4, 3 one at a time (three rounds): a node with the
+   colour being removed picks the smallest colour of ``{0, 1, 2}`` not used
+   by its two neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.torus import Direction, Node, ToroidalGrid
+
+
+@dataclass
+class CycleColouring:
+    """Result of colouring a directed cycle: colours (by position) and rounds."""
+
+    colours: List[int]
+    rounds: int
+
+
+def _lowest_differing_bit(a: int, b: int) -> int:
+    """Index of the lowest bit in which ``a`` and ``b`` differ (they must differ)."""
+    if a == b:
+        raise SimulationError("Cole-Vishkin step applied to equal colours")
+    difference = a ^ b
+    return (difference & -difference).bit_length() - 1
+
+
+def _cole_vishkin_step(colours: Sequence[int]) -> List[int]:
+    """One synchronous Cole–Vishkin step on a directed cycle.
+
+    ``colours[i]``'s predecessor is ``colours[i - 1]`` (cyclically); the new
+    colour encodes the position and value of the lowest differing bit.
+    """
+    length = len(colours)
+    new_colours = []
+    for index in range(length):
+        own = colours[index]
+        predecessor = colours[(index - 1) % length]
+        bit_index = _lowest_differing_bit(own, predecessor)
+        bit_value = (own >> bit_index) & 1
+        new_colours.append(2 * bit_index + bit_value)
+    return new_colours
+
+
+def _shift_down(colours: Sequence[int]) -> Tuple[List[int], int]:
+    """Remove colours 5, 4 and 3 in three rounds, producing a 3-colouring."""
+    current = list(colours)
+    length = len(current)
+    rounds = 0
+    for colour_to_remove in (5, 4, 3):
+        next_colours = list(current)
+        for index in range(length):
+            if current[index] == colour_to_remove:
+                forbidden = {current[(index - 1) % length], current[(index + 1) % length]}
+                next_colours[index] = min(c for c in (0, 1, 2) if c not in forbidden)
+        current = next_colours
+        rounds += 1
+    return current, rounds
+
+
+def colour_directed_cycle(identifiers: Sequence[int], max_iterations: int = 64) -> CycleColouring:
+    """3-colour a directed cycle given by its sequence of unique identifiers.
+
+    ``identifiers[i]``'s successor is ``identifiers[(i + 1) % n]``.  The
+    cycle must have at least three nodes.  The returned round count is the
+    number of Cole–Vishkin iterations plus the three shift-down rounds.
+    """
+    length = len(identifiers)
+    if length < 3:
+        raise SimulationError("a cycle needs at least three nodes")
+    if len(set(identifiers)) != length:
+        raise SimulationError("identifiers on the cycle must be unique")
+
+    colours = list(identifiers)
+    rounds = 0
+    while max(colours) > 5:
+        colours = _cole_vishkin_step(colours)
+        rounds += 1
+        if rounds > max_iterations:
+            raise SimulationError("Cole-Vishkin did not converge; identifiers may be invalid")
+    final_colours, shift_rounds = _shift_down(colours)
+    return CycleColouring(colours=final_colours, rounds=rounds + shift_rounds)
+
+
+def three_colour_rows(
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    axis: int,
+) -> Tuple[Dict[Node, int], int]:
+    """3-colour every row of the grid along ``axis`` in parallel.
+
+    Each row is an independent directed cycle (oriented towards increasing
+    coordinates); all rows run Cole–Vishkin simultaneously, so the round
+    cost is the maximum over the rows.
+    """
+    colouring: Dict[Node, int] = {}
+    rounds = 0
+    for row in grid.rows(axis):
+        row_ids = [identifiers[node] for node in row]
+        result = colour_directed_cycle(row_ids)
+        for node, colour in zip(row, result.colours):
+            colouring[node] = colour
+        rounds = max(rounds, result.rounds)
+    return colouring, rounds
+
+
+def greedy_cycle_mis(colours: Sequence[int]) -> Tuple[List[int], int]:
+    """Maximal independent set of a cycle from a proper colouring.
+
+    Processes colour classes in increasing order; a node joins if none of
+    its two neighbours has joined yet.  Returns the 0/1 membership list and
+    the number of rounds (one per colour class).
+    """
+    length = len(colours)
+    membership = [0] * length
+    distinct = sorted(set(colours))
+    for colour in distinct:
+        for index in range(length):
+            if colours[index] != colour:
+                continue
+            left = membership[(index - 1) % length]
+            right = membership[(index + 1) % length]
+            if not left and not right:
+                membership[index] = 1
+    return membership, len(distinct)

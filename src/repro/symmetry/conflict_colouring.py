@@ -1,0 +1,122 @@
+"""Conflict colouring (Definition 6 of the paper) and its greedy solver.
+
+A conflict-colouring instance consists of a graph, a list of available
+colours per node and, for every edge, a set of forbidden colour pairs.  The
+instance is an ``(ℓ, d)``-conflict colouring if every list has at least
+``ℓ`` colours and for every edge each colour of one endpoint forbids at most
+``d`` colours of the other endpoint.  Fraigniaud, Heinrich and Kosowski give
+a sophisticated distributed algorithm; the paper observes (proof of
+Theorem 4) that a simple greedy over the classes of a proper colouring of
+the conflict graph suffices whenever ``ℓ / d > Δ``, and that is what we
+implement.  The radii assignment of the 4-colouring algorithm is exactly
+such an instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+
+NodeKey = Hashable
+Colour = int
+
+
+@dataclass
+class ConflictColouringInstance:
+    """A conflict-colouring instance.
+
+    Attributes
+    ----------
+    adjacency:
+        The conflict graph: only adjacent nodes can constrain each other.
+    available:
+        The list of available colours for every node.
+    forbidden:
+        Predicate ``forbidden(u, v, cu, cv)`` returning True when assigning
+        colour ``cu`` to ``u`` and ``cv`` to ``v`` is disallowed for the
+        edge ``{u, v}``.  It is called with both orientations.
+    """
+
+    adjacency: Mapping[NodeKey, Sequence[NodeKey]]
+    available: Mapping[NodeKey, Sequence[Colour]]
+    forbidden: Callable[[NodeKey, NodeKey, Colour, Colour], bool]
+
+    def list_size(self) -> int:
+        """Return the smallest list length ``ℓ`` of the instance."""
+        return min((len(colours) for colours in self.available.values()), default=0)
+
+    def max_conflict_degree(self) -> int:
+        """Return an upper bound on the defect ``d`` of the instance.
+
+        Computed by explicit counting: for every edge and every colour of
+        one endpoint, how many colours of the other endpoint it forbids.
+        """
+        worst = 0
+        for node, neighbours in self.adjacency.items():
+            for neighbour in neighbours:
+                for own_colour in self.available[node]:
+                    conflicts = sum(
+                        1
+                        for other_colour in self.available[neighbour]
+                        if self.forbidden(node, neighbour, own_colour, other_colour)
+                    )
+                    worst = max(worst, conflicts)
+        return worst
+
+
+@dataclass
+class ConflictColouringResult:
+    """A feasible assignment of colours plus the rounds spent."""
+
+    assignment: Dict[NodeKey, Colour]
+    rounds: int
+    metadata: Dict[str, int] = field(default_factory=dict)
+
+
+def solve_conflict_colouring(
+    instance: ConflictColouringInstance,
+    schedule_colours: Mapping[NodeKey, int],
+) -> ConflictColouringResult:
+    """Solve a conflict-colouring instance greedily.
+
+    ``schedule_colours`` must be a proper colouring of the conflict graph;
+    the nodes of one class choose simultaneously (one round per class) a
+    colour from their list that conflicts with none of the already-fixed
+    neighbours.  If some node runs out of options a
+    :class:`repro.errors.SimulationError` is raised — the caller is expected
+    to retry with a larger list (larger ``ℓ``), mirroring how the paper's
+    constants guarantee feasibility.
+    """
+    assignment: Dict[NodeKey, Colour] = {}
+    classes: Dict[int, List[NodeKey]] = {}
+    for node in instance.adjacency:
+        classes.setdefault(schedule_colours[node], []).append(node)
+
+    rounds = 0
+    for schedule_class in sorted(classes):
+        for node in classes[schedule_class]:
+            choice: Optional[Colour] = None
+            for colour in instance.available[node]:
+                ok = True
+                for neighbour in instance.adjacency[node]:
+                    if neighbour not in assignment:
+                        continue
+                    if instance.forbidden(node, neighbour, colour, assignment[neighbour]):
+                        ok = False
+                        break
+                    if instance.forbidden(neighbour, node, assignment[neighbour], colour):
+                        ok = False
+                        break
+                if ok:
+                    choice = colour
+                    break
+            if choice is None:
+                raise SimulationError(
+                    f"greedy conflict colouring failed at node {node!r}: "
+                    "no available colour is conflict-free (increase the list size)"
+                )
+            assignment[node] = choice
+        rounds += 1
+    return ConflictColouringResult(assignment=assignment, rounds=rounds)

@@ -1,0 +1,174 @@
+"""Linial's colour reduction on general bounded-degree graphs.
+
+Linial's classic algorithm reduces a proper ``m``-colouring of a graph of
+maximum degree ``Δ`` to a proper ``O(Δ² log m)``-colouring in a *single*
+communication round, using a ``Δ``-cover-free family of sets.  Iterating the
+step ``O(log* m)`` times reaches a colouring with ``O(Δ² log Δ)`` colours.
+Starting from the unique identifiers this gives the ``O(log* n)``-round
+symmetry breaking needed on the power graphs ``G^(k)`` and ``G^[k]``.
+
+The cover-free family is the standard polynomial construction: colour ``i``
+is mapped to a polynomial ``p_i`` of degree at most ``deg`` over the finite
+field ``F_q`` (its coefficients are the base-``q`` digits of ``i``), and the
+set associated with ``i`` is ``S_i = {(x, p_i(x)) : x ∈ F_q}``.  Two
+distinct polynomials agree on at most ``deg`` points, so as long as
+``q > Δ · deg`` a node can always find an element of its own set not covered
+by the sets of its at most ``Δ`` neighbours; that element (encoded as the
+integer ``x * q + p_i(x) < q²``) is the node's new colour.
+
+The functions here are generic: they operate on explicit adjacency mappings,
+so the same code serves grids, their power graphs, rows (cycles) and the
+anchor conflict graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.utils.math import next_prime
+
+NodeKey = Hashable
+Adjacency = Mapping[NodeKey, Sequence[NodeKey]]
+
+
+@dataclass
+class ColourReductionResult:
+    """A proper colouring together with the rounds spent producing it."""
+
+    colours: Dict[NodeKey, int]
+    rounds: int
+    palette_size: int
+    history: List[int] = field(default_factory=list)
+
+
+def _max_degree(adjacency: Adjacency) -> int:
+    return max((len(neighbours) for neighbours in adjacency.values()), default=0)
+
+
+def _choose_parameters(palette_size: int, max_degree: int) -> Tuple[int, int]:
+    """Choose the polynomial degree and field size for one Linial step.
+
+    Returns ``(degree, q)`` with ``q`` prime, ``q > max_degree * degree``
+    and ``q ** (degree + 1) >= palette_size`` (so that every current colour
+    has its own polynomial), minimising the resulting palette ``q²``.
+    """
+    best: Tuple[int, int] = (0, 0)
+    best_palette = None
+    for degree in range(1, 12):
+        # q must exceed Δ·degree and satisfy q^(degree+1) >= palette_size.
+        lower_bound = max(max_degree * degree + 1, 2)
+        q = next_prime(lower_bound)
+        while q ** (degree + 1) < palette_size:
+            q = next_prime(q + 1)
+        palette = q * q
+        if best_palette is None or palette < best_palette:
+            best_palette = palette
+            best = (degree, q)
+    return best
+
+
+def _polynomial_digits(value: int, degree: int, q: int) -> List[int]:
+    """Base-``q`` digits of ``value`` (length ``degree + 1``, low digit first)."""
+    digits = []
+    for _ in range(degree + 1):
+        digits.append(value % q)
+        value //= q
+    return digits
+
+
+def _evaluate(coefficients: Sequence[int], x: int, q: int) -> int:
+    """Evaluate the polynomial with the given coefficients at ``x`` over ``F_q``."""
+    result = 0
+    power = 1
+    for coefficient in coefficients:
+        result = (result + coefficient * power) % q
+        power = (power * x) % q
+    return result
+
+
+def linial_step(
+    adjacency: Adjacency,
+    colours: Mapping[NodeKey, int],
+    max_degree: int,
+) -> Dict[NodeKey, int]:
+    """One round of Linial colour reduction.
+
+    The input colouring must be proper.  The output colouring is proper and
+    uses at most ``q²`` colours, where ``q`` is the field size chosen by
+    :func:`_choose_parameters` for the current palette.
+    """
+    palette_size = max(colours.values()) + 1
+    degree, q = _choose_parameters(palette_size, max_degree)
+
+    # Pre-compute, for every colour in use, the point set of its polynomial
+    # (encoded as x * q + p(x)); nodes sharing a colour share the set.
+    point_sets: Dict[int, frozenset] = {}
+    for colour in set(colours.values()):
+        coefficients = _polynomial_digits(colour, degree, q)
+        point_sets[colour] = frozenset(
+            x * q + _evaluate(coefficients, x, q) for x in range(q)
+        )
+
+    new_colours: Dict[NodeKey, int] = {}
+    for node, neighbours in adjacency.items():
+        own_points = point_sets[colours[node]]
+        neighbour_sets = [point_sets[colours[neighbour]] for neighbour in neighbours]
+        chosen = None
+        for point in own_points:
+            if all(point not in other for other in neighbour_sets):
+                chosen = point
+                break
+        if chosen is None:
+            raise SimulationError(
+                "Linial step failed to find an uncovered point; "
+                "the input colouring is probably not proper"
+            )
+        new_colours[node] = chosen
+    return new_colours
+
+
+def linial_colour_reduction(
+    adjacency: Adjacency,
+    initial_colours: Mapping[NodeKey, int],
+    max_degree: int = 0,
+    max_rounds: int = 64,
+) -> ColourReductionResult:
+    """Iterate Linial's step until the palette stops shrinking.
+
+    ``initial_colours`` is typically the unique-identifier assignment (any
+    injective map is a proper colouring).  The iteration stops as soon as a
+    step no longer strictly decreases the palette size; at that point the
+    palette has size ``O(Δ² log Δ)`` and further progress requires the
+    slower one-colour-per-round or batch reductions of
+    :mod:`repro.symmetry.reduction`.
+    """
+    if not adjacency:
+        return ColourReductionResult(colours={}, rounds=0, palette_size=0)
+    degree = max_degree if max_degree > 0 else _max_degree(adjacency)
+    colours = dict(initial_colours)
+    palette = max(colours.values()) + 1
+    history = [palette]
+    rounds = 0
+    while rounds < max_rounds:
+        candidate = linial_step(adjacency, colours, degree)
+        new_palette = max(candidate.values()) + 1
+        if new_palette >= palette:
+            break
+        colours = candidate
+        palette = new_palette
+        history.append(palette)
+        rounds += 1
+    return ColourReductionResult(
+        colours=colours, rounds=rounds, palette_size=palette, history=history
+    )
+
+
+def verify_proper_colouring_map(adjacency: Adjacency, colours: Mapping[NodeKey, int]) -> bool:
+    """Return True if no edge of ``adjacency`` is monochromatic."""
+    for node, neighbours in adjacency.items():
+        for neighbour in neighbours:
+            if colours[node] == colours[neighbour]:
+                return False
+    return True

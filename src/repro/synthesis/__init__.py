@@ -1,0 +1,51 @@
+"""Automated synthesis of normal-form algorithms (Section 7, Appendix A.1).
+
+Given an LCL problem with pairwise constraints and a candidate anchor
+spacing ``k``, the synthesis engine
+
+1. enumerates all *tiles* — window patterns of anchor bits that can occur in
+   a maximal independent set of ``G^(k)`` (:mod:`repro.synthesis.tiles`),
+2. builds the tile neighbourhood graph whose edges are the windows one cell
+   wider/taller (:mod:`repro.synthesis.tile_graph`),
+3. searches for an assignment of output labels to tiles satisfying the
+   problem's constraints on every edge, using either a backtracking CSP
+   solver (:mod:`repro.synthesis.csp`) or a from-scratch DPLL SAT solver
+   (:mod:`repro.synthesis.sat`, :mod:`repro.synthesis.encode`), and
+4. packages a successful assignment as a runtime lookup-table algorithm of
+   the normal form ``A' ∘ S_k`` (:mod:`repro.synthesis.lookup`).
+
+If the problem is global the search never succeeds — by Theorem 3 this
+cannot be detected in general, which is why the synthesis loop takes
+explicit budgets instead of promising termination.
+"""
+
+from repro.synthesis.tiles import enumerate_tiles, is_tile
+from repro.synthesis.tile_graph import TileGraph, build_tile_graph
+from repro.synthesis.csp import BinaryCSP, CSPResult, solve_binary_csp
+from repro.synthesis.sat import CNF, SATResult, solve_cnf
+from repro.synthesis.encode import encode_tile_labelling_as_sat
+from repro.synthesis.synthesiser import (
+    SynthesisOutcome,
+    synthesise,
+    synthesise_with_budget,
+)
+from repro.synthesis.lookup import LookupAnchorRule, build_lookup_algorithm
+
+__all__ = [
+    "BinaryCSP",
+    "CNF",
+    "CSPResult",
+    "LookupAnchorRule",
+    "SATResult",
+    "SynthesisOutcome",
+    "TileGraph",
+    "build_lookup_algorithm",
+    "build_tile_graph",
+    "encode_tile_labelling_as_sat",
+    "enumerate_tiles",
+    "is_tile",
+    "solve_binary_csp",
+    "solve_cnf",
+    "synthesise",
+    "synthesise_with_budget",
+]

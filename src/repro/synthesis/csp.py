@@ -1,0 +1,175 @@
+"""A small binary constraint-satisfaction solver.
+
+The synthesis of the finite rule ``A'`` reduces to a constraint satisfaction
+problem: variables are tiles, domains are the problem's output labels, and
+binary constraints come from the horizontal/vertical tile pairs.  The solver
+implemented here is a classic backtracking search with
+
+* minimum-remaining-values variable ordering (break ties by degree),
+* forward checking (domain pruning of the neighbours of an assigned
+  variable), and
+* a node-budget so that provably hopeless instances (the synthesis loop for
+  a *global* problem never succeeds) terminate with an "exhausted" verdict
+  instead of running forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+
+Variable = Hashable
+Value = Hashable
+Constraint = Callable[[Value, Value], bool]
+
+
+@dataclass
+class BinaryCSP:
+    """A binary CSP: domains per variable and pairwise constraints.
+
+    Constraints are stored per ordered pair of variables; ``constraint(a, b)``
+    must return True when assigning ``a`` to the first variable and ``b`` to
+    the second is allowed.  Multiple constraints on the same pair are all
+    enforced.
+    """
+
+    domains: Dict[Variable, Tuple[Value, ...]] = field(default_factory=dict)
+    constraints: Dict[Tuple[Variable, Variable], List[Constraint]] = field(default_factory=dict)
+
+    def add_variable(self, variable: Variable, domain: Sequence[Value]) -> None:
+        """Declare a variable with its domain."""
+        if variable in self.domains:
+            raise SynthesisError(f"variable {variable!r} declared twice")
+        if not domain:
+            raise SynthesisError(f"variable {variable!r} has an empty domain")
+        self.domains[variable] = tuple(domain)
+
+    def add_constraint(self, first: Variable, second: Variable, constraint: Constraint) -> None:
+        """Add a constraint over the ordered pair ``(first, second)``."""
+        if first not in self.domains or second not in self.domains:
+            raise SynthesisError("constraints may only involve declared variables")
+        self.constraints.setdefault((first, second), []).append(constraint)
+
+    def neighbours(self) -> Dict[Variable, List[Tuple[Variable, bool]]]:
+        """For each variable, the variables it shares a constraint with.
+
+        Each entry is ``(other, am_first)`` where ``am_first`` records
+        whether the variable appears as the first element of the constraint
+        pair (needed to evaluate the constraint with arguments in the right
+        order).
+        """
+        result: Dict[Variable, List[Tuple[Variable, bool]]] = {
+            variable: [] for variable in self.domains
+        }
+        for (first, second) in self.constraints:
+            result[first].append((second, True))
+            result[second].append((first, False))
+        return result
+
+    def check_pair(self, first: Variable, second: Variable, a: Value, b: Value) -> bool:
+        """Evaluate all constraints registered on the ordered pair."""
+        for constraint in self.constraints.get((first, second), []):
+            if not constraint(a, b):
+                return False
+        return True
+
+
+@dataclass
+class CSPResult:
+    """Outcome of a CSP search."""
+
+    satisfiable: bool
+    assignment: Optional[Dict[Variable, Value]] = None
+    nodes_explored: int = 0
+    exhausted_budget: bool = False
+
+
+def solve_binary_csp(csp: BinaryCSP, node_budget: int = 2_000_000) -> CSPResult:
+    """Solve a binary CSP by backtracking with MRV and forward checking."""
+    variables = list(csp.domains)
+    if not variables:
+        return CSPResult(satisfiable=True, assignment={})
+    neighbours = csp.neighbours()
+    domains: Dict[Variable, List[Value]] = {
+        variable: list(domain) for variable, domain in csp.domains.items()
+    }
+    assignment: Dict[Variable, Value] = {}
+    explored = 0
+    budget_hit = False
+
+    def consistent_with_assigned(variable: Variable, value: Value) -> bool:
+        for other, am_first in neighbours[variable]:
+            if other not in assignment:
+                continue
+            if am_first:
+                if not csp.check_pair(variable, other, value, assignment[other]):
+                    return False
+            else:
+                if not csp.check_pair(other, variable, assignment[other], value):
+                    return False
+        return True
+
+    def prune(variable: Variable, value: Value) -> Optional[List[Tuple[Variable, Value]]]:
+        """Forward checking; returns the removed (variable, value) pairs or None on wipe-out."""
+        removed: List[Tuple[Variable, Value]] = []
+        for other, am_first in neighbours[variable]:
+            if other in assignment:
+                continue
+            for candidate in list(domains[other]):
+                if am_first:
+                    ok = csp.check_pair(variable, other, value, candidate)
+                else:
+                    ok = csp.check_pair(other, variable, candidate, value)
+                if not ok:
+                    domains[other].remove(candidate)
+                    removed.append((other, candidate))
+            if not domains[other]:
+                for removed_variable, removed_value in removed:
+                    domains[removed_variable].append(removed_value)
+                return None
+        return removed
+
+    def select_variable() -> Variable:
+        unassigned = [variable for variable in variables if variable not in assignment]
+        return min(
+            unassigned,
+            key=lambda variable: (len(domains[variable]), -len(neighbours[variable])),
+        )
+
+    def backtrack() -> bool:
+        nonlocal explored, budget_hit
+        if len(assignment) == len(variables):
+            return True
+        if explored >= node_budget:
+            budget_hit = True
+            return False
+        variable = select_variable()
+        for value in list(domains[variable]):
+            explored += 1
+            if explored >= node_budget:
+                budget_hit = True
+                return False
+            if not consistent_with_assigned(variable, value):
+                continue
+            removed = prune(variable, value)
+            if removed is None:
+                continue
+            assignment[variable] = value
+            if backtrack():
+                return True
+            del assignment[variable]
+            for removed_variable, removed_value in removed:
+                domains[removed_variable].append(removed_value)
+        return False
+
+    found = backtrack()
+    if found:
+        return CSPResult(satisfiable=True, assignment=dict(assignment), nodes_explored=explored)
+    return CSPResult(
+        satisfiable=False,
+        assignment=None,
+        nodes_explored=explored,
+        exhausted_budget=budget_hit,
+    )

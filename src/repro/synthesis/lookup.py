@@ -1,0 +1,78 @@
+"""Runtime lookup-table algorithms produced by synthesis.
+
+A successful synthesis outcome is a finite map from anchor windows (tiles)
+to output labels.  Wrapping it in an :class:`repro.speedup.normal_form.AnchorRule`
+and composing with the anchor computation ``S_k`` yields a complete
+``Θ(log* n)`` algorithm — the concrete realisation of Figure 1.
+
+Tables can be serialised to plain dictionaries (and back) so that expensive
+synthesis runs — most notably 4-colouring at ``k = 3`` with 7×5 windows —
+can be cached on disk and reused by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.errors import SynthesisError
+from repro.grid.subgrid import Window
+from repro.speedup.normal_form import AnchorRule, NormalFormAlgorithm
+from repro.synthesis.synthesiser import SynthesisOutcome
+
+
+class LookupAnchorRule(AnchorRule):
+    """The finite rule ``A'`` given explicitly as a tile-to-label table."""
+
+    def __init__(self, width: int, height: int, table: Mapping[Window, Any]):
+        if not table:
+            raise SynthesisError("a lookup rule needs a non-empty table")
+        self.width = width
+        self.height = height
+        self._table = dict(table)
+
+    @property
+    def table(self) -> Dict[Window, Any]:
+        """The underlying tile-to-label table (a copy is not made)."""
+        return self._table
+
+    def output(self, window: Window) -> Any:
+        try:
+            return self._table[window]
+        except KeyError:
+            raise SynthesisError(
+                "anchor window not covered by the lookup table; either the anchor "
+                "set is not a maximal independent set of G^(k), or the grid is too "
+                "small for the chosen window size\n" + str(window)
+            ) from None
+
+
+def build_lookup_algorithm(outcome: SynthesisOutcome, name: str = "") -> NormalFormAlgorithm:
+    """Package a successful synthesis outcome as a runnable normal-form algorithm."""
+    if not outcome.success or outcome.table is None:
+        raise SynthesisError(
+            f"cannot build an algorithm from a failed synthesis outcome for "
+            f"{outcome.problem_name!r}"
+        )
+    rule = LookupAnchorRule(outcome.width, outcome.height, outcome.table)
+    return NormalFormAlgorithm(
+        rule=rule,
+        k=outcome.k,
+        name=name or f"{outcome.problem_name}-normal-form",
+    )
+
+
+def table_to_serialisable(table: Mapping[Window, Any]) -> List[Tuple[List[List[int]], Any]]:
+    """Convert a rule table into JSON-friendly nested lists."""
+    serialised = []
+    for window, label in table.items():
+        serialised.append(([list(column) for column in window.cells], label))
+    return serialised
+
+
+def table_from_serialisable(data: List[Tuple[List[List[int]], Any]]) -> Dict[Window, Any]:
+    """Inverse of :func:`table_to_serialisable`."""
+    table: Dict[Window, Any] = {}
+    for cells, label in data:
+        window = Window(tuple(tuple(column) for column in cells))
+        table[window] = label
+    return table

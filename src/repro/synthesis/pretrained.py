@@ -1,0 +1,72 @@
+"""Pre-synthesised rule tables shipped with the library.
+
+Synthesising the 4-colouring rule (``k = 3``, 7×5 windows, 2079 tiles) takes
+a few seconds with the built-in CDCL solver; to keep the examples and the
+default test suite fast, the table produced by
+``benchmarks/test_bench_synthesis_tiles.py`` is shipped as package data and
+can be loaded here.  The loader validates the table against the problem's
+constraints before returning it, so a corrupted data file cannot silently
+produce wrong algorithms.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.core.catalog import vertex_colouring_problem
+from repro.errors import SynthesisError
+from repro.speedup.normal_form import NormalFormAlgorithm
+from repro.synthesis.lookup import LookupAnchorRule, table_from_serialisable
+from repro.synthesis.synthesiser import SynthesisOutcome, synthesise
+from repro.synthesis.tile_graph import build_tile_graph
+from repro.synthesis.synthesiser import validate_table
+
+_DATA_DIRECTORY = Path(__file__).parent / "data"
+_FOUR_COLOURING_FILE = _DATA_DIRECTORY / "fourcol_table_k3_7x5.json"
+
+
+def four_colouring_table_path() -> Path:
+    """Path of the shipped 4-colouring rule table."""
+    return _FOUR_COLOURING_FILE
+
+
+def load_four_colouring_outcome(validate: bool = False) -> SynthesisOutcome:
+    """Load the shipped 4-colouring synthesis outcome (k=3, 7×5 windows).
+
+    With ``validate=True`` the table is re-checked against a freshly built
+    tile graph (a few seconds of tile enumeration); otherwise it is trusted.
+    If the data file is missing, the table is re-synthesised from scratch.
+    """
+    problem = vertex_colouring_problem(4)
+    if not _FOUR_COLOURING_FILE.exists():
+        outcome = synthesise(problem, k=3, width=7, height=5, engine="sat")
+        if not outcome.success:
+            raise SynthesisError("re-synthesising the 4-colouring rule unexpectedly failed")
+        return outcome
+    with open(_FOUR_COLOURING_FILE, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    table = table_from_serialisable(data["table"])
+    outcome = SynthesisOutcome(
+        problem_name=problem.name,
+        k=data["k"],
+        width=data["width"],
+        height=data["height"],
+        success=True,
+        table=table,
+        tile_count=len(table),
+        engine="sat (cached)",
+    )
+    if validate:
+        graph = build_tile_graph(outcome.width, outcome.height, outcome.k)
+        if not validate_table(problem, graph, table):
+            raise SynthesisError("the shipped 4-colouring table fails validation")
+    return outcome
+
+
+def load_four_colouring_algorithm(validate: bool = False) -> NormalFormAlgorithm:
+    """The normal-form 4-colouring algorithm ``A' ∘ S_3`` as a runnable object."""
+    outcome = load_four_colouring_outcome(validate=validate)
+    rule = LookupAnchorRule(outcome.width, outcome.height, outcome.table or {})
+    return NormalFormAlgorithm(rule=rule, k=outcome.k, name="four-colouring-normal-form")

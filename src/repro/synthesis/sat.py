@@ -1,0 +1,353 @@
+"""A from-scratch CDCL SAT solver.
+
+Section 7 of the paper reports that the constraint-satisfaction instances
+arising in synthesis (for example 4-colouring the tile neighbourhood graph
+with 2079 tiles) are solved "with modern SAT solvers in a matter of
+seconds".  No external solver is available offline, so this module provides
+a compact conflict-driven clause-learning (CDCL) solver:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity-based decision heuristic with decay,
+* geometric restarts.
+
+The implementation favours clarity over raw speed, but it comfortably
+handles the instances produced by :mod:`repro.synthesis.encode`.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative integer denotes the negated variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+
+
+@dataclass
+class CNF:
+    """A CNF formula over variables ``1 .. variable_count``."""
+
+    variable_count: int = 0
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; literals are DIMACS-style non-zero integers."""
+        clause = tuple(literals)
+        if not clause:
+            raise SynthesisError("empty clauses are not allowed (the formula would be UNSAT)")
+        for literal in clause:
+            if literal == 0:
+                raise SynthesisError("0 is not a valid literal")
+            self.variable_count = max(self.variable_count, abs(literal))
+        self.clauses.append(clause)
+
+    def new_variable(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.variable_count += 1
+        return self.variable_count
+
+
+@dataclass
+class SATResult:
+    """Outcome of a SAT search."""
+
+    satisfiable: bool
+    assignment: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    restarts: int = 0
+    exhausted_budget: bool = False
+
+
+class _Solver:
+    """Internal CDCL machinery (one instance per :func:`solve_cnf` call)."""
+
+    def __init__(self, cnf: CNF, conflict_budget: int):
+        self.variable_count = cnf.variable_count
+        self.conflict_budget = conflict_budget
+        # Clause database: list of lists of literals.  Learned clauses are
+        # appended to the same list.
+        self.clauses: List[List[int]] = [list(clause) for clause in cnf.clauses]
+        # assignment[var] is None / True / False.
+        self.assignment: List[Optional[bool]] = [None] * (self.variable_count + 1)
+        self.level: List[int] = [0] * (self.variable_count + 1)
+        self.reason: List[Optional[int]] = [None] * (self.variable_count + 1)
+        self.trail: List[int] = []
+        self.trail_limits: List[int] = []
+        self.activity: List[float] = [0.0] * (self.variable_count + 1)
+        self.activity_increment = 1.0
+        self.watches: Dict[int, List[int]] = {}
+        self.conflicts = 0
+        self.decisions = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------ #
+    # Basic helpers
+    # ------------------------------------------------------------------ #
+
+    def _value(self, literal: int) -> Optional[bool]:
+        value = self.assignment[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self.watches.setdefault(literal, []).append(clause_index)
+
+    def _initialise_watches(self) -> Optional[int]:
+        """Set up watched literals; returns a conflicting clause index if found."""
+        for index, clause in enumerate(self.clauses):
+            if len(clause) == 1:
+                status = self._value(clause[0])
+                if status is False:
+                    return index
+                if status is None:
+                    self._enqueue(clause[0], index)
+            else:
+                self._watch(clause[0], index)
+                self._watch(clause[1], index)
+        return None
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> None:
+        variable = abs(literal)
+        self.assignment[variable] = literal > 0
+        self.level[variable] = len(self.trail_limits)
+        self.reason[variable] = reason
+        self.trail.append(literal)
+
+    # ------------------------------------------------------------------ #
+    # Unit propagation with two watched literals
+    # ------------------------------------------------------------------ #
+
+    def _propagate(self, queue_start: int) -> Tuple[Optional[int], int]:
+        """Propagate from ``trail[queue_start:]``; return (conflict clause, new head)."""
+        head = queue_start
+        while head < len(self.trail):
+            literal = self.trail[head]
+            head += 1
+            falsified = -literal
+            watch_list = self.watches.get(falsified, [])
+            new_watch_list: List[int] = []
+            index_position = 0
+            while index_position < len(watch_list):
+                clause_index = watch_list[index_position]
+                index_position += 1
+                clause = self.clauses[clause_index]
+                # Make sure the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                replacement = None
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) is not False:
+                        replacement = position
+                        break
+                if replacement is not None:
+                    clause[1], clause[replacement] = clause[replacement], clause[1]
+                    self._watch(clause[1], clause_index)
+                    continue
+                # No replacement: clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if self._value(first) is False:
+                    # Conflict: keep the remaining watches and report.
+                    new_watch_list.extend(watch_list[index_position:])
+                    self.watches[falsified] = new_watch_list
+                    return clause_index, head
+                self._enqueue(first, clause_index)
+            self.watches[falsified] = new_watch_list
+        return None, head
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, variable: int) -> None:
+        self.activity[variable] += self.activity_increment
+        if self.activity[variable] > 1e100:
+            for index in range(1, self.variable_count + 1):
+                self.activity[index] *= 1e-100
+            self.activity_increment *= 1e-100
+
+    def _analyse(self, conflict_index: int) -> Tuple[List[int], int]:
+        """Return the learned clause and the backjump level (first UIP scheme)."""
+        current_level = len(self.trail_limits)
+        learned: List[int] = []
+        seen = [False] * (self.variable_count + 1)
+        counter = 0
+        literal: Optional[int] = None
+        clause = list(self.clauses[conflict_index])
+        trail_index = len(self.trail) - 1
+
+        while True:
+            for clause_literal in clause:
+                variable = abs(clause_literal)
+                if literal is not None and clause_literal == -literal:
+                    continue
+                if not seen[variable] and self.level[variable] > 0:
+                    seen[variable] = True
+                    self._bump(variable)
+                    if self.level[variable] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(clause_literal)
+            # Find the next literal on the trail to resolve on.
+            while True:
+                literal = self.trail[trail_index]
+                trail_index -= 1
+                if seen[abs(literal)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self.reason[abs(literal)]
+            clause = list(self.clauses[reason_index]) if reason_index is not None else []
+        learned.append(-literal)
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest decision level in the clause.
+        levels = sorted((self.level[abs(lit)] for lit in learned[:-1]), reverse=True)
+        return learned, levels[0]
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_limits) > target_level:
+            limit = self.trail_limits.pop()
+            while len(self.trail) > limit:
+                literal = self.trail.pop()
+                variable = abs(literal)
+                self.assignment[variable] = None
+                self.reason[variable] = None
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+
+    def _pick_variable(self) -> Optional[int]:
+        best = None
+        best_activity = -1.0
+        for variable in range(1, self.variable_count + 1):
+            if self.assignment[variable] is None and self.activity[variable] > best_activity:
+                best = variable
+                best_activity = self.activity[variable]
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def solve(self) -> SATResult:
+        conflict = self._initialise_watches()
+        if conflict is not None:
+            return SATResult(satisfiable=False, conflicts=0, decisions=0)
+        conflict_index, head = self._propagate(0)
+        if conflict_index is not None:
+            return SATResult(satisfiable=False, conflicts=1, decisions=0)
+
+        restart_threshold = 128
+
+        while True:
+            if self.conflicts >= self.conflict_budget:
+                return SATResult(
+                    satisfiable=False,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    restarts=self.restarts,
+                    exhausted_budget=True,
+                )
+            variable = self._pick_variable()
+            if variable is None:
+                assignment = {
+                    index: bool(self.assignment[index])
+                    for index in range(1, self.variable_count + 1)
+                }
+                return SATResult(
+                    satisfiable=True,
+                    assignment=assignment,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    restarts=self.restarts,
+                )
+            # Decide (default polarity: False, which suits at-most-one encodings).
+            self.decisions += 1
+            self.trail_limits.append(len(self.trail))
+            self._enqueue(-variable, None)
+            propagate_from = len(self.trail) - 1
+
+            restart_now = False
+            while True:
+                conflict_index, propagate_from = self._propagate(propagate_from)
+                if conflict_index is None:
+                    break
+                self.conflicts += 1
+                self.activity_increment *= 1.05
+                if self.conflicts % restart_threshold == 0:
+                    restart_now = True
+                if not self.trail_limits:
+                    return SATResult(
+                        satisfiable=False,
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        restarts=self.restarts,
+                    )
+                learned, backjump_level = self._analyse(conflict_index)
+                self._backtrack(backjump_level)
+                # Reorder the learned clause so that the asserting (first-UIP)
+                # literal is watched first and a literal from the backjump
+                # level is watched second — the standard watch invariant.
+                learned.reverse()
+                if len(learned) > 1:
+                    best = max(
+                        range(1, len(learned)),
+                        key=lambda position: self.level[abs(learned[position])],
+                    )
+                    learned[1], learned[best] = learned[best], learned[1]
+                self.clauses.append(learned)
+                clause_index = len(self.clauses) - 1
+                if len(learned) > 1:
+                    self._watch(learned[0], clause_index)
+                    self._watch(learned[1], clause_index)
+                asserting = learned[0]
+                if self._value(asserting) is None:
+                    self._enqueue(asserting, clause_index if len(learned) > 1 else None)
+                propagate_from = len(self.trail) - 1
+
+            if restart_now and self.trail_limits:
+                self.restarts += 1
+                restart_threshold = int(restart_threshold * 1.5)
+                self._backtrack(0)
+
+
+def solve_cnf(cnf: CNF, conflict_budget: int = 200_000) -> SATResult:
+    """Solve a CNF formula; returns a :class:`SATResult`.
+
+    ``conflict_budget`` bounds the number of conflicts before the solver
+    gives up with ``exhausted_budget=True`` (used by the synthesis loop,
+    which must terminate even on unsatisfiable-looking instances).
+    """
+    if cnf.variable_count == 0:
+        return SATResult(satisfiable=True, assignment={})
+    solver = _Solver(cnf, conflict_budget)
+    return solver.solve()
+
+
+def verify_assignment(cnf: CNF, assignment: Dict[int, bool]) -> bool:
+    """Check that ``assignment`` satisfies every clause of ``cnf``."""
+    for clause in cnf.clauses:
+        satisfied = False
+        for literal in clause:
+            value = assignment.get(abs(literal))
+            if value is None:
+                continue
+            if (literal > 0) == value:
+                satisfied = True
+                break
+        if not satisfied:
+            return False
+    return True

@@ -1,0 +1,267 @@
+"""The synthesis loop (Section 7).
+
+Given a pairwise LCL problem and an anchor spacing ``k``, synthesis searches
+for a labelling of the tile neighbourhood graph that satisfies the problem's
+constraints on every horizontal and vertical tile pair; a successful
+labelling *is* the finite rule ``A'`` of the normal form, and soundness is
+immediate: every window occurring around a node at run time is a tile, and
+every adjacent pair of windows is one of the constrained pairs.
+
+Because the classification question is undecidable (Theorem 3), the loop
+over ``k`` and window sizes cannot promise termination for global problems;
+all entry points therefore take explicit budgets and report honestly whether
+an unsatisfiable verdict is exhaustive or merely budget-limited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lcl import GridLCL
+from repro.errors import SynthesisError
+from repro.grid.subgrid import Window
+from repro.synthesis.csp import BinaryCSP, solve_binary_csp
+from repro.synthesis.encode import encode_tile_labelling_as_sat
+from repro.synthesis.sat import solve_cnf
+from repro.synthesis.tile_graph import TileGraph, build_tile_graph
+
+
+@dataclass
+class SynthesisOutcome:
+    """Result of one synthesis attempt (one problem, one k, one window size)."""
+
+    problem_name: str
+    k: int
+    width: int
+    height: int
+    success: bool
+    table: Optional[Dict[Window, object]] = None
+    tile_count: int = 0
+    horizontal_pairs: int = 0
+    vertical_pairs: int = 0
+    engine: str = "csp"
+    exhausted_budget: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def certificate(self) -> str:
+        """One-line description used in experiment reports."""
+        if self.success:
+            return (
+                f"{self.problem_name}: synthesis succeeded at k={self.k} with "
+                f"{self.width}x{self.height} windows ({self.tile_count} tiles)"
+            )
+        verdict = "unsatisfiable" if not self.exhausted_budget else "budget exhausted"
+        return (
+            f"{self.problem_name}: synthesis failed at k={self.k} with "
+            f"{self.width}x{self.height} windows ({verdict})"
+        )
+
+
+def validate_table(problem: GridLCL, graph: TileGraph, table: Dict[Window, object]) -> bool:
+    """Check a candidate rule table against every tile-pair constraint."""
+    for tile in graph.tiles:
+        if tile not in table:
+            return False
+        if not problem.node_ok(table[tile]):
+            return False
+    for west, east in graph.horizontal_pairs:
+        if not problem.horizontal_ok(table[west], table[east]):
+            return False
+    for south, north in graph.vertical_pairs:
+        if not problem.vertical_ok(table[south], table[north]):
+            return False
+    return True
+
+
+def _solve_with_csp(
+    problem: GridLCL, graph: TileGraph, node_budget: int
+) -> Tuple[Optional[Dict[Window, object]], bool, Dict[str, int]]:
+    labels = tuple(label for label in problem.alphabet if problem.node_ok(label))
+    if not labels:
+        raise SynthesisError(f"problem {problem.name!r} admits no label at all")
+    csp = BinaryCSP()
+    for tile in graph.tiles:
+        csp.add_variable(tile, labels)
+    for west, east in graph.horizontal_pairs:
+        if west == east:
+            continue
+        csp.add_constraint(west, east, problem.horizontal_ok)
+    for south, north in graph.vertical_pairs:
+        if south == north:
+            continue
+        csp.add_constraint(south, north, problem.vertical_ok)
+    # Self-pairs become unary restrictions on the tile's domain.
+    restricted: Dict[Window, Tuple[object, ...]] = {}
+    for west, east in graph.horizontal_pairs:
+        if west == east:
+            restricted[west] = tuple(
+                label
+                for label in restricted.get(west, labels)
+                if problem.horizontal_ok(label, label)
+            )
+    for south, north in graph.vertical_pairs:
+        if south == north:
+            restricted[south] = tuple(
+                label
+                for label in restricted.get(south, labels)
+                if problem.vertical_ok(label, label)
+            )
+    for tile, domain in restricted.items():
+        if not domain:
+            return None, False, {"nodes_explored": 0}
+        csp.domains[tile] = domain
+
+    result = solve_binary_csp(csp, node_budget=node_budget)
+    stats = {"nodes_explored": result.nodes_explored}
+    if result.satisfiable:
+        return dict(result.assignment or {}), False, stats
+    return None, result.exhausted_budget, stats
+
+
+def _solve_with_sat(
+    problem: GridLCL, graph: TileGraph, conflict_budget: int
+) -> Tuple[Optional[Dict[Window, object]], bool, Dict[str, int]]:
+    encoding = encode_tile_labelling_as_sat(problem, graph)
+    result = solve_cnf(encoding.cnf, conflict_budget=conflict_budget)
+    stats = {
+        "conflicts": result.conflicts,
+        "decisions": result.decisions,
+        "clauses": len(encoding.cnf.clauses),
+        "variables": encoding.cnf.variable_count,
+    }
+    if result.satisfiable and result.assignment is not None:
+        return encoding.decode(result.assignment), False, stats
+    return None, result.exhausted_budget, stats
+
+
+def synthesise(
+    problem: GridLCL,
+    k: int,
+    width: int,
+    height: int,
+    engine: str = "auto",
+    csp_node_budget: int = 500_000,
+    sat_conflict_budget: int = 300_000,
+    graph: Optional[TileGraph] = None,
+) -> SynthesisOutcome:
+    """Attempt to synthesise the finite rule ``A'`` for one parameter choice.
+
+    ``engine`` is ``"csp"``, ``"sat"`` or ``"auto"`` (CSP first, falling back
+    to SAT when the CSP search exhausts its node budget without an answer).
+    A pre-built tile graph can be passed to amortise enumeration across
+    problems sharing the same parameters.
+    """
+    if not problem.is_pairwise:
+        raise SynthesisError(
+            f"problem {problem.name!r} has a cross constraint and cannot be synthesised "
+            "with the pairwise tile CSP"
+        )
+    if graph is None:
+        graph = build_tile_graph(width, height, k)
+
+    table: Optional[Dict[Window, object]] = None
+    exhausted = False
+    stats: Dict[str, int] = {}
+    used_engine = engine
+
+    if engine in ("csp", "auto"):
+        table, exhausted, stats = _solve_with_csp(problem, graph, csp_node_budget)
+        used_engine = "csp"
+    if table is None and engine == "sat":
+        table, exhausted, stats = _solve_with_sat(problem, graph, sat_conflict_budget)
+        used_engine = "sat"
+    if table is None and engine == "auto" and exhausted:
+        table, exhausted, stats = _solve_with_sat(problem, graph, sat_conflict_budget)
+        used_engine = "sat"
+
+    if table is not None and not validate_table(problem, graph, table):
+        raise SynthesisError(
+            f"internal error: solver returned an invalid rule table for {problem.name!r}"
+        )
+
+    return SynthesisOutcome(
+        problem_name=problem.name,
+        k=k,
+        width=width,
+        height=height,
+        success=table is not None,
+        table=table,
+        tile_count=graph.tile_count,
+        horizontal_pairs=len(graph.horizontal_pairs),
+        vertical_pairs=len(graph.vertical_pairs),
+        engine=used_engine,
+        exhausted_budget=exhausted,
+        stats=stats,
+    )
+
+
+def candidate_window_sizes(k: int) -> List[Tuple[int, int]]:
+    """Window sizes tried for a given anchor spacing, smallest first.
+
+    The list includes the sizes highlighted in the paper: 3×2 windows for
+    ``k = 1`` and 7×5 windows for ``k = 3``.
+    """
+    sizes = [
+        (k + 1, k + 1),
+        (2 * k + 1, max(2, 2 * k - 1)),
+        (2 * k + 1, 2 * k + 1),
+    ]
+    unique: List[Tuple[int, int]] = []
+    for size in sizes:
+        if size not in unique:
+            unique.append(size)
+    return unique
+
+
+@dataclass
+class SynthesisSearch:
+    """Record of a full synthesis search over several parameter choices."""
+
+    problem_name: str
+    attempts: List[SynthesisOutcome] = field(default_factory=list)
+    best: Optional[SynthesisOutcome] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.best is not None and self.best.success
+
+
+def synthesise_with_budget(
+    problem: GridLCL,
+    max_k: int = 3,
+    window_sizes: Optional[Dict[int, Sequence[Tuple[int, int]]]] = None,
+    engine: str = "auto",
+    csp_node_budget: int = 500_000,
+    sat_conflict_budget: int = 300_000,
+) -> SynthesisSearch:
+    """Run the synthesis loop over increasing ``k`` and window sizes.
+
+    Mirrors Section 7's procedure ("start with k = 1 and increment it until
+    synthesis succeeds"), with explicit budgets because the loop provably
+    cannot terminate for global problems.  The search stops at the first
+    success.
+    """
+    search = SynthesisSearch(problem_name=problem.name)
+    for k in range(1, max_k + 1):
+        sizes = (
+            window_sizes.get(k, candidate_window_sizes(k))
+            if window_sizes is not None
+            else candidate_window_sizes(k)
+        )
+        for width, height in sizes:
+            outcome = synthesise(
+                problem,
+                k,
+                width,
+                height,
+                engine=engine,
+                csp_node_budget=csp_node_budget,
+                sat_conflict_budget=sat_conflict_budget,
+            )
+            search.attempts.append(outcome)
+            if outcome.success:
+                search.best = outcome
+                return search
+    return search

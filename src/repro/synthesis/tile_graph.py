@@ -1,0 +1,111 @@
+"""The tile neighbourhood graph (Section 7).
+
+The nodes of the graph are the ``width x height`` tiles; a *horizontal edge*
+connects two tiles that can be the anchor windows of two horizontally
+adjacent grid nodes, and is obtained from a ``(width+1) x height`` tile by
+splitting it into its west and east sub-windows.  Vertical edges come from
+``width x (height+1)`` tiles in the same way.
+
+A labelling of the tiles with output labels that satisfies the problem's
+pair relations on every horizontal and vertical edge is exactly the finite
+function ``A'`` of the normal form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import SynthesisError
+from repro.grid.subgrid import Window
+from repro.synthesis.tiles import enumerate_tiles
+
+
+@dataclass
+class TileGraph:
+    """Tiles plus the horizontal/vertical adjacency constraints between them."""
+
+    width: int
+    height: int
+    k: int
+    tiles: Tuple[Window, ...] = ()
+    horizontal_pairs: Set[Tuple[Window, Window]] = field(default_factory=set)
+    vertical_pairs: Set[Tuple[Window, Window]] = field(default_factory=set)
+
+    @property
+    def tile_count(self) -> int:
+        """Number of distinct tiles (nodes of the graph)."""
+        return len(self.tiles)
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of (directed) horizontal plus vertical pairs."""
+        return len(self.horizontal_pairs) + len(self.vertical_pairs)
+
+    def undirected_adjacency(self) -> Dict[Window, Set[Window]]:
+        """Adjacency ignoring the direction and orientation of the pairs.
+
+        Useful for problems whose pair relations are symmetric difference
+        constraints (proper colourings): the synthesis then reduces to graph
+        colouring of this adjacency structure.
+        """
+        adjacency: Dict[Window, Set[Window]] = {tile: set() for tile in self.tiles}
+        for first, second in list(self.horizontal_pairs) + list(self.vertical_pairs):
+            if first != second:
+                adjacency[first].add(second)
+                adjacency[second].add(first)
+        return adjacency
+
+    def validate_heredity(self) -> None:
+        """Check that every endpoint of every pair is an enumerated tile."""
+        tile_set = set(self.tiles)
+        for first, second in list(self.horizontal_pairs) + list(self.vertical_pairs):
+            if first not in tile_set or second not in tile_set:
+                raise SynthesisError(
+                    "tile heredity violated: an edge endpoint is not an enumerated tile"
+                )
+
+
+def build_tile_graph(width: int, height: int, k: int) -> TileGraph:
+    """Enumerate tiles and their adjacency constraints for the given window size."""
+    tiles = enumerate_tiles(width, height, k)
+    tile_set = set(tiles)
+
+    horizontal_pairs: Set[Tuple[Window, Window]] = set()
+    for wide in enumerate_tiles(width + 1, height, k):
+        west = wide.west_part()
+        east = wide.east_part()
+        if west in tile_set and east in tile_set:
+            horizontal_pairs.add((west, east))
+        else:  # pragma: no cover - heredity guarantees this never happens
+            raise SynthesisError("sub-window of a tile is not a tile; enumeration is inconsistent")
+
+    vertical_pairs: Set[Tuple[Window, Window]] = set()
+    for tall in enumerate_tiles(width, height + 1, k):
+        south = tall.south_part()
+        north = tall.north_part()
+        if south in tile_set and north in tile_set:
+            vertical_pairs.add((south, north))
+        else:  # pragma: no cover
+            raise SynthesisError("sub-window of a tile is not a tile; enumeration is inconsistent")
+
+    graph = TileGraph(
+        width=width,
+        height=height,
+        k=k,
+        tiles=tiles,
+        horizontal_pairs=horizontal_pairs,
+        vertical_pairs=vertical_pairs,
+    )
+    graph.validate_heredity()
+    return graph
+
+
+def occurring_windows(
+    tiles: Sequence[Window],
+) -> Dict[int, List[Window]]:
+    """Group tiles by their number of anchors (diagnostic helper)."""
+    grouped: Dict[int, List[Window]] = {}
+    for tile in tiles:
+        grouped.setdefault(tile.count(1), []).append(tile)
+    return grouped

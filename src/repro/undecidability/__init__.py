@@ -1,0 +1,45 @@
+"""The undecidability construction of Section 6.
+
+For every Turing machine ``M`` the paper defines an LCL problem ``L_M`` on
+two-dimensional toroidal grids such that ``L_M`` has complexity
+``Θ(log* n)`` exactly when ``M`` halts on the empty tape, and ``Θ(n)``
+otherwise; since the halting problem is undecidable, so is distinguishing
+``Θ(log* n)`` from ``Θ(n)`` on grids (Theorem 3).
+
+This package makes the construction executable:
+
+* :mod:`repro.undecidability.turing` — a deterministic Turing-machine
+  simulator plus the small halting / non-halting example machines used in
+  the experiments;
+* :mod:`repro.undecidability.lm_problem` — the labels and local rules of
+  ``L_M`` (quadrant/border/anchor types, diagonal 2-colouring, the encoding
+  of the execution table) and a local-checkability verifier;
+* :mod:`repro.undecidability.lm_solver` — the ``O(log* n)`` solver used when
+  ``M`` halts (anchors, Voronoi quadrants, execution tables) and the global
+  3-colouring fallback that keeps ``L_M`` solvable when it does not.
+"""
+
+from repro.undecidability.turing import (
+    TuringMachine,
+    busy_machine,
+    halting_machine,
+    non_halting_machine,
+)
+from repro.undecidability.lm_problem import (
+    LMLabel,
+    check_lm_labelling,
+    lm_problem_description,
+)
+from repro.undecidability.lm_solver import solve_lm_globally, solve_lm_locally
+
+__all__ = [
+    "LMLabel",
+    "TuringMachine",
+    "busy_machine",
+    "check_lm_labelling",
+    "halting_machine",
+    "lm_problem_description",
+    "non_halting_machine",
+    "solve_lm_globally",
+    "solve_lm_locally",
+]

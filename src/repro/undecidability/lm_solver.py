@@ -1,0 +1,138 @@
+"""Solving ``L_M`` (Section 6).
+
+Two routes, matching the dichotomy of Theorem 3:
+
+* **M halts in s steps** — the ``O(log* n)`` solution: compute an anchor set
+  (a maximal independent set of ``G^(k)`` with ``k = 4(s+1)``), build the
+  Voronoi decomposition, give every node the quadrant/border type pointing
+  back to its anchor (equations (1)–(2) of the paper), 2-colour the
+  diagonals by distance parity, and write the execution table of ``M`` into
+  the north-east quadrant of every anchor.  Everything except the anchor
+  computation is constant-time.
+* **M does not halt** — no anchored labelling can be completed (the table
+  never reaches a halting row), so the only way to solve ``L_M`` is the
+  global ``P1`` branch: a proper 3-colouring, which requires ``Θ(n)``
+  rounds by Theorem 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.colouring.vertex_global import global_three_colouring
+from repro.errors import UnsolvableInstanceError
+from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.torus import Node, ToroidalGrid
+from repro.local_model.algorithm import AlgorithmResult
+from repro.speedup.voronoi import compute_voronoi_decomposition
+from repro.symmetry.mis import compute_anchors
+from repro.undecidability.lm_problem import LMLabel
+from repro.undecidability.turing import TuringMachine
+
+
+def _quadrant_type(dx: int, dy: int) -> str:
+    """Type of a node at displacement ``(dx, dy)`` from its anchor.
+
+    The type points back towards the anchor, following equations (1)–(2) of
+    the paper (with our axis convention: positive ``dx`` is east, positive
+    ``dy`` is north).
+    """
+    if dx == 0 and dy == 0:
+        return "A"
+    if dx == 0:
+        return "S" if dy > 0 else "N"
+    if dy == 0:
+        return "W" if dx > 0 else "E"
+    if dx > 0 and dy > 0:
+        return "SW"
+    if dx > 0 and dy < 0:
+        return "NW"
+    if dx < 0 and dy > 0:
+        return "SE"
+    return "NE"
+
+
+def _diagonal_bit(dx: int, dy: int) -> int:
+    """Alternating bit along every maximal same-type diagonal chain."""
+    if dx == 0 or dy == 0:
+        return (abs(dx) + abs(dy)) % 2
+    return min(abs(dx), abs(dy)) % 2
+
+
+def solve_lm_locally(
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    machine: TuringMachine,
+    max_steps: int = 64,
+) -> Tuple[Dict[Node, LMLabel], AlgorithmResult]:
+    """Produce the anchored (P2) solution; only possible when ``M`` halts.
+
+    Raises :class:`repro.errors.UnsolvableInstanceError` when the machine
+    does not halt within ``max_steps`` steps (for a genuinely non-halting
+    machine the loop of Section 7 would simply never terminate — the
+    explicit bound turns that into a clean failure), or when the grid is too
+    small for the anchor spacing ``4(s+1)``.
+    """
+    table = machine.run(max_steps)
+    if not table.halted:
+        raise UnsolvableInstanceError(
+            f"machine {machine.name!r} did not halt within {max_steps} steps; "
+            "the anchored branch of L_M cannot be completed"
+        )
+    steps = table.steps
+    spacing = 4 * (steps + 1)
+    if min(grid.sides) <= 2 * spacing:
+        raise UnsolvableInstanceError(
+            f"grid side {min(grid.sides)} too small for anchor spacing {spacing}; "
+            "use a larger grid or solve the P1 branch instead"
+        )
+
+    anchors = compute_anchors(grid, identifiers, spacing, norm="l1")
+    decomposition = compute_voronoi_decomposition(grid, anchors.members, search_radius=spacing)
+
+    width = max(1, max(row.head for row in table.rows) + 1)
+    payload: Dict[Node, Tuple[str, str]] = {}
+    for anchor in anchors.members:
+        for row_index, configuration in enumerate(table.rows):
+            for column in range(width):
+                node = grid.shift(anchor, (column, row_index))
+                state = configuration.state if configuration.head == column else None
+                payload[node] = (configuration.tape[column], state)
+
+    labels: Dict[Node, LMLabel] = {}
+    for node in grid.nodes():
+        dx, dy = decomposition.local_coordinates[node]
+        labels[node] = LMLabel(
+            branch="P2",
+            colour=_diagonal_bit(dx, dy),
+            node_type=_quadrant_type(dx, dy),
+            machine=machine.name,
+            cell=payload.get(node),
+        )
+    result = AlgorithmResult(
+        node_labels=dict(labels),
+        rounds=anchors.rounds + 2 * spacing,
+        metadata={
+            "branch": "P2",
+            "anchor_count": len(anchors.members),
+            "machine_steps": steps,
+            "anchor_spacing": spacing,
+            "anchor_rounds": anchors.rounds,
+        },
+    )
+    return labels, result
+
+
+def solve_lm_globally(grid: ToroidalGrid, machine: TuringMachine) -> Tuple[Dict[Node, LMLabel], AlgorithmResult]:
+    """The fallback that works for every machine: the global P1 branch."""
+    colouring = global_three_colouring(grid)
+    labels = {
+        node: LMLabel(branch="P1", colour=colour + 1, machine=machine.name)
+        for node, colour in colouring.node_labels.items()
+    }
+    result = AlgorithmResult(
+        node_labels=dict(labels),
+        rounds=colouring.rounds,
+        metadata={"branch": "P1"},
+    )
+    return labels, result

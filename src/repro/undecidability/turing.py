@@ -1,0 +1,136 @@
+"""A deterministic single-tape Turing machine simulator.
+
+The ``L_M`` construction needs, for a halting machine ``M``, the full
+execution table of ``M`` started on the empty tape: row ``j`` of the table
+is the tape content before step ``j`` and records which cell carries the
+head and in which state.  The simulator produces exactly that table; the
+module also provides the small example machines used by the experiments
+(one that halts after a handful of steps, one that provably never halts,
+and a slightly busier halting machine for variety).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+BLANK = "_"
+
+Transition = Tuple[str, str, int]  # (new state, written symbol, head movement)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One row of the execution table: tape, head position and state."""
+
+    tape: Tuple[str, ...]
+    head: int
+    state: str
+
+
+@dataclass
+class ExecutionTable:
+    """The full execution history of a machine started on the empty tape."""
+
+    rows: List[Configuration] = field(default_factory=list)
+    halted: bool = False
+
+    @property
+    def steps(self) -> int:
+        """Number of steps executed (rows minus the initial configuration)."""
+        return max(0, len(self.rows) - 1)
+
+    @property
+    def width(self) -> int:
+        """Number of tape cells used by the table."""
+        return len(self.rows[0].tape) if self.rows else 0
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic Turing machine working on a right-infinite tape.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in labels (all nodes must agree on the machine).
+    transitions:
+        Mapping ``(state, symbol) -> (new state, written symbol, move)``
+        with ``move`` in ``{-1, 0, +1}``; a missing entry means the machine
+        halts in that configuration.
+    initial_state / halting_states:
+        The start state and the set of accepting/halting states.
+    """
+
+    name: str
+    transitions: Dict[Tuple[str, str], Transition]
+    initial_state: str = "start"
+    halting_states: Tuple[str, ...] = ("halt",)
+
+    def halts_within(self, max_steps: int) -> Optional[int]:
+        """Return the number of steps after which the machine halts, or None."""
+        table = self.run(max_steps)
+        return table.steps if table.halted else None
+
+    def run(self, max_steps: int) -> ExecutionTable:
+        """Run on the empty tape for at most ``max_steps`` steps.
+
+        The tape is truncated/padded to the number of cells the run could
+        possibly touch (``max_steps + 1``), which is what the grid encoding
+        needs.
+        """
+        width = max_steps + 1
+        tape = [BLANK] * width
+        head = 0
+        state = self.initial_state
+        table = ExecutionTable()
+        table.rows.append(Configuration(tuple(tape), head, state))
+        for _step in range(max_steps):
+            if state in self.halting_states:
+                table.halted = True
+                return table
+            key = (state, tape[head])
+            if key not in self.transitions:
+                table.halted = True
+                return table
+            new_state, written, move = self.transitions[key]
+            tape[head] = written
+            head = max(0, min(width - 1, head + move))
+            state = new_state
+            table.rows.append(Configuration(tuple(tape), head, state))
+        if state in self.halting_states:
+            table.halted = True
+        return table
+
+
+def halting_machine() -> TuringMachine:
+    """A machine that writes two symbols and halts after three steps."""
+    transitions: Dict[Tuple[str, str], Transition] = {
+        ("start", BLANK): ("write", "a", 1),
+        ("write", BLANK): ("back", "b", -1),
+        ("back", "a"): ("halt", "a", 0),
+    }
+    return TuringMachine(name="halting-ab", transitions=transitions)
+
+
+def busy_machine() -> TuringMachine:
+    """A slightly longer halting computation (seven steps, three symbols)."""
+    transitions: Dict[Tuple[str, str], Transition] = {
+        ("start", BLANK): ("right1", "x", 1),
+        ("right1", BLANK): ("right2", "y", 1),
+        ("right2", BLANK): ("left1", "z", -1),
+        ("left1", "y"): ("left2", "y", -1),
+        ("left2", "x"): ("mark", "w", 1),
+        ("mark", "y"): ("finish", "y", 1),
+        ("finish", "z"): ("halt", "z", 0),
+    }
+    return TuringMachine(name="busy-wxyz", transitions=transitions)
+
+
+def non_halting_machine() -> TuringMachine:
+    """A machine that walks right forever, never reaching a halting state."""
+    transitions: Dict[Tuple[str, str], Transition] = {
+        ("start", BLANK): ("start", "r", 1),
+        ("start", "r"): ("start", "r", 1),
+    }
+    return TuringMachine(name="right-forever", transitions=transitions)

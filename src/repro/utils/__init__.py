@@ -1,0 +1,33 @@
+"""Small shared utilities used across the :mod:`repro` library."""
+
+from repro.utils.math import (
+    ceil_div,
+    is_prime,
+    iterated_log,
+    log_star,
+    next_prime,
+    sign,
+    toroidal_difference,
+    toroidal_distance,
+)
+from repro.utils.iter import (
+    chunks,
+    pairwise_cyclic,
+    product_range,
+    sliding_windows,
+)
+
+__all__ = [
+    "ceil_div",
+    "chunks",
+    "is_prime",
+    "iterated_log",
+    "log_star",
+    "next_prime",
+    "pairwise_cyclic",
+    "product_range",
+    "sign",
+    "sliding_windows",
+    "toroidal_difference",
+    "toroidal_distance",
+]

@@ -1,0 +1,60 @@
+"""Iteration helpers shared by the grid, synthesis and analysis modules."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def chunks(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield consecutive chunks of ``items`` of at most ``size`` elements.
+
+    >>> list(chunks([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def sliding_windows(items: Sequence[T], width: int) -> Iterator[Tuple[T, ...]]:
+    """Yield all contiguous windows of ``width`` elements of ``items``.
+
+    >>> list(sliding_windows("abcd", 2))
+    [('a', 'b'), ('b', 'c'), ('c', 'd')]
+    """
+    if width <= 0:
+        raise ValueError("window width must be positive")
+    for start in range(len(items) - width + 1):
+        yield tuple(items[start:start + width])
+
+
+def pairwise_cyclic(items: Sequence[T]) -> Iterator[Tuple[T, T]]:
+    """Yield consecutive pairs of ``items`` including the wrap-around pair.
+
+    >>> list(pairwise_cyclic([1, 2, 3]))
+    [(1, 2), (2, 3), (3, 1)]
+    """
+    length = len(items)
+    for index in range(length):
+        yield items[index], items[(index + 1) % length]
+
+
+def product_range(*sizes: int) -> Iterator[Tuple[int, ...]]:
+    """Iterate over the Cartesian product ``range(sizes[0]) x ...``.
+
+    This is the canonical enumeration order for grid coordinates used
+    throughout the library (last coordinate varies fastest).
+
+    >>> list(product_range(2, 2))
+    [(0, 0), (0, 1), (1, 0), (1, 1)]
+    """
+    return itertools.product(*(range(size) for size in sizes))
+
+
+def transpose(rows: Sequence[Sequence[T]]) -> List[Tuple[T, ...]]:
+    """Transpose a rectangular list of rows into a list of columns."""
+    return [tuple(column) for column in zip(*rows)]

@@ -1,0 +1,120 @@
+"""Arithmetic helpers: iterated logarithms, primes and toroidal arithmetic.
+
+The iterated logarithm (``log*``) shows up throughout the paper as the
+complexity of symmetry breaking; primes are needed by the polynomial-based
+cover-free families used in Linial's colour-reduction step; toroidal
+difference/distance helpers implement the ``‖x‖ = min(x, n - x)`` convention
+from Section 8 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Return ``ceil(numerator / denominator)`` using integer arithmetic."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def sign(value: int) -> int:
+    """Return -1, 0 or +1 according to the sign of ``value``."""
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def log_star(n: float, base: float = 2.0) -> int:
+    """Return the iterated logarithm ``log*`` of ``n`` in the given base.
+
+    ``log*(n)`` is the number of times the logarithm must be applied before
+    the result drops to at most 1.  By convention ``log*(n) = 0`` for
+    ``n <= 1``.
+
+    >>> log_star(1)
+    0
+    >>> log_star(2)
+    1
+    >>> log_star(16)
+    3
+    >>> log_star(65536)
+    4
+    """
+    if n <= 1:
+        return 0
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log(value, base)
+        count += 1
+    return count
+
+
+def iterated_log(n: float, iterations: int, base: float = 2.0) -> float:
+    """Apply ``log`` to ``n`` exactly ``iterations`` times.
+
+    Values that drop to or below zero saturate at zero, which is convenient
+    when plotting empirical round counts against ``log^{(i)} n``.
+    """
+    value = float(n)
+    for _ in range(iterations):
+        if value <= 1.0:
+            return 0.0
+        value = math.log(value, base)
+    return value
+
+
+def is_prime(n: int) -> bool:
+    """Return True if ``n`` is a prime number (deterministic trial division).
+
+    The cover-free families used in colour reduction only require primes of
+    a few thousand at most, so trial division is entirely adequate.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime that is greater than or equal to ``n``."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def toroidal_difference(a: int, b: int, n: int) -> int:
+    """Return the signed difference ``a - b`` on the cycle ``Z_n``.
+
+    The result lies in ``(-n/2, n/2]`` so that it is the displacement with
+    the smallest absolute value; this is the natural "relative coordinate"
+    two grid nodes can compute about each other without knowing absolute
+    coordinates.
+    """
+    if n <= 0:
+        raise ValueError("modulus must be positive")
+    diff = (a - b) % n
+    if diff > n // 2:
+        diff -= n
+    return diff
+
+
+def toroidal_distance(a: int, b: int, n: int) -> int:
+    """Return ``‖a - b‖ = min((a - b) mod n, (b - a) mod n)`` on ``Z_n``."""
+    if n <= 0:
+        raise ValueError("modulus must be positive")
+    diff = (a - b) % n
+    return min(diff, n - diff)

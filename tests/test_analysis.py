@@ -1,0 +1,53 @@
+"""Tests for the experiment harness (round sweeps and report tables)."""
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.report import format_markdown_table
+from repro.analysis.rounds import log_star_curve, measure_over_sizes
+from repro.local_model.algorithm import AlgorithmResult
+
+
+class TestRoundMeasurements:
+    def test_measure_over_sizes_records_everything(self):
+        def fake_algorithm(grid, identifiers):
+            return AlgorithmResult(rounds=grid.sides[0] // 2, metadata={"n": grid.sides[0]})
+
+        measurement = measure_over_sizes("fake", [6, 8, 10], fake_algorithm)
+        assert measurement.sizes == [6, 8, 10]
+        assert measurement.rounds == [3, 4, 5]
+        assert measurement.metadata[0]["n"] == 6
+        rows = measurement.as_rows()
+        assert rows[0]["n"] == 6
+        assert rows[0]["log*(n)"] >= 1
+        assert measurement.growth_ratio() == 5 / 3
+
+    def test_log_star_curve(self):
+        assert log_star_curve([2, 16, 65536]) == [1, 3, 4]
+
+    def test_growth_ratio_handles_empty(self):
+        from repro.analysis.rounds import RoundMeasurement
+
+        assert RoundMeasurement("x").growth_ratio() == float("inf")
+
+
+class TestReportFormatting:
+    def test_markdown_table(self):
+        table = format_markdown_table(
+            ["name", "value", "flag"],
+            [{"name": "a", "value": 1.23456, "flag": True}, {"name": "b", "value": 2}],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("| name")
+        assert "1.23" in lines[2]
+        assert "yes" in lines[2]
+        assert lines[3].endswith("|  |")  # missing cell rendered blank
+
+    def test_experiment_table_render_and_show(self, capsys):
+        table = ExperimentTable("E0", "demo", ["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_note("a note")
+        rendered = table.render()
+        assert "## E0: demo" in rendered
+        assert "a note" in rendered
+        table.show()
+        captured = capsys.readouterr()
+        assert "E0" in captured.out

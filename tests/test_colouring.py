@@ -1,0 +1,161 @@
+"""Tests for the colouring algorithms of Sections 8–10."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.colouring.edge_colouring import EdgeColouringAlgorithm, edge_colouring
+from repro.colouring.impossibility import (
+    edge_colouring_parity_obstruction,
+    exhaustive_edge_colouring_infeasible,
+    exhaustive_vertex_colouring_feasible,
+)
+from repro.colouring.jk_independent import compute_jk_independent_set
+from repro.colouring.vertex4 import FourColouringAlgorithm, four_colouring
+from repro.colouring.vertex_global import global_three_colouring, global_two_colouring
+from repro.core.verifier import (
+    verify_proper_edge_colouring,
+    verify_proper_vertex_colouring,
+)
+from repro.errors import UnsolvableInstanceError
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+
+
+class TestGlobalColourings:
+    def test_two_colouring_even_torus(self):
+        grid = ToroidalGrid.square(8)
+        result = global_two_colouring(grid)
+        assert verify_proper_vertex_colouring(grid, result.node_labels, 2).valid
+        assert result.rounds == 8  # the diameter of the torus
+
+    def test_two_colouring_odd_torus_unsolvable(self):
+        with pytest.raises(UnsolvableInstanceError):
+            global_two_colouring(ToroidalGrid.square(7))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 20))
+    def test_three_colouring_valid_for_every_size(self, n):
+        grid = ToroidalGrid.square(n)
+        result = global_three_colouring(grid)
+        assert verify_proper_vertex_colouring(grid, result.node_labels, 3).valid
+
+    def test_three_colouring_in_three_dimensions(self):
+        cube = ToroidalGrid.square(5, dimension=3)
+        result = global_three_colouring(cube)
+        assert verify_proper_vertex_colouring(cube, result.node_labels, 3).valid
+
+    def test_three_colouring_rounds_grow_linearly(self):
+        small = global_three_colouring(ToroidalGrid.square(8)).rounds
+        large = global_three_colouring(ToroidalGrid.square(32)).rounds
+        assert large == 4 * small  # Θ(n): the diameter scales with n
+
+
+class TestFourColouringTheorem4:
+    """The explicit Theorem 4 construction.
+
+    The paper's constants are astronomically conservative; the smallest
+    parameters for which the construction goes through on our instances are
+    ℓ = 10 with radii up to 3ℓ, which needs a 64×64 grid — this is the slow
+    end of the default test suite.
+    """
+
+    @pytest.mark.slow
+    def test_construction_on_64_grid(self):
+        grid = ToroidalGrid.square(64)
+        identifiers = random_identifiers(grid, seed=1)
+        result = four_colouring(grid, identifiers, ell=10, max_ell=10, radius_factor=3)
+        assert verify_proper_vertex_colouring(grid, result.node_labels, 4).valid
+        assert result.metadata["ell"] == 10
+        assert result.metadata["anchor_count"] > 0
+
+    def test_small_grid_rejected_with_guidance(self):
+        grid = ToroidalGrid.square(16)
+        identifiers = random_identifiers(grid, seed=1)
+        with pytest.raises(UnsolvableInstanceError):
+            four_colouring(grid, identifiers, ell=10, max_ell=10)
+
+    def test_odd_ell_rejected(self):
+        grid = ToroidalGrid.square(16)
+        identifiers = random_identifiers(grid, seed=1)
+        with pytest.raises(ValueError):
+            four_colouring(grid, identifiers, ell=3)
+
+    def test_algorithm_object_defaults(self):
+        algorithm = FourColouringAlgorithm()
+        assert algorithm.ell == 10
+        assert algorithm.radius_factor == 3
+
+
+class TestJKIndependentSets:
+    def test_definition_18_properties(self):
+        grid = ToroidalGrid.square(48)
+        identifiers = random_identifiers(grid, seed=5)
+        independent_set = compute_jk_independent_set(
+            grid, identifiers, axis=0, k=2, spacing=25, movement_cap=47
+        )
+        assert independent_set.verify(grid) == []
+        assert independent_set.rounds > 0
+        # one member per row when the spacing exceeds half the side length
+        assert len(independent_set.members) == 48
+
+    def test_vertical_dimension(self):
+        grid = ToroidalGrid.square(48)
+        identifiers = random_identifiers(grid, seed=6)
+        independent_set = compute_jk_independent_set(
+            grid, identifiers, axis=1, k=2, spacing=25, movement_cap=47
+        )
+        assert independent_set.verify(grid) == []
+
+    def test_verify_reports_ball_overlaps(self):
+        grid = ToroidalGrid.square(48)
+        identifiers = random_identifiers(grid, seed=5)
+        independent_set = compute_jk_independent_set(
+            grid, identifiers, axis=0, k=2, spacing=25, movement_cap=47
+        )
+        # Inject a violation: add a member right next to an existing one.
+        member = next(iter(independent_set.members))
+        independent_set.members.add(grid.shift(member, (1, 0)))
+        assert independent_set.verify(grid)
+
+
+class TestEdgeColouring:
+    @pytest.mark.slow
+    def test_five_colouring_on_96_grid(self):
+        grid = ToroidalGrid.square(96)
+        identifiers = random_identifiers(grid, seed=2)
+        result = edge_colouring(grid, identifiers)
+        assert verify_proper_edge_colouring(grid, result.edge_labels, 5).valid
+        assert result.metadata["marked_edges"] >= 2 * 96  # one per row per dimension
+
+    def test_small_grid_rejected(self):
+        grid = ToroidalGrid.square(12)
+        identifiers = random_identifiers(grid, seed=2)
+        with pytest.raises((UnsolvableInstanceError, Exception)):
+            edge_colouring(grid, identifiers, max_retries=0)
+
+    def test_algorithm_object(self):
+        algorithm = EdgeColouringAlgorithm()
+        assert algorithm.separation == 3
+        assert "2d+1" in algorithm.name
+
+
+class TestImpossibility:
+    def test_theorem_21_parity_obstruction(self):
+        odd = ToroidalGrid.square(5)
+        even = ToroidalGrid.square(6)
+        assert edge_colouring_parity_obstruction(odd, 4) is not None
+        assert edge_colouring_parity_obstruction(even, 4) is None
+        assert edge_colouring_parity_obstruction(odd, 5) is None
+        cube_odd = ToroidalGrid.square(3, dimension=3)
+        assert edge_colouring_parity_obstruction(cube_odd, 6) is not None
+
+    def test_exhaustive_edge_colouring_matches_parity(self):
+        assert exhaustive_edge_colouring_infeasible(ToroidalGrid.square(5), 4)
+        assert not exhaustive_edge_colouring_infeasible(ToroidalGrid.square(4), 4)
+
+    def test_exhaustive_vertex_colouring(self):
+        odd = ToroidalGrid.square(5)
+        assert exhaustive_vertex_colouring_feasible(odd, 2) is None
+        colouring = exhaustive_vertex_colouring_feasible(odd, 3)
+        assert colouring is not None
+        assert verify_proper_vertex_colouring(odd, colouring, 3).valid

@@ -1,0 +1,203 @@
+"""Tests for q-sum coordination, the 3-colouring reduction and corner coordination."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.colouring.vertex_global import global_three_colouring
+from repro.coordination.corner import (
+    CornerCoordinationInstance,
+    corner_ball_size,
+    rounds_until_corner_sees_special,
+    solve_corner_coordination,
+    upper_bound_rounds,
+    verify_corner_coordination,
+)
+from repro.coordination.qsum import QSumProblem, standard_q_function
+from repro.coordination.three_colouring_reduction import (
+    build_auxiliary_graph,
+    cycle_decomposition,
+    greedy_normalise_colouring,
+    row_invariant,
+    wrap_invariant,
+)
+from repro.errors import InvalidLabellingError, UnsolvableInstanceError
+from repro.grid.torus import RectangularGrid, ToroidalGrid
+
+
+class TestQSum:
+    def test_standard_q_function_is_admissible(self):
+        problem = QSumProblem(standard_q_function)
+        assert problem.satisfies_theorem_10(range(3, 50))
+
+    def test_inadmissible_functions_detected(self):
+        assert not QSumProblem(lambda n: 2).satisfies_theorem_10([5])
+        assert not QSumProblem(lambda n: n).satisfies_theorem_10([10])
+
+    def test_verify_and_solve(self):
+        problem = QSumProblem(standard_q_function)
+        outputs = problem.solve_globally(9)
+        assert problem.verify(outputs)
+        assert not problem.verify([1] * 9)
+        assert not problem.verify([2] + [0] * 8)
+
+    def test_unreachable_target(self):
+        problem = QSumProblem(lambda n: n + 1)
+        with pytest.raises(UnsolvableInstanceError):
+            problem.solve_globally(5)
+
+    @settings(max_examples=20)
+    @given(st.integers(3, 60))
+    def test_solver_always_meets_its_target(self, n):
+        problem = QSumProblem(standard_q_function)
+        assert sum(problem.solve_globally(n)) == standard_q_function(n)
+
+
+def _three_colouring(n):
+    grid = ToroidalGrid.square(n)
+    colouring = {node: c + 1 for node, c in global_three_colouring(grid).node_labels.items()}
+    return grid, colouring
+
+
+class TestGreedyNormalisation:
+    def test_output_is_proper_and_greedy(self):
+        grid, colouring = _three_colouring(9)
+        greedy = greedy_normalise_colouring(grid, colouring)
+        for node in grid.nodes():
+            neighbour_colours = {greedy[v] for v in grid.neighbour_nodes(node)}
+            assert greedy[node] not in neighbour_colours
+            for smaller in range(1, greedy[node]):
+                assert smaller in neighbour_colours
+
+    def test_rejects_wrong_palette(self):
+        grid = ToroidalGrid.square(4)
+        with pytest.raises(InvalidLabellingError):
+            greedy_normalise_colouring(grid, {node: 0 for node in grid.nodes()})
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 14))
+    def test_normalisation_never_breaks_properness(self, n):
+        grid, colouring = _three_colouring(n)
+        greedy = greedy_normalise_colouring(grid, colouring)
+        for node in grid.nodes():
+            for neighbour in grid.neighbour_nodes(node):
+                assert greedy[node] != greedy[neighbour]
+
+
+class TestAuxiliaryGraph:
+    def test_degree_profile_matches_the_paper(self):
+        # Every node of H has in-degree equal to out-degree, both 1 or 2.
+        for n in (7, 9, 12):
+            grid, colouring = _three_colouring(n)
+            greedy = greedy_normalise_colouring(grid, colouring)
+            graph = build_auxiliary_graph(grid, greedy)
+            assert graph.degree_profile_valid()
+
+    def test_cycle_decomposition_uses_every_edge_once(self):
+        grid, colouring = _three_colouring(9)
+        greedy = greedy_normalise_colouring(grid, colouring)
+        graph = build_auxiliary_graph(grid, greedy)
+        cycles = cycle_decomposition(graph)
+        edges_in_cycles = []
+        for cycle in cycles:
+            for index, node in enumerate(cycle):
+                edges_in_cycles.append((node, cycle[(index + 1) % len(cycle)]))
+        assert sorted(edges_in_cycles) == sorted(graph.edges)
+
+    def test_lemma_12_row_invariance(self):
+        grid, colouring = _three_colouring(11)
+        greedy = greedy_normalise_colouring(grid, colouring)
+        graph = build_auxiliary_graph(grid, greedy)
+        cycles = cycle_decomposition(graph)
+        totals = [
+            sum(row_invariant(grid, cycle, row) for cycle in cycles) for row in range(11)
+        ]
+        assert len(set(totals)) == 1
+
+    def test_lemma_14_parity_and_bound(self):
+        for n in (7, 9, 11, 13):
+            grid, colouring = _three_colouring(n)
+            value = wrap_invariant(grid, colouring)
+            assert value % 2 == 1  # odd n forces an odd invariant
+            assert abs(value) <= n / 2
+        for n in (8, 12):
+            grid, colouring = _three_colouring(n)
+            value = wrap_invariant(grid, colouring)
+            assert abs(value) <= n / 2
+
+    def test_wrap_invariant_row_argument(self):
+        grid, colouring = _three_colouring(9)
+        assert wrap_invariant(grid, colouring, row=0) == wrap_invariant(grid, colouring, row=5)
+
+    def test_three_dimensional_grid_rejected(self):
+        cube = ToroidalGrid.square(5, dimension=3)
+        with pytest.raises(InvalidLabellingError):
+            build_auxiliary_graph(cube, {node: 1 for node in cube.nodes()})
+
+
+class TestCornerCoordination:
+    def test_reference_solution_is_feasible(self):
+        instance = CornerCoordinationInstance(RectangularGrid(10, 10))
+        solution = solve_corner_coordination(instance)
+        assert verify_corner_coordination(instance, solution) == []
+
+    def test_violations_detected(self):
+        instance = CornerCoordinationInstance(RectangularGrid(6, 6))
+        solution = solve_corner_coordination(instance)
+        # A pseudotree ending at a non-corner node violates rule (3).
+        solution[((2, 2), (3, 2))] = True
+        problems = verify_corner_coordination(instance, solution)
+        assert any("root or leaf" in problem for problem in problems)
+
+    def test_corner_left_out_detected(self):
+        instance = CornerCoordinationInstance(RectangularGrid(6, 6))
+        solution = {((x, 0), (x + 1, 0)): True for x in range(5)}
+        problems = verify_corner_coordination(instance, solution)
+        assert any("not part of any pseudotree" in problem for problem in problems)
+
+    def test_path_crossing_a_row_twice_detected(self):
+        instance = CornerCoordinationInstance(RectangularGrid(6, 6))
+        solution = {
+            ((0, 0), (1, 0)): True,
+            ((1, 0), (1, 1)): True,
+            ((1, 1), (2, 1)): True,
+            ((2, 1), (2, 0)): True,
+            ((2, 0), (3, 0)): True,
+            ((3, 0), (4, 0)): True,
+            ((4, 0), (5, 0)): True,
+            ((0, 5), (1, 5)): True,
+            ((1, 5), (2, 5)): True,
+            ((2, 5), (3, 5)): True,
+            ((3, 5), (4, 5)): True,
+            ((4, 5), (5, 5)): True,
+        }
+        problems = verify_corner_coordination(instance, solution)
+        assert any("twice" in problem for problem in problems)
+
+    def test_broken_instances_are_unconstrained(self):
+        instance = CornerCoordinationInstance(RectangularGrid(6, 6), broken_nodes={(3, 3)})
+        assert verify_corner_coordination(instance, {}) == []
+
+    def test_round_scaling_is_sqrt_n(self):
+        # Θ(√n): on an m × m rectangle a corner needs m - 1 rounds to see
+        # another special node.
+        for m in (5, 9, 16, 25):
+            instance = CornerCoordinationInstance(RectangularGrid(m, m))
+            rounds = rounds_until_corner_sees_special(instance, (0, 0))
+            assert rounds == m - 1
+            assert rounds <= upper_bound_rounds(instance.grid.node_count)
+
+    def test_proposition_28_ball_size(self):
+        assert corner_ball_size(0) == 1
+        assert corner_ball_size(1) == 3
+        assert corner_ball_size(2) == 6
+        assert corner_ball_size(3) == 10
+        # matches a direct count on a large rectangle
+        grid = RectangularGrid(20, 20)
+        for radius in (0, 1, 2, 3, 5):
+            assert len(grid.ball((0, 0), radius)) == corner_ball_size(radius)
+
+    def test_broken_node_shortens_the_wait(self):
+        plain = CornerCoordinationInstance(RectangularGrid(12, 12))
+        damaged = CornerCoordinationInstance(RectangularGrid(12, 12), broken_nodes={(3, 0)})
+        assert rounds_until_corner_sees_special(plain, (0, 0)) == 11
+        assert rounds_until_corner_sees_special(damaged, (0, 0)) == 3

@@ -1,0 +1,108 @@
+"""Tests for LCL problem specifications and the problem catalogue."""
+
+import pytest
+
+from repro.core.catalog import (
+    diagonal_colouring_problem,
+    edge_orientation_alphabet,
+    independent_set_problem,
+    maximal_independent_set_problem,
+    proper_edge_colouring_problem,
+    vertex_colouring_problem,
+)
+from repro.core.complexity import ClassificationResult, ComplexityClass, merge_classifications
+from repro.core.lcl import EdgeGridLCL, GridLCL, PairRelation
+from repro.errors import InvalidProblemError
+
+
+class TestPairRelation:
+    def test_from_pairs_and_membership(self):
+        relation = PairRelation.from_pairs([(0, 1), (1, 0)])
+        assert relation.permits(0, 1)
+        assert not relation.permits(0, 0)
+        assert (1, 0) in relation
+
+    def test_from_predicate(self):
+        relation = PairRelation.from_predicate((0, 1, 2), lambda a, b: a < b)
+        assert relation.permits(0, 2)
+        assert not relation.permits(2, 0)
+        assert len(relation.allowed) == 3
+
+
+class TestGridLCL:
+    def test_colouring_problem_basics(self):
+        problem = vertex_colouring_problem(4)
+        assert problem.alphabet == (0, 1, 2, 3)
+        assert problem.is_pairwise
+        assert problem.horizontal_ok(0, 1)
+        assert not problem.horizontal_ok(2, 2)
+        assert problem.node_ok(3)
+
+    def test_feasible_constant_labels(self):
+        assert vertex_colouring_problem(3).feasible_constant_labels() == ()
+        assert independent_set_problem().feasible_constant_labels() == (0,)
+        mis = maximal_independent_set_problem()
+        assert mis.feasible_constant_labels() == ()
+
+    def test_cross_predicate_detection(self):
+        assert not maximal_independent_set_problem().is_pairwise
+        assert independent_set_problem().is_pairwise
+
+    def test_restrict_alphabet(self):
+        problem = vertex_colouring_problem(5).restrict_alphabet([0, 1, 2])
+        assert problem.alphabet == (0, 1, 2)
+
+    def test_invalid_specifications(self):
+        with pytest.raises(InvalidProblemError):
+            GridLCL(name="empty", alphabet=())
+        with pytest.raises(InvalidProblemError):
+            GridLCL(name="duplicates", alphabet=(1, 1))
+        with pytest.raises(InvalidProblemError):
+            vertex_colouring_problem(0)
+        with pytest.raises(InvalidProblemError):
+            diagonal_colouring_problem(1)
+
+    def test_diagonal_colouring_only_constrains_rows(self):
+        problem = diagonal_colouring_problem(2)
+        assert not problem.horizontal_ok(1, 1)
+        assert problem.vertical_ok(1, 1)
+
+
+class TestEdgeGridLCL:
+    def test_edge_colouring_constraint(self):
+        problem = proper_edge_colouring_problem(5)
+        distinct = ((0, 1, 0), (0, -1, 1), (1, 1, 2), (1, -1, 3))
+        clashing = ((0, 1, 0), (0, -1, 0), (1, 1, 2), (1, -1, 3))
+        assert problem.node_ok(distinct)
+        assert not problem.node_ok(clashing)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            EdgeGridLCL(name="bad", alphabet=(), incident_predicate=lambda incident: True)
+        with pytest.raises(InvalidProblemError):
+            proper_edge_colouring_problem(0)
+
+    def test_orientation_alphabet_size(self):
+        assert len(edge_orientation_alphabet()) == 16
+
+
+class TestComplexityClasses:
+    def test_ordering_and_names(self):
+        assert ComplexityClass.CONSTANT.is_local
+        assert ComplexityClass.LOG_STAR.is_local
+        assert not ComplexityClass.GLOBAL.is_local
+        assert str(ComplexityClass.LOG_STAR) == "Θ(log* n)"
+
+    def test_describe(self):
+        result = ClassificationResult("p", ComplexityClass.GLOBAL, exact=False)
+        assert "conjectured" in result.describe()
+
+    def test_merge_prefers_exact_then_faster(self):
+        exact_global = ClassificationResult("p", ComplexityClass.GLOBAL, exact=True)
+        guessed_local = ClassificationResult("p", ComplexityClass.LOG_STAR, exact=False)
+        assert merge_classifications(guessed_local, exact_global) is exact_global
+        faster = ClassificationResult("p", ComplexityClass.CONSTANT, exact=True)
+        assert merge_classifications(exact_global, faster) is faster
+        assert merge_classifications(exact_global, None) is exact_global
+        with pytest.raises(ValueError):
+            merge_classifications(exact_global, ClassificationResult("q", ComplexityClass.GLOBAL))

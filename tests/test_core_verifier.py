@@ -1,0 +1,180 @@
+"""Tests for the local-checkability verifiers, including failure injection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.catalog import (
+    maximal_independent_set_problem,
+    proper_edge_colouring_problem,
+    vertex_colouring_problem,
+)
+from repro.core.verifier import (
+    verify_edge_labelling,
+    verify_maximal_independent_set,
+    verify_node_labelling,
+    verify_proper_edge_colouring,
+    verify_proper_vertex_colouring,
+)
+from repro.colouring.vertex_global import global_three_colouring, global_two_colouring
+from repro.errors import InvalidLabellingError
+from repro.grid.power import PowerGraph
+from repro.grid.torus import ToroidalGrid
+
+
+@pytest.fixture()
+def grid():
+    return ToroidalGrid.square(6)
+
+
+def checkerboard(grid):
+    return {node: sum(node) % 2 for node in grid.nodes()}
+
+
+class TestNodeLabellingVerifier:
+    def test_valid_two_colouring(self, grid):
+        result = verify_node_labelling(grid, vertex_colouring_problem(2), checkerboard(grid))
+        assert result.valid
+        assert bool(result)
+
+    def test_detects_single_corruption(self, grid):
+        labels = checkerboard(grid)
+        labels[(2, 2)] = labels[(2, 3)]
+        result = verify_node_labelling(grid, vertex_colouring_problem(2), labels)
+        assert not result.valid
+        kinds = {violation.kind for violation in result.violations}
+        assert kinds <= {"horizontal", "vertical"}
+        assert len(result.violations) >= 2  # at least two incident constraints break
+
+    def test_detects_label_outside_alphabet(self, grid):
+        labels = checkerboard(grid)
+        labels[(0, 0)] = 7
+        result = verify_node_labelling(grid, vertex_colouring_problem(2), labels)
+        assert not result.valid
+        assert any(v.kind == "alphabet" for v in result.violations)
+
+    def test_max_violations_short_circuits(self, grid):
+        labels = {node: 0 for node in grid.nodes()}
+        result = verify_node_labelling(grid, vertex_colouring_problem(2), labels, max_violations=3)
+        assert not result.valid
+        assert len(result.violations) == 3
+
+    def test_incomplete_labelling_rejected(self, grid):
+        labels = checkerboard(grid)
+        del labels[(0, 0)]
+        with pytest.raises(InvalidLabellingError):
+            verify_node_labelling(grid, vertex_colouring_problem(2), labels)
+
+    def test_cross_constraint_maximal_independent_set(self, grid):
+        problem = maximal_independent_set_problem()
+        # A valid MIS on an even torus: one side of the checkerboard.
+        labels = {node: 1 if sum(node) % 2 == 0 else 0 for node in grid.nodes()}
+        assert verify_node_labelling(grid, problem, labels).valid
+        # Remove one member: it now has no member in its neighbourhood.
+        labels[(0, 0)] = 0
+        result = verify_node_labelling(grid, problem, labels)
+        assert not result.valid
+        assert any(v.kind == "cross" for v in result.violations)
+
+    def test_three_dimensional_grid_rejected(self):
+        cube = ToroidalGrid.square(4, dimension=3)
+        with pytest.raises(InvalidLabellingError):
+            verify_node_labelling(cube, vertex_colouring_problem(2), {n: 0 for n in cube.nodes()})
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_corruptions_of_valid_colourings_are_caught(self, seed):
+        grid = ToroidalGrid.square(5)
+        colouring = dict(global_three_colouring(grid).node_labels)
+        problem = vertex_colouring_problem(3)
+        assert verify_node_labelling(grid, problem, colouring).valid
+        rng = random.Random(seed)
+        node = rng.choice(list(grid.nodes()))
+        neighbour = rng.choice(grid.neighbour_nodes(node))
+        colouring[node] = colouring[neighbour]
+        assert not verify_node_labelling(grid, problem, colouring).valid
+
+
+class TestStandaloneColouringVerifiers:
+    def test_vertex_colouring_checker(self, grid):
+        result = verify_proper_vertex_colouring(grid, checkerboard(grid), number_of_colours=2)
+        assert result.valid
+        too_many = verify_proper_vertex_colouring(grid, checkerboard(grid), number_of_colours=1)
+        assert not too_many.valid
+
+    def test_vertex_colouring_checker_in_three_dimensions(self):
+        cube = ToroidalGrid.square(4, dimension=3)
+        labels = {node: sum(node) % 2 for node in cube.nodes()}
+        assert verify_proper_vertex_colouring(cube, labels).valid
+
+    def test_two_colouring_of_odd_torus_impossible(self):
+        odd = ToroidalGrid.square(5)
+        from repro.errors import UnsolvableInstanceError
+
+        with pytest.raises(UnsolvableInstanceError):
+            global_two_colouring(odd)
+
+    def test_edge_colouring_checker(self):
+        grid = ToroidalGrid.square(4)
+        # Colour horizontal edges by x parity, vertical edges by 2 + y parity.
+        labels = {}
+        for (node, axis) in grid.edges():
+            labels[(node, axis)] = node[axis] % 2 + 2 * axis
+        result = verify_proper_edge_colouring(grid, labels, number_of_colours=4)
+        assert result.valid
+        labels[((0, 0), 0)] = labels[((1, 0), 0)]
+        assert not verify_proper_edge_colouring(grid, labels).valid
+
+
+class TestEdgeLabellingVerifier:
+    def test_valid_and_corrupted_edge_labelling(self):
+        grid = ToroidalGrid.square(4)
+        problem = proper_edge_colouring_problem(4)
+        labels = {}
+        for (node, axis) in grid.edges():
+            labels[(node, axis)] = node[axis] % 2 + 2 * axis
+        assert verify_edge_labelling(grid, problem, labels).valid
+        labels[((0, 0), 0)] = 99
+        result = verify_edge_labelling(grid, problem, labels)
+        assert not result.valid
+        assert any(v.kind == "alphabet" for v in result.violations)
+
+    def test_incomplete_edge_labelling_rejected(self):
+        grid = ToroidalGrid.square(4)
+        problem = proper_edge_colouring_problem(4)
+        with pytest.raises(InvalidLabellingError):
+            verify_edge_labelling(grid, problem, {})
+
+
+class TestMISVerifier:
+    def test_valid_mis_on_grid(self):
+        grid = ToroidalGrid.square(6)
+        membership = {node: 1 if sum(node) % 2 == 0 else 0 for node in grid.nodes()}
+        assert verify_maximal_independent_set(grid, membership).valid
+
+    def test_independence_violation(self):
+        grid = ToroidalGrid.square(6)
+        membership = {node: 1 for node in grid.nodes()}
+        result = verify_maximal_independent_set(grid, membership)
+        assert not result.valid
+        assert all(v.kind == "independence" for v in result.violations)
+
+    def test_maximality_violation(self):
+        grid = ToroidalGrid.square(6)
+        membership = {node: 0 for node in grid.nodes()}
+        result = verify_maximal_independent_set(grid, membership)
+        assert not result.valid
+        assert all(v.kind == "maximality" for v in result.violations)
+
+    def test_power_graph_adjacency_argument(self):
+        grid = ToroidalGrid.square(8)
+        power = PowerGraph(grid, 2, "l1")
+        # Members spaced 4 apart horizontally and vertically are independent
+        # in G^(2) but NOT maximal (nodes in between are undominated).
+        membership = {
+            node: 1 if node[0] % 4 == 0 and node[1] % 4 == 0 else 0 for node in grid.nodes()
+        }
+        result = verify_maximal_independent_set(grid, membership, adjacency=power.adjacency())
+        assert not result.valid
+        assert any(v.kind == "maximality" for v in result.violations)

@@ -1,0 +1,208 @@
+"""Tests for the one-dimensional (directed cycle) theory of Section 4.
+
+The classification results reproduce Figure 2 of the paper: 2-colouring is
+global, 3-colouring and maximal independent set are Θ(log* n), independent
+set is O(1).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.complexity import ComplexityClass
+from repro.cycles.catalog import (
+    cycle_colouring_problem,
+    cycle_consistent_orientation_problem,
+    cycle_independent_set_problem,
+    cycle_maximal_independent_set_problem,
+    cycle_maximal_matching_problem,
+)
+from repro.cycles.classifier import classify_cycle_problem
+from repro.cycles.lcl1d import CycleLCL, verify_cycle_labelling
+from repro.cycles.neighbourhood_graph import build_neighbourhood_graph
+from repro.cycles.synthesis import (
+    solve_globally_on_cycle,
+    synthesise_cycle_algorithm,
+)
+from repro.errors import InvalidProblemError, SynthesisError, UnsolvableInstanceError
+from repro.grid.identifiers import cycle_identifiers
+
+
+class TestCycleLCLSpecification:
+    def test_window_extraction_is_cyclic(self):
+        problem = cycle_colouring_problem(3)
+        labels = [1, 2, 1, 2, 3]
+        assert problem.window_at(labels, 0) == (3, 1, 2)
+        assert problem.window_at(labels, 4) == (2, 3, 1)
+
+    def test_verify_cycle_labelling(self):
+        problem = cycle_colouring_problem(3)
+        assert verify_cycle_labelling(problem, [1, 2, 3, 1, 2, 3]) == []
+        violations = verify_cycle_labelling(problem, [1, 1, 2, 3])
+        assert violations  # positions around the repeated colour
+
+    def test_invalid_specifications_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            CycleLCL("bad", (0, 1), 0, frozenset())
+        with pytest.raises(InvalidProblemError):
+            CycleLCL("bad", (0, 1), 1, frozenset({(0, 1)}))
+        with pytest.raises(InvalidProblemError):
+            CycleLCL("bad", (0, 1), 1, frozenset({(0, 1, 7)}))
+        with pytest.raises(InvalidProblemError):
+            verify_cycle_labelling(cycle_colouring_problem(2), [1, 2])
+
+
+class TestNeighbourhoodGraph:
+    def test_three_colouring_graph_structure(self):
+        graph = build_neighbourhood_graph(cycle_colouring_problem(3))
+        assert len(graph.states) == 6  # ordered pairs of distinct colours
+        assert not graph.has_self_loop()
+        assert graph.has_cycle()
+
+    def test_independent_set_has_self_loop(self):
+        graph = build_neighbourhood_graph(cycle_independent_set_problem())
+        assert graph.has_self_loop()
+        assert (0, 0) in graph.self_loop_states()
+
+    def test_mis_closed_walk_lengths_match_paper(self):
+        # The paper's Figure 2 caption: state 00 has walks of lengths 3 and 5.
+        graph = build_neighbourhood_graph(cycle_maximal_independent_set_problem())
+        lengths = graph.closed_walk_lengths((0, 0), 12)
+        assert 3 in lengths
+        assert 5 in lengths
+        assert 4 not in lengths
+        assert {6, 7, 8, 9, 10}.issubset(lengths)
+
+    def test_mis_flexibility(self):
+        graph = build_neighbourhood_graph(cycle_maximal_independent_set_problem())
+        flexible = graph.flexible_states()
+        # Lengths 3 and 5 are coprime so the state is flexible; the exact
+        # flexibility is 5 (lengths 5, 6, 7, ... are all realisable while 4
+        # is not).
+        assert flexible[(0, 0)] == 5
+        assert flexible[(0, 1)] == 2
+
+    def test_two_colouring_not_flexible(self):
+        graph = build_neighbourhood_graph(cycle_colouring_problem(2))
+        assert graph.flexible_states() == {}
+        assert graph.has_cycle()
+
+    def test_walk_of_length_reconstruction(self):
+        graph = build_neighbourhood_graph(cycle_colouring_problem(3))
+        walk = graph.walk_of_length((1, 2), 5)
+        assert walk is not None
+        assert walk[0] == walk[-1] == (1, 2)
+        assert len(walk) == 6
+        for first, second in zip(walk, walk[1:]):
+            assert second in graph.successors[first]
+        assert graph.walk_of_length((1, 2), 1) is None
+
+
+class TestClassification:
+    def test_figure_2_classification(self):
+        expectations = {
+            cycle_colouring_problem(2).name: ComplexityClass.GLOBAL,
+            cycle_colouring_problem(3).name: ComplexityClass.LOG_STAR,
+            cycle_maximal_independent_set_problem().name: ComplexityClass.LOG_STAR,
+            cycle_independent_set_problem().name: ComplexityClass.CONSTANT,
+        }
+        for problem in (
+            cycle_colouring_problem(2),
+            cycle_colouring_problem(3),
+            cycle_maximal_independent_set_problem(),
+            cycle_independent_set_problem(),
+        ):
+            result = classify_cycle_problem(problem)
+            assert result.complexity is expectations[problem.name]
+            assert result.exact
+
+    def test_maximal_matching_is_log_star(self):
+        result = classify_cycle_problem(cycle_maximal_matching_problem())
+        assert result.complexity is ComplexityClass.LOG_STAR
+
+    def test_agreement_problem_is_constant(self):
+        result = classify_cycle_problem(cycle_consistent_orientation_problem())
+        assert result.complexity is ComplexityClass.CONSTANT
+
+    def test_unsolvable_problem_is_global(self):
+        # Strictly increasing labels admit no cycle in H at all.
+        problem = CycleLCL(
+            name="strictly-increasing",
+            alphabet=(0, 1, 2),
+            radius=1,
+            feasible_windows=frozenset(
+                (a, b, c) for a in (0, 1, 2) for b in (0, 1, 2) for c in (0, 1, 2) if a < b < c
+            ),
+        )
+        result = classify_cycle_problem(problem)
+        assert result.complexity is ComplexityClass.GLOBAL
+        assert result.evidence["solvable_for_some_lengths"] is False
+
+
+class TestCycleSynthesis:
+    @pytest.mark.parametrize(
+        "problem_factory",
+        [
+            cycle_colouring_problem,
+        ],
+    )
+    def test_synthesis_refuses_wrong_class(self, problem_factory):
+        with pytest.raises(SynthesisError):
+            synthesise_cycle_algorithm(problem_factory(2))
+        with pytest.raises(SynthesisError):
+            synthesise_cycle_algorithm(cycle_independent_set_problem())
+
+    @pytest.mark.parametrize(
+        "problem",
+        [
+            cycle_colouring_problem(3),
+            cycle_colouring_problem(4),
+            cycle_maximal_independent_set_problem(),
+            cycle_maximal_matching_problem(),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_synthesised_algorithms_produce_feasible_outputs(self, problem):
+        algorithm = synthesise_cycle_algorithm(problem)
+        identifiers = cycle_identifiers(60, seed=7)
+        labels, rounds = algorithm.run(identifiers)
+        assert verify_cycle_labelling(problem, labels) == []
+        assert rounds > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(20, 120), st.integers(0, 50))
+    def test_three_colouring_synthesis_over_many_instances(self, length, seed):
+        problem = cycle_colouring_problem(3)
+        algorithm = synthesise_cycle_algorithm(problem)
+        labels, _rounds = algorithm.run(cycle_identifiers(length, seed=seed))
+        assert verify_cycle_labelling(problem, labels) == []
+
+    def test_rounds_grow_slowly_with_length(self):
+        problem = cycle_colouring_problem(3)
+        algorithm = synthesise_cycle_algorithm(problem)
+        _, rounds_small = algorithm.run(cycle_identifiers(30, seed=1))
+        _, rounds_large = algorithm.run(cycle_identifiers(300, seed=1))
+        # Θ(log* n) behaviour: the round count barely moves over a 10x size
+        # increase (certainly far below linear growth).
+        assert rounds_large <= rounds_small + 20
+        assert rounds_large < 300 / 2
+
+    def test_too_short_cycle_rejected(self):
+        algorithm = synthesise_cycle_algorithm(cycle_colouring_problem(3))
+        with pytest.raises(UnsolvableInstanceError):
+            algorithm.run(cycle_identifiers(4, seed=0))
+
+
+class TestGlobalCycleSolver:
+    def test_two_colouring_even_cycle(self):
+        problem = cycle_colouring_problem(2)
+        labels = solve_globally_on_cycle(problem, 24)
+        assert verify_cycle_labelling(problem, labels) == []
+
+    def test_two_colouring_odd_cycle_unsolvable(self):
+        with pytest.raises(UnsolvableInstanceError):
+            solve_globally_on_cycle(cycle_colouring_problem(2), 25)
+
+    def test_mis_solvable_globally(self):
+        problem = cycle_maximal_independent_set_problem()
+        labels = solve_globally_on_cycle(problem, 17)
+        assert verify_cycle_labelling(problem, labels) == []

@@ -1,0 +1,130 @@
+"""Tests for geometric helpers and power graphs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.geometry import (
+    add_offsets,
+    ball_offsets,
+    ball_size,
+    l1_norm,
+    linf_norm,
+    negate_offset,
+    offsets_within,
+    power_degree_bound,
+)
+from repro.grid.power import PowerGraph, power_neighbours
+from repro.grid.torus import ToroidalGrid
+
+
+class TestNorms:
+    def test_examples(self):
+        assert l1_norm((1, -2)) == 3
+        assert linf_norm((1, -2)) == 2
+        assert l1_norm(()) == 0
+        assert linf_norm(()) == 0
+
+    @given(st.lists(st.integers(-10, 10), min_size=1, max_size=4))
+    def test_linf_le_l1_le_d_linf(self, offset):
+        assert linf_norm(offset) <= l1_norm(offset) <= len(offset) * linf_norm(offset)
+
+
+class TestBallOffsets:
+    def test_known_sizes_2d(self):
+        # L1 balls: 1, 5, 13, 25, ...  L-infinity balls: 1, 9, 25, 49, ...
+        assert ball_size(2, 0, "l1") == 1
+        assert ball_size(2, 1, "l1") == 5
+        assert ball_size(2, 2, "l1") == 13
+        assert ball_size(2, 1, "linf") == 9
+        assert ball_size(2, 3, "linf") == 49
+
+    def test_known_sizes_other_dimensions(self):
+        assert ball_size(1, 3, "l1") == 7
+        assert ball_size(3, 1, "linf") == 27
+
+    def test_origin_included_and_offsets_within_excludes_it(self):
+        offsets = ball_offsets(2, 2, "l1")
+        assert (0, 0) in offsets
+        assert (0, 0) not in list(offsets_within(2, 2, "l1"))
+        assert len(list(offsets_within(2, 2, "l1"))) == len(offsets) - 1
+
+    def test_power_degree_bound_matches_paper(self):
+        # The paper uses (2k+1)^d - 1 for G^[k].
+        assert power_degree_bound(2, 3, "linf") == 48
+        assert power_degree_bound(2, 1, "l1") == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ball_offsets(0, 1)
+        with pytest.raises(ValueError):
+            ball_offsets(2, -1)
+        with pytest.raises(ValueError):
+            ball_offsets(2, 1, "l7")
+
+    def test_offset_helpers(self):
+        assert add_offsets((1, 2), (3, -1)) == (4, 1)
+        assert negate_offset((1, -2)) == (-1, 2)
+
+
+class TestPowerGraph:
+    def test_k1_l1_power_is_the_grid(self):
+        grid = ToroidalGrid.square(6)
+        power = PowerGraph(grid, 1, "l1")
+        for node in grid.nodes():
+            assert sorted(power.neighbours(node)) == sorted(grid.neighbour_nodes(node))
+
+    def test_power_neighbours_distances(self):
+        grid = ToroidalGrid.square(9)
+        for neighbour in power_neighbours(grid, (4, 4), 2, "l1"):
+            assert 1 <= grid.l1_distance((4, 4), neighbour) <= 2
+        for neighbour in power_neighbours(grid, (4, 4), 2, "linf"):
+            assert 1 <= grid.linf_distance((4, 4), neighbour) <= 2
+
+    def test_adjacency_is_symmetric(self):
+        grid = ToroidalGrid.square(7)
+        power = PowerGraph(grid, 2, "linf")
+        adjacency = power.adjacency()
+        for node, neighbours in adjacency.items():
+            for neighbour in neighbours:
+                assert node in adjacency[neighbour]
+
+    def test_are_adjacent(self):
+        grid = ToroidalGrid.square(8)
+        power = PowerGraph(grid, 3, "l1")
+        assert power.are_adjacent((0, 0), (2, 1))
+        assert not power.are_adjacent((0, 0), (0, 0))
+        assert not power.are_adjacent((0, 0), (2, 2))
+
+    def test_simulation_overhead(self):
+        grid = ToroidalGrid.square(8)
+        assert PowerGraph(grid, 3, "l1").simulation_overhead() == 3
+        assert PowerGraph(grid, 3, "linf").simulation_overhead() == 6
+
+    def test_max_degree_bound_holds(self):
+        grid = ToroidalGrid.square(9)
+        power = PowerGraph(grid, 2, "linf")
+        bound = power.max_degree()
+        for node in grid.nodes():
+            assert len(power.neighbours(node)) <= bound
+
+    def test_edges_unique(self):
+        grid = ToroidalGrid.square(5)
+        power = PowerGraph(grid, 2, "l1")
+        edges = list(power.edges())
+        assert len(edges) == len(set(edges))
+        for u, v in edges:
+            assert u < v
+
+    def test_invalid_parameters(self):
+        grid = ToroidalGrid.square(5)
+        with pytest.raises(ValueError):
+            PowerGraph(grid, 0)
+        with pytest.raises(ValueError):
+            PowerGraph(grid, 1, "bad-norm")
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 3))
+    def test_power_neighbour_count_on_large_torus_matches_ball(self, k):
+        grid = ToroidalGrid.square(9)
+        expected = ball_size(2, k, "l1") - 1
+        assert len(power_neighbours(grid, (4, 4), k, "l1")) == expected

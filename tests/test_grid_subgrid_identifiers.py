@@ -1,0 +1,135 @@
+"""Tests for windows (tiles' raw material) and identifier assignments."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.identifiers import (
+    adversarial_identifiers,
+    cycle_identifiers,
+    random_identifiers,
+    row_major_identifiers,
+)
+from repro.grid.subgrid import Window, build_window, extract_window, render_pattern, window_around
+from repro.grid.torus import ToroidalGrid
+
+
+class TestWindow:
+    def test_dimensions_and_access(self):
+        window = Window(((0, 1, 0), (1, 0, 0)))  # 2 columns x 3 rows
+        assert window.width == 2
+        assert window.height == 3
+        assert window.value(0, 1) == 1
+        assert window.column(1) == (1, 0, 0)
+        assert window.count(1) == 2
+
+    def test_parts(self):
+        window = Window(((1, 2), (3, 4), (5, 6)))
+        assert window.west_part().cells == ((1, 2), (3, 4))
+        assert window.east_part().cells == ((3, 4), (5, 6))
+        assert window.south_part().cells == ((1,), (3,), (5,))
+        assert window.north_part().cells == ((2,), (4,), (6,))
+
+    def test_subwindow(self):
+        window = build_window(4, 4, lambda x, y: 10 * x + y)
+        sub = window.subwindow(1, 2, 2, 2)
+        assert sub.cells == ((12, 13), (22, 23))
+        with pytest.raises(ValueError):
+            window.subwindow(3, 3, 2, 2)
+
+    def test_from_rows_matches_printed_layout(self):
+        # Printed top-to-bottom:  10 / 00  means anchor in the north-west cell.
+        window = Window.from_rows(((1, 0), (0, 0)))
+        assert window.width == 2
+        assert window.height == 2
+        assert window.value(0, 1) == 1  # west column, northern cell
+        assert window.count(1) == 1
+
+    def test_render_round_trip(self):
+        window = Window.from_rows(((1, 0), (0, 1)))
+        assert render_pattern(window.cells) == "10\n01"
+
+    def test_windows_are_hashable_dictionary_keys(self):
+        first = Window(((0, 1), (1, 0)))
+        second = Window(((0, 1), (1, 0)))
+        table = {first: "label"}
+        assert table[second] == "label"
+
+
+class TestExtraction:
+    def test_extract_window_wraps(self):
+        grid = ToroidalGrid.square(4)
+        values = {node: node[0] + 10 * node[1] for node in grid.nodes()}
+        window = extract_window(grid, values, (3, 3), 2, 2)
+        assert window.value(0, 0) == values[(3, 3)]
+        assert window.value(1, 0) == values[(0, 3)]
+        assert window.value(0, 1) == values[(3, 0)]
+
+    def test_window_around_centres_correctly(self):
+        grid = ToroidalGrid.square(7)
+        values = {node: 0 for node in grid.nodes()}
+        values[(3, 3)] = 9
+        window = window_around(grid, values, (3, 3), 5, 3)
+        assert window.value(2, 1) == 9
+
+    def test_extract_window_requires_two_dimensions(self):
+        grid = ToroidalGrid.square(4, dimension=3)
+        with pytest.raises(ValueError):
+            extract_window(grid, {node: 0 for node in grid.nodes()}, (0, 0, 0), 2, 2)
+
+
+class TestIdentifierAssignments:
+    def test_row_major(self):
+        grid = ToroidalGrid.square(3)
+        ids = row_major_identifiers(grid)
+        ids.validate()
+        assert ids[(0, 0)] == 1
+        assert ids.max_identifier() == 9
+        assert len(ids) == 9
+
+    def test_random_is_injective_and_reproducible(self):
+        grid = ToroidalGrid.square(5)
+        first = random_identifiers(grid, seed=3)
+        second = random_identifiers(grid, seed=3)
+        third = random_identifiers(grid, seed=4)
+        first.validate()
+        assert dict(first.items()) == dict(second.items())
+        assert dict(first.items()) != dict(third.items())
+        assert first.max_identifier() <= 4 * grid.node_count
+
+    def test_adversarial_is_a_permutation(self):
+        grid = ToroidalGrid.square(4)
+        ids = adversarial_identifiers(grid)
+        ids.validate()
+        assert sorted(value for _n, value in ids.items()) == list(range(1, 17))
+
+    def test_relabel_preserves_injectivity(self):
+        grid = ToroidalGrid.square(3)
+        ids = row_major_identifiers(grid)
+        permutation = {value: 100 - value for value in range(1, 10)}
+        relabelled = ids.relabel(permutation)
+        relabelled.validate()
+
+    def test_validation_errors(self):
+        from repro.grid.identifiers import IdentifierAssignment
+
+        with pytest.raises(ValueError):
+            IdentifierAssignment({(0, 0): 1, (0, 1): 1}).validate()
+        with pytest.raises(ValueError):
+            IdentifierAssignment({(0, 0): 0}).validate()
+
+    @settings(max_examples=20)
+    @given(st.integers(3, 60), st.integers(0, 5))
+    def test_cycle_identifiers_are_unique(self, length, seed):
+        ids = cycle_identifiers(length, seed=seed)
+        assert len(ids) == length
+        assert len(set(ids)) == length
+        assert all(value >= 1 for value in ids)
+
+    def test_cycle_identifiers_invalid_length(self):
+        with pytest.raises(ValueError):
+            cycle_identifiers(0)
+
+    def test_id_space_factor_validation(self):
+        grid = ToroidalGrid.square(3)
+        with pytest.raises(ValueError):
+            random_identifiers(grid, id_space_factor=0)

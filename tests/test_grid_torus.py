@@ -1,0 +1,190 @@
+"""Tests for the toroidal (and rectangular) grid substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidGridError
+from repro.grid.torus import (
+    Direction,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    RectangularGrid,
+    ToroidalGrid,
+    adjacency_map,
+    edge_endpoints,
+)
+
+node_coords = st.tuples(st.integers(0, 7), st.integers(0, 7))
+
+
+class TestConstruction:
+    def test_square_constructor(self):
+        grid = ToroidalGrid.square(5)
+        assert grid.sides == (5, 5)
+        assert grid.dimension == 2
+        assert grid.node_count == 25
+        assert grid.edge_count == 50
+        assert grid.degree == 4
+
+    def test_rectangular_and_higher_dimensional(self):
+        grid = ToroidalGrid((4, 6))
+        assert grid.node_count == 24
+        cube = ToroidalGrid.square(3, dimension=3)
+        assert cube.node_count == 27
+        assert cube.degree == 6
+
+    def test_too_small_side_rejected(self):
+        with pytest.raises(InvalidGridError):
+            ToroidalGrid((2, 5))
+        with pytest.raises(InvalidGridError):
+            ToroidalGrid(())
+        with pytest.raises(InvalidGridError):
+            ToroidalGrid.square(5, dimension=0)
+
+    def test_equality_and_hash(self):
+        assert ToroidalGrid.square(4) == ToroidalGrid((4, 4))
+        assert hash(ToroidalGrid.square(4)) == hash(ToroidalGrid((4, 4)))
+        assert ToroidalGrid.square(4) != ToroidalGrid.square(5)
+
+
+class TestAdjacency:
+    def test_neighbours_wrap_around(self):
+        grid = ToroidalGrid.square(4)
+        neighbours = set(grid.neighbour_nodes((0, 0)))
+        assert neighbours == {(1, 0), (3, 0), (0, 1), (0, 3)}
+
+    def test_directions_have_names(self):
+        assert EAST.name == "east"
+        assert WEST.name == "west"
+        assert NORTH.name == "north"
+        assert SOUTH.name == "south"
+        assert EAST.opposite() == WEST
+        assert Direction(2, 1).name == "axis2+"
+
+    def test_step_and_shift_agree(self):
+        grid = ToroidalGrid.square(5)
+        assert grid.step((4, 2), EAST) == (0, 2)
+        assert grid.shift((4, 2), (1, 0)) == (0, 2)
+        assert grid.step((0, 0), SOUTH) == (0, 4)
+
+    def test_are_adjacent(self):
+        grid = ToroidalGrid.square(5)
+        assert grid.are_adjacent((0, 0), (4, 0))
+        assert not grid.are_adjacent((0, 0), (2, 0))
+        assert not grid.are_adjacent((0, 0), (1, 1))
+
+    def test_adjacency_map_is_symmetric(self):
+        grid = ToroidalGrid.square(4)
+        adjacency = adjacency_map(grid)
+        for node, neighbours in adjacency.items():
+            assert len(neighbours) == 4
+            for neighbour in neighbours:
+                assert node in adjacency[neighbour]
+
+    @settings(max_examples=30)
+    @given(node_coords, st.sampled_from([EAST, WEST, NORTH, SOUTH]))
+    def test_step_is_invertible(self, node, direction):
+        grid = ToroidalGrid.square(8)
+        there = grid.step(node, direction)
+        assert grid.step(there, direction.opposite()) == node
+
+
+class TestDistances:
+    def test_l1_and_linf(self):
+        grid = ToroidalGrid.square(8)
+        assert grid.l1_distance((0, 0), (3, 2)) == 5
+        assert grid.linf_distance((0, 0), (3, 2)) == 3
+        # wrap-around shortcuts
+        assert grid.l1_distance((0, 0), (7, 7)) == 2
+        assert grid.linf_distance((0, 0), (7, 7)) == 1
+
+    @settings(max_examples=50)
+    @given(node_coords, node_coords)
+    def test_displacement_recovers_node(self, u, v):
+        grid = ToroidalGrid.square(8)
+        displacement = grid.displacement(u, v)
+        assert grid.shift(v, displacement) == u
+        assert sum(abs(c) for c in displacement) == grid.l1_distance(u, v)
+
+    @settings(max_examples=50)
+    @given(node_coords, node_coords)
+    def test_linf_at_most_l1(self, u, v):
+        grid = ToroidalGrid.square(8)
+        assert grid.linf_distance(u, v) <= grid.l1_distance(u, v)
+        assert grid.l1_distance(u, v) <= 2 * grid.linf_distance(u, v)
+
+    def test_ball_sizes(self):
+        grid = ToroidalGrid.square(9)
+        assert len(grid.ball((0, 0), 1, "l1")) == 5
+        assert len(grid.ball((0, 0), 1, "linf")) == 9
+        assert len(grid.ball((0, 0), 2, "l1")) == 13
+
+    def test_ball_deduplicates_on_small_torus(self):
+        grid = ToroidalGrid.square(3)
+        assert len(grid.ball((0, 0), 2, "l1")) == 9  # the whole grid
+
+
+class TestEdgesAndRows:
+    def test_edge_count_and_endpoints(self):
+        grid = ToroidalGrid.square(4)
+        edges = list(grid.edges())
+        assert len(edges) == 32
+        tail, head = edge_endpoints(grid, ((3, 1), 0))
+        assert tail == (3, 1)
+        assert head == (0, 1)
+
+    def test_incident_edges(self):
+        grid = ToroidalGrid.square(4)
+        incident = grid.incident_edges((1, 1))
+        assert len(incident) == 4
+        assert ((1, 1), 0) in incident
+        assert ((0, 1), 0) in incident
+        assert ((1, 1), 1) in incident
+        assert ((1, 0), 1) in incident
+
+    def test_edge_between(self):
+        grid = ToroidalGrid.square(4)
+        assert grid.edge_between((1, 1), (2, 1)) == ((1, 1), 0)
+        assert grid.edge_between((2, 1), (1, 1)) == ((1, 1), 0)
+        assert grid.edge_between((0, 0), (0, 3)) == ((0, 3), 1)
+        with pytest.raises(InvalidGridError):
+            grid.edge_between((0, 0), (2, 2))
+
+    def test_rows(self):
+        grid = ToroidalGrid.square(4)
+        rows_axis0 = list(grid.rows(0))
+        assert len(rows_axis0) == 4
+        assert all(len(row) == 4 for row in rows_axis0)
+        # a row along axis 0 varies the x coordinate only
+        for row in rows_axis0:
+            assert len({node[1] for node in row}) == 1
+        with pytest.raises(InvalidGridError):
+            list(grid.rows(2))
+
+    def test_every_node_in_exactly_one_row_per_axis(self):
+        grid = ToroidalGrid((4, 5))
+        for axis in range(2):
+            seen = [node for row in grid.rows(axis) for node in row]
+            assert sorted(seen) == sorted(grid.nodes())
+
+
+class TestRectangularGrid:
+    def test_degrees_and_corners(self):
+        grid = RectangularGrid(4, 3)
+        assert grid.node_count == 12
+        assert sorted(grid.corners()) == [(0, 0), (0, 2), (3, 0), (3, 2)]
+        assert grid.degree((0, 0)) == 2
+        assert grid.degree((1, 0)) == 3
+        assert grid.degree((1, 1)) == 4
+
+    def test_ball_and_distance(self):
+        grid = RectangularGrid(5, 5)
+        assert grid.l1_distance((0, 0), (4, 4)) == 8  # no wrap-around
+        assert len(grid.ball((0, 0), 1)) == 3
+        assert len(grid.ball((2, 2), 1)) == 5
+
+    def test_too_small(self):
+        with pytest.raises(InvalidGridError):
+            RectangularGrid(1, 5)

@@ -1,0 +1,179 @@
+"""Tests for the LOCAL-model simulator layers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.grid.identifiers import random_identifiers, row_major_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import AlgorithmResult, ConstantOutputAlgorithm, FunctionRule
+from repro.local_model.messaging import FloodMinimumProgram, MessagePassingNetwork
+from repro.local_model.order_invariant import (
+    is_order_invariant,
+    monotone_relabelling,
+    order_normalise_view,
+    order_pattern,
+)
+from repro.local_model.simulator import RoundLedger, apply_rule, iterate_rule, run_phase
+from repro.local_model.views import collect_label_view, collect_view
+
+
+@pytest.fixture()
+def small_grid():
+    return ToroidalGrid.square(5)
+
+
+class TestViews:
+    def test_collect_view_contents(self, small_grid):
+        ids = row_major_identifiers(small_grid)
+        view = collect_view(small_grid, (2, 2), 1, ids, labels={(2, 3): "north"})
+        assert view.own_identifier == ids[(2, 2)]
+        assert view.identifier_at((0, 1)) == ids[(2, 3)]
+        assert view.label_at((0, 1)) == "north"
+        assert view.label_at((1, 0), default="none") == "none"
+        assert len(view.offsets()) == 5
+
+    def test_collect_view_wraps(self, small_grid):
+        ids = row_major_identifiers(small_grid)
+        view = collect_view(small_grid, (0, 0), 1, ids)
+        assert view.identifier_at((-1, 0)) == ids[(4, 0)]
+
+    def test_collect_label_view_radius_zero(self, small_grid):
+        labels = {node: sum(node) for node in small_grid.nodes()}
+        view = collect_label_view(small_grid, (1, 1), 0, labels)
+        assert view == {(0, 0): 2}
+
+
+class TestSimulator:
+    def test_apply_rule_minimum_flood(self, small_grid):
+        ids = random_identifiers(small_grid, seed=2)
+        labels = {node: ids[node] for node in small_grid.nodes()}
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        ledger = RoundLedger()
+        once = apply_rule(small_grid, labels, rule, ledger=ledger, phase="flood")
+        for node in small_grid.nodes():
+            expected = min(labels[v] for v in small_grid.ball(node, 1))
+            assert once[node] == expected
+        assert ledger.total == 1
+        assert ledger.breakdown() == {"flood": 1}
+
+    def test_iterate_rule_reaches_global_minimum(self, small_grid):
+        ids = random_identifiers(small_grid, seed=5)
+        labels = {node: ids[node] for node in small_grid.nodes()}
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        ledger = RoundLedger()
+        final = iterate_rule(
+            small_grid,
+            labels,
+            rule,
+            should_stop=lambda current: len(set(current.values())) == 1,
+            max_iterations=20,
+            ledger=ledger,
+        )
+        assert set(final.values()) == {min(ids[n] for n in small_grid.nodes())}
+        # the diameter of a 5x5 torus is 4, so 4 rounds must suffice
+        assert ledger.total <= 4 + 1
+
+    def test_iterate_rule_raises_when_budget_exhausted(self, small_grid):
+        labels = {node: 0 for node in small_grid.nodes()}
+        rule = FunctionRule(1, lambda view: view[(0, 0)] + 1)  # never stabilises
+        with pytest.raises(SimulationError):
+            iterate_rule(small_grid, labels, rule, should_stop=lambda c: False, max_iterations=3)
+
+    def test_run_phase_charges_linf_cost(self, small_grid):
+        labels = {node: 1 for node in small_grid.nodes()}
+        ledger = RoundLedger()
+        result = run_phase(
+            small_grid,
+            labels,
+            compute=lambda node, visible: sum(visible.values()),
+            radius=1,
+            ledger=ledger,
+            phase="count",
+            norm="linf",
+        )
+        assert all(value == 9 for value in result.values())
+        assert ledger.total == 2  # radius * dimension
+
+    def test_negative_charge_rejected(self):
+        ledger = RoundLedger()
+        with pytest.raises(SimulationError):
+            ledger.charge("bad", -1)
+
+
+class TestMessagePassing:
+    def test_flood_minimum_matches_direct_view(self):
+        grid = ToroidalGrid.square(4)
+        ids = random_identifiers(grid, seed=9)
+        programs = {node: FloodMinimumProgram(radius=2) for node in grid.nodes()}
+        trace = MessagePassingNetwork(grid, ids).run(programs, max_rounds=10)
+        assert trace.rounds == 2
+        for node in grid.nodes():
+            expected = min(ids[v] for v in grid.ball(node, 2))
+            assert trace.outputs[node] == expected
+
+    def test_missing_program_rejected(self):
+        grid = ToroidalGrid.square(4)
+        ids = random_identifiers(grid)
+        with pytest.raises(SimulationError):
+            MessagePassingNetwork(grid, ids).run({}, max_rounds=1)
+
+    def test_round_budget_enforced(self):
+        grid = ToroidalGrid.square(4)
+        ids = random_identifiers(grid)
+        programs = {node: FloodMinimumProgram(radius=50) for node in grid.nodes()}
+        with pytest.raises(SimulationError):
+            MessagePassingNetwork(grid, ids).run(programs, max_rounds=3)
+
+
+class TestOrderInvariance:
+    def test_order_normalise_view(self):
+        grid = ToroidalGrid.square(5)
+        ids = row_major_identifiers(grid)
+        view = collect_view(grid, (2, 2), 1, ids)
+        ranks = order_normalise_view(view)
+        assert sorted(ranks.values()) == [0, 1, 2, 3, 4]
+        assert order_pattern(view) == order_pattern(view)
+
+    def test_monotone_relabelling_preserves_order(self):
+        grid = ToroidalGrid.square(4)
+        ids = row_major_identifiers(grid)
+        stretched = monotone_relabelling(ids)
+        pairs = list(grid.nodes())
+        for u in pairs[:5]:
+            for v in pairs[5:10]:
+                assert (ids[u] < ids[v]) == (stretched[u] < stretched[v])
+        with pytest.raises(ValueError):
+            monotone_relabelling(ids, stretch=0)
+
+    def test_is_order_invariant_detects_value_dependence(self):
+        grid = ToroidalGrid.square(4)
+        ids = row_major_identifiers(grid)
+
+        def value_dependent(grid_, assignment):
+            return {node: assignment[node] % 2 for node in grid_.nodes()}
+
+        def order_dependent(grid_, assignment):
+            return {node: 0 for node in grid_.nodes()}
+
+        assignments = [ids, monotone_relabelling(ids)]
+        assert not is_order_invariant(value_dependent, grid, assignments)
+        assert is_order_invariant(order_dependent, grid, assignments)
+        with pytest.raises(ValueError):
+            is_order_invariant(order_dependent, grid, [ids])
+
+
+class TestAlgorithmResult:
+    def test_constant_output_algorithm(self):
+        grid = ToroidalGrid.square(4)
+        ids = row_major_identifiers(grid)
+        algorithm = ConstantOutputAlgorithm(node_label=0, edge_label="e")
+        result = algorithm.run(grid, ids)
+        assert result.rounds == 0
+        assert set(result.node_labels.values()) == {0}
+        assert set(result.edge_labels.values()) == {"e"}
+
+    def test_with_extra_rounds(self):
+        result = AlgorithmResult(node_labels={(0, 0): 1}, rounds=5)
+        extended = result.with_extra_rounds(3)
+        assert extended.rounds == 8
+        assert result.rounds == 5

@@ -1,0 +1,156 @@
+"""Tests for the X-orientation problems (Section 11)."""
+
+import pytest
+
+from repro.core.complexity import ComplexityClass
+from repro.core.verifier import verify_node_labelling
+from repro.errors import SynthesisError, UnsolvableInstanceError
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.orientation.algorithms import (
+    flip_orientation_labelling,
+    in_degrees_from_edge_directions,
+    solve_x_orientation_globally,
+    synthesise_x_orientation_algorithm,
+    trivial_orientation_labelling,
+)
+from repro.orientation.classify import (
+    classify_x_orientation,
+    counting_obstruction,
+    orientation_classification_table,
+)
+from repro.orientation.problems import (
+    ORIENTATION_ALPHABET,
+    in_degree_of_label,
+    in_degrees_from_labels,
+    orientation_labels_to_edge_directions,
+    x_orientation_problem,
+)
+
+
+class TestProblemEncoding:
+    def test_alphabet_and_in_degrees(self):
+        assert len(ORIENTATION_ALPHABET) == 16
+        assert in_degree_of_label((1, 1, 1, 1)) == 4
+        assert in_degree_of_label((0, 0, 0, 0)) == 0
+
+    def test_problem_name_and_predicate(self):
+        problem = x_orientation_problem({1, 3, 4})
+        assert problem.name == "{1,3,4}-orientation"
+        assert problem.node_ok((1, 0, 0, 0))
+        assert not problem.node_ok((1, 1, 0, 0))
+
+    def test_invalid_x_sets(self):
+        with pytest.raises(Exception):
+            x_orientation_problem(set())
+        with pytest.raises(Exception):
+            x_orientation_problem({5})
+
+    def test_trivial_labelling_is_a_valid_2_orientation(self):
+        grid = ToroidalGrid.square(6)
+        labels = trivial_orientation_labelling(grid)
+        problem = x_orientation_problem({2})
+        assert verify_node_labelling(grid, problem, labels).valid
+        degrees = in_degrees_from_labels(grid, labels)
+        assert set(degrees.values()) == {2}
+
+    def test_labels_to_edge_directions(self):
+        grid = ToroidalGrid.square(5)
+        labels = trivial_orientation_labelling(grid)
+        directions = orientation_labels_to_edge_directions(grid, labels)
+        assert set(directions.values()) == {1}  # the input orientation
+        # Corrupt one node so the shared-edge consistency breaks.
+        labels[(0, 0)] = (1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            orientation_labels_to_edge_directions(grid, labels)
+
+    def test_flip_maps_134_to_013(self):
+        grid = ToroidalGrid.square(6)
+        labels = trivial_orientation_labelling(grid)
+        flipped = flip_orientation_labelling(labels)
+        degrees = in_degrees_from_labels(grid, flipped)
+        assert set(degrees.values()) == {2}  # flipping a 2-orientation stays a 2-orientation
+        assert flipped[(0, 0)] == (1, 1, 0, 0)
+
+
+class TestClassification:
+    def test_theorem_22_table(self):
+        table = orientation_classification_table()
+        assert len(table) == 31
+        classified = dict(table)
+        assert classified[(2,)].complexity is ComplexityClass.CONSTANT
+        assert classified[(0, 1, 2, 3, 4)].complexity is ComplexityClass.CONSTANT
+        assert classified[(1, 3, 4)].complexity is ComplexityClass.LOG_STAR
+        assert classified[(0, 1, 3)].complexity is ComplexityClass.LOG_STAR
+        assert classified[(0, 1, 3, 4)].complexity is ComplexityClass.LOG_STAR
+        assert classified[(1, 3)].complexity is ComplexityClass.GLOBAL
+        assert classified[(0, 3, 4)].complexity is ComplexityClass.GLOBAL
+        assert classified[(0, 4)].complexity is ComplexityClass.GLOBAL
+        assert classified[(0,)].complexity is ComplexityClass.GLOBAL
+
+    def test_every_set_with_2_is_constant(self):
+        for values, result in orientation_classification_table():
+            if 2 in values:
+                assert result.complexity is ComplexityClass.CONSTANT
+
+    def test_counting_obstructions(self):
+        # Lemma 24: {1,3}-orientations cannot exist when n is odd.
+        assert counting_obstruction({1, 3}, 5) is not None
+        assert counting_obstruction({1, 3}, 6) is None
+        # Σ in-degrees must equal 2 n², which {0} or {4} alone cannot reach.
+        assert counting_obstruction({0}, 4) is not None
+        assert counting_obstruction({4}, 4) is not None
+        assert counting_obstruction({0, 4}, 6) is None
+        with pytest.raises(ValueError):
+            counting_obstruction(set(), 5)
+
+
+class TestSynthesisedAlgorithms:
+    def test_134_orientation_end_to_end(self):
+        algorithm = synthesise_x_orientation_algorithm({1, 3, 4})
+        problem = x_orientation_problem({1, 3, 4})
+        for n, seed in [(9, 1), (13, 4)]:
+            grid = ToroidalGrid.square(n)
+            identifiers = random_identifiers(grid, seed=seed)
+            result = algorithm.run(grid, identifiers)
+            assert verify_node_labelling(grid, problem, result.node_labels).valid
+            degrees = set(in_degrees_from_labels(grid, result.node_labels).values())
+            assert degrees <= {1, 3, 4}
+
+    def test_013_orientation_via_flipping(self):
+        algorithm = synthesise_x_orientation_algorithm({1, 3, 4})
+        grid = ToroidalGrid.square(10)
+        identifiers = random_identifiers(grid, seed=3)
+        result = algorithm.run(grid, identifiers)
+        flipped = flip_orientation_labelling(result.node_labels)
+        problem = x_orientation_problem({0, 1, 3})
+        assert verify_node_labelling(grid, problem, flipped).valid
+
+    def test_global_problem_synthesis_fails(self):
+        with pytest.raises(SynthesisError):
+            synthesise_x_orientation_algorithm({0, 4}, max_k=1)
+
+
+class TestGlobalSolver:
+    def test_034_orientation_solved_globally(self):
+        grid = ToroidalGrid.square(6)
+        directions, result = solve_x_orientation_globally(grid, {0, 3, 4})
+        degrees = in_degrees_from_edge_directions(grid, directions)
+        assert set(degrees.values()) <= {0, 3, 4}
+        assert result.rounds == 6  # the diameter: gather-everything cost
+
+    def test_lemma_24_no_13_orientation_on_odd_torus(self):
+        with pytest.raises(UnsolvableInstanceError):
+            solve_x_orientation_globally(ToroidalGrid.square(5), {1, 3})
+
+    def test_13_orientation_exists_on_even_torus(self):
+        grid = ToroidalGrid.square(4)
+        directions, _result = solve_x_orientation_globally(grid, {1, 3})
+        degrees = in_degrees_from_edge_directions(grid, directions)
+        assert set(degrees.values()) <= {1, 3}
+
+    def test_04_orientation_even_torus(self):
+        grid = ToroidalGrid.square(4)
+        directions, _result = solve_x_orientation_globally(grid, {0, 4})
+        degrees = in_degrees_from_edge_directions(grid, directions)
+        assert set(degrees.values()) <= {0, 4}

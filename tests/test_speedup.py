@@ -1,0 +1,172 @@
+"""Tests for the speed-up machinery: Voronoi tiles, normal form, bounded growth."""
+
+import pytest
+
+from repro.errors import SimulationError, SynthesisError
+from repro.grid.identifiers import random_identifiers
+from repro.grid.subgrid import Window
+from repro.grid.torus import ToroidalGrid
+from repro.speedup.bounded_growth import (
+    classify_locality,
+    grid_growth_bound,
+    simulation_palette_size,
+    speedup_threshold,
+)
+from repro.speedup.normal_form import (
+    FunctionAnchorRule,
+    NormalFormAlgorithm,
+    apply_anchor_rule,
+    choose_normal_form_k,
+)
+from repro.speedup.voronoi import (
+    compute_voronoi_decomposition,
+    local_identifier_assignment,
+)
+from repro.symmetry.mis import compute_anchors
+
+
+@pytest.fixture()
+def grid_and_anchors():
+    grid = ToroidalGrid.square(12)
+    identifiers = random_identifiers(grid, seed=6)
+    anchors = compute_anchors(grid, identifiers, k=2, norm="l1")
+    return grid, identifiers, anchors
+
+
+class TestVoronoi:
+    def test_every_node_is_assigned_to_a_nearest_anchor(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members, search_radius=2)
+        assert set(decomposition.owner) == set(grid.nodes())
+        for node, owner in decomposition.owner.items():
+            own_distance = grid.l1_distance(node, owner)
+            for other in anchors.members:
+                assert own_distance <= grid.l1_distance(node, other)
+
+    def test_local_coordinates_point_to_the_owner(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members)
+        for node in grid.nodes():
+            displacement = decomposition.local_coordinates[node]
+            assert grid.shift(decomposition.owner[node], displacement) == node
+
+    def test_tile_sizes_and_radius(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members)
+        sizes = decomposition.tile_sizes()
+        assert sum(sizes.values()) == grid.node_count
+        # every node is within k = 2 of its anchor because the anchors are
+        # maximal in G^(2)
+        assert decomposition.max_tile_radius(grid) <= 2
+        anchor = next(iter(anchors.members))
+        assert anchor in decomposition.tile(anchor)
+
+    def test_empty_anchor_set_rejected(self):
+        grid = ToroidalGrid.square(6)
+        with pytest.raises(SimulationError):
+            compute_voronoi_decomposition(grid, set())
+
+    def test_diagonal_step_towards_anchor_stays_in_tile(self, grid_and_anchors):
+        # The consistent tie-break guarantees this; the L_M solver relies on it.
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members)
+        for node in grid.nodes():
+            dx, dy = decomposition.local_coordinates[node]
+            if dx == 0 and dy == 0:
+                continue
+            step = (-1 if dx > 0 else (1 if dx < 0 else 0), -1 if dy > 0 else (1 if dy < 0 else 0))
+            towards = grid.shift(node, step)
+            assert decomposition.owner[towards] == decomposition.owner[node]
+
+    def test_local_identifiers_are_locally_unique(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members)
+        local_ids = local_identifier_assignment(grid, decomposition, uniqueness_radius=1)
+        assert len(local_ids) == grid.node_count
+        for node in grid.nodes():
+            for other in grid.ball(node, 1):
+                if other != node:
+                    assert local_ids[node] != local_ids[other]
+
+    def test_local_identifier_uniqueness_violation_detected(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members)
+        # Demanding uniqueness over a radius larger than the anchor spacing
+        # must fail: distinct tiles repeat the same local coordinates.
+        with pytest.raises(SimulationError):
+            local_identifier_assignment(grid, decomposition, uniqueness_radius=8)
+
+
+class TestNormalForm:
+    def test_choose_normal_form_k(self):
+        # A constant-locality base algorithm gets a small even k: the first
+        # even k with locality < k/4 - 4.
+        assert choose_normal_form_k(lambda n: 0) == 18
+        assert choose_normal_form_k(lambda n: 3) == 30
+        with pytest.raises(SynthesisError):
+            choose_normal_form_k(lambda n: n, maximum=64)
+
+    def test_anchor_rule_window_dimensions(self):
+        rule = FunctionAnchorRule(5, 3, lambda window: window.count(1))
+        assert rule.radius == 2
+
+    def test_apply_anchor_rule_counts_anchors(self):
+        grid = ToroidalGrid.square(10)
+        identifiers = random_identifiers(grid, seed=8)
+        anchors = compute_anchors(grid, identifiers, k=2)
+        rule = FunctionAnchorRule(3, 3, lambda window: window.count(1))
+        outputs = apply_anchor_rule(grid, anchors, rule)
+        indicator = anchors.indicator(grid)
+        for node in grid.nodes():
+            expected = sum(
+                indicator[grid.shift(node, (dx, dy))] for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+            )
+            assert outputs[node] == expected
+
+    def test_normal_form_algorithm_runs_and_reports_rounds(self):
+        grid = ToroidalGrid.square(9)
+        identifiers = random_identifiers(grid, seed=2)
+        # "Am I an anchor?" as a trivial problem-specific rule.
+        rule = FunctionAnchorRule(1, 1, lambda window: window.value(0, 0))
+        algorithm = NormalFormAlgorithm(rule=rule, k=2, name="anchor-indicator")
+        result = algorithm.run(grid, identifiers)
+        assert set(result.node_labels.values()) <= {0, 1}
+        assert result.rounds > 0
+        assert result.metadata["k"] == 2
+        assert result.metadata["anchor_count"] == sum(result.node_labels.values())
+
+    def test_normal_form_requires_two_dimensions(self):
+        cube = ToroidalGrid.square(5, dimension=3)
+        identifiers = random_identifiers(cube, seed=1)
+        rule = FunctionAnchorRule(1, 1, lambda window: 0)
+        with pytest.raises(SynthesisError):
+            NormalFormAlgorithm(rule=rule, k=1).run(cube, identifiers)
+
+
+class TestBoundedGrowth:
+    def test_grid_growth_bounds(self):
+        assert grid_growth_bound(1)(3) == 7
+        assert grid_growth_bound(2)(2) == 13
+        assert grid_growth_bound(3)(1) == 27
+
+    def test_speedup_threshold_for_constant_locality(self):
+        growth = grid_growth_bound(2)
+        k = speedup_threshold(growth, lambda n: 1)
+        # f(2*1+3) = f(5) = 61, so the smallest suitable k is 62.
+        assert k == 62
+        assert simulation_palette_size(growth, lambda n: 1, k) == 62
+
+    def test_speedup_threshold_absent_for_sqrt_locality(self):
+        growth = grid_growth_bound(2)
+        assert classify_locality(growth, lambda n: n, maximum=2000) is None
+        with pytest.raises(SynthesisError):
+            speedup_threshold(growth, lambda n: n, maximum=2000)
+
+    def test_growth_inverse(self):
+        growth = grid_growth_bound(2)
+        assert growth.inverse_at(5) == 1
+        assert growth.inverse_at(6) == 2
+
+    def test_invalid_hereditary_constant(self):
+        with pytest.raises(SynthesisError):
+            speedup_threshold(grid_growth_bound(2), lambda n: 0, hereditary_constant=0)

@@ -1,0 +1,248 @@
+"""Tests for the symmetry-breaking substrate (Cole–Vishkin, Linial, MIS, ...)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.verifier import verify_maximal_independent_set
+from repro.errors import SimulationError
+from repro.grid.identifiers import adversarial_identifiers, cycle_identifiers, random_identifiers
+from repro.grid.power import PowerGraph
+from repro.grid.torus import ToroidalGrid, adjacency_map
+from repro.symmetry.cole_vishkin import colour_directed_cycle, greedy_cycle_mis, three_colour_rows
+from repro.symmetry.conflict_colouring import ConflictColouringInstance, solve_conflict_colouring
+from repro.symmetry.distance_colouring import distance_colouring
+from repro.symmetry.linial import linial_colour_reduction, linial_step, verify_proper_colouring_map
+from repro.symmetry.mis import compute_anchors, compute_mis
+from repro.symmetry.reduction import greedy_mis_from_colouring, reduce_colours_to
+from repro.symmetry.ruling_sets import row_ruling_set
+from repro.utils.math import log_star
+
+
+def proper_on_cycle(colours):
+    n = len(colours)
+    return all(colours[i] != colours[(i + 1) % n] for i in range(n))
+
+
+class TestColeVishkin:
+    def test_three_colours_on_simple_cycle(self):
+        result = colour_directed_cycle(list(range(1, 51)))
+        assert proper_on_cycle(result.colours)
+        assert set(result.colours) <= {0, 1, 2}
+
+    def test_round_count_is_log_star_like(self):
+        short = colour_directed_cycle(cycle_identifiers(20, seed=1))
+        long = colour_directed_cycle(cycle_identifiers(2000, seed=1))
+        assert long.rounds <= short.rounds + 3
+        assert long.rounds <= 4 * (log_star(4 * 2000) + 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 300), st.integers(0, 100))
+    def test_random_identifier_assignments(self, length, seed):
+        identifiers = cycle_identifiers(length, seed=seed)
+        result = colour_directed_cycle(identifiers)
+        assert proper_on_cycle(result.colours)
+        assert set(result.colours) <= {0, 1, 2}
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SimulationError):
+            colour_directed_cycle([1, 2])
+        with pytest.raises(SimulationError):
+            colour_directed_cycle([1, 2, 2, 3])
+
+    def test_three_colour_rows(self):
+        grid = ToroidalGrid.square(8)
+        identifiers = random_identifiers(grid, seed=3)
+        colours, rounds = three_colour_rows(grid, identifiers, axis=0)
+        assert rounds > 0
+        for row in grid.rows(0):
+            row_colours = [colours[node] for node in row]
+            assert proper_on_cycle(row_colours)
+
+    def test_greedy_cycle_mis(self):
+        identifiers = cycle_identifiers(40, seed=2)
+        colouring = colour_directed_cycle(identifiers)
+        membership, rounds = greedy_cycle_mis(colouring.colours)
+        assert rounds <= 3
+        n = len(membership)
+        for i in range(n):
+            if membership[i]:
+                assert not membership[(i + 1) % n]
+            else:
+                assert membership[(i - 1) % n] or membership[(i + 1) % n]
+
+
+class TestLinial:
+    def test_single_step_keeps_colouring_proper_and_shrinks_palette(self):
+        grid = ToroidalGrid.square(12)
+        adjacency = adjacency_map(grid)
+        identifiers = random_identifiers(grid, seed=5)
+        initial = {node: identifiers[node] for node in grid.nodes()}
+        stepped = linial_step(adjacency, initial, max_degree=4)
+        assert verify_proper_colouring_map(adjacency, stepped)
+        assert max(stepped.values()) < max(initial.values())
+
+    def test_iterated_reduction(self):
+        # The polynomial construction only shrinks palettes that are larger
+        # than ~(2Δ)², so use a grid with enough identifiers for one step to
+        # make progress.
+        grid = ToroidalGrid.square(16)
+        adjacency = adjacency_map(grid)
+        identifiers = adversarial_identifiers(grid)
+        initial = {node: identifiers[node] for node in grid.nodes()}
+        result = linial_colour_reduction(adjacency, initial, max_degree=4)
+        assert verify_proper_colouring_map(adjacency, result.colours)
+        assert result.palette_size < grid.node_count
+        assert result.rounds >= 1
+        assert result.history[0] > result.history[-1]
+
+    def test_improper_input_detected(self):
+        grid = ToroidalGrid.square(5)
+        adjacency = adjacency_map(grid)
+        constant = {node: 1 for node in grid.nodes()}
+        with pytest.raises(SimulationError):
+            linial_step(adjacency, constant, max_degree=4)
+
+    def test_empty_graph(self):
+        result = linial_colour_reduction({}, {})
+        assert result.colours == {}
+        assert result.rounds == 0
+
+
+class TestReduction:
+    def test_reduce_to_degree_plus_one(self):
+        grid = ToroidalGrid.square(9)
+        adjacency = adjacency_map(grid)
+        identifiers = random_identifiers(grid, seed=7)
+        initial = {node: identifiers[node] for node in grid.nodes()}
+        result = reduce_colours_to(adjacency, initial)
+        assert result.palette_size <= 5
+        assert verify_proper_colouring_map(adjacency, result.colours)
+        assert result.rounds > 0
+
+    def test_reduce_to_explicit_target(self):
+        grid = ToroidalGrid.square(6)
+        adjacency = adjacency_map(grid)
+        initial = {node: index for index, node in enumerate(grid.nodes())}
+        result = reduce_colours_to(adjacency, initial, target=10)
+        assert result.palette_size <= 10
+        assert verify_proper_colouring_map(adjacency, result.colours)
+
+    def test_target_below_degree_rejected(self):
+        grid = ToroidalGrid.square(5)
+        adjacency = adjacency_map(grid)
+        initial = {node: index for index, node in enumerate(grid.nodes())}
+        with pytest.raises(SimulationError):
+            reduce_colours_to(adjacency, initial, target=3)
+
+    def test_greedy_mis_from_colouring(self):
+        grid = ToroidalGrid.square(8)
+        adjacency = adjacency_map(grid)
+        colours = {node: sum(node) % 2 for node in grid.nodes()}
+        result = greedy_mis_from_colouring(adjacency, colours)
+        membership = {node: 1 if node in result.members else 0 for node in grid.nodes()}
+        assert verify_maximal_independent_set(grid, membership).valid
+        assert result.rounds == 2
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("k,norm", [(1, "l1"), (2, "l1"), (3, "l1"), (2, "linf")])
+    def test_anchor_sets_are_maximal_independent_sets_of_the_power(self, k, norm):
+        grid = ToroidalGrid.square(14)
+        identifiers = random_identifiers(grid, seed=k)
+        anchors = compute_anchors(grid, identifiers, k, norm=norm)
+        power = PowerGraph(grid, k, norm)
+        result = verify_maximal_independent_set(
+            grid, anchors.indicator(grid), adjacency=power.adjacency()
+        )
+        assert result.valid
+        assert anchors.rounds > 0
+        assert set(anchors.phase_rounds) == {"linial", "batch-reduction", "greedy-mis"}
+
+    def test_anchor_rounds_scale_with_simulation_overhead(self):
+        grid = ToroidalGrid.square(12)
+        identifiers = random_identifiers(grid, seed=1)
+        l1 = compute_anchors(grid, identifiers, 2, norm="l1")
+        linf = compute_anchors(grid, identifiers, 2, norm="linf")
+        assert linf.k == l1.k == 2
+        assert linf.norm == "linf"
+
+    def test_anchor_rounds_stay_flat_as_n_grows(self):
+        rounds = []
+        for n in (12, 16, 24):
+            grid = ToroidalGrid.square(n)
+            identifiers = random_identifiers(grid, seed=2)
+            rounds.append(compute_anchors(grid, identifiers, 2).rounds)
+        assert max(rounds) <= rounds[0] + 60  # far below linear growth (12 -> 24)
+
+    def test_compute_mis_generic_graph(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        result = compute_mis(adjacency, {0: 10, 1: 3, 2: 7, 3: 1})
+        members = result.members
+        for node, neighbours in adjacency.items():
+            if node in members:
+                assert not any(n in members for n in neighbours)
+            else:
+                assert any(n in members for n in neighbours)
+
+
+class TestDistanceColouring:
+    def test_lemma_17_palette_and_validity(self):
+        grid = ToroidalGrid.square(12)
+        identifiers = random_identifiers(grid, seed=11)
+        result = distance_colouring(grid, identifiers, k=2)
+        assert result.palette_size <= (2 * 2 + 1) ** 2
+        for node in grid.nodes():
+            for other in grid.ball(node, 2, "linf"):
+                if other != node:
+                    assert result.colours[node] != result.colours[other]
+
+
+class TestConflictColouring:
+    def test_greedy_solves_feasible_instance(self):
+        # A path of three nodes; adjacent nodes must not pick equal values.
+        adjacency = {"a": ["b"], "b": ["a", "c"], "c": ["b"]}
+        instance = ConflictColouringInstance(
+            adjacency=adjacency,
+            available={"a": [1, 2], "b": [1, 2], "c": [1, 2]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        assert instance.list_size() == 2
+        assert instance.max_conflict_degree() == 1
+        schedule = {"a": 0, "b": 1, "c": 0}
+        result = solve_conflict_colouring(instance, schedule)
+        assert result.assignment["a"] != result.assignment["b"]
+        assert result.assignment["b"] != result.assignment["c"]
+        assert result.rounds == 2
+
+    def test_greedy_reports_failure(self):
+        adjacency = {"a": ["b"], "b": ["a"]}
+        instance = ConflictColouringInstance(
+            adjacency=adjacency,
+            available={"a": [1], "b": [1]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        with pytest.raises(SimulationError):
+            solve_conflict_colouring(instance, {"a": 0, "b": 1})
+
+
+class TestRowRulingSets:
+    def test_definition_properties_within_rows(self):
+        grid = ToroidalGrid.square(16)
+        identifiers = random_identifiers(grid, seed=4)
+        ruling = row_ruling_set(grid, identifiers, axis=0, spacing=3)
+        assert ruling.rounds > 0
+        for row in grid.rows(0):
+            length = len(row)
+            positions = [i for i, node in enumerate(row) if node in ruling.members]
+            assert positions, "every row must contain a member"
+            # pairwise distance > spacing along the row
+            for i in positions:
+                for j in positions:
+                    if i != j:
+                        distance = min((i - j) % length, (j - i) % length)
+                        assert distance > 3
+            # every node within spacing of some member
+            for i in range(length):
+                assert min(
+                    min((i - j) % length, (j - i) % length) for j in positions
+                ) <= 3

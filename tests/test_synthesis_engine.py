@@ -1,0 +1,198 @@
+"""Tests for the synthesis loop, the lookup algorithms and the cached tables.
+
+These are the Section 7 reproduction targets in unit-test form: synthesis
+succeeds for the local problems ({1,3,4}-orientation at k = 1, 4-colouring
+at k = 3) and fails for too-small parameters and for global problems.
+"""
+
+import pytest
+
+from repro.core.catalog import (
+    maximal_independent_set_problem,
+    vertex_colouring_problem,
+)
+from repro.core.verifier import verify_node_labelling, verify_proper_vertex_colouring
+from repro.errors import SynthesisError
+from repro.grid.identifiers import adversarial_identifiers, random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.orientation.problems import x_orientation_problem
+from repro.synthesis.encode import encode_tile_labelling_as_sat
+from repro.synthesis.lookup import (
+    LookupAnchorRule,
+    build_lookup_algorithm,
+    table_from_serialisable,
+    table_to_serialisable,
+)
+from repro.synthesis.pretrained import load_four_colouring_algorithm, load_four_colouring_outcome
+from repro.synthesis.sat import solve_cnf
+from repro.synthesis.synthesiser import (
+    candidate_window_sizes,
+    synthesise,
+    synthesise_with_budget,
+    validate_table,
+)
+from repro.synthesis.tile_graph import build_tile_graph
+
+
+class TestSynthesisOutcomes:
+    def test_orientation_134_succeeds_at_k1(self):
+        problem = x_orientation_problem({1, 3, 4})
+        search = synthesise_with_budget(problem, max_k=1)
+        assert search.succeeded
+        assert search.best.k == 1
+        assert search.best.tile_count > 0
+        assert "succeeded" in search.best.certificate
+
+    def test_orientation_013_succeeds_at_k1(self):
+        problem = x_orientation_problem({0, 1, 3})
+        search = synthesise_with_budget(problem, max_k=1)
+        assert search.succeeded
+
+    def test_four_colouring_fails_at_k1(self):
+        outcome = synthesise(vertex_colouring_problem(4), k=1, width=3, height=3)
+        assert not outcome.success
+        assert not outcome.exhausted_budget  # genuinely unsatisfiable, not a timeout
+        assert "failed" in outcome.certificate
+
+    def test_three_colouring_fails_at_k1(self):
+        outcome = synthesise(vertex_colouring_problem(3), k=1, width=3, height=2)
+        assert not outcome.success
+
+    def test_global_two_colouring_never_succeeds(self):
+        search = synthesise_with_budget(vertex_colouring_problem(2), max_k=2)
+        assert not search.succeeded
+        assert len(search.attempts) >= 2
+
+    def test_cross_constraint_problems_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesise(maximal_independent_set_problem(), k=1, width=2, height=2)
+
+    def test_candidate_window_sizes_include_paper_choices(self):
+        assert (3, 2) in candidate_window_sizes(1)
+        assert (7, 5) in candidate_window_sizes(3)
+
+    def test_sat_and_csp_engines_agree_on_small_instance(self):
+        problem = x_orientation_problem({1, 3, 4})
+        graph = build_tile_graph(3, 3, 1)
+        csp_outcome = synthesise(problem, 1, 3, 3, engine="csp", graph=graph)
+        sat_outcome = synthesise(problem, 1, 3, 3, engine="sat", graph=graph)
+        assert csp_outcome.success == sat_outcome.success
+
+
+class TestTableValidation:
+    def test_validate_table_accepts_solver_output_and_rejects_corruption(self):
+        problem = x_orientation_problem({1, 3, 4})
+        search = synthesise_with_budget(problem, max_k=1)
+        outcome = search.best
+        graph = build_tile_graph(outcome.width, outcome.height, outcome.k)
+        assert validate_table(problem, graph, outcome.table)
+        # Corrupt one entry: force an in-degree-2 label, which the node
+        # predicate forbids.
+        corrupted = dict(outcome.table)
+        some_tile = next(iter(corrupted))
+        corrupted[some_tile] = (0, 0, 1, 1)
+        assert not validate_table(problem, graph, corrupted)
+        # Remove one entry entirely.
+        incomplete = dict(outcome.table)
+        incomplete.pop(some_tile)
+        assert not validate_table(problem, graph, incomplete)
+
+    def test_serialisation_round_trip(self):
+        problem = x_orientation_problem({1, 3, 4})
+        outcome = synthesise_with_budget(problem, max_k=1).best
+        data = table_to_serialisable(outcome.table)
+        restored = table_from_serialisable(data)
+        assert restored == outcome.table
+
+
+class TestSATEncoding:
+    def test_encoding_matches_csp_verdict(self):
+        problem = vertex_colouring_problem(4)
+        graph = build_tile_graph(2, 2, 1)
+        encoding = encode_tile_labelling_as_sat(problem, graph)
+        result = solve_cnf(encoding.cnf)
+        csp_verdict = synthesise(problem, 1, 2, 2, engine="csp", graph=graph).success
+        assert result.satisfiable == csp_verdict
+        if result.satisfiable:
+            table = encoding.decode(result.assignment)
+            assert validate_table(problem, graph, table)
+
+    def test_cross_constraints_rejected(self):
+        graph = build_tile_graph(2, 2, 1)
+        with pytest.raises(SynthesisError):
+            encode_tile_labelling_as_sat(maximal_independent_set_problem(), graph)
+
+
+class TestLookupAlgorithms:
+    def test_orientation_lookup_algorithm_end_to_end(self):
+        problem = x_orientation_problem({1, 3, 4})
+        search = synthesise_with_budget(problem, max_k=1)
+        algorithm = build_lookup_algorithm(search.best)
+        grid = ToroidalGrid.square(11)
+        identifiers = random_identifiers(grid, seed=13)
+        result = algorithm.run(grid, identifiers)
+        assert verify_node_labelling(grid, problem, result.node_labels).valid
+        assert result.rounds > 0
+
+    def test_lookup_rule_reports_unknown_windows(self):
+        from repro.grid.subgrid import Window
+
+        rule = LookupAnchorRule(1, 1, {Window(((0,),)): "a"})
+        with pytest.raises(SynthesisError):
+            rule.output(Window(((1,),)))
+
+    def test_build_lookup_algorithm_requires_success(self):
+        outcome = synthesise(vertex_colouring_problem(3), k=1, width=2, height=2)
+        with pytest.raises(SynthesisError):
+            build_lookup_algorithm(outcome)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SynthesisError):
+            LookupAnchorRule(1, 1, {})
+
+
+class TestPretrainedFourColouring:
+    def test_cached_outcome_has_the_paper_parameters(self):
+        outcome = load_four_colouring_outcome()
+        assert outcome.k == 3
+        assert (outcome.width, outcome.height) == (7, 5)
+        assert outcome.tile_count == 2079  # the number reported in Section 7
+
+    @pytest.mark.parametrize("n,seed", [(14, 0), (20, 3), (27, 8)])
+    def test_cached_algorithm_produces_proper_4_colourings(self, n, seed):
+        algorithm = load_four_colouring_algorithm()
+        grid = ToroidalGrid.square(n)
+        identifiers = random_identifiers(grid, seed=seed)
+        result = algorithm.run(grid, identifiers)
+        assert verify_proper_vertex_colouring(grid, result.node_labels, 4).valid
+
+    def test_cached_algorithm_with_adversarial_identifiers(self):
+        algorithm = load_four_colouring_algorithm()
+        grid = ToroidalGrid.square(18)
+        identifiers = adversarial_identifiers(grid)
+        result = algorithm.run(grid, identifiers)
+        assert verify_proper_vertex_colouring(grid, result.node_labels, 4).valid
+
+    def test_rounds_stay_flat_across_sizes(self):
+        algorithm = load_four_colouring_algorithm()
+        rounds = []
+        for n in (16, 24, 32):
+            grid = ToroidalGrid.square(n)
+            identifiers = random_identifiers(grid, seed=1)
+            rounds.append(algorithm.run(grid, identifiers).rounds)
+        assert max(rounds) - min(rounds) <= 150
+        assert max(rounds) < 32 * 32  # nowhere near a linear-in-n cost
+
+
+@pytest.mark.slow
+class TestFullFourColouringSynthesis:
+    def test_paper_headline_instance(self):
+        """4-colouring synthesis: fails at k=2, succeeds at k=3 with 7×5 windows."""
+        problem = vertex_colouring_problem(4)
+        failing = synthesise(problem, k=2, width=5, height=3, engine="sat")
+        assert not failing.success
+        outcome = synthesise(problem, k=3, width=7, height=5, engine="sat")
+        assert outcome.success
+        assert outcome.tile_count == 2079
+        graph = build_tile_graph(7, 5, 3)
+        assert validate_table(problem, graph, outcome.table)

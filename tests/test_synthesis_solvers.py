@@ -1,0 +1,199 @@
+"""Tests for the CSP and CDCL SAT solvers used by the synthesis engine."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.synthesis.csp import BinaryCSP, solve_binary_csp
+from repro.synthesis.sat import CNF, solve_cnf, verify_assignment
+
+
+class TestBinaryCSP:
+    def test_simple_satisfiable_instance(self):
+        csp = BinaryCSP()
+        csp.add_variable("x", (0, 1))
+        csp.add_variable("y", (0, 1))
+        csp.add_constraint("x", "y", lambda a, b: a != b)
+        result = solve_binary_csp(csp)
+        assert result.satisfiable
+        assert result.assignment["x"] != result.assignment["y"]
+
+    def test_unsatisfiable_triangle_with_two_colours(self):
+        csp = BinaryCSP()
+        for name in "abc":
+            csp.add_variable(name, (0, 1))
+        for first, second in itertools.combinations("abc", 2):
+            csp.add_constraint(first, second, lambda x, y: x != y)
+        result = solve_binary_csp(csp)
+        assert not result.satisfiable
+        assert not result.exhausted_budget
+
+    def test_triangle_with_three_colours(self):
+        csp = BinaryCSP()
+        for name in "abc":
+            csp.add_variable(name, (0, 1, 2))
+        for first, second in itertools.combinations("abc", 2):
+            csp.add_constraint(first, second, lambda x, y: x != y)
+        result = solve_binary_csp(csp)
+        assert result.satisfiable
+        values = [result.assignment[name] for name in "abc"]
+        assert len(set(values)) == 3
+
+    def test_cycle_graph_colouring(self):
+        # An odd cycle needs three colours; with two it is unsatisfiable.
+        def build(colours, length):
+            csp = BinaryCSP()
+            for index in range(length):
+                csp.add_variable(index, tuple(range(colours)))
+            for index in range(length):
+                csp.add_constraint(index, (index + 1) % length, lambda a, b: a != b)
+            return csp
+
+        assert not solve_binary_csp(build(2, 7)).satisfiable
+        assert solve_binary_csp(build(3, 7)).satisfiable
+        assert solve_binary_csp(build(2, 8)).satisfiable
+
+    def test_budget_exhaustion_reported(self):
+        # K8 with 7 colours is unsatisfiable but has a huge symmetric search
+        # space; a tiny node budget must therefore be reported as exhausted.
+        csp = BinaryCSP()
+        for index in range(8):
+            csp.add_variable(index, tuple(range(7)))
+        for first in range(8):
+            for second in range(first + 1, 8):
+                csp.add_constraint(first, second, lambda a, b: a != b)
+        result = solve_binary_csp(csp, node_budget=50)
+        assert not result.satisfiable
+        assert result.exhausted_budget
+
+    def test_invalid_usage(self):
+        csp = BinaryCSP()
+        csp.add_variable("x", (0,))
+        with pytest.raises(SynthesisError):
+            csp.add_variable("x", (0, 1))
+        with pytest.raises(SynthesisError):
+            csp.add_variable("empty", ())
+        with pytest.raises(SynthesisError):
+            csp.add_constraint("x", "missing", lambda a, b: True)
+
+    def test_empty_csp_is_satisfiable(self):
+        assert solve_binary_csp(BinaryCSP()).satisfiable
+
+
+class TestCNFBasics:
+    def test_add_clause_validation(self):
+        cnf = CNF()
+        cnf.add_clause((1, -2))
+        assert cnf.variable_count == 2
+        with pytest.raises(SynthesisError):
+            cnf.add_clause(())
+        with pytest.raises(SynthesisError):
+            cnf.add_clause((0,))
+
+    def test_new_variable(self):
+        cnf = CNF()
+        assert cnf.new_variable() == 1
+        assert cnf.new_variable() == 2
+
+
+class TestSATSolver:
+    def test_trivial_instances(self):
+        cnf = CNF()
+        cnf.add_clause((1,))
+        cnf.add_clause((-2,))
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert result.assignment[1] is True
+        assert result.assignment[2] is False
+
+    def test_unsatisfiable_unit_clash(self):
+        cnf = CNF()
+        cnf.add_clause((1,))
+        cnf.add_clause((-1,))
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_pigeonhole_3_into_2_is_unsat(self):
+        # Variables x[p][h]: pigeon p in hole h.
+        cnf = CNF()
+        var = {}
+        for pigeon in range(3):
+            for hole in range(2):
+                var[(pigeon, hole)] = cnf.new_variable()
+        for pigeon in range(3):
+            cnf.add_clause(var[(pigeon, hole)] for hole in range(2))
+        for hole in range(2):
+            for first in range(3):
+                for second in range(first + 1, 3):
+                    cnf.add_clause((-var[(first, hole)], -var[(second, hole)]))
+        result = solve_cnf(cnf)
+        assert not result.satisfiable
+        assert result.conflicts > 0
+
+    def test_graph_colouring_encoding(self):
+        # 4-colouring of K4 is satisfiable, 3-colouring is not.
+        def colouring_cnf(colours):
+            cnf = CNF()
+            var = {}
+            for node in range(4):
+                for colour in range(colours):
+                    var[(node, colour)] = cnf.new_variable()
+            for node in range(4):
+                cnf.add_clause(var[(node, colour)] for colour in range(colours))
+            for first in range(4):
+                for second in range(first + 1, 4):
+                    for colour in range(colours):
+                        cnf.add_clause((-var[(first, colour)], -var[(second, colour)]))
+            return cnf
+
+        assert solve_cnf(colouring_cnf(4)).satisfiable
+        assert not solve_cnf(colouring_cnf(3)).satisfiable
+
+    def test_empty_formula(self):
+        assert solve_cnf(CNF()).satisfiable
+
+    def test_budget_reported(self):
+        # A hard-ish random instance with a tiny conflict budget.
+        rng = random.Random(0)
+        cnf = CNF()
+        variables = 30
+        for _ in range(140):
+            clause = set()
+            while len(clause) < 3:
+                literal = rng.randint(1, variables) * rng.choice((1, -1))
+                clause.add(literal)
+            cnf.add_clause(tuple(clause))
+        result = solve_cnf(cnf, conflict_budget=1)
+        assert result.satisfiable or result.exhausted_budget or result.conflicts <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(4, 9), st.integers(5, 30))
+    def test_agrees_with_brute_force_on_random_instances(self, seed, variables, clause_count):
+        rng = random.Random(seed)
+        cnf = CNF()
+        clauses = []
+        for _ in range(clause_count):
+            width = rng.randint(1, 3)
+            clause = set()
+            while len(clause) < width:
+                literal = rng.randint(1, variables) * rng.choice((1, -1))
+                if -literal not in clause:
+                    clause.add(literal)
+            clauses.append(tuple(clause))
+            cnf.add_clause(tuple(clause))
+
+        def brute_force():
+            for bits in range(1 << variables):
+                assignment = {v: bool(bits >> (v - 1) & 1) for v in range(1, variables + 1)}
+                if all(
+                    any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+                ):
+                    return True
+            return False
+
+        result = solve_cnf(cnf)
+        assert result.satisfiable == brute_force()
+        if result.satisfiable:
+            assert verify_assignment(cnf, result.assignment)

@@ -1,0 +1,111 @@
+"""Tests for tile enumeration and the tile neighbourhood graph (Appendix A.1).
+
+The quantitative targets come straight from the paper: the 16 tiles shown
+for 3×2 windows at k = 1 (Section 7's illustration) and — in the slow
+benchmark — the 2079 tiles for 7×5 windows at k = 3.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.grid.subgrid import Window
+from repro.synthesis.tile_graph import build_tile_graph, occurring_windows
+from repro.synthesis.tiles import (
+    enumerate_tiles,
+    is_tile,
+    maximum_anchor_count,
+    tiles_containing_anchor_at,
+)
+
+
+class TestTileEnumeration:
+    def test_paper_count_for_k1_windows(self):
+        # Section 7 displays the complete list of k = 1 tiles on 3×2 windows:
+        # sixteen of them (all placements of 1-3 anchors; the all-empty
+        # pattern is not extendable because the two middle cells can only be
+        # dominated by conflicting outside anchors).
+        assert len(enumerate_tiles(2, 3, 1)) == 16
+        assert len(enumerate_tiles(3, 2, 1)) == 16
+
+    def test_all_zero_window_is_not_a_tile_for_3x2(self):
+        empty = Window(((0, 0, 0), (0, 0, 0)))
+        assert not is_tile(empty, 1)
+
+    def test_all_zero_wide_window_is_a_tile_for_k1(self):
+        # In a 3x3 window the centre cell cannot be dominated from outside,
+        # but an all-zero 2x2 window can be completed.
+        assert is_tile(Window(((0, 0), (0, 0))), 1)
+        assert not is_tile(Window(((0, 0, 0), (0, 0, 0), (0, 0, 0))), 1)
+
+    def test_single_anchor_windows_are_tiles(self):
+        for tile in tiles_containing_anchor_at(enumerate_tiles(2, 3, 1), 0, 0):
+            assert tile.value(0, 0) == 1
+
+    def test_independence_is_enforced(self):
+        adjacent_anchors = Window(((1, 1), (0, 0)))
+        assert not is_tile(adjacent_anchors, 1)
+        diagonal_anchors = Window(((1, 0), (0, 1)))
+        assert is_tile(diagonal_anchors, 1)
+        assert not is_tile(diagonal_anchors, 2)
+
+    def test_k2_counts_are_consistent_between_orientations(self):
+        assert len(enumerate_tiles(3, 4, 2)) == len(enumerate_tiles(4, 3, 2))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SynthesisError):
+            enumerate_tiles(0, 3, 1)
+        with pytest.raises(SynthesisError):
+            enumerate_tiles(3, 3, 0)
+
+    def test_maximum_anchor_count(self):
+        tiles = enumerate_tiles(2, 3, 1)
+        assert maximum_anchor_count(tiles) == 3
+        assert maximum_anchor_count(()) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1_000_000))
+    def test_heredity_property(self, seed):
+        """Every sub-window of a tile is again a tile (Appendix A.1)."""
+        import random
+
+        rng = random.Random(seed)
+        tiles = enumerate_tiles(3, 3, 2)
+        tile = tiles[rng.randrange(len(tiles))]
+        x0 = rng.randrange(2)
+        y0 = rng.randrange(2)
+        sub = tile.subwindow(x0, y0, 2, 2)
+        assert is_tile(sub, 2)
+
+
+class TestTileGraph:
+    def test_build_and_validate(self):
+        graph = build_tile_graph(2, 2, 1)
+        assert graph.tile_count == len(enumerate_tiles(2, 2, 1))
+        assert graph.edge_count > 0
+        graph.validate_heredity()  # should not raise
+
+    def test_edges_connect_enumerated_tiles(self):
+        graph = build_tile_graph(2, 3, 1)
+        tile_set = set(graph.tiles)
+        for west, east in graph.horizontal_pairs:
+            assert west in tile_set and east in tile_set
+        for south, north in graph.vertical_pairs:
+            assert south in tile_set and north in tile_set
+
+    def test_undirected_adjacency_symmetry(self):
+        graph = build_tile_graph(2, 2, 1)
+        adjacency = graph.undirected_adjacency()
+        for tile, neighbours in adjacency.items():
+            for neighbour in neighbours:
+                assert tile in adjacency[neighbour]
+
+    def test_occurring_windows_grouping(self):
+        tiles = enumerate_tiles(2, 3, 1)
+        grouped = occurring_windows(tiles)
+        assert sum(len(group) for group in grouped.values()) == 16
+        assert 0 not in grouped  # the all-zero pattern is not a tile
+        assert set(grouped) == {1, 2, 3}
+        assert len(grouped[1]) == 6
+        assert len(grouped[2]) == 8
+        assert len(grouped[3]) == 2

@@ -1,0 +1,188 @@
+"""Tests for the Section 6 construction: Turing machines and ``L_M``."""
+
+import pytest
+
+from repro.errors import UnsolvableInstanceError
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.undecidability.lm_problem import (
+    LMLabel,
+    TYPE_DIRECTION,
+    TYPES,
+    check_lm_labelling,
+    lm_problem_description,
+)
+from repro.undecidability.lm_solver import solve_lm_globally, solve_lm_locally
+from repro.undecidability.turing import (
+    BLANK,
+    busy_machine,
+    halting_machine,
+    non_halting_machine,
+)
+
+
+class TestTuringMachines:
+    def test_halting_machine_runs_and_halts(self):
+        machine = halting_machine()
+        table = machine.run(20)
+        assert table.halted
+        assert table.steps == 3
+        assert table.rows[0].state == "start"
+        assert table.rows[0].tape[0] == BLANK
+        assert table.rows[-1].state == "halt"
+        assert machine.halts_within(20) == 3
+
+    def test_busy_machine(self):
+        machine = busy_machine()
+        table = machine.run(30)
+        assert table.halted
+        assert table.steps == 7
+
+    def test_non_halting_machine(self):
+        machine = non_halting_machine()
+        table = machine.run(50)
+        assert not table.halted
+        assert machine.halts_within(50) is None
+        # The machine keeps writing 'r' and moving right.
+        assert table.rows[-1].tape[:3] == ("r", "r", "r")
+
+    def test_execution_table_rows_are_consistent(self):
+        machine = halting_machine()
+        table = machine.run(20)
+        for before, after in zip(table.rows, table.rows[1:]):
+            # Exactly the cell under the head may change between rows.
+            changed = [
+                index
+                for index, (a, b) in enumerate(zip(before.tape, after.tape))
+                if a != b
+            ]
+            assert all(index == before.head for index in changed)
+
+    def test_problem_description(self):
+        assert "halts" in lm_problem_description(halting_machine())
+
+
+class TestLMTypes:
+    def test_type_tables_are_consistent(self):
+        assert set(TYPE_DIRECTION) == set(TYPES)
+        assert TYPE_DIRECTION["A"] == (0, 0)
+        assert TYPE_DIRECTION["NE"] == (1, 1)
+
+
+@pytest.fixture(scope="module")
+def lm_instance():
+    machine = halting_machine()
+    grid = ToroidalGrid.square(36)
+    identifiers = random_identifiers(grid, seed=4)
+    labels, result = solve_lm_locally(grid, identifiers, machine)
+    return machine, grid, identifiers, labels, result
+
+
+class TestLMSolver:
+    def test_local_solution_passes_the_checker(self, lm_instance):
+        machine, grid, _identifiers, labels, result = lm_instance
+        assert check_lm_labelling(grid, machine, labels) == []
+        assert result.metadata["branch"] == "P2"
+        assert result.metadata["anchor_count"] >= 1
+        assert result.rounds > 0
+
+    def test_global_fallback_passes_the_checker(self, lm_instance):
+        machine, grid, _identifiers, _labels, _result = lm_instance
+        labels, result = solve_lm_globally(grid, machine)
+        assert check_lm_labelling(grid, machine, labels) == []
+        assert result.metadata["branch"] == "P1"
+        assert result.rounds == sum(side // 2 for side in grid.sides)
+
+    def test_non_halting_machine_cannot_use_the_anchored_branch(self):
+        grid = ToroidalGrid.square(36)
+        identifiers = random_identifiers(grid, seed=4)
+        with pytest.raises(UnsolvableInstanceError):
+            solve_lm_locally(grid, identifiers, non_halting_machine(), max_steps=40)
+
+    def test_grid_too_small_for_anchor_spacing(self):
+        grid = ToroidalGrid.square(16)
+        identifiers = random_identifiers(grid, seed=4)
+        with pytest.raises(UnsolvableInstanceError):
+            solve_lm_locally(grid, identifiers, halting_machine())
+
+
+class TestLMCheckerFailureInjection:
+    def test_mixed_branches_rejected(self, lm_instance):
+        machine, grid, _identifiers, labels, _result = lm_instance
+        corrupted = dict(labels)
+        corrupted[(0, 0)] = LMLabel(branch="P1", colour=1, machine=machine.name)
+        assert check_lm_labelling(grid, machine, corrupted)
+
+    def test_truncated_execution_table_rejected(self, lm_instance):
+        machine, grid, _identifiers, labels, _result = lm_instance
+        corrupted = dict(labels)
+        anchor = next(node for node, label in labels.items() if label.node_type == "A")
+        above = grid.shift(anchor, (0, 1))
+        original = corrupted[above]
+        corrupted[above] = LMLabel(
+            branch="P2",
+            colour=original.colour,
+            node_type=original.node_type,
+            machine=original.machine,
+            cell=None,
+        )
+        problems = check_lm_labelling(grid, machine, corrupted)
+        assert any("missing execution-table payload" in problem for problem in problems)
+
+    def test_wrong_table_contents_rejected(self, lm_instance):
+        machine, grid, _identifiers, labels, _result = lm_instance
+        corrupted = dict(labels)
+        anchor = next(node for node, label in labels.items() if label.node_type == "A")
+        target = grid.shift(anchor, (1, 1))
+        original = corrupted[target]
+        corrupted[target] = LMLabel(
+            branch="P2",
+            colour=original.colour,
+            node_type=original.node_type,
+            machine=original.machine,
+            cell=("z", "bogus-state"),
+        )
+        problems = check_lm_labelling(grid, machine, corrupted)
+        assert any("does not match the execution table" in problem for problem in problems)
+
+    def test_broken_diagonal_two_colouring_rejected(self, lm_instance):
+        machine, grid, _identifiers, labels, _result = lm_instance
+        corrupted = dict(labels)
+        # Find a node whose diagonal neighbour shares its type and flip its bit.
+        for node, label in labels.items():
+            if label.node_type in ("A",):
+                continue
+            ahead = grid.shift(node, TYPE_DIRECTION[label.node_type])
+            if labels[ahead].node_type == label.node_type:
+                corrupted[node] = LMLabel(
+                    branch="P2",
+                    colour=labels[ahead].colour,
+                    node_type=label.node_type,
+                    machine=label.machine,
+                    cell=label.cell,
+                )
+                break
+        problems = check_lm_labelling(grid, machine, corrupted)
+        assert any("has the same bit" in problem for problem in problems)
+
+    def test_foreign_machine_rejected(self, lm_instance):
+        machine, grid, _identifiers, labels, _result = lm_instance
+        corrupted = dict(labels)
+        node = next(iter(corrupted))
+        original = corrupted[node]
+        corrupted[node] = LMLabel(
+            branch="P2",
+            colour=original.colour,
+            node_type=original.node_type,
+            machine="some-other-machine",
+            cell=original.cell,
+        )
+        problems = check_lm_labelling(grid, machine, corrupted)
+        assert any("foreign machine" in problem for problem in problems)
+
+    def test_improper_p1_colouring_rejected(self):
+        machine = halting_machine()
+        grid = ToroidalGrid.square(6)
+        labels = {node: LMLabel(branch="P1", colour=1, machine=machine.name) for node in grid.nodes()}
+        problems = check_lm_labelling(grid, machine, labels)
+        assert problems

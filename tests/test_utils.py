@@ -1,0 +1,132 @@
+"""Tests for the shared arithmetic and iteration helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.iter import chunks, pairwise_cyclic, product_range, sliding_windows, transpose
+from repro.utils.math import (
+    ceil_div,
+    is_prime,
+    iterated_log,
+    log_star,
+    next_prime,
+    sign,
+    toroidal_difference,
+    toroidal_distance,
+)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_is_monotone(self):
+        values = [log_star(n) for n in range(1, 2000)]
+        assert values == sorted(values)
+
+    def test_iterated_log_matches_definition(self):
+        assert iterated_log(256, 1) == pytest.approx(8.0)
+        assert iterated_log(256, 2) == pytest.approx(3.0)
+        assert iterated_log(2, 5) == 0.0
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [n for n in range(2, 50) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+    def test_non_primes(self):
+        for n in (-7, 0, 1, 4, 9, 100, 121):
+            assert not is_prime(n)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_next_prime_is_prime_and_not_smaller(self, n):
+        p = next_prime(n)
+        assert p >= n
+        assert is_prime(p)
+
+
+class TestToroidalArithmetic:
+    def test_difference_examples(self):
+        assert toroidal_difference(3, 1, 10) == 2
+        assert toroidal_difference(1, 3, 10) == -2
+        assert toroidal_difference(9, 0, 10) == -1
+        assert toroidal_difference(0, 9, 10) == 1
+
+    def test_distance_examples(self):
+        assert toroidal_distance(0, 9, 10) == 1
+        assert toroidal_distance(2, 7, 10) == 5
+
+    @given(st.integers(0, 99), st.integers(0, 99), st.integers(3, 100))
+    def test_difference_consistent_with_distance(self, a, b, n):
+        a, b = a % n, b % n
+        diff = toroidal_difference(a, b, n)
+        assert abs(diff) == toroidal_distance(a, b, n) or (
+            # the antipodal point on an even cycle has two representations
+            abs(diff) == n - toroidal_distance(a, b, n)
+        )
+        assert (b + diff) % n == a
+
+    @given(st.integers(0, 99), st.integers(0, 99), st.integers(3, 100))
+    def test_distance_is_a_metric_on_the_cycle(self, a, b, n):
+        a, b = a % n, b % n
+        assert toroidal_distance(a, b, n) == toroidal_distance(b, a, n)
+        assert toroidal_distance(a, a, n) == 0
+        assert 0 <= toroidal_distance(a, b, n) <= n // 2
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            toroidal_distance(1, 2, 0)
+        with pytest.raises(ValueError):
+            toroidal_difference(1, 2, -1)
+
+
+class TestMisc:
+    def test_ceil_div(self):
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+        assert ceil_div(0, 3) == 0
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_sign(self):
+        assert sign(5) == 1
+        assert sign(-2) == -1
+        assert sign(0) == 0
+
+
+class TestIterationHelpers:
+    def test_chunks(self):
+        assert list(chunks([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(chunks([1], 0))
+
+    def test_sliding_windows(self):
+        assert list(sliding_windows("abcd", 2)) == [("a", "b"), ("b", "c"), ("c", "d")]
+        assert list(sliding_windows([1, 2], 3)) == []
+
+    def test_pairwise_cyclic(self):
+        assert list(pairwise_cyclic([1, 2, 3])) == [(1, 2), (2, 3), (3, 1)]
+
+    def test_product_range(self):
+        assert list(product_range(2, 2)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_transpose(self):
+        assert transpose([[1, 2], [3, 4]]) == [(1, 3), (2, 4)]
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30), st.integers(1, 10))
+    def test_chunks_cover_everything(self, items, size):
+        reassembled = [x for chunk in chunks(items, size) for x in chunk]
+        assert reassembled == items
