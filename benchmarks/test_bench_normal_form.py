@@ -23,6 +23,7 @@ from repro.symmetry.mis import compute_anchors
 from repro.synthesis.pretrained import load_four_colouring_algorithm
 
 
+@pytest.mark.slow
 def test_normal_form_cost_split(benchmark, medium_grid):
     grid, identifiers = medium_grid
     algorithm = load_four_colouring_algorithm()

@@ -45,6 +45,7 @@ def test_theorem_22_classification_table(benchmark):
     assert counts[ComplexityClass.GLOBAL] == 12
 
 
+@pytest.mark.slow
 def test_global_cases_cross_checked_by_exhaustive_search(benchmark):
     cases = [((1, 3), 5), ((1, 3), 4), ((0, 4), 5), ((0, 4), 4), ((0, 3, 4), 5)]
 

@@ -20,6 +20,7 @@ from repro.utils.math import log_star
 SIZES = (16, 24, 32, 40)
 
 
+@pytest.mark.slow
 def test_four_versus_three_colouring_round_scaling(benchmark):
     local_algorithm = load_four_colouring_algorithm()
 
@@ -61,6 +62,7 @@ def test_four_versus_three_colouring_round_scaling(benchmark):
     assert global_.growth_ratio() == pytest.approx(SIZES[-1] / SIZES[0])
 
 
+@pytest.mark.slow
 def test_four_colouring_outputs_are_proper(benchmark, medium_grid):
     grid, identifiers = medium_grid
     algorithm = load_four_colouring_algorithm()

@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.core.verifier import verify_proper_edge_colouring
 from repro.errors import SimulationError, UnsolvableInstanceError
 from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
 from repro.colouring.jk_independent import JKIndependentSet, compute_jk_independent_set
@@ -108,20 +109,26 @@ def _colour_segments(
     marked: Set[EdgeKey],
     number_of_colours: int,
 ) -> Dict[EdgeKey, int]:
-    """Stage 3: marked edges take the last colour, rows alternate in between."""
+    """Stage 3: marked edges take the last colour, rows alternate in between.
+
+    Rows come from the grid indexer's precomputed row tables, so retries
+    with larger parameters do not re-enumerate the coordinate tuples.
+    """
     labels: Dict[EdgeKey, int] = {}
     special = number_of_colours - 1
+    indexer = GridIndexer.for_grid(grid)
+    nodes = indexer.nodes
     for axis in range(grid.dimension):
         base = 2 * axis
-        for row in grid.rows(axis):
-            length = len(row)
-            row_edges = [(row[index], axis) for index in range(length)]
+        for row_indices in indexer.rows(axis):
+            length = len(row_indices)
+            row_edges = [(nodes[position], axis) for position in row_indices]
             marked_positions = [
                 index for index, edge in enumerate(row_edges) if edge in marked
             ]
             if not marked_positions:
                 raise SimulationError(
-                    f"row through {row[0]} along axis {axis} has no marked edge; "
+                    f"row through {row_edges[0][0]} along axis {axis} has no marked edge; "
                     "the j,k-independent set failed to cover it"
                 )
             for position in marked_positions:

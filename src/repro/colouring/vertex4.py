@@ -33,6 +33,7 @@ from repro.core.verifier import verify_proper_vertex_colouring
 from repro.errors import SimulationError, UnsolvableInstanceError
 from repro.grid.geometry import ball_offsets
 from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
 from repro.symmetry.conflict_colouring import (
@@ -42,7 +43,7 @@ from repro.symmetry.conflict_colouring import (
 from repro.symmetry.linial import linial_colour_reduction
 from repro.symmetry.mis import compute_anchors
 from repro.symmetry.reduction import reduce_colours_to
-from repro.utils.math import toroidal_difference, toroidal_distance
+from repro.utils.math import toroidal_difference
 
 
 @dataclass
@@ -155,17 +156,46 @@ def _assign_radii_csp(adjacency, available, forbidden) -> Dict[Node, int]:
 def _border_counts(
     grid: ToroidalGrid, radii: Mapping[Node, int]
 ) -> Dict[Node, int]:
-    """Step 3: count, for every node, the dimension borders it lies on."""
-    counts: Dict[Node, int] = {node: 0 for node in grid.nodes()}
+    """Step 3: count, for every node, the dimension borders it lies on.
+
+    Runs on the indexed fast path: for each radius in use, the shell
+    offsets, their per-axis border contributions and the shell's
+    target-index table are computed once and reused across all anchors of
+    that radius, instead of re-shifting coordinate tuples per anchor.
+    """
+    indexer = GridIndexer.for_grid(grid)
+    counts = [0] * indexer.node_count
+    shells: Dict[int, Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = {}
     for anchor, radius in radii.items():
-        for offset in ball_offsets(grid.dimension, radius, "linf"):
-            if max(abs(component) for component in offset) != radius:
-                continue
-            node = grid.shift(anchor, offset)
-            for axis in range(grid.dimension):
-                if toroidal_distance(node[axis], anchor[axis], grid.sides[axis]) == radius:
-                    counts[node] += 1
-    return counts
+        shell = shells.get(radius)
+        if shell is None:
+            offsets = tuple(
+                offset
+                for offset in ball_offsets(grid.dimension, radius, "linf")
+                if max(abs(component) for component in offset) == radius
+            )
+            # For a shell offset o, the node anchor + o lies on the axis-a
+            # border of the ball exactly when its toroidal distance to the
+            # anchor along a is the radius; |o_a| <= radius < side_a, so that
+            # distance is min(|o_a|, side_a - |o_a|).
+            contributions = tuple(
+                sum(
+                    1
+                    for axis in range(grid.dimension)
+                    if min(
+                        abs(offset[axis]), grid.sides[axis] - abs(offset[axis])
+                    ) == radius
+                )
+                for offset in offsets
+            )
+            shell = (indexer.offset_table(offsets), contributions)
+            shells[radius] = shell
+        table, contributions = shell
+        row = table[indexer.index_of(anchor)]
+        for target, contribution in zip(row, contributions):
+            if contribution:
+                counts[target] += contribution
+    return indexer.to_mapping(counts)
 
 
 def _two_colour_components(
@@ -174,57 +204,67 @@ def _two_colour_components(
     counts: Mapping[Node, int],
     diameter_bound: int,
 ) -> Dict[Node, int]:
-    """Steps 4: split by parity of ``count`` and 2-colour each component."""
+    """Steps 4: split by parity of ``count`` and 2-colour each component.
+
+    Both BFS passes run over the indexer's precomputed neighbour table
+    (flat integer indices), visiting nodes and neighbours in exactly the
+    order of the tuple-based implementation.
+    """
+    indexer = GridIndexer.for_grid(grid)
+    nodes = indexer.nodes
+    neighbour_table = indexer.neighbour_table()
+    count_values = [counts[node] for node in nodes]
+    id_values = indexer.to_values(identifiers)
     colours: Dict[Node, int] = {}
-    visited: Set[Node] = set()
-    for start in grid.nodes():
-        if start in visited:
+    visited = [False] * indexer.node_count
+    for start in range(indexer.node_count):
+        if visited[start]:
             continue
-        parity = counts[start] % 2
+        parity = count_values[start] % 2
         # Collect the connected component of same-parity nodes.
-        component: List[Node] = []
+        component: List[int] = []
         queue = deque([start])
-        visited.add(start)
+        visited[start] = True
         while queue:
-            node = queue.popleft()
-            component.append(node)
-            for neighbour in grid.neighbour_nodes(node):
-                if neighbour in visited:
+            position = queue.popleft()
+            component.append(position)
+            for neighbour in neighbour_table[position]:
+                if visited[neighbour]:
                     continue
-                if counts[neighbour] % 2 == parity:
-                    visited.add(neighbour)
+                if count_values[neighbour] % 2 == parity:
+                    visited[neighbour] = True
                     queue.append(neighbour)
         # The component must be small (contained in one ball); otherwise the
         # radii separation failed and the caller will retry with larger ℓ.
-        for node in component:
+        for position in component:
             for other in component:
-                if grid.linf_distance(node, other) > diameter_bound:
+                if grid.linf_distance(nodes[position], nodes[other]) > diameter_bound:
                     raise SimulationError(
                         "a parity component spans more than one ball; "
                         "the radii separation property failed"
                     )
         # 2-colour the component by BFS parity from its smallest-identifier node.
-        root = min(component, key=lambda node: identifiers[node])
-        level: Dict[Node, int] = {root: 0}
+        root = min(component, key=lambda position: id_values[position])
+        level: Dict[int, int] = {root: 0}
         queue = deque([root])
         component_set = set(component)
         while queue:
-            node = queue.popleft()
-            for neighbour in grid.neighbour_nodes(node):
+            position = queue.popleft()
+            for neighbour in neighbour_table[position]:
                 if neighbour not in component_set:
                     continue
                 if neighbour in level:
-                    if (level[neighbour] + level[node]) % 2 == 0 and neighbour != node:
+                    if (level[neighbour] + level[position]) % 2 == 0 and neighbour != position:
                         # Equal BFS parity on adjacent nodes: an odd cycle.
                         raise SimulationError(
                             "a parity component is not bipartite; retry with larger ℓ"
                         )
                     continue
-                level[neighbour] = level[node] + 1
+                level[neighbour] = level[position] + 1
                 queue.append(neighbour)
         base = 0 if parity == 1 else 2
-        for node in component:
-            colours[node] = base + (level[node] % 2)
+        for position in component:
+            colours[nodes[position]] = base + (level[position] % 2)
     return colours
 
 

@@ -14,6 +14,7 @@ from repro.grid.geometry import (
     linf_norm,
     offsets_within,
 )
+from repro.grid.indexer import GridIndexer
 from repro.grid.power import PowerGraph, power_neighbours
 from repro.grid.subgrid import Window, extract_window, render_pattern
 from repro.grid.identifiers import (
@@ -25,6 +26,7 @@ from repro.grid.identifiers import (
 
 __all__ = [
     "Direction",
+    "GridIndexer",
     "IdentifierAssignment",
     "PowerGraph",
     "ToroidalGrid",

@@ -27,6 +27,8 @@ from repro.local_model.simulator import (
     apply_rule,
     iterate_rule,
 )
+from repro.local_model.engine import IndexedEngine, SchedulePhase, run_schedule
+from repro.local_model.store import LabelStore
 from repro.local_model.views import NeighbourhoodView, collect_view
 from repro.local_model.messaging import MessagePassingNetwork, NodeProgram
 from repro.local_model.order_invariant import (
@@ -38,14 +40,18 @@ __all__ = [
     "AlgorithmResult",
     "FunctionRule",
     "GridAlgorithm",
+    "IndexedEngine",
+    "LabelStore",
     "LocalRule",
     "MessagePassingNetwork",
     "NeighbourhoodView",
     "NodeProgram",
     "RoundLedger",
+    "SchedulePhase",
     "apply_rule",
     "collect_view",
     "is_order_invariant",
     "iterate_rule",
     "order_normalise_view",
+    "run_schedule",
 ]

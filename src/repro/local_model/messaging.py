@@ -79,7 +79,7 @@ class MessagePassingNetwork:
         for node in nodes:
             context = NodeContext(
                 identifier=self.identifiers[node],
-                grid_size=self.grid.sides[0],
+                grid_size=self.grid.node_count,
                 dimension=self.grid.dimension,
                 input_label=None if inputs is None else inputs.get(node),
             )

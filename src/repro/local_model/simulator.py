@@ -7,6 +7,12 @@ one application is the rule's radius (times the dimension for L-infinity
 views).  A :class:`RoundLedger` accumulates the cost of the successive
 phases of a composite algorithm, which is how the empirical
 ``Θ(log* n)`` versus ``Θ(n)`` measurements in the benchmarks are produced.
+
+This module is the dict-based *reference* implementation: it recomputes
+every ball with ``grid.shift`` on every node in every round, which keeps it
+simple and obviously correct.  Hot paths should use the table-driven
+equivalents in :mod:`repro.local_model.engine`, which are asserted
+equivalent to this module by the tier-1 tests.
 """
 
 from __future__ import annotations
@@ -102,6 +108,10 @@ def run_phase(
     declared radius (as a mapping from *nodes* to labels, for convenience of
     phases that need the grid geometry); reads outside the radius raise a
     ``KeyError``, which surfaces as an algorithm bug in tests.
+
+    The labelling must be total: a node within the radius that has no entry
+    in ``labels`` raises a :class:`repro.errors.SimulationError` naming the
+    node and phase, instead of being silently dropped from the view.
     """
     new_labels: Dict[Node, Any] = {}
     for node in grid.nodes():
@@ -109,7 +119,15 @@ def run_phase(
             visible_nodes = grid.ball(node, radius, "l1")
         else:
             visible_nodes = grid.ball(node, radius, "linf")
-        visible = {v: labels[v] for v in visible_nodes if v in labels}
+        visible: Dict[Node, Any] = {}
+        for v in visible_nodes:
+            try:
+                visible[v] = labels[v]
+            except KeyError:
+                raise SimulationError(
+                    f"node {v} within radius {radius} of {node} has no label "
+                    f"in phase {phase!r}; run_phase requires a total labelling"
+                ) from None
         new_labels[node] = compute(node, visible)
     if ledger is not None:
         cost = radius if norm == "l1" else radius * grid.dimension

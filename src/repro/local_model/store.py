@@ -1,0 +1,110 @@
+"""List-backed node labellings with a dict-compatible interface.
+
+The dict-based simulator represents a labelling as ``Dict[Node, Any]`` and
+pays a tuple hash per read.  A :class:`LabelStore` keeps the values in a
+flat list ordered by a :class:`repro.grid.indexer.GridIndexer` and exposes
+the full ``Mapping`` protocol, so existing :class:`LocalRule` code,
+stopping predicates and verifiers keep working unchanged while the fast
+path operates on the list directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, MutableMapping
+
+from repro.errors import SimulationError
+from repro.grid.indexer import GridIndexer
+from repro.grid.torus import Node, ToroidalGrid
+
+
+class LabelStore(MutableMapping):
+    """A total labelling of a grid, stored as a flat list of values.
+
+    The store is *total*: every node of the grid has a value, and entries
+    cannot be deleted — exactly the invariant the synchronous simulator
+    relies on.  Reads and writes accept coordinate-tuple nodes, so the
+    store is a drop-in replacement for ``Dict[Node, Any]``.
+    """
+
+    __slots__ = ("_indexer", "_values")
+
+    def __init__(self, indexer: GridIndexer, values: List[Any]):
+        if len(values) != indexer.node_count:
+            raise SimulationError(
+                f"label store needs one value per node: got {len(values)} "
+                f"values for {indexer.node_count} nodes"
+            )
+        self._indexer = indexer
+        self._values = values
+
+    @classmethod
+    def from_mapping(
+        cls, grid_or_indexer, mapping: Mapping[Node, Any]
+    ) -> "LabelStore":
+        """Build a store from any node-keyed mapping (must be total)."""
+        indexer = _as_indexer(grid_or_indexer)
+        return cls(indexer, indexer.to_values(mapping))
+
+    @classmethod
+    def filled(cls, grid_or_indexer, value: Any) -> "LabelStore":
+        """Build a store assigning ``value`` to every node."""
+        indexer = _as_indexer(grid_or_indexer)
+        return cls(indexer, [value] * indexer.node_count)
+
+    @property
+    def indexer(self) -> GridIndexer:
+        """The indexer defining the node order of the backing list."""
+        return self._indexer
+
+    @property
+    def values_list(self) -> List[Any]:
+        """The backing list (values in flat-index order); shared, not copied."""
+        return self._values
+
+    def to_dict(self) -> Dict[Node, Any]:
+        """Materialise the labelling as a plain ``Dict[Node, Any]``."""
+        return self._indexer.to_mapping(self._values)
+
+    # ------------------------------------------------------------------ #
+    # Mapping protocol
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, node: Node) -> Any:
+        return self._values[self._indexer.index_of(node)]
+
+    def __setitem__(self, node: Node, value: Any) -> None:
+        self._values[self._indexer.index_of(node)] = value
+
+    def __delitem__(self, node: Node) -> None:
+        raise SimulationError(
+            "a LabelStore is a total labelling; entries cannot be deleted"
+        )
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._indexer.nodes)
+
+    def __len__(self) -> int:
+        return self._indexer.node_count
+
+    def __contains__(self, node: object) -> bool:
+        try:
+            self._indexer.index_of(node)  # type: ignore[arg-type]
+        except (KeyError, TypeError):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelStore({self._indexer.grid!r}, "
+            f"{self._indexer.node_count} values)"
+        )
+
+
+def _as_indexer(grid_or_indexer) -> GridIndexer:
+    if isinstance(grid_or_indexer, GridIndexer):
+        return grid_or_indexer
+    if isinstance(grid_or_indexer, ToroidalGrid):
+        return GridIndexer.for_grid(grid_or_indexer)
+    raise TypeError(
+        f"expected a ToroidalGrid or GridIndexer, got {type(grid_or_indexer).__name__}"
+    )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.errors import SimulationError
 from repro.grid.geometry import ball_offsets
 from repro.grid.torus import Node, ToroidalGrid
 
@@ -60,6 +61,12 @@ class NeighbourhoodView:
         return self.labels.get(origin)
 
     def _origin(self) -> Offset:
+        if not self.identifiers:
+            raise SimulationError(
+                "view has an empty identifier map; the observing node's own "
+                "offset cannot be located (a view must contain at least the "
+                "origin)"
+            )
         some_offset = next(iter(self.identifiers))
         return (0,) * len(some_offset)
 
@@ -91,6 +98,10 @@ def collect_view(
     wrap onto the same underlying node; in that case the node legitimately
     "sees around the torus" and the duplicated information is included —
     exactly as it would be in a real execution.
+
+    When ``grid_size`` is not supplied it defaults to the total node count
+    ``n`` (the paper's "nodes know n"), which is also correct on
+    non-square tori.
     """
     id_view: Dict[Offset, int] = {}
     label_view: Dict[Offset, Any] = {}
@@ -99,7 +110,7 @@ def collect_view(
         id_view[offset] = identifiers[target]
         if labels is not None and target in labels:
             label_view[offset] = labels[target]
-    size = grid_size if grid_size is not None else grid.sides[0]
+    size = grid_size if grid_size is not None else grid.node_count
     return NeighbourhoodView(
         radius=radius,
         identifiers=id_view,

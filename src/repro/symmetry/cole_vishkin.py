@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Direction, Node, ToroidalGrid
 
 
@@ -111,14 +112,22 @@ def three_colour_rows(
     Each row is an independent directed cycle (oriented towards increasing
     coordinates); all rows run Cole–Vishkin simultaneously, so the round
     cost is the maximum over the rows.
+
+    Rows and identifiers are resolved through the grid's
+    :class:`repro.grid.indexer.GridIndexer`, so repeated sweeps over the
+    same grid reuse the precomputed row tables instead of re-materialising
+    coordinate tuples.
     """
+    indexer = GridIndexer.for_grid(grid)
+    id_values = indexer.to_values(identifiers)
+    nodes = indexer.nodes
     colouring: Dict[Node, int] = {}
     rounds = 0
-    for row in grid.rows(axis):
-        row_ids = [identifiers[node] for node in row]
+    for row in indexer.rows(axis):
+        row_ids = [id_values[position] for position in row]
         result = colour_directed_cycle(row_ids)
-        for node, colour in zip(row, result.colours):
-            colouring[node] = colour
+        for position, colour in zip(row, result.colours):
+            colouring[nodes[position]] = colour
         rounds = max(rounds, result.rounds)
     return colouring, rounds
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Mapping, Sequence, Set
 
 from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.indexer import GridIndexer
 from repro.grid.power import PowerGraph
 from repro.grid.torus import Node, ToroidalGrid
 from repro.symmetry.linial import linial_colour_reduction
@@ -103,7 +104,10 @@ def compute_anchors(
         normal form); ``norm="linf"`` gives an MIS of ``G^[k]`` (Section 8).
     """
     power = PowerGraph(grid, k, norm)
-    adjacency = power.adjacency()
+    # The indexed fast path produces exactly power.adjacency() — same
+    # neighbour order, wrap-around duplicates removed — from precomputed
+    # offset tables instead of per-node shift calls.
+    adjacency = GridIndexer.for_grid(grid).power_adjacency(k, norm)
     initial = {node: identifiers[node] for node in grid.nodes()}
     computation = compute_mis(adjacency, initial, max_degree=power.max_degree())
     overhead = power.simulation_overhead()

@@ -1,0 +1,113 @@
+"""Tests for the flat-index grid layer (:mod:`repro.grid.indexer`)."""
+
+import pytest
+
+from repro.grid.geometry import ball_offsets
+from repro.grid.indexer import GridIndexer
+from repro.grid.power import PowerGraph
+from repro.grid.torus import ToroidalGrid
+
+
+@pytest.fixture()
+def grid():
+    return ToroidalGrid((4, 5))
+
+
+@pytest.fixture()
+def indexer(grid):
+    return GridIndexer(grid)
+
+
+class TestIndexing:
+    def test_round_trip(self, grid, indexer):
+        for position, node in enumerate(grid.nodes()):
+            assert indexer.index_of(node) == position
+            assert indexer.node_at(position) == node
+        assert indexer.node_count == grid.node_count
+
+    def test_nodes_match_grid_order(self, grid, indexer):
+        assert indexer.nodes == tuple(grid.nodes())
+
+    def test_index_of_rejects_foreign_node(self, indexer):
+        with pytest.raises(KeyError):
+            indexer.index_of((9, 9))
+
+    def test_for_grid_caches_per_grid(self, grid):
+        assert GridIndexer.for_grid(grid) is GridIndexer.for_grid(ToroidalGrid((4, 5)))
+        other = ToroidalGrid((5, 4))
+        assert GridIndexer.for_grid(other) is not GridIndexer.for_grid(grid)
+
+    def test_to_values_and_back(self, grid, indexer):
+        labels = {node: sum(node) for node in grid.nodes()}
+        values = indexer.to_values(labels)
+        assert values == [sum(node) for node in grid.nodes()]
+        assert indexer.to_mapping(values) == labels
+
+    def test_to_values_names_missing_node(self, grid, indexer):
+        labels = {node: 0 for node in grid.nodes()}
+        del labels[(2, 3)]
+        with pytest.raises(KeyError, match=r"\(2, 3\)"):
+            indexer.to_values(labels)
+
+
+class TestTables:
+    @pytest.mark.parametrize("radius", [0, 1, 2])
+    @pytest.mark.parametrize("norm", ["l1", "linf"])
+    def test_ball_table_matches_shift(self, grid, indexer, radius, norm):
+        offsets, table = indexer.ball_table(radius, norm)
+        assert offsets == ball_offsets(grid.dimension, radius, norm)
+        for node in grid.nodes():
+            row = table[indexer.index_of(node)]
+            for offset, target in zip(offsets, row):
+                assert indexer.node_at(target) == grid.shift(node, offset)
+
+    def test_ball_node_table_matches_grid_ball(self, grid, indexer):
+        for radius, norm in [(1, "l1"), (2, "l1"), (1, "linf"), (2, "linf")]:
+            node_table = indexer.ball_node_table(radius, norm)
+            for node in grid.nodes():
+                row = node_table[indexer.index_of(node)]
+                assert [indexer.node_at(j) for j in row] == grid.ball(node, radius, norm)
+
+    def test_ball_node_table_deduplicates_wrapping_ball(self):
+        small = ToroidalGrid.square(3)
+        indexer = GridIndexer(small)
+        node_table = indexer.ball_node_table(2, "l1")
+        for row in node_table:
+            assert len(row) == len(set(row)) == 9  # the whole torus, once each
+
+    def test_offset_table_is_cached(self, indexer):
+        offsets = ((1, 0), (0, 1))
+        assert indexer.offset_table(offsets) is indexer.offset_table(offsets)
+
+    def test_neighbour_table_matches_grid(self, grid, indexer):
+        table = indexer.neighbour_table()
+        for node in grid.nodes():
+            row = table[indexer.index_of(node)]
+            assert [indexer.node_at(j) for j in row] == grid.neighbour_nodes(node)
+
+    def test_rows_match_grid_rows(self, grid, indexer):
+        for axis in range(grid.dimension):
+            decoded = [
+                [indexer.node_at(j) for j in row] for row in indexer.rows(axis)
+            ]
+            assert decoded == [list(row) for row in grid.rows(axis)]
+
+
+class TestPowerAdjacency:
+    @pytest.mark.parametrize("sides", [(4, 5), (3, 3), (5, 5)])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("norm", ["l1", "linf"])
+    def test_matches_power_graph(self, sides, k, norm):
+        grid = ToroidalGrid(sides)
+        expected = PowerGraph(grid, k, norm).adjacency()
+        assert GridIndexer.for_grid(grid).power_adjacency(k, norm) == expected
+
+    def test_wrap_around_dedup(self):
+        # On a 3x3 torus G^(2) is the complete graph: every list has the
+        # eight other nodes exactly once despite many wrapping offsets.
+        grid = ToroidalGrid.square(3)
+        adjacency = GridIndexer.for_grid(grid).power_adjacency(2, "l1")
+        for node, neighbours in adjacency.items():
+            assert len(neighbours) == 8
+            assert node not in neighbours
+            assert len(set(neighbours)) == 8

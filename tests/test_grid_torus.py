@@ -125,6 +125,32 @@ class TestDistances:
         grid = ToroidalGrid.square(3)
         assert len(grid.ball((0, 0), 2, "l1")) == 9  # the whole grid
 
+    def test_wrapping_ball_members_unique_and_complete(self):
+        # Once the radius exceeds the sides, offsets wrap many times over;
+        # every node must still appear exactly once, for every norm.
+        grid = ToroidalGrid((3, 4))
+        for norm in ("l1", "linf"):
+            for radius in (2, 3, 5):
+                for node in [(0, 0), (2, 3), (1, 2)]:
+                    ball = grid.ball(node, radius, norm)
+                    assert len(ball) == len(set(ball))
+                    if radius >= 5:
+                        assert sorted(ball) == sorted(grid.nodes())
+
+    def test_wrapping_linf_ball_covers_short_axis_first(self):
+        # On a 3x5 torus a radius-2 L-infinity ball wraps (and saturates)
+        # the length-3 axis but not the length-5 axis: 3 * 5 = 15 nodes.
+        grid = ToroidalGrid((3, 5))
+        ball = grid.ball((1, 1), 2, "linf")
+        assert len(ball) == len(set(ball)) == 15
+
+    def test_even_side_displacement_is_antipodal_positive(self):
+        # Tie-breaking of toroidal_difference surfaces through displacement:
+        # on even sides the antipodal component is +n/2, never -n/2.
+        grid = ToroidalGrid((4, 6))
+        assert grid.displacement((2, 3), (0, 0)) == (2, 3)
+        assert grid.displacement((0, 0), (2, 3)) == (2, 3)
+
 
 class TestEdgesAndRows:
     def test_edge_count_and_endpoints(self):

@@ -1,0 +1,313 @@
+"""Equivalence tests: the indexed fast path versus the seed dict path.
+
+Every function of :mod:`repro.local_model.engine` and every migrated
+algorithm module must produce *identical* labellings to the dict-based
+reference implementation on small grids; these tests freeze that contract
+before the fast path is used for large benchmark sweeps.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.grid.identifiers import random_identifiers, row_major_identifiers
+from repro.grid.indexer import GridIndexer
+from repro.grid.power import PowerGraph
+from repro.grid.subgrid import window_around
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import IndexedEngine, SchedulePhase, run_schedule
+from repro.local_model.simulator import RoundLedger, apply_rule, iterate_rule, run_phase
+from repro.local_model.store import LabelStore
+from repro.local_model.views import collect_label_view, collect_view
+from repro.speedup.normal_form import FunctionAnchorRule, apply_anchor_rule
+from repro.symmetry.cole_vishkin import colour_directed_cycle, three_colour_rows
+from repro.symmetry.mis import compute_anchors, compute_mis
+
+
+GRIDS = [ToroidalGrid.square(5), ToroidalGrid((3, 5)), ToroidalGrid((4, 6))]
+
+RULES = [
+    FunctionRule(0, lambda view: view[(0, 0)] * 2),
+    FunctionRule(1, lambda view: min(view.values())),
+    FunctionRule(2, lambda view: sum(view.values()) % 7),
+    FunctionRule(1, lambda view: max(view.values()), norm="linf"),
+    FunctionRule(2, lambda view: tuple(sorted(view.values()))[0], norm="linf"),
+]
+
+
+def _labels(grid, seed=3):
+    ids = random_identifiers(grid, seed=seed)
+    return {node: ids[node] for node in grid.nodes()}
+
+
+class TestLabelStore:
+    def test_mapping_protocol(self):
+        grid = ToroidalGrid.square(4)
+        labels = _labels(grid)
+        store = LabelStore.from_mapping(grid, labels)
+        assert len(store) == grid.node_count
+        assert dict(store) == labels
+        assert store.to_dict() == labels
+        assert store[(1, 2)] == labels[(1, 2)]
+        assert (1, 2) in store and (9, 9) not in store
+        store[(1, 2)] = -1
+        assert store[(1, 2)] == -1
+
+    def test_total_labelling_enforced(self):
+        grid = ToroidalGrid.square(4)
+        labels = _labels(grid)
+        missing = dict(labels)
+        del missing[(0, 0)]
+        with pytest.raises(KeyError):
+            LabelStore.from_mapping(grid, missing)
+        store = LabelStore.from_mapping(grid, labels)
+        with pytest.raises(SimulationError):
+            del store[(0, 0)]
+
+    def test_filled(self):
+        grid = ToroidalGrid.square(4)
+        store = LabelStore.filled(grid, 0)
+        assert set(store.values()) == {0}
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("grid", GRIDS, ids=str)
+    @pytest.mark.parametrize("rule_index", range(len(RULES)))
+    def test_apply_rule(self, grid, rule_index):
+        rule = RULES[rule_index]
+        labels = _labels(grid)
+        seed_ledger, fast_ledger = RoundLedger(), RoundLedger()
+        expected = apply_rule(grid, labels, rule, ledger=seed_ledger)
+        actual = IndexedEngine(grid).apply_rule(labels, rule, ledger=fast_ledger)
+        assert actual.to_dict() == expected
+        assert fast_ledger.total == seed_ledger.total
+        assert fast_ledger.phases == seed_ledger.phases
+
+    @pytest.mark.parametrize("grid", GRIDS, ids=str)
+    def test_iterate_rule(self, grid):
+        labels = _labels(grid)
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        stop = lambda current: len(set(current.values())) == 1
+        seed_ledger, fast_ledger = RoundLedger(), RoundLedger()
+        expected = iterate_rule(
+            grid, labels, rule, should_stop=stop, max_iterations=20, ledger=seed_ledger
+        )
+        actual = IndexedEngine(grid).iterate_rule(
+            labels, rule, should_stop=stop, max_iterations=20, ledger=fast_ledger
+        )
+        assert actual.to_dict() == expected
+        assert fast_ledger.total == seed_ledger.total
+
+    def test_iterate_rule_budget_exhausted(self):
+        grid = ToroidalGrid.square(4)
+        labels = {node: 0 for node in grid.nodes()}
+        rule = FunctionRule(1, lambda view: view[(0, 0)] + 1)
+        with pytest.raises(SimulationError):
+            IndexedEngine(grid).iterate_rule(
+                labels, rule, should_stop=lambda c: False, max_iterations=3
+            )
+
+    def test_run_phase_partial_labelling_fails_loudly(self):
+        # Same contract as the dict path: a SimulationError naming the
+        # phase, not a bare KeyError from the index layer.
+        grid = ToroidalGrid.square(4)
+        labels = {node: 1 for node in grid.nodes()}
+        del labels[(2, 2)]
+        with pytest.raises(SimulationError) as excinfo:
+            IndexedEngine(grid).run_phase(
+                labels, lambda node, visible: 0, radius=1, phase="partial"
+            )
+        assert "(2, 2)" in str(excinfo.value)
+        assert "'partial'" in str(excinfo.value)
+
+    @pytest.mark.parametrize("grid", GRIDS, ids=str)
+    @pytest.mark.parametrize("norm", ["l1", "linf"])
+    def test_run_phase(self, grid, norm):
+        labels = _labels(grid)
+        compute = lambda node, visible: (sum(visible.values()) + node[0]) % 11
+        seed_ledger, fast_ledger = RoundLedger(), RoundLedger()
+        expected = run_phase(
+            grid, labels, compute, radius=2, norm=norm, ledger=seed_ledger
+        )
+        actual = IndexedEngine(grid).run_phase(
+            labels, compute, radius=2, norm=norm, ledger=fast_ledger
+        )
+        assert actual.to_dict() == expected
+        assert fast_ledger.total == seed_ledger.total
+
+    @pytest.mark.parametrize("grid", GRIDS, ids=str)
+    @pytest.mark.parametrize("norm", ["l1", "linf"])
+    def test_collect_label_view(self, grid, norm):
+        labels = _labels(grid)
+        engine = IndexedEngine(grid)
+        for node in grid.nodes():
+            expected = collect_label_view(grid, node, 2, labels, norm=norm)
+            assert engine.collect_label_view(node, 2, labels, norm=norm) == expected
+
+    @pytest.mark.parametrize("grid", GRIDS, ids=str)
+    def test_collect_view(self, grid):
+        ids = row_major_identifiers(grid)
+        labels = {node: sum(node) for node in grid.nodes()}
+        engine = IndexedEngine(grid)
+        for node in list(grid.nodes())[:6]:
+            expected = collect_view(grid, node, 1, ids, labels=labels)
+            actual = engine.collect_view(node, 1, ids, labels=labels)
+            assert actual.identifiers == expected.identifiers
+            assert actual.labels == expected.labels
+            assert actual.grid_size == expected.grid_size == grid.node_count
+
+
+class TestRunSchedule:
+    def test_multi_phase_matches_sequential_dict_path(self):
+        grid = ToroidalGrid.square(5)
+        labels = _labels(grid)
+        flood = FunctionRule(1, lambda view: min(view.values()))
+        spread = FunctionRule(2, lambda view: sum(view.values()) % 5)
+        seed_ledger = RoundLedger()
+        expected = apply_rule(grid, labels, flood, ledger=seed_ledger, phase="flood")
+        expected = apply_rule(grid, expected, flood, ledger=seed_ledger, phase="flood")
+        expected = apply_rule(grid, expected, spread, ledger=seed_ledger, phase="spread")
+
+        fast_ledger = RoundLedger()
+        actual = run_schedule(
+            grid,
+            labels,
+            [
+                SchedulePhase(flood, name="flood", iterations=2),
+                SchedulePhase(spread, name="spread"),
+            ],
+            ledger=fast_ledger,
+        )
+        assert actual.to_dict() == expected
+        assert fast_ledger.total == seed_ledger.total
+        assert fast_ledger.breakdown() == seed_ledger.breakdown()
+
+    def test_until_phase(self):
+        grid = ToroidalGrid.square(5)
+        labels = _labels(grid)
+        flood = FunctionRule(1, lambda view: min(view.values()))
+        final = run_schedule(
+            grid,
+            labels,
+            [
+                SchedulePhase(
+                    flood,
+                    name="flood",
+                    until=lambda current: len(set(current.values())) == 1,
+                    max_iterations=20,
+                )
+            ],
+        )
+        assert set(final.values()) == {min(labels.values())}
+
+    def test_until_requires_explicit_budget(self):
+        grid = ToroidalGrid.square(4)
+        labels = {node: 0 for node in grid.nodes()}
+        rule = FunctionRule(1, lambda view: view[(0, 0)])
+        with pytest.raises(SimulationError, match="max_iterations"):
+            run_schedule(
+                grid, labels, [SchedulePhase(rule, until=lambda c: True)]
+            )
+
+    def test_until_budget_enforced(self):
+        grid = ToroidalGrid.square(4)
+        labels = {node: 0 for node in grid.nodes()}
+        grow = FunctionRule(1, lambda view: view[(0, 0)] + 1)
+        with pytest.raises(SimulationError):
+            run_schedule(
+                grid,
+                labels,
+                [SchedulePhase(grow, until=lambda c: False, max_iterations=2)],
+            )
+
+
+class TestAlgorithmEquivalence:
+    """The migrated algorithm modules still match the seed computations."""
+
+    def test_three_colour_rows_matches_seed_path(self):
+        grid = ToroidalGrid((4, 6))
+        ids = random_identifiers(grid, seed=11)
+        for axis in range(grid.dimension):
+            expected = {}
+            expected_rounds = 0
+            for row in grid.rows(axis):
+                result = colour_directed_cycle([ids[node] for node in row])
+                for node, colour in zip(row, result.colours):
+                    expected[node] = colour
+                expected_rounds = max(expected_rounds, result.rounds)
+            colouring, rounds = three_colour_rows(grid, ids, axis)
+            assert colouring == expected
+            assert rounds == expected_rounds
+
+    def test_apply_anchor_rule_matches_window_around(self):
+        grid = ToroidalGrid.square(6)
+        ids = random_identifiers(grid, seed=4)
+        anchors = compute_anchors(grid, ids, 2)
+        rule = FunctionAnchorRule(3, 3, lambda window: window.count(1))
+        indicator = anchors.indicator(grid)
+        expected = {
+            node: rule.output(
+                window_around(grid, indicator, node, rule.width, rule.height)
+            )
+            for node in grid.nodes()
+        }
+        assert apply_anchor_rule(grid, anchors, rule) == expected
+
+    def test_apply_anchor_rule_rejects_non_2d_grids(self):
+        grid = ToroidalGrid((5, 5, 5))
+        ids = random_identifiers(grid, seed=1)
+        anchors = compute_anchors(grid, ids, 2)
+        rule = FunctionAnchorRule(3, 3, lambda window: window.count(1))
+        with pytest.raises(ValueError, match="two-dimensional"):
+            apply_anchor_rule(grid, anchors, rule)
+
+    def test_border_counts_match_seed_path(self):
+        # The table-driven border counting of the 4-colouring construction
+        # must agree with the seed per-offset shift loop, including on
+        # radii large enough that shell offsets wrap into antipodal ties.
+        from repro.colouring.vertex4 import _border_counts
+        from repro.grid.geometry import ball_offsets
+        from repro.utils.math import toroidal_distance
+
+        grid = ToroidalGrid((8, 10))
+        radii = {(0, 0): 2, (4, 5): 3, (7, 9): 2, (2, 7): 4}
+        expected = {node: 0 for node in grid.nodes()}
+        for anchor, radius in radii.items():
+            for offset in ball_offsets(grid.dimension, radius, "linf"):
+                if max(abs(component) for component in offset) != radius:
+                    continue
+                node = grid.shift(anchor, offset)
+                for axis in range(grid.dimension):
+                    if toroidal_distance(node[axis], anchor[axis], grid.sides[axis]) == radius:
+                        expected[node] += 1
+        assert _border_counts(grid, radii) == expected
+
+    def test_compute_anchors_matches_seed_adjacency_path(self):
+        # The indexed power adjacency must drive the MIS pipeline to exactly
+        # the anchors the seed PowerGraph.adjacency() path produced.
+        grid = ToroidalGrid.square(6)
+        ids = random_identifiers(grid, seed=8)
+        for k, norm in [(2, "l1"), (2, "linf")]:
+            power = PowerGraph(grid, k, norm)
+            initial = {node: ids[node] for node in grid.nodes()}
+            seed_mis = compute_mis(
+                power.adjacency(), initial, max_degree=power.max_degree()
+            )
+            anchors = compute_anchors(grid, ids, k, norm=norm)
+            assert anchors.members == seed_mis.members
+            assert anchors.rounds == seed_mis.rounds * power.simulation_overhead()
+
+    def test_compute_anchors_is_maximal_independent(self):
+        # compute_anchors now builds its adjacency on the indexed path;
+        # assert the MIS contract directly against the grid geometry.
+        grid = ToroidalGrid.square(6)
+        ids = random_identifiers(grid, seed=8)
+        for k, norm in [(2, "l1"), (2, "linf")]:
+            anchors = compute_anchors(grid, ids, k, norm=norm)
+            distance = grid.l1_distance if norm == "l1" else grid.linf_distance
+            members = sorted(anchors.members)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    assert distance(u, v) > k
+            for node in grid.nodes():
+                assert any(distance(node, member) <= k for member in anchors.members)

@@ -42,6 +42,30 @@ class TestViews:
         view = collect_label_view(small_grid, (1, 1), 0, labels)
         assert view == {(0, 0): 2}
 
+    def test_collect_view_default_grid_size_is_node_count(self, small_grid):
+        # Regression: the default used to be grid.sides[0], which is wrong
+        # on non-square tori (the paper's nodes know n, the node count).
+        ids = row_major_identifiers(small_grid)
+        assert collect_view(small_grid, (0, 0), 1, ids).grid_size == 25
+
+        rectangular = ToroidalGrid((3, 5))
+        rect_ids = row_major_identifiers(rectangular)
+        view = collect_view(rectangular, (1, 2), 1, rect_ids)
+        assert view.grid_size == 15
+        # An explicit override still wins.
+        view = collect_view(rectangular, (1, 2), 1, rect_ids, grid_size=99)
+        assert view.grid_size == 99
+
+    def test_empty_view_raises_clear_error(self):
+        # Regression: _origin used to crash with StopIteration.
+        from repro.local_model.views import NeighbourhoodView
+
+        view = NeighbourhoodView(radius=0, identifiers={})
+        with pytest.raises(SimulationError, match="empty identifier map"):
+            view.own_identifier
+        with pytest.raises(SimulationError, match="empty identifier map"):
+            view.own_label
+
 
 class TestSimulator:
     def test_apply_rule_minimum_flood(self, small_grid):
@@ -98,6 +122,22 @@ class TestSimulator:
         ledger = RoundLedger()
         with pytest.raises(SimulationError):
             ledger.charge("bad", -1)
+
+    def test_run_phase_missing_label_fails_loudly(self, small_grid):
+        # Regression: nodes absent from the labelling used to be silently
+        # dropped from the visible mapping.
+        labels = {node: 1 for node in small_grid.nodes()}
+        del labels[(2, 2)]
+        with pytest.raises(SimulationError) as excinfo:
+            run_phase(
+                small_grid,
+                labels,
+                compute=lambda node, visible: sum(visible.values()),
+                radius=1,
+                phase="partial",
+            )
+        assert "(2, 2)" in str(excinfo.value)
+        assert "'partial'" in str(excinfo.value)
 
 
 class TestMessagePassing:

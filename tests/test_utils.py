@@ -86,6 +86,24 @@ class TestToroidalArithmetic:
         assert toroidal_distance(a, a, n) == 0
         assert 0 <= toroidal_distance(a, b, n) <= n // 2
 
+    def test_difference_tie_breaking_on_even_side(self):
+        # On an even cycle the antipodal displacement n/2 has two
+        # representations (+n/2 and -n/2); the contract picks +n/2 so the
+        # result always lies in the half-open interval (-n/2, n/2].
+        assert toroidal_difference(3, 0, 6) == 3
+        assert toroidal_difference(0, 3, 6) == 3
+        assert toroidal_difference(5, 1, 8) == 4
+        assert toroidal_difference(1, 5, 8) == 4
+        # Just inside the tie: one step off the antipode keeps its sign.
+        assert toroidal_difference(2, 0, 6) == 2
+        assert toroidal_difference(4, 0, 6) == -2
+
+    @given(st.integers(0, 99), st.integers(0, 99), st.integers(3, 100))
+    def test_difference_lies_in_half_open_interval(self, a, b, n):
+        a, b = a % n, b % n
+        diff = toroidal_difference(a, b, n)
+        assert -n / 2 < diff <= n / 2
+
     def test_invalid_modulus(self):
         with pytest.raises(ValueError):
             toroidal_distance(1, 2, 0)
