@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.errors import SimulationError
 from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
 from repro.symmetry.linial import linial_colour_reduction
 from repro.symmetry.reduction import reduce_colours_to
@@ -89,6 +90,94 @@ def _member_conflict_graph(
     return adjacency
 
 
+def _slide_members_dict(
+    grid: ToroidalGrid,
+    classes: Dict[int, List[Node]],
+    axis: int,
+    k: int,
+    movement_cap: int,
+) -> "tuple[Dict[Node, Node], int]":
+    """Reference slide phase: scan the decided set per candidate slot."""
+    step = tuple(1 if index == axis else 0 for index in range(grid.dimension))
+    offsets = _slide_offsets(movement_cap)
+    final_positions: Dict[Node, Node] = {}
+    decided: Set[Node] = set()
+    slide_rounds = 0
+    for colour in sorted(classes):
+        for member in classes[colour]:
+            placed = None
+            for offset in offsets:
+                candidate = grid.shift(
+                    member, tuple(component * offset for component in step)
+                )
+                if all(
+                    grid.linf_distance(candidate, other) > 2 * k for other in decided
+                ):
+                    placed = candidate
+                    break
+            if placed is None:
+                raise SimulationError(
+                    f"member {member} found no free slot within {movement_cap} steps; "
+                    "increase the spacing"
+                )
+            final_positions[member] = placed
+            decided.add(placed)
+        slide_rounds += 1
+    return final_positions, slide_rounds
+
+
+def _slide_members_indexed(
+    grid: ToroidalGrid,
+    classes: Dict[int, List[Node]],
+    axis: int,
+    k: int,
+    movement_cap: int,
+) -> "tuple[Dict[Node, Node], int]":
+    """Indexed slide phase: occupancy flags checked through L∞ ball tables.
+
+    A candidate slot is free exactly when no decided member lies within L∞
+    distance ``2k`` of it, i.e. when no flag is set on its radius-``2k``
+    L∞ ball row — the same condition the reference phase evaluates by
+    scanning the decided set, so the chosen slots are identical.
+    """
+    indexer = GridIndexer.for_grid(grid)
+    ball_rows = indexer.ball_node_table(2 * k, "linf")
+    step = tuple(1 if index == axis else 0 for index in range(grid.dimension))
+    offsets = _slide_offsets(movement_cap)
+    occupied = [False] * indexer.node_count
+    final_positions: Dict[Node, Node] = {}
+    slide_rounds = 0
+    for colour in sorted(classes):
+        for member in classes[colour]:
+            placed = None
+            for offset in offsets:
+                candidate = grid.shift(
+                    member, tuple(component * offset for component in step)
+                )
+                candidate_index = indexer.index_of(candidate)
+                if not any(occupied[target] for target in ball_rows[candidate_index]):
+                    placed = candidate
+                    occupied[candidate_index] = True
+                    break
+            if placed is None:
+                raise SimulationError(
+                    f"member {member} found no free slot within {movement_cap} steps; "
+                    "increase the spacing"
+                )
+            final_positions[member] = placed
+        slide_rounds += 1
+    return final_positions, slide_rounds
+
+
+def _slide_offsets(movement_cap: int) -> List[int]:
+    """Candidate slide magnitudes in closest-first order: 0, +1, -1, ..."""
+    offsets = [0]
+    for magnitude in range(1, movement_cap + 1):
+        offsets.append(magnitude)
+        offsets.append(-magnitude)
+    return offsets
+
+
 def compute_jk_independent_set(
     grid: ToroidalGrid,
     identifiers: IdentifierAssignment,
@@ -96,6 +185,7 @@ def compute_jk_independent_set(
     k: int,
     spacing: Optional[int] = None,
     movement_cap: Optional[int] = None,
+    engine: str = "indexed",
 ) -> JKIndependentSet:
     """Compute a j,k-independent set with respect to ``axis``.
 
@@ -104,7 +194,13 @@ def compute_jk_independent_set(
     ``spacing - (2k+1)``); the resulting ``j`` is ``spacing + movement_cap``.
     Raises :class:`repro.errors.SimulationError` when some member cannot
     find a free slot — callers retry with larger constants.
+
+    ``engine`` selects the execution path (``"indexed"`` default,
+    ``"dict"`` reference); both produce byte-identical results, pinned by
+    the randomized equivalence harness.
     """
+    if engine not in ("indexed", "dict"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
     if spacing is None:
         spacing = 4 * (2 * k + 1)
     if movement_cap is None:
@@ -114,11 +210,13 @@ def compute_jk_independent_set(
             f"grid side {min(grid.sides)} too small for row spacing {spacing}"
         )
 
-    ruling = row_ruling_set(grid, identifiers, axis, spacing)
+    ruling = row_ruling_set(grid, identifiers, axis, spacing, engine=engine)
     members = set(ruling.members)
 
     # Schedule colouring of the member conflict graph: members that could
     # ever interact (balls within reach of each other even after sliding).
+    # The conflict graph has one node per *member* (a few per row), so the
+    # pairwise construction is cheap on both engines and stays shared.
     interaction_radius = 2 * k + movement_cap + 1
     adjacency = _member_conflict_graph(grid, members, interaction_radius)
     initial = {member: identifiers[member] for member in members}
@@ -134,32 +232,14 @@ def compute_jk_independent_set(
     # only towards larger coordinates; searching both directions (closest
     # offsets first) preserves every property of Definition 18 and roughly
     # doubles the slack of the greedy, so that is what we do.
-    step = tuple(1 if index == axis else 0 for index in range(grid.dimension))
-    final_positions: Dict[Node, Node] = {}
-    decided: Set[Node] = set()
-    slide_rounds = 0
-    for colour in sorted(classes):
-        for member in classes[colour]:
-            placed = None
-            offsets = [0]
-            for magnitude in range(1, movement_cap + 1):
-                offsets.append(magnitude)
-                offsets.append(-magnitude)
-            for offset in offsets:
-                candidate = grid.shift(member, tuple(component * offset for component in step))
-                if all(
-                    grid.linf_distance(candidate, other) > 2 * k for other in decided
-                ):
-                    placed = candidate
-                    break
-            if placed is None:
-                raise SimulationError(
-                    f"member {member} found no free slot within {movement_cap} steps; "
-                    "increase the spacing"
-                )
-            final_positions[member] = placed
-            decided.add(placed)
-        slide_rounds += 1
+    if engine == "indexed":
+        final_positions, slide_rounds = _slide_members_indexed(
+            grid, classes, axis, k, movement_cap
+        )
+    else:
+        final_positions, slide_rounds = _slide_members_dict(
+            grid, classes, axis, k, movement_cap
+        )
 
     overhead = interaction_radius * grid.dimension
     phase_rounds = {

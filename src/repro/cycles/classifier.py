@@ -26,6 +26,21 @@ def classify_cycle_problem(
 ) -> ClassificationResult:
     """Classify a cycle LCL problem exactly (everything is decidable here)."""
     if graph is None:
+        if not problem.feasible_windows:
+            # No feasible window at all: the neighbourhood graph is empty,
+            # so the problem is unsolvable on every cycle — global by the
+            # paper's convention.  Skip building the graph.
+            return ClassificationResult(
+                problem_name=problem.name,
+                complexity=ComplexityClass.GLOBAL,
+                exact=True,
+                evidence={
+                    "reason": (
+                        "no cycle in the neighbourhood graph; unsolvable on long cycles"
+                    ),
+                    "solvable_for_some_lengths": False,
+                },
+            )
         graph = build_neighbourhood_graph(problem)
 
     if graph.has_self_loop():

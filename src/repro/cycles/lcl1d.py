@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Sequence, Tuple
 
 from repro.errors import InvalidProblemError
+from repro.grid.indexer import cyclic_window_table
 
 Label = object
 Window1D = Tuple[Label, ...]
@@ -78,19 +79,38 @@ class CycleLCL:
         return tuple(window) in self.feasible_windows
 
 
-def verify_cycle_labelling(problem: CycleLCL, labels: Sequence[Label]) -> List[int]:
+def verify_cycle_labelling(
+    problem: CycleLCL, labels: Sequence[Label], engine: str = "indexed"
+) -> List[int]:
     """Return the positions whose window violates the problem's constraints.
 
     An empty list means the labelling is feasible.  The cycle must be at
-    least as long as a window so that the cyclic windows are well defined.
+    least as long as a window so that the cyclic windows are well defined
+    (a cycle of length exactly ``2r + 1`` is allowed: every window then
+    reads the whole cycle).
+
+    ``engine="indexed"`` (default) gathers the windows through the cached
+    cyclic window table of :mod:`repro.grid.indexer`; ``engine="dict"`` is
+    the per-position :meth:`CycleLCL.window_at` reference.  Both return the
+    identical violation list.
     """
     length = len(labels)
     if length < problem.window_length:
         raise InvalidProblemError(
             f"cycle of length {length} is shorter than a window ({problem.window_length})"
         )
-    violations = []
-    for position in range(length):
-        if not problem.is_feasible_window(problem.window_at(labels, position)):
-            violations.append(position)
-    return violations
+    if engine == "indexed":
+        table = cyclic_window_table(length, problem.radius)
+        feasible = problem.feasible_windows
+        return [
+            position
+            for position, window_indices in enumerate(table)
+            if tuple(labels[index] for index in window_indices) not in feasible
+        ]
+    if engine == "dict":
+        violations = []
+        for position in range(length):
+            if not problem.is_feasible_window(problem.window_at(labels, position)):
+                violations.append(position)
+        return violations
+    raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")

@@ -10,13 +10,22 @@ The complexity of the problem can be read off ``H`` (Claim 1): a self-loop
 gives ``O(1)``; a *flexible* state — one with closed walks of every
 sufficiently large length — gives ``Θ(log* n)``; otherwise the problem is
 global.
+
+Successor walks run on an indexed fast path: states are numbered by their
+position in :attr:`NeighbourhoodGraph.states` and reachable sets are kept
+as integer bitmasks, so one walk step is a bitwise OR over precomputed
+successor masks instead of per-state set unions.  The ``*_reference``
+methods keep the original dict/set implementations; both paths are pinned
+byte-identical by the randomized equivalence harness.  Walk reconstruction
+examines candidate states in the canonical :attr:`states` order on both
+paths, so returned walks are deterministic.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cycles.lcl1d import CycleLCL
 
@@ -31,22 +40,96 @@ class NeighbourhoodGraph:
     states: Tuple[State, ...]
     successors: Dict[State, Tuple[State, ...]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._index: Optional[Dict[State, int]] = None
+        self._successor_indices: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._successor_masks: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # Indexed tables
+    # ------------------------------------------------------------------ #
+
+    def _tables(self) -> Tuple[Dict[State, int], Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
+        """State→index map, successor index tuples and successor bitmasks.
+
+        Built lazily once per graph; the graph is treated as immutable
+        after construction (``build_neighbourhood_graph`` is the only
+        producer).
+        """
+        if self._index is None:
+            index = {state: position for position, state in enumerate(self.states)}
+            successor_indices = tuple(
+                tuple(index[target] for target in self.successors.get(state, ()))
+                for state in self.states
+            )
+            masks = []
+            for targets in successor_indices:
+                mask = 0
+                for target in targets:
+                    mask |= 1 << target
+                masks.append(mask)
+            self._index = index
+            self._successor_indices = successor_indices
+            self._successor_masks = tuple(masks)
+        assert self._successor_indices is not None and self._successor_masks is not None
+        return self._index, self._successor_indices, self._successor_masks
+
+    @staticmethod
+    def _mask_bits(mask: int) -> List[int]:
+        """Indices of the set bits of ``mask`` in increasing order."""
+        bits = []
+        while mask:
+            low = mask & -mask
+            bits.append(low.bit_length() - 1)
+            mask ^= low
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+
     def has_self_loop(self) -> bool:
         """Return True if some state has an edge to itself."""
-        return any(state in self.successors.get(state, ()) for state in self.states)
+        _, _, masks = self._tables()
+        return any((mask >> position) & 1 for position, mask in enumerate(masks))
 
     def self_loop_states(self) -> Tuple[State, ...]:
         """Return all states carrying a self-loop."""
+        _, _, masks = self._tables()
         return tuple(
-            state for state in self.states if state in self.successors.get(state, ())
+            state
+            for position, state in enumerate(self.states)
+            if (masks[position] >> position) & 1
         )
 
     def closed_walk_lengths(self, state: State, max_length: int) -> Set[int]:
         """Lengths ``1 .. max_length`` for which a closed walk at ``state`` exists.
 
-        Computed by a breadth-first layering: ``reachable[t]`` is the set of
-        states reachable from ``state`` in exactly ``t`` steps.
+        Computed by a breadth-first layering over successor bitmasks:
+        the reachable set after ``t`` steps is one integer, and a step is
+        a bitwise OR of the successor masks of its set bits.
         """
+        index, _, masks = self._tables()
+        start = index[state]
+        target_bit = 1 << start
+        lengths: Set[int] = set()
+        current = target_bit
+        for step in range(1, max_length + 1):
+            following = 0
+            remaining = current
+            while remaining:
+                low = remaining & -remaining
+                following |= masks[low.bit_length() - 1]
+                remaining ^= low
+            if following & target_bit:
+                lengths.add(step)
+            current = following
+            if not current:
+                break
+        return lengths
+
+    def closed_walk_lengths_reference(self, state: State, max_length: int) -> Set[int]:
+        """Reference implementation over per-state Python sets."""
         lengths: Set[int] = set()
         current: Set[State] = {state}
         for step in range(1, max_length + 1):
@@ -104,7 +187,33 @@ class NeighbourhoodGraph:
         cycles at all (any labelling of an ``n``-cycle is a closed walk of
         length ``n``).
         """
-        # Standard iterative DFS cycle detection with colours.
+        # Iterative DFS with colours over the successor index tables.
+        WHITE, GREY, BLACK = 0, 1, 2
+        _, successor_indices, _ = self._tables()
+        colour = [WHITE] * len(self.states)
+        for root in range(len(self.states)):
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            colour[root] = GREY
+            while stack:
+                node, pointer = stack[-1]
+                successors = successor_indices[node]
+                if pointer < len(successors):
+                    stack[-1] = (node, pointer + 1)
+                    target = successors[pointer]
+                    if colour[target] == GREY:
+                        return True
+                    if colour[target] == WHITE:
+                        colour[target] = GREY
+                        stack.append((target, 0))
+                else:
+                    colour[node] = BLACK
+                    stack.pop()
+        return False
+
+    def has_cycle_reference(self) -> bool:
+        """Reference implementation over the state-keyed successor dicts."""
         WHITE, GREY, BLACK = 0, 1, 2
         colour: Dict[State, int] = {state: WHITE for state in self.states}
         for root in self.states:
@@ -132,11 +241,48 @@ class NeighbourhoodGraph:
         """Return a closed walk ``state -> ... -> state`` of exactly ``length`` steps.
 
         The walk is returned as the list of ``length + 1`` visited states
-        (first and last are ``state``); None if no such walk exists.
+        (first and last are ``state``); None if no such walk exists.  The
+        reconstruction examines candidate predecessors in the canonical
+        :attr:`states` order, so the returned walk is deterministic.
         """
         if length < 1:
             return None
-        # Dynamic programming over (remaining steps) with predecessor links.
+        index, successor_indices, masks = self._tables()
+        start = index[state]
+        # Dynamic programming over (remaining steps): reachable[t] is the
+        # bitmask of states reachable from ``state`` in exactly ``t`` steps.
+        reachable: List[int] = [0] * (length + 1)
+        reachable[0] = 1 << start
+        for step in range(1, length + 1):
+            following = 0
+            remaining = reachable[step - 1]
+            while remaining:
+                low = remaining & -remaining
+                following |= masks[low.bit_length() - 1]
+                remaining ^= low
+            reachable[step] = following
+        if not reachable[length] & (1 << start):
+            return None
+        # Reconstruct backwards, scanning candidates in index order.
+        walk_indices = [start]
+        current = start
+        for step in range(length, 0, -1):
+            for candidate in self._mask_bits(reachable[step - 1]):
+                if (masks[candidate] >> current) & 1:
+                    walk_indices.append(candidate)
+                    current = candidate
+                    break
+        walk_indices.reverse()
+        return [self.states[position] for position in walk_indices]
+
+    def walk_of_length_reference(self, state: State, length: int) -> Optional[List[State]]:
+        """Reference implementation over per-state sets.
+
+        Candidate predecessors are examined in the canonical :attr:`states`
+        order, matching the deterministic indexed reconstruction.
+        """
+        if length < 1:
+            return None
         reachable: List[Set[State]] = [set() for _ in range(length + 1)]
         reachable[0] = {state}
         for step in range(1, length + 1):
@@ -144,12 +290,13 @@ class NeighbourhoodGraph:
                 reachable[step].update(self.successors.get(node, ()))
         if state not in reachable[length]:
             return None
-        # Reconstruct backwards.
         walk = [state]
         current = state
         for step in range(length, 0, -1):
-            for candidate in reachable[step - 1]:
-                if current in self.successors.get(candidate, ()):
+            for candidate in self.states:
+                if candidate in reachable[step - 1] and current in self.successors.get(
+                    candidate, ()
+                ):
                     walk.append(candidate)
                     current = candidate
                     break

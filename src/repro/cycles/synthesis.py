@@ -29,7 +29,8 @@ from repro.cycles.classifier import classify_cycle_problem
 from repro.cycles.lcl1d import CycleLCL
 from repro.cycles.neighbourhood_graph import NeighbourhoodGraph, build_neighbourhood_graph
 from repro.errors import SynthesisError, UnsolvableInstanceError
-from repro.symmetry.mis import compute_mis
+from repro.grid.indexer import cyclic_power_pattern
+from repro.symmetry.fastpath import compute_mis_indexed
 
 State = Tuple[object, ...]
 
@@ -71,16 +72,15 @@ class CycleAlgorithmSynthesis:
                 "solve such constant-size instances by brute force"
             )
 
-        # Maximal independent set of the spacing-th power of the cycle.
-        adjacency: Dict[int, List[int]] = {}
-        for position in range(length):
-            neighbours = []
-            for delta in range(1, self.spacing + 1):
-                neighbours.append((position + delta) % length)
-                neighbours.append((position - delta) % length)
-            adjacency[position] = sorted(set(neighbours) - {position})
-        initial = {position: identifiers[position] for position in range(length)}
-        ruling = compute_mis(adjacency, initial, max_degree=2 * self.spacing)
+        # Maximal independent set of the spacing-th power of the cycle; the
+        # neighbour positions come from the cached cyclic power pattern
+        # shared with the per-row ruling sets, and the MIS runs on the
+        # int-keyed fast path (positions are already flat indices).
+        pattern = cyclic_power_pattern(length, self.spacing)
+        adjacency = [sorted(neighbours) for neighbours in pattern]
+        ruling = compute_mis_indexed(
+            adjacency, list(identifiers), max_degree=2 * self.spacing
+        )
         anchors = sorted(ruling.members)
         if not anchors:
             raise SynthesisError("ruling set computation returned no anchors")

@@ -20,14 +20,18 @@ the equivalence tests assert byte-identical labellings on small grids.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from operator import itemgetter
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from repro.grid.geometry import ball_offsets, offsets_within
+from repro.grid.geometry import ball_offsets, l1_norm, linf_norm, offsets_within
 from repro.grid.torus import Node, ToroidalGrid
+from repro.utils.math import toroidal_difference
 
 Offset = Tuple[int, ...]
 IndexTable = Tuple[Tuple[int, ...], ...]
+# One shell of a displacement-shell table: (distance, ((offset_index, displacement), ...)).
+Shell = Tuple[int, Tuple[Tuple[int, Offset], ...]]
 
 
 class GridIndexer:
@@ -44,6 +48,9 @@ class GridIndexer:
             Tuple[Offset, ...], Tuple[Callable[[Sequence[Any]], Tuple[Any, ...]], ...]
         ] = {}
         self._row_tables: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        self._row_node_tables: Dict[int, Tuple[Tuple[Node, ...], ...]] = {}
+        self._shell_tables: Dict[Tuple[int, str], Tuple[Shell, ...]] = {}
+        self._node_tables: Dict[Tuple[int, str], Tuple[Tuple[int, ...], ...]] = {}
 
     # A small per-process cache: grids hash by their side lengths, and the
     # benchmark sweeps reuse a handful of grids across many phases.
@@ -171,8 +178,13 @@ class GridIndexer:
         small torus where several offsets wrap onto the same node, each
         member appears once, at its first occurrence.
         """
-        _, table = self.ball_table(radius, norm)
-        return tuple(_dedup(row) for row in table)
+        key = (radius, norm)
+        node_table = self._node_tables.get(key)
+        if node_table is None:
+            _, table = self.ball_table(radius, norm)
+            node_table = tuple(_dedup(row) for row in table)
+            self._node_tables[key] = node_table
+        return node_table
 
     def neighbour_table(self) -> IndexTable:
         """Per-node indices of the ``2d`` grid neighbours (direction order)."""
@@ -198,6 +210,90 @@ class GridIndexer:
             self._row_tables[axis] = table
         return table
 
+    def row_node_table(self, axis: int) -> Tuple[Tuple[Node, ...], ...]:
+        """Rows along ``axis`` as tuples of *nodes* (the axis-row gather table).
+
+        Same row order and internal node order as :meth:`ToroidalGrid.rows`,
+        materialised once per axis so row-based consumers (ruling sets,
+        j,k-independent sets) never rebuild the row lists.
+        """
+        table = self._row_node_tables.get(axis)
+        if table is None:
+            nodes = self._nodes
+            table = tuple(
+                tuple(nodes[i] for i in row) for row in self.rows(axis)
+            )
+            self._row_node_tables[axis] = table
+        return table
+
+    def bfs_distances(self, sources: Iterable[Node]) -> List[int]:
+        """Multi-source BFS hop distances over the precomputed neighbour table.
+
+        Returns a flat list (index order) with the distance of every node to
+        its nearest source.  On a toroidal grid every node is reachable, so
+        the result is total.  Raises ``ValueError`` on an empty source set
+        and ``KeyError`` on a source that is not a grid node.
+        """
+        table = self.neighbour_table()
+        distance = [-1] * len(self._nodes)
+        frontier: List[int] = []
+        for node in sources:
+            position = self._index[node]
+            if distance[position] < 0:
+                distance[position] = 0
+                frontier.append(position)
+        if not frontier:
+            raise ValueError("bfs_distances needs at least one source node")
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[int] = []
+            for position in frontier:
+                for target in table[position]:
+                    if distance[target] < 0:
+                        distance[target] = depth
+                        next_frontier.append(target)
+            frontier = next_frontier
+        return distance
+
+    def displacement_shells(
+        self, radius: int, norm: str = "l1"
+    ) -> Tuple[Shell, ...]:
+        """Ball offsets grouped into shells of increasing *toroidal* distance.
+
+        Each shell is ``(distance, ((offset_index, displacement), ...))``
+        where ``offset_index`` refers to the offset order of
+        :meth:`ball_table` for the same radius/norm and ``displacement`` is
+        the minimal signed displacement the offset realises on this torus
+        (``ToroidalGrid.displacement`` of the reached node about the start
+        node — on a small torus this can be shorter than the raw offset).
+        Shells are sorted by distance; within a shell the entries keep the
+        ball-offset order.  Nearest-anchor searches scan shells in order and
+        stop at the first hit.
+        """
+        key = (radius, norm)
+        shells = self._shell_tables.get(key)
+        if shells is None:
+            measure = l1_norm if norm == "l1" else linf_norm
+            sides = self._grid.sides
+            by_distance: Dict[int, List[Tuple[int, Offset]]] = {}
+            for position, offset in enumerate(
+                ball_offsets(self._grid.dimension, radius, norm)
+            ):
+                displacement = tuple(
+                    toroidal_difference(0, component, side)
+                    for component, side in zip(offset, sides)
+                )
+                by_distance.setdefault(measure(displacement), []).append(
+                    (position, displacement)
+                )
+            shells = tuple(
+                (distance, tuple(by_distance[distance]))
+                for distance in sorted(by_distance)
+            )
+            self._shell_tables[key] = shells
+        return shells
+
     def power_adjacency(self, k: int, norm: str = "l1") -> Dict[Node, List[Node]]:
         """Adjacency lists of the grid power ``G^(k)`` / ``G^[k]``.
 
@@ -219,6 +315,61 @@ class GridIndexer:
                     neighbours.append(nodes[target])
             adjacency[node] = neighbours
         return adjacency
+
+
+# --------------------------------------------------------------------- #
+# One-dimensional (cycle) tables
+#
+# The Section 4 machinery works on directed cycles, which have no grid to
+# index; their tables depend only on the cycle length, so they are cached
+# at module level and shared across problems and instances.
+# --------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=512)
+def cyclic_window_table(length: int, radius: int) -> Tuple[Tuple[int, ...], ...]:
+    """Per-position index tuples of the cyclic radius-``radius`` windows.
+
+    ``table[p]`` lists the ``2 * radius + 1`` positions of the window
+    centred at ``p`` on a cycle of ``length`` nodes, predecessors first —
+    the gather pattern of :meth:`repro.cycles.lcl1d.CycleLCL.window_at`.
+    """
+    if length <= 0:
+        raise ValueError("cycle length must be positive")
+    if radius < 0:
+        raise ValueError("window radius must be non-negative")
+    span = range(-radius, radius + 1)
+    return tuple(
+        tuple((position + offset) % length for offset in span)
+        for position in range(length)
+    )
+
+
+@lru_cache(maxsize=512)
+def cyclic_power_pattern(length: int, spacing: int) -> Tuple[Tuple[int, ...], ...]:
+    """Neighbour positions in the ``spacing``-th power of a ``length``-cycle.
+
+    ``pattern[p]`` lists the positions within ``spacing`` hops of ``p``
+    (excluding ``p`` itself) in the order ``+1, -1, +2, -2, ...`` with
+    wrap-around duplicates removed at their first occurrence — exactly the
+    adjacency the per-row ruling sets and the cycle synthesis build, shared
+    by every row/cycle of the same length.
+    """
+    if length <= 0:
+        raise ValueError("cycle length must be positive")
+    if spacing < 0:
+        raise ValueError("spacing must be non-negative")
+    pattern: List[Tuple[int, ...]] = []
+    for position in range(length):
+        seen = {position}
+        neighbours: List[int] = []
+        for delta in range(1, spacing + 1):
+            for candidate in ((position + delta) % length, (position - delta) % length):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    neighbours.append(candidate)
+        pattern.append(tuple(neighbours))
+    return tuple(pattern)
 
 
 def _dedup(indices: Tuple[int, ...]) -> Tuple[int, ...]:

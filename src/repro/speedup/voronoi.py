@@ -7,6 +7,17 @@ a node from its anchor serves as a *locally unique identifier*: two nodes
 with the same displacement belong to different cells and are therefore far
 apart.  This module computes the decomposition, the local coordinates, and
 verifies the locally-unique-identifier property.
+
+Two execution paths are provided.  The ``"dict"`` path is the reference:
+per-node ``grid.ball`` scans with explicit displacement arithmetic.  The
+``"indexed"`` path (the default) runs over
+:class:`repro.grid.indexer.GridIndexer` tables: the default search radius
+comes from a multi-source BFS over the precomputed neighbour table, and the
+nearest-anchor search walks precomputed displacement shells in increasing
+distance, stopping at the first shell containing an anchor.  Both paths
+produce byte-identical decompositions — the tie-break key
+``(distance, anchor, displacement)`` is evaluated on exactly the same
+candidates — and the randomized equivalence harness pins this.
 """
 
 from __future__ import annotations
@@ -15,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
+from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
 
 Offset = Tuple[int, ...]
@@ -28,15 +40,40 @@ class VoronoiDecomposition:
     owner: Dict[Node, Node] = field(default_factory=dict)
     local_coordinates: Dict[Node, Offset] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._tile_index: Optional[Dict[Node, List[Node]]] = None
+        self._tile_index_size = -1
+
+    def invalidate_tiles(self) -> None:
+        """Drop the cached anchor → owned-nodes index.
+
+        The decomposition is treated as immutable after construction; call
+        this after mutating :attr:`owner` in place so that the next
+        :meth:`tile` / :meth:`tile_sizes` call rebuilds the index.  (Size
+        changes of the owner map are detected automatically; a same-size
+        reassignment is not.)
+        """
+        self._tile_index = None
+
+    def _tiles(self) -> Dict[Node, List[Node]]:
+        """The anchor → owned-nodes index, built once and cached."""
+        if self._tile_index is None or self._tile_index_size != len(self.owner):
+            index: Dict[Node, List[Node]] = {anchor: [] for anchor in self.anchors}
+            for node, owner in self.owner.items():
+                index.setdefault(owner, []).append(node)
+            self._tile_index = index
+            self._tile_index_size = len(self.owner)
+        return self._tile_index
+
     def tile(self, anchor: Node) -> List[Node]:
-        """Return all nodes owned by ``anchor``."""
-        return [node for node, owner in self.owner.items() if owner == anchor]
+        """Return all nodes owned by ``anchor`` (empty for an unused anchor)."""
+        return list(self._tiles().get(anchor, ()))
 
     def tile_sizes(self) -> Dict[Node, int]:
         """Return the number of nodes in each anchor's tile."""
         sizes: Dict[Node, int] = {anchor: 0 for anchor in self.anchors}
-        for owner in self.owner.values():
-            sizes[owner] += 1
+        for owner, nodes in self._tiles().items():
+            sizes[owner] += len(nodes)
         return sizes
 
     def max_tile_radius(self, grid: ToroidalGrid) -> int:
@@ -67,6 +104,7 @@ def compute_voronoi_decomposition(
     grid: ToroidalGrid,
     anchors: Set[Node],
     search_radius: Optional[int] = None,
+    engine: str = "indexed",
 ) -> VoronoiDecomposition:
     """Assign every node to its closest anchor (L1 distance).
 
@@ -77,9 +115,24 @@ def compute_voronoi_decomposition(
     grid size.  If some node finds no anchor within the search radius a
     :class:`repro.errors.SimulationError` is raised — for a maximal
     independent set of ``G^(k)`` a radius of ``k`` always suffices.
+
+    ``engine`` selects the execution path (``"indexed"`` default,
+    ``"dict"`` reference); both produce byte-identical decompositions.
     """
     if not anchors:
         raise SimulationError("cannot build a Voronoi decomposition of an empty anchor set")
+    if engine == "indexed":
+        return _compute_voronoi_indexed(grid, anchors, search_radius)
+    if engine == "dict":
+        return _compute_voronoi_dict(grid, anchors, search_radius)
+    raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
+
+
+def _compute_voronoi_dict(
+    grid: ToroidalGrid,
+    anchors: Set[Node],
+    search_radius: Optional[int],
+) -> VoronoiDecomposition:
     if search_radius is None:
         search_radius = _covering_radius(grid, anchors)
 
@@ -112,17 +165,65 @@ def compute_voronoi_decomposition(
     )
 
 
+def _compute_voronoi_indexed(
+    grid: ToroidalGrid,
+    anchors: Set[Node],
+    search_radius: Optional[int],
+) -> VoronoiDecomposition:
+    indexer = GridIndexer.for_grid(grid)
+    if search_radius is None:
+        search_radius = max(indexer.bfs_distances(anchors))
+
+    nodes = indexer.nodes
+    anchor_flags = [False] * indexer.node_count
+    for anchor in anchors:
+        anchor_flags[indexer.index_of(anchor)] = True
+
+    _, table = indexer.ball_table(search_radius, "l1")
+    shells = indexer.displacement_shells(search_radius, "l1")
+
+    owner: Dict[Node, Node] = {}
+    coordinates: Dict[Node, Offset] = {}
+    for position, node in enumerate(nodes):
+        row = table[position]
+        best: Optional[Tuple[Node, Offset]] = None
+        # Shells are sorted by toroidal distance, so the first shell with an
+        # anchor decides; within a shell the reference key reduces to
+        # (anchor, displacement).
+        for _, entries in shells:
+            for offset_index, displacement in entries:
+                target = row[offset_index]
+                if anchor_flags[target]:
+                    key = (nodes[target], displacement)
+                    if best is None or key < best:
+                        best = key
+            if best is not None:
+                break
+        if best is None:
+            raise SimulationError(
+                f"node {node} has no anchor within distance {search_radius}"
+            )
+        owner[node] = best[0]
+        coordinates[node] = best[1]
+    return VoronoiDecomposition(
+        anchors=set(anchors), owner=owner, local_coordinates=coordinates
+    )
+
+
 def local_identifier_assignment(
     grid: ToroidalGrid,
     decomposition: VoronoiDecomposition,
     uniqueness_radius: int,
+    engine: str = "indexed",
 ) -> Dict[Node, int]:
     """Turn local coordinates into small non-negative locally unique identifiers.
 
     The identifier of a node is its displacement from its anchor, encoded
     injectively as a non-negative integer.  The function verifies the
     Theorem 2 property that no identifier repeats within L1 distance
-    ``uniqueness_radius`` and raises otherwise.
+    ``uniqueness_radius`` and raises otherwise.  ``engine`` selects how the
+    verification scan gathers the balls (``"indexed"`` tables or per-node
+    ``"dict"`` calls); the outputs are identical.
     """
     # The largest coordinate magnitude determines the encoding base.
     magnitude = 0
@@ -138,11 +239,27 @@ def local_identifier_assignment(
             value = value * base + (component + magnitude)
         identifiers[node] = value
 
-    for node in grid.nodes():
-        for other in grid.ball(node, uniqueness_radius, "l1"):
-            if other != node and identifiers[other] == identifiers[node]:
-                raise SimulationError(
-                    f"local identifiers repeat within distance {uniqueness_radius}: "
-                    f"{node} and {other} both have identifier {identifiers[node]}"
-                )
+    if engine == "indexed":
+        indexer = GridIndexer.for_grid(grid)
+        nodes = indexer.nodes
+        values = [identifiers[node] for node in nodes]
+        ball_rows = indexer.ball_node_table(uniqueness_radius, "l1")
+        for position, node in enumerate(nodes):
+            value = values[position]
+            for target in ball_rows[position]:
+                if target != position and values[target] == value:
+                    raise SimulationError(
+                        f"local identifiers repeat within distance {uniqueness_radius}: "
+                        f"{node} and {nodes[target]} both have identifier {value}"
+                    )
+    elif engine == "dict":
+        for node in grid.nodes():
+            for other in grid.ball(node, uniqueness_radius, "l1"):
+                if other != node and identifiers[other] == identifiers[node]:
+                    raise SimulationError(
+                        f"local identifiers repeat within distance {uniqueness_radius}: "
+                        f"{node} and {other} both have identifier {identifiers[node]}"
+                    )
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
     return identifiers

@@ -14,6 +14,7 @@ the primitives of this package:
 """
 
 from repro.symmetry.cole_vishkin import colour_directed_cycle, three_colour_rows
+from repro.symmetry.fastpath import compute_mis_indexed
 from repro.symmetry.linial import linial_colour_reduction
 from repro.symmetry.reduction import (
     greedy_mis_from_colouring,
@@ -33,6 +34,7 @@ __all__ = [
     "colour_directed_cycle",
     "compute_anchors",
     "compute_mis",
+    "compute_mis_indexed",
     "distance_colouring",
     "greedy_mis_from_colouring",
     "linial_colour_reduction",

@@ -1,0 +1,262 @@
+"""Int-keyed fast path of the colour-reduction / MIS pipeline.
+
+The reference pipeline (:mod:`repro.symmetry.linial`,
+:mod:`repro.symmetry.reduction`, :func:`repro.symmetry.mis.compute_mis`)
+operates on node-keyed adjacency mappings; on grids the keys are coordinate
+tuples and every read pays a tuple hash.  The functions here run the very
+same pipeline over *flat integer positions* — adjacency is a sequence of
+index tuples (e.g. a :func:`repro.grid.indexer.cyclic_power_pattern`),
+colours are a flat list — which is what the indexed consumers (row ruling
+sets, j,k-independent sets) feed them.
+
+The results are **decision-identical** to the reference pipeline, not just
+equivalent:
+
+* every phase of the pipeline is content-deterministic — within one colour
+  class the nodes are pairwise non-adjacent, so their simultaneous updates
+  never read each other and node iteration order cannot change any value;
+* the cover-free point sets are shared with the reference implementation
+  (:func:`repro.symmetry.linial.polynomial_point_set`), so the fast path
+  iterates the very same frozensets and picks the same uncovered points.
+
+The randomized equivalence harness (``tests/equivalence.py``) pins this:
+both pipelines must produce byte-identical member sets, colourings and
+round counts on randomized grids.
+
+All functions require a **symmetric** adjacency (``j in adjacency[i]``
+iff ``i in adjacency[j]``), which every producer in this repository —
+cyclic power patterns, grid powers, conflict graphs — satisfies by
+construction.  The greedy MIS phase propagates blocked flags along *out*
+edges, which coincides with the reference's out-neighbour test only on
+undirected graphs; feeding a directed adjacency is a contract violation,
+not a supported input.
+
+One genuinely new optimisation lives here: when the graph is *complete*
+(which every row power with ``spacing >= (length - 1) / 2`` is — the common
+case for j,k-independent sets), a Linial step is computed from a global
+point-occurrence count instead of per-node neighbour scans, turning the
+``O(n² · q)`` membership scan into ``O(n · q)``.  The chosen points are
+provably the same: in a complete graph a point is uncovered for a node
+exactly when no other node's set contains it, i.e. when its global count
+is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.symmetry.linial import (
+    _choose_parameters,
+    polynomial_point_mask,
+    polynomial_point_set,
+)
+
+IndexAdjacency = Sequence[Sequence[int]]
+
+
+@dataclass
+class IndexedMISComputation:
+    """An MIS over flat positions plus the per-phase round breakdown."""
+
+    members: Tuple[int, ...]
+    rounds: int
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+
+
+def linial_step_indexed(
+    adjacency: IndexAdjacency, colours: Sequence[int], max_degree: int
+) -> List[int]:
+    """Mirror of :func:`repro.symmetry.linial.linial_step` on flat positions."""
+    palette_size = max(colours) + 1
+    degree, q = _choose_parameters(palette_size, max_degree)
+    point_sets = {
+        colour: polynomial_point_set(colour, degree, q) for colour in set(colours)
+    }
+
+    count = len(colours)
+    if count > 1 and all(len(neighbours) == count - 1 for neighbours in adjacency):
+        # Complete graph: a point is uncovered by the neighbours (= all other
+        # nodes) exactly when only one node's set contains it.  A proper
+        # colouring of a complete graph has all-distinct colours, so node
+        # sets and colour sets coincide, and the set of multiply-covered
+        # points falls out of C-level big-integer bitmask algebra.
+        seen_mask = 0
+        duplicated_mask = 0
+        for colour in colours:
+            mask = polynomial_point_mask(colour, degree, q)
+            duplicated_mask |= seen_mask & mask
+            seen_mask |= mask
+        new_colours: List[int] = []
+        for colour in colours:
+            chosen = None
+            for point in point_sets[colour]:
+                if not (duplicated_mask >> point) & 1:
+                    chosen = point
+                    break
+            if chosen is None:
+                raise SimulationError(
+                    "Linial step failed to find an uncovered point; "
+                    "the input colouring is probably not proper"
+                )
+            new_colours.append(chosen)
+        return new_colours
+
+    new_colours = []
+    for position, neighbours in enumerate(adjacency):
+        own_points = point_sets[colours[position]]
+        neighbour_sets = [point_sets[colours[n]] for n in neighbours]
+        chosen = None
+        for point in own_points:
+            if all(point not in other for other in neighbour_sets):
+                chosen = point
+                break
+        if chosen is None:
+            raise SimulationError(
+                "Linial step failed to find an uncovered point; "
+                "the input colouring is probably not proper"
+            )
+        new_colours.append(chosen)
+    return new_colours
+
+
+def linial_reduction_indexed(
+    adjacency: IndexAdjacency,
+    initial_colours: Sequence[int],
+    max_degree: int,
+    max_rounds: int = 64,
+) -> Tuple[List[int], int]:
+    """Mirror of :func:`repro.symmetry.linial.linial_colour_reduction`.
+
+    Returns ``(colours, rounds)``; the stopping rule (palette stops
+    shrinking) is identical to the reference.
+    """
+    colours = list(initial_colours)
+    palette = max(colours) + 1
+    rounds = 0
+    while rounds < max_rounds:
+        candidate = linial_step_indexed(adjacency, colours, max_degree)
+        new_palette = max(candidate) + 1
+        if new_palette >= palette:
+            break
+        colours = candidate
+        palette = new_palette
+        rounds += 1
+    return colours, rounds
+
+
+def _normalise_palette_indexed(colours: List[int]) -> List[int]:
+    """Rename colours to ``0..m-1`` preserving order (reference semantics)."""
+    rename = {colour: index for index, colour in enumerate(sorted(set(colours)))}
+    return [rename[colour] for colour in colours]
+
+
+def reduce_colours_indexed(
+    adjacency: IndexAdjacency, colours: Sequence[int], target: int = 0
+) -> Tuple[List[int], int]:
+    """Mirror of :func:`repro.symmetry.reduction.reduce_colours_to`.
+
+    Returns ``(colours, rounds)`` with the same Kuhn–Wattenhofer schedule
+    and the same round accounting as the reference.
+    """
+    degree = max((len(neighbours) for neighbours in adjacency), default=0)
+    if target <= 0:
+        target = degree + 1
+    if target < degree + 1:
+        raise SimulationError(
+            f"cannot reduce to {target} colours on a graph of maximum degree {degree}"
+        )
+
+    count = len(colours)
+    current = _normalise_palette_indexed(list(colours))
+    palette = max(current) + 1 if current else 0
+    rounds = 0
+    while palette > target:
+        group_size = 2 * target
+        group_count = -(-palette // group_size)
+        new_colours: List[int] = [0] * count
+        removed_classes = 0
+        for group_index in range(group_count):
+            low = group_index * group_size
+            high = min(low + group_size, palette)
+            group_nodes = [i for i in range(count) if low <= current[i] < high]
+            base = group_index * target
+            group_current = {i: current[i] - low for i in group_nodes}
+            removed_here = 0
+            for colour_to_remove in range(target, high - low):
+                for position in group_nodes:
+                    if group_current[position] != colour_to_remove:
+                        continue
+                    taken: Set[int] = set()
+                    for neighbour in adjacency[position]:
+                        if neighbour in group_current:
+                            taken.add(group_current[neighbour])
+                    group_current[position] = next(
+                        c for c in range(target) if c not in taken
+                    )
+                removed_here += 1
+            removed_classes = max(removed_classes, removed_here)
+            for position in group_nodes:
+                new_colours[position] = base + group_current[position]
+        rounds += removed_classes
+        current = _normalise_palette_indexed(new_colours)
+        palette = max(current) + 1
+    return current, rounds
+
+
+def greedy_mis_indexed(
+    adjacency: IndexAdjacency, colours: Sequence[int]
+) -> Tuple[Tuple[int, ...], int]:
+    """Mirror of :func:`repro.symmetry.reduction.greedy_mis_from_colouring`.
+
+    Returns ``(member positions, rounds)``.  The adjacency must be
+    *symmetric* (see the module docstring): the blocked-flag propagation
+    marks the out-neighbours of every joiner, which equals the reference's
+    "some of my out-neighbours joined" test only on undirected graphs.
+    """
+    classes: Dict[int, List[int]] = {}
+    for position, colour in enumerate(colours):
+        classes.setdefault(colour, []).append(position)
+    in_set = [False] * len(colours)
+    # A node is blocked exactly when some neighbour has already joined;
+    # propagating the flag on join replaces the reference's per-node
+    # neighbour scan without changing any decision.
+    blocked = [False] * len(colours)
+    rounds = 0
+    for colour in sorted(classes):
+        for position in classes[colour]:
+            if not blocked[position]:
+                in_set[position] = True
+                for neighbour in adjacency[position]:
+                    blocked[neighbour] = True
+        rounds += 1
+    members = tuple(position for position, member in enumerate(in_set) if member)
+    return members, rounds
+
+
+def compute_mis_indexed(
+    adjacency: IndexAdjacency,
+    initial_colours: Sequence[int],
+    max_degree: int = 0,
+) -> IndexedMISComputation:
+    """Mirror of :func:`repro.symmetry.mis.compute_mis` on flat positions."""
+    if max_degree <= 0:
+        max_degree = max((len(neighbours) for neighbours in adjacency), default=0)
+    linial_colours, linial_rounds = linial_reduction_indexed(
+        adjacency, initial_colours, max_degree
+    )
+    reduced_colours, reduction_rounds = reduce_colours_indexed(
+        adjacency, linial_colours
+    )
+    members, mis_rounds = greedy_mis_indexed(adjacency, reduced_colours)
+    phase_rounds = {
+        "linial": linial_rounds,
+        "batch-reduction": reduction_rounds,
+        "greedy-mis": mis_rounds,
+    }
+    return IndexedMISComputation(
+        members=members,
+        rounds=sum(phase_rounds.values()),
+        phase_rounds=phase_rounds,
+    )

@@ -24,7 +24,8 @@ anchor conflict graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.utils.math import next_prime
@@ -78,14 +79,42 @@ def _polynomial_digits(value: int, degree: int, q: int) -> List[int]:
     return digits
 
 
-def _evaluate(coefficients: Sequence[int], x: int, q: int) -> int:
-    """Evaluate the polynomial with the given coefficients at ``x`` over ``F_q``."""
-    result = 0
-    power = 1
-    for coefficient in coefficients:
-        result = (result + coefficient * power) % q
-        power = (power * x) % q
-    return result
+@lru_cache(maxsize=1 << 16)
+def polynomial_point_set(colour: int, degree: int, q: int) -> FrozenSet[int]:
+    """The cover-free point set ``{x·q + p_colour(x) : x ∈ F_q}``.
+
+    This is the inner loop of every Linial step.  The set depends only on
+    ``(colour, degree, q)``, so it is cached process-wide — sweeps over many
+    rows or grids that land on the same field parameters share the tables,
+    exactly as the grid indexer shares its ball tables.  Both the dict-based
+    reference pipeline and the int-keyed fast path call this function, so
+    they iterate the very same frozensets (same contents, same insertion
+    sequence, hence the same iteration order) and break ties identically.
+    """
+    digits = _polynomial_digits(colour, degree, q)
+    digits.reverse()  # Horner evaluation wants the high coefficient first.
+    points = []
+    for x in range(q):
+        value = 0
+        for coefficient in digits:
+            value = (value * x + coefficient) % q
+        points.append(x * q + value)
+    return frozenset(points)
+
+
+@lru_cache(maxsize=1 << 15)
+def polynomial_point_mask(colour: int, degree: int, q: int) -> int:
+    """The point set of :func:`polynomial_point_set` as an integer bitmask.
+
+    Bit ``p`` is set exactly when ``p`` is in the point set.  Bitmasks make
+    whole-set operations (union, intersection, duplicate detection) single
+    C-level big-integer operations; the int-keyed fast path uses them to
+    find globally uncovered points without per-point bookkeeping.
+    """
+    buffer = bytearray((q * q + 7) // 8)
+    for point in polynomial_point_set(colour, degree, q):
+        buffer[point >> 3] |= 1 << (point & 7)
+    return int.from_bytes(buffer, "little")
 
 
 def linial_step(
@@ -102,14 +131,12 @@ def linial_step(
     palette_size = max(colours.values()) + 1
     degree, q = _choose_parameters(palette_size, max_degree)
 
-    # Pre-compute, for every colour in use, the point set of its polynomial
-    # (encoded as x * q + p(x)); nodes sharing a colour share the set.
-    point_sets: Dict[int, frozenset] = {}
-    for colour in set(colours.values()):
-        coefficients = _polynomial_digits(colour, degree, q)
-        point_sets[colour] = frozenset(
-            x * q + _evaluate(coefficients, x, q) for x in range(q)
-        )
+    # For every colour in use, the point set of its polynomial; nodes
+    # sharing a colour share the (cached) set.
+    point_sets: Dict[int, frozenset] = {
+        colour: polynomial_point_set(colour, degree, q)
+        for colour in set(colours.values())
+    }
 
     new_colours: Dict[NodeKey, int] = {}
     for node, neighbours in adjacency.items():

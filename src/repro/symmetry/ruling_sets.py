@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from repro.grid.identifiers import IdentifierAssignment
+from repro.grid.indexer import GridIndexer, cyclic_power_pattern
 from repro.grid.torus import Node, ToroidalGrid
+from repro.symmetry.fastpath import compute_mis_indexed
 from repro.symmetry.mis import compute_mis
 
 
@@ -58,24 +60,44 @@ def row_ruling_set(
     identifiers: IdentifierAssignment,
     axis: int,
     spacing: int,
+    engine: str = "indexed",
 ) -> RowRulingSet:
     """Compute a distance-``spacing`` MIS inside every row along ``axis``.
 
     The result is the union over all rows; members in *different* rows are
     unrelated (they may be arbitrarily close), which is exactly the starting
     point of the j,k-independent-set construction of Definition 18.
+
+    ``engine`` selects the execution path: ``"indexed"`` (default) runs the
+    int-keyed pipeline over the indexer's axis-row gather tables and the
+    shared cyclic power pattern; ``"dict"`` is the per-row tuple-keyed
+    reference.  Both produce byte-identical results (pinned by the
+    randomized equivalence harness).
     """
     members: Set[Node] = set()
     worst_rounds = 0
     worst_phases: Dict[str, int] = {}
-    for row in grid.rows(axis):
-        adjacency = _row_power_adjacency(row, spacing)
-        initial = {node: identifiers[node] for node in row}
-        computation = compute_mis(adjacency, initial, max_degree=2 * spacing)
-        members.update(computation.members)
-        if computation.rounds > worst_rounds:
-            worst_rounds = computation.rounds
-            worst_phases = computation.phase_rounds
+    if engine == "indexed":
+        indexer = GridIndexer.for_grid(grid)
+        for row in indexer.row_node_table(axis):
+            pattern = cyclic_power_pattern(len(row), spacing)
+            colours = [identifiers[node] for node in row]
+            computation = compute_mis_indexed(pattern, colours, max_degree=2 * spacing)
+            members.update(row[position] for position in computation.members)
+            if computation.rounds > worst_rounds:
+                worst_rounds = computation.rounds
+                worst_phases = computation.phase_rounds
+    elif engine == "dict":
+        for row in grid.rows(axis):
+            adjacency = _row_power_adjacency(row, spacing)
+            initial = {node: identifiers[node] for node in row}
+            computation = compute_mis(adjacency, initial, max_degree=2 * spacing)
+            members.update(computation.members)
+            if computation.rounds > worst_rounds:
+                worst_rounds = computation.rounds
+                worst_phases = computation.phase_rounds
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
     overhead = spacing
     return RowRulingSet(
         members=members,

@@ -1,0 +1,168 @@
+"""Shared randomized equivalence-test harness for engine migrations.
+
+Every fast-path migration in this repository follows the same contract: the
+``"indexed"`` engine must produce **byte-identical** outputs to the
+``"dict"`` reference engine — same values, same tie-breaks, same error
+messages — on randomized inputs.  PR 1 asserted this ad hoc per module;
+this harness turns the pattern into shared infrastructure.
+
+How to onboard the next migrated consumer
+-----------------------------------------
+
+1. Give the migrated entry point an ``engine`` parameter (``"indexed"``
+   default, ``"dict"`` reference), or keep a ``*_reference`` twin of each
+   migrated method.
+2. In ``tests/test_equivalence_indexed.py`` add a test that
+
+   * derives its RNG with :func:`derive_rng` from the ``equivalence_seed``
+     fixture and a label unique to the test (so tests never share streams),
+   * draws inputs with :func:`grid_corpus` / :func:`random_torus` (the
+     corpus always covers square, non-square and odd-sided tori) or builds
+     its own randomized instances from the RNG,
+   * runs both engines through :func:`assert_equivalent`, passing a
+     ``context`` string that includes the master seed and the drawn
+     parameters.
+
+3. That's it: :func:`assert_equivalent` compares the two outcomes as
+   canonical bytes — results *and* raised exceptions — and a failure
+   message starts with your context, so the failing seed can be replayed
+   with ``pytest --equivalence-seed <seed>``.
+
+Byte-identical means: the two outcomes have equal canonical serialisations
+(:func:`canonical_bytes`), where dicts and sets are sorted into canonical
+order first (their iteration order is an implementation detail, the
+*content* is not).  An exception outcome is serialised as the exception
+type plus its message, so both engines must fail identically too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Callable, Iterator, Tuple
+
+from repro.grid.torus import ToroidalGrid
+
+
+def derive_rng(seed: int, label: str) -> random.Random:
+    """A reproducible RNG derived from the master seed and a test label."""
+    return random.Random(f"{seed}:{label}")
+
+
+def random_torus(
+    rng: random.Random,
+    min_side: int = 4,
+    max_side: int = 9,
+    square: bool = False,
+    force_odd: bool = False,
+) -> ToroidalGrid:
+    """Draw a random 2-dimensional torus.
+
+    ``square`` forces equal sides; ``force_odd`` makes at least one side
+    odd (regression surface for wrap-around/tie-break arithmetic).
+    """
+    def draw() -> int:
+        return rng.randint(min_side, max_side)
+
+    width = draw()
+    if square:
+        height = width
+    else:
+        height = draw()
+    if force_odd and width % 2 == 0 and height % 2 == 0:
+        side = max(min_side, min(max_side, width + 1))
+        if side % 2 == 0:
+            side -= 1
+        width = side
+    return ToroidalGrid((width, height))
+
+
+def grid_corpus(
+    rng: random.Random, min_side: int = 4, max_side: int = 9, extras: int = 2
+) -> Iterator[ToroidalGrid]:
+    """Yield a randomized torus corpus with guaranteed shape coverage.
+
+    Always contains an even square, an odd square and a non-square torus
+    with at least one odd side, followed by ``extras`` unconstrained draws.
+    """
+    even = rng.randrange(min_side + (min_side % 2), max_side + 1, 2)
+    odd = rng.randrange(min_side + 1 - (min_side % 2), max_side + 1, 2)
+    yield ToroidalGrid((even, even))
+    yield ToroidalGrid((odd, odd))
+    yield random_torus(rng, min_side, max_side, force_odd=True)
+    for _ in range(extras):
+        yield random_torus(rng, min_side, max_side)
+
+
+def canonicalise(value: Any) -> Any:
+    """Normalise a value into a canonically ordered, hashable-free structure.
+
+    Dicts and sets are sorted (by the repr of their canonical keys /
+    elements), dataclasses become ``(class name, field tuples)``, sequences
+    recurse.  Two values with equal content canonicalise identically no
+    matter the insertion order of their containers.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (field.name, canonicalise(getattr(value, field.name)))
+                for field in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        items = [(canonicalise(key), canonicalise(item)) for key, item in value.items()]
+        return ("mapping", tuple(sorted(items, key=repr)))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((canonicalise(item) for item in value), key=repr)))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalise(item) for item in value)
+    return value
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """The canonical byte serialisation compared by :func:`assert_equivalent`."""
+    return repr(canonicalise(value)).encode("utf-8")
+
+
+def call_outcome(call: Callable[[], Any]) -> Tuple[str, Any]:
+    """Run ``call`` and capture its outcome: ``("ok", result)`` or
+    ``("error", type name, message)``."""
+    try:
+        return ("ok", call())
+    except Exception as error:  # noqa: BLE001 — engines must fail identically too
+        return ("error", type(error).__name__, str(error))
+
+
+def assert_equivalent(
+    reference: Callable[[], Any],
+    indexed: Callable[[], Any],
+    context: str,
+) -> Any:
+    """Assert that the reference and indexed engines agree byte-for-byte.
+
+    Both outcomes — normal results and raised exceptions — are compared as
+    canonical bytes.  Returns the reference outcome payload so callers can
+    chain further checks.  ``context`` should identify the master seed and
+    the drawn parameters; it prefixes the failure message.
+    """
+    reference_outcome = call_outcome(reference)
+    indexed_outcome = call_outcome(indexed)
+    reference_blob = canonical_bytes(reference_outcome)
+    indexed_blob = canonical_bytes(indexed_outcome)
+    if reference_blob != indexed_blob:
+        divergence = next(
+            (
+                position
+                for position, (a, b) in enumerate(zip(reference_blob, indexed_blob))
+                if a != b
+            ),
+            min(len(reference_blob), len(indexed_blob)),
+        )
+        window = slice(max(0, divergence - 60), divergence + 60)
+        raise AssertionError(
+            f"engines diverge [{context}] at byte {divergence}:\n"
+            f"  reference: ...{reference_blob[window]!r}...\n"
+            f"  indexed:   ...{indexed_blob[window]!r}..."
+        )
+    return reference_outcome

@@ -118,6 +118,62 @@ class TestJKIndependentSets:
         assert independent_set.verify(grid)
 
 
+class TestJKIndependentProperties:
+    """Definition 18 invariants checked property-style on both engines.
+
+    For every construction that succeeds, (1) every node must have a member
+    within distance ``j`` inside its q-directional row and (2) the L∞
+    radius-``k`` balls of the members must be pairwise disjoint.  The
+    invariants are recomputed from first principles here (not via
+    ``verify``) and checked on both code paths across 25 random seeds; the
+    chosen constants succeed on every one of these seeds.
+    """
+
+    SEEDS = range(25)
+    PARAMS = dict(k=1, spacing=11, movement_cap=19)
+
+    @staticmethod
+    def _assert_definition_18(grid, independent_set):
+        j = independent_set.j
+        k = independent_set.k
+        members = sorted(independent_set.members)
+        assert members, "construction returned no members"
+        # (2) pairwise-disjoint L-infinity balls.
+        for index, first in enumerate(members):
+            for second in members[index + 1:]:
+                assert grid.linf_distance(first, second) > 2 * k, (
+                    f"balls of {first} and {second} intersect"
+                )
+        # (1) a member within distance j inside every q-row.
+        member_set = independent_set.members
+        for row in grid.rows(independent_set.axis):
+            length = len(row)
+            positions = [p for p, node in enumerate(row) if node in member_set]
+            assert positions, f"row through {row[0]} has no member"
+            for position in range(length):
+                closest = min(
+                    min((position - p) % length, (p - position) % length)
+                    for p in positions
+                )
+                assert closest <= j, (
+                    f"node {row[position]} is {closest} > j={j} from every member"
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariants_hold_on_both_engines(self, seed):
+        grid = ToroidalGrid((21, 20)) if seed % 3 == 0 else ToroidalGrid.square(20)
+        identifiers = random_identifiers(grid, seed=seed)
+        axis = seed % 2
+        results = {}
+        for engine in ("dict", "indexed"):
+            results[engine] = compute_jk_independent_set(
+                grid, identifiers, axis=axis, engine=engine, **self.PARAMS
+            )
+            self._assert_definition_18(grid, results[engine])
+            assert results[engine].verify(grid) == []
+        assert results["dict"] == results["indexed"]
+
+
 class TestEdgeColouring:
     @pytest.mark.slow
     def test_five_colouring_on_96_grid(self):

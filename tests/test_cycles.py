@@ -51,6 +51,63 @@ class TestCycleLCLSpecification:
             verify_cycle_labelling(cycle_colouring_problem(2), [1, 2])
 
 
+class TestCycleEdgeCases:
+    def test_cycle_of_length_exactly_one_window(self):
+        # A cycle of length 2r + 1 is the shortest legal instance: every
+        # cyclic window reads the whole cycle (in rotated order).
+        problem = cycle_colouring_problem(3)  # radius 1, windows of length 3
+        assert verify_cycle_labelling(problem, [1, 2, 3]) == []
+        for engine in ("dict", "indexed"):
+            assert verify_cycle_labelling(problem, [1, 2, 3], engine=engine) == []
+            # 1,1,2 violates exactly at the windows containing the repeat.
+            assert verify_cycle_labelling(problem, [1, 1, 2], engine=engine) == [0, 1]
+        # One label below the window length must be rejected, not wrapped.
+        with pytest.raises(InvalidProblemError):
+            verify_cycle_labelling(problem, [1, 2])
+
+    def test_single_label_alphabet(self):
+        constant_ok = CycleLCL(
+            name="all-a", alphabet=("a",), radius=1,
+            feasible_windows=frozenset({("a", "a", "a")}),
+        )
+        graph = build_neighbourhood_graph(constant_ok)
+        assert graph.has_self_loop()
+        result = classify_cycle_problem(constant_ok)
+        assert result.complexity is ComplexityClass.CONSTANT
+        assert verify_cycle_labelling(constant_ok, ["a"] * 7) == []
+
+        constant_empty = CycleLCL(
+            name="never", alphabet=("a",), radius=1, feasible_windows=frozenset()
+        )
+        result = classify_cycle_problem(constant_empty)
+        assert result.complexity is ComplexityClass.GLOBAL
+        assert result.evidence["solvable_for_some_lengths"] is False
+        assert verify_cycle_labelling(constant_empty, ["a"] * 5) == [0, 1, 2, 3, 4]
+
+    def test_infeasible_window_specifications_raise(self):
+        # Malformed windows raise InvalidProblemError at specification time
+        # instead of silently feeding the classifier garbage.
+        with pytest.raises(InvalidProblemError):
+            CycleLCL(
+                name="wrong-length", alphabet=(0, 1), radius=2,
+                feasible_windows=frozenset({(0, 1, 0)}),  # needs length 5
+            )
+        with pytest.raises(InvalidProblemError):
+            CycleLCL(
+                name="foreign-label", alphabet=(0, 1), radius=1,
+                feasible_windows=frozenset({(0, 2, 0)}),
+            )
+        with pytest.raises(InvalidProblemError):
+            CycleLCL(
+                name="zero-radius", alphabet=(0, 1), radius=0,
+                feasible_windows=frozenset({(0,)}),
+            )
+        with pytest.raises(ValueError):
+            verify_cycle_labelling(
+                cycle_colouring_problem(3), [1, 2, 3], engine="turbo"
+            )
+
+
 class TestNeighbourhoodGraph:
     def test_three_colouring_graph_structure(self):
         graph = build_neighbourhood_graph(cycle_colouring_problem(3))

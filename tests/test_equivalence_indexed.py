@@ -1,0 +1,239 @@
+"""Randomized dict-vs-indexed equivalence suite (see ``tests/equivalence.py``).
+
+Each test derives a private RNG from ``--equivalence-seed`` (default 0),
+draws randomized instances — square and non-square tori, odd sides,
+multiple radii/spacings, random cycle problems — and asserts that the
+``"dict"`` reference engine and the ``"indexed"`` fast path produce
+byte-identical outcomes, including identical exceptions.
+"""
+
+from equivalence import assert_equivalent, derive_rng, grid_corpus
+
+from repro.colouring.jk_independent import compute_jk_independent_set
+from repro.cycles.lcl1d import CycleLCL, verify_cycle_labelling
+from repro.cycles.neighbourhood_graph import build_neighbourhood_graph
+from repro.grid.identifiers import random_identifiers
+from repro.grid.indexer import cyclic_power_pattern
+from repro.grid.torus import ToroidalGrid
+from repro.speedup.voronoi import (
+    compute_voronoi_decomposition,
+    local_identifier_assignment,
+)
+from repro.symmetry.fastpath import compute_mis_indexed
+from repro.symmetry.mis import compute_anchors, compute_mis
+from repro.symmetry.ruling_sets import row_ruling_set
+
+
+class TestVoronoiEquivalence:
+    def test_mis_anchor_decompositions(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "voronoi-mis")
+        for trial, grid in enumerate(grid_corpus(rng)):
+            identifier_seed = rng.randrange(10_000)
+            identifiers = random_identifiers(grid, seed=identifier_seed)
+            k = rng.choice([1, 2])
+            anchors = compute_anchors(grid, identifiers, k=k)
+            context = (
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"ids={identifier_seed} k={k}"
+            )
+            for search_radius in (None, k, k + 1):
+                outcome = assert_equivalent(
+                    lambda r=search_radius: compute_voronoi_decomposition(
+                        grid, anchors.members, search_radius=r, engine="dict"
+                    ),
+                    lambda r=search_radius: compute_voronoi_decomposition(
+                        grid, anchors.members, search_radius=r, engine="indexed"
+                    ),
+                    f"{context} radius={search_radius}",
+                )
+                assert outcome[0] == "ok"
+
+    def test_arbitrary_anchor_sets_including_failures(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "voronoi-arbitrary")
+        for trial, grid in enumerate(grid_corpus(rng)):
+            nodes = list(grid.nodes())
+            anchors = set(rng.sample(nodes, rng.randint(1, max(1, len(nodes) // 8))))
+            search_radius = rng.randint(1, 3)
+            assert_equivalent(
+                lambda: compute_voronoi_decomposition(
+                    grid, anchors, search_radius=search_radius, engine="dict"
+                ),
+                lambda: compute_voronoi_decomposition(
+                    grid, anchors, search_radius=search_radius, engine="indexed"
+                ),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"anchors={len(anchors)} radius={search_radius}",
+            )
+
+    def test_local_identifier_assignment_both_outcomes(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "voronoi-local-ids")
+        for trial, grid in enumerate(grid_corpus(rng, extras=1)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            anchors = compute_anchors(grid, identifiers, k=2)
+            decomposition = compute_voronoi_decomposition(grid, anchors.members)
+            # Radius 1 must verify; a radius beyond the anchor spacing must
+            # fail identically (same first violating pair in the message).
+            for uniqueness_radius in (1, max(grid.sides)):
+                assert_equivalent(
+                    lambda r=uniqueness_radius: local_identifier_assignment(
+                        grid, decomposition, r, engine="dict"
+                    ),
+                    lambda r=uniqueness_radius: local_identifier_assignment(
+                        grid, decomposition, r, engine="indexed"
+                    ),
+                    f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                    f"uniqueness_radius={uniqueness_radius}",
+                )
+
+
+class TestRulingSetEquivalence:
+    def test_row_ruling_sets(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "ruling-sets")
+        for trial, grid in enumerate(grid_corpus(rng)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            axis = rng.choice([0, 1])
+            spacing = rng.randint(2, 5)
+            assert_equivalent(
+                lambda: row_ruling_set(grid, identifiers, axis, spacing, engine="dict"),
+                lambda: row_ruling_set(
+                    grid, identifiers, axis, spacing, engine="indexed"
+                ),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"axis={axis} spacing={spacing}",
+            )
+
+
+class TestPipelineEquivalence:
+    def test_int_keyed_mis_pipeline_matches_reference(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "fastpath-pipeline")
+        for trial in range(12):
+            length = rng.randint(3, 24)
+            spacing = rng.randint(1, length - 1)
+            identifiers = rng.sample(range(1, 8 * length + 1), length)
+            pattern = cyclic_power_pattern(length, spacing)
+            keys = [("position", index) for index in range(length)]
+            adjacency = {
+                keys[index]: [keys[j] for j in pattern[index]]
+                for index in range(length)
+            }
+            initial = {keys[index]: identifiers[index] for index in range(length)}
+
+            def run_reference():
+                computation = compute_mis(adjacency, initial, max_degree=2 * spacing)
+                return (
+                    sorted(key[1] for key in computation.members),
+                    computation.rounds,
+                    computation.phase_rounds,
+                )
+
+            def run_indexed():
+                computation = compute_mis_indexed(
+                    pattern, identifiers, max_degree=2 * spacing
+                )
+                return (
+                    sorted(computation.members),
+                    computation.rounds,
+                    computation.phase_rounds,
+                )
+
+            assert_equivalent(
+                run_reference,
+                run_indexed,
+                f"seed={equivalence_seed} trial={trial} length={length} "
+                f"spacing={spacing}",
+            )
+
+
+class TestJKIndependentEquivalence:
+    def test_jk_construction(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "jk-independent")
+        for trial in range(4):
+            # Sides must exceed the row spacing; odd and non-square shapes
+            # are part of the draw.
+            width = rng.randint(13, 16)
+            height = rng.randint(13, 16)
+            grid = ToroidalGrid((width, height))
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            axis = rng.choice([0, 1])
+            k = 1
+            spacing = rng.randint(8, min(width, height) - 1)
+            assert_equivalent(
+                lambda: compute_jk_independent_set(
+                    grid, identifiers, axis, k, spacing=spacing, engine="dict"
+                ),
+                lambda: compute_jk_independent_set(
+                    grid, identifiers, axis, k, spacing=spacing, engine="indexed"
+                ),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"axis={axis} k={k} spacing={spacing}",
+            )
+
+
+def _random_cycle_problem(rng, trial):
+    """A random (possibly degenerate) cycle LCL problem specification."""
+    radius = rng.choice([1, 1, 2])
+    alphabet = tuple(range(rng.randint(1, 3)))
+    window_length = 2 * radius + 1
+    universe = []
+
+    def extend(prefix):
+        if len(prefix) == window_length:
+            universe.append(tuple(prefix))
+            return
+        for label in alphabet:
+            extend(prefix + [label])
+
+    extend([])
+    population = rng.randint(0, len(universe))
+    windows = frozenset(rng.sample(universe, population))
+    return CycleLCL(
+        name=f"random-{trial}", alphabet=alphabet, radius=radius,
+        feasible_windows=windows,
+    )
+
+
+class TestCycleEquivalence:
+    def test_window_verification(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "cycle-verify")
+        for trial in range(10):
+            problem = _random_cycle_problem(rng, trial)
+            length = rng.randint(problem.window_length, problem.window_length + 9)
+            labels = [rng.choice(problem.alphabet) for _ in range(length)]
+            assert_equivalent(
+                lambda: verify_cycle_labelling(problem, labels, engine="dict"),
+                lambda: verify_cycle_labelling(problem, labels, engine="indexed"),
+                f"seed={equivalence_seed} trial={trial} problem={problem.name} "
+                f"radius={problem.radius} length={length}",
+            )
+
+    def test_neighbourhood_graph_walks(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "cycle-walks")
+        for trial in range(8):
+            problem = _random_cycle_problem(rng, trial)
+            graph = build_neighbourhood_graph(problem)
+            context = (
+                f"seed={equivalence_seed} trial={trial} problem={problem.name} "
+                f"states={len(graph.states)}"
+            )
+            assert_equivalent(
+                graph.has_cycle_reference, graph.has_cycle, f"{context} has_cycle"
+            )
+            # The reference layering is quadratic in the state count, so cap
+            # the compared horizon and sample the states on large problems —
+            # the equivalence of one BFS layer pins all longer horizons.
+            horizon = min(max(len(graph.states) ** 2, 8), 200)
+            states = list(graph.states)
+            if len(states) > 12:
+                states = rng.sample(states, 12)
+            for state in states:
+                assert_equivalent(
+                    lambda s=state: graph.closed_walk_lengths_reference(s, horizon),
+                    lambda s=state: graph.closed_walk_lengths(s, horizon),
+                    f"{context} closed_walk_lengths state={state!r}",
+                )
+                for length in (1, 2, rng.randint(3, 9)):
+                    assert_equivalent(
+                        lambda s=state, l=length: graph.walk_of_length_reference(s, l),
+                        lambda s=state, l=length: graph.walk_of_length(s, l),
+                        f"{context} walk_of_length state={state!r} length={length}",
+                    )

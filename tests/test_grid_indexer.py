@@ -3,7 +3,11 @@
 import pytest
 
 from repro.grid.geometry import ball_offsets
-from repro.grid.indexer import GridIndexer
+from repro.grid.indexer import (
+    GridIndexer,
+    cyclic_power_pattern,
+    cyclic_window_table,
+)
 from repro.grid.power import PowerGraph
 from repro.grid.torus import ToroidalGrid
 
@@ -91,6 +95,119 @@ class TestTables:
                 [indexer.node_at(j) for j in row] for row in indexer.rows(axis)
             ]
             assert decoded == [list(row) for row in grid.rows(axis)]
+
+
+class TestRowNodeTable:
+    def test_matches_grid_rows(self, grid, indexer):
+        for axis in range(grid.dimension):
+            assert [list(row) for row in indexer.row_node_table(axis)] == [
+                list(row) for row in grid.rows(axis)
+            ]
+
+    def test_cached_per_axis(self, indexer):
+        assert indexer.row_node_table(0) is indexer.row_node_table(0)
+
+
+class TestBfsDistances:
+    def test_single_source_matches_l1_distance(self, grid, indexer):
+        source = (1, 2)
+        distances = indexer.bfs_distances([source])
+        for node in grid.nodes():
+            assert distances[indexer.index_of(node)] == grid.l1_distance(node, source)
+
+    def test_multi_source_takes_nearest(self, grid, indexer):
+        sources = [(0, 0), (2, 3)]
+        distances = indexer.bfs_distances(sources)
+        for node in grid.nodes():
+            expected = min(grid.l1_distance(node, source) for source in sources)
+            assert distances[indexer.index_of(node)] == expected
+
+    def test_empty_sources_rejected(self, indexer):
+        with pytest.raises(ValueError):
+            indexer.bfs_distances([])
+
+    def test_foreign_source_rejected(self, indexer):
+        with pytest.raises(KeyError):
+            indexer.bfs_distances([(9, 9)])
+
+
+class TestDisplacementShells:
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3])
+    def test_shells_cover_ball_offsets_with_canonical_displacements(
+        self, grid, indexer, radius
+    ):
+        offsets = ball_offsets(grid.dimension, radius, "l1")
+        _, table = indexer.ball_table(radius, "l1")
+        shells = indexer.displacement_shells(radius, "l1")
+        seen_positions = []
+        previous_distance = -1
+        for distance, entries in shells:
+            assert distance > previous_distance
+            previous_distance = distance
+            for position, displacement in entries:
+                seen_positions.append(position)
+                # The displacement is the grid's canonical displacement of
+                # the reached node about any start node.
+                node = (1, 2)
+                target = indexer.node_at(table[indexer.index_of(node)][position])
+                assert grid.displacement(node, target) == displacement
+                assert sum(abs(c) for c in displacement) == distance
+        assert sorted(seen_positions) == list(range(len(offsets)))
+
+    def test_wrapping_offsets_get_short_displacements(self):
+        # On a 3-torus an offset of magnitude 2 wraps to distance 1.
+        indexer = GridIndexer(ToroidalGrid.square(3))
+        shells = indexer.displacement_shells(2, "l1")
+        assert max(distance for distance, _ in shells) <= 2
+        distance_of = {
+            position: distance
+            for distance, entries in shells
+            for position, _ in entries
+        }
+        offsets = ball_offsets(2, 2, "l1")
+        assert distance_of[offsets.index((2, 0))] == 1  # wraps to (-1, 0)
+
+
+class TestCyclicTables:
+    def test_window_table_matches_modular_arithmetic(self):
+        table = cyclic_window_table(7, 2)
+        assert len(table) == 7
+        for position in range(7):
+            assert table[position] == tuple(
+                (position + offset) % 7 for offset in range(-2, 3)
+            )
+
+    def test_window_table_on_minimal_cycle(self):
+        # Length exactly 2r + 1: every window visits all positions.
+        table = cyclic_window_table(5, 2)
+        for row in table:
+            assert sorted(row) == [0, 1, 2, 3, 4]
+
+    def test_power_pattern_matches_row_power_adjacency(self):
+        from repro.symmetry.ruling_sets import _row_power_adjacency
+
+        for length, spacing in [(8, 2), (7, 3), (5, 4), (6, 7)]:
+            row = [("r", index) for index in range(length)]
+            expected = _row_power_adjacency(row, spacing)
+            pattern = cyclic_power_pattern(length, spacing)
+            for index, node in enumerate(row):
+                assert [row[j] for j in pattern[index]] == expected[node]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_window_table(0, 1)
+        with pytest.raises(ValueError):
+            cyclic_window_table(5, -1)
+        with pytest.raises(ValueError):
+            cyclic_power_pattern(0, 1)
+        with pytest.raises(ValueError):
+            cyclic_power_pattern(5, -1)
+
+
+class TestBallNodeTableCache:
+    def test_cached_per_radius_and_norm(self, indexer):
+        assert indexer.ball_node_table(2, "l1") is indexer.ball_node_table(2, "l1")
+        assert indexer.ball_node_table(2, "l1") is not indexer.ball_node_table(2, "linf")
 
 
 class TestPowerAdjacency:

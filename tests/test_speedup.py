@@ -19,6 +19,7 @@ from repro.speedup.normal_form import (
     choose_normal_form_k,
 )
 from repro.speedup.voronoi import (
+    VoronoiDecomposition,
     compute_voronoi_decomposition,
     local_identifier_assignment,
 )
@@ -77,6 +78,59 @@ class TestVoronoi:
             step = (-1 if dx > 0 else (1 if dx < 0 else 0), -1 if dy > 0 else (1 if dy < 0 else 0))
             towards = grid.shift(node, step)
             assert decomposition.owner[towards] == decomposition.owner[node]
+
+    def test_tile_lookups_cover_empty_tiles(self):
+        # A decomposition constructed directly may contain anchors that own
+        # nothing; tile/tile_sizes must report them as empty rather than
+        # scanning the owner map and silently omitting them.
+        grid = ToroidalGrid.square(6)
+        busy, idle = (0, 0), (3, 3)
+        owner = {node: busy for node in grid.nodes()}
+        decomposition = VoronoiDecomposition(anchors={busy, idle}, owner=owner)
+        assert decomposition.tile(idle) == []
+        assert sorted(decomposition.tile(busy)) == sorted(grid.nodes())
+        sizes = decomposition.tile_sizes()
+        assert sizes[idle] == 0
+        assert sizes[busy] == grid.node_count
+        assert decomposition.tile((5, 5)) == []  # unknown anchor: empty, no error
+
+    def test_tile_index_is_built_once_and_tracks_growth(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        decomposition = compute_voronoi_decomposition(grid, anchors.members)
+        first = decomposition._tiles()
+        assert decomposition._tiles() is first  # cached, not rebuilt per call
+        # tile() returns copies: mutating one must not corrupt the index.
+        anchor = next(iter(anchors.members))
+        nodes = decomposition.tile(anchor)
+        nodes.append(("sentinel",))
+        assert ("sentinel",) not in decomposition.tile(anchor)
+        # Growing the owner map invalidates and rebuilds the index.
+        extra_anchor = ("extra",)
+        decomposition.anchors.add(extra_anchor)
+        decomposition.owner[("extra-node",)] = extra_anchor
+        assert decomposition.tile(extra_anchor) == [("extra-node",)]
+
+    def test_invalidate_tiles_after_same_size_mutation(self):
+        grid = ToroidalGrid.square(6)
+        first, second = (0, 0), (3, 3)
+        owner = {node: first for node in grid.nodes()}
+        decomposition = VoronoiDecomposition(anchors={first, second}, owner=owner)
+        assert decomposition.tile_sizes()[second] == 0
+        # A same-size reassignment is invisible to the length guard; the
+        # documented contract is an explicit invalidation.
+        decomposition.owner[(1, 1)] = second
+        decomposition.invalidate_tiles()
+        assert decomposition.tile(second) == [(1, 1)]
+        assert decomposition.tile_sizes()[first] == grid.node_count - 1
+
+    def test_dict_and_indexed_engines_agree(self, grid_and_anchors):
+        grid, _identifiers, anchors = grid_and_anchors
+        reference = compute_voronoi_decomposition(grid, anchors.members, engine="dict")
+        indexed = compute_voronoi_decomposition(grid, anchors.members, engine="indexed")
+        assert reference.owner == indexed.owner
+        assert reference.local_coordinates == indexed.local_coordinates
+        with pytest.raises(ValueError):
+            compute_voronoi_decomposition(grid, anchors.members, engine="numpy")
 
     def test_local_identifiers_are_locally_unique(self, grid_and_anchors):
         grid, _identifiers, anchors = grid_and_anchors
