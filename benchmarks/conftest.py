@@ -7,12 +7,30 @@ results in ``EXPERIMENTS.md``).  Run with::
     pytest benchmarks/ --benchmark-only -s
 
 The ``-s`` flag lets the regenerated tables show up next to the timings.
+
+Machine-readable results
+------------------------
+
+Benchmarks that call the :func:`bench_json` fixture additionally write a
+``BENCH_<name>.json`` file (timings, sizes, speedup ratios) into the
+directory named by the ``BENCH_RESULTS_DIR`` environment variable
+(default ``benchmarks/results/``).  CI uploads that directory as a build
+artifact, so the perf trajectory of the engine tiers is recorded per run
+instead of scrolling away in the job log.
 """
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.grid.identifiers import random_identifiers
 from repro.grid.torus import ToroidalGrid
+
+RESULTS_DIR_VARIABLE = "BENCH_RESULTS_DIR"
 
 
 @pytest.fixture()
@@ -20,3 +38,35 @@ def medium_grid():
     """A 24×24 torus with reproducible random identifiers."""
     grid = ToroidalGrid.square(24)
     return grid, random_identifiers(grid, seed=7)
+
+
+@pytest.fixture()
+def bench_json(request):
+    """Record machine-readable benchmark results.
+
+    Returns a callable ``record(payload, name=None)`` writing
+    ``BENCH_<name>.json`` (defaulting to the test name) with the payload
+    plus environment metadata, and returning the written path.
+    """
+
+    def record(payload, name=None):
+        results_dir = Path(
+            os.environ.get(
+                RESULTS_DIR_VARIABLE, Path(__file__).parent / "results"
+            )
+        )
+        results_dir.mkdir(parents=True, exist_ok=True)
+        bench_name = name or request.node.name
+        document = {
+            "benchmark": bench_name,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "ci": bool(os.environ.get("CI")),
+            **payload,
+        }
+        path = results_dir / f"BENCH_{bench_name}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    return record

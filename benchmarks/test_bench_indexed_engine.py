@@ -32,7 +32,7 @@ def _best_of(repetitions, run):
     return min(timings)
 
 
-def test_indexed_engine_speedup_on_64_torus(benchmark):
+def test_indexed_engine_speedup_on_64_torus(benchmark, bench_json):
     grid = ToroidalGrid.square(SIDE)
     identifiers = random_identifiers(grid, seed=7)
     labels = {node: identifiers[node] for node in grid.nodes()}
@@ -63,11 +63,21 @@ def test_indexed_engine_speedup_on_64_torus(benchmark):
     # relaxed there; locally the full 5x must hold (measured ~6x).
     assert engine.apply_rule(store, rule).to_dict() == apply_rule(grid, labels, rule)
     floor = 2.0 if os.environ.get("CI") else 5.0
+    bench_json(
+        {
+            "side": SIDE,
+            "radius": RADIUS,
+            "dict_seconds": seed_seconds,
+            "indexed_seconds": fast_seconds,
+            "speedup": speedup,
+            "floor": floor,
+        }
+    )
     assert speedup >= floor, f"indexed engine only {speedup:.1f}x faster than dict path"
 
 
 @pytest.mark.slow
-def test_indexed_engine_speedup_sweep(benchmark):
+def test_indexed_engine_speedup_sweep(benchmark, bench_json):
     """Speedup sweep over growing torus sides — the scaling headline.
 
     The per-round advantage of the indexed path persists (and the absolute
@@ -98,6 +108,20 @@ def test_indexed_engine_speedup_sweep(benchmark):
             f"{side:4d}    {seed_seconds * 1000:9.1f}  {fast_seconds * 1000:12.1f}"
             f"  {seed_seconds / fast_seconds:6.1f}x"
         )
+    bench_json(
+        {
+            "radius": RADIUS,
+            "sweep": [
+                {
+                    "side": side,
+                    "dict_seconds": seed_seconds,
+                    "indexed_seconds": fast_seconds,
+                    "speedup": seed_seconds / fast_seconds,
+                }
+                for side, seed_seconds, fast_seconds in rows
+            ],
+        }
+    )
     assert all(seed > fast for _, seed, fast in rows)
 
 

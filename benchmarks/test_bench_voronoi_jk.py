@@ -47,7 +47,7 @@ def _best_of(repetitions, run):
     return min(timings)
 
 
-def test_voronoi_decomposition_speedup_on_64_torus(benchmark):
+def test_voronoi_decomposition_speedup_on_64_torus(benchmark, bench_json):
     grid = ToroidalGrid.square(SIDE)
     identifiers = random_identifiers(grid, seed=7)
     anchors = compute_anchors(grid, identifiers, k=K, norm="l1")
@@ -81,10 +81,21 @@ def test_voronoi_decomposition_speedup_on_64_torus(benchmark):
         f"  indexed engine {indexed_seconds * 1000:8.1f} ms\n"
         f"  speedup        {speedup:8.1f}x"
     )
+    bench_json(
+        {
+            "side": SIDE,
+            "k": K,
+            "anchors": len(anchors.members),
+            "dict_seconds": dict_seconds,
+            "indexed_seconds": indexed_seconds,
+            "speedup": speedup,
+            "floor": FLOOR,
+        }
+    )
     assert speedup >= FLOOR, f"indexed Voronoi only {speedup:.1f}x faster than dict"
 
 
-def test_jk_independent_speedup_on_64_torus(benchmark):
+def test_jk_independent_speedup_on_64_torus(benchmark, bench_json):
     grid = ToroidalGrid.square(SIDE)
     identifiers = random_identifiers(grid, seed=7)
     kwargs = dict(axis=0, k=K, spacing=SPACING, movement_cap=MOVEMENT_CAP)
@@ -119,6 +130,18 @@ def test_jk_independent_speedup_on_64_torus(benchmark):
         f"  dict engine    {dict_seconds * 1000:8.1f} ms\n"
         f"  indexed engine {indexed_seconds * 1000:8.1f} ms\n"
         f"  speedup        {speedup:8.1f}x"
+    )
+    bench_json(
+        {
+            "side": SIDE,
+            "k": K,
+            "spacing": SPACING,
+            "members": len(reference.members),
+            "dict_seconds": dict_seconds,
+            "indexed_seconds": indexed_seconds,
+            "speedup": speedup,
+            "floor": FLOOR,
+        }
     )
     assert speedup >= FLOOR, f"indexed j,k only {speedup:.1f}x faster than dict"
 

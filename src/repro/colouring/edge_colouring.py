@@ -30,6 +30,7 @@ from repro.grid.identifiers import IdentifierAssignment
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
+from repro.local_model.store import require_numpy, resolve_engine
 from repro.colouring.jk_independent import JKIndependentSet, compute_jk_independent_set
 from repro.symmetry.linial import linial_colour_reduction
 from repro.symmetry.reduction import reduce_colours_to
@@ -104,47 +105,120 @@ def _mark_edges(
     return marked, schedule_rounds
 
 
+def _colour_row_edges(
+    labels: Dict[EdgeKey, int],
+    row_edges: List[EdgeKey],
+    marked: Set[EdgeKey],
+    axis: int,
+    base: int,
+    special: int,
+) -> None:
+    """Colour one cyclic row: marked edges special, runs alternate between."""
+    length = len(row_edges)
+    marked_positions = [
+        index for index, edge in enumerate(row_edges) if edge in marked
+    ]
+    if not marked_positions:
+        raise SimulationError(
+            f"row through {row_edges[0][0]} along axis {axis} has no marked edge; "
+            "the j,k-independent set failed to cover it"
+        )
+    for position in marked_positions:
+        labels[row_edges[position]] = special
+    # Colour each maximal run of unmarked edges alternately, starting
+    # right after a marked edge.
+    for start_index, start in enumerate(marked_positions):
+        end = marked_positions[(start_index + 1) % len(marked_positions)]
+        gap = (end - start) % length
+        if gap == 0:
+            # A single marked edge in the row: the segment is the
+            # whole remaining cycle.
+            gap = length
+        for step in range(1, gap):
+            position = (start + step) % length
+            labels[row_edges[position]] = base + (step - 1) % 2
+
+
 def _colour_segments(
     grid: ToroidalGrid,
     marked: Set[EdgeKey],
     number_of_colours: int,
+    engine: str = "auto",
 ) -> Dict[EdgeKey, int]:
     """Stage 3: marked edges take the last colour, rows alternate in between.
 
-    Rows come from the grid indexer's precomputed row tables, so retries
-    with larger parameters do not re-enumerate the coordinate tuples.
+    ``engine`` selects the execution path (all byte-identical, pinned by
+    the randomized equivalence suite): ``"dict"`` walks ``grid.rows``
+    directly (the seed reference), ``"indexed"`` reuses the grid indexer's
+    precomputed row tables so retries with larger parameters do not
+    re-enumerate coordinate tuples, and ``"array"`` computes every edge's
+    cyclic distance to its previous marked edge with one vectorised
+    ``searchsorted`` per row.
     """
+    engine = resolve_engine(engine)
     labels: Dict[EdgeKey, int] = {}
     special = number_of_colours - 1
+    if engine == "dict":
+        for axis in range(grid.dimension):
+            base = 2 * axis
+            for row in grid.rows(axis):
+                row_edges = [(node, axis) for node in row]
+                _colour_row_edges(labels, row_edges, marked, axis, base, special)
+        return labels
     indexer = GridIndexer.for_grid(grid)
+    if engine == "array":
+        return _colour_segments_array(grid, indexer, marked, special)
     nodes = indexer.nodes
     for axis in range(grid.dimension):
         base = 2 * axis
         for row_indices in indexer.rows(axis):
-            length = len(row_indices)
             row_edges = [(nodes[position], axis) for position in row_indices]
-            marked_positions = [
-                index for index, edge in enumerate(row_edges) if edge in marked
-            ]
-            if not marked_positions:
+            _colour_row_edges(labels, row_edges, marked, axis, base, special)
+    return labels
+
+
+def _colour_segments_array(
+    grid: ToroidalGrid,
+    indexer: GridIndexer,
+    marked: Set[EdgeKey],
+    special: int,
+) -> Dict[EdgeKey, int]:
+    """Array tier of :func:`_colour_segments`.
+
+    For every position of a row, the colour is a pure function of the
+    cyclic distance ``step`` to the previous marked position: ``special``
+    at distance 0, else ``base + (step - 1) % 2`` — computed for a whole
+    row at once via ``searchsorted`` over the marked positions.
+    """
+    np = require_numpy()
+    labels: Dict[EdgeKey, int] = {}
+    nodes = indexer.nodes
+    marked_flags = np.zeros(indexer.node_count, dtype=bool)
+    axis_of_marked: Dict[int, Set[int]] = {}
+    for node, axis in marked:
+        axis_of_marked.setdefault(axis, set()).add(indexer.index_of(node))
+    for axis in range(grid.dimension):
+        base = 2 * axis
+        marked_flags[:] = False
+        for position in axis_of_marked.get(axis, ()):
+            marked_flags[position] = True
+        for row_indices in indexer.rows(axis):
+            row = np.asarray(row_indices, dtype=np.int64)
+            length = len(row)
+            marked_positions = np.nonzero(marked_flags[row])[0]
+            if len(marked_positions) == 0:
                 raise SimulationError(
-                    f"row through {row_edges[0][0]} along axis {axis} has no marked edge; "
-                    "the j,k-independent set failed to cover it"
+                    f"row through {nodes[row_indices[0]]} along axis {axis} has "
+                    "no marked edge; the j,k-independent set failed to cover it"
                 )
-            for position in marked_positions:
-                labels[row_edges[position]] = special
-            # Colour each maximal run of unmarked edges alternately, starting
-            # right after a marked edge.
-            for start_index, start in enumerate(marked_positions):
-                end = marked_positions[(start_index + 1) % len(marked_positions)]
-                gap = (end - start) % length
-                if gap == 0:
-                    # A single marked edge in the row: the segment is the
-                    # whole remaining cycle.
-                    gap = length
-                for step in range(1, gap):
-                    position = (start + step) % length
-                    labels[row_edges[position]] = base + (step - 1) % 2
+            positions = np.arange(length)
+            previous = marked_positions[
+                np.searchsorted(marked_positions, positions, side="right") - 1
+            ]
+            steps = (positions - previous) % length
+            colours = np.where(steps == 0, special, base + (steps - 1) % 2)
+            for position, colour in zip(row_indices, colours):
+                labels[(nodes[position], axis)] = int(colour)
     return labels
 
 
@@ -154,6 +228,7 @@ def edge_colouring(
     separation: int = 3,
     spacing: Optional[int] = None,
     max_retries: int = 2,
+    engine: str = "auto",
 ) -> AlgorithmResult:
     """Colour the edges of the grid with ``2d + 1`` colours.
 
@@ -163,6 +238,11 @@ def edge_colouring(
     overrides the per-row ruling-set distance.  The stages are retried with
     doubled parameters up to ``max_retries`` times; the result is verified
     before being returned.
+
+    ``engine`` selects the execution path of the j,k-independent-set and
+    segment-colouring stages (``"dict"`` reference, ``"indexed"``,
+    ``"array"`` for the vectorised segment colouring); all engines are
+    byte-identical, pinned by the randomized equivalence suite.
     """
     number_of_colours = 2 * grid.dimension + 1
     attempt = 0
@@ -172,7 +252,12 @@ def edge_colouring(
     while attempt <= max_retries:
         try:
             return _edge_colouring_once(
-                grid, identifiers, current_separation, current_spacing, number_of_colours
+                grid,
+                identifiers,
+                current_separation,
+                current_spacing,
+                number_of_colours,
+                engine=engine,
             )
         except SimulationError as error:
             last_error = error
@@ -188,7 +273,9 @@ def _edge_colouring_once(
     separation: int,
     spacing: Optional[int],
     number_of_colours: int,
+    engine: str = "auto",
 ) -> AlgorithmResult:
+    engine = resolve_engine(engine)
     if spacing is None:
         spacing = (2 * separation + 1) ** 2
     if min(grid.sides) <= spacing:
@@ -198,6 +285,9 @@ def _edge_colouring_once(
         )
     independent_sets: List[JKIndependentSet] = []
     jk_rounds = 0
+    # The j,k stage has dict and indexed paths; the array tier rides on the
+    # indexed tables there (its win is the segment-colouring stage below).
+    jk_engine = "dict" if engine == "dict" else "indexed"
     for axis in range(grid.dimension):
         independent_set = compute_jk_independent_set(
             grid,
@@ -206,12 +296,13 @@ def _edge_colouring_once(
             k=separation,
             spacing=spacing,
             movement_cap=min(3 * spacing, min(grid.sides) - 1),
+            engine=jk_engine,
         )
         independent_sets.append(independent_set)
         jk_rounds = max(jk_rounds, independent_set.rounds)
 
     marked, marking_rounds = _mark_edges(grid, identifiers, independent_sets, separation)
-    labels = _colour_segments(grid, marked, number_of_colours)
+    labels = _colour_segments(grid, marked, number_of_colours, engine=engine)
     verification = verify_proper_edge_colouring(grid, labels, number_of_colours)
     if not verification.valid:
         raise SimulationError(
@@ -240,6 +331,7 @@ class EdgeColouringAlgorithm(GridAlgorithm):
     separation: int = 3
     spacing: Optional[int] = None
     name: str = "edge-(2d+1)-colouring"
+    engine: str = "auto"
 
     def run(
         self,
@@ -248,5 +340,9 @@ class EdgeColouringAlgorithm(GridAlgorithm):
         inputs: Optional[Mapping[Node, object]] = None,
     ) -> AlgorithmResult:
         return edge_colouring(
-            grid, identifiers, separation=self.separation, spacing=self.spacing
+            grid,
+            identifiers,
+            separation=self.separation,
+            spacing=self.spacing,
+            engine=self.engine,
         )

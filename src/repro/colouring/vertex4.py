@@ -36,6 +36,7 @@ from repro.grid.identifiers import IdentifierAssignment
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
+from repro.local_model.store import require_numpy, resolve_engine
 from repro.symmetry.conflict_colouring import (
     ConflictColouringInstance,
     solve_conflict_colouring,
@@ -153,41 +154,65 @@ def _assign_radii_csp(adjacency, available, forbidden) -> Dict[Node, int]:
     return dict(result.assignment)
 
 
+def _shell_contributions(
+    grid: ToroidalGrid, radius: int
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
+    """Shell offsets of an L∞ ball and their per-axis border contributions.
+
+    For a shell offset ``o``, the node ``anchor + o`` lies on the axis-``a``
+    border of the ball exactly when its toroidal distance to the anchor
+    along ``a`` is the radius; ``|o_a| <= radius < side_a``, so that
+    distance is ``min(|o_a|, side_a - |o_a|)``.
+    """
+    offsets = tuple(
+        offset
+        for offset in ball_offsets(grid.dimension, radius, "linf")
+        if max(abs(component) for component in offset) == radius
+    )
+    contributions = tuple(
+        sum(
+            1
+            for axis in range(grid.dimension)
+            if min(abs(offset[axis]), grid.sides[axis] - abs(offset[axis])) == radius
+        )
+        for offset in offsets
+    )
+    return offsets, contributions
+
+
 def _border_counts(
-    grid: ToroidalGrid, radii: Mapping[Node, int]
+    grid: ToroidalGrid, radii: Mapping[Node, int], engine: str = "auto"
 ) -> Dict[Node, int]:
     """Step 3: count, for every node, the dimension borders it lies on.
 
-    Runs on the indexed fast path: for each radius in use, the shell
-    offsets, their per-axis border contributions and the shell's
-    target-index table are computed once and reused across all anchors of
-    that radius, instead of re-shifting coordinate tuples per anchor.
+    ``engine`` selects the execution path (``"dict"`` reference shifting
+    coordinate tuples per anchor, ``"indexed"`` reusing the shell's
+    target-index table across all anchors of a radius, ``"array"``
+    scatter-adding every anchor's shell in one numpy ``np.add.at`` per
+    radius group); all three are byte-identical, pinned by the randomized
+    equivalence suite.
     """
+    engine = resolve_engine(engine)
+    if engine == "dict":
+        counts_by_node: Dict[Node, int] = {node: 0 for node in grid.nodes()}
+        shell_cache: Dict[int, Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = {}
+        for anchor, radius in radii.items():
+            if radius not in shell_cache:
+                shell_cache[radius] = _shell_contributions(grid, radius)
+            offsets, contributions = shell_cache[radius]
+            for offset, contribution in zip(offsets, contributions):
+                if contribution:
+                    counts_by_node[grid.shift(anchor, offset)] += contribution
+        return counts_by_node
     indexer = GridIndexer.for_grid(grid)
+    if engine == "array":
+        return _border_counts_array(grid, indexer, radii)
     counts = [0] * indexer.node_count
     shells: Dict[int, Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = {}
     for anchor, radius in radii.items():
         shell = shells.get(radius)
         if shell is None:
-            offsets = tuple(
-                offset
-                for offset in ball_offsets(grid.dimension, radius, "linf")
-                if max(abs(component) for component in offset) == radius
-            )
-            # For a shell offset o, the node anchor + o lies on the axis-a
-            # border of the ball exactly when its toroidal distance to the
-            # anchor along a is the radius; |o_a| <= radius < side_a, so that
-            # distance is min(|o_a|, side_a - |o_a|).
-            contributions = tuple(
-                sum(
-                    1
-                    for axis in range(grid.dimension)
-                    if min(
-                        abs(offset[axis]), grid.sides[axis] - abs(offset[axis])
-                    ) == radius
-                )
-                for offset in offsets
-            )
+            offsets, contributions = _shell_contributions(grid, radius)
             shell = (indexer.offset_table(offsets), contributions)
             shells[radius] = shell
         table, contributions = shell
@@ -196,6 +221,38 @@ def _border_counts(
             if contribution:
                 counts[target] += contribution
     return indexer.to_mapping(counts)
+
+
+def _border_counts_array(
+    grid: ToroidalGrid, indexer: GridIndexer, radii: Mapping[Node, int]
+) -> Dict[Node, int]:
+    """Array tier of :func:`_border_counts`: one scatter-add per radius group.
+
+    ``np.add.at`` accumulates unbuffered, so shell offsets that wrap onto
+    the same node on a small torus contribute every occurrence — exactly
+    like the per-anchor loops of the other tiers.
+    """
+    np = require_numpy()
+    counts = np.zeros(indexer.node_count, dtype=np.int64)
+    by_radius: Dict[int, List[int]] = {}
+    for anchor, radius in radii.items():
+        by_radius.setdefault(radius, []).append(indexer.index_of(anchor))
+    for radius, anchor_positions in by_radius.items():
+        offsets, contributions = _shell_contributions(grid, radius)
+        keep = tuple(
+            position
+            for position, contribution in enumerate(contributions)
+            if contribution
+        )
+        if not keep:
+            continue
+        gather = indexer.offset_index_array(offsets)[
+            np.asarray(anchor_positions, dtype=np.int64)[:, None],
+            np.asarray(keep, dtype=np.int64)[None, :],
+        ]
+        weights = np.asarray([contributions[position] for position in keep], dtype=np.int64)
+        np.add.at(counts, gather.ravel(), np.tile(weights, len(anchor_positions)))
+    return indexer.to_mapping([int(count) for count in counts])
 
 
 def _two_colour_components(
@@ -274,12 +331,15 @@ def four_colouring(
     ell: int = 4,
     max_ell: int = 8,
     radius_factor: int = 3,
+    engine: str = "auto",
 ) -> AlgorithmResult:
     """4-colour the grid using the Theorem 4 construction.
 
     Retries with ``ℓ + 2`` whenever a phase fails, up to ``max_ell``.  The
     returned colouring is always verified; an invalid colouring is treated
-    as a phase failure.
+    as a phase failure.  ``engine`` selects the execution path of the
+    border-count phase (see :func:`_border_counts`); all engines are
+    byte-identical.
     """
     if ell % 2 != 0:
         raise ValueError("ℓ must be even")
@@ -292,7 +352,9 @@ def four_colouring(
                 "use a larger grid or the synthesised 4-colouring algorithm"
             )
         try:
-            return _four_colouring_once(grid, identifiers, attempt, radius_factor)
+            return _four_colouring_once(
+                grid, identifiers, attempt, radius_factor, engine=engine
+            )
         except SimulationError as error:
             last_error = error
             attempt += 2
@@ -302,11 +364,15 @@ def four_colouring(
 
 
 def _four_colouring_once(
-    grid: ToroidalGrid, identifiers: IdentifierAssignment, ell: int, radius_factor: int = 3
+    grid: ToroidalGrid,
+    identifiers: IdentifierAssignment,
+    ell: int,
+    radius_factor: int = 3,
+    engine: str = "auto",
 ) -> AlgorithmResult:
     anchors = compute_anchors(grid, identifiers, ell, norm="linf")
     radii = _assign_radii(grid, anchors.members, identifiers, ell, radius_factor)
-    counts = _border_counts(grid, radii.radii)
+    counts = _border_counts(grid, radii.radii, engine=engine)
     colours = _two_colour_components(
         grid, identifiers, counts, diameter_bound=2 * radius_factor * ell
     )
@@ -348,6 +414,7 @@ class FourColouringAlgorithm(GridAlgorithm):
     max_ell: int = 12
     radius_factor: int = 3
     name: str = "four-colouring-theorem4"
+    engine: str = "auto"
 
     def run(
         self,
@@ -361,4 +428,5 @@ class FourColouringAlgorithm(GridAlgorithm):
             ell=self.ell,
             max_ell=self.max_ell,
             radius_factor=self.radius_factor,
+            engine=self.engine,
         )

@@ -20,10 +20,17 @@ the equivalence tests assert byte-identical labellings on small grids.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from functools import lru_cache
 from operator import itemgetter
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
+try:  # numpy backs the "array" engine tier; the other tiers never need it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+from repro.errors import SimulationError
 from repro.grid.geometry import ball_offsets, l1_norm, linf_norm, offsets_within
 from repro.grid.torus import Node, ToroidalGrid
 from repro.utils.math import toroidal_difference
@@ -51,6 +58,7 @@ class GridIndexer:
         self._row_node_tables: Dict[int, Tuple[Tuple[Node, ...], ...]] = {}
         self._shell_tables: Dict[Tuple[int, str], Tuple[Shell, ...]] = {}
         self._node_tables: Dict[Tuple[int, str], Tuple[Tuple[int, ...], ...]] = {}
+        self._array_tables: Dict[Tuple[Offset, ...], Any] = {}
 
     # A small per-process cache: grids hash by their side lengths, and the
     # benchmark sweeps reuse a handful of grids across many phases.
@@ -160,14 +168,42 @@ class GridIndexer:
             table = self.offset_table(offsets)
             if len(offsets) == 1:
                 # itemgetter with one key returns a bare value, not a
-                # 1-tuple; normalise so callers can always zip.
-                getters = tuple(
-                    (lambda values, j=row[0]: (values[j],)) for row in table
-                )
+                # 1-tuple; share one gather over the index column instead of
+                # caching a closure per node.
+                getters = _ColumnGetters(table)
             else:
                 getters = tuple(itemgetter(*row) for row in table)
             self._getter_tables[offsets] = getters
         return offsets, getters
+
+    def offset_index_array(self, offsets: Tuple[Offset, ...]):
+        """The target-index table of an offset tuple as an ``int32`` array.
+
+        ``array[i, j]`` is the flat index of the node reached from node ``i``
+        by ``offsets[j]`` — the :meth:`offset_table` rows materialised as a
+        ``(node_count, len(offsets))`` numpy gather matrix, cached alongside
+        the tuple tables.  Requires numpy (the "array" engine tier).
+        """
+        if _np is None:  # pragma: no cover - exercised only on numpy-less installs
+            raise SimulationError(
+                "offset_index_array requires numpy, which is not installed"
+            )
+        array = self._array_tables.get(offsets)
+        if array is None:
+            array = _np.asarray(self.offset_table(offsets), dtype=_np.int32)
+            array.setflags(write=False)
+            self._array_tables[offsets] = array
+        return array
+
+    def ball_index_array(self, radius: int, norm: str = "l1"):
+        """Return ``(offsets, array)`` for the radius-``radius`` ball.
+
+        The array is the :meth:`ball_table` index table as a cached
+        ``(node_count, ball_size)`` ``int32`` gather matrix — one fancy
+        index ``values[array]`` gathers every node's ball in one shot.
+        """
+        offsets = ball_offsets(self._grid.dimension, radius, norm)
+        return offsets, self.offset_index_array(offsets)
 
     def ball_node_table(
         self, radius: int, norm: str = "l1"
@@ -370,6 +406,30 @@ def cyclic_power_pattern(length: int, spacing: int) -> Tuple[Tuple[int, ...], ..
                     neighbours.append(candidate)
         pattern.append(tuple(neighbours))
     return tuple(pattern)
+
+
+class _ColumnGetters(SequenceABC):
+    """Per-node single-offset getters sharing one index column.
+
+    The previous implementation cached one closure per node; this sequence
+    stores only a reference to the (already cached) index table and builds
+    the tiny per-node callables lazily, so nothing per-node survives in the
+    indexer's caches on large grids.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: IndexTable):
+        self._table = table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return tuple(self[i] for i in range(*position.indices(len(self._table))))
+        j = self._table[position][0]
+        return lambda values: (values[j],)
 
 
 def _dedup(indices: Tuple[int, ...]) -> Tuple[int, ...]:

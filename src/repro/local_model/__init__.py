@@ -27,8 +27,18 @@ from repro.local_model.simulator import (
     apply_rule,
     iterate_rule,
 )
-from repro.local_model.engine import IndexedEngine, SchedulePhase, run_schedule
-from repro.local_model.store import LabelStore
+from repro.local_model.engine import (
+    ArrayEngine,
+    IndexedEngine,
+    SchedulePhase,
+    run_schedule,
+)
+from repro.local_model.store import (
+    ArrayLabelStore,
+    LabelCodec,
+    LabelStore,
+    resolve_engine,
+)
 from repro.local_model.views import NeighbourhoodView, collect_view
 from repro.local_model.messaging import MessagePassingNetwork, NodeProgram
 from repro.local_model.order_invariant import (
@@ -38,10 +48,14 @@ from repro.local_model.order_invariant import (
 
 __all__ = [
     "AlgorithmResult",
+    "ArrayEngine",
+    "ArrayLabelStore",
     "FunctionRule",
     "GridAlgorithm",
     "IndexedEngine",
+    "LabelCodec",
     "LabelStore",
+    "resolve_engine",
     "LocalRule",
     "MessagePassingNetwork",
     "NeighbourhoodView",

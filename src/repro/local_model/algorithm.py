@@ -41,6 +41,15 @@ class LocalRule(abc.ABC):
     #: "linf" views are charged ``radius * dimension`` rounds).
     norm: str = "l1"
 
+    #: Optional vectorised form consumed by the ``"array"`` engine tier
+    #: when the rule's alphabet is too large for lookup-table compilation.
+    #: When not ``None``, it must be a callable receiving the decoded
+    #: ``(node_count, ball_size)`` value matrix (one row per node, columns
+    #: in ball-offset order — offset zero included at its ball position)
+    #: and returning a length-``node_count`` sequence/array of next labels,
+    #: equal to applying :meth:`update` row by row.
+    update_batch: Optional[Callable[[Any], Any]] = None
+
     @abc.abstractmethod
     def update(self, view: LabelView) -> Any:
         """Compute the node's next label from its current local view."""
@@ -60,10 +69,18 @@ class FunctionRule(LocalRule):
         rule = FunctionRule(1, lambda view: min(view.values()))
     """
 
-    def __init__(self, radius: int, function: Callable[[LabelView], Any], norm: str = "l1"):
+    def __init__(
+        self,
+        radius: int,
+        function: Callable[[LabelView], Any],
+        norm: str = "l1",
+        batch: Optional[Callable[[Any], Any]] = None,
+    ):
         self.radius = radius
         self.norm = norm
         self._function = function
+        if batch is not None:
+            self.update_batch = batch
 
     def update(self, view: LabelView) -> Any:
         return self._function(view)

@@ -1,42 +1,69 @@
-"""Indexed fast-path simulation engine.
+"""Fast-path simulation engines: the ``indexed`` and ``array`` tiers.
 
-This module is the hot-path counterpart of
-:mod:`repro.local_model.simulator`: the same synchronous LOCAL-model
-semantics (and the same :class:`RoundLedger` accounting), executed over
-precomputed :class:`repro.grid.indexer.GridIndexer` tables instead of
-per-node ``grid.shift`` calls.  One rule application becomes a flat scan
+The repository executes LOCAL-model rules through three engine tiers with
+identical semantics (asserted byte-identical by the randomized equivalence
+suite):
 
-    ``new[i] = rule.update({offsets[j]: values[table[i][j]] ...})``
+* ``"dict"`` — the seed reference in :mod:`repro.local_model.simulator`:
+  per-node ``grid.shift`` calls and coordinate-keyed dicts.  Obviously
+  correct, used as the equivalence oracle.
+* ``"indexed"`` — :class:`IndexedEngine`: precomputed
+  :class:`repro.grid.indexer.GridIndexer` tables turn one application into
+  a flat scan ``new[i] = rule.update({offsets[j]: values[table[i][j]]})``.
+  No coordinate arithmetic or tuple hashing remains, but each node still
+  pays one Python call plus one dict construction per round.
+* ``"array"`` — :class:`ArrayEngine`: numpy code vectors
+  (:class:`repro.local_model.store.ArrayLabelStore`) remove that per-node
+  Python-call floor.  The paper's LCL problems have *finite* alphabets and
+  constant-radius balls, so one round is mathematically a fixed gather
+  followed by a finite function; the engine exploits exactly that:
 
-which removes all coordinate arithmetic and tuple hashing from the inner
-loop.  Labellings live in :class:`repro.local_model.store.LabelStore`
-objects, so user-supplied rules, per-node functions and stopping predicates
-still see an ordinary node-keyed mapping.
+  1. when the encoded neighbourhood space ``|Σ|^ball_size`` fits below
+     :data:`DEFAULT_TABLE_THRESHOLD`, the rule is *compiled* into a flat
+     lookup table and a round becomes ``table[keys(codes[gather])]`` —
+     one fancy index, zero Python calls per node;
+  2. otherwise, a rule declaring an ``update_batch(neighbourhoods)`` hook
+     (see :class:`repro.local_model.algorithm.LocalRule`) is applied
+     vectorised over the ``(n, ball_size)`` decoded value matrix;
+  3. everything else transparently falls back to the indexed list path
+     (still byte-identical, merely not vectorised).
 
-:func:`run_schedule` executes a whole multi-phase algorithm — a sequence of
-:class:`SchedulePhase` steps — over one shared indexer without
+Labellings live in ``Mapping``-compatible stores in every tier, so
+user-supplied rules, per-node functions and stopping predicates are engine
+agnostic.  :func:`run_schedule` executes a whole multi-phase algorithm —
+a sequence of :class:`SchedulePhase` steps — on either fast tier without
 re-materialising dicts between phases.
-
-Equivalence with the dict path is asserted by the tier-1 tests: on small
-grids every function here produces byte-identical labellings to its seed
-counterpart.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import LocalRule
 from repro.local_model.simulator import RoundLedger
-from repro.local_model.store import LabelStore
+from repro.local_model.store import (
+    ArrayLabelStore,
+    LabelCodec,
+    LabelStore,
+    require_numpy,
+    resolve_engine,
+)
 from repro.local_model.views import NeighbourhoodView
 
 Labels = Mapping[Node, Any]
 GridLike = Union[ToroidalGrid, GridIndexer]
+
+#: Largest encoded neighbourhood space ``|Σ|^ball_size`` for which the
+#: array engine precompiles a rule into a flat lookup table.  Compilation
+#: costs one ``rule.update`` call per table entry (amortised over every
+#: node and round that reuses the table); above the threshold the engine
+#: uses the ``update_batch`` hook or falls back to the list path.
+DEFAULT_TABLE_THRESHOLD = 1 << 16
 
 
 class IndexedEngine:
@@ -60,7 +87,10 @@ class IndexedEngine:
         return LabelStore.from_mapping(self.indexer, labels)
 
     def _values(self, labels: Labels) -> List[Any]:
-        if isinstance(labels, LabelStore) and labels.indexer is self.indexer:
+        if (
+            isinstance(labels, (LabelStore, ArrayLabelStore))
+            and labels.indexer is self.indexer
+        ):
             return labels.values_list
         return self.indexer.to_values(labels)
 
@@ -83,8 +113,14 @@ class IndexedEngine:
         return LabelStore(self.indexer, new_values)
 
     def _apply_values(self, values: List[Any], rule: LocalRule) -> List[Any]:
-        offsets, getters = self.indexer.ball_getters(rule.radius, rule.norm)
         update = rule.update
+        offsets, table = self.indexer.ball_table(rule.radius, rule.norm)
+        if len(offsets) == 1:
+            # Radius-0 ball: gather straight from the shared index column
+            # instead of allocating one getter per node.
+            offset = offsets[0]
+            return [update({offset: values[row[0]]}) for row in table]
+        _, getters = self.indexer.ball_getters(rule.radius, rule.norm)
         return [
             update(dict(zip(offsets, gather(values)))) for gather in getters
         ]
@@ -197,6 +233,219 @@ class IndexedEngine:
         )
 
 
+class _CompiledRule:
+    """One rule compiled against a snapshot of the codec's alphabet.
+
+    ``table[key]`` holds the output *code* of the neighbourhood whose
+    mixed-radix key is ``key`` (codes in ball-offset order, first offset
+    most significant).  Entries whose ``rule.update`` raised during
+    compilation hold the sentinel ``-1``; hitting one at application time
+    re-runs the round on the list path so the exception surfaces exactly
+    as the other engines raise it.
+    """
+
+    __slots__ = ("alphabet_size", "table", "weights", "has_sentinel", "rule")
+
+    def __init__(self, alphabet_size, table, weights, has_sentinel, rule):
+        self.alphabet_size = alphabet_size
+        self.table = table
+        self.weights = weights
+        self.has_sentinel = has_sentinel
+        self.rule = rule  # strong reference keeps id(rule) cache keys unique
+
+
+class ArrayEngine(IndexedEngine):
+    """The numpy-backed third engine tier (see the module docstring).
+
+    The engine owns a :class:`LabelCodec`; every labelling it adopts is
+    interned through it, so codes are consistent across rounds and phases
+    and compiled rule tables can be reused for as long as the alphabet does
+    not grow.  Labels must be hashable (they index the codec) — which every
+    finite-alphabet LCL labelling in this repository satisfies.
+    """
+
+    def __init__(
+        self,
+        grid_or_indexer: GridLike,
+        codec: Optional[LabelCodec] = None,
+        table_threshold: int = DEFAULT_TABLE_THRESHOLD,
+    ):
+        super().__init__(grid_or_indexer)
+        require_numpy()
+        self.codec = codec if codec is not None else LabelCodec()
+        self.table_threshold = table_threshold
+        self._compiled: Dict[Tuple[int, int, int, str], _CompiledRule] = {}
+
+    # ------------------------------------------------------------------ #
+    # Label intake
+    # ------------------------------------------------------------------ #
+
+    def store(self, labels: Labels) -> ArrayLabelStore:
+        """Adopt ``labels`` as an :class:`ArrayLabelStore` (copying if needed)."""
+        if (
+            isinstance(labels, ArrayLabelStore)
+            and labels.indexer is self.indexer
+            and labels.codec is self.codec
+        ):
+            return labels
+        return ArrayLabelStore(
+            self.indexer, self.codec, self.codec.encode_values(self._values(labels))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rule execution
+    # ------------------------------------------------------------------ #
+
+    def apply_rule(
+        self,
+        labels: Labels,
+        rule: LocalRule,
+        ledger: Optional[RoundLedger] = None,
+        phase: str = "rule",
+    ) -> ArrayLabelStore:
+        """Array counterpart of :meth:`IndexedEngine.apply_rule`."""
+        current = self.store(labels)
+        new_codes = self._apply_codes(current.codes, rule)
+        if ledger is not None:
+            ledger.charge(phase, rule.round_cost(self.grid.dimension))
+        return ArrayLabelStore(self.indexer, self.codec, new_codes)
+
+    def iterate_rule(
+        self,
+        labels: Labels,
+        rule: LocalRule,
+        should_stop: Callable[[Labels], bool],
+        max_iterations: int,
+        ledger: Optional[RoundLedger] = None,
+        phase: str = "iterate",
+    ) -> ArrayLabelStore:
+        """Array counterpart of :meth:`IndexedEngine.iterate_rule`.
+
+        The labelling stays in one code vector across iterations;
+        ``should_stop`` receives an :class:`ArrayLabelStore` — a full
+        ``Mapping`` — so seed-path predicates work unchanged.
+        """
+        current = self.store(labels)
+        if should_stop(current):
+            return current
+        codes = current.codes
+        for _ in range(max_iterations):
+            codes = self._apply_codes(codes, rule)
+            if ledger is not None:
+                ledger.charge(phase, rule.round_cost(self.grid.dimension))
+            current = ArrayLabelStore(self.indexer, self.codec, codes)
+            if should_stop(current):
+                return current
+        raise SimulationError(
+            f"rule did not reach its stopping condition within {max_iterations} iterations"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Tier selection and compilation
+    # ------------------------------------------------------------------ #
+
+    def rule_tier(self, rule: LocalRule) -> str:
+        """Which execution tier ``rule`` currently gets: ``"table"``,
+        ``"batch"`` or ``"list"`` (depends on the codec's alphabet size)."""
+        offsets, _ = self.indexer.ball_table(rule.radius, rule.norm)
+        if self._table_fits(self.codec.size, len(offsets)):
+            return "table"
+        if getattr(rule, "update_batch", None) is not None:
+            return "batch"
+        return "list"
+
+    def _table_fits(self, alphabet_size: int, ball_size: int) -> bool:
+        if alphabet_size <= 0:
+            return True
+        return alphabet_size**ball_size <= self.table_threshold
+
+    def _apply_codes(self, codes, rule: LocalRule):
+        offsets, gather = self.indexer.ball_index_array(rule.radius, rule.norm)
+        alphabet_size = self.codec.size
+        if self._table_fits(alphabet_size, len(offsets)):
+            return self._apply_table(codes, rule, offsets, gather, alphabet_size)
+        if getattr(rule, "update_batch", None) is not None:
+            return self._apply_batch(codes, rule, gather)
+        return self._apply_list(codes, rule)
+
+    def _apply_table(self, codes, rule, offsets, gather, alphabet_size):
+        np = require_numpy()
+        compiled = self._compile(rule, offsets, alphabet_size)
+        keys = codes.astype(np.int64)[gather] @ compiled.weights
+        new_codes = compiled.table[keys]
+        if compiled.has_sentinel and bool((new_codes < 0).any()):
+            # At least one node hit a view whose update raised during
+            # compilation; replay the round per node so the exception (or a
+            # nondeterministic recovery) matches the list path exactly.
+            return self._apply_list(codes, rule)
+        return new_codes
+
+    def _compile(self, rule, offsets, alphabet_size) -> _CompiledRule:
+        np = require_numpy()
+        key = (id(rule), alphabet_size, rule.radius, rule.norm)
+        compiled = self._compiled.get(key)
+        if compiled is not None:
+            return compiled
+        ball = len(offsets)
+        labels = list(self.codec.labels[:alphabet_size])
+        table = np.empty(max(alphabet_size, 1) ** ball, dtype=np.int64)
+        update = rule.update
+        encode = self.codec.encode
+        has_sentinel = False
+        # itertools.product varies the last position fastest, so the key of
+        # a neighbourhood is its code tuple read as a base-|Σ| numeral with
+        # the first offset most significant.
+        for position, combo in enumerate(
+            itertools.product(labels, repeat=ball)
+        ):
+            try:
+                table[position] = encode(update(dict(zip(offsets, combo))))
+            except Exception:  # noqa: BLE001 - replayed on the list path
+                table[position] = -1
+                has_sentinel = True
+        weights = (
+            max(alphabet_size, 1)
+            ** np.arange(ball - 1, -1, -1, dtype=np.int64)
+        )
+        compiled = _CompiledRule(alphabet_size, table, weights, has_sentinel, rule)
+        self._compiled[key] = compiled
+        return compiled
+
+    def _apply_batch(self, codes, rule, gather):
+        np = require_numpy()
+        neighbourhoods = self.codec.label_array()[codes[gather]]
+        result = rule.update_batch(neighbourhoods)
+        return self._encode_result(result)
+
+    def _encode_result(self, result):
+        """Encode a batch result (array or sequence of labels) into codes.
+
+        Tries a vectorised exact match against the interned alphabet first;
+        any label outside the alphabet (or a non-sortable alphabet) falls
+        back to per-item interning, which also grows the codec.
+        """
+        np = require_numpy()
+        label_array = self.codec.label_array()
+        try:
+            values = np.asarray(result)
+            if values.shape != (self.indexer.node_count,):
+                raise ValueError
+            order = np.argsort(label_array, kind="stable")
+            sorted_labels = label_array[order]
+            positions = np.searchsorted(sorted_labels, values)
+            positions = np.clip(positions, 0, len(sorted_labels) - 1)
+            if bool((sorted_labels[positions] == values).all()):
+                return order[positions].astype(np.int32)
+        except (TypeError, ValueError):
+            pass
+        return self.codec.encode_values(list(result))
+
+    def _apply_list(self, codes, rule):
+        values = self.codec.decode_values(codes)
+        new_values = IndexedEngine._apply_values(self, values, rule)
+        return self.codec.encode_values(new_values)
+
+
 @dataclass
 class SchedulePhase:
     """One step of a batched multi-phase execution.
@@ -230,15 +479,22 @@ def run_schedule(
     labels: Labels,
     schedule: Sequence[SchedulePhase],
     ledger: Optional[RoundLedger] = None,
-) -> LabelStore:
-    """Execute a multi-phase algorithm on the indexed fast path.
+    engine: str = "indexed",
+) -> Union[LabelStore, ArrayLabelStore]:
+    """Execute a multi-phase algorithm on a fast-path engine tier.
 
-    The labelling stays in one flat value list for the whole schedule; no
-    per-phase dict is materialised.  Returns the final :class:`LabelStore`
-    (use :meth:`LabelStore.to_dict` for a plain dict).
+    The labelling stays in one flat value list (``engine="indexed"``) or
+    one numpy code vector (``engine="array"``; ``"auto"`` picks the array
+    tier when numpy is available) for the whole schedule; no per-phase dict
+    is materialised.  Returns the final store (use ``.to_dict()`` for a
+    plain dict).
     """
-    engine = IndexedEngine(grid_or_indexer)
-    current = engine.store(labels)
+    tier = resolve_engine(engine, allowed=("indexed", "array"))
+    if tier == "array":
+        executor: IndexedEngine = ArrayEngine(grid_or_indexer)
+    else:
+        executor = IndexedEngine(grid_or_indexer)
+    current = executor.store(labels)
     for step in schedule:
         if step.until is not None:
             if step.max_iterations <= 0:
@@ -246,7 +502,7 @@ def run_schedule(
                     f"phase {step.name!r} has an `until` predicate but no "
                     "positive max_iterations budget"
                 )
-            current = engine.iterate_rule(
+            current = executor.iterate_rule(
                 current,
                 step.rule,
                 should_stop=step.until,
@@ -260,7 +516,7 @@ def run_schedule(
                     f"phase {step.name!r} has a negative iteration count"
                 )
             for _ in range(step.iterations):
-                current = engine.apply_rule(
+                current = executor.apply_rule(
                     current, step.rule, ledger=ledger, phase=step.name
                 )
     return current

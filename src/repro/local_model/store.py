@@ -1,20 +1,62 @@
-"""List-backed node labellings with a dict-compatible interface.
+"""List- and array-backed node labellings with a dict-compatible interface.
 
 The dict-based simulator represents a labelling as ``Dict[Node, Any]`` and
-pays a tuple hash per read.  A :class:`LabelStore` keeps the values in a
-flat list ordered by a :class:`repro.grid.indexer.GridIndexer` and exposes
-the full ``Mapping`` protocol, so existing :class:`LocalRule` code,
-stopping predicates and verifiers keep working unchanged while the fast
-path operates on the list directly.
+pays a tuple hash per read.  This module provides the storage layers of the
+two fast engine tiers:
+
+* :class:`LabelStore` (the ``"indexed"`` tier) keeps the values in a flat
+  list ordered by a :class:`repro.grid.indexer.GridIndexer`;
+* :class:`ArrayLabelStore` (the ``"array"`` tier) keeps them as a numpy
+  ``int32`` code vector, with a :class:`LabelCodec` interning the finite
+  label alphabet into contiguous codes.
+
+Both expose the full ``Mapping`` protocol, so existing :class:`LocalRule`
+code, stopping predicates and verifiers keep working unchanged while the
+fast paths operate on the list / array directly.  The array tier degrades
+gracefully: when numpy is unavailable, :func:`resolve_engine` falls back to
+``"indexed"`` and constructing an :class:`ArrayLabelStore` raises a clear
+:class:`repro.errors.SimulationError`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Mapping, MutableMapping
+from typing import Any, Dict, Iterator, List, Mapping, MutableMapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
+
+try:  # numpy is an optional dependency: only the "array" tier needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+
+def require_numpy():
+    """Return the numpy module, raising a clear error when it is missing."""
+    if _np is None:  # pragma: no cover - exercised only on numpy-less installs
+        raise SimulationError(
+            "the 'array' engine tier requires numpy, which is not installed; "
+            "use engine='indexed' or engine='dict' instead"
+        )
+    return _np
+
+
+def resolve_engine(engine: str, allowed: Tuple[str, ...] = ("dict", "indexed", "array")) -> str:
+    """Resolve an ``engine`` argument, mapping ``"auto"`` to the fastest tier.
+
+    ``"auto"`` becomes ``"array"`` when numpy is importable and ``"indexed"``
+    otherwise; explicit engine names are validated against ``allowed``.
+    """
+    if engine == "auto":
+        return "array" if HAS_NUMPY else "indexed"
+    if engine not in allowed:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'auto' or one of {sorted(allowed)}"
+        )
+    return engine
 
 
 class LabelStore(MutableMapping):
@@ -97,6 +139,200 @@ class LabelStore(MutableMapping):
         return (
             f"LabelStore({self._indexer.grid!r}, "
             f"{self._indexer.node_count} values)"
+        )
+
+
+class LabelCodec:
+    """Interns a finite label alphabet into contiguous ``int32`` codes.
+
+    Codes are assigned in first-seen order and are *append-only*: encoding a
+    new label never changes the code of an already-interned one, so code
+    arrays produced earlier stay valid as the alphabet grows (alphabet
+    growth only invalidates compiled rule tables, which the engine detects
+    by comparing :attr:`size`).  Labels may be any hashable objects;
+    decoding returns the exact interned object.
+    """
+
+    __slots__ = ("_codes", "_labels", "_label_array")
+
+    def __init__(self, alphabet: Sequence[Any] = ()):
+        self._codes: Dict[Any, int] = {}
+        self._labels: List[Any] = []
+        self._label_array = None  # lazily rebuilt numpy view of _labels
+        for label in alphabet:
+            self.encode(label)
+
+    @property
+    def size(self) -> int:
+        """Number of interned labels (codes are ``0 .. size-1``)."""
+        return len(self._labels)
+
+    @property
+    def labels(self) -> Tuple[Any, ...]:
+        """All interned labels in code order."""
+        return tuple(self._labels)
+
+    def encode(self, label: Any) -> int:
+        """Return the code of ``label``, interning it if new."""
+        code = self._codes.get(label)
+        if code is None:
+            code = len(self._labels)
+            self._codes[label] = code
+            self._labels.append(label)
+            self._label_array = None
+        return code
+
+    def decode(self, code: int) -> Any:
+        """Return the label interned with ``code``."""
+        try:
+            return self._labels[code]
+        except IndexError:
+            raise SimulationError(
+                f"code {code} is not interned in this codec (size {self.size})"
+            ) from None
+
+    def __contains__(self, label: object) -> bool:
+        try:
+            return label in self._codes
+        except TypeError:
+            return False
+
+    def encode_values(self, values: Sequence[Any]):
+        """Encode a value sequence into a fresh ``int32`` code array."""
+        np = require_numpy()
+        encode = self.encode
+        return np.fromiter(
+            (encode(value) for value in values), dtype=np.int32, count=len(values)
+        )
+
+    def label_array(self):
+        """The interned labels as a numpy array indexable by code.
+
+        For numeric alphabets this is a numeric array (so vectorised rules
+        can compute on decoded values directly); otherwise it is an object
+        array.  Rebuilt lazily after alphabet growth.
+        """
+        np = require_numpy()
+        if self._label_array is None or len(self._label_array) != len(self._labels):
+            try:
+                array = np.asarray(self._labels)
+                if array.ndim != 1 or len(array) != len(self._labels):
+                    raise ValueError
+            except ValueError:
+                array = np.empty(len(self._labels), dtype=object)
+                for position, label in enumerate(self._labels):
+                    array[position] = label
+            self._label_array = array
+        return self._label_array
+
+    def decode_values(self, codes) -> List[Any]:
+        """Decode an iterable of codes back into the interned label objects."""
+        labels = self._labels
+        return [labels[int(code)] for code in codes]
+
+    def __repr__(self) -> str:
+        return f"LabelCodec({self.size} labels)"
+
+
+class ArrayLabelStore(MutableMapping):
+    """A total labelling stored as a numpy ``int32`` code vector.
+
+    Same ``Mapping`` contract as :class:`LabelStore` — reads and writes
+    accept coordinate-tuple nodes and return ordinary label objects, so
+    verifiers and stopping predicates work unchanged — while the array
+    engine operates on :attr:`codes` with vectorised gathers.  Entries
+    cannot be deleted (the labelling is total); writes of new labels grow
+    the codec.
+    """
+
+    __slots__ = ("_indexer", "_codec", "_codes")
+
+    def __init__(self, indexer: GridIndexer, codec: LabelCodec, codes):
+        np = require_numpy()
+        codes = np.asarray(codes, dtype=np.int32)
+        if codes.shape != (indexer.node_count,):
+            raise SimulationError(
+                f"array label store needs one code per node: got shape "
+                f"{codes.shape} for {indexer.node_count} nodes"
+            )
+        self._indexer = indexer
+        self._codec = codec
+        self._codes = codes
+
+    @classmethod
+    def from_mapping(
+        cls, grid_or_indexer, mapping: Mapping[Node, Any], codec: Optional[LabelCodec] = None
+    ) -> "ArrayLabelStore":
+        """Build a store from any node-keyed mapping (must be total)."""
+        indexer = _as_indexer(grid_or_indexer)
+        codec = codec if codec is not None else LabelCodec()
+        return cls(indexer, codec, codec.encode_values(indexer.to_values(mapping)))
+
+    @classmethod
+    def from_values(
+        cls, grid_or_indexer, values: Sequence[Any], codec: Optional[LabelCodec] = None
+    ) -> "ArrayLabelStore":
+        """Build a store from a flat value list in indexer order."""
+        indexer = _as_indexer(grid_or_indexer)
+        codec = codec if codec is not None else LabelCodec()
+        return cls(indexer, codec, codec.encode_values(list(values)))
+
+    @property
+    def indexer(self) -> GridIndexer:
+        """The indexer defining the node order of the backing array."""
+        return self._indexer
+
+    @property
+    def codec(self) -> LabelCodec:
+        """The codec interning this store's label alphabet."""
+        return self._codec
+
+    @property
+    def codes(self):
+        """The backing ``int32`` code array (shared, not copied)."""
+        return self._codes
+
+    @property
+    def values_list(self) -> List[Any]:
+        """The labelling as a flat value list in indexer order (decoded)."""
+        return self._codec.decode_values(self._codes)
+
+    def to_dict(self) -> Dict[Node, Any]:
+        """Materialise the labelling as a plain ``Dict[Node, Any]``."""
+        return self._indexer.to_mapping(self.values_list)
+
+    # ------------------------------------------------------------------ #
+    # Mapping protocol
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, node: Node) -> Any:
+        return self._codec.decode(self._codes[self._indexer.index_of(node)])
+
+    def __setitem__(self, node: Node, value: Any) -> None:
+        self._codes[self._indexer.index_of(node)] = self._codec.encode(value)
+
+    def __delitem__(self, node: Node) -> None:
+        raise SimulationError(
+            "an ArrayLabelStore is a total labelling; entries cannot be deleted"
+        )
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._indexer.nodes)
+
+    def __len__(self) -> int:
+        return self._indexer.node_count
+
+    def __contains__(self, node: object) -> bool:
+        try:
+            self._indexer.index_of(node)  # type: ignore[arg-type]
+        except (KeyError, TypeError):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayLabelStore({self._indexer.grid!r}, "
+            f"{self._indexer.node_count} codes, alphabet {self._codec.size})"
         )
 
 

@@ -23,14 +23,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.errors import SynthesisError
 from repro.grid.identifiers import IdentifierAssignment
 from repro.grid.indexer import GridIndexer
-from repro.grid.subgrid import Window
+from repro.grid.subgrid import Window, window_around
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
+from repro.local_model.store import require_numpy, resolve_engine
 from repro.symmetry.mis import AnchorSet, compute_anchors
 
 
@@ -106,6 +107,7 @@ class NormalFormAlgorithm(GridAlgorithm):
     k: int
     norm: str = "l1"
     name: str = "normal-form"
+    engine: str = "auto"
 
     def run(
         self,
@@ -116,7 +118,7 @@ class NormalFormAlgorithm(GridAlgorithm):
         if grid.dimension != 2:
             raise SynthesisError("the normal-form runtime currently targets two-dimensional grids")
         anchors = compute_anchors(grid, identifiers, self.k, norm=self.norm)
-        outputs = apply_anchor_rule(grid, anchors, self.rule)
+        outputs = apply_anchor_rule(grid, anchors, self.rule, engine=self.engine)
         rounds = anchors.rounds + self.rule.radius
         return AlgorithmResult(
             node_labels=outputs,
@@ -135,6 +137,7 @@ def apply_anchor_rule(
     grid: ToroidalGrid,
     anchors: AnchorSet,
     rule: AnchorRule,
+    engine: str = "auto",
 ) -> Dict[Node, Any]:
     """Apply the constant-time component ``A'`` given an anchor set.
 
@@ -142,16 +145,38 @@ def apply_anchor_rule(
     bits centred on itself and evaluates the rule; this is the ``O(k)``-time
     problem-specific part of the normal form.
 
-    The extraction runs on the indexed fast path: one precomputed offset
-    table replaces the per-node ``grid.shift`` calls of
-    :func:`repro.grid.subgrid.window_around`, producing identical windows.
+    ``engine`` selects the execution path (``"auto"`` resolves to the
+    fastest available tier; all are byte-identical, pinned by the
+    randomized equivalence suite):
+
+    * ``"dict"`` — per-node :func:`repro.grid.subgrid.window_around`
+      extraction (the seed reference);
+    * ``"indexed"`` — one precomputed offset table replaces the per-node
+      ``grid.shift`` calls, producing identical windows;
+    * ``"array"`` — the anchor bits are gathered into a numpy matrix and
+      binary-encoded per node; ``rule.output`` runs once per *distinct*
+      window (in first-occurrence order, so a failing window raises at the
+      same node as the per-node paths) and the outputs are scattered back.
+      Anchor windows repeat massively on a grid, so this removes almost
+      every Python call from the sweep.
     """
     if grid.dimension != 2:
         raise ValueError("windows are only defined for two-dimensional grids")
-    indexer = GridIndexer.for_grid(grid)
+    engine = resolve_engine(engine)
     members = anchors.members
-    bits = [1 if node in members else 0 for node in indexer.nodes]
     width, height = rule.width, rule.height
+    if engine == "dict":
+        bits_by_node = {
+            node: 1 if node in members else 0 for node in grid.nodes()
+        }
+        return {
+            node: rule.output(
+                window_around(grid, bits_by_node, node, width, height)
+            )
+            for node in grid.nodes()
+        }
+    indexer = GridIndexer.for_grid(grid)
+    bits = [1 if node in members else 0 for node in indexer.nodes]
     # Offsets in column-major cell order, so that row[x * height + y] is the
     # window cell at (x, y); the centre cell sits at (width//2, height//2),
     # exactly as in window_around.
@@ -160,6 +185,11 @@ def apply_anchor_rule(
         for x in range(width)
         for y in range(height)
     )
+    # Binary window keys live in an int64; 64 or more cells would overflow
+    # and silently collapse distinct windows, so such rules (far beyond any
+    # window used in the paper) stay on the per-node indexed path.
+    if engine == "array" and len(offsets) <= 63:
+        return _apply_anchor_rule_array(indexer, bits, rule, offsets)
     table = indexer.offset_table(offsets)
     outputs: Dict[Node, Any] = {}
     for node, row in zip(indexer.nodes, table):
@@ -169,3 +199,38 @@ def apply_anchor_rule(
         )
         outputs[node] = rule.output(Window(cells))
     return outputs
+
+
+def _apply_anchor_rule_array(
+    indexer: GridIndexer,
+    bits,
+    rule: AnchorRule,
+    offsets,
+) -> Dict[Node, Any]:
+    """Array tier of :func:`apply_anchor_rule`: one ``rule.output`` call per
+    distinct window, evaluated in first-occurrence (node) order."""
+    np = require_numpy()
+    width, height = rule.width, rule.height
+    gather = indexer.offset_index_array(offsets)
+    bit_matrix = np.asarray(bits, dtype=np.int64)[gather]
+    weights = 2 ** np.arange(len(offsets), dtype=np.int64)
+    keys = bit_matrix @ weights
+    _, first_positions, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    outputs_by_key: List[Any] = [None] * len(first_positions)
+    # Evaluate distinct windows in the order their first node appears, so an
+    # uncovered window raises at exactly the node the per-node paths reach
+    # first.
+    for key_position in np.argsort(first_positions, kind="stable"):
+        row = bit_matrix[first_positions[key_position]]
+        cells = tuple(
+            tuple(int(row[x * height + y]) for y in range(height))
+            for x in range(width)
+        )
+        outputs_by_key[key_position] = rule.output(Window(cells))
+    nodes = indexer.nodes
+    return {
+        nodes[position]: outputs_by_key[key_position]
+        for position, key_position in enumerate(inverse)
+    }

@@ -26,6 +26,7 @@ from repro.synthesis.sat import CNF, SATResult, solve_cnf
 from repro.synthesis.encode import encode_tile_labelling_as_sat
 from repro.synthesis.synthesiser import (
     SynthesisOutcome,
+    clear_synthesis_cache,
     synthesise,
     synthesise_with_budget,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "TileGraph",
     "build_lookup_algorithm",
     "build_tile_graph",
+    "clear_synthesis_cache",
     "encode_tile_labelling_as_sat",
     "enumerate_tiles",
     "is_tile",

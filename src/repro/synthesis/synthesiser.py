@@ -15,6 +15,7 @@ an unsatisfiable verdict is exhaustive or merely budget-limited.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -136,6 +137,35 @@ def _solve_with_sat(
     return None, result.exhausted_budget, stats
 
 
+# Successful synthesis outcomes keyed by (problem, k, width, height,
+# engine, budgets).  GridLCL is a frozen dataclass, so one problem object
+# used across a sweep hashes consistently; solving is deterministic, so a
+# cache hit is byte-identical to a fresh run minus the search.  Only
+# successes are cached, and the budgets are part of the key (a different
+# budget can legitimately change the outcome).
+_OUTCOME_CACHE: Dict[
+    Tuple[GridLCL, int, int, int, str, int, int], SynthesisOutcome
+] = {}
+
+
+def clear_synthesis_cache() -> None:
+    """Drop all cached synthesis outcomes (mainly for tests)."""
+    _OUTCOME_CACHE.clear()
+
+
+def _cached_outcome(key) -> Optional[SynthesisOutcome]:
+    outcome = _OUTCOME_CACHE.get(key)
+    if outcome is None:
+        return None
+    # Hand out fresh containers so callers mutating the table or stats
+    # cannot poison later hits.
+    return dataclasses.replace(
+        outcome,
+        table=dict(outcome.table) if outcome.table is not None else None,
+        stats=dict(outcome.stats),
+    )
+
+
 def synthesise(
     problem: GridLCL,
     k: int,
@@ -145,6 +175,7 @@ def synthesise(
     csp_node_budget: int = 500_000,
     sat_conflict_budget: int = 300_000,
     graph: Optional[TileGraph] = None,
+    use_cache: bool = True,
 ) -> SynthesisOutcome:
     """Attempt to synthesise the finite rule ``A'`` for one parameter choice.
 
@@ -152,12 +183,28 @@ def synthesise(
     to SAT when the CSP search exhausts its node budget without an answer).
     A pre-built tile graph can be passed to amortise enumeration across
     problems sharing the same parameters.
+
+    With ``use_cache`` (the default), successful outcomes are reused across
+    sweeps, keyed by ``(problem, k, window, engine)`` — the tile graph
+    itself is likewise cached by :func:`build_tile_graph`, so repeated
+    parameter scans re-derive neither the tiles nor the rule tables.
+    Passing an explicit ``graph`` bypasses the outcome cache (the caller
+    may have customised it).
     """
     if not problem.is_pairwise:
         raise SynthesisError(
             f"problem {problem.name!r} has a cross constraint and cannot be synthesised "
             "with the pairwise tile CSP"
         )
+    cache_key = None
+    if use_cache and graph is None:
+        cache_key = (
+            problem, k, width, height, engine,
+            csp_node_budget, sat_conflict_budget,
+        )
+        cached = _cached_outcome(cache_key)
+        if cached is not None:
+            return cached
     if graph is None:
         graph = build_tile_graph(width, height, k)
 
@@ -181,7 +228,7 @@ def synthesise(
             f"internal error: solver returned an invalid rule table for {problem.name!r}"
         )
 
-    return SynthesisOutcome(
+    outcome = SynthesisOutcome(
         problem_name=problem.name,
         k=k,
         width=width,
@@ -195,6 +242,13 @@ def synthesise(
         exhausted_budget=exhausted,
         stats=stats,
     )
+    if cache_key is not None and outcome.success:
+        _OUTCOME_CACHE[cache_key] = dataclasses.replace(
+            outcome,
+            table=dict(outcome.table) if outcome.table is not None else None,
+            stats=dict(outcome.stats),
+        )
+    return outcome
 
 
 def candidate_window_sizes(k: int) -> List[Tuple[int, int]]:

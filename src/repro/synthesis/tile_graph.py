@@ -66,8 +66,23 @@ class TileGraph:
                 )
 
 
+# Tile graphs are pure functions of (width, height, k) and expensive to
+# build (three tile enumerations); sweeps revisit the same parameters for
+# every problem, so built graphs are shared per process.  Treat cached
+# graphs as immutable — no caller mutates them.
+_GRAPH_CACHE: Dict[Tuple[int, int, int], TileGraph] = {}
+
+
 def build_tile_graph(width: int, height: int, k: int) -> TileGraph:
-    """Enumerate tiles and their adjacency constraints for the given window size."""
+    """Enumerate tiles and their adjacency constraints for the given window size.
+
+    The built graph is cached per ``(width, height, k)`` and shared across
+    problems and sweeps (do not mutate it); the enumeration cost is paid
+    once per process, like the indexer's ball tables.
+    """
+    cached = _GRAPH_CACHE.get((width, height, k))
+    if cached is not None:
+        return cached
     tiles = enumerate_tiles(width, height, k)
     tile_set = set(tiles)
 
@@ -98,6 +113,7 @@ def build_tile_graph(width: int, height: int, k: int) -> TileGraph:
         vertical_pairs=vertical_pairs,
     )
     graph.validate_heredity()
+    _GRAPH_CACHE[(width, height, k)] = graph
     return graph
 
 

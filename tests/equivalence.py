@@ -1,10 +1,12 @@
 """Shared randomized equivalence-test harness for engine migrations.
 
 Every fast-path migration in this repository follows the same contract: the
-``"indexed"`` engine must produce **byte-identical** outputs to the
-``"dict"`` reference engine — same values, same tie-breaks, same error
-messages — on randomized inputs.  PR 1 asserted this ad hoc per module;
-this harness turns the pattern into shared infrastructure.
+``"indexed"`` and ``"array"`` engines must produce **byte-identical**
+outputs to the ``"dict"`` reference engine — same values, same tie-breaks,
+same error messages — on randomized inputs.  PR 1 asserted this ad hoc per
+module; this harness turns the pattern into shared infrastructure, and
+:func:`assert_engines_agree` compares any number of engine tiers against
+the reference in one call.
 
 How to onboard the next migrated consumer
 -----------------------------------------
@@ -134,6 +136,33 @@ def call_outcome(call: Callable[[], Any]) -> Tuple[str, Any]:
         return ("error", type(error).__name__, str(error))
 
 
+def assert_engines_agree(
+    factories: "dict[str, Callable[[], Any]]",
+    context: str,
+    reference: str = "dict",
+) -> Any:
+    """Assert that every engine's outcome matches the reference engine's.
+
+    ``factories`` maps engine names to zero-argument callables (one per
+    engine tier, e.g. ``{"dict": ..., "indexed": ..., "array": ...}``);
+    each non-reference engine's outcome is compared byte-for-byte against
+    the reference's.  The reference (the slowest tier by design) runs
+    exactly once, its canonical bytes reused for every comparison.
+    Returns the reference outcome.
+    """
+    reference_outcome = call_outcome(factories[reference])
+    reference_blob = canonical_bytes(reference_outcome)
+    for name, call in factories.items():
+        if name == reference:
+            continue
+        _compare_blobs(
+            reference_blob,
+            canonical_bytes(call_outcome(call)),
+            f"{context} engine={name}",
+        )
+    return reference_outcome
+
+
 def assert_equivalent(
     reference: Callable[[], Any],
     indexed: Callable[[], Any],
@@ -148,21 +177,26 @@ def assert_equivalent(
     """
     reference_outcome = call_outcome(reference)
     indexed_outcome = call_outcome(indexed)
-    reference_blob = canonical_bytes(reference_outcome)
-    indexed_blob = canonical_bytes(indexed_outcome)
-    if reference_blob != indexed_blob:
-        divergence = next(
-            (
-                position
-                for position, (a, b) in enumerate(zip(reference_blob, indexed_blob))
-                if a != b
-            ),
-            min(len(reference_blob), len(indexed_blob)),
-        )
-        window = slice(max(0, divergence - 60), divergence + 60)
-        raise AssertionError(
-            f"engines diverge [{context}] at byte {divergence}:\n"
-            f"  reference: ...{reference_blob[window]!r}...\n"
-            f"  indexed:   ...{indexed_blob[window]!r}..."
-        )
+    _compare_blobs(
+        canonical_bytes(reference_outcome), canonical_bytes(indexed_outcome), context
+    )
     return reference_outcome
+
+
+def _compare_blobs(reference_blob: bytes, candidate_blob: bytes, context: str) -> None:
+    if reference_blob == candidate_blob:
+        return
+    divergence = next(
+        (
+            position
+            for position, (a, b) in enumerate(zip(reference_blob, candidate_blob))
+            if a != b
+        ),
+        min(len(reference_blob), len(candidate_blob)),
+    )
+    window = slice(max(0, divergence - 60), divergence + 60)
+    raise AssertionError(
+        f"engines diverge [{context}] at byte {divergence}:\n"
+        f"  reference: ...{reference_blob[window]!r}...\n"
+        f"  candidate: ...{candidate_blob[window]!r}..."
+    )

@@ -1,0 +1,183 @@
+"""Edge-case tests for the array engine tier.
+
+Covers the :class:`LabelCodec` contract (round-trips with arbitrary
+hashable labels, append-only alphabet growth), the
+:class:`ArrayLabelStore` mutation semantics, and the engine's tier
+selection: lookup-table compilation, threshold fallback, alphabet growth
+invalidating compiled tables, and the sentinel replay path for rules that
+raise.  Shapes deliberately include a 1-dimensional (degenerate) torus and
+a non-square torus.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.grid.indexer import GridIndexer
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import ArrayEngine, IndexedEngine
+from repro.local_model.simulator import apply_rule
+from repro.local_model.store import ArrayLabelStore, LabelCodec, resolve_engine
+
+DEGENERATE = ToroidalGrid((7,))  # a 1-D cycle: the degenerate torus
+NON_SQUARE = ToroidalGrid((4, 7))
+
+
+class TestLabelCodec:
+    def test_round_trip_non_int_hashable_labels(self):
+        labels = ["red", ("tuple", 3), frozenset({1, 2}), None, 2.5, "red"]
+        codec = LabelCodec()
+        codes = [codec.encode(label) for label in labels]
+        assert codes == [0, 1, 2, 3, 4, 0]
+        assert [codec.decode(code) for code in codes] == labels
+        assert codec.size == 5
+        assert codec.labels == ("red", ("tuple", 3), frozenset({1, 2}), None, 2.5)
+        assert ("tuple", 3) in codec and "blue" not in codec
+        assert [] not in codec  # unhashable probes are simply absent
+
+    def test_alphabet_growth_keeps_old_codes_valid(self):
+        codec = LabelCodec(["a", "b"])
+        codes = codec.encode_values(["a", "b", "a"])
+        assert list(codes) == [0, 1, 0]
+        assert codec.encode("c") == 2  # growth is append-only
+        assert codec.decode_values(codes) == ["a", "b", "a"]
+        assert len(codec.label_array()) == 3
+
+    def test_label_array_rebuilds_after_growth(self):
+        codec = LabelCodec([10, 20])
+        first = codec.label_array()
+        assert list(first) == [10, 20]
+        codec.encode(30)
+        assert list(codec.label_array()) == [10, 20, 30]
+
+    def test_label_array_handles_sequence_labels(self):
+        # Tuple labels must not be flattened into a 2-D numeric array.
+        codec = LabelCodec([(0, 1), (1, 0)])
+        array = codec.label_array()
+        assert array.dtype == object
+        assert array[1] == (1, 0)
+
+    def test_decode_unknown_code_raises(self):
+        with pytest.raises(SimulationError, match="not interned"):
+            LabelCodec(["x"]).decode(7)
+
+
+class TestArrayLabelStore:
+    @pytest.mark.parametrize("grid", [DEGENERATE, NON_SQUARE])
+    def test_mapping_contract(self, grid):
+        labels = {node: sum(node) % 3 for node in grid.nodes()}
+        store = ArrayLabelStore.from_mapping(grid, labels)
+        assert len(store) == grid.node_count
+        assert dict(store) == labels
+        assert store.to_dict() == labels
+        node = next(iter(grid.nodes()))
+        assert node in store and (99,) * grid.dimension not in store
+        assert "not-a-node" not in store
+
+    def test_totality_enforced(self):
+        labels = {node: 0 for node in NON_SQUARE.nodes()}
+        labels.pop((0, 0))
+        with pytest.raises(KeyError, match="missing an entry"):
+            ArrayLabelStore.from_mapping(NON_SQUARE, labels)
+        indexer = GridIndexer.for_grid(NON_SQUARE)
+        with pytest.raises(SimulationError, match="one code per node"):
+            ArrayLabelStore(indexer, LabelCodec(["x"]), [0, 0, 0])
+
+    def test_mutation_semantics(self):
+        store = ArrayLabelStore.from_mapping(
+            NON_SQUARE, {node: "off" for node in NON_SQUARE.nodes()}
+        )
+        store[(1, 2)] = "on"  # a new label grows the codec in place
+        assert store[(1, 2)] == "on"
+        assert store[(0, 0)] == "off"
+        assert store.codec.size == 2
+        store[(1, 2)] = "off"
+        assert store[(1, 2)] == "off"
+        with pytest.raises(SimulationError, match="cannot be deleted"):
+            del store[(0, 0)]
+        with pytest.raises(KeyError):
+            store[(99, 99)] = "on"
+
+    def test_values_list_decodes_in_indexer_order(self):
+        indexer = GridIndexer.for_grid(NON_SQUARE)
+        labels = {node: node[0] * 10 + node[1] for node in NON_SQUARE.nodes()}
+        store = ArrayLabelStore.from_mapping(indexer, labels)
+        assert store.values_list == [labels[node] for node in indexer.nodes]
+
+
+class TestEngineTierSelection:
+    @pytest.mark.parametrize("grid", [DEGENERATE, NON_SQUARE])
+    def test_threshold_fallback_is_byte_identical(self, grid):
+        labels = {node: sum(node) % 3 for node in grid.nodes()}
+        rule = FunctionRule(1, lambda view: max(view.values()))
+        compiled_engine = ArrayEngine(grid)
+        fallback_engine = ArrayEngine(grid, table_threshold=1)
+        compiled_engine.store(labels)
+        fallback_engine.store(labels)
+        assert compiled_engine.rule_tier(rule) == "table"
+        assert fallback_engine.rule_tier(rule) == "list"
+        expected = apply_rule(grid, labels, rule)
+        assert compiled_engine.apply_rule(labels, rule).to_dict() == expected
+        assert fallback_engine.apply_rule(labels, rule).to_dict() == expected
+
+    @pytest.mark.parametrize("grid", [DEGENERATE, NON_SQUARE])
+    def test_alphabet_growth_recompiles_lookup_table(self, grid):
+        # The rule emits labels outside the current alphabet, so the
+        # compiled table is invalidated between iterations.
+        rule = FunctionRule(1, lambda view: min(view.values()) + 1)
+        labels = {node: 0 for node in grid.nodes()}
+        engine = ArrayEngine(grid)
+        store = engine.store(labels)
+        for _ in range(3):
+            store = engine.apply_rule(store, rule)
+            labels = apply_rule(grid, labels, rule)
+            assert store.to_dict() == labels
+        assert engine.codec.size == 4  # 0, 1, 2, 3 interned across rounds
+
+    def test_rule_raising_on_occurring_view_matches_list_path(self):
+        def update(view):
+            if view[(0, 0)] == 1:
+                raise ValueError("poisoned label")
+            return view[(0, 0)]
+
+        rule = FunctionRule(1, update)
+        grid = NON_SQUARE
+        labels = {node: 1 if node == (2, 3) else 0 for node in grid.nodes()}
+        with pytest.raises(ValueError, match="poisoned label"):
+            IndexedEngine(grid).apply_rule(labels, rule)
+        with pytest.raises(ValueError, match="poisoned label"):
+            ArrayEngine(grid).apply_rule(labels, rule)
+
+    def test_rule_raising_only_on_unreachable_views_still_compiles(self):
+        # The compiler enumerates all |Σ|^ball combinations, including ones
+        # never occurring on the torus; a rule raising on those must not
+        # poison the rounds that avoid them.
+        def update(view):
+            values = list(view.values())
+            if values.count(1) > 1:
+                raise ValueError("unreachable")
+            return max(values)
+
+        rule = FunctionRule(1, update)
+        grid = ToroidalGrid((5, 5))
+        # A single 1 on the grid: no radius-1 view ever sees two of them.
+        labels = {node: 1 if node == (0, 0) else 0 for node in grid.nodes()}
+        result = ArrayEngine(grid).apply_rule(labels, rule).to_dict()
+        assert result == apply_rule(grid, labels, rule)
+
+    def test_resolve_engine_validation(self):
+        assert resolve_engine("auto") in ("array", "indexed")
+        assert resolve_engine("dict") == "dict"
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp-drive")
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("dict", allowed=("indexed", "array"))
+
+    def test_store_reuses_codec_and_codes(self):
+        engine = ArrayEngine(NON_SQUARE)
+        labels = {node: sum(node) % 2 for node in NON_SQUARE.nodes()}
+        store = engine.store(labels)
+        assert engine.store(store) is store  # same codec: adopted as-is
+        other = ArrayLabelStore.from_mapping(NON_SQUARE, labels)
+        readopted = engine.store(other)
+        assert readopted is not other and readopted.codec is engine.codec

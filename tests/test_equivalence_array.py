@@ -1,0 +1,278 @@
+"""Randomized three-engine equivalence suite (see ``tests/equivalence.py``).
+
+Each test derives a private RNG from ``--equivalence-seed`` (default 0),
+draws randomized instances — square, non-square and 1-dimensional tori,
+random finite-alphabet rules, random anchor sets and marked-edge sets —
+and asserts that the ``"dict"`` reference, the ``"indexed"`` fast path and
+the numpy-backed ``"array"`` tier produce byte-identical outcomes,
+including identical exceptions.  All three array-tier execution strategies
+(compiled lookup table, vectorised ``update_batch``, list fallback) are
+exercised.
+"""
+
+from equivalence import (
+    assert_engines_agree,
+    assert_equivalent,
+    derive_rng,
+    grid_corpus,
+)
+
+from repro.colouring.edge_colouring import _colour_segments
+from repro.colouring.vertex4 import _border_counts
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import (
+    ArrayEngine,
+    IndexedEngine,
+    SchedulePhase,
+    run_schedule,
+)
+from repro.local_model.simulator import apply_rule, iterate_rule
+from repro.speedup.normal_form import FunctionAnchorRule, apply_anchor_rule
+from repro.symmetry.mis import compute_anchors
+from repro.synthesis.lookup import LookupAnchorRule
+from repro.synthesis.tiles import enumerate_tiles
+
+
+def _random_finite_rule(rng, alphabet_size, radius):
+    """A deterministic, order-invariant rule over a finite alphabet."""
+    a, b, c = rng.randrange(1, 7), rng.randrange(7), rng.randrange(7)
+
+    def update(view):
+        values = sorted(view.values())
+        return (a * values[0] + b * values[-1] + c * sum(values)) % alphabet_size
+
+    return FunctionRule(radius, update)
+
+
+def _engine_corpus(rng):
+    """Tori covering the engine edge cases: 2-D shapes plus a 1-D cycle."""
+    yield from grid_corpus(rng, extras=1)
+    yield ToroidalGrid((rng.randint(5, 11),))
+
+
+class TestRuleApplicationEquivalence:
+    def test_table_tier_matches_both_engines(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-table-tier")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            radius = rng.choice([1, 1, 2])
+            # Keep |Σ|^ball_size under the compile threshold: the radius-2
+            # L1 ball has 13 offsets in two dimensions.
+            alphabet_size = 2 if radius == 2 else rng.randint(2, 4)
+            rule = _random_finite_rule(rng, alphabet_size, radius)
+            labels = {
+                node: rng.randrange(alphabet_size) for node in grid.nodes()
+            }
+            array_engine = ArrayEngine(grid)
+            assert array_engine.store(labels) is not None
+            assert array_engine.rule_tier(rule) == "table"
+            context = (
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"alphabet={alphabet_size} radius={radius}"
+            )
+            assert_engines_agree(
+                {
+                    "dict": lambda: apply_rule(grid, labels, rule),
+                    "indexed": lambda: IndexedEngine(grid)
+                    .apply_rule(labels, rule)
+                    .to_dict(),
+                    "array": lambda: array_engine.apply_rule(labels, rule)
+                    .to_dict(),
+                },
+                context,
+            )
+
+    def test_batch_and_list_tiers_on_large_alphabets(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-batch-list")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            plain = FunctionRule(1, lambda view: min(view.values()))
+            batched = FunctionRule(
+                1,
+                lambda view: min(view.values()),
+                batch=lambda neighbourhoods: neighbourhoods.min(axis=1),
+            )
+            # A threshold of 1 forces both rules off the lookup-table tier.
+            array_engine = ArrayEngine(grid, table_threshold=1)
+            array_engine.store(labels)
+            assert array_engine.rule_tier(plain) == "list"
+            assert array_engine.rule_tier(batched) == "batch"
+            context = f"seed={equivalence_seed} trial={trial} grid={grid.sides}"
+            for tier_name, rule in (("list", plain), ("batch", batched)):
+                assert_engines_agree(
+                    {
+                        "dict": lambda r=rule: apply_rule(grid, labels, r),
+                        "indexed": lambda r=rule: IndexedEngine(grid)
+                        .apply_rule(labels, r)
+                        .to_dict(),
+                        "array": lambda r=rule: array_engine.apply_rule(labels, r)
+                        .to_dict(),
+                    },
+                    f"{context} tier={tier_name}",
+                )
+
+    def test_iterate_rule_including_budget_exhaustion(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-iterate")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            alphabet_size = rng.randint(2, 4)
+            rule = FunctionRule(1, lambda view: min(view.values()))
+            labels = {
+                node: rng.randrange(alphabet_size) for node in grid.nodes()
+            }
+            target = min(labels.values())
+
+            def stop(current):
+                return all(value == target for value in current.values())
+
+            context = (
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"alphabet={alphabet_size}"
+            )
+            # Generous budget: all engines converge to the flooded minimum.
+            budget = max(grid.sides) + 1
+            assert_engines_agree(
+                {
+                    "dict": lambda: iterate_rule(
+                        grid, labels, rule, stop, budget
+                    ),
+                    "indexed": lambda: IndexedEngine(grid)
+                    .iterate_rule(labels, rule, stop, budget)
+                    .to_dict(),
+                    "array": lambda: ArrayEngine(grid)
+                    .iterate_rule(labels, rule, stop, budget)
+                    .to_dict(),
+                },
+                f"{context} budget={budget}",
+            )
+            # Impossible predicate: identical SimulationError from every tier.
+            assert_engines_agree(
+                {
+                    "dict": lambda: iterate_rule(
+                        grid, labels, rule, lambda current: False, 2
+                    ),
+                    "indexed": lambda: IndexedEngine(grid).iterate_rule(
+                        labels, rule, lambda current: False, 2
+                    ),
+                    "array": lambda: ArrayEngine(grid).iterate_rule(
+                        labels, rule, lambda current: False, 2
+                    ),
+                },
+                f"{context} exhausted",
+            )
+
+    def test_run_schedule_array_matches_indexed(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-schedule")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            alphabet_size = rng.randint(2, 4)
+            labels = {
+                node: rng.randrange(alphabet_size) for node in grid.nodes()
+            }
+            flood = _random_finite_rule(rng, alphabet_size, 1)
+            smooth = _random_finite_rule(rng, alphabet_size, 1)
+            schedule = [
+                SchedulePhase(flood, name="flood", iterations=2),
+                SchedulePhase(smooth, name="smooth", iterations=1),
+            ]
+            assert_equivalent(
+                lambda: run_schedule(grid, labels, schedule).to_dict(),
+                lambda: run_schedule(
+                    grid, labels, schedule, engine="array"
+                ).to_dict(),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides}",
+            )
+
+
+class TestConsumerEquivalence:
+    def test_border_counts(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-border-counts")
+        for trial, grid in enumerate(grid_corpus(rng)):
+            nodes = list(grid.nodes())
+            anchors = rng.sample(nodes, rng.randint(1, max(1, len(nodes) // 6)))
+            radii = {anchor: rng.randint(1, 3) for anchor in anchors}
+            assert_engines_agree(
+                {
+                    engine: lambda e=engine: _border_counts(grid, radii, engine=e)
+                    for engine in ("dict", "indexed", "array")
+                },
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"anchors={len(anchors)}",
+            )
+
+    def test_colour_segments_including_uncovered_rows(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-colour-segments")
+        for trial, grid in enumerate(grid_corpus(rng)):
+            # Draw a marked set covering most rows; with probability ~1/2
+            # drop one axis's marks entirely so the "row has no marked
+            # edge" failure is compared across engines too.
+            marked = set()
+            dropped_axis = rng.choice([None, 0, 1])
+            for axis in range(grid.dimension):
+                if axis == dropped_axis:
+                    continue
+                for row in grid.rows(axis):
+                    picks = rng.randint(1, max(1, len(row) // 3))
+                    for node in rng.sample(row, picks):
+                        marked.add((node, axis))
+            assert_engines_agree(
+                {
+                    engine: lambda e=engine: _colour_segments(
+                        grid, marked, 5, engine=e
+                    )
+                    for engine in ("dict", "indexed", "array")
+                },
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"marked={len(marked)} dropped_axis={dropped_axis}",
+            )
+
+    def test_apply_anchor_rule(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "array-anchor-rule")
+        for trial, grid in enumerate(grid_corpus(rng, min_side=5, extras=1)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            anchors = compute_anchors(grid, identifiers, k=rng.choice([1, 2]))
+            width, height = rng.choice([(3, 2), (3, 3), (2, 3)])
+            weight = rng.randrange(1, 9)
+            rule = FunctionAnchorRule(
+                width,
+                height,
+                lambda window: weight * window.count(1)
+                + sum(sum(column) for column in window.cells),
+            )
+            assert_engines_agree(
+                {
+                    engine: lambda e=engine: apply_anchor_rule(
+                        grid, anchors, rule, engine=e
+                    )
+                    for engine in ("dict", "indexed", "array")
+                },
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"window={width}x{height}",
+            )
+
+    def test_apply_anchor_rule_incomplete_lookup_table(self, equivalence_seed):
+        """A table missing some occurring window must fail identically."""
+        rng = derive_rng(equivalence_seed, "array-anchor-lookup")
+        for trial in range(3):
+            side = rng.randint(6, 9)
+            grid = ToroidalGrid((side, side + trial % 2))
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            anchors = compute_anchors(grid, identifiers, k=1)
+            tiles = enumerate_tiles(3, 2, 1)
+            # Keep a random strict subset of tiles, so some anchor windows
+            # hit the SynthesisError path (and some runs stay complete).
+            population = rng.randint(1, len(tiles))
+            table = {tile: position for position, tile in enumerate(tiles)}
+            for tile in rng.sample(tiles, len(tiles) - population):
+                del table[tile]
+            rule = LookupAnchorRule(3, 2, table)
+            assert_engines_agree(
+                {
+                    engine: lambda e=engine: apply_anchor_rule(
+                        grid, anchors, rule, engine=e
+                    )
+                    for engine in ("dict", "indexed", "array")
+                },
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"table_size={population}",
+            )

@@ -1,0 +1,97 @@
+"""Tests for the synthesis caches keyed by ``(problem, k, window)``.
+
+Tile enumerations, tile graphs and successful rule tables are pure
+functions of their parameters; these tests pin that the caches return
+shared/equal artefacts, that handed-out outcomes are isolated copies, and
+that sweeps avoid re-solving on cache hits.
+"""
+
+import time
+
+from repro.core.catalog import vertex_colouring_problem
+from repro.orientation.problems import x_orientation_problem
+from repro.synthesis.synthesiser import (
+    clear_synthesis_cache,
+    synthesise,
+    synthesise_with_budget,
+)
+from repro.synthesis.tile_graph import build_tile_graph
+from repro.synthesis.tiles import enumerate_tiles
+
+
+class TestTileCaches:
+    def test_enumerate_tiles_returns_shared_tuple(self):
+        first = enumerate_tiles(3, 2, 1)
+        second = enumerate_tiles(3, 2, 1)
+        assert first is second  # cached, immutable
+        assert len(first) == 16
+
+    def test_build_tile_graph_is_cached_per_parameters(self):
+        first = build_tile_graph(2, 3, 1)
+        second = build_tile_graph(2, 3, 1)
+        assert first is second
+        other = build_tile_graph(3, 2, 1)
+        assert other is not first
+
+
+class TestOutcomeCache:
+    def test_hit_is_equal_but_isolated(self):
+        clear_synthesis_cache()
+        problem = x_orientation_problem({1, 3, 4})
+        search = synthesise_with_budget(problem, max_k=1)
+        assert search.succeeded
+        best = search.best
+        fresh = synthesise(problem, best.k, best.width, best.height)
+        assert fresh.success
+        hit = synthesise(problem, best.k, best.width, best.height)
+        assert hit is not fresh and hit.table is not fresh.table
+        assert hit.table == fresh.table
+        assert hit.stats == fresh.stats and hit.engine == fresh.engine
+        # Mutating a handed-out table must not poison later hits.
+        hit.table.clear()
+        again = synthesise(problem, best.k, best.width, best.height)
+        assert again.table == fresh.table
+
+    def test_failures_are_not_cached(self):
+        clear_synthesis_cache()
+        problem = vertex_colouring_problem(3)
+        first = synthesise(problem, k=1, width=3, height=2)
+        assert not first.success
+        # A second call re-solves (and reports fresh honest statistics)
+        # instead of replaying a failure that a larger budget might avoid.
+        second = synthesise(problem, k=1, width=3, height=2)
+        assert not second.success
+        assert second.stats["nodes_explored"] > 0
+
+    def test_explicit_graph_and_use_cache_flag_bypass_cache(self):
+        clear_synthesis_cache()
+        problem = x_orientation_problem({0, 1, 3})
+        search = synthesise_with_budget(problem, max_k=1)
+        assert search.succeeded
+        best = search.best
+        graph = build_tile_graph(best.width, best.height, best.k)
+        via_graph = synthesise(
+            problem, best.k, best.width, best.height, graph=graph
+        )
+        disabled = synthesise(
+            problem, best.k, best.width, best.height, use_cache=False
+        )
+        assert via_graph.success and disabled.success
+        assert via_graph.table == disabled.table == best.table
+
+    def test_sweep_reuses_cached_tables(self):
+        clear_synthesis_cache()
+        problem = x_orientation_problem({1, 3, 4})
+        cold_start = time.perf_counter()
+        cold = synthesise_with_budget(problem, max_k=1)
+        cold_seconds = time.perf_counter() - cold_start
+        assert cold.succeeded
+        warm_start = time.perf_counter()
+        warm = synthesise_with_budget(problem, max_k=1)
+        warm_seconds = time.perf_counter() - warm_start
+        assert warm.succeeded
+        assert warm.best.table == cold.best.table
+        assert warm.best.k == cold.best.k
+        # The warm sweep re-solves nothing; allow generous slack for timer
+        # noise while still catching an accidental full re-derivation.
+        assert warm_seconds <= max(cold_seconds, 0.01)
