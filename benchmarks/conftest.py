@@ -66,7 +66,12 @@ def bench_json(request):
             **payload,
         }
         path = results_dir / f"BENCH_{bench_name}.json"
-        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        # Write via a temp file + atomic rename: an interrupted or crashed
+        # run then leaves either the previous complete file or none at all,
+        # never a truncated JSON document for CI to upload as an artifact.
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(json.dumps(document, indent=2, sort_keys=True))
+        os.replace(scratch, path)
         return path
 
     return record

@@ -75,6 +75,18 @@ class GridIndexer:
             cls._instances[grid] = indexer
         return indexer
 
+    def __reduce__(self):
+        """Pickle-cheap export: ship only the grid, never the tables.
+
+        A warmed indexer holds megabytes of ball/getter/array tables; the
+        ``parallel`` engine tier (and any ``spawn``-based worker) must be
+        able to ship an indexer without serialising them.  Unpickling goes
+        through :meth:`for_grid`, so a worker process that already indexed
+        the same grid reuses its cached instance and tables are rebuilt
+        lazily only where actually touched.
+        """
+        return (GridIndexer.for_grid, (self._grid,))
+
     # ------------------------------------------------------------------ #
     # Node <-> index conversion
     # ------------------------------------------------------------------ #

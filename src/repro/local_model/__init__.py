@@ -14,6 +14,31 @@ Two execution styles are provided:
   per-node programs exchanging messages over ports, closest to the textbook
   definition.  It is used in tests and examples to validate that the
   rewriting style does not hide communication.
+
+Engine tiers and selection
+--------------------------
+
+Label rewriting runs through four byte-identical engine tiers —
+``"dict"`` (the reference), ``"indexed"`` (flat scans over precomputed
+:class:`repro.grid.indexer.GridIndexer` tables), ``"array"`` (numpy code
+vectors with compiled/vectorised rules) and ``"parallel"``
+(:class:`repro.local_model.engine.ParallelEngine`: process-sharded scans
+for the rules the array tier cannot vectorise).  Entry points taking an
+``engine`` argument also accept ``"auto"``, resolved by
+:func:`repro.local_model.store.resolve_engine`:
+
+* ``"parallel"`` when the call site allows that tier, the grid has at
+  least :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes and
+  more than one worker is available;
+* otherwise ``"array"`` when numpy is importable, else ``"indexed"``.
+
+The worker count comes from
+:func:`repro.local_model.store.parallel_workers`: an explicit
+``workers=`` argument wins, then the ``REPRO_WORKERS`` environment
+variable, then ``os.cpu_count()``.  ``REPRO_WORKERS=0`` (or ``1``)
+disables sharding entirely — the parallel tier then executes serially,
+which is also the graceful fallback whenever worker processes cannot be
+forked.
 """
 
 from repro.local_model.algorithm import (
@@ -30,13 +55,16 @@ from repro.local_model.simulator import (
 from repro.local_model.engine import (
     ArrayEngine,
     IndexedEngine,
+    ParallelEngine,
     SchedulePhase,
+    plan_chunks,
     run_schedule,
 )
 from repro.local_model.store import (
     ArrayLabelStore,
     LabelCodec,
     LabelStore,
+    parallel_workers,
     resolve_engine,
 )
 from repro.local_model.views import NeighbourhoodView, collect_view
@@ -60,6 +88,7 @@ __all__ = [
     "MessagePassingNetwork",
     "NeighbourhoodView",
     "NodeProgram",
+    "ParallelEngine",
     "RoundLedger",
     "SchedulePhase",
     "apply_rule",
@@ -67,5 +96,7 @@ __all__ = [
     "is_order_invariant",
     "iterate_rule",
     "order_normalise_view",
+    "parallel_workers",
+    "plan_chunks",
     "run_schedule",
 ]

@@ -50,6 +50,16 @@ class LocalRule(abc.ABC):
     #: equal to applying :meth:`update` row by row.
     update_batch: Optional[Callable[[Any], Any]] = None
 
+    #: Whether the ``"parallel"`` engine tier may shard applications of
+    #: this rule across worker processes.  The default assumes what every
+    #: LOCAL rule must satisfy anyway: :meth:`update` is a deterministic
+    #: function of the view alone.  A rule that additionally mutates
+    #: out-of-band state it later reads (e.g. an instrumentation counter
+    #: whose value feeds back into outputs) must set this to ``False`` —
+    #: worker processes see copies of that state, so its mutations would
+    #: be lost between rounds.
+    parallel_safe: bool = True
+
     @abc.abstractmethod
     def update(self, view: LabelView) -> Any:
         """Compute the node's next label from its current local view."""

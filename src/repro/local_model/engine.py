@@ -1,6 +1,7 @@
-"""Fast-path simulation engines: the ``indexed`` and ``array`` tiers.
+"""Fast-path simulation engines: the ``indexed``, ``array`` and
+``parallel`` tiers.
 
-The repository executes LOCAL-model rules through three engine tiers with
+The repository executes LOCAL-model rules through four engine tiers with
 identical semantics (asserted byte-identical by the randomized equivalence
 suite):
 
@@ -28,6 +29,23 @@ suite):
   3. everything else transparently falls back to the indexed list path
      (still byte-identical, merely not vectorised).
 
+* ``"parallel"`` — :class:`ParallelEngine`: the fourth tier, for the rules
+  the array tier *cannot* vectorise (alphabets too large to compile, no
+  ``update_batch`` hook).  One round of those is an embarrassingly
+  parallel scan over the precomputed index tables, so the engine shards
+  the flat node range into contiguous chunks (:func:`plan_chunks`) and
+  evaluates each chunk in a forked worker process over shared read-only
+  state — the round's value list, the rule and the index tables are
+  inherited through ``fork`` without any serialisation.  Chunk results
+  merge back in index order; a worker that hits a raising rule reports
+  ``(index, exception)`` and the merger re-raises the failure with the
+  lowest flat index, so first-failing-node semantics match the sequential
+  scan exactly.  Rules the array tier *can* vectorise are delegated to an
+  embedded :class:`ArrayEngine` (one fancy index beats any number of
+  Python processes), and when workers are unavailable — ``fork`` missing,
+  process limits, one CPU, ``REPRO_WORKERS=0``/``1`` — every application
+  degrades to the serial indexed scan, byte-identical by construction.
+
 Labellings live in ``Mapping``-compatible stores in every tier, so
 user-supplied rules, per-node functions and stopping predicates are engine
 agnostic.  :func:`run_schedule` executes a whole multi-phase algorithm —
@@ -38,6 +56,8 @@ re-materialising dicts between phases.
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -47,9 +67,12 @@ from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import LocalRule
 from repro.local_model.simulator import RoundLedger
 from repro.local_model.store import (
+    HAS_NUMPY,
     ArrayLabelStore,
     LabelCodec,
     LabelStore,
+    merge_chunk_values,
+    parallel_workers,
     require_numpy,
     resolve_engine,
 )
@@ -446,6 +469,301 @@ class ArrayEngine(IndexedEngine):
         return self.codec.encode_values(new_values)
 
 
+# --------------------------------------------------------------------- #
+# The parallel tier
+# --------------------------------------------------------------------- #
+
+
+def plan_chunks(node_count: int, workers: int) -> List[Tuple[int, int]]:
+    """Shard ``0 .. node_count`` into at most ``workers`` contiguous ranges.
+
+    Chunk sizes differ by at most one node (the remainder spreads over the
+    leading chunks), the ranges tile the node count exactly and never
+    produce an empty chunk — fewer nodes than workers simply yields fewer
+    chunks.
+    """
+    if node_count < 0:
+        raise SimulationError(f"node count must be non-negative, got {node_count}")
+    if node_count == 0:
+        return []
+    shards = max(1, min(workers, node_count))
+    base, extra = divmod(node_count, shards)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for position in range(shards):
+        stop = start + base + (1 if position < extra else 0)
+        chunks.append((start, stop))
+        start = stop
+    return chunks
+
+
+def _max_table_alphabet(table_threshold: int, ball_size: int) -> int:
+    """Largest alphabet size whose ``|Σ|^ball_size`` fits the table threshold."""
+    if table_threshold < 1:
+        return 0
+    if ball_size <= 1:
+        return table_threshold
+    # Integer ball_size-th root: float seed, then correct the off-by-one
+    # float rounding in either direction.
+    limit = max(0, int(table_threshold ** (1.0 / ball_size)))
+    while (limit + 1) ** ball_size <= table_threshold:
+        limit += 1
+    while limit > 0 and limit**ball_size > table_threshold:
+        limit -= 1
+    return limit
+
+
+#: Read-only state inherited by forked workers: ``(values, update, offsets,
+#: table, getters)`` for the round being sharded.  Staged immediately
+#: before the pool forks and cleared right after, so nothing survives in
+#: the parent between rounds; workers are round-scoped, so they never
+#: observe a stale value.
+_WORKER_STATE: Optional[Tuple] = None
+
+
+def _worker_apply_chunk(chunk: Tuple[int, int]) -> Tuple[str, int, Any]:
+    """Evaluate one ``(start, stop)`` chunk against the inherited state.
+
+    The inner loop is the same C-level :func:`operator.itemgetter` gather
+    the indexed tier runs, so a worker's per-node cost matches the serial
+    scan's.  Returns ``("ok", start, values)`` on success.  On the first
+    raising node the scan stops — matching the sequential scan, which
+    never evaluates nodes past a failure — and ``("error", index,
+    exception)`` reports the failing flat index; the merger re-raises the
+    failure with the lowest index across all chunks, which by the prefix
+    argument is exactly the node the sequential scan would have failed on.
+    """
+    start, stop = chunk
+    values, update, offsets, table, getters = _WORKER_STATE
+    out: List[Any] = []
+    try:
+        if len(offsets) == 1:
+            # Radius-0 ball: gather straight from the shared index column,
+            # exactly as in :meth:`IndexedEngine._apply_values`.
+            offset = offsets[0]
+            for row in table[start:stop]:
+                out.append(update({offset: values[row[0]]}))
+        else:
+            for position in range(start, stop):
+                out.append(update(dict(zip(offsets, getters[position](values)))))
+    except Exception as error:  # noqa: BLE001 - shipped back for ordered re-raise
+        return ("error", start + len(out), error)
+    return ("ok", start, out)
+
+
+class ParallelEngine(IndexedEngine):
+    """The fourth engine tier: process-sharded scans over the index tables.
+
+    Rules the array tier can vectorise (compiled lookup table or
+    ``update_batch``) are delegated to an embedded :class:`ArrayEngine` —
+    a single fancy index outruns any process pool.  Everything else (the
+    "list path" rules: large alphabets, no batch hook) is sharded: the
+    flat node range splits into contiguous chunks (:func:`plan_chunks`),
+    each evaluated in a forked worker over shared read-only state, and the
+    chunk results merge back in index order
+    (:func:`repro.local_model.store.merge_chunk_values`).
+
+    The tier is byte-identical to the other three, including exceptions:
+    workers report the first failing flat index of their chunk and the
+    merger re-raises the lowest one, reproducing first-failing-node
+    semantics.  When sharding is impossible — one worker or fewer
+    (``REPRO_WORKERS=0``/``1``, a single CPU), no ``fork`` start method, a
+    rule marked ``parallel_safe = False``, or any worker-pool failure —
+    the round runs on the serial indexed scan instead, so results never
+    depend on the machine's process limits.
+    """
+
+    def __init__(
+        self,
+        grid_or_indexer: GridLike,
+        workers: Optional[int] = None,
+        table_threshold: int = DEFAULT_TABLE_THRESHOLD,
+    ):
+        super().__init__(grid_or_indexer)
+        self.workers = parallel_workers(workers)
+        self._array: Optional[ArrayEngine] = (
+            ArrayEngine(grid_or_indexer, table_threshold=table_threshold)
+            if HAS_NUMPY
+            else None
+        )
+        self._warned_serial_fallback = False
+
+    # ------------------------------------------------------------------ #
+    # Tier selection
+    # ------------------------------------------------------------------ #
+
+    def rule_tier(self, rule: LocalRule, labels: Optional[Labels] = None) -> str:
+        """Which execution tier ``rule`` currently gets: the array tiers
+        (``"table"``/``"batch"``) when vectorisable, else ``"sharded"`` or
+        ``"list"`` (serial fallback).  Pass the ``labels`` about to be
+        applied for an exact answer — without them the array delegation is
+        judged on the codec's current alphabet, as in
+        :meth:`ArrayEngine.rule_tier`.  Purely diagnostic: unlike
+        application itself, the query never interns ``labels`` into the
+        embedded codec, so asking cannot change later tier decisions."""
+        if self._array is not None:
+            if labels is not None:
+                offsets, _ = self.indexer.ball_table(rule.radius, rule.norm)
+                if self._alphabet_within(
+                    labels,
+                    _max_table_alphabet(self._array.table_threshold, len(offsets)),
+                ):
+                    return "table"
+                if getattr(rule, "update_batch", None) is not None:
+                    return "batch"
+            else:
+                tier = self._array.rule_tier(rule)
+                if tier != "list":
+                    return tier
+        return "sharded" if self._can_shard(rule) else "list"
+
+    def _delegate(self, labels: Labels, rule: LocalRule) -> Optional[ArrayLabelStore]:
+        """``labels`` adopted for the array engine when it can vectorise
+        this round, ``None`` when the round should shard instead.
+
+        Interning a labelling just to discover its alphabet is too large
+        to compile would cost a full encode pass on every sharded round,
+        so the check is staged: batch-hook rules always delegate, and
+        table candidates are screened with an early-exit distinct-value
+        scan (:meth:`_alphabet_within`) before anything is interned.  The
+        adopted store is returned so the delegated call re-uses it rather
+        than encoding the labelling a second time.
+        """
+        if self._array is None:
+            return None
+        if getattr(rule, "update_batch", None) is not None:
+            return self._array.store(labels)
+        offsets, _ = self.indexer.ball_table(rule.radius, rule.norm)
+        if not self._alphabet_within(
+            labels, _max_table_alphabet(self._array.table_threshold, len(offsets))
+        ):
+            return None
+        adopted = self._array.store(labels)
+        return adopted if self._array.rule_tier(rule) != "list" else None
+
+    def _alphabet_within(self, labels: Labels, limit: int) -> bool:
+        """Whether ``labels`` uses at most ``limit`` distinct values.
+
+        Early-exits after ``limit + 1`` distinct values, so screening an
+        identifier-sized alphabet costs a handful of set insertions rather
+        than a pass over the grid.
+        """
+        if limit <= 0:
+            return False
+        if isinstance(labels, ArrayLabelStore):
+            return labels.codec.size <= limit
+        values = (
+            labels.values_list
+            if isinstance(labels, LabelStore) and labels.indexer is self.indexer
+            else labels.values()
+        )
+        seen = set()
+        for value in values:
+            seen.add(value)
+            if len(seen) > limit:
+                return False
+        return True
+
+    def _can_shard(self, rule: LocalRule) -> bool:
+        return (
+            self.workers > 1
+            and getattr(rule, "parallel_safe", True)
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rule execution
+    # ------------------------------------------------------------------ #
+
+    def apply_rule(
+        self,
+        labels: Labels,
+        rule: LocalRule,
+        ledger: Optional[RoundLedger] = None,
+        phase: str = "rule",
+    ) -> Union[LabelStore, ArrayLabelStore]:
+        """Parallel counterpart of :meth:`IndexedEngine.apply_rule`."""
+        adopted = self._delegate(labels, rule)
+        if adopted is not None:
+            return self._array.apply_rule(adopted, rule, ledger=ledger, phase=phase)
+        return super().apply_rule(labels, rule, ledger=ledger, phase=phase)
+
+    def iterate_rule(
+        self,
+        labels: Labels,
+        rule: LocalRule,
+        should_stop: Callable[[Labels], bool],
+        max_iterations: int,
+        ledger: Optional[RoundLedger] = None,
+        phase: str = "iterate",
+    ) -> Union[LabelStore, ArrayLabelStore]:
+        """Parallel counterpart of :meth:`IndexedEngine.iterate_rule`."""
+        adopted = self._delegate(labels, rule)
+        if adopted is not None:
+            return self._array.iterate_rule(
+                adopted, rule, should_stop, max_iterations, ledger=ledger, phase=phase
+            )
+        return super().iterate_rule(
+            labels, rule, should_stop, max_iterations, ledger=ledger, phase=phase
+        )
+
+    def _apply_values(self, values: List[Any], rule: LocalRule) -> List[Any]:
+        if not self._can_shard(rule):
+            return IndexedEngine._apply_values(self, values, rule)
+        offsets, table = self.indexer.ball_table(rule.radius, rule.norm)
+        _, getters = self.indexer.ball_getters(rule.radius, rule.norm)
+        chunks = plan_chunks(len(values), self.workers)
+        if len(chunks) <= 1:
+            return IndexedEngine._apply_values(self, values, rule)
+        try:
+            results = self._map_chunks(
+                values, rule.update, offsets, table, getters, chunks
+            )
+        except Exception as error:  # noqa: BLE001 - worker pools can fail for
+            # environmental reasons (process limits, unpicklable labels or
+            # exceptions, interpreter shutdown); the serial scan is always
+            # available and byte-identical, so degrade instead of failing —
+            # but say so once, or a requested multi-core speedup could
+            # silently never materialise.
+            if not self._warned_serial_fallback:
+                self._warned_serial_fallback = True
+                warnings.warn(
+                    f"parallel engine degraded to the serial scan after a "
+                    f"worker-pool failure: {error!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return IndexedEngine._apply_values(self, values, rule)
+        failures = [
+            (index, error) for tag, index, error in results if tag == "error"
+        ]
+        if failures:
+            _, error = min(failures, key=lambda failure: failure[0])
+            raise error
+        return merge_chunk_values(
+            [(start, chunk_values) for _, start, chunk_values in results],
+            len(values),
+        )
+
+    def _map_chunks(self, values, update, offsets, table, getters, chunks):
+        """Fork a worker pool and evaluate every chunk against shared state.
+
+        The state is staged in a module global *before* the pool forks, so
+        children inherit it through copy-on-write memory — no pickling of
+        the value list, the rule (lambdas welcome) or the index tables.
+        Only the tiny ``(start, stop)`` tasks and the per-chunk results
+        cross process boundaries.
+        """
+        global _WORKER_STATE
+        context = multiprocessing.get_context("fork")
+        _WORKER_STATE = (values, update, offsets, table, getters)
+        try:
+            with context.Pool(len(chunks)) as pool:
+                return pool.map(_worker_apply_chunk, chunks)
+        finally:
+            _WORKER_STATE = None
+
+
 @dataclass
 class SchedulePhase:
     """One step of a batched multi-phase execution.
@@ -483,15 +801,24 @@ def run_schedule(
 ) -> Union[LabelStore, ArrayLabelStore]:
     """Execute a multi-phase algorithm on a fast-path engine tier.
 
-    The labelling stays in one flat value list (``engine="indexed"``) or
-    one numpy code vector (``engine="array"``; ``"auto"`` picks the array
-    tier when numpy is available) for the whole schedule; no per-phase dict
-    is materialised.  Returns the final store (use ``.to_dict()`` for a
-    plain dict).
+    The labelling stays in one flat value list (``engine="indexed"`` /
+    ``"parallel"``) or one numpy code vector (``engine="array"``) for the
+    whole schedule; no per-phase dict is materialised.  ``"auto"`` picks
+    the parallel tier on grids of at least
+    :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes when
+    more than one worker is available (``REPRO_WORKERS`` overrides the
+    count), else the array tier when numpy is available, else indexed.
+    Returns the final store (use ``.to_dict()`` for a plain dict).
     """
-    tier = resolve_engine(engine, allowed=("indexed", "array"))
-    if tier == "array":
-        executor: IndexedEngine = ArrayEngine(grid_or_indexer)
+    tier = resolve_engine(
+        engine,
+        allowed=("indexed", "array", "parallel"),
+        node_count=grid_or_indexer.node_count,
+    )
+    if tier == "parallel":
+        executor: IndexedEngine = ParallelEngine(grid_or_indexer)
+    elif tier == "array":
+        executor = ArrayEngine(grid_or_indexer)
     else:
         executor = IndexedEngine(grid_or_indexer)
     current = executor.store(labels)

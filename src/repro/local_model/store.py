@@ -20,6 +20,7 @@ gracefully: when numpy is unavailable, :func:`resolve_engine` falls back to
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterator, List, Mapping, MutableMapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
@@ -44,19 +45,94 @@ def require_numpy():
     return _np
 
 
-def resolve_engine(engine: str, allowed: Tuple[str, ...] = ("dict", "indexed", "array")) -> str:
+#: Environment variable overriding the worker count of the ``parallel``
+#: engine tier.  ``0`` or ``1`` disable sharding (serial execution).
+WORKERS_VARIABLE = "REPRO_WORKERS"
+
+#: Smallest node count for which ``engine="auto"`` considers the
+#: ``parallel`` tier (when the caller allows it and more than one worker
+#: is available).  Below this, per-round fork overhead dominates any
+#: sharding gain; above it, non-vectorisable rules win roughly linearly
+#: in the worker count.
+PARALLEL_AUTO_THRESHOLD = 1 << 14
+
+
+def parallel_workers(requested: Optional[int] = None) -> int:
+    """Resolve the worker count of the ``parallel`` engine tier.
+
+    Precedence: an explicit ``requested`` count, then the
+    :data:`WORKERS_VARIABLE` environment variable (``REPRO_WORKERS``),
+    then ``os.cpu_count()``.  ``0`` and ``1`` are valid and mean "do not
+    shard" — the parallel tier then degrades to the serial indexed scan.
+    """
+    if requested is None:
+        raw = os.environ.get(WORKERS_VARIABLE)
+        if raw is None:
+            return os.cpu_count() or 1
+        try:
+            requested = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"{WORKERS_VARIABLE} must be an integer worker count, got {raw!r}"
+            ) from None
+    if requested < 0:
+        raise SimulationError(f"worker count must be non-negative, got {requested}")
+    return requested
+
+
+def resolve_engine(
+    engine: str,
+    allowed: Tuple[str, ...] = ("dict", "indexed", "array"),
+    node_count: Optional[int] = None,
+) -> str:
     """Resolve an ``engine`` argument, mapping ``"auto"`` to the fastest tier.
 
-    ``"auto"`` becomes ``"array"`` when numpy is importable and ``"indexed"``
-    otherwise; explicit engine names are validated against ``allowed``.
+    ``"auto"`` becomes ``"parallel"`` when the caller allows that tier,
+    supplies a ``node_count`` of at least :data:`PARALLEL_AUTO_THRESHOLD`
+    and more than one worker is available (see :func:`parallel_workers` and
+    the ``REPRO_WORKERS`` override); otherwise ``"array"`` when numpy is
+    importable and ``"indexed"`` as the last resort.  Explicit engine names
+    are validated against ``allowed``.
     """
     if engine == "auto":
+        if (
+            "parallel" in allowed
+            and node_count is not None
+            and node_count >= PARALLEL_AUTO_THRESHOLD
+            and parallel_workers() > 1
+        ):
+            return "parallel"
         return "array" if HAS_NUMPY else "indexed"
     if engine not in allowed:
         raise ValueError(
             f"unknown engine {engine!r}; expected 'auto' or one of {sorted(allowed)}"
         )
     return engine
+
+
+def merge_chunk_values(
+    chunks: Sequence[Tuple[int, Sequence[Any]]], expected_length: int
+) -> List[Any]:
+    """Merge contiguous ``(start, values)`` chunks into one flat value list.
+
+    The chunks may arrive in any order (workers complete asynchronously);
+    they must tile ``0 .. expected_length`` exactly — a gap, overlap or
+    length mismatch raises :class:`repro.errors.SimulationError` instead of
+    silently misassigning labels to nodes.
+    """
+    merged: List[Any] = []
+    for start, values in sorted(chunks, key=lambda chunk: chunk[0]):
+        if start != len(merged):
+            raise SimulationError(
+                f"chunk starting at index {start} does not continue the "
+                f"merged prefix of length {len(merged)}"
+            )
+        merged.extend(values)
+    if len(merged) != expected_length:
+        raise SimulationError(
+            f"merged chunks cover {len(merged)} nodes, expected {expected_length}"
+        )
+    return merged
 
 
 class LabelStore(MutableMapping):
@@ -100,7 +176,13 @@ class LabelStore(MutableMapping):
 
     @property
     def values_list(self) -> List[Any]:
-        """The backing list (values in flat-index order); shared, not copied."""
+        """The backing list (values in flat-index order); shared, not copied.
+
+        This is also the zero-copy snapshot the ``parallel`` engine tier
+        ships to forked workers: under ``fork`` the list is inherited
+        through copy-on-write memory without any serialisation, and the
+        workers treat it as read-only.
+        """
         return self._values
 
     def to_dict(self) -> Dict[Node, Any]:

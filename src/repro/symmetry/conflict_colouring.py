@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import InvalidProblemError, SimulationError
 
 NodeKey = Hashable
 Colour = int
@@ -43,8 +43,30 @@ class ConflictColouringInstance:
     available: Mapping[NodeKey, Sequence[Colour]]
     forbidden: Callable[[NodeKey, NodeKey, Colour, Colour], bool]
 
+    def validate_lists(self) -> None:
+        """Check that every node the conflict graph mentions has a list.
+
+        Raises :class:`repro.errors.InvalidProblemError` naming the first
+        node (endpoint or referenced neighbour) that ``available`` does not
+        cover, instead of letting a bare ``KeyError`` escape from the
+        middle of a degree computation.
+        """
+        for node, neighbours in self.adjacency.items():
+            if node not in self.available:
+                raise InvalidProblemError(
+                    f"conflict-colouring instance has no colour list for node "
+                    f"{node!r}"
+                )
+            for neighbour in neighbours:
+                if neighbour not in self.available:
+                    raise InvalidProblemError(
+                        f"conflict-colouring instance has no colour list for "
+                        f"node {neighbour!r} (a neighbour of {node!r})"
+                    )
+
     def list_size(self) -> int:
         """Return the smallest list length ``ℓ`` of the instance."""
+        self.validate_lists()
         return min((len(colours) for colours in self.available.values()), default=0)
 
     def max_conflict_degree(self) -> int:
@@ -53,6 +75,7 @@ class ConflictColouringInstance:
         Computed by explicit counting: for every edge and every colour of
         one endpoint, how many colours of the other endpoint it forbids.
         """
+        self.validate_lists()
         worst = 0
         for node, neighbours in self.adjacency.items():
             for neighbour in neighbours:
@@ -84,11 +107,36 @@ def solve_conflict_colouring(
     ``schedule_colours`` must be a proper colouring of the conflict graph;
     the nodes of one class choose simultaneously (one round per class) a
     colour from their list that conflicts with none of the already-fixed
-    neighbours.  If some node runs out of options a
+    neighbours.  Both requirements are validated up front and violations
+    raise :class:`repro.errors.InvalidProblemError` naming the offending
+    node or edge: a node without a schedule colour cannot be placed in any
+    round, and two adjacent nodes sharing a class would silently degrade
+    the "simultaneous" choice of that class into a sequential greedy —
+    the round count and the conflict guarantees of the paper's argument
+    both assume properness.  If some node runs out of options a
     :class:`repro.errors.SimulationError` is raised — the caller is expected
     to retry with a larger list (larger ``ℓ``), mirroring how the paper's
     constants guarantee feasibility.
     """
+    instance.validate_lists()
+    for node in instance.adjacency:
+        if node not in schedule_colours:
+            raise InvalidProblemError(
+                f"schedule colouring is missing node {node!r} of the conflict "
+                "graph"
+            )
+    for node, neighbours in instance.adjacency.items():
+        for neighbour in neighbours:
+            if (
+                neighbour in schedule_colours
+                and neighbour != node
+                and schedule_colours[neighbour] == schedule_colours[node]
+            ):
+                raise InvalidProblemError(
+                    f"schedule colouring is not proper: adjacent nodes "
+                    f"{node!r} and {neighbour!r} share class "
+                    f"{schedule_colours[node]!r}"
+                )
     assignment: Dict[NodeKey, Colour] = {}
     classes: Dict[int, List[NodeKey]] = {}
     for node in instance.adjacency:

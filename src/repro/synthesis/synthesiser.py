@@ -25,7 +25,12 @@ from repro.grid.subgrid import Window
 from repro.synthesis.csp import BinaryCSP, solve_binary_csp
 from repro.synthesis.encode import encode_tile_labelling_as_sat
 from repro.synthesis.sat import solve_cnf
-from repro.synthesis.tile_graph import TileGraph, build_tile_graph
+from repro.synthesis.tile_graph import (
+    TileGraph,
+    build_tile_graph,
+    clear_tile_graph_cache,
+)
+from repro.synthesis.tiles import enumerate_tiles
 
 
 @dataclass
@@ -149,8 +154,18 @@ _OUTCOME_CACHE: Dict[
 
 
 def clear_synthesis_cache() -> None:
-    """Drop all cached synthesis outcomes (mainly for tests)."""
+    """Drop every layer of the synthesis caches (mainly for tests).
+
+    The synthesis pipeline caches at three layers — successful outcomes
+    here, built tile graphs in :mod:`repro.synthesis.tile_graph` and tile
+    enumerations in :mod:`repro.synthesis.tiles` — and a "clear" that only
+    drops the outcome layer leaks the lower ones across tests and sweeps:
+    a subsequent run would still reuse stale tile artefacts while claiming
+    to start cold.  All three layers are cleared together.
+    """
     _OUTCOME_CACHE.clear()
+    clear_tile_graph_cache()
+    enumerate_tiles.cache_clear()
 
 
 def _cached_outcome(key) -> Optional[SynthesisOutcome]:

@@ -73,6 +73,11 @@ class TileGraph:
 _GRAPH_CACHE: Dict[Tuple[int, int, int], TileGraph] = {}
 
 
+def clear_tile_graph_cache() -> None:
+    """Drop all cached tile graphs (see :func:`clear_synthesis_cache`)."""
+    _GRAPH_CACHE.clear()
+
+
 def build_tile_graph(width: int, height: int, k: int) -> TileGraph:
     """Enumerate tiles and their adjacency constraints for the given window size.
 

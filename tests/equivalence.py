@@ -1,9 +1,9 @@
 """Shared randomized equivalence-test harness for engine migrations.
 
 Every fast-path migration in this repository follows the same contract: the
-``"indexed"`` and ``"array"`` engines must produce **byte-identical**
-outputs to the ``"dict"`` reference engine — same values, same tie-breaks,
-same error messages — on randomized inputs.  PR 1 asserted this ad hoc per
+``"indexed"``, ``"array"`` and ``"parallel"`` engines must produce
+**byte-identical** outputs to the ``"dict"`` reference engine — same
+values, same tie-breaks, same error messages — on randomized inputs.  PR 1 asserted this ad hoc per
 module; this harness turns the pattern into shared infrastructure, and
 :func:`assert_engines_agree` compares any number of engine tiers against
 the reference in one call.
@@ -41,9 +41,52 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any, Callable, Iterator, Tuple
+from typing import Any, Callable, Iterator, Optional, Tuple
 
 from repro.grid.torus import ToroidalGrid
+
+
+def rule_engine_factories(
+    grid: ToroidalGrid,
+    labels: Any,
+    rule: Any,
+    workers: Optional[int] = None,
+    table_threshold: Optional[int] = None,
+) -> "dict[str, Callable[[], Any]]":
+    """Factories applying ``rule`` once on every engine tier.
+
+    Returns the ``{"dict": ..., "indexed": ..., "array": ..., "parallel":
+    ...}`` mapping consumed by :func:`assert_engines_agree` — the standard
+    four-tier comparison for plain rule application.  ``workers`` is
+    forwarded to the parallel tier (``None`` resolves via ``REPRO_WORKERS``
+    / CPU count as in production); ``table_threshold`` is forwarded to the
+    array-backed tiers (pass ``1`` to pin small alphabets off the compiled
+    lookup table, so the parallel tier demonstrably shards instead of
+    delegating).
+    """
+    from repro.local_model.engine import (
+        DEFAULT_TABLE_THRESHOLD,
+        ArrayEngine,
+        IndexedEngine,
+        ParallelEngine,
+    )
+    from repro.local_model.simulator import apply_rule
+
+    threshold = (
+        table_threshold if table_threshold is not None else DEFAULT_TABLE_THRESHOLD
+    )
+    return {
+        "dict": lambda: apply_rule(grid, labels, rule),
+        "indexed": lambda: IndexedEngine(grid).apply_rule(labels, rule).to_dict(),
+        "array": lambda: ArrayEngine(grid, table_threshold=threshold)
+        .apply_rule(labels, rule)
+        .to_dict(),
+        "parallel": lambda: ParallelEngine(
+            grid, workers=workers, table_threshold=threshold
+        )
+        .apply_rule(labels, rule)
+        .to_dict(),
+    }
 
 
 def derive_rng(seed: int, label: str) -> random.Random:

@@ -17,10 +17,42 @@ from repro.grid.torus import ToroidalGrid
 from repro.local_model.algorithm import FunctionRule
 from repro.local_model.engine import ArrayEngine, IndexedEngine
 from repro.local_model.simulator import apply_rule
-from repro.local_model.store import ArrayLabelStore, LabelCodec, resolve_engine
+from repro.local_model.store import (
+    ArrayLabelStore,
+    LabelCodec,
+    LabelStore,
+    merge_chunk_values,
+    resolve_engine,
+)
 
 DEGENERATE = ToroidalGrid((7,))  # a 1-D cycle: the degenerate torus
 NON_SQUARE = ToroidalGrid((4, 7))
+
+
+class TestChunkMerging:
+    """The parallel tier's store-level merge primitive."""
+
+    def test_merge_round_trips_any_chunk_order(self):
+        values = [value * 3 for value in range(28)]
+        chunks = [(0, values[:10]), (10, values[10:15]), (15, values[15:])]
+        for permutation in (chunks, chunks[::-1], [chunks[1], chunks[2], chunks[0]]):
+            assert merge_chunk_values(permutation, len(values)) == values
+
+    def test_merged_values_rebuild_a_store(self):
+        indexer = GridIndexer.for_grid(NON_SQUARE)
+        values = [value * 3 for value in range(indexer.node_count)]
+        chunks = [(0, values[:10]), (10, values[10:])]
+        store = LabelStore(indexer, merge_chunk_values(chunks, indexer.node_count))
+        assert store.values_list == values
+
+    def test_gaps_overlaps_and_short_totals_are_rejected(self):
+        values = list(range(28))
+        with pytest.raises(SimulationError, match="does not continue"):
+            merge_chunk_values([(0, values[:10]), (11, values[11:])], len(values))
+        with pytest.raises(SimulationError, match="does not continue"):
+            merge_chunk_values([(0, values[:10]), (9, values[9:])], len(values))
+        with pytest.raises(SimulationError, match="cover"):
+            merge_chunk_values([(0, values[:10])], len(values))
 
 
 class TestLabelCodec:

@@ -1,0 +1,265 @@
+"""Randomized four-engine equivalence suite (see ``tests/equivalence.py``).
+
+Each test derives a private RNG from ``--equivalence-seed`` (default 0),
+draws randomized instances — square, non-square and 1-dimensional tori,
+rules over alphabets far too large to table-compile (the parallel tier's
+target workload), raising rules — and asserts that the ``"dict"``
+reference, the ``"indexed"`` and ``"array"`` fast paths and the
+process-sharded ``"parallel"`` tier produce byte-identical outcomes,
+including identical exceptions with sequential first-failing-node
+semantics.  The degenerate configurations (one worker, zero workers, the
+``REPRO_WORKERS`` override, rules opting out via ``parallel_safe``) are
+exercised explicitly: they must all collapse to the serial scan without
+changing a byte.
+"""
+
+import pytest
+
+from equivalence import (
+    assert_engines_agree,
+    assert_equivalent,
+    derive_rng,
+    grid_corpus,
+    rule_engine_factories,
+)
+
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import (
+    ParallelEngine,
+    SchedulePhase,
+    plan_chunks,
+    run_schedule,
+)
+from repro.local_model.simulator import apply_rule, iterate_rule
+from repro.local_model.store import (
+    PARALLEL_AUTO_THRESHOLD,
+    parallel_workers,
+    resolve_engine,
+)
+
+
+def _engine_corpus(rng):
+    """Tori covering the engine edge cases: 2-D shapes plus a 1-D cycle."""
+    yield from grid_corpus(rng, extras=1)
+    yield ToroidalGrid((rng.randint(5, 11),))
+
+
+def _identifier_rule(rng):
+    """A deterministic non-compilable rule (alphabet size ~ node count)."""
+    a, b = rng.randrange(1, 7), rng.randrange(7)
+
+    def update(view):
+        values = sorted(view.values())
+        return a * values[0] + b * values[-1]
+
+    return FunctionRule(rng.choice([1, 1, 2]), update)
+
+
+class TestShardedRuleApplication:
+    def test_non_compilable_rules_across_worker_counts(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-noncompilable")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            rule = _identifier_rule(rng)
+            # 0 and 1 workers are the degenerate serial configurations; 2+
+            # actually shard (chunk count capped by the node count).
+            workers = rng.choice([2, 3, 4])
+            for worker_count in (0, 1, workers):
+                # A threshold of 1 pins even tiny identifier alphabets off
+                # the compiled-table delegation, so worker_count > 1 is
+                # guaranteed to exercise the sharded scan itself.
+                engine = ParallelEngine(grid, workers=worker_count, table_threshold=1)
+                expected = "sharded" if worker_count > 1 else "list"
+                assert engine.rule_tier(rule, labels) == expected
+                assert_engines_agree(
+                    rule_engine_factories(
+                        grid, labels, rule, workers=worker_count, table_threshold=1
+                    ),
+                    f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                    f"radius={rule.radius} workers={worker_count}",
+                )
+
+    def test_raising_rules_report_first_failing_node(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-raising")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            nodes = list(grid.nodes())
+            labels = {node: position for position, node in enumerate(nodes)}
+            # Poison a random subset of nodes: the minimum over a poisoned
+            # ball raises, and every engine must report the *same* node (the
+            # lowest flat index), even when several chunks fail at once.
+            poisoned = set(
+                rng.sample(range(len(nodes)), rng.randint(1, max(1, len(nodes) // 4)))
+            )
+            # Label 0 is the minimum of its own ball, so at least one node
+            # is guaranteed to raise.
+            poisoned.add(0)
+
+            def update(view):
+                smallest = min(view.values())
+                if smallest in poisoned:
+                    raise ValueError(f"poisoned label {smallest}")
+                return smallest
+
+            rule = FunctionRule(1, update)
+            outcome = assert_engines_agree(
+                rule_engine_factories(grid, labels, rule, workers=rng.choice([2, 4])),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"poisoned={len(poisoned)}",
+            )
+            assert outcome[0] == "error"
+
+    def test_parallel_unsafe_rules_fall_back_serially(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-unsafe")
+        grid = ToroidalGrid((rng.randint(5, 8), rng.randint(5, 8)))
+        identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+        labels = {node: identifiers[node] for node in grid.nodes()}
+        rule = _identifier_rule(rng)
+        rule.parallel_safe = False
+        engine = ParallelEngine(grid, workers=4)
+        assert engine.rule_tier(rule, labels) == "list"
+        assert_equivalent(
+            lambda: apply_rule(grid, labels, rule),
+            lambda: engine.apply_rule(labels, rule).to_dict(),
+            f"seed={equivalence_seed} grid={grid.sides} parallel_safe=False",
+        )
+
+    def test_iterate_rule_including_budget_exhaustion(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-iterate")
+        for trial, grid in enumerate(grid_corpus(rng, extras=0)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            rule = FunctionRule(1, lambda view: min(view.values()))
+            target = min(labels.values())
+
+            def stop(current):
+                return all(value == target for value in current.values())
+
+            budget = max(grid.sides) + 1
+            context = f"seed={equivalence_seed} trial={trial} grid={grid.sides}"
+            assert_equivalent(
+                lambda: iterate_rule(grid, labels, rule, stop, budget),
+                lambda: ParallelEngine(grid, workers=2)
+                .iterate_rule(labels, rule, stop, budget)
+                .to_dict(),
+                f"{context} budget={budget}",
+            )
+            # Impossible predicate: identical SimulationError from the
+            # sharded tier.
+            assert_equivalent(
+                lambda: iterate_rule(grid, labels, rule, lambda current: False, 2),
+                lambda: ParallelEngine(grid, workers=2).iterate_rule(
+                    labels, rule, lambda current: False, 2
+                ),
+                f"{context} exhausted",
+            )
+
+    def test_run_schedule_parallel_matches_indexed(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-schedule")
+        for trial, grid in enumerate(grid_corpus(rng, extras=0)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            schedule = [
+                SchedulePhase(_identifier_rule(rng), name="first", iterations=2),
+                SchedulePhase(_identifier_rule(rng), name="second", iterations=1),
+            ]
+            assert_equivalent(
+                lambda: run_schedule(grid, labels, schedule).to_dict(),
+                lambda: run_schedule(
+                    grid, labels, schedule, engine="parallel"
+                ).to_dict(),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides}",
+            )
+
+    def test_vectorisable_rules_delegate_to_the_array_tier(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-delegate")
+        grid = ToroidalGrid((rng.randint(5, 9), rng.randint(5, 9)))
+        alphabet_size = rng.randint(2, 4)
+        labels = {node: rng.randrange(alphabet_size) for node in grid.nodes()}
+        rule = FunctionRule(
+            1, lambda view: (min(view.values()) + max(view.values())) % alphabet_size
+        )
+        engine = ParallelEngine(grid, workers=4)
+        # Small finite alphabet: the embedded array engine compiles it.
+        assert engine._array is None or engine.rule_tier(rule, labels) == "table"
+        assert_engines_agree(
+            rule_engine_factories(grid, labels, rule, workers=4),
+            f"seed={equivalence_seed} grid={grid.sides} alphabet={alphabet_size}",
+        )
+
+
+class TestWorkerConfiguration:
+    def test_chunk_plans_tile_the_node_range(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "parallel-chunks")
+        for _ in range(25):
+            node_count = rng.randint(0, 200)
+            workers = rng.randint(1, 12)
+            chunks = plan_chunks(node_count, workers)
+            assert len(chunks) == (min(workers, node_count) if node_count else 0)
+            position = 0
+            for start, stop in chunks:
+                assert start == position and stop > start
+                position = stop
+            assert position == node_count
+            if chunks:
+                sizes = [stop - start for start, stop in chunks]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_repro_workers_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert parallel_workers() == 3
+        grid = ToroidalGrid((5, 5))
+        engine = ParallelEngine(grid)
+        assert engine.workers == 3
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert parallel_workers() == 0
+        assert ParallelEngine(grid).workers == 0
+        # Explicit counts beat the environment.
+        assert parallel_workers(5) == 5
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        with pytest.raises(Exception, match="REPRO_WORKERS"):
+            parallel_workers()
+
+    def test_auto_policy_size_threshold(self, monkeypatch):
+        allowed = ("dict", "indexed", "array", "parallel")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert (
+            resolve_engine("auto", allowed, node_count=PARALLEL_AUTO_THRESHOLD)
+            == "parallel"
+        )
+        assert (
+            resolve_engine("auto", allowed, node_count=PARALLEL_AUTO_THRESHOLD - 1)
+            != "parallel"
+        )
+        # Without a node count (or the tier in `allowed`) auto never picks
+        # the parallel tier, preserving pre-existing call sites.
+        assert resolve_engine("auto", allowed) != "parallel"
+        assert (
+            resolve_engine(
+                "auto", ("dict", "indexed", "array"), node_count=1 << 20
+            )
+            != "parallel"
+        )
+        # A single worker disables the tier no matter the size.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert (
+            resolve_engine("auto", allowed, node_count=1 << 20) != "parallel"
+        )
+
+    def test_more_workers_than_nodes_caps_the_chunk_count(self, equivalence_seed):
+        # plan_chunks caps the shard count at the node count (the smallest
+        # legal torus has 3 nodes, so the cap, not the single-chunk serial
+        # guard, is what a tiny grid exercises): 8 requested workers on a
+        # 3-node cycle must shard into exactly 3 one-node chunks and stay
+        # byte-identical.
+        grid = ToroidalGrid((3,))
+        assert plan_chunks(grid.node_count, 8) == [(0, 1), (1, 2), (2, 3)]
+        labels = {node: position for position, node in enumerate(grid.nodes())}
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        assert_equivalent(
+            lambda: apply_rule(grid, labels, rule),
+            lambda: ParallelEngine(grid, workers=8).apply_rule(labels, rule).to_dict(),
+            f"seed={equivalence_seed} grid={grid.sides} workers=8",
+        )

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.verifier import verify_maximal_independent_set
-from repro.errors import SimulationError
+from repro.errors import InvalidProblemError, SimulationError
 from repro.grid.identifiers import adversarial_identifiers, cycle_identifiers, random_identifiers
 from repro.grid.power import PowerGraph
 from repro.grid.torus import ToroidalGrid, adjacency_map
@@ -223,6 +223,75 @@ class TestConflictColouring:
         )
         with pytest.raises(SimulationError):
             solve_conflict_colouring(instance, {"a": 0, "b": 1})
+
+    def test_improper_schedule_is_rejected(self):
+        # Regression: an improper schedule used to be accepted silently,
+        # degrading the "simultaneous" class rounds into a sequential
+        # greedy (and over-counting the round complexity).
+        adjacency = {"a": ["b"], "b": ["a", "c"], "c": ["b"]}
+        instance = ConflictColouringInstance(
+            adjacency=adjacency,
+            available={node: [1, 2] for node in adjacency},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        with pytest.raises(InvalidProblemError, match=r"not proper.*'a'.*'b'"):
+            solve_conflict_colouring(instance, {"a": 0, "b": 0, "c": 1})
+
+    def test_schedule_missing_a_node_is_rejected(self):
+        # Regression: a node absent from the schedule used to surface as a
+        # bare KeyError from the class-bucketing loop.
+        adjacency = {"a": ["b"], "b": ["a"]}
+        instance = ConflictColouringInstance(
+            adjacency=adjacency,
+            available={"a": [1, 2], "b": [1, 2]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        with pytest.raises(InvalidProblemError, match="missing node 'b'"):
+            solve_conflict_colouring(instance, {"a": 0})
+
+    def test_degree_and_list_size_name_uncovered_nodes(self):
+        # Regression: adjacency referencing a node without a colour list
+        # used to raise a bare KeyError from max_conflict_degree.
+        instance = ConflictColouringInstance(
+            adjacency={"a": ["ghost"]},
+            available={"a": [1, 2]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        with pytest.raises(InvalidProblemError, match="'ghost'"):
+            instance.max_conflict_degree()
+        with pytest.raises(InvalidProblemError, match="'ghost'"):
+            instance.list_size()
+        uncovered = ConflictColouringInstance(
+            adjacency={"a": ["b"], "b": ["a"]},
+            available={"b": [1]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        with pytest.raises(InvalidProblemError, match="no colour list for node 'a'"):
+            uncovered.max_conflict_degree()
+
+    def test_solver_rejects_scheduled_node_without_colour_list(self):
+        # Regression: a proper schedule over an instance whose `available`
+        # misses a node used to pass both schedule checks and then leak a
+        # bare KeyError from the greedy loop.
+        instance = ConflictColouringInstance(
+            adjacency={"a": ["b"], "b": ["a"]},
+            available={"a": [1, 2]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        with pytest.raises(InvalidProblemError, match="no colour list for node 'b'"):
+            solve_conflict_colouring(instance, {"a": 0, "b": 1})
+
+    def test_proper_schedule_with_extra_scheduled_nodes_still_solves(self):
+        # Nodes outside the conflict graph may appear in the schedule; they
+        # are ignored rather than rejected.
+        adjacency = {"a": ["b"], "b": ["a"]}
+        instance = ConflictColouringInstance(
+            adjacency=adjacency,
+            available={"a": [1, 2], "b": [1, 2]},
+            forbidden=lambda u, v, cu, cv: cu == cv,
+        )
+        result = solve_conflict_colouring(instance, {"a": 0, "b": 1, "z": 0})
+        assert result.assignment["a"] != result.assignment["b"]
 
 
 class TestRowRulingSets:

@@ -34,6 +34,45 @@ class TestTileCaches:
         assert other is not first
 
 
+class TestClearSynthesisCache:
+    def test_clear_drops_every_layer(self):
+        # Regression: clear_synthesis_cache() used to clear only the
+        # outcome layer, leaking tile enumerations and tile graphs across
+        # tests and sweeps — a "cold" run after a clear still reused them.
+        tiles_before = enumerate_tiles(3, 2, 1)
+        graph_before = build_tile_graph(3, 2, 1)
+        clear_synthesis_cache()
+        tiles_after = enumerate_tiles(3, 2, 1)
+        graph_after = build_tile_graph(3, 2, 1)
+        # Re-enumerated (fresh objects), yet byte-identical content.
+        assert tiles_after is not tiles_before
+        assert graph_after is not graph_before
+        assert tiles_after == tiles_before
+        assert graph_after.tiles == graph_before.tiles
+        assert graph_after.horizontal_pairs == graph_before.horizontal_pairs
+        assert graph_after.vertical_pairs == graph_before.vertical_pairs
+
+    def test_clear_drops_cached_outcomes(self):
+        from repro.synthesis.synthesiser import _OUTCOME_CACHE
+        from repro.synthesis.tile_graph import _GRAPH_CACHE
+
+        clear_synthesis_cache()
+        problem = x_orientation_problem({1, 3, 4})
+        search = synthesise_with_budget(problem, max_k=1)
+        assert search.succeeded
+        best = search.best
+        hit = synthesise(problem, best.k, best.width, best.height)
+        assert _OUTCOME_CACHE and _GRAPH_CACHE
+        assert enumerate_tiles.cache_info().currsize > 0
+        clear_synthesis_cache()
+        assert not _OUTCOME_CACHE and not _GRAPH_CACHE
+        assert enumerate_tiles.cache_info().currsize == 0
+        # A cleared cache re-solves from scratch to an identical table.
+        fresh = synthesise(problem, best.k, best.width, best.height)
+        assert fresh.stats.get("nodes_explored", 0) > 0
+        assert fresh.table == hit.table
+
+
 class TestOutcomeCache:
     def test_hit_is_equal_but_isolated(self):
         clear_synthesis_cache()
