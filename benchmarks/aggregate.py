@@ -1,0 +1,91 @@
+"""Merge ``BENCH_*.json`` benchmark artifacts into one summary document.
+
+The benchmarks write one machine-readable ``BENCH_<name>.json`` file per
+test (see the ``bench_json`` fixture in ``benchmarks/conftest.py``); CI
+uploads the result directory as a build artifact.  This script folds a
+directory of those files into a single ``bench-summary.json`` so the perf
+trajectory across engine tiers can be diffed run-over-run without opening
+a dozen files::
+
+    python benchmarks/aggregate.py bench-results
+    python benchmarks/aggregate.py bench-results --output summary.json
+
+Unparseable files are skipped (and listed in the summary under
+``skipped``) rather than failing the merge — a crashed benchmark run must
+not also lose the artifacts of the runs that succeeded.  The summary file
+deliberately does not match the ``BENCH_*.json`` glob, so re-running the
+merge never ingests its own output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+DEFAULT_SUMMARY_NAME = "bench-summary.json"
+
+
+def aggregate(results_dir: Path) -> Dict:
+    """Fold every ``BENCH_*.json`` under ``results_dir`` into one document.
+
+    Returns ``{"count", "benchmarks": {name: payload}, "skipped": [...]}``
+    with benchmarks keyed by their recorded name (falling back to the file
+    stem) and sorted for stable diffs.
+    """
+    benchmarks: Dict[str, Dict] = {}
+    skipped: List[str] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            skipped.append(path.name)
+            continue
+        if not isinstance(payload, dict):
+            skipped.append(path.name)
+            continue
+        name = str(payload.get("benchmark") or path.stem[len("BENCH_"):])
+        benchmarks[name] = payload
+    return {
+        "count": len(benchmarks),
+        "benchmarks": {name: benchmarks[name] for name in sorted(benchmarks)},
+        "skipped": skipped,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results_dir",
+        type=Path,
+        help="directory holding BENCH_*.json files (e.g. benchmarks/results)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"summary path (default: <results_dir>/{DEFAULT_SUMMARY_NAME})",
+    )
+    arguments = parser.parse_args(argv)
+    if not arguments.results_dir.is_dir():
+        print(f"no results directory at {arguments.results_dir}", file=sys.stderr)
+        return 1
+    summary = aggregate(arguments.results_dir)
+    output = (
+        arguments.output
+        if arguments.output is not None
+        else arguments.results_dir / DEFAULT_SUMMARY_NAME
+    )
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(
+        f"merged {summary['count']} benchmark(s) into {output}"
+        + (f" ({len(summary['skipped'])} skipped)" if summary["skipped"] else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,289 @@
+"""Benchmark: persistent shm engine tier versus per-round-fork parallel.
+
+This is the acceptance benchmark of the fifth engine tier.  Both tiers
+shard the same non-compilable rounds across the same number of worker
+processes, so steady-state compute is identical; what differs is the
+per-round overhead.  The ``parallel`` tier pays one full ``fork`` of the
+parent (warmed index tables and all) per round *plus* pickling every
+chunk's result list back through the pool; the ``shm`` tier pays one pool
+spawn per schedule, after which a round costs two task messages per
+worker and two ``int32`` memcpys through shared memory.  The target is a
+>= 2x speedup on one 512x512 8-round schedule with 4 workers — measured
+on hardware with at least 4 CPUs; the floor scales down with the cores
+actually available, and a single-CPU runner records the honest ratio
+without asserting one.
+
+The slow sweep extends the measurement over sides 256-2048 (the regime
+the ``Θ(log* n)`` vs ``Θ(n)`` separation plots need).  Results are
+written as machine-readable ``BENCH_*.json`` files (see
+``benchmarks/conftest.py``) and uploaded as CI artifacts.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.grid.indexer import GridIndexer
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import ParallelEngine, ShmEngine
+from repro.local_model.store import WORKERS_VARIABLE, parallel_workers, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+
+SIDE = 512
+ROUNDS = 8
+REPETITIONS = 2
+# The acceptance configuration is 4 workers; a REPRO_WORKERS override
+# (e.g. the CI 2-worker smoke job) repoints the whole quick benchmark.
+WORKERS = parallel_workers() if os.environ.get(WORKERS_VARIABLE) else 4
+SWEEP_SIDES = (256, 512, 1024, 2048)
+SWEEP_ROUNDS = 3
+
+CPUS = os.cpu_count() or 1
+
+
+def _speedup_floor(workers):
+    """The asserted floor given the machine's CPU count.
+
+    The amortisation gain needs real parallel rounds on both sides:
+    demand the headline 2x only where 4 cores back 4 workers (relaxed on
+    shared CI runners), a token win on 2-3 cores, and nothing on a single
+    CPU (the ratio is still recorded).
+    """
+    usable = min(workers, CPUS)
+    if usable >= 4:
+        return 1.3 if os.environ.get("CI") else 2.0
+    if usable >= 2:
+        return 1.05
+    return None
+
+
+def _signature_rule(node_count):
+    """A cheap radius-1 rule over an identifier-sized *closed* alphabet.
+
+    |Σ| = node_count keeps every tier off the compiled lookup table and
+    no ``update_batch`` hook is declared, so both contenders shard the
+    same per-node Python scan.  The body is deliberately light — the
+    benchmark isolates *per-round overhead* (fork + result pickling vs
+    barrier messages), which is exactly what the shm tier removes; a
+    heavyweight rule body would just dilute both sides equally.  Outputs
+    stay inside ``range(node_count)`` and :func:`_labels` covers that
+    whole range, so the schedule runs on a closed alphabet — the steady
+    state of every LCL workload; alphabet *growth* (the shm tier's
+    overflow/codec-sync protocol) is priced separately by the equivalence
+    suite, not blended into the transport measurement.
+    """
+
+    def update(view):
+        values = view.values()
+        return (3 * min(values) + max(values) + 1) % node_count
+
+    return FunctionRule(1, update)
+
+
+def _labels(grid):
+    # 31 is odd and every torus side here is a power of two, so the
+    # stride covers all node_count residues: the alphabet is closed from
+    # the first store.
+    side = grid.sides[0]
+    return {
+        node: (node[0] * side + node[1]) * 31 % grid.node_count
+        for node in grid.nodes()
+    }
+
+
+def _best_of(repetitions, run):
+    timings = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _run_parallel_schedule(engine, initial, rule, rounds):
+    current = initial
+    for _ in range(rounds):
+        current = engine.apply_rule(current, rule)
+    return current.to_dict()
+
+
+def _warm_shm_engine(grid, labels, rule, workers):
+    """Spawn the persistent pool and return ``(engine, spawn_seconds)``.
+
+    The spawn happens once per simulation — that is the tier's whole
+    premise — so the schedule measurement below is the amortised steady
+    state; the one-time spawn cost is recorded separately in the JSON
+    payload rather than smeared into the per-round comparison (the
+    ``parallel`` contender has no analogous one-time cost: it pays its
+    pool fork inside every round, which is exactly what is being
+    measured).
+    """
+    engine = ShmEngine(grid, workers=workers)
+    engine.prepare([rule])
+    start = time.perf_counter()
+    engine.apply_rule(engine.store(labels), rule)
+    spawn_seconds = time.perf_counter() - start
+    return engine, spawn_seconds
+
+
+def _run_shm_schedule(engine, initial, rule, rounds):
+    # Each repetition restarts from the same initial store; applications
+    # never mutate their input, so the store is reusable.
+    current = initial
+    for _ in range(rounds):
+        current = engine.apply_rule(current, rule)
+    return current.to_dict()
+
+
+def test_shm_engine_amortises_fork_cost_on_512_torus(benchmark, bench_json):
+    grid = ToroidalGrid.square(SIDE)
+    rule = _signature_rule(grid.node_count)
+    labels = _labels(grid)
+    # Warm the shared index tables so neither contender pays first-touch
+    # table construction inside its timing, adopt the initial labelling
+    # into both engines' stores, then spawn the pool.
+    GridIndexer.for_grid(grid).warm_ball_tables({(1, "l1")})
+    parallel_engine = ParallelEngine(grid, workers=WORKERS)
+    parallel_store = parallel_engine.store(labels)
+    shm_engine, spawn_seconds = _warm_shm_engine(grid, labels, rule, WORKERS)
+    shm_store = shm_engine.store(labels)
+
+    def measure():
+        parallel_seconds = _best_of(
+            REPETITIONS,
+            lambda: _run_parallel_schedule(
+                parallel_engine, parallel_store, rule, ROUNDS
+            ),
+        )
+        shm_seconds = _best_of(
+            REPETITIONS,
+            lambda: _run_shm_schedule(shm_engine, shm_store, rule, ROUNDS),
+        )
+        return parallel_seconds, shm_seconds
+
+    parallel_seconds, shm_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = parallel_seconds / shm_seconds
+    floor = _speedup_floor(WORKERS)
+
+    print(
+        f"\n{SIDE}x{SIDE} torus, {ROUNDS}-round schedule of a radius-1 "
+        f"non-compilable rule, {WORKERS} workers on {CPUS} CPUs "
+        f"(best of {REPETITIONS}):\n"
+        f"  parallel (fork per round)   {parallel_seconds * 1000:8.1f} ms\n"
+        f"  shm (one persistent pool)   {shm_seconds * 1000:8.1f} ms\n"
+        f"  pool spawn (once)           {spawn_seconds * 1000:8.1f} ms\n"
+        f"  speedup                     {speedup:8.2f}x  (floor: {floor or 'n/a'})"
+    )
+    bench_json(
+        {
+            "side": SIDE,
+            "rounds": ROUNDS,
+            "workers": WORKERS,
+            "cpus": CPUS,
+            "parallel_seconds": parallel_seconds,
+            "shm_seconds": shm_seconds,
+            "spawn_seconds": spawn_seconds,
+            "speedup": speedup,
+            "floor": floor,
+        }
+    )
+
+    # Byte-identical results, and the core-gated amortisation floor.
+    try:
+        assert _run_shm_schedule(
+            shm_engine, shm_store, rule, 2
+        ) == _run_parallel_schedule(parallel_engine, parallel_store, rule, 2)
+    finally:
+        shm_engine.close()
+    if floor is not None:
+        assert speedup >= floor, (
+            f"shm tier only {speedup:.2f}x faster than per-round forks "
+            f"({WORKERS} workers, {CPUS} CPUs, {ROUNDS} rounds)"
+        )
+
+
+@pytest.mark.slow
+def test_shm_engine_side_sweep(benchmark, bench_json):
+    """Amortisation sweep over torus sides 256-2048.
+
+    Charts how the per-round fork tax of the parallel tier grows with the
+    parent's table footprint (fork copies page tables, results pickle at
+    O(n)) while the shm tier's barrier stays O(workers) — the regime
+    opened here (sides >= 1024) is what the separation plots need.
+    """
+
+    def sweep():
+        rows = []
+        for side in SWEEP_SIDES:
+            grid = ToroidalGrid.square(side)
+            rule = _signature_rule(grid.node_count)
+            labels = _labels(grid)
+            GridIndexer.for_grid(grid).warm_ball_tables({(1, "l1")})
+            parallel_engine = ParallelEngine(grid, workers=WORKERS)
+            parallel_store = parallel_engine.store(labels)
+            parallel_seconds = _best_of(
+                1,
+                lambda: _run_parallel_schedule(
+                    parallel_engine, parallel_store, rule, SWEEP_ROUNDS
+                ),
+            )
+            engine, spawn_seconds = _warm_shm_engine(grid, labels, rule, WORKERS)
+            try:
+                store = engine.store(labels)
+                shm_seconds = _best_of(
+                    1,
+                    lambda: _run_shm_schedule(engine, store, rule, SWEEP_ROUNDS),
+                )
+            finally:
+                engine.close()
+            rows.append((side, parallel_seconds, shm_seconds, spawn_seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        f"\n{WORKERS} workers on {CPUS} CPUs, {SWEEP_ROUNDS}-round schedules\n"
+        f"side  parallel (ms)  shm (ms)  spawn (ms)  speedup"
+    )
+    for side, parallel_seconds, shm_seconds, spawn_seconds in rows:
+        print(
+            f"{side:4d}  {parallel_seconds * 1000:13.1f}"
+            f"  {shm_seconds * 1000:8.1f}"
+            f"  {spawn_seconds * 1000:10.1f}"
+            f"  {parallel_seconds / shm_seconds:6.2f}x"
+        )
+    bench_json(
+        {
+            "rounds": SWEEP_ROUNDS,
+            "workers": WORKERS,
+            "cpus": CPUS,
+            "sweep": [
+                {
+                    "side": side,
+                    "parallel_seconds": parallel_seconds,
+                    "shm_seconds": shm_seconds,
+                    "spawn_seconds": spawn_seconds,
+                    "speedup": parallel_seconds / shm_seconds,
+                }
+                for side, parallel_seconds, shm_seconds, spawn_seconds in rows
+            ],
+        }
+    )
+    # Only the headline 512 configuration carries a floor: the larger
+    # sides chart the regime honestly (on memory-starved or oversubscribed
+    # machines the 2048 rows become bandwidth-bound for both contenders
+    # and the ratio is machine-dependent), they do not gate CI.
+    floor = _speedup_floor(WORKERS)
+    if floor is not None:
+        for side, parallel_seconds, shm_seconds, _ in rows:
+            if side == 512:
+                assert parallel_seconds / shm_seconds >= floor, (
+                    f"side {side}: only "
+                    f"{parallel_seconds / shm_seconds:.2f}x"
+                )

@@ -8,7 +8,28 @@ while staying reproducible — the failing seed is printed in the assertion
 message and in the job summary.
 """
 
+import os
+
 import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_repro_cache(tmp_path_factory):
+    """Pin the on-disk synthesis cache to a per-session temp directory.
+
+    The disk cache (``repro.synthesis.disk_cache``) defaults to
+    ``~/.cache/repro``; a test run must neither read a developer's warm
+    cache (hiding cold-path bugs) nor write into it.  Within the session
+    the cache still works normally, so the disk-cache tests exercise the
+    real read/write paths.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 def pytest_addoption(parser):

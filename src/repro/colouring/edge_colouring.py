@@ -30,7 +30,7 @@ from repro.grid.identifiers import IdentifierAssignment
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Direction, EdgeKey, Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
-from repro.local_model.store import require_numpy, resolve_engine
+from repro.local_model.store import require_numpy, resolve_vector_engine
 from repro.colouring.jk_independent import JKIndependentSet, compute_jk_independent_set
 from repro.symmetry.linial import linial_colour_reduction
 from repro.symmetry.reduction import reduce_colours_to
@@ -155,7 +155,7 @@ def _colour_segments(
     cyclic distance to its previous marked edge with one vectorised
     ``searchsorted`` per row.
     """
-    engine = resolve_engine(engine)
+    engine = resolve_vector_engine(engine)
     labels: Dict[EdgeKey, int] = {}
     special = number_of_colours - 1
     if engine == "dict":
@@ -275,7 +275,7 @@ def _edge_colouring_once(
     number_of_colours: int,
     engine: str = "auto",
 ) -> AlgorithmResult:
-    engine = resolve_engine(engine)
+    engine = resolve_vector_engine(engine)
     if spacing is None:
         spacing = (2 * separation + 1) ** 2
     if min(grid.sides) <= spacing:

@@ -36,7 +36,7 @@ from repro.grid.identifiers import IdentifierAssignment
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
-from repro.local_model.store import require_numpy, resolve_engine
+from repro.local_model.store import require_numpy, resolve_vector_engine
 from repro.symmetry.conflict_colouring import (
     ConflictColouringInstance,
     solve_conflict_colouring,
@@ -73,13 +73,17 @@ def _assign_radii(
     identifiers: IdentifierAssignment,
     ell: int,
     radius_factor: int,
+    engine: str = "auto",
 ) -> _RadiusAssignment:
     """Assign ball radii to anchors via greedy conflict colouring (step 2).
 
     The paper draws the radii from the open interval ``(ℓ, 2ℓ)``; we allow
     the wider range ``(ℓ, radius_factor·ℓ)`` — coverage only needs
     ``r(v) > ℓ`` and the separation property is enforced explicitly — which
-    gives the greedy enough slack to succeed with small ``ℓ``.
+    gives the greedy enough slack to succeed with small ``ℓ``.  ``engine``
+    selects the execution path of the conflict-colouring schedule rounds
+    (see :func:`repro.symmetry.conflict_colouring.solve_conflict_colouring`);
+    all paths are byte-identical.
     """
     max_radius = radius_factor * ell - 1
     interaction_radius = 2 * max_radius + 2
@@ -113,7 +117,7 @@ def _assign_radii(
     reduced = reduce_colours_to(adjacency, linial.colours)
     overhead = interaction_radius * grid.dimension
     try:
-        result = solve_conflict_colouring(instance, reduced.colours)
+        result = solve_conflict_colouring(instance, reduced.colours, engine=engine)
         radii = result.assignment
         rounds = (linial.rounds + reduced.rounds + result.rounds) * overhead
     except SimulationError:
@@ -190,9 +194,12 @@ def _border_counts(
     target-index table across all anchors of a radius, ``"array"``
     scatter-adding every anchor's shell in one numpy ``np.add.at`` per
     radius group); all three are byte-identical, pinned by the randomized
-    equivalence suite.
+    equivalence suite.  ``"parallel"``/``"shm"`` are accepted (so one
+    engine value can drive the whole 4-colouring) and execute as the
+    array tier — this phase is a single scatter pass, not a multi-round
+    sharded rule scan.
     """
-    engine = resolve_engine(engine)
+    engine = resolve_vector_engine(engine)
     if engine == "dict":
         counts_by_node: Dict[Node, int] = {node: 0 for node in grid.nodes()}
         shell_cache: Dict[int, Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = {}
@@ -371,7 +378,9 @@ def _four_colouring_once(
     engine: str = "auto",
 ) -> AlgorithmResult:
     anchors = compute_anchors(grid, identifiers, ell, norm="linf")
-    radii = _assign_radii(grid, anchors.members, identifiers, ell, radius_factor)
+    radii = _assign_radii(
+        grid, anchors.members, identifiers, ell, radius_factor, engine=engine
+    )
     counts = _border_counts(grid, radii.radii, engine=engine)
     colours = _two_colour_components(
         grid, identifiers, counts, diameter_bound=2 * radius_factor * ell

@@ -217,6 +217,20 @@ class GridIndexer:
         offsets = ball_offsets(self._grid.dimension, radius, norm)
         return offsets, self.offset_index_array(offsets)
 
+    def warm_ball_tables(self, specs: Iterable[Tuple[int, str]]) -> None:
+        """Materialise ball tables and getters for ``(radius, norm)`` specs.
+
+        The table handoff of the persistent worker-pool runtime
+        (:mod:`repro.runtime`): the pool warms every registered rule's
+        tables *before* forking, so all workers inherit one shared copy
+        through copy-on-write memory instead of each lazily rebuilding its
+        own — on a 1024-sided torus that is hundreds of megabytes times the
+        worker count.  Idempotent and cheap when already warm.
+        """
+        for radius, norm in specs:
+            self.ball_table(radius, norm)
+            self.ball_getters(radius, norm)
+
     def ball_node_table(
         self, radius: int, norm: str = "l1"
     ) -> Tuple[Tuple[int, ...], ...]:

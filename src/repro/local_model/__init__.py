@@ -18,18 +18,25 @@ Two execution styles are provided:
 Engine tiers and selection
 --------------------------
 
-Label rewriting runs through four byte-identical engine tiers —
+Label rewriting runs through five byte-identical engine tiers —
 ``"dict"`` (the reference), ``"indexed"`` (flat scans over precomputed
 :class:`repro.grid.indexer.GridIndexer` tables), ``"array"`` (numpy code
-vectors with compiled/vectorised rules) and ``"parallel"``
+vectors with compiled/vectorised rules), ``"parallel"``
 (:class:`repro.local_model.engine.ParallelEngine`: process-sharded scans
-for the rules the array tier cannot vectorise).  Entry points taking an
-``engine`` argument also accept ``"auto"``, resolved by
-:func:`repro.local_model.store.resolve_engine`:
+for the rules the array tier cannot vectorise) and ``"shm"``
+(:class:`repro.local_model.engine.ShmEngine`: the same sharded scans over
+a persistent :mod:`repro.runtime` worker pool with shared-memory code
+vectors, amortising the per-round fork cost across multi-round
+schedules).  Entry points taking an ``engine`` argument also accept
+``"auto"``, resolved by :func:`repro.local_model.store.resolve_engine`:
 
-* ``"parallel"`` when the call site allows that tier, the grid has at
-  least :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes and
-  more than one worker is available;
+* ``"shm"`` when the call site allows that tier, the grid has at least
+  :data:`repro.local_model.store.SHM_AUTO_THRESHOLD` nodes, the platform
+  supports it (:func:`repro.local_model.store.shm_available`) and more
+  than one worker is available;
+* else ``"parallel"`` when the call site allows that tier, the grid has
+  at least :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes
+  and more than one worker is available;
 * otherwise ``"array"`` when numpy is importable, else ``"indexed"``.
 
 The worker count comes from
@@ -57,6 +64,7 @@ from repro.local_model.engine import (
     IndexedEngine,
     ParallelEngine,
     SchedulePhase,
+    ShmEngine,
     plan_chunks,
     run_schedule,
 )
@@ -66,6 +74,7 @@ from repro.local_model.store import (
     LabelStore,
     parallel_workers,
     resolve_engine,
+    shm_available,
 )
 from repro.local_model.views import NeighbourhoodView, collect_view
 from repro.local_model.messaging import MessagePassingNetwork, NodeProgram
@@ -91,7 +100,9 @@ __all__ = [
     "ParallelEngine",
     "RoundLedger",
     "SchedulePhase",
+    "ShmEngine",
     "apply_rule",
+    "shm_available",
     "collect_view",
     "is_order_invariant",
     "iterate_rule",

@@ -42,22 +42,26 @@ class LocalRule(abc.ABC):
     norm: str = "l1"
 
     #: Optional vectorised form consumed by the ``"array"`` engine tier
-    #: when the rule's alphabet is too large for lookup-table compilation.
-    #: When not ``None``, it must be a callable receiving the decoded
-    #: ``(node_count, ball_size)`` value matrix (one row per node, columns
-    #: in ball-offset order — offset zero included at its ball position)
-    #: and returning a length-``node_count`` sequence/array of next labels,
-    #: equal to applying :meth:`update` row by row.
+    #: (and the ``"parallel"``/``"shm"`` tiers, which delegate vectorisable
+    #: rules to it) when the rule's alphabet is too large for lookup-table
+    #: compilation.  When not ``None``, it must be a callable receiving the
+    #: decoded ``(node_count, ball_size)`` value matrix (one row per node,
+    #: columns in ball-offset order — offset zero included at its ball
+    #: position) and returning a length-``node_count`` sequence/array of
+    #: next labels, equal to applying :meth:`update` row by row.
     update_batch: Optional[Callable[[Any], Any]] = None
 
-    #: Whether the ``"parallel"`` engine tier may shard applications of
-    #: this rule across worker processes.  The default assumes what every
-    #: LOCAL rule must satisfy anyway: :meth:`update` is a deterministic
-    #: function of the view alone.  A rule that additionally mutates
-    #: out-of-band state it later reads (e.g. an instrumentation counter
-    #: whose value feeds back into outputs) must set this to ``False`` —
-    #: worker processes see copies of that state, so its mutations would
-    #: be lost between rounds.
+    #: Whether the ``"parallel"`` and ``"shm"`` engine tiers may shard
+    #: applications of this rule across worker processes.  The default
+    #: assumes what every LOCAL rule must satisfy anyway: :meth:`update` is
+    #: a deterministic function of the view alone.  A rule that
+    #: additionally mutates out-of-band state it later reads (e.g. an
+    #: instrumentation counter whose value feeds back into outputs) must
+    #: set this to ``False`` — worker processes see copies of that state,
+    #: so its mutations would be lost between rounds; for the ``shm``
+    #: tier's *persistent* workers they would additionally leak from one
+    #: round into the next.  Opting out degrades those tiers to the serial
+    #: indexed scan, byte-identical.
     parallel_safe: bool = True
 
     @abc.abstractmethod

@@ -1,7 +1,7 @@
-"""Fast-path simulation engines: the ``indexed``, ``array`` and
-``parallel`` tiers.
+"""Fast-path simulation engines: the ``indexed``, ``array``, ``parallel``
+and ``shm`` tiers.
 
-The repository executes LOCAL-model rules through four engine tiers with
+The repository executes LOCAL-model rules through five engine tiers with
 identical semantics (asserted byte-identical by the randomized equivalence
 suite):
 
@@ -46,6 +46,25 @@ suite):
   process limits, one CPU, ``REPRO_WORKERS=0``/``1`` — every application
   degrades to the serial indexed scan, byte-identical by construction.
 
+* ``"shm"`` — :class:`ShmEngine`: the fifth tier, for *multi-round*
+  schedules of sharded rules at scale (sides >= 1024).  The parallel tier
+  pays one ``fork`` of the whole parent (plus pickling every result list
+  back) per round; this tier spawns a persistent
+  :class:`repro.runtime.pool.WorkerPool` **once**, ships labellings as
+  double-buffered ``int32`` code vectors through
+  ``multiprocessing.shared_memory`` and drives each round with one small
+  task message per worker (see :mod:`repro.runtime` for the buffer/barrier
+  protocol).  Vectorisable rules still delegate to the inherited
+  :class:`ArrayEngine` paths; exceptions keep sequential
+  first-failing-node semantics (workers report their first failing flat
+  index, the barrier re-raises the lowest); and every degradation is
+  byte-identical with a one-time warning — single worker, missing shared
+  memory and pool-*spawn* failures fall back to the ``parallel`` tier's
+  per-round forks (and through its own ladder to the serial indexed
+  scan), while a pool broken *mid-round* by a dying worker goes straight
+  to the serial scan, because a per-round fork pool would hang, not
+  fail, on the same rule.
+
 Labellings live in ``Mapping``-compatible stores in every tier, so
 user-supplied rules, per-node functions and stopping predicates are engine
 agnostic.  :func:`run_schedule` executes a whole multi-phase algorithm —
@@ -59,7 +78,18 @@ import itertools
 import multiprocessing
 import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
@@ -75,8 +105,14 @@ from repro.local_model.store import (
     parallel_workers,
     require_numpy,
     resolve_engine,
+    shm_available,
 )
 from repro.local_model.views import NeighbourhoodView
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime package imports this
+    # module's sibling ``store``, so the real import happens lazily inside
+    # ShmEngine to keep ``import repro.runtime`` cycle-free.
+    from repro.runtime.pool import WorkerPool
 
 Labels = Mapping[Node, Any]
 GridLike = Union[ToroidalGrid, GridIndexer]
@@ -359,6 +395,11 @@ class ArrayEngine(IndexedEngine):
             current = ArrayLabelStore(self.indexer, self.codec, codes)
             if should_stop(current):
                 return current
+            # A mutating predicate may have copy-on-write-replaced the
+            # store's backing array (shm-tier snapshots are read-only);
+            # re-read it so the next round sees the mutation, exactly as
+            # the list-backed tiers do.
+            codes = current.codes
         raise SimulationError(
             f"rule did not reach its stopping condition within {max_iterations} iterations"
         )
@@ -764,6 +805,234 @@ class ParallelEngine(IndexedEngine):
             _WORKER_STATE = None
 
 
+# --------------------------------------------------------------------- #
+# The shared-memory tier
+# --------------------------------------------------------------------- #
+
+
+class ShmEngine(ArrayEngine):
+    """The fifth engine tier: persistent workers over shared code vectors.
+
+    Extends :class:`ArrayEngine`, so vectorisable rules (compiled lookup
+    table, ``update_batch``) run on the inherited array paths unchanged.
+    The remaining "list path" rules — the ones the ``parallel`` tier
+    re-forks a pool for every round — are instead dispatched to one
+    persistent :class:`repro.runtime.pool.WorkerPool`: spawned on the
+    first sharded application, reused for every later round, shut down by
+    :meth:`close` (the engine is a context manager, and
+    :func:`run_schedule` closes it for you).
+
+    Rules must be registered with the pool before it forks (workers
+    inherit them by memory — nothing is pickled, lambdas welcome).
+    :meth:`prepare` registers a whole schedule up front; an unregistered
+    rule arriving later transparently respawns the pool with the enlarged
+    registry, trading one extra spawn for correctness.
+
+    Degradation is deterministic and byte-identical, announced once per
+    instance via a ``RuntimeWarning``: with one worker or fewer
+    (``REPRO_WORKERS=0``/``1``), without numpy/shared-memory/fork, for
+    ``parallel_safe=False`` rules, or when the pool fails to *spawn*,
+    sharded rounds fall back to the ``parallel`` tier's per-round forks —
+    which themselves degrade to the serial indexed scan.  A pool broken
+    *mid-round* (a worker died while computing) degrades straight to the
+    serial scan instead: the same rule would kill per-round fork workers
+    too, and a fork pool hangs rather than fails on abrupt worker death
+    (see :meth:`_apply_fallback`).
+    """
+
+    def __init__(
+        self,
+        grid_or_indexer: GridLike,
+        workers: Optional[int] = None,
+        table_threshold: int = DEFAULT_TABLE_THRESHOLD,
+        codec: Optional[LabelCodec] = None,
+    ):
+        super().__init__(grid_or_indexer, codec=codec, table_threshold=table_threshold)
+        self.workers = parallel_workers(workers)
+        self._registry: Dict[int, LocalRule] = {}
+        self._pool: Optional[WorkerPool] = None
+        self._broken = False
+        # Set only on *mid-round* pool failures (a worker died while
+        # computing): the same rule would kill per-round fork workers too,
+        # and multiprocessing.Pool cannot detect abrupt worker death — its
+        # map would hang, not fail — so only the serial scan is safe.
+        # Spawn-time failures leave this False: plain per-round forks need
+        # neither shared memory nor a healthy persistent pool.
+        self._serial_only = False
+        self._warned_degrade = False
+        self._fallback: Optional[ParallelEngine] = None
+        #: How many worker pools this engine has spawned — the round
+        #: amortisation invariant (one spawn per schedule) is asserted on
+        #: this by the runtime tests.
+        self.pool_spawns = 0
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, rules: Sequence[LocalRule]) -> None:
+        """Register the rules of an upcoming schedule with the pool.
+
+        Call before the first application (as :func:`run_schedule` does)
+        so a single pool spawn serves every phase.  Registering a rule the
+        current pool does not know shuts that pool down; the next sharded
+        application respawns it with the full registry.
+        """
+        fresh = {id(rule): rule for rule in rules}
+        self._registry.update(fresh)
+        if self._pool is not None and any(
+            key not in self._pool.rules for key in fresh
+        ):
+            self._shutdown_pool()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the engine stays usable —
+        the next sharded application simply respawns the pool)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ShmEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _ensure_pool(self) -> "WorkerPool":
+        from repro.runtime.pool import PoolBrokenError, WorkerPool
+
+        if self._pool is not None and self._pool.closed:
+            self._pool = None
+        if self._pool is None:
+            chunks = plan_chunks(self.indexer.node_count, self.workers)
+            try:
+                self._pool = WorkerPool(
+                    self.indexer, self.codec, dict(self._registry), chunks
+                )
+            except PoolBrokenError:
+                raise
+            except Exception as error:  # noqa: BLE001 - spawn can fail for
+                # environmental reasons (process limits, /dev/shm quota);
+                # normalise so the caller degrades instead of crashing.
+                raise PoolBrokenError(
+                    f"could not spawn the shared-memory worker pool: {error!r}"
+                ) from error
+            self.pool_spawns += 1
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Tier selection
+    # ------------------------------------------------------------------ #
+
+    def rule_tier(self, rule: LocalRule) -> str:
+        """Which execution tier ``rule`` currently gets: the inherited
+        array tiers (``"table"``/``"batch"``), ``"shm"`` for rounds the
+        persistent pool will shard, or ``"list"`` for the degraded serial
+        path (which may still fork per round via the parallel fallback)."""
+        tier = ArrayEngine.rule_tier(self, rule)
+        if tier != "list":
+            return tier
+        return "shm" if self._can_shm(rule) else "list"
+
+    def _can_shm(self, rule: LocalRule) -> bool:
+        return (
+            not self._broken
+            and self.workers > 1
+            and shm_available()
+            and getattr(rule, "parallel_safe", True)
+            and self.indexer.node_count > 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rule execution
+    # ------------------------------------------------------------------ #
+
+    def _apply_codes(self, codes, rule: LocalRule):
+        from repro.runtime.pool import PoolBrokenError
+
+        if ArrayEngine.rule_tier(self, rule) != "list":
+            return super()._apply_codes(codes, rule)
+        if self._can_shm(rule):
+            key = id(rule)
+            if key not in self._registry:
+                self.prepare([rule])
+            pool = None
+            try:
+                pool = self._ensure_pool()
+            except PoolBrokenError as error:
+                # Spawn failure (process limits, /dev/shm quota): the
+                # parallel tier's per-round forks are still available.
+                self._broken = True
+                self._note_degrade(f"pool spawn failure: {error}")
+            if pool is not None:
+                try:
+                    return self._apply_shm(pool, codes, key)
+                except PoolBrokenError as error:
+                    self._broken = True
+                    self._serial_only = True
+                    self._shutdown_pool()
+                    self._note_degrade(f"worker-pool failure: {error}")
+        elif not self._broken and getattr(rule, "parallel_safe", True):
+            # parallel_safe=False is a rule property, not a platform
+            # shortfall — it degrades silently, exactly as in the
+            # parallel tier.
+            if self.workers <= 1:
+                self._note_degrade(
+                    f"{self.workers} worker(s) cannot shard rounds "
+                    "(REPRO_WORKERS or the CPU count allows at most one)"
+                )
+            elif not shm_available():
+                self._note_degrade(
+                    "this platform lacks numpy, "
+                    "multiprocessing.shared_memory or the fork start method"
+                )
+        return self._apply_fallback(codes, rule)
+
+    def _apply_shm(self, pool: "WorkerPool", codes, key: int):
+        """One pool round: export codes, run the barrier, merge back.
+
+        Rule exceptions propagate unchanged (the pool already re-raised
+        the lowest flat index); only :class:`PoolBrokenError` is left for
+        the caller's degradation path.
+        """
+        pool.submit(codes)
+        pool.round(key)
+        return pool.snapshot()
+
+    def _apply_fallback(self, codes, rule: LocalRule):
+        """The ``parallel`` -> ``indexed`` degradation chain, on codes.
+
+        A pool broken *mid-round* (a worker died while computing) skips
+        the parallel tier and goes straight to the serial indexed scan:
+        whatever killed a persistent worker would kill per-round fork
+        workers just the same, and ``multiprocessing.Pool`` cannot detect
+        an abruptly dead worker — its ``map`` would hang, not fail.
+        Spawn-time failures and platform shortfalls (no shared memory, too
+        few workers for the shm pool but plenty for a plain fork pool)
+        keep the parallel rung of the ladder.
+        """
+        if self._serial_only:
+            return self._apply_list(codes, rule)
+        values = self.codec.decode_values(codes)
+        if self._fallback is None:
+            self._fallback = ParallelEngine(self.indexer, workers=self.workers)
+        new_values = self._fallback._apply_values(values, rule)
+        return self.codec.encode_values(new_values)
+
+    def _note_degrade(self, reason: str) -> None:
+        if self._warned_degrade:
+            return
+        self._warned_degrade = True
+        warnings.warn(
+            f"shm engine degraded to the parallel/indexed fallback: {reason}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
 @dataclass
 class SchedulePhase:
     """One step of a batched multi-phase execution.
@@ -802,48 +1071,60 @@ def run_schedule(
     """Execute a multi-phase algorithm on a fast-path engine tier.
 
     The labelling stays in one flat value list (``engine="indexed"`` /
-    ``"parallel"``) or one numpy code vector (``engine="array"``) for the
-    whole schedule; no per-phase dict is materialised.  ``"auto"`` picks
-    the parallel tier on grids of at least
-    :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes when
-    more than one worker is available (``REPRO_WORKERS`` overrides the
-    count), else the array tier when numpy is available, else indexed.
+    ``"parallel"``) or one numpy code vector (``engine="array"`` /
+    ``"shm"``) for the whole schedule; no per-phase dict is materialised.
+    ``"auto"`` walks the tiers top down: the shm tier on grids of at least
+    :data:`repro.local_model.store.SHM_AUTO_THRESHOLD` nodes (when the
+    platform supports it), the parallel tier from
+    :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes — both
+    only when more than one worker is available (``REPRO_WORKERS``
+    overrides the count) — else the array tier when numpy is available,
+    else indexed.  A schedule is the shm tier's natural workload: every
+    phase's rule is registered up front, so one pool spawn serves all
+    rounds, and the pool is deterministically shut down before returning.
     Returns the final store (use ``.to_dict()`` for a plain dict).
     """
     tier = resolve_engine(
         engine,
-        allowed=("indexed", "array", "parallel"),
+        allowed=("indexed", "array", "parallel", "shm"),
         node_count=grid_or_indexer.node_count,
     )
-    if tier == "parallel":
-        executor: IndexedEngine = ParallelEngine(grid_or_indexer)
+    if tier == "shm":
+        executor: IndexedEngine = ShmEngine(grid_or_indexer)
+        executor.prepare([step.rule for step in schedule])
+    elif tier == "parallel":
+        executor = ParallelEngine(grid_or_indexer)
     elif tier == "array":
         executor = ArrayEngine(grid_or_indexer)
     else:
         executor = IndexedEngine(grid_or_indexer)
-    current = executor.store(labels)
-    for step in schedule:
-        if step.until is not None:
-            if step.max_iterations <= 0:
-                raise SimulationError(
-                    f"phase {step.name!r} has an `until` predicate but no "
-                    "positive max_iterations budget"
+    try:
+        current = executor.store(labels)
+        for step in schedule:
+            if step.until is not None:
+                if step.max_iterations <= 0:
+                    raise SimulationError(
+                        f"phase {step.name!r} has an `until` predicate but no "
+                        "positive max_iterations budget"
+                    )
+                current = executor.iterate_rule(
+                    current,
+                    step.rule,
+                    should_stop=step.until,
+                    max_iterations=step.max_iterations,
+                    ledger=ledger,
+                    phase=step.name,
                 )
-            current = executor.iterate_rule(
-                current,
-                step.rule,
-                should_stop=step.until,
-                max_iterations=step.max_iterations,
-                ledger=ledger,
-                phase=step.name,
-            )
-        else:
-            if step.iterations < 0:
-                raise SimulationError(
-                    f"phase {step.name!r} has a negative iteration count"
-                )
-            for _ in range(step.iterations):
-                current = executor.apply_rule(
-                    current, step.rule, ledger=ledger, phase=step.name
-                )
-    return current
+            else:
+                if step.iterations < 0:
+                    raise SimulationError(
+                        f"phase {step.name!r} has a negative iteration count"
+                    )
+                for _ in range(step.iterations):
+                    current = executor.apply_rule(
+                        current, step.rule, ledger=ledger, phase=step.name
+                    )
+        return current
+    finally:
+        if isinstance(executor, ShmEngine):
+            executor.close()

@@ -16,11 +16,22 @@ fast paths operate on the list / array directly.  The array tier degrades
 gracefully: when numpy is unavailable, :func:`resolve_engine` falls back to
 ``"indexed"`` and constructing an :class:`ArrayLabelStore` raises a clear
 :class:`repro.errors.SimulationError`.
+
+The ``int32`` code vector is also the wire format of the ``"shm"`` engine
+tier (:mod:`repro.runtime`): :func:`export_codes_into` publishes a
+labelling into a shared-memory buffer, :func:`merge_codes_from_shared` /
+:meth:`ArrayLabelStore.from_shared` copy a finished round back out into
+owned memory, and :meth:`LabelCodec.labels_since` /
+:meth:`LabelCodec.extend` / :meth:`LabelCodec.try_encode` implement the
+append-only alphabet sync between the parent's authoritative codec and the
+workers' fork-time copies.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import warnings
 from typing import Any, Dict, Iterator, List, Mapping, MutableMapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
@@ -34,6 +45,13 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 
 HAS_NUMPY = _np is not None
 
+try:  # the "shm" tier's transport; absent only on exotic platforms.
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised on exotic platforms only
+    _shared_memory = None
+
+HAS_SHARED_MEMORY = _shared_memory is not None
+
 
 def require_numpy():
     """Return the numpy module, raising a clear error when it is missing."""
@@ -46,7 +64,8 @@ def require_numpy():
 
 
 #: Environment variable overriding the worker count of the ``parallel``
-#: engine tier.  ``0`` or ``1`` disable sharding (serial execution).
+#: and ``shm`` engine tiers.  ``0`` or ``1`` disable sharding (serial
+#: execution; the shm tier then degrades with a one-time warning).
 WORKERS_VARIABLE = "REPRO_WORKERS"
 
 #: Smallest node count for which ``engine="auto"`` considers the
@@ -55,6 +74,29 @@ WORKERS_VARIABLE = "REPRO_WORKERS"
 #: sharding gain; above it, non-vectorisable rules win roughly linearly
 #: in the worker count.
 PARALLEL_AUTO_THRESHOLD = 1 << 14
+
+#: Smallest node count for which ``engine="auto"`` considers the ``shm``
+#: tier (sides >= 1024 on a square torus).  The persistent pool amortises
+#: its one-time spawn over many rounds, but each round still pays the
+#: task-message barrier; below this size the per-round ``fork`` of the
+#: ``parallel`` tier (or the serial scans) are already fast enough.
+SHM_AUTO_THRESHOLD = 1 << 20
+
+
+def shm_available() -> bool:
+    """Whether the platform can run the ``shm`` engine tier at all.
+
+    Requires numpy (labellings are ``int32`` code vectors),
+    :mod:`multiprocessing.shared_memory` and the ``fork`` start method
+    (workers inherit the codec, rules and index tables at pool start).
+    Worker-count degradation (``REPRO_WORKERS=0``/``1``) is handled by the
+    engine itself, not here.
+    """
+    return (
+        HAS_NUMPY
+        and HAS_SHARED_MEMORY
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
 
 
 def parallel_workers(requested: Optional[int] = None) -> int:
@@ -87,27 +129,81 @@ def resolve_engine(
 ) -> str:
     """Resolve an ``engine`` argument, mapping ``"auto"`` to the fastest tier.
 
-    ``"auto"`` becomes ``"parallel"`` when the caller allows that tier,
-    supplies a ``node_count`` of at least :data:`PARALLEL_AUTO_THRESHOLD`
-    and more than one worker is available (see :func:`parallel_workers` and
-    the ``REPRO_WORKERS`` override); otherwise ``"array"`` when numpy is
+    ``"auto"`` walks the tiers top down: ``"shm"`` when the caller allows
+    that tier, supplies a ``node_count`` of at least
+    :data:`SHM_AUTO_THRESHOLD`, the platform supports it
+    (:func:`shm_available`) and more than one worker is available; else
+    ``"parallel"`` under the analogous conditions with
+    :data:`PARALLEL_AUTO_THRESHOLD`; otherwise ``"array"`` when numpy is
     importable and ``"indexed"`` as the last resort.  Explicit engine names
-    are validated against ``allowed``.
+    are validated against ``allowed``; an explicit ``"shm"`` on a
+    numpy-less install degrades (with a one-time warning) to the best
+    allowed fallback — ``"parallel"`` then ``"indexed"`` — because the shm
+    tier's code-vector transport cannot exist without numpy.  The remaining
+    shm preconditions (worker count, fork, shared memory) are checked by
+    the engine itself per application, so a requested ``"shm"`` stays
+    byte-identical on every platform.
     """
     if engine == "auto":
-        if (
-            "parallel" in allowed
-            and node_count is not None
-            and node_count >= PARALLEL_AUTO_THRESHOLD
-            and parallel_workers() > 1
-        ):
-            return "parallel"
+        workers: Optional[int] = None
+        if node_count is not None:
+            if (
+                "shm" in allowed
+                and node_count >= SHM_AUTO_THRESHOLD
+                and shm_available()
+            ):
+                workers = parallel_workers()
+                if workers > 1:
+                    return "shm"
+            if "parallel" in allowed and node_count >= PARALLEL_AUTO_THRESHOLD:
+                if workers is None:
+                    workers = parallel_workers()
+                if workers > 1:
+                    return "parallel"
         return "array" if HAS_NUMPY else "indexed"
     if engine not in allowed:
         raise ValueError(
             f"unknown engine {engine!r}; expected 'auto' or one of {sorted(allowed)}"
         )
+    if engine == "shm" and not HAS_NUMPY:  # pragma: no cover - numpy-less installs
+        fallback = "parallel" if "parallel" in allowed else "indexed"
+        _warn_shm_unavailable_once(
+            f"engine='shm' requires numpy, which is not installed; "
+            f"running on engine={fallback!r} instead"
+        )
+        return fallback
     return engine
+
+
+def resolve_vector_engine(engine: str) -> str:
+    """Resolve ``engine`` for consumers whose fast path is one vector pass.
+
+    Border counts, segment colouring, anchor-rule sweeps and
+    conflict-colouring rounds accept the full five-tier vocabulary so call
+    sites can thread one ``engine=`` value through a whole algorithm, but
+    their work is a single vectorised sweep — there are no multi-round
+    sharded rule scans for the ``parallel`` or ``shm`` tiers to win on, so
+    both resolve to the ``array`` tier here (or its indexed fallback when
+    numpy is missing).
+    """
+    resolved = resolve_engine(
+        engine, allowed=("dict", "indexed", "array", "parallel", "shm")
+    )
+    if resolved in ("parallel", "shm"):
+        return "array" if HAS_NUMPY else "indexed"
+    return resolved
+
+
+_SHM_UNAVAILABLE_WARNED = False
+
+
+def _warn_shm_unavailable_once(message: str) -> None:
+    """Warn once per process that a requested shm tier is degrading."""
+    global _SHM_UNAVAILABLE_WARNED
+    if _SHM_UNAVAILABLE_WARNED:
+        return
+    _SHM_UNAVAILABLE_WARNED = True
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def merge_chunk_values(
@@ -264,6 +360,46 @@ class LabelCodec:
             self._label_array = None
         return code
 
+    def try_encode(self, label: Any) -> Optional[int]:
+        """Return the code of ``label`` without interning, ``None`` if unknown.
+
+        This is the worker-side encode of the ``shm`` engine tier: workers
+        hold a fork-time copy of the codec and must never assign codes on
+        their own (two workers would race to different assignments for the
+        same label), so an unknown label is reported back as overflow and
+        interned once by the parent.  Unhashable labels are likewise
+        ``None`` — the parent's :meth:`encode` then raises the same
+        ``TypeError`` every other tier raises.
+        """
+        try:
+            return self._codes.get(label)
+        except TypeError:
+            return None
+
+    def labels_since(self, size: int) -> Tuple[Any, ...]:
+        """The labels interned at code ``size`` and above (append order).
+
+        The codec is append-only, so ``labels_since(n)`` is exactly the
+        delta a worker whose fork-time snapshot had ``n`` labels must
+        :meth:`extend` by to decode current code vectors.  Costs
+        ``O(delta)``, not ``O(size)``.
+        """
+        if size < 0 or size > len(self._labels):
+            raise SimulationError(
+                f"codec sync point {size} is outside the interned range "
+                f"0..{len(self._labels)}"
+            )
+        return tuple(self._labels[size:])
+
+    def extend(self, labels: Sequence[Any]) -> None:
+        """Intern ``labels`` in order (the worker-side half of a codec sync).
+
+        Equivalent to encoding each label; labels already interned keep
+        their codes (append-only), so replaying a delta is idempotent.
+        """
+        for label in labels:
+            self.encode(label)
+
     def decode(self, code: int) -> Any:
         """Return the label interned with ``code``."""
         try:
@@ -359,6 +495,25 @@ class ArrayLabelStore(MutableMapping):
         codec = codec if codec is not None else LabelCodec()
         return cls(indexer, codec, codec.encode_values(list(values)))
 
+    @classmethod
+    def from_shared(
+        cls, grid_or_indexer, codec: LabelCodec, shared_codes
+    ) -> "ArrayLabelStore":
+        """Build a store by *copying* a shared-memory code vector out.
+
+        The ``shm`` engine tier's result labellings go through this (via
+        :func:`merge_codes_from_shared`): the store must own its memory,
+        because the shared segment is recycled for the next round and
+        unlinked when the pool shuts down — a view would silently mutate
+        under the caller.
+        """
+        indexer = _as_indexer(grid_or_indexer)
+        return cls(indexer, codec, merge_codes_from_shared(shared_codes))
+
+    def export_codes(self, shared_codes) -> None:
+        """Copy this labelling's code vector into a shared buffer in place."""
+        export_codes_into(self._codes, shared_codes)
+
     @property
     def indexer(self) -> GridIndexer:
         """The indexer defining the node order of the backing array."""
@@ -391,6 +546,11 @@ class ArrayLabelStore(MutableMapping):
         return self._codec.decode(self._codes[self._indexer.index_of(node)])
 
     def __setitem__(self, node: Node, value: Any) -> None:
+        if not self._codes.flags.writeable:
+            # Shm-tier snapshots are read-only (they double as buffer
+            # identity tokens, see WorkerPool.submit); the first write
+            # transparently switches this store to a private copy.
+            self._codes = self._codes.copy()
         self._codes[self._indexer.index_of(node)] = self._codec.encode(value)
 
     def __delitem__(self, node: Node) -> None:
@@ -416,6 +576,36 @@ class ArrayLabelStore(MutableMapping):
             f"ArrayLabelStore({self._indexer.grid!r}, "
             f"{self._indexer.node_count} codes, alphabet {self._codec.size})"
         )
+
+
+def export_codes_into(codes, shared_codes) -> None:
+    """Copy a code vector into a shared ``int32`` buffer, in place.
+
+    The parent-side half of one shm round: the current labelling's codes
+    are published into the pool's source buffer before the round's task
+    messages go out.  Shape mismatches raise instead of silently
+    truncating a labelling.
+    """
+    np = require_numpy()
+    source = np.asarray(codes, dtype=np.int32)
+    if source.shape != shared_codes.shape:
+        raise SimulationError(
+            f"cannot export {source.shape} codes into a shared buffer of "
+            f"shape {shared_codes.shape}"
+        )
+    shared_codes[:] = source
+
+
+def merge_codes_from_shared(shared_codes):
+    """Copy a shared ``int32`` code vector out into owned memory.
+
+    The inverse half of :func:`export_codes_into`: the destination buffer
+    of a finished round is merged back into the engine as a fresh array,
+    so the labelling handed to callers survives buffer reuse and pool
+    shutdown.
+    """
+    np = require_numpy()
+    return np.array(shared_codes, dtype=np.int32)
 
 
 def _as_indexer(grid_or_indexer) -> GridIndexer:

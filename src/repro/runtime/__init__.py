@@ -1,0 +1,80 @@
+"""Persistent shared-memory execution runtime — the ``shm`` engine tier.
+
+The ``parallel`` tier (PR 4) made one observation: a round of a
+non-vectorisable rule is an embarrassingly parallel scan.  But it re-forks
+its worker pool every round, because ``fork`` inheritance was the cheapest
+correct transport for arbitrary values — and at sides >= 1024 the ~25 ms
+fork cost (plus pickling every round's results back) dominates exactly
+where the paper's ``Θ(log* n)`` vs ``Θ(n)`` separation needs scale.  This
+package removes that per-round cost: workers are spawned **once** per
+simulation and labellings travel as ``int32`` code vectors (the array
+tier's native representation, PR 3) through shared memory.
+
+The subsystem has three layers:
+
+* :class:`repro.runtime.buffers.SharedCodeBuffer` — one
+  ``multiprocessing.shared_memory`` segment viewed as an ``int32`` numpy
+  vector, with collision-safe name allocation, creator-only unlink and a
+  finalizer + resource-tracker backstop against orphaned segments.
+* :class:`repro.runtime.pool.WorkerPool` — the persistent pool.  At spawn
+  time it warms the grid's index tables
+  (:meth:`~repro.grid.indexer.GridIndexer.warm_ball_tables`), registers
+  the rules it will run and forks its workers, which inherit tables,
+  rules and a codec snapshot through copy-on-write memory — nothing is
+  pickled.  It owns **two** buffers (the double buffer): every round
+  reads one (``src``) and writes the other (``dst``), so workers may read
+  any neighbour's value while writing only their own chunk, and a
+  successful round just flips which buffer is "current".
+* :class:`repro.local_model.engine.ShmEngine` — the fifth engine tier,
+  selected with ``engine="shm"`` (or automatically by ``engine="auto"``
+  above :data:`repro.local_model.store.SHM_AUTO_THRESHOLD` nodes).
+
+Buffer/barrier protocol, in one round
+-------------------------------------
+
+::
+
+    parent                                   worker i (of w)
+    ------                                   ---------------
+    export codes into buffers[src]
+    delta = codec.labels_since(synced)
+    send ("round", id, rule, src, dst,
+          delta) to every worker  ──────▶    codec.extend(delta)
+                                             scan chunk [start_i, stop_i):
+                                               gather codes from buffers[src]
+                                               decode, rule.update(view)
+                                               encode / overflow if unknown
+                                               write codes to buffers[dst]
+    barrier: wait for w replies   ◀──────    send ("ok", id, i, overflow)
+                                             or ("error", id, i, index, exc)
+    any error → re-raise lowest index
+    intern overflow, patch buffers[dst]
+    current = dst  (the swap)
+    merge codes out of buffers[dst]
+
+The barrier is strict — no round ``k+1`` message is sent while a round
+``k`` reply is outstanding — which is the whole synchronisation story:
+within a round the two buffers split reads from writes, and across rounds
+the barrier orders them.  Only task messages, codec deltas and overflow
+labels ever cross the pipes; the O(n) payload stays in shared memory.
+
+Failure modes are deterministic: a raising rule reproduces the sequential
+first-failing-node exception (lowest flat index wins, like the parallel
+tier's merger) and leaves the pool healthy; a dead worker or broken pipe
+raises :class:`repro.runtime.pool.PoolBrokenError`, the pool shuts down
+(segments unlinked), and the engine degrades with a one-time warning,
+never a wrong labelling — to ``parallel`` per-round forks after a
+pool-*spawn* failure, but straight to the serial indexed scan after a
+worker died *mid-round* (the same rule would kill fork workers too, and
+a fork pool hangs rather than fails on abrupt worker death).
+"""
+
+from repro.runtime.buffers import SharedCodeBuffer, default_segment_names
+from repro.runtime.pool import PoolBrokenError, WorkerPool
+
+__all__ = [
+    "PoolBrokenError",
+    "SharedCodeBuffer",
+    "WorkerPool",
+    "default_segment_names",
+]

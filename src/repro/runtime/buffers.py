@@ -1,0 +1,199 @@
+"""Shared-memory code buffers: the transport layer of the ``shm`` tier.
+
+A :class:`SharedCodeBuffer` wraps one POSIX shared-memory segment
+(:mod:`multiprocessing.shared_memory`) holding a length-``node_count``
+``int32`` code vector — exactly the payload of
+:class:`repro.local_model.store.ArrayLabelStore`.  The
+:class:`repro.runtime.pool.WorkerPool` owns two of them (the double
+buffer): workers read the whole source vector while writing only their own
+chunk of the destination vector, so no synchronisation beyond the round
+barrier is needed.
+
+Lifecycle
+---------
+
+* The *creator* (the parent process) calls :meth:`SharedCodeBuffer.create`,
+  which picks a collision-free segment name (retrying on
+  ``FileExistsError`` — another process may own the name) and registers a
+  :func:`weakref.finalize` guard so that a buffer dropped without
+  :meth:`unlink` still releases its segment, but only from the creating
+  process (a forked child inherits the Python object and must never unlink
+  the parent's segment from its own garbage collector).
+* Workers call :meth:`SharedCodeBuffer.attach` with the segment name and
+  :meth:`close` their mapping on exit; they never unlink.
+* ``multiprocessing``'s resource tracker is the crash backstop: the parent
+  registers the segment on creation, so if the whole process tree dies
+  without cleanup the tracker unlinks the orphaned segment at exit (with a
+  leak warning — clean shutdown through :meth:`unlink` stays silent).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.local_model.store import require_numpy
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: How many candidate segment names :meth:`SharedCodeBuffer.create` tries
+#: before giving up.  Collisions are only possible against segments owned
+#: by unrelated processes, so two attempts are already unlikely.
+MAX_NAME_ATTEMPTS = 16
+
+_CODE_ITEMSIZE = 4  # int32
+
+
+def _require_shared_memory():
+    if _shared_memory is None:  # pragma: no cover - exercised on exotic platforms
+        raise SimulationError(
+            "the 'shm' engine tier requires multiprocessing.shared_memory, "
+            "which this platform does not provide"
+        )
+    return _shared_memory
+
+
+def default_segment_names() -> Iterator[str]:
+    """Candidate segment names: pid-scoped with a random suffix.
+
+    The pid keeps concurrent test runs apart, the random suffix keeps
+    buffers within one process apart; a stale segment left by a crashed
+    run with the same pid is still survived by the retry loop in
+    :meth:`SharedCodeBuffer.create`.
+    """
+    while True:
+        yield f"repro_shm_{os.getpid()}_{secrets.token_hex(4)}"
+
+
+def _finalize_segment(name: str, creator_pid: int) -> None:
+    """Best-effort unlink of an orphaned segment, creator process only."""
+    if os.getpid() != creator_pid or _shared_memory is None:
+        return
+    try:
+        segment = _shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+class SharedCodeBuffer:
+    """One shared ``int32`` code vector of a fixed node count."""
+
+    def __init__(self, segment, node_count: int, owner: bool):
+        np = require_numpy()
+        self._segment = segment
+        self._owner = owner
+        self.node_count = node_count
+        self._array: Optional[object] = np.ndarray(
+            (node_count,), dtype=np.int32, buffer=segment.buf
+        )
+        self._finalizer = None
+        if owner:
+            self._finalizer = weakref.finalize(
+                self, _finalize_segment, segment.name, os.getpid()
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls, node_count: int, names: Optional[Iterable[str]] = None
+    ) -> "SharedCodeBuffer":
+        """Create a fresh segment, retrying on segment-name collisions.
+
+        ``names`` overrides the candidate-name stream (used by tests to
+        force collisions); by default names come from
+        :func:`default_segment_names`.
+        """
+        shared_memory = _require_shared_memory()
+        if node_count <= 0:
+            raise SimulationError(
+                f"a shared code buffer needs a positive node count, got {node_count}"
+            )
+        candidates = iter(names) if names is not None else default_segment_names()
+        last_error: Optional[BaseException] = None
+        for _ in range(MAX_NAME_ATTEMPTS):
+            try:
+                name = next(candidates)
+            except StopIteration:
+                break
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=node_count * _CODE_ITEMSIZE
+                )
+            except FileExistsError as error:
+                last_error = error
+                continue
+            return cls(segment, node_count, owner=True)
+        raise SimulationError(
+            f"could not allocate a shared code buffer after "
+            f"{MAX_NAME_ATTEMPTS} name attempts"
+        ) from last_error
+
+    @classmethod
+    def attach(cls, name: str, node_count: int) -> "SharedCodeBuffer":
+        """Attach to an existing segment by name (worker side, never unlinks)."""
+        shared_memory = _require_shared_memory()
+        segment = shared_memory.SharedMemory(name=name)
+        return cls(segment, node_count, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._segment.name
+
+    @property
+    def array(self):
+        """The ``int32`` numpy view over the shared segment."""
+        if self._array is None:
+            raise SimulationError("shared code buffer is closed")
+        return self._array
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release this process's mapping (the segment itself survives)."""
+        if self._array is None:
+            return
+        # The numpy view exports the segment's memory; drop it before
+        # closing or SharedMemory.close() raises BufferError.
+        self._array = None
+        self._segment.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; implies :meth:`close`)."""
+        self.close()
+        if not self._owner:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        try:
+            self._segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._array is None else "open"
+        return (
+            f"SharedCodeBuffer({self._segment.name!r}, {self.node_count} codes, "
+            f"{state})"
+        )

@@ -1,0 +1,567 @@
+"""The persistent worker pool driving ``shm``-tier rounds.
+
+One :class:`WorkerPool` spawns its workers **once** — via ``fork``, so the
+grid's :class:`repro.grid.indexer.GridIndexer` tables (pre-warmed through
+:meth:`~repro.grid.indexer.GridIndexer.warm_ball_tables`), the registered
+rules (lambdas welcome, nothing is pickled) and a snapshot of the
+:class:`repro.local_model.store.LabelCodec` are inherited through
+copy-on-write memory — and then drives arbitrarily many rounds with small
+per-round task messages over pipes.  Labellings never cross the pipes:
+they live in the pool's two :class:`repro.runtime.buffers.SharedCodeBuffer`
+segments (the double buffer), the parent publishing codes with
+:func:`repro.local_model.store.export_codes_into` and merging results with
+:func:`repro.local_model.store.merge_codes_from_shared`.
+
+Round-barrier protocol
+----------------------
+
+Parent side (:meth:`WorkerPool.round`):
+
+1. publish the round's codec delta (labels interned since the last sync,
+   :meth:`LabelCodec.labels_since`) and send every worker one task message
+   ``("round", round_id, rule_key, src, dst, delta)``;
+2. wait for exactly one reply per worker — the barrier; no round ``k+1``
+   message is sent while a round ``k`` reply is outstanding, so workers
+   never race on the buffers;
+3. on ``("error", …, index, exception)`` replies, re-raise the exception
+   with the lowest flat index (sequential first-failing-node semantics,
+   exactly as the ``parallel`` tier's merger);
+4. otherwise intern the workers' overflow labels — outputs outside the
+   fork-time alphabet, reported as ``(index, value)`` pairs because
+   workers must never assign codes on their own — patch their codes into
+   the destination buffer, and flip the current buffer.
+
+Worker side (:func:`_worker_main`): attach to both buffers by name, then
+loop — receive a task, :meth:`LabelCodec.extend` the delta, scan the
+assigned ``[start, stop)`` chunk with the same itemgetter inner loop as
+the indexed tier (reading ``src``, writing ``dst``), reply, repeat until
+the ``("stop",)`` sentinel.
+
+A worker that dies mid-round (crash, kill, unpicklable reply) is detected
+by the barrier's aliveness polling and surfaces as
+:class:`PoolBrokenError`; the engine catches that, shuts the pool down
+(buffers unlinked, survivors joined) and degrades to the per-round-fork
+``parallel`` path — never to a wrong or partial labelling.  Rule
+exceptions, by contrast, leave the pool healthy: the destination buffer is
+simply discarded and the next round reuses the same workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import connection as _mp_connection
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.grid.indexer import GridIndexer
+from repro.local_model.store import (
+    LabelCodec,
+    export_codes_into,
+    merge_codes_from_shared,
+    require_numpy,
+    shm_available,
+)
+from repro.runtime.buffers import SharedCodeBuffer
+
+#: Seconds between aliveness checks while a round's replies are pending.
+#: Replies wake the barrier immediately (``multiprocessing.connection.wait``);
+#: the interval only bounds how quickly a worker that died *without*
+#: closing its pipe is noticed.  The barrier blocks as long as every
+#: pending worker is alive — a slow rule is legitimate.
+POLL_INTERVAL = 0.2
+
+#: Seconds granted to workers to drain the stop sentinel before they are
+#: terminated during shutdown.
+SHUTDOWN_GRACE = 2.0
+
+
+class PoolBrokenError(SimulationError):
+    """The pool's protocol failed (dead worker, closed pipe, bad reply).
+
+    Deliberately distinct from rule exceptions: the engine treats a broken
+    pool as an environmental failure and re-runs the round on a fallback
+    tier, whereas a rule exception is the (byte-identical) result.
+    """
+
+
+def _worker_main(
+    worker_id: int,
+    start: int,
+    stop: int,
+    connection,
+    indexer: GridIndexer,
+    codec: LabelCodec,
+    rules: Dict[int, Any],
+    buffer_names: Tuple[str, str],
+    node_count: int,
+) -> None:
+    """Worker loop: attach, serve rounds, exit on the stop sentinel.
+
+    Runs in a forked child; every argument is inherited by memory (no
+    pickling), and ``codec`` is the child's private copy-on-write clone of
+    the parent's codec — mutating it through :meth:`LabelCodec.extend`
+    never touches the parent.
+    """
+    buffers = [
+        SharedCodeBuffer.attach(name, node_count) for name in buffer_names
+    ]
+    caches: Dict[int, _ChunkCache] = {}
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] != "round":
+                break
+            _, round_id, rule_key, src_index, dst_index, delta, reuse = message
+            codec.extend(delta)
+            cache = caches.get(rule_key)
+            if cache is None:
+                cache = caches[rule_key] = _ChunkCache(
+                    indexer, rules[rule_key], start, stop, node_count
+                )
+            reply = _run_chunk(
+                rules[rule_key],
+                codec,
+                cache,
+                buffers[src_index].array,
+                buffers[dst_index].array,
+                start,
+                stop,
+                round_id,
+                worker_id,
+                reuse,
+            )
+            try:
+                connection.send(reply)
+            except Exception:  # noqa: BLE001 - reply unpicklable / pipe gone:
+                # the parent's barrier will observe the dead worker and
+                # degrade; nothing useful can be sent any more.
+                break
+    finally:
+        for buffer in buffers:
+            buffer.close()
+        connection.close()
+
+
+class _ChunkCache:
+    """Per-(worker, rule) decode state reused across rounds.
+
+    A worker's chunk of round ``k``'s source buffer is — whenever the
+    parent grants ``reuse`` — exactly the value list the worker itself
+    computed in round ``k-1``, so only the *halo* (the gathered indices
+    outside the worker's own chunk, a couple of grid rows) needs decoding
+    from codes each round.  ``values`` is a full-length list that is only
+    ever correct on ``chunk ∪ halo`` — precisely the indices this chunk's
+    gathers touch; everything else stays ``None``.
+    """
+
+    __slots__ = ("offsets", "getters", "halo", "values", "last_round")
+
+    def __init__(self, indexer, rule, start, stop, node_count):
+        self.offsets, table = indexer.ball_table(rule.radius, rule.norm)
+        _, self.getters = indexer.ball_getters(rule.radius, rule.norm)
+        self.halo = sorted(
+            {
+                index
+                for row in table[start:stop]
+                for index in row
+                if not start <= index < stop
+            }
+        )
+        self.values: List[Any] = [None] * node_count
+        self.last_round = -1
+
+
+def _run_chunk(
+    rule,
+    codec: LabelCodec,
+    cache: _ChunkCache,
+    src,
+    dst,
+    start: int,
+    stop: int,
+    round_id: int,
+    worker_id: int,
+    reuse: bool,
+) -> Tuple:
+    """Evaluate ``[start, stop)`` of one round against the shared buffers.
+
+    The inner loop matches the indexed tier's: the same itemgetter gather
+    over a flat value list, the same dict-of-offsets view, so per-node
+    semantics (and exceptions) are byte-identical.  The value list comes
+    from the :class:`_ChunkCache`: with ``reuse`` (the parent vouches that
+    the source buffer is exactly the previous round's output and this
+    worker completed that round) only the halo is decoded from codes;
+    otherwise the chunk and halo are decoded fresh.  Outputs are encoded
+    with :meth:`LabelCodec.try_encode` — outputs outside the known
+    alphabet get the ``-1`` sentinel in ``dst`` and travel back as
+    ``(index, value)`` overflow for the parent to intern authoritatively
+    (the cache keeps the raw *values*, so overflow costs nothing here).
+
+    On the first raising node the scan stops (the sequential scan never
+    evaluates nodes past a failure) and ``("error", round_id, worker_id,
+    index, exception)`` reports the failing flat index.
+    """
+    labels = codec._labels  # the worker's private copy; hot path
+    codes_map = codec._codes
+    update = rule.update
+    offsets = cache.offsets
+    getters = cache.getters
+    values = cache.values
+    if not (reuse and cache.last_round == round_id - 1):
+        values[start:stop] = map(labels.__getitem__, src[start:stop].tolist())
+    for index in cache.halo:
+        values[index] = labels[src[index]]
+    out_values: List[Any] = []
+    try:
+        for position in range(start, stop):
+            out_values.append(update(dict(zip(offsets, getters[position](values)))))
+    except Exception as error:  # noqa: BLE001 - shipped back for ordered re-raise
+        cache.last_round = -1
+        return ("error", round_id, worker_id, start + len(out_values), error)
+    overflow: List[Tuple[int, Any]] = []
+    try:
+        # The steady state (a closed alphabet) encodes the whole chunk in
+        # one C-level pass; any unknown or unhashable output drops to the
+        # per-element path below, which reports it as overflow.
+        out_codes: Sequence[int] = list(map(codes_map.__getitem__, out_values))
+    except (KeyError, TypeError):
+        try_encode = codec.try_encode
+        out_codes = []
+        for offset_index, value in enumerate(out_values):
+            code = try_encode(value)
+            if code is None:
+                overflow.append((start + offset_index, value))
+                code = -1
+            out_codes.append(code)
+    dst[start:stop] = out_codes
+    values[start:stop] = out_values
+    cache.last_round = round_id
+    return ("ok", round_id, worker_id, overflow)
+
+
+class WorkerPool:
+    """A persistent pool of forked workers over double-buffered shm codes.
+
+    Parameters
+    ----------
+    indexer:
+        The grid's index tables; ball tables of every registered rule are
+        warmed before the fork (the table handoff).
+    codec:
+        The parent's authoritative codec.  The pool records its size at
+        spawn time and ships append-only deltas with every round.
+    rules:
+        ``{key: rule}`` registry of the rules this pool can run.  Keys are
+        opaque (the engine uses ``id(rule)``); the registry holds strong
+        references, keeping the keys unique for the pool's lifetime.
+    chunks:
+        The ``(start, stop)`` shards, one worker process per chunk (the
+        engine plans them with
+        :func:`repro.local_model.engine.plan_chunks`).
+    """
+
+    def __init__(
+        self,
+        indexer: GridIndexer,
+        codec: LabelCodec,
+        rules: Dict[int, Any],
+        chunks: Sequence[Tuple[int, int]],
+    ):
+        require_numpy()
+        if not shm_available():
+            raise PoolBrokenError(
+                "shared-memory worker pools need numpy, "
+                "multiprocessing.shared_memory and the fork start method"
+            )
+        if not chunks:
+            raise PoolBrokenError("a worker pool needs at least one chunk")
+        self.indexer = indexer
+        self.codec = codec
+        self.rules = dict(rules)
+        self.node_count = indexer.node_count
+        self.chunks = list(chunks)
+        self._round_id = 0
+        self._synced_alphabet = codec.size
+        self._current = 0
+        self._closed = False
+        # ``_dirty`` tracks whether the current buffer's contents are
+        # anything other than the previous round's outputs (fresh pool,
+        # external load, failed round); workers may only reuse their
+        # cached chunk values when it is clear.  ``_last_snapshot`` is the
+        # read-only array handed out by :meth:`snapshot`, letting
+        # :meth:`submit` prove "these codes are still exactly what the
+        # buffer holds" by identity.
+        self._dirty = True
+        self._last_snapshot = None
+        indexer.warm_ball_tables(
+            {(rule.radius, rule.norm) for rule in self.rules.values()}
+        )
+        self._buffers = []
+        self._connections: List[Any] = []
+        self._processes: List[Any] = []
+        try:
+            self._buffers = [
+                SharedCodeBuffer.create(self.node_count) for _ in range(2)
+            ]
+            context = multiprocessing.get_context("fork")
+            buffer_names = tuple(buffer.name for buffer in self._buffers)
+            for worker_id, (start, stop) in enumerate(self.chunks):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    # Under the fork start method the args are inherited by
+                    # memory, not pickled — the whole point of the design.
+                    args=(
+                        worker_id,
+                        start,
+                        stop,
+                        child_end,
+                        self.indexer,
+                        self.codec,
+                        self.rules,
+                        buffer_names,
+                        self.node_count,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # The double buffer
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_index(self) -> int:
+        """Which buffer currently holds the labelling (0 or 1)."""
+        return self._current
+
+    @property
+    def synced_alphabet(self) -> int:
+        """How many codec labels the workers have been synced to."""
+        return self._synced_alphabet
+
+    @property
+    def rounds_run(self) -> int:
+        """How many rounds this pool has completed or attempted."""
+        return self._round_id
+
+    def load(self, codes) -> None:
+        """Publish a code vector into the current source buffer."""
+        self._require_open()
+        export_codes_into(codes, self._buffers[self._current].array)
+        self._dirty = True
+        self._last_snapshot = None
+
+    def submit(self, codes) -> None:
+        """Publish codes for the next round, skipping the copy when they
+        are the pool's own latest snapshot (the common schedule chain
+        ``snapshot -> store -> next apply``) — that also preserves the
+        workers' reuse fast path, since the buffer provably still holds
+        the previous round's outputs."""
+        self._require_open()
+        if codes is self._last_snapshot:
+            return
+        self.load(codes)
+
+    def snapshot(self):
+        """The current labelling, copied out into owned memory.
+
+        The returned array is marked read-only: it doubles as the identity
+        token of :meth:`submit`, so nothing may mutate it in place
+        (:class:`repro.local_model.store.ArrayLabelStore` copies on first
+        write instead).
+        """
+        self._require_open()
+        array = merge_codes_from_shared(self._buffers[self._current].array)
+        array.setflags(write=False)
+        self._last_snapshot = array
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Rounds
+    # ------------------------------------------------------------------ #
+
+    def round(self, rule_key: int) -> None:
+        """Run one rule application over the loaded labelling (see module doc).
+
+        On success the destination buffer becomes current (the swap).  A
+        raising rule re-raises the lowest-flat-index exception and leaves
+        the pool healthy with the source buffer still current; protocol
+        failures raise :class:`PoolBrokenError` after marking the pool
+        unusable.
+        """
+        self._require_open()
+        if rule_key not in self.rules:
+            raise PoolBrokenError(
+                f"rule key {rule_key} is not registered with this pool"
+            )
+        src, dst = self._current, 1 - self._current
+        self._round_id += 1
+        self._last_snapshot = None
+        delta = self.codec.labels_since(self._synced_alphabet)
+        reuse = not self._dirty
+        message = ("round", self._round_id, rule_key, src, dst, delta, reuse)
+        try:
+            for connection in self._connections:
+                connection.send(message)
+        except Exception as error:
+            self._mark_broken()
+            raise PoolBrokenError(
+                f"could not dispatch round {self._round_id} to the worker "
+                f"pool: {error!r}"
+            ) from error
+        # The delta (and any labels it carried) is now part of every
+        # worker's codec, whatever the round's outcome.
+        self._synced_alphabet = self.codec.size
+        replies = self._collect_replies()
+        failures = [
+            (reply[3], reply[4]) for reply in replies if reply[0] == "error"
+        ]
+        if failures:
+            # The destination buffer is part-written garbage and some
+            # workers' caches are ahead of the (unswapped) source buffer:
+            # the next round must rebuild from codes.
+            self._dirty = True
+            _, error = min(failures, key=lambda failure: failure[0])
+            raise error
+        destination = self._buffers[dst].array
+        encode = self.codec.encode
+        for reply in sorted(replies, key=lambda reply: reply[2]):
+            overflow = reply[3]
+            if overflow:
+                # One vectorised patch per worker: overflow bursts (a rule
+                # minting thousands of new labels in one round) must not
+                # degenerate into per-element numpy writes.
+                np = require_numpy()
+                positions = np.fromiter(
+                    (position for position, _ in overflow),
+                    dtype=np.int64,
+                    count=len(overflow),
+                )
+                codes = np.fromiter(
+                    (encode(value) for _, value in overflow),
+                    dtype=np.int32,
+                    count=len(overflow),
+                )
+                destination[positions] = codes
+        self._current = dst
+        self._dirty = False
+
+    def _collect_replies(self) -> List[Tuple]:
+        pending = {
+            connection: worker_id
+            for worker_id, connection in enumerate(self._connections)
+        }
+        replies: List[Tuple] = []
+        while pending:
+            # wait() wakes the moment any reply (or EOF) arrives; the
+            # timeout only paces the aliveness sweep for workers that died
+            # without their pipe collapsing.
+            ready = _mp_connection.wait(list(pending), timeout=POLL_INTERVAL)
+            for connection in ready:
+                worker_id = pending[connection]
+                try:
+                    reply = connection.recv()
+                except (EOFError, OSError) as error:
+                    self._mark_broken()
+                    raise PoolBrokenError(
+                        f"worker {worker_id} closed its pipe mid-round: "
+                        f"{error!r}"
+                    ) from error
+                if reply[1] != self._round_id:
+                    self._mark_broken()
+                    raise PoolBrokenError(
+                        f"worker {worker_id} answered round {reply[1]}, "
+                        f"expected {self._round_id}"
+                    )
+                replies.append(reply)
+                del pending[connection]
+            if pending and not ready:
+                for connection, worker_id in pending.items():
+                    process = self._processes[worker_id]
+                    if not process.is_alive():
+                        # Read the exit code before _mark_broken(): close()
+                        # empties the process list.
+                        exitcode = process.exitcode
+                        self._mark_broken()
+                        raise PoolBrokenError(
+                            f"worker {worker_id} died during round "
+                            f"{self._round_id} (exit code {exitcode})"
+                        )
+        return replies
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise PoolBrokenError("the worker pool has been shut down")
+
+    def _mark_broken(self) -> None:
+        """Shut down after a protocol failure; safe to call repeatedly."""
+        self.close()
+
+    def close(self) -> None:
+        """Deterministic shutdown: stop workers, join, unlink the segments.
+
+        Idempotent.  Workers get the stop sentinel and a grace period;
+        stragglers (e.g. stuck mid-rule) are terminated so the segments can
+        be unlinked without racing attached mappings.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except Exception:  # noqa: BLE001 - pipe may already be gone
+                pass
+        for process in self._processes:
+            process.join(timeout=SHUTDOWN_GRACE)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=SHUTDOWN_GRACE)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except Exception:  # noqa: BLE001
+                pass
+        for buffer in self._buffers:
+            buffer.unlink()
+        self._connections = []
+        self._processes = []
+        self._buffers = []
+
+    @property
+    def closed(self) -> bool:
+        """Whether the pool has been shut down."""
+        return self._closed
+
+    @property
+    def worker_count(self) -> int:
+        """Number of live worker processes (0 after shutdown)."""
+        return len(self._processes)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._processes)} workers"
+        return (
+            f"WorkerPool({self.indexer.grid!r}, {len(self.rules)} rules, "
+            f"{state}, round {self._round_id})"
+        )

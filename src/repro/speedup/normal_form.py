@@ -31,7 +31,7 @@ from repro.grid.indexer import GridIndexer
 from repro.grid.subgrid import Window, window_around
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import AlgorithmResult, GridAlgorithm
-from repro.local_model.store import require_numpy, resolve_engine
+from repro.local_model.store import require_numpy, resolve_vector_engine
 from repro.symmetry.mis import AnchorSet, compute_anchors
 
 
@@ -162,7 +162,7 @@ def apply_anchor_rule(
     """
     if grid.dimension != 2:
         raise ValueError("windows are only defined for two-dimensional grids")
-    engine = resolve_engine(engine)
+    engine = resolve_vector_engine(engine)
     members = anchors.members
     width, height = rule.width, rule.height
     if engine == "dict":

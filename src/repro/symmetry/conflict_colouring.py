@@ -15,9 +15,10 @@ such an instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InvalidProblemError, SimulationError
+from repro.local_model.store import resolve_vector_engine
 
 NodeKey = Hashable
 Colour = int
@@ -101,6 +102,7 @@ class ConflictColouringResult:
 def solve_conflict_colouring(
     instance: ConflictColouringInstance,
     schedule_colours: Mapping[NodeKey, int],
+    engine: str = "auto",
 ) -> ConflictColouringResult:
     """Solve a conflict-colouring instance greedily.
 
@@ -117,7 +119,23 @@ def solve_conflict_colouring(
     :class:`repro.errors.SimulationError` is raised — the caller is expected
     to retry with a larger list (larger ``ℓ``), mirroring how the paper's
     constants guarantee feasibility.
+
+    ``engine`` selects the execution path of the schedule rounds, pinned
+    byte-identical (assignments, round counts and exceptions) by the
+    randomized equivalence suite: ``"dict"``/``"indexed"`` run the
+    per-node greedy above; ``"array"`` evaluates each schedule class as
+    one batch — every node of the class reads only the previous rounds'
+    assignments and the class commits together, making the rounds'
+    "simultaneous" semantics structural rather than incidental — while
+    keeping the greedy's exact short-circuiting predicate call sequence,
+    so even raising or partial predicates stay byte-identical.
+    (Vectorising the predicate over the colour-list axis was measured and
+    rejected: realistic lists hold a few dozen colours at most and the
+    scalar scan's early exits beat numpy's per-call overhead at every
+    size tried — see the ROADMAP note.)  ``"auto"`` resolves to the
+    fastest available tier.
     """
+    engine = resolve_vector_engine(engine)
     instance.validate_lists()
     for node in instance.adjacency:
         if node not in schedule_colours:
@@ -137,11 +155,14 @@ def solve_conflict_colouring(
                     f"{node!r} and {neighbour!r} share class "
                     f"{schedule_colours[node]!r}"
                 )
-    assignment: Dict[NodeKey, Colour] = {}
     classes: Dict[int, List[NodeKey]] = {}
     for node in instance.adjacency:
         classes.setdefault(schedule_colours[node], []).append(node)
 
+    if engine == "array":
+        return _solve_rounds_array(instance, classes)
+
+    assignment: Dict[NodeKey, Colour] = {}
     rounds = 0
     for schedule_class in sorted(classes):
         for node in classes[schedule_class]:
@@ -166,5 +187,67 @@ def solve_conflict_colouring(
                     "no available colour is conflict-free (increase the list size)"
                 )
             assignment[node] = choice
+        rounds += 1
+    return ConflictColouringResult(assignment=assignment, rounds=rounds)
+
+
+def _solve_rounds_array(
+    instance: ConflictColouringInstance,
+    classes: Dict[int, List[NodeKey]],
+) -> ConflictColouringResult:
+    """Array tier of the schedule rounds (see :func:`solve_conflict_colouring`).
+
+    Choices are byte-identical to the per-node greedy because a schedule
+    class is an independent set of the conflict graph (validated by the
+    caller): within a round no node's choice can see another same-class
+    node, so evaluating the whole class against the *previous* rounds'
+    assignment and committing afterwards is exactly the "simultaneous"
+    semantics the sequential loop implements node by node.  The first node
+    (in class order) without a conflict-free colour raises the same
+    :class:`repro.errors.SimulationError` the sequential greedy raises.
+
+    Everything is position-indexed against each node's own colour list:
+    choice order matters ("first colour in the list" is the tie-break)
+    and the returned assignment must hold the node's own list entry —
+    canonicalising equal-but-distinct colour objects across nodes would
+    break byte-identity with the sequential greedy.
+    """
+    forbidden = instance.forbidden
+    assignment: Dict[NodeKey, Colour] = {}
+    rounds = 0
+    for schedule_class in sorted(classes):
+        pending: List[Tuple[NodeKey, int]] = []
+        for node in classes[schedule_class]:
+            own_colours = instance.available[node]
+            fixed_neighbours = [
+                neighbour
+                for neighbour in instance.adjacency[node]
+                if neighbour in assignment
+            ]
+            # The same short-circuiting scan as the sequential greedy, so
+            # the predicate sees the exact same call sequence (and may
+            # even raise identically).
+            position: Optional[int] = None
+            for candidate, colour in enumerate(own_colours):
+                ok = True
+                for neighbour in fixed_neighbours:
+                    fixed = assignment[neighbour]
+                    if forbidden(node, neighbour, colour, fixed):
+                        ok = False
+                        break
+                    if forbidden(neighbour, node, fixed, colour):
+                        ok = False
+                        break
+                if ok:
+                    position = candidate
+                    break
+            if position is None:
+                raise SimulationError(
+                    f"greedy conflict colouring failed at node {node!r}: "
+                    "no available colour is conflict-free (increase the list size)"
+                )
+            pending.append((node, position))
+        for node, chosen in pending:
+            assignment[node] = instance.available[node][chosen]
         rounds += 1
     return ConflictColouringResult(assignment=assignment, rounds=rounds)

@@ -1,0 +1,233 @@
+"""On-disk persistence of successful synthesis outcomes.
+
+The in-process outcome cache of :mod:`repro.synthesis.synthesiser` dies
+with the interpreter, so every fresh process re-pays the CSP/SAT search —
+exactly what :mod:`repro.synthesis.pretrained` works around for the one
+shipped 4-colouring table.  This module generalises that: every successful
+:class:`~repro.synthesis.synthesiser.SynthesisOutcome` can be written to a
+JSON document mirroring the shipped ``fourcol_table_k3_7x5.json`` format
+(serialised via :func:`repro.synthesis.lookup.table_to_serialisable`) and
+loaded back on the next in-process cache miss.
+
+Keys and safety
+---------------
+
+Documents are keyed by a *fingerprint* of the in-process cache key
+``(problem, k, width, height, engine, csp_node_budget,
+sat_conflict_budget)``: the problem contributes its name, alphabet, the
+per-label node predicate values and the explicit horizontal/vertical pair
+relations — everything the tile CSP/SAT actually consults (synthesis only
+accepts pairwise problems), so two problems with equal fingerprints
+provably synthesise identically.  The fingerprint is stored inside the
+document and re-checked on load, so a digest collision or a renamed file
+cannot smuggle in a foreign table; each loaded label is additionally
+re-checked against the problem's node predicate.  Corrupt or truncated
+files are treated as cache misses (and overwritten by the next successful
+solve), never as errors.
+
+Labels and alphabet entries round-trip through ``repr`` /
+:func:`ast.literal_eval`; outcomes whose labels do not survive that
+round-trip (exotic objects) are silently not persisted — the disk cache
+is strictly best-effort.
+
+Location
+--------
+
+Documents live under ``$REPRO_CACHE_DIR/synthesis`` when the
+:data:`CACHE_DIR_VARIABLE` environment variable is set (an empty value
+disables the disk cache entirely), defaulting to
+``~/.cache/repro/synthesis``.  The repository's test suite pins the
+variable to a per-session temporary directory, keeping runs hermetic.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Environment variable overriding the cache root directory.  An empty
+#: value disables on-disk persistence.
+CACHE_DIR_VARIABLE = "REPRO_CACHE_DIR"
+
+#: Format marker stored in every document; bump on incompatible changes so
+#: stale documents read as misses instead of parse errors.
+FORMAT_VERSION = 1
+
+
+def synthesis_cache_dir() -> Optional[Path]:
+    """The directory holding cached outcomes, or ``None`` when disabled."""
+    raw = os.environ.get(CACHE_DIR_VARIABLE)
+    if raw is not None:
+        if not raw:
+            return None
+        return Path(raw) / "synthesis"
+    return Path.home() / ".cache" / "repro" / "synthesis"
+
+
+def _reprs(values) -> List[str]:
+    return [repr(value) for value in values]
+
+
+def _relation_fingerprint(relation) -> Optional[List[str]]:
+    if relation is None:
+        return None
+    return sorted(repr(pair) for pair in relation.allowed)
+
+
+def problem_fingerprint(problem) -> Dict[str, Any]:
+    """Everything about ``problem`` the pairwise tile synthesis consults.
+
+    Name, alphabet (label reprs in order), the node predicate's value on
+    every label, and the explicit horizontal/vertical pair relations.
+    Cross predicates never appear: :func:`repro.synthesis.synthesiser.synthesise`
+    rejects non-pairwise problems before any caching happens.
+    """
+    return {
+        "name": problem.name,
+        "alphabet": _reprs(problem.alphabet),
+        "node_ok": [bool(problem.node_ok(label)) for label in problem.alphabet],
+        "horizontal": _relation_fingerprint(problem.horizontal),
+        "vertical": _relation_fingerprint(problem.vertical),
+    }
+
+
+def _document_key(problem, cache_key: Tuple) -> Dict[str, Any]:
+    _, k, width, height, engine, csp_node_budget, sat_conflict_budget = cache_key
+    return {
+        "version": FORMAT_VERSION,
+        "problem": problem_fingerprint(problem),
+        "k": k,
+        "width": width,
+        "height": height,
+        "engine": engine,
+        "csp_node_budget": csp_node_budget,
+        "sat_conflict_budget": sat_conflict_budget,
+    }
+
+
+def cache_path(problem, cache_key: Tuple) -> Optional[Path]:
+    """The document path of one cache key, or ``None`` when disabled."""
+    directory = synthesis_cache_dir()
+    if directory is None:
+        return None
+    digest = hashlib.sha256(
+        json.dumps(_document_key(problem, cache_key), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return directory / f"synthesis_{digest[:32]}.json"
+
+
+def _labels_roundtrip(labels) -> bool:
+    for label in labels:
+        try:
+            if ast.literal_eval(repr(label)) != label:
+                return False
+        except (ValueError, SyntaxError, MemoryError, TypeError):
+            return False
+    return True
+
+
+def store_outcome(problem, cache_key: Tuple, outcome) -> Optional[Path]:
+    """Persist a successful outcome; best-effort, returns the path or ``None``.
+
+    Failed outcomes are never persisted (a larger budget could change
+    them, and the in-process cache skips them for the same reason).
+    """
+    if not outcome.success or outcome.table is None:
+        return None
+    path = cache_path(problem, cache_key)
+    if path is None:
+        return None
+    if not _labels_roundtrip(outcome.table.values()):
+        return None
+    from repro.synthesis.lookup import table_to_serialisable
+
+    document = {
+        "key": _document_key(problem, cache_key),
+        "problem_name": outcome.problem_name,
+        "used_engine": outcome.engine,
+        "tile_count": outcome.tile_count,
+        "horizontal_pairs": outcome.horizontal_pairs,
+        "vertical_pairs": outcome.vertical_pairs,
+        "stats": dict(outcome.stats),
+        "table": [
+            [cells, repr(label)]
+            for cells, label in table_to_serialisable(outcome.table)
+        ],
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_name(path.name + f".tmp{os.getpid()}")
+        scratch.write_text(json.dumps(document, sort_keys=True))
+        os.replace(scratch, path)
+    except OSError:
+        return None
+    return path
+
+
+def load_outcome(problem, cache_key: Tuple):
+    """Load a previously stored outcome, or ``None`` on any kind of miss.
+
+    Misses include: disk cache disabled, file absent, unparseable JSON,
+    format/fingerprint mismatch (the stored key is compared field by field
+    against the requested one), labels failing ``literal_eval`` or the
+    problem's node predicate.  The caller treats every ``None`` as "solve
+    from scratch".
+    """
+    path = cache_path(problem, cache_key)
+    if path is None:
+        return None
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("key") != _document_key(problem, cache_key):
+        return None
+    serialised = document.get("table")
+    if not isinstance(serialised, list) or not serialised:
+        return None
+    from repro.grid.subgrid import Window
+    from repro.synthesis.synthesiser import SynthesisOutcome
+
+    _, k, width, height, _, _, _ = cache_key
+    table: Dict[Window, Any] = {}
+    try:
+        for cells, label_repr in serialised:
+            window = Window(tuple(tuple(column) for column in cells))
+            if window.width != width or any(
+                len(column) != height for column in window.cells
+            ):
+                # A tampered or bit-flipped document: a fresh solve's
+                # table only ever contains full-size anchor windows, and
+                # a mis-shaped key would surface as a runtime KeyError
+                # long after the cache hit.
+                return None
+            label = ast.literal_eval(label_repr)
+            if not problem.node_ok(label):
+                return None
+            table[window] = label
+    except (TypeError, ValueError, SyntaxError, MemoryError):
+        return None
+    if int(document.get("tile_count", len(table))) != len(table):
+        return None
+    return SynthesisOutcome(
+        problem_name=document.get("problem_name", problem.name),
+        k=k,
+        width=width,
+        height=height,
+        success=True,
+        table=table,
+        tile_count=int(document.get("tile_count", len(table))),
+        horizontal_pairs=int(document.get("horizontal_pairs", 0)),
+        vertical_pairs=int(document.get("vertical_pairs", 0)),
+        engine=document.get("used_engine", "csp"),
+        exhausted_budget=False,
+        stats={
+            key: value for key, value in dict(document.get("stats", {})).items()
+        },
+    )

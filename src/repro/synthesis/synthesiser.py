@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.lcl import GridLCL
 from repro.errors import SynthesisError
 from repro.grid.subgrid import Window
+from repro.synthesis import disk_cache
 from repro.synthesis.csp import BinaryCSP, solve_binary_csp
 from repro.synthesis.encode import encode_tile_labelling_as_sat
 from repro.synthesis.sat import solve_cnf
@@ -203,8 +204,12 @@ def synthesise(
     sweeps, keyed by ``(problem, k, window, engine)`` — the tile graph
     itself is likewise cached by :func:`build_tile_graph`, so repeated
     parameter scans re-derive neither the tiles nor the rule tables.
-    Passing an explicit ``graph`` bypasses the outcome cache (the caller
-    may have customised it).
+    Successful outcomes additionally persist across *processes* through
+    the on-disk JSON cache of :mod:`repro.synthesis.disk_cache` (same key,
+    fingerprint-checked on load, ``REPRO_CACHE_DIR`` override); corrupt or
+    missing documents simply fall through to a fresh solve.  Passing an
+    explicit ``graph`` bypasses the outcome cache (the caller may have
+    customised it).
     """
     if not problem.is_pairwise:
         raise SynthesisError(
@@ -220,6 +225,10 @@ def synthesise(
         cached = _cached_outcome(cache_key)
         if cached is not None:
             return cached
+        persisted = disk_cache.load_outcome(problem, cache_key)
+        if persisted is not None:
+            _OUTCOME_CACHE[cache_key] = persisted
+            return _cached_outcome(cache_key)
     if graph is None:
         graph = build_tile_graph(width, height, k)
 
@@ -263,6 +272,7 @@ def synthesise(
             table=dict(outcome.table) if outcome.table is not None else None,
             stats=dict(outcome.stats),
         )
+        disk_cache.store_outcome(problem, cache_key, outcome)
     return outcome
 
 

@@ -1,7 +1,7 @@
 """Shared randomized equivalence-test harness for engine migrations.
 
 Every fast-path migration in this repository follows the same contract: the
-``"indexed"``, ``"array"`` and ``"parallel"`` engines must produce
+``"indexed"``, ``"array"``, ``"parallel"`` and ``"shm"`` engines must produce
 **byte-identical** outputs to the ``"dict"`` reference engine — same
 values, same tie-breaks, same error messages — on randomized inputs.  PR 1 asserted this ad hoc per
 module; this harness turns the pattern into shared infrastructure, and
@@ -52,30 +52,34 @@ def rule_engine_factories(
     rule: Any,
     workers: Optional[int] = None,
     table_threshold: Optional[int] = None,
+    include_shm: bool = False,
 ) -> "dict[str, Callable[[], Any]]":
     """Factories applying ``rule`` once on every engine tier.
 
     Returns the ``{"dict": ..., "indexed": ..., "array": ..., "parallel":
     ...}`` mapping consumed by :func:`assert_engines_agree` — the standard
-    four-tier comparison for plain rule application.  ``workers`` is
-    forwarded to the parallel tier (``None`` resolves via ``REPRO_WORKERS``
-    / CPU count as in production); ``table_threshold`` is forwarded to the
-    array-backed tiers (pass ``1`` to pin small alphabets off the compiled
-    lookup table, so the parallel tier demonstrably shards instead of
-    delegating).
+    four-tier comparison for plain rule application, extended to the
+    five-tier comparison with ``include_shm=True`` (an ``"shm"`` factory
+    running one persistent-pool round and shutting the pool down).
+    ``workers`` is forwarded to the parallel and shm tiers (``None``
+    resolves via ``REPRO_WORKERS`` / CPU count as in production);
+    ``table_threshold`` is forwarded to the array-backed tiers (pass ``1``
+    to pin small alphabets off the compiled lookup table, so the sharding
+    tiers demonstrably shard instead of delegating).
     """
     from repro.local_model.engine import (
         DEFAULT_TABLE_THRESHOLD,
         ArrayEngine,
         IndexedEngine,
         ParallelEngine,
+        ShmEngine,
     )
     from repro.local_model.simulator import apply_rule
 
     threshold = (
         table_threshold if table_threshold is not None else DEFAULT_TABLE_THRESHOLD
     )
-    return {
+    factories = {
         "dict": lambda: apply_rule(grid, labels, rule),
         "indexed": lambda: IndexedEngine(grid).apply_rule(labels, rule).to_dict(),
         "array": lambda: ArrayEngine(grid, table_threshold=threshold)
@@ -87,6 +91,15 @@ def rule_engine_factories(
         .apply_rule(labels, rule)
         .to_dict(),
     }
+    if include_shm:
+        def run_shm():
+            with ShmEngine(
+                grid, workers=workers, table_threshold=threshold
+            ) as engine:
+                return engine.apply_rule(labels, rule).to_dict()
+
+        factories["shm"] = run_shm
+    return factories
 
 
 def derive_rng(seed: int, label: str) -> random.Random:

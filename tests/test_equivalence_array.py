@@ -10,6 +10,8 @@ including identical exceptions.  All three array-tier execution strategies
 exercised.
 """
 
+import pytest
+
 from equivalence import (
     assert_engines_agree,
     assert_equivalent,
@@ -185,6 +187,104 @@ class TestRuleApplicationEquivalence:
 
 
 class TestConsumerEquivalence:
+    def test_conflict_colouring_schedule_rounds(self, equivalence_seed):
+        # Random conflict-colouring instances: ragged colour lists, a
+        # modular forbidden predicate, a greedy proper schedule colouring.
+        # The array tier's per-class vectorised rounds must match the
+        # sequential greedy byte for byte — assignments, round counts and
+        # the SimulationError of an infeasible node (forced by the
+        # occasional single-colour list meeting a dense conflict).
+        from repro.symmetry.conflict_colouring import (
+            ConflictColouringInstance,
+            solve_conflict_colouring,
+        )
+
+        rng = derive_rng(equivalence_seed, "array-conflict-colouring")
+        for trial in range(12):
+            count = rng.randint(2, 14)
+            nodes = [f"n{index}" for index in range(count)]
+            adjacency = {node: [] for node in nodes}
+            for i in range(count):
+                for j in range(i + 1, count):
+                    if rng.random() < 0.4:
+                        adjacency[nodes[i]].append(nodes[j])
+                        adjacency[nodes[j]].append(nodes[i])
+            available = {
+                node: tuple(rng.sample(range(10), rng.randint(1, 4)))
+                for node in nodes
+            }
+            modulus = rng.randint(2, 5)
+
+            def forbidden(u, v, cu, cv, modulus=modulus):
+                return (cu + cv) % modulus == 0
+
+            schedule = {}
+            for node in nodes:
+                used = {
+                    schedule[neighbour]
+                    for neighbour in adjacency[node]
+                    if neighbour in schedule
+                }
+                schedule[node] = next(
+                    colour for colour in range(count + 1) if colour not in used
+                )
+            instance = ConflictColouringInstance(adjacency, available, forbidden)
+            assert_engines_agree(
+                {
+                    engine: lambda e=engine: solve_conflict_colouring(
+                        instance, schedule, engine=e
+                    )
+                    for engine in ("dict", "indexed", "array")
+                },
+                f"seed={equivalence_seed} trial={trial} nodes={count} "
+                f"modulus={modulus}",
+            )
+
+    def test_conflict_colouring_partial_predicates_raise_identically(self):
+        # Without a batch hook the array engine must reproduce the exact
+        # predicate call sequence — including a predicate that raises on
+        # pairs the short-circuiting greedy never reaches.
+        from repro.symmetry.conflict_colouring import (
+            ConflictColouringInstance,
+            solve_conflict_colouring,
+        )
+
+        lookup = {(1, 2): False, (2, 1): False}
+
+        def partial_forbidden(u, v, cu, cv):
+            return lookup[(cu, cv)]  # KeyError outside the table
+
+        instance = ConflictColouringInstance(
+            adjacency={"u": ["v"], "v": ["u"]},
+            available={"u": (1,), "v": (2, 9)},
+            forbidden=partial_forbidden,
+        )
+        schedule = {"u": 0, "v": 1}
+        for engine in ("dict", "array"):
+            result = solve_conflict_colouring(instance, schedule, engine=engine)
+            # Colour 2 passes first; pair (9, 1) is never evaluated.
+            assert result.assignment == {"u": 1, "v": 2}, engine
+
+    def test_conflict_colouring_preserves_each_nodes_own_colour_objects(self):
+        # Regression: equal-but-distinct colour objects (1 vs 1.0) must
+        # come back as the *node's own list entry* on every engine — the
+        # array tier once canonicalised them through a shared codec.
+        from repro.symmetry.conflict_colouring import (
+            ConflictColouringInstance,
+            solve_conflict_colouring,
+        )
+
+        instance = ConflictColouringInstance(
+            adjacency={"u": ["v"], "v": ["u"]},
+            available={"u": (1,), "v": (1.0, 2.0)},
+            forbidden=lambda *args: False,
+        )
+        schedule = {"u": 0, "v": 1}
+        for engine in ("dict", "array"):
+            result = solve_conflict_colouring(instance, schedule, engine=engine)
+            assert type(result.assignment["v"]) is float, engine
+            assert repr(result.assignment["v"]) == "1.0", engine
+
     def test_border_counts(self, equivalence_seed):
         rng = derive_rng(equivalence_seed, "array-border-counts")
         for trial, grid in enumerate(grid_corpus(rng)):

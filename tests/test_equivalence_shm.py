@@ -1,0 +1,310 @@
+"""Randomized five-engine equivalence suite (see ``tests/equivalence.py``).
+
+Each test derives a private RNG from ``--equivalence-seed`` (default 0),
+draws randomized instances — square, non-square and 1-dimensional tori,
+rules over alphabets far too large to table-compile (the workload the
+sharding tiers exist for), rules whose outputs leave the initial alphabet
+(the shm tier's overflow/codec-sync protocol), raising rules — and asserts
+that the ``"dict"`` reference, the ``"indexed"``/``"array"`` fast paths,
+the per-round-fork ``"parallel"`` tier and the persistent-pool ``"shm"``
+tier produce byte-identical outcomes, including identical exceptions with
+sequential first-failing-node semantics.  The persistence invariant itself
+is pinned too: a multi-round schedule must spawn exactly one pool.
+"""
+
+import pytest
+
+from equivalence import (
+    assert_engines_agree,
+    assert_equivalent,
+    derive_rng,
+    grid_corpus,
+    rule_engine_factories,
+)
+
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import SchedulePhase, ShmEngine, run_schedule
+from repro.local_model.simulator import apply_rule, iterate_rule
+from repro.local_model.store import (
+    SHM_AUTO_THRESHOLD,
+    resolve_engine,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+
+
+def _engine_corpus(rng):
+    """Tori covering the engine edge cases: 2-D shapes plus a 1-D cycle."""
+    yield from grid_corpus(rng, extras=0)
+    yield ToroidalGrid((rng.randint(5, 11),))
+
+
+def _identifier_rule(rng):
+    """A deterministic non-compilable rule (alphabet size ~ node count)."""
+    a, b = rng.randrange(1, 7), rng.randrange(7)
+
+    def update(view):
+        values = sorted(view.values())
+        return a * values[0] + b * values[-1]
+
+    return FunctionRule(rng.choice([1, 1, 2]), update)
+
+
+class TestFiveTierEquivalence:
+    def test_non_compilable_rules_across_worker_counts(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "shm-noncompilable")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            rule = _identifier_rule(rng)
+            workers = rng.choice([2, 3, 4])
+            for worker_count in (0, 1, workers):
+                engine = ShmEngine(grid, workers=worker_count, table_threshold=1)
+                with engine:
+                    # Intern the labels so the tier query sees the real
+                    # alphabet, exactly as an application would.
+                    store = engine.store(labels)
+                    expected = "shm" if worker_count > 1 else "list"
+                    assert engine.rule_tier(rule) == expected, store
+                assert_engines_agree(
+                    rule_engine_factories(
+                        grid,
+                        labels,
+                        rule,
+                        workers=worker_count,
+                        table_threshold=1,
+                        include_shm=True,
+                    ),
+                    f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                    f"radius={rule.radius} workers={worker_count}",
+                )
+
+    def test_rules_growing_the_alphabet_mid_schedule(
+        self, equivalence_seed, monkeypatch
+    ):
+        # Outputs leave the initial alphabet every round: round k's labels
+        # are unknown to the fork-time codec snapshot, so every round
+        # exercises the overflow report and the next round's codec-delta
+        # sync.  Three rounds also end on the "odd" buffer of the double
+        # buffer (round count 3), covering both swap parities below.
+        # REPRO_WORKERS pins real sharding even on single-CPU runners.
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        rng = derive_rng(equivalence_seed, "shm-overflow")
+        for trial, grid in enumerate(grid_corpus(rng, extras=0)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            shift = rng.randrange(1_000, 2_000)
+
+            def update(view, shift=shift):
+                values = sorted(view.values())
+                return values[0] + values[-1] + shift
+
+            rule = FunctionRule(1, update)
+            for rounds in (1, 2, 3):
+                schedule = [SchedulePhase(rule, name="grow", iterations=rounds)]
+                assert_equivalent(
+                    lambda: run_schedule(grid, labels, schedule).to_dict(),
+                    lambda: run_schedule(
+                        grid, labels, schedule, engine="shm"
+                    ).to_dict(),
+                    f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                    f"rounds={rounds}",
+                )
+
+    def test_raising_rules_report_first_failing_node(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "shm-raising")
+        for trial, grid in enumerate(_engine_corpus(rng)):
+            nodes = list(grid.nodes())
+            labels = {node: position for position, node in enumerate(nodes)}
+            # Poison a random subset of nodes: several chunks can fail in
+            # the same round, and every engine must report the *same* node
+            # (the lowest flat index).
+            poisoned = set(
+                rng.sample(range(len(nodes)), rng.randint(1, max(1, len(nodes) // 4)))
+            )
+            poisoned.add(0)
+
+            def update(view):
+                smallest = min(view.values())
+                if smallest in poisoned:
+                    raise ValueError(f"poisoned label {smallest}")
+                return smallest
+
+            rule = FunctionRule(1, update)
+            outcome = assert_engines_agree(
+                rule_engine_factories(
+                    grid,
+                    labels,
+                    rule,
+                    workers=rng.choice([2, 4]),
+                    include_shm=True,
+                ),
+                f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
+                f"poisoned={len(poisoned)}",
+            )
+            assert outcome[0] == "error"
+
+    def test_pool_survives_a_raising_round(self, equivalence_seed):
+        # A rule exception is a *result*, not a pool failure: the same
+        # engine must keep its workers and stay byte-identical afterwards.
+        rng = derive_rng(equivalence_seed, "shm-raise-survive")
+        grid = ToroidalGrid((rng.randint(5, 8), rng.randint(5, 8)))
+        labels = {
+            node: position for position, node in enumerate(grid.nodes())
+        }
+        good = _identifier_rule(rng)
+
+        def update(view):
+            raise ValueError(f"always fails at {min(view.values())}")
+
+        bad = FunctionRule(1, update)
+        with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+            engine.prepare([good, bad])
+            before = engine.apply_rule(labels, good).to_dict()
+            with pytest.raises(ValueError, match="always fails at 0"):
+                engine.apply_rule(labels, bad)
+            assert engine.pool_spawns == 1 and not engine._pool.closed
+            after = engine.apply_rule(labels, good).to_dict()
+        assert before == after == apply_rule(grid, labels, good)
+
+    def test_iterate_rule_including_budget_exhaustion(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "shm-iterate")
+        for trial, grid in enumerate(grid_corpus(rng, extras=0)):
+            identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+            labels = {node: identifiers[node] for node in grid.nodes()}
+            rule = FunctionRule(1, lambda view: min(view.values()))
+            target = min(labels.values())
+
+            def stop(current):
+                return all(value == target for value in current.values())
+
+            budget = max(grid.sides) + 1
+            context = f"seed={equivalence_seed} trial={trial} grid={grid.sides}"
+
+            def run_shm_iterate(should_stop, max_iterations):
+                with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+                    return engine.iterate_rule(
+                        labels, rule, should_stop, max_iterations
+                    ).to_dict()
+
+            assert_equivalent(
+                lambda: iterate_rule(grid, labels, rule, stop, budget),
+                lambda: run_shm_iterate(stop, budget),
+                f"{context} budget={budget}",
+            )
+            # Impossible predicate: identical SimulationError through the
+            # persistent pool.
+            assert_equivalent(
+                lambda: iterate_rule(grid, labels, rule, lambda current: False, 2),
+                lambda: run_shm_iterate(lambda current: False, 2),
+                f"{context} exhausted",
+            )
+
+    def test_mutating_stop_predicates_stay_byte_identical(self, equivalence_seed):
+        # Regression: shm-tier snapshots are read-only and stores copy on
+        # first write, so a should_stop predicate that *mutates* the store
+        # must still feed its mutation into the next round exactly as the
+        # list-backed tiers do.
+        rng = derive_rng(equivalence_seed, "shm-mutating-stop")
+        grid = ToroidalGrid((rng.randint(5, 8), rng.randint(5, 8)))
+        labels = {node: position for position, node in enumerate(grid.nodes())}
+        pin = next(iter(grid.nodes()))
+        rule = FunctionRule(1, lambda view: min(view.values()))
+
+        def make_stop():
+            calls = {"count": 0}
+
+            def stop(current):
+                calls["count"] += 1
+                # Re-seed one node with a large value every check: without
+                # the mutation being visible, the minimum floods to 0 and
+                # the outcome differs.
+                current[pin] = 1_000 + calls["count"]
+                return calls["count"] > 3
+
+            return stop
+
+        budget = 10
+        assert_equivalent(
+            lambda: iterate_rule(grid, labels, rule, make_stop(), budget),
+            lambda: ShmEngine(grid, workers=2, table_threshold=1)
+            .iterate_rule(labels, rule, make_stop(), budget)
+            .to_dict(),
+            f"seed={equivalence_seed} grid={grid.sides} mutating-stop",
+        )
+
+    def test_run_schedule_spawns_exactly_one_pool(self, equivalence_seed, monkeypatch):
+        # The amortisation invariant behind the whole tier: a multi-phase,
+        # multi-rule schedule forks its workers once, not once per round.
+        rng = derive_rng(equivalence_seed, "shm-persistence")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+        labels = {node: identifiers[node] for node in grid.nodes()}
+        first, second = _identifier_rule(rng), _identifier_rule(rng)
+        with ShmEngine(grid, table_threshold=1) as engine:
+            engine.prepare([first, second])
+            current = engine.store(labels)
+            for _ in range(3):
+                current = engine.apply_rule(current, first)
+                current = engine.apply_rule(current, second)
+            assert engine.pool_spawns == 1
+            assert engine._pool.rounds_run == 6
+            result = current.to_dict()
+        expected = labels
+        for _ in range(3):
+            expected = apply_rule(grid, expected, first)
+            expected = apply_rule(grid, expected, second)
+        assert result == expected
+
+    def test_vectorisable_rules_delegate_to_the_array_tier(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "shm-delegate")
+        grid = ToroidalGrid((rng.randint(5, 9), rng.randint(5, 9)))
+        alphabet_size = rng.randint(2, 4)
+        labels = {node: rng.randrange(alphabet_size) for node in grid.nodes()}
+        rule = FunctionRule(
+            1, lambda view: (min(view.values()) + max(view.values())) % alphabet_size
+        )
+        with ShmEngine(grid, workers=4) as engine:
+            engine.store(labels)
+            assert engine.rule_tier(rule) == "table"
+            # Delegated rounds never touch the pool.
+            engine.apply_rule(labels, rule)
+            assert engine.pool_spawns == 0
+        assert_engines_agree(
+            rule_engine_factories(grid, labels, rule, workers=4, include_shm=True),
+            f"seed={equivalence_seed} grid={grid.sides} alphabet={alphabet_size}",
+        )
+
+
+class TestAutoPolicy:
+    def test_auto_picks_shm_above_the_threshold(self, monkeypatch):
+        allowed = ("dict", "indexed", "array", "parallel", "shm")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_engine("auto", allowed, node_count=SHM_AUTO_THRESHOLD) == "shm"
+        # Below the shm threshold the parallel tier still wins...
+        assert (
+            resolve_engine("auto", allowed, node_count=SHM_AUTO_THRESHOLD - 1)
+            == "parallel"
+        )
+        # ...and call sites that do not allow the tier never get it.
+        assert (
+            resolve_engine(
+                "auto",
+                ("dict", "indexed", "array", "parallel"),
+                node_count=1 << 22,
+            )
+            == "parallel"
+        )
+        # A single worker disables both sharding tiers no matter the size.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert resolve_engine("auto", allowed, node_count=1 << 22) == "array"
+
+    def test_explicit_shm_requires_the_caller_to_allow_it(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("shm", ("dict", "indexed", "array"))

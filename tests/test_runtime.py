@@ -1,0 +1,285 @@
+"""Edge-case tests for the persistent shared-memory runtime.
+
+The happy path — five-tier byte-identical results — lives in
+``tests/test_equivalence_shm.py``; this module pins the runtime's failure
+and lifecycle contracts: segment-name collisions, worker death mid-round,
+the ``REPRO_WORKERS=1`` degrade path (with its one-time warning),
+double-buffer swap correctness on odd round counts, and deterministic
+shutdown/orphan cleanup of the shared segments.
+"""
+
+import gc
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.grid.indexer import GridIndexer
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import ShmEngine, plan_chunks
+from repro.local_model.simulator import apply_rule
+from repro.local_model.store import LabelCodec, shm_available
+from repro.runtime import PoolBrokenError, SharedCodeBuffer, WorkerPool
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+
+np = pytest.importorskip("numpy")
+
+
+def _segment_exists(name):
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _grid_fixture(side=6):
+    grid = ToroidalGrid((side, side))
+    labels = {node: (i * 13) % 40 for i, node in enumerate(grid.nodes())}
+    return grid, labels
+
+
+def _min_plus(offset):
+    return FunctionRule(1, lambda view: min(view.values()) + offset)
+
+
+def _make_pool(grid, codec, rules, workers=2):
+    indexer = GridIndexer.for_grid(grid)
+    return WorkerPool(
+        indexer,
+        codec,
+        {id(rule): rule for rule in rules},
+        plan_chunks(indexer.node_count, workers),
+    )
+
+
+class TestSharedCodeBuffer:
+    def test_name_collisions_are_retried(self):
+        # Occupy the first candidate name; create() must survive the
+        # collision and land on the second.
+        taken = SharedCodeBuffer.create(8)
+        try:
+            buffer = SharedCodeBuffer.create(
+                8, names=iter([taken.name, taken.name, f"{taken.name}_free"])
+            )
+            try:
+                assert buffer.name == f"{taken.name}_free"
+                buffer.array[:] = np.arange(8, dtype=np.int32)
+                attached = SharedCodeBuffer.attach(buffer.name, 8)
+                assert attached.array.tolist() == list(range(8))
+                attached.close()
+            finally:
+                buffer.unlink()
+        finally:
+            taken.unlink()
+
+    def test_exhausted_candidates_raise_cleanly(self):
+        taken = SharedCodeBuffer.create(4)
+        try:
+            with pytest.raises(SimulationError, match="name attempts"):
+                SharedCodeBuffer.create(4, names=iter([taken.name]))
+        finally:
+            taken.unlink()
+
+    def test_unlink_is_idempotent_and_closes(self):
+        buffer = SharedCodeBuffer.create(4)
+        name = buffer.name
+        buffer.unlink()
+        buffer.unlink()
+        assert not _segment_exists(name)
+        with pytest.raises(SimulationError, match="closed"):
+            buffer.array
+
+
+class TestDoubleBuffer:
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 5])
+    def test_swap_correctness_on_odd_and_even_round_counts(self, rounds):
+        # Drive the pool directly: after k rounds of `+1` the snapshot
+        # must be the input plus k, whichever physical buffer k rounds of
+        # swapping landed on.
+        grid, labels = _grid_fixture()
+        codec = LabelCodec(range(41 + rounds))
+        rule = _min_plus(1)
+        with _make_pool(grid, codec, [rule]) as pool:
+            indexer = pool.indexer
+            codes = np.asarray(
+                [codec.encode(labels[node]) for node in indexer.nodes],
+                dtype=np.int32,
+            )
+            pool.load(codes)
+            expected = {node: value for node, value in labels.items()}
+            for round_number in range(1, rounds + 1):
+                before = pool.current_index
+                pool.round(id(rule))
+                assert pool.current_index == 1 - before
+                expected = apply_rule(grid, expected, rule)
+            result = [codec.decode(code) for code in pool.snapshot()]
+            assert result == [expected[node] for node in indexer.nodes]
+            assert pool.current_index == rounds % 2
+
+    def test_snapshot_is_owned_memory(self):
+        grid, labels = _grid_fixture(4)
+        codec = LabelCodec(range(50))
+        rule = _min_plus(1)
+        with _make_pool(grid, codec, [rule]) as pool:
+            codes = np.zeros(pool.node_count, dtype=np.int32)
+            pool.load(codes)
+            snapshot = pool.snapshot()
+            pool.round(id(rule))
+        # The pool (and its segments) are gone; the snapshot must survive.
+        assert snapshot.tolist() == [0] * pool.node_count
+
+
+class TestWorkerDeath:
+    def test_worker_death_mid_round_degrades_with_a_warning(self):
+        grid, labels = _grid_fixture()
+        parent = os.getpid()
+
+        def update(view):
+            if os.getpid() != parent:
+                os._exit(23)
+            return min(view.values())
+
+        rule = FunctionRule(1, update)
+        reference = apply_rule(grid, labels, rule)
+        with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+            with pytest.warns(RuntimeWarning, match="worker-pool failure"):
+                result = engine.apply_rule(labels, rule).to_dict()
+            assert result == reference
+            # The engine is marked broken: later rounds run serially, stay
+            # correct, and do not warn a second time.
+            assert engine._broken and engine._pool is None
+            again = engine.apply_rule(labels, rule).to_dict()
+            assert again == reference
+
+    def test_spawn_failure_keeps_the_parallel_rung(self, monkeypatch):
+        # A pool that cannot even spawn (process limits, /dev/shm quota)
+        # must not demote the engine to the serial scan: per-round forks
+        # need neither shared memory nor a persistent pool.
+        import repro.runtime.pool as pool_module
+
+        def refuse_spawn(*args, **kwargs):
+            raise OSError("out of processes")
+
+        monkeypatch.setattr(pool_module.WorkerPool, "__init__", refuse_spawn)
+        grid, labels = _grid_fixture()
+        rule = _min_plus(13)
+        reference = apply_rule(grid, labels, rule)
+        with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+            with pytest.warns(RuntimeWarning, match="spawn failure"):
+                result = engine.apply_rule(labels, rule).to_dict()
+            assert result == reference
+            assert engine._broken and not engine._serial_only
+            # The fallback engine is the parallel tier, not the bare scan.
+            assert engine._fallback is not None
+
+    def test_pool_reports_the_dead_worker(self):
+        grid, labels = _grid_fixture()
+        parent = os.getpid()
+
+        def update(view):
+            if os.getpid() != parent:
+                os._exit(9)
+            return 0
+
+        rule = FunctionRule(1, update)
+        codec = LabelCodec(sorted(set(labels.values())))
+        pool = _make_pool(grid, codec, [rule])
+        try:
+            pool.load(np.zeros(pool.node_count, dtype=np.int32))
+            with pytest.raises(PoolBrokenError, match="worker"):
+                pool.round(id(rule))
+            assert pool.closed
+        finally:
+            pool.close()
+
+
+class TestDegradePaths:
+    def test_single_worker_degrades_with_a_one_time_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        grid, labels = _grid_fixture()
+        rule = _min_plus(7)
+        reference = apply_rule(grid, labels, rule)
+        with ShmEngine(grid, table_threshold=1) as engine:
+            assert engine.workers == 1
+            with pytest.warns(RuntimeWarning, match="cannot shard"):
+                first = engine.apply_rule(labels, rule).to_dict()
+            assert first == reference
+            # One-time: the second application must not warn again.
+            import warnings as warnings_module
+
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                second = engine.apply_rule(labels, rule).to_dict()
+            assert second == reference
+            assert engine.pool_spawns == 0
+
+    def test_parallel_unsafe_rules_degrade_silently(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(3)
+        rule.parallel_safe = False
+        reference = apply_rule(grid, labels, rule)
+        with ShmEngine(grid, workers=4, table_threshold=1) as engine:
+            import warnings as warnings_module
+
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                result = engine.apply_rule(labels, rule).to_dict()
+            assert result == reference
+            assert engine.rule_tier(rule) == "list"
+            assert engine.pool_spawns == 0
+
+    def test_unregistered_rule_respawns_the_pool(self):
+        # Direct apply_rule calls with rules the pool has never seen are
+        # correct (workers inherit rules at fork time, so the pool must
+        # respawn) — the cost is one extra spawn, pinned here so a later
+        # regression cannot silently turn it into a wrong answer.
+        grid, labels = _grid_fixture()
+        first, second = _min_plus(11), _min_plus(17)
+        with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+            out_first = engine.apply_rule(labels, first).to_dict()
+            assert engine.pool_spawns == 1
+            out_second = engine.apply_rule(labels, second).to_dict()
+            assert engine.pool_spawns == 2
+            # Both rules are registered now; alternating is free.
+            engine.apply_rule(labels, first)
+            assert engine.pool_spawns == 2
+        assert out_first == apply_rule(grid, labels, first)
+        assert out_second == apply_rule(grid, labels, second)
+
+
+class TestShutdown:
+    def test_context_manager_shutdown_is_deterministic(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(5)
+        with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+            engine.apply_rule(labels, rule)
+            pool = engine._pool
+            names = [buffer.name for buffer in pool._buffers]
+            processes = list(pool._processes)
+            assert all(_segment_exists(name) for name in names)
+        assert pool.closed
+        assert all(not process.is_alive() for process in processes)
+        assert not any(_segment_exists(name) for name in names)
+        with pytest.raises(PoolBrokenError, match="shut down"):
+            pool.round(id(rule))
+
+    def test_orphaned_segments_are_cleaned_up_without_close(self):
+        # An engine dropped without close() (a crashed caller) must not
+        # leak segments: the buffer finalizers unlink them at collection.
+        grid, labels = _grid_fixture()
+        rule = _min_plus(5)
+        engine = ShmEngine(grid, workers=2, table_threshold=1)
+        engine.apply_rule(labels, rule)
+        names = [buffer.name for buffer in engine._pool._buffers]
+        assert all(_segment_exists(name) for name in names)
+        del engine
+        gc.collect()
+        assert not any(_segment_exists(name) for name in names)

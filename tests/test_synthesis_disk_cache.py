@@ -1,0 +1,229 @@
+"""Tests for the on-disk synthesis outcome cache and the bench aggregator.
+
+The disk cache must behave as a pure accelerator: a warm file returns a
+byte-identical outcome without solving, while every kind of damage —
+missing files, truncated JSON, foreign keys, tampered labels — silently
+falls back to a fresh solve (which then repairs the file).  The benchmark
+summary aggregator is tested alongside because it shares the "merge JSON
+artifacts, skip the corrupt ones" contract.
+"""
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.orientation.problems import x_orientation_problem
+from repro.synthesis import disk_cache
+from repro.synthesis.synthesiser import (
+    clear_synthesis_cache,
+    synthesise,
+    synthesise_with_budget,
+)
+
+# The smallest window the {1,3,4}-orientation problem synthesises at
+# k = 1; discovered once per test session via the budget sweep.
+_WINDOW = {}
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(disk_cache.CACHE_DIR_VARIABLE, str(tmp_path))
+    clear_synthesis_cache()
+    yield tmp_path / "synthesis"
+    clear_synthesis_cache()
+
+
+def _window(problem):
+    key = problem.name
+    if key not in _WINDOW:
+        # The discovery sweep must not itself seed the disk cache the
+        # surrounding test is about to inspect.
+        previous = os.environ.get(disk_cache.CACHE_DIR_VARIABLE)
+        os.environ[disk_cache.CACHE_DIR_VARIABLE] = ""
+        try:
+            search = synthesise_with_budget(problem, max_k=1)
+        finally:
+            if previous is None:
+                os.environ.pop(disk_cache.CACHE_DIR_VARIABLE, None)
+            else:
+                os.environ[disk_cache.CACHE_DIR_VARIABLE] = previous
+        assert search.succeeded
+        _WINDOW[key] = (search.best.k, search.best.width, search.best.height)
+        clear_synthesis_cache()
+    return _WINDOW[key]
+
+
+def _solve(problem, **overrides):
+    k, width, height = _window(problem)
+    return synthesise(problem, k, width, height, **overrides)
+
+
+def _cache_key(problem):
+    k, width, height = _window(problem)
+    return (problem, k, width, height, "auto", 500_000, 300_000)
+
+
+class TestDiskCacheRoundTrip:
+    def test_success_persists_and_reloads_identically(self, cache_dir):
+        problem = x_orientation_problem({1, 3, 4})
+        fresh = _solve(problem)
+        assert fresh.success
+        path = disk_cache.cache_path(problem, _cache_key(problem))
+        assert path is not None and path.exists()
+        # Simulate a cold process: drop the in-process caches, then hit
+        # the disk document.
+        clear_synthesis_cache()
+        warm = _solve(problem)
+        assert warm.success
+        assert warm.table == fresh.table
+        assert warm.k == fresh.k and warm.engine == fresh.engine
+
+    def test_missing_file_is_a_miss(self, cache_dir):
+        problem = x_orientation_problem({1, 3, 4})
+        loaded = disk_cache.load_outcome(problem, _cache_key(problem))
+        assert loaded is None
+
+    def test_failures_are_not_persisted(self, cache_dir):
+        from repro.core.catalog import vertex_colouring_problem
+
+        problem = vertex_colouring_problem(3)
+        outcome = synthesise(problem, k=1, width=3, height=2)
+        assert not outcome.success
+        assert not cache_dir.exists() or not list(cache_dir.glob("*.json"))
+
+    def test_use_cache_false_bypasses_the_disk(self, cache_dir):
+        problem = x_orientation_problem({1, 3, 4})
+        outcome = _solve(problem, use_cache=False)
+        assert outcome.success
+        assert not cache_dir.exists() or not list(cache_dir.glob("*.json"))
+
+    def test_disabled_via_empty_variable(self, monkeypatch):
+        monkeypatch.setenv(disk_cache.CACHE_DIR_VARIABLE, "")
+        assert disk_cache.synthesis_cache_dir() is None
+        problem = x_orientation_problem({1, 3, 4})
+        assert disk_cache.cache_path(problem, _cache_key(problem)) is None
+
+
+class TestDiskCacheCorruption:
+    def _warm_path(self, cache_dir):
+        problem = x_orientation_problem({1, 3, 4})
+        reference = _solve(problem)
+        assert reference.success
+        path = disk_cache.cache_path(problem, _cache_key(problem))
+        assert path.exists()
+        return problem, reference, path
+
+    def test_truncated_json_falls_back_to_a_fresh_solve(self, cache_dir):
+        problem, reference, path = self._warm_path(cache_dir)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        clear_synthesis_cache()
+        assert disk_cache.load_outcome(problem, _cache_key(problem)) is None
+        repaired = _solve(problem)
+        assert repaired.success and repaired.table == reference.table
+        # The fresh solve rewrote a valid document.
+        assert json.loads(path.read_text())["key"]["k"] == 1
+
+    def test_foreign_key_is_rejected(self, cache_dir):
+        problem, _, path = self._warm_path(cache_dir)
+        document = json.loads(path.read_text())
+        document["key"]["k"] = 99
+        path.write_text(json.dumps(document))
+        clear_synthesis_cache()
+        assert disk_cache.load_outcome(problem, _cache_key(problem)) is None
+
+    def test_tampered_labels_violating_the_problem_are_rejected(self, cache_dir):
+        problem, _, path = self._warm_path(cache_dir)
+        document = json.loads(path.read_text())
+        # An orientation label outside the problem's node predicate: the
+        # loader must not hand back a table the verifier would reject.
+        document["table"][0][1] = repr(("not", "a", "label"))
+        path.write_text(json.dumps(document))
+        clear_synthesis_cache()
+        assert disk_cache.load_outcome(problem, _cache_key(problem)) is None
+
+    def test_misshaped_window_cells_are_rejected(self, cache_dir):
+        problem, _, path = self._warm_path(cache_dir)
+        document = json.loads(path.read_text())
+        document["table"][0][0] = [[0]]
+        path.write_text(json.dumps(document))
+        clear_synthesis_cache()
+        assert disk_cache.load_outcome(problem, _cache_key(problem)) is None
+
+    def test_tile_count_mismatch_is_rejected(self, cache_dir):
+        problem, _, path = self._warm_path(cache_dir)
+        document = json.loads(path.read_text())
+        document["table"] = document["table"][:-1]
+        path.write_text(json.dumps(document))
+        clear_synthesis_cache()
+        assert disk_cache.load_outcome(problem, _cache_key(problem)) is None
+
+    def test_unevaluable_label_reprs_are_rejected(self, cache_dir):
+        problem, _, path = self._warm_path(cache_dir)
+        document = json.loads(path.read_text())
+        document["table"][0][1] = "object()"
+        path.write_text(json.dumps(document))
+        clear_synthesis_cache()
+        assert disk_cache.load_outcome(problem, _cache_key(problem)) is None
+
+
+class TestFingerprint:
+    def test_distinct_problems_get_distinct_paths(self, cache_dir):
+        first = x_orientation_problem({1, 3, 4})
+        second = x_orientation_problem({0, 1, 3})
+        key_first = _cache_key(first)
+        key_second = (second,) + key_first[1:]
+        assert disk_cache.cache_path(first, key_first) != disk_cache.cache_path(
+            second, key_second
+        )
+
+    def test_budgets_are_part_of_the_key(self, cache_dir):
+        problem = x_orientation_problem({1, 3, 4})
+        base = _cache_key(problem)
+        other = base[:-2] + (1000, 2000)
+        assert disk_cache.cache_path(problem, base) != disk_cache.cache_path(
+            problem, other
+        )
+
+
+def _load_aggregate_module():
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "aggregate.py"
+    spec = importlib.util.spec_from_file_location("bench_aggregate", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchAggregate:
+    def test_merges_and_skips_corrupt_files(self, tmp_path, capsys):
+        aggregate = _load_aggregate_module()
+        (tmp_path / "BENCH_alpha.json").write_text(
+            json.dumps({"benchmark": "alpha", "speedup": 2.0})
+        )
+        (tmp_path / "BENCH_beta.json").write_text(
+            json.dumps({"benchmark": "beta", "speedup": 3.5})
+        )
+        (tmp_path / "BENCH_broken.json").write_text("{ nope")
+        (tmp_path / "unrelated.json").write_text("{}")
+        assert aggregate.main([str(tmp_path)]) == 0
+        summary_path = tmp_path / aggregate.DEFAULT_SUMMARY_NAME
+        summary = json.loads(summary_path.read_text())
+        assert summary["count"] == 2
+        assert sorted(summary["benchmarks"]) == ["alpha", "beta"]
+        assert summary["skipped"] == ["BENCH_broken.json"]
+        # Re-running must not ingest its own summary output.
+        assert aggregate.main([str(tmp_path)]) == 0
+        assert json.loads(summary_path.read_text())["count"] == 2
+
+    def test_missing_directory_fails_cleanly(self, tmp_path):
+        aggregate = _load_aggregate_module()
+        assert aggregate.main([str(tmp_path / "absent")]) == 1
+
+    def test_custom_output_path(self, tmp_path):
+        aggregate = _load_aggregate_module()
+        (tmp_path / "BENCH_one.json").write_text(json.dumps({"benchmark": "one"}))
+        output = tmp_path / "out" / "merged.json"
+        assert aggregate.main([str(tmp_path), "--output", str(output)]) == 0
+        assert json.loads(output.read_text())["count"] == 1
