@@ -12,7 +12,7 @@ from repro.speedup.bounded_growth import classify_locality, grid_growth_bound, s
 from repro.symmetry.distance_colouring import distance_colouring
 
 
-def test_speedup_thresholds(benchmark):
+def test_speedup_thresholds(benchmark, bench_json):
     growth_bounds = [grid_growth_bound(d) for d in (1, 2, 3)]
     localities = {
         "constant (T = 2)": lambda n: 2,
@@ -50,6 +50,20 @@ def test_speedup_thresholds(benchmark):
         )
     table.add_note("localities at least as large as f⁻¹(n) (the sqrt-like row on 2-d grids) admit no threshold")
     table.show()
+
+    bench_json(
+        {
+            "rows": [
+                {
+                    "growth": growth_name,
+                    "locality": locality_name,
+                    "threshold": threshold,
+                    "palette": palette,
+                }
+                for growth_name, locality_name, threshold, palette in rows
+            ]
+        }
+    )
 
     verdicts = {(g, l): t for g, l, t, _p in rows}
     assert verdicts[("grid-2d", "constant (T = 2)")] is not None

@@ -22,7 +22,7 @@ from repro.grid.torus import RectangularGrid
 SIZES = (9, 16, 25, 36, 49)
 
 
-def test_corner_coordination_round_scaling(benchmark):
+def test_corner_coordination_round_scaling(benchmark, bench_json):
     def sweep():
         rows = []
         for m in SIZES:
@@ -55,6 +55,14 @@ def test_corner_coordination_round_scaling(benchmark):
         f"{[corner_ball_size(r) for r in (1, 2, 3, 4, 5)]} for r = 1..5"
     )
     table.show()
+    bench_json(
+        {
+            "rows": [
+                {"m": m, "n": n, "rounds": rounds, "upper_bound": upper, "feasible": feasible}
+                for m, n, rounds, upper, feasible in rows
+            ]
+        }
+    )
     for m, n, rounds, upper, feasible in rows:
         assert rounds == m - 1
         assert rounds <= upper

@@ -20,7 +20,7 @@ from repro.grid.torus import ToroidalGrid
 
 
 @pytest.mark.slow
-def test_five_edge_colouring_on_large_torus(benchmark):
+def test_five_edge_colouring_on_large_torus(benchmark, bench_json):
     grid = ToroidalGrid.square(96)
     identifiers = random_identifiers(grid, seed=2)
 
@@ -47,6 +47,16 @@ def test_five_edge_colouring_on_large_torus(benchmark):
         "practical ones; every structural property is verified by the checker"
     )
     table.show()
+    bench_json(
+        {
+            "side": 96,
+            "colours": 5,
+            "valid": verification.valid,
+            "marked_edges": result.metadata["marked_edges"],
+            "rounds": result.rounds,
+            "separation": result.metadata["separation"],
+        }
+    )
     assert verification.valid
 
 

@@ -27,11 +27,23 @@ FIGURE_2_PROBLEMS = [
 ]
 
 
-def test_fig2_classification_table(benchmark):
+def test_fig2_classification_table(benchmark, bench_json):
     def classify_all():
         return [classify_cycle_problem(problem) for problem, _expected in FIGURE_2_PROBLEMS]
 
     results = benchmark(classify_all)
+    bench_json(
+        {
+            "problems": [
+                {
+                    "problem": problem.name,
+                    "paper": expected.value,
+                    "reproduced": result.complexity.value,
+                }
+                for (problem, expected), result in zip(FIGURE_2_PROBLEMS, results)
+            ]
+        }
+    )
 
     table = ExperimentTable(
         "E1",

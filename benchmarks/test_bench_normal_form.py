@@ -24,11 +24,19 @@ from repro.synthesis.pretrained import load_four_colouring_algorithm
 
 
 @pytest.mark.slow
-def test_normal_form_cost_split(benchmark, medium_grid):
+def test_normal_form_cost_split(benchmark, bench_json, medium_grid):
     grid, identifiers = medium_grid
     algorithm = load_four_colouring_algorithm()
 
     result = benchmark(lambda: algorithm.run(grid, identifiers))
+    bench_json(
+        {
+            "anchor_rounds": result.metadata["anchor_rounds"],
+            "rule_radius": result.metadata["rule_radius"],
+            "anchor_count": result.metadata["anchor_count"],
+            "total_rounds": result.rounds,
+        }
+    )
 
     table = ExperimentTable(
         "E6a",

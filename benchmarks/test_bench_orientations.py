@@ -21,7 +21,7 @@ from repro.orientation.classify import counting_obstruction, orientation_classif
 from repro.orientation.problems import x_orientation_problem
 
 
-def test_theorem_22_classification_table(benchmark):
+def test_theorem_22_classification_table(benchmark, bench_json):
     table_rows = benchmark(orientation_classification_table)
 
     counts = {}
@@ -39,6 +39,12 @@ def test_theorem_22_classification_table(benchmark):
         )
     table.add_note(f"class sizes: {{ {', '.join(f'{k.value}: {v}' for k, v in counts.items())} }}")
     table.show()
+    bench_json(
+        {
+            "classified": len(table_rows),
+            "class_sizes": {k.value: v for k, v in counts.items()},
+        }
+    )
     # Every set containing 2 is constant: 16 of the 31.
     assert counts[ComplexityClass.CONSTANT] == 16
     assert counts[ComplexityClass.LOG_STAR] == 3  # {1,3,4}, {0,1,3}, {0,1,3,4}

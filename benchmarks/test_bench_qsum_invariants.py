@@ -22,7 +22,7 @@ from repro.grid.torus import ToroidalGrid
 SIZES = (7, 9, 11, 12, 15)
 
 
-def test_three_colouring_reduction_invariants(benchmark):
+def test_three_colouring_reduction_invariants(benchmark, bench_json):
     def analyse():
         rows = []
         for n in SIZES:
@@ -67,6 +67,14 @@ def test_three_colouring_reduction_invariants(benchmark):
         )
     table.add_note("Lemma 14: s is odd whenever n is odd and |s| ≤ n/2 — exactly the Theorem 10 conditions")
     table.show()
+    bench_json(
+        {
+            "rows": [
+                {"n": n, "edges": edges, "cycles": cycles, "s": s}
+                for n, edges, cycles, _degrees_ok, _row_independent, s in rows
+            ]
+        }
+    )
 
     values = {n: s for n, _e, _c, degrees_ok, row_independent, s in rows}
     for n, _edges, _cycles, degrees_ok, row_independent, s in rows:

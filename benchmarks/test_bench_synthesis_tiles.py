@@ -18,8 +18,9 @@ from repro.synthesis.synthesiser import synthesise, synthesise_with_budget
 from repro.synthesis.tiles import enumerate_tiles
 
 
-def test_tile_count_3x2_k1(benchmark):
+def test_tile_count_3x2_k1(benchmark, bench_json):
     tiles = benchmark(enumerate_tiles, 2, 3, 1)
+    bench_json({"window": "3x2", "k": 1, "tiles": len(tiles), "paper_tiles": 16})
     table = ExperimentTable(
         "E2a",
         "Tiles for 3×2 windows at k = 1 (paper displays the full list)",

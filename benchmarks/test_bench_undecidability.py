@@ -17,7 +17,7 @@ from repro.undecidability.turing import halting_machine, non_halting_machine
 
 
 @pytest.mark.slow
-def test_lm_both_branches(benchmark):
+def test_lm_both_branches(benchmark, bench_json):
     # The anchored branch needs anchors at spacing 4(s+1); on a 40×40 torus
     # that accommodates machines halting within a handful of steps (the
     # busier example machine is exercised in examples/undecidability_demo.py
@@ -56,6 +56,21 @@ def test_lm_both_branches(benchmark):
         "deciding which machines admit the fast branch is the halting problem — hence Theorem 3"
     )
     table.show()
+    bench_json(
+        {
+            "side": 40,
+            "machines": [
+                {
+                    "machine": name,
+                    "halts": halts,
+                    "anchored": anchored,
+                    "violations": violations,
+                    "rounds": rounds,
+                }
+                for name, halts, anchored, violations, rounds in rows
+            ],
+        }
+    )
     for _name, halts, anchored, violations, _rounds in rows:
         assert violations == 0
         assert anchored == halts

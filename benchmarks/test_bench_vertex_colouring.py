@@ -21,7 +21,7 @@ SIZES = (16, 24, 32, 40)
 
 
 @pytest.mark.slow
-def test_four_versus_three_colouring_round_scaling(benchmark):
+def test_four_versus_three_colouring_round_scaling(benchmark, bench_json):
     local_algorithm = load_four_colouring_algorithm()
 
     def run_sweep():
@@ -58,6 +58,15 @@ def test_four_versus_three_colouring_round_scaling(benchmark):
         f"3-colouring {global_.growth_ratio():.2f} (paper: Θ(log* n) versus Θ(n))"
     )
     table.show()
+    bench_json(
+        {
+            "sizes": list(SIZES),
+            "four_colouring_rounds": list(local.rounds),
+            "three_colouring_rounds": list(global_.rounds),
+            "four_colouring_growth": local.growth_ratio(),
+            "three_colouring_growth": global_.growth_ratio(),
+        }
+    )
     assert local.growth_ratio() < 1.6
     assert global_.growth_ratio() == pytest.approx(SIZES[-1] / SIZES[0])
 

@@ -13,6 +13,7 @@ from typing import FrozenSet, List, Sequence, Tuple
 
 from repro.errors import InvalidProblemError
 from repro.grid.indexer import cyclic_window_table
+from repro.local_model.store import resolve_engine
 
 Label = object
 Window1D = Tuple[Label, ...]
@@ -99,6 +100,7 @@ def verify_cycle_labelling(
         raise InvalidProblemError(
             f"cycle of length {length} is shorter than a window ({problem.window_length})"
         )
+    engine = resolve_engine(engine, allowed=("dict", "indexed"))
     if engine == "indexed":
         table = cyclic_window_table(length, problem.radius)
         feasible = problem.feasible_windows
@@ -107,10 +109,8 @@ def verify_cycle_labelling(
             for position, window_indices in enumerate(table)
             if tuple(labels[index] for index in window_indices) not in feasible
         ]
-    if engine == "dict":
-        violations = []
-        for position in range(length):
-            if not problem.is_feasible_window(problem.window_at(labels, position)):
-                violations.append(position)
-        return violations
-    raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
+    violations = []
+    for position in range(length):
+        if not problem.is_feasible_window(problem.window_at(labels, position)):
+            violations.append(position)
+    return violations

@@ -75,6 +75,65 @@ class LocalRule(abc.ABC):
         return self.radius * dimension
 
 
+@dataclass(frozen=True)
+class RuleTraits:
+    """The engine-facing trait snapshot of one rule.
+
+    The ``parallel``/``shm`` tiers and the shm worker pool used to probe
+    these with scattered ``getattr(rule, "parallel_safe", True)`` /
+    ``getattr(rule, "update_batch", None)`` calls; this accessor is the
+    single place those conventions are read — and the single place the
+    static purity verdict (:mod:`repro.statics.purity`) attaches.
+    """
+
+    radius: int
+    norm: str
+    parallel_safe: bool
+    update_batch: Optional[Callable[[Any], Any]]
+
+    @property
+    def ball_spec(self) -> Tuple[int, str]:
+        """The ``(radius, norm)`` key of the rule's ball tables."""
+        return (self.radius, self.norm)
+
+
+def rule_traits(rule: Any) -> RuleTraits:
+    """Read a rule's declared engine traits, tolerating duck-typed rules.
+
+    Every engine-tier decision (sharding, batch vectorisation, ball-table
+    warming) goes through this accessor instead of ad-hoc ``getattr``
+    probes, so the defaults live in exactly one place.
+    """
+    return RuleTraits(
+        radius=getattr(rule, "radius", 1),
+        norm=getattr(rule, "norm", "l1"),
+        parallel_safe=bool(getattr(rule, "parallel_safe", True)),
+        update_batch=getattr(rule, "update_batch", None),
+    )
+
+
+def checked_parallel_safe(rule: Any) -> bool:
+    """Whether the sharding tiers may fork workers for ``rule``.
+
+    Reads the declared ``parallel_safe`` trait and — when it is ``True`` —
+    consults the cached static purity verdict
+    (:func:`repro.statics.purity.maybe_warn_parallel_unsafe`): a rule
+    whose body is statically ``PROVEN_UNSAFE`` triggers a one-time
+    :class:`RuntimeWarning` (or, under ``REPRO_STATICS_STRICT=1``, a
+    :class:`RuntimeError`) *before* any worker pool forks.  The declared
+    value is still returned: the author's declaration stays authoritative
+    outside strict mode, the contradiction merely becomes visible.
+    """
+    if not rule_traits(rule).parallel_safe:
+        return False
+    # Imported lazily: the statics package is analysis tooling layered on
+    # top of this module, not a load-bearing dependency of it.
+    from repro.statics.purity import maybe_warn_parallel_unsafe
+
+    maybe_warn_parallel_unsafe(rule)
+    return True
+
+
 class FunctionRule(LocalRule):
     """A :class:`LocalRule` defined by a plain function.
 

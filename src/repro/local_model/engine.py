@@ -94,7 +94,7 @@ from typing import (
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
-from repro.local_model.algorithm import LocalRule
+from repro.local_model.algorithm import LocalRule, checked_parallel_safe, rule_traits
 from repro.local_model.simulator import RoundLedger
 from repro.local_model.store import (
     HAS_NUMPY,
@@ -414,7 +414,7 @@ class ArrayEngine(IndexedEngine):
         offsets, _ = self.indexer.ball_table(rule.radius, rule.norm)
         if self._table_fits(self.codec.size, len(offsets)):
             return "table"
-        if getattr(rule, "update_batch", None) is not None:
+        if rule_traits(rule).update_batch is not None:
             return "batch"
         return "list"
 
@@ -428,7 +428,7 @@ class ArrayEngine(IndexedEngine):
         alphabet_size = self.codec.size
         if self._table_fits(alphabet_size, len(offsets)):
             return self._apply_table(codes, rule, offsets, gather, alphabet_size)
-        if getattr(rule, "update_batch", None) is not None:
+        if rule_traits(rule).update_batch is not None:
             return self._apply_batch(codes, rule, gather)
         return self._apply_list(codes, rule)
 
@@ -650,7 +650,7 @@ class ParallelEngine(IndexedEngine):
                     _max_table_alphabet(self._array.table_threshold, len(offsets)),
                 ):
                     return "table"
-                if getattr(rule, "update_batch", None) is not None:
+                if rule_traits(rule).update_batch is not None:
                     return "batch"
             else:
                 tier = self._array.rule_tier(rule)
@@ -672,7 +672,7 @@ class ParallelEngine(IndexedEngine):
         """
         if self._array is None:
             return None
-        if getattr(rule, "update_batch", None) is not None:
+        if rule_traits(rule).update_batch is not None:
             return self._array.store(labels)
         offsets, _ = self.indexer.ball_table(rule.radius, rule.norm)
         if not self._alphabet_within(
@@ -706,10 +706,12 @@ class ParallelEngine(IndexedEngine):
         return True
 
     def _can_shard(self, rule: LocalRule) -> bool:
+        # checked_parallel_safe last: its one-time PROVEN_UNSAFE warning
+        # should only fire when sharding is otherwise actually possible.
         return (
             self.workers > 1
-            and getattr(rule, "parallel_safe", True)
             and "fork" in multiprocessing.get_all_start_methods()
+            and checked_parallel_safe(rule)
         )
 
     # ------------------------------------------------------------------ #
@@ -938,12 +940,14 @@ class ShmEngine(ArrayEngine):
         return "shm" if self._can_shm(rule) else "list"
 
     def _can_shm(self, rule: LocalRule) -> bool:
+        # checked_parallel_safe last: its one-time PROVEN_UNSAFE warning
+        # should only fire when the pool would otherwise actually spawn.
         return (
             not self._broken
             and self.workers > 1
             and shm_available()
-            and getattr(rule, "parallel_safe", True)
             and self.indexer.node_count > 1
+            and checked_parallel_safe(rule)
         )
 
     # ------------------------------------------------------------------ #
@@ -975,7 +979,7 @@ class ShmEngine(ArrayEngine):
                     self._serial_only = True
                     self._shutdown_pool()
                     self._note_degrade(f"worker-pool failure: {error}")
-        elif not self._broken and getattr(rule, "parallel_safe", True):
+        elif not self._broken and rule_traits(rule).parallel_safe:
             # parallel_safe=False is a rule property, not a platform
             # shortfall — it degrades silently, exactly as in the
             # parallel tier.

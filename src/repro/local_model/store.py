@@ -160,7 +160,11 @@ def resolve_engine(
                     workers = parallel_workers()
                 if workers > 1:
                     return "parallel"
-        return "array" if HAS_NUMPY else "indexed"
+        if "array" in allowed and HAS_NUMPY:
+            return "array"
+        if "indexed" in allowed:
+            return "indexed"
+        return "dict"
     if engine not in allowed:
         raise ValueError(
             f"unknown engine {engine!r}; expected 'auto' or one of {sorted(allowed)}"

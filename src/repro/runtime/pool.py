@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
+from repro.local_model.algorithm import rule_traits
 from repro.local_model.store import (
     LabelCodec,
     export_codes_into,
@@ -160,8 +161,9 @@ class _ChunkCache:
     __slots__ = ("offsets", "getters", "halo", "values", "last_round")
 
     def __init__(self, indexer, rule, start, stop, node_count):
-        self.offsets, table = indexer.ball_table(rule.radius, rule.norm)
-        _, self.getters = indexer.ball_getters(rule.radius, rule.norm)
+        ball_spec = rule_traits(rule).ball_spec
+        self.offsets, table = indexer.ball_table(*ball_spec)
+        _, self.getters = indexer.ball_getters(*ball_spec)
         self.halo = sorted(
             {
                 index
@@ -296,8 +298,16 @@ class WorkerPool:
         # buffer holds" by identity.
         self._dirty = True
         self._last_snapshot = None
+        # Last line of defence before processes fork: a registered rule
+        # whose body is statically proven impure gets its one-time
+        # RuntimeWarning (or a RuntimeError under REPRO_STATICS_STRICT=1)
+        # here, even when the pool is driven without the shm engine.
+        from repro.statics.purity import maybe_warn_parallel_unsafe
+
+        for rule in self.rules.values():
+            maybe_warn_parallel_unsafe(rule)
         indexer.warm_ball_tables(
-            {(rule.radius, rule.norm) for rule in self.rules.values()}
+            {rule_traits(rule).ball_spec for rule in self.rules.values()}
         )
         self._buffers = []
         self._connections: List[Any] = []

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
 from repro.grid.torus import Node, ToroidalGrid
+from repro.local_model.store import resolve_engine
 
 Offset = Tuple[int, ...]
 
@@ -121,11 +122,10 @@ def compute_voronoi_decomposition(
     """
     if not anchors:
         raise SimulationError("cannot build a Voronoi decomposition of an empty anchor set")
+    engine = resolve_engine(engine, allowed=("dict", "indexed"))
     if engine == "indexed":
         return _compute_voronoi_indexed(grid, anchors, search_radius)
-    if engine == "dict":
-        return _compute_voronoi_dict(grid, anchors, search_radius)
-    raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
+    return _compute_voronoi_dict(grid, anchors, search_radius)
 
 
 def _compute_voronoi_dict(
@@ -239,6 +239,7 @@ def local_identifier_assignment(
             value = value * base + (component + magnitude)
         identifiers[node] = value
 
+    engine = resolve_engine(engine, allowed=("dict", "indexed"))
     if engine == "indexed":
         indexer = GridIndexer.for_grid(grid)
         nodes = indexer.nodes
@@ -252,7 +253,7 @@ def local_identifier_assignment(
                         f"local identifiers repeat within distance {uniqueness_radius}: "
                         f"{node} and {nodes[target]} both have identifier {value}"
                     )
-    elif engine == "dict":
+    else:
         for node in grid.nodes():
             for other in grid.ball(node, uniqueness_radius, "l1"):
                 if other != node and identifiers[other] == identifiers[node]:
@@ -260,6 +261,4 @@ def local_identifier_assignment(
                         f"local identifiers repeat within distance {uniqueness_radius}: "
                         f"{node} and {other} both have identifier {identifiers[node]}"
                     )
-    else:
-        raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
     return identifiers

@@ -1,0 +1,67 @@
+"""Static analysis over the engine stack's rules and contracts.
+
+The five byte-identical engine tiers (see ``ROADMAP.md``) rest on
+*declared* traits and repo-wide conventions: a rule author hand-sets
+``parallel_safe``, the engines trust it, and "every consumer routes
+through ``resolve_engine``" is enforced only by review.  This package
+turns those conventions into machine-checked contracts:
+
+* :mod:`repro.statics.purity` — an AST + bytecode pass over
+  ``LocalRule.update`` / ``update_batch`` bodies classifying each rule as
+  ``PROVEN_SAFE``, ``PROVEN_UNSAFE`` (closure-cell or global mutation,
+  ``random``/``time``/I-O calls, writes to captured objects) or
+  ``UNKNOWN``.  The ``parallel`` and ``shm`` tiers consult the cached
+  verdict and emit a one-time :class:`RuntimeWarning` (escalated to an
+  error under ``REPRO_STATICS_STRICT=1``) when a rule declared
+  ``parallel_safe=True`` is proven unsafe — *before* any pool forks.
+* :mod:`repro.statics.tiers` — static tier-eligibility inference
+  (table-compilable via the ``|Σ|^ball_size`` bound, batch-vectorisable,
+  shardable, fallback-only), making silent slow-path fallbacks visible.
+* :mod:`repro.statics.contracts` — a repo-wide lint over ``src/`` (and
+  ``benchmarks/``) enforcing the engine-stack conventions, with an
+  annotated allowlist (``.statics-allowlist``) for accepted findings.
+* :mod:`repro.statics.cli` — ``python -m repro.statics`` with text/JSON
+  output, exiting non-zero on findings not covered by the allowlist.
+
+Import layering: :mod:`~repro.statics.purity` and
+:mod:`~repro.statics.contracts` depend on nothing inside
+:mod:`repro.local_model` (the engines import *them*), while
+:mod:`~repro.statics.tiers` imports the engine module for its thresholds.
+Submodules are therefore re-exported lazily — importing
+``repro.statics.purity`` from the engine hot path must not drag the
+engine module back in through this ``__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_EXPORTS = {
+    "Verdict": "repro.statics.purity",
+    "RuleAnalysis": "repro.statics.purity",
+    "analyse_rule": "repro.statics.purity",
+    "analyse_function": "repro.statics.purity",
+    "maybe_warn_parallel_unsafe": "repro.statics.purity",
+    "clear_analysis_cache": "repro.statics.purity",
+    "TierEligibility": "repro.statics.tiers",
+    "infer_tier_eligibility": "repro.statics.tiers",
+    "discover_rule_classes": "repro.statics.tiers",
+    "tier_report": "repro.statics.tiers",
+    "Finding": "repro.statics.contracts",
+    "run_contract_checks": "repro.statics.contracts",
+    "load_allowlist": "repro.statics.contracts",
+    "apply_allowlist": "repro.statics.contracts",
+    "AllowlistError": "repro.statics.contracts",
+    "main": "repro.statics.cli",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

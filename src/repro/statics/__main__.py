@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.statics``."""
+
+from repro.statics.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""``python -m repro.statics`` — run the contract lint (and rule reports).
+
+Exit codes: ``0`` when the tree is clean (every finding allowlisted),
+``1`` when new findings exist, ``2`` when the allowlist file itself is
+malformed.  ``--format json`` emits one machine-readable document (the CI
+job uploads it as an artifact next to the ``BENCH_*.json`` files);
+``--rules`` appends the per-rule tier-eligibility report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Sequence
+
+from repro.statics.contracts import (
+    AllowlistError,
+    Finding,
+    apply_allowlist,
+    load_allowlist,
+    run_contract_checks,
+)
+
+DEFAULT_ALLOWLIST = ".statics-allowlist"
+
+
+def _find_root(start: Path) -> Path:
+    """Nearest ancestor containing ``src/repro`` (falling back to ``start``)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return start
+
+
+def _print_text(
+    new: Sequence[Finding],
+    allowlisted: Sequence[Finding],
+    stale: Sequence[str],
+    rules: Optional[List[Dict[str, Any]]],
+    stream: IO[str],
+) -> None:
+    for finding in new:
+        print(
+            f"{finding.path}:{finding.line}: [{finding.check}] {finding.message}",
+            file=stream,
+        )
+        print(f"    fingerprint: {finding.fingerprint}", file=stream)
+    for fingerprint in stale:
+        print(f"warning: stale allowlist entry (no longer matches): {fingerprint}", file=stream)
+    if rules is not None:
+        print(f"-- tier eligibility ({len(rules)} rules) --", file=stream)
+        for entry in rules:
+            tiers = ",".join(entry["eligible_tiers"])
+            print(
+                f"{entry['rule']}: r={entry['radius']} {entry['norm']} "
+                f"ball={entry['ball_size']} purity={entry['purity']} tiers=[{tiers}]",
+                file=stream,
+            )
+            for note in entry["notes"]:
+                print(f"    note: {note}", file=stream)
+    print(
+        f"{len(new)} finding(s), {len(allowlisted)} allowlisted, {len(stale)} stale",
+        file=stream,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statics",
+        description="Static contract lint and rule reports for the engine stack.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: nearest ancestor containing src/repro)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        type=Path,
+        default=None,
+        help=f"allowlist file (default: <root>/{DEFAULT_ALLOWLIST})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="also emit the per-rule tier-eligibility report (imports the repo)",
+    )
+    args = parser.parse_args(argv)
+
+    root = (args.root or _find_root(Path.cwd())).resolve()
+    allowlist_path = args.allowlist or (root / DEFAULT_ALLOWLIST)
+
+    try:
+        allowlist = load_allowlist(allowlist_path)
+    except AllowlistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = run_contract_checks(root)
+    new, allowlisted, stale = apply_allowlist(findings, allowlist)
+
+    rules_json: Optional[List[Dict[str, Any]]] = None
+    if args.rules:
+        from repro.statics.tiers import tier_report
+
+        rules_json = [entry.to_json() for entry in tier_report()]
+
+    if args.format == "json":
+        document = {
+            "root": str(root),
+            "findings": [finding.to_json() for finding in new],
+            "allowlisted": [finding.to_json() for finding in allowlisted],
+            "stale": list(stale),
+            "rules": rules_json,
+            "ok": not new,
+        }
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        _print_text(new, allowlisted, stale, rules_json, sys.stdout)
+
+    return 0 if not new else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

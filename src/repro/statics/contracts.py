@@ -1,0 +1,472 @@
+"""Repo-wide contract lint for the engine stack's conventions.
+
+The engine tiers stay byte-identical only while every consumer follows a
+handful of conventions that no compiler enforces: route ``engine=``
+parameters through :func:`repro.local_model.store.resolve_engine`, keep
+``grid.shift`` inside the simulator, keep raw ``multiprocessing`` /
+``shared_memory`` plumbing inside :mod:`repro.runtime`, pair every
+:class:`~repro.runtime.buffers.SharedCodeBuffer` acquisition with a
+close/unlink path, and record benchmark output through the ``bench_json``
+fixture.  This module walks the tree (``src/`` plus ``benchmarks/``),
+parses each file once, and reports every violation as a :class:`Finding`.
+
+Accepted findings live in an annotated allowlist file
+(``.statics-allowlist`` by default): one fingerprint per line, each with a
+mandatory ``# justification`` comment.  Fingerprints are
+``check:path:symbol`` — deliberately free of line numbers, so unrelated
+edits to a file do not churn the allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Engine names whose presence as an ``engine=`` default puts a function
+#: in scope for the routing check.
+ENGINE_DEFAULTS = {"dict", "indexed", "array", "parallel", "shm"}
+
+#: Functions that *are* the routing layer and are therefore exempt.
+RESOLVER_NAMES = {"resolve_engine", "resolve_vector_engine"}
+
+#: Files allowed to call ``grid.shift`` directly: the simulator (the one
+#: sanctioned consumer) and the torus module that defines it.
+SHIFT_ALLOWED_FILES = {
+    "src/repro/local_model/simulator.py",
+    "src/repro/grid/torus.py",
+}
+
+#: Directory whose modules own all raw multiprocessing / shared-memory use.
+RUNTIME_PREFIX = "src/repro/runtime/"
+
+#: Module roots that count as "raw multiprocessing" outside runtime/.
+RAW_MP_MODULES = {"multiprocessing"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a specific site.
+
+    ``fingerprint`` identifies the *site* (check, file, enclosing symbol)
+    without a line number, so allowlist entries survive unrelated edits;
+    ``line`` is still reported for humans chasing the finding down.
+    """
+
+    check: str
+    path: str
+    symbol: str
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.check}:{self.path}:{self.symbol}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "path": self.path,
+            "symbol": self.symbol,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class AllowlistError(ValueError):
+    """The allowlist file itself is malformed (missing justification)."""
+
+
+# ---------------------------------------------------------------------------
+# Per-file AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _qualified_symbols(tree: ast.Module) -> List[Tuple[str, ast.stmt]]:
+    """All (qualified name, node) pairs for def/class nodes in ``tree``."""
+    out: List[Tuple[str, ast.stmt]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}{child.name}"
+                out.append((name, child))
+                visit(child, f"{name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out
+
+
+def _enclosing_symbol(tree: ast.Module, target: ast.AST) -> str:
+    """Qualified name of the innermost def/class containing ``target``."""
+    best = "<module>"
+    best_span: Optional[int] = None
+    target_line: int = getattr(target, "lineno", 0)
+    for name, node in _qualified_symbols(tree):
+        start = node.lineno
+        end = getattr(node, "end_lineno", start)
+        if start <= target_line <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best, best_span = name, span
+    return best
+
+
+def _imports_engine_layer(tree: ast.Module) -> bool:
+    """Whether the module imports from the store/engine routing layer."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith(("repro.local_model.store", "repro.local_model.engine")):
+                return True
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(("repro.local_model.store", "repro.local_model.engine")):
+                    return True
+    return False
+
+
+def _string_default(args: ast.arguments, name: str) -> Optional[str]:
+    """String default of parameter ``name``, or None."""
+    pos = args.posonlyargs + args.args
+    defaults = args.defaults
+    offset = len(pos) - len(defaults)
+    for index, arg in enumerate(pos):
+        if arg.arg == name and index >= offset:
+            default = defaults[index - offset]
+            if isinstance(default, ast.Constant) and isinstance(default.value, str):
+                return default.value
+            return None
+    for kw_arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_arg.arg == name and default is not None:
+            if isinstance(default, ast.Constant) and isinstance(default.value, str):
+                return default.value
+            return None
+    return None
+
+
+def _has_param(args: ast.arguments, name: str) -> bool:
+    return any(a.arg == name for a in args.posonlyargs + args.args + args.kwonlyargs)
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _routes_engine(node: ast.AST) -> bool:
+    """Whether a function body resolves or forwards its ``engine`` argument."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = _call_name(child.func)
+        if name in RESOLVER_NAMES:
+            return True
+        for keyword in child.keywords:
+            if (
+                keyword.arg == "engine"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == "engine"
+            ):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The five checks
+# ---------------------------------------------------------------------------
+
+
+def check_engine_routing(path: str, tree: ast.Module) -> List[Finding]:
+    """Every in-scope ``engine=`` function must route through a resolver.
+
+    A function is in scope when its ``engine`` default is one of the five
+    tier names, or is ``"auto"`` in a module that imports from the
+    store/engine routing layer — this keeps synthesis-side vocabulary
+    (``"csp"``/``"sat"`` solvers and the like) out of scope.
+    """
+    findings: List[Finding] = []
+    module_in_auto_scope = _imports_engine_layer(tree)
+    for symbol, node in _qualified_symbols(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name in RESOLVER_NAMES:
+            continue
+        if not _has_param(node.args, "engine"):
+            continue
+        default = _string_default(node.args, "engine")
+        in_scope = default in ENGINE_DEFAULTS or (default == "auto" and module_in_auto_scope)
+        if not in_scope:
+            continue
+        if not _routes_engine(node):
+            findings.append(
+                Finding(
+                    check="engine-routing",
+                    path=path,
+                    symbol=symbol,
+                    line=node.lineno,
+                    message=(
+                        f"{symbol}() accepts engine={default!r} but neither calls "
+                        "resolve_engine/resolve_vector_engine nor forwards "
+                        "engine= to a callee"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_shift_usage(path: str, tree: ast.Module) -> List[Finding]:
+    """No direct ``grid.shift(...)`` calls outside the simulator.
+
+    Bypassing the simulator bypasses round accounting and the engine
+    tiers entirely.  ``self.shift`` is exempt (that is the torus's own
+    implementation surface); findings are deduplicated per enclosing
+    function so one loop body yields one finding.
+    """
+    if path in SHIFT_ALLOWED_FILES:
+        return []
+    sites: Dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "shift"):
+            continue
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            continue
+        symbol = _enclosing_symbol(tree, node)
+        sites.setdefault(symbol, node)
+    return [
+        Finding(
+            check="grid-shift",
+            path=path,
+            symbol=symbol,
+            line=call.lineno,
+            message=(
+                f"{symbol} calls .shift() directly; views must come from the "
+                "simulator (local_model/simulator.py) so round accounting and "
+                "engine routing apply"
+            ),
+        )
+        for symbol, call in sorted(sites.items())
+    ]
+
+
+def check_raw_multiprocessing(path: str, tree: ast.Module) -> List[Finding]:
+    """No raw ``multiprocessing``/``shared_memory`` imports outside runtime/."""
+    if path.startswith(RUNTIME_PREFIX):
+        return []
+    sites: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in RAW_MP_MODULES:
+                    sites.setdefault(alias.name, node)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            if root in RAW_MP_MODULES:
+                sites.setdefault(node.module, node)
+    return [
+        Finding(
+            check="raw-multiprocessing",
+            path=path,
+            symbol=module,
+            line=node.lineno,
+            message=(
+                f"imports {module!r} outside repro.runtime; process/shared-memory "
+                "plumbing belongs in the runtime package"
+            ),
+        )
+        for module, node in sorted(sites.items())
+    ]
+
+
+def check_shared_buffer_lifecycle(path: str, tree: ast.Module) -> List[Finding]:
+    """Every ``SharedCodeBuffer`` acquisition needs a close/unlink path.
+
+    A module that calls ``SharedCodeBuffer.create`` must also call
+    ``.close()`` and ``.unlink()`` somewhere (the creator owns the
+    segment); a module that only attaches must still call ``.close()``.
+    Leaked segments outlive the process under ``/dev/shm``.
+    """
+    creates: Optional[ast.Call] = None
+    attaches: Optional[ast.Call] = None
+    closes = False
+    unlinks = False
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "close":
+                closes = True
+            elif func.attr == "unlink":
+                unlinks = True
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "SharedCodeBuffer"
+            ):
+                if func.attr == "create" and creates is None:
+                    creates = node
+                elif func.attr == "attach" and attaches is None:
+                    attaches = node
+    findings: List[Finding] = []
+    if creates is not None and not (closes and unlinks):
+        missing = [name for name, ok in (("close", closes), ("unlink", unlinks)) if not ok]
+        findings.append(
+            Finding(
+                check="shared-buffer-lifecycle",
+                path=path,
+                symbol="SharedCodeBuffer.create",
+                line=creates.lineno,
+                message=(
+                    "SharedCodeBuffer.create without a "
+                    + "/".join(missing)
+                    + " path in the same module; the segment would leak in /dev/shm"
+                ),
+            )
+        )
+    if attaches is not None and not closes:
+        findings.append(
+            Finding(
+                check="shared-buffer-lifecycle",
+                path=path,
+                symbol="SharedCodeBuffer.attach",
+                line=attaches.lineno,
+                message=(
+                    "SharedCodeBuffer.attach without a close path in the same "
+                    "module; attached mappings must be released"
+                ),
+            )
+        )
+    return findings
+
+
+def check_bench_json(path: str, tree: ast.Module) -> List[Finding]:
+    """Benchmark modules must record results through the bench_json fixture."""
+    name = Path(path).name
+    if not (path.startswith("benchmarks/") and name.startswith(("bench_", "test_bench_"))):
+        return []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == "bench_json":
+            return []
+        if isinstance(node, ast.arg) and node.arg == "bench_json":
+            return []
+    return [
+        Finding(
+            check="bench-json",
+            path=path,
+            symbol="<module>",
+            line=1,
+            message=(
+                "benchmark module never uses the bench_json fixture; its "
+                "results are invisible to the BENCH_*.json artifact trail"
+            ),
+        )
+    ]
+
+
+_CHECKS = (
+    check_engine_routing,
+    check_shift_usage,
+    check_raw_multiprocessing,
+    check_shared_buffer_lifecycle,
+    check_bench_json,
+)
+
+
+# ---------------------------------------------------------------------------
+# Tree walk + allowlist
+# ---------------------------------------------------------------------------
+
+
+def _lint_targets(root: Path) -> List[Path]:
+    targets: List[Path] = []
+    for top in ("src", "benchmarks"):
+        base = root / top
+        if base.is_dir():
+            targets.extend(sorted(base.rglob("*.py")))
+    return targets
+
+
+def run_contract_checks(root: Path) -> List[Finding]:
+    """Run every contract check over ``src/`` and ``benchmarks/`` under ``root``."""
+    findings: List[Finding] = []
+    for file_path in _lint_targets(root):
+        rel = file_path.relative_to(root).as_posix()
+        try:
+            tree = ast.parse(file_path.read_text(encoding="utf-8"), filename=rel)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    check="parse-error",
+                    path=rel,
+                    symbol="<module>",
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        for check in _CHECKS:
+            findings.extend(check(rel, tree))
+    findings.sort(key=lambda f: (f.path, f.line, f.check, f.symbol))
+    return findings
+
+
+def load_allowlist(path: Path) -> Dict[str, str]:
+    """Parse the allowlist file into ``{fingerprint: justification}``.
+
+    Each non-comment line must read ``<fingerprint>  # <justification>``;
+    an entry without a justification is a hard :class:`AllowlistError` —
+    the annotation is the point of the file.
+    """
+    entries: Dict[str, str] = {}
+    if not path.is_file():
+        return entries
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fingerprint, sep, justification = line.partition("#")
+        fingerprint = fingerprint.strip()
+        justification = justification.strip()
+        if not sep or not justification:
+            raise AllowlistError(
+                f"{path.name}:{lineno}: allowlist entry {fingerprint!r} has no "
+                "justification; write '<fingerprint>  # why this is accepted'"
+            )
+        if fingerprint in entries:
+            raise AllowlistError(
+                f"{path.name}:{lineno}: duplicate allowlist entry {fingerprint!r}"
+            )
+        entries[fingerprint] = justification
+    return entries
+
+
+def apply_allowlist(
+    findings: Sequence[Finding], allowlist: Dict[str, str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, allowlisted) and report stale entries.
+
+    Stale entries — fingerprints in the allowlist matching no current
+    finding — are returned for a warning, not a failure: a fixed finding
+    should prompt cleanup, not break the build.
+    """
+    new: List[Finding] = []
+    allowlisted: List[Finding] = []
+    matched: Set[str] = set()
+    for finding in findings:
+        if finding.fingerprint in allowlist:
+            allowlisted.append(finding)
+            matched.add(finding.fingerprint)
+        else:
+            new.append(finding)
+    stale = sorted(set(allowlist) - matched)
+    return new, allowlisted, stale

@@ -1,0 +1,680 @@
+"""Static purity analysis of :class:`~repro.local_model.algorithm.LocalRule` bodies.
+
+Why this exists
+---------------
+
+The ``parallel`` and ``shm`` engine tiers evaluate rule chunks in forked
+worker processes.  A rule whose ``update`` mutates out-of-band state it
+later reads — a closure counter, a captured dict, an attribute on ``self``
+— diverges silently between the serial oracle and the workers (each worker
+sees a fork-time copy of that state), and the randomized equivalence
+harness can miss the divergence when it is input-dependent.  This module
+*proves* the absence (or presence) of such effects statically, so the
+engines can warn before the first fork instead of diverging after it.
+
+The classifier
+--------------
+
+:func:`analyse_rule` inspects the rule's ``update`` (and ``update_batch``
+when present; for :class:`~repro.local_model.algorithm.FunctionRule` the
+wrapped function) through two cooperating passes:
+
+* a **bytecode pass** (:mod:`dis`) that is always available: the
+  ``STORE_DEREF`` / ``STORE_GLOBAL`` / ``DELETE_DEREF`` /
+  ``DELETE_GLOBAL`` opcodes are definitive evidence of closure-cell or
+  global mutation, and a reference to a nondeterminism/I-O module
+  (``random``, ``time``, ...) that is *actually bound* to that module in
+  the function's globals is definitive evidence of impurity;
+* an **AST pass** (:func:`inspect.getsource` + :mod:`ast`) that
+  additionally catches attribute and item writes on captured objects,
+  mutating method calls (``.append``/``.update``/...) on captured
+  objects, and calls to impure builtins — and that is the only pass
+  allowed to *prove safety*: a function whose every name is a parameter,
+  a provably fresh local, or a whitelisted pure builtin, and whose every
+  call resolves to one of those, is ``PROVEN_SAFE``.
+
+Verdicts are deliberately three-valued:
+
+* ``PROVEN_UNSAFE`` — sound: every unsafe finding names a concrete
+  effect; the engines warn (or, under ``REPRO_STATICS_STRICT=1``, raise)
+  when such a rule is declared ``parallel_safe=True``.
+* ``PROVEN_SAFE`` — sound in the other direction: no heap effect outside
+  function-fresh objects, no nondeterminism, no I/O.
+* ``UNKNOWN`` — everything the analysis cannot decide (no retrievable
+  source, calls into unanalysed helpers, mutation of arguments).
+  ``UNKNOWN`` never warns: a ``lambda`` rule must not produce a warning
+  storm.
+
+Analyses are cached per code object (the per-rule-instance cost after the
+first call is one dictionary lookup), and mis-declaration warnings are
+emitted at most once per rule instance.
+"""
+
+from __future__ import annotations
+
+import ast
+import dis
+import enum
+import inspect
+import os
+import textwrap
+import types
+import warnings
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+#: Environment variable escalating the mis-declaration warning (a rule
+#: declared ``parallel_safe=True`` whose body is ``PROVEN_UNSAFE``) into a
+#: :class:`RuntimeError` raised before any worker pool forks.
+STRICT_VARIABLE = "REPRO_STATICS_STRICT"
+
+#: Modules whose mere use inside a rule body is impure: nondeterminism
+#: (``random``, ``secrets``, ``uuid``), wall-clock reads (``time``,
+#: ``datetime``) and process/file/network I-O.
+IMPURE_MODULES: FrozenSet[str] = frozenset(
+    {
+        "random",
+        "secrets",
+        "uuid",
+        "time",
+        "datetime",
+        "os",
+        "sys",
+        "io",
+        "socket",
+        "subprocess",
+        "threading",
+        "multiprocessing",
+    }
+)
+
+#: Builtins whose call is impure (I-O, dynamic state access).
+IMPURE_BUILTINS: FrozenSet[str] = frozenset(
+    {"open", "print", "input", "exec", "eval", "globals", "vars", "__import__", "setattr", "delattr"}
+)
+
+#: Builtins a ``PROVEN_SAFE`` body may call: pure value constructors and
+#: combinators with no heap effects outside their return value.
+SAFE_BUILTINS: FrozenSet[str] = frozenset(
+    {
+        "abs",
+        "all",
+        "any",
+        "bool",
+        "chr",
+        "dict",
+        "divmod",
+        "enumerate",
+        "filter",
+        "float",
+        "format",
+        "frozenset",
+        "hash",
+        "int",
+        "isinstance",
+        "issubclass",
+        "iter",
+        "len",
+        "list",
+        "map",
+        "max",
+        "min",
+        "next",
+        "ord",
+        "pow",
+        "range",
+        "repr",
+        "reversed",
+        "round",
+        "set",
+        "sorted",
+        "str",
+        "sum",
+        "tuple",
+        "zip",
+    }
+)
+
+#: Read-only ``Mapping`` methods: calling these on a parameter (the view)
+#: is pure.
+SAFE_MAPPING_METHODS: FrozenSet[str] = frozenset(
+    {"get", "items", "keys", "values", "count", "index", "copy"}
+)
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+        "writelines",
+    }
+)
+
+#: Literal/constructor expressions whose assignment makes a local name
+#: *fresh*: the object cannot alias caller- or closure-owned state, so
+#: mutating it stays function-private.
+_FRESH_EXPRESSIONS = (ast.List, ast.Dict, ast.Set, ast.Tuple, ast.ListComp, ast.DictComp, ast.SetComp, ast.Constant)
+
+#: Opcodes that are definitive evidence of closure-cell/global mutation.
+_UNSAFE_STORE_OPS: FrozenSet[str] = frozenset(
+    {"STORE_DEREF", "DELETE_DEREF", "STORE_GLOBAL", "DELETE_GLOBAL"}
+)
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of the purity analysis."""
+
+    PROVEN_SAFE = "proven-safe"
+    PROVEN_UNSAFE = "proven-unsafe"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class RuleAnalysis:
+    """Outcome of analysing one rule (or one plain function).
+
+    ``verdict`` merges every analysed target function (``update``, a
+    wrapped ``FunctionRule`` function, ``update_batch``): any unsafe
+    target makes the rule unsafe; otherwise any undecidable target makes
+    it unknown; only a fully decided rule is proven safe.  ``unsafe``
+    and ``unknown`` carry one human-readable reason per finding, each
+    prefixed with the target function's name.
+    """
+
+    verdict: Verdict
+    unsafe: Tuple[str, ...]
+    unknown: Tuple[str, ...]
+    targets: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """One line per finding, suitable for warnings and CLI output."""
+        reasons = list(self.unsafe) + list(self.unknown)
+        if not reasons:
+            return "no findings"
+        return "; ".join(reasons)
+
+
+# --------------------------------------------------------------------- #
+# Function-level analysis
+# --------------------------------------------------------------------- #
+
+
+class _FunctionScan:
+    """Accumulated evidence about one function body."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.unsafe: List[str] = []
+        self.unknown: List[str] = []
+        self.proved = False  # True only when the AST pass completed
+
+    def flag_unsafe(self, reason: str) -> None:
+        self.unsafe.append(f"{self.name}: {reason}")
+
+    def flag_unknown(self, reason: str) -> None:
+        self.unknown.append(f"{self.name}: {reason}")
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.unsafe:
+            return Verdict.PROVEN_UNSAFE
+        if self.unknown or not self.proved:
+            return Verdict.UNKNOWN
+        return Verdict.PROVEN_SAFE
+
+
+def _iter_code_objects(code: types.CodeType) -> Iterator[types.CodeType]:
+    """Yield ``code`` and every code object nested in its constants."""
+    yield code
+    for constant in code.co_consts:
+        if isinstance(constant, types.CodeType):
+            yield from _iter_code_objects(constant)
+
+
+def _bytecode_pass(function: types.FunctionType, scan: _FunctionScan) -> None:
+    """Collect definitive unsafety evidence from the compiled bytecode.
+
+    Catches closure-cell and global mutation (``STORE_DEREF`` /
+    ``STORE_GLOBAL`` and their deletes) wherever the AST pass could not
+    run, and references to impure modules that are really bound to those
+    modules in the function's globals — a name collision (a local variable
+    called ``time``) is not evidence, so the binding is checked.
+    """
+    function_globals = getattr(function, "__globals__", {})
+    for code in _iter_code_objects(function.__code__):
+        for instruction in dis.get_instructions(code):
+            if instruction.opname in _UNSAFE_STORE_OPS:
+                kind = "closure cell" if "DEREF" in instruction.opname else "global"
+                scan.flag_unsafe(
+                    f"mutates a {kind} ({instruction.argval!r}) "
+                    f"[{instruction.opname}]"
+                )
+        for name in code.co_names:
+            if name in IMPURE_MODULES:
+                bound = function_globals.get(name)
+                if isinstance(bound, types.ModuleType) and bound.__name__.split(".")[0] == name:
+                    scan.flag_unsafe(
+                        f"references the {name!r} module "
+                        "(nondeterminism or I/O inside a rule body)"
+                    )
+
+
+def _collect_locals(tree: ast.AST, params: Set[str]) -> Tuple[Set[str], Set[str]]:
+    """Return ``(locals, fresh)`` for the function body.
+
+    ``locals`` is every name bound anywhere inside the body (assignments,
+    loop targets, ``with`` aliases, comprehension targets, imports, nested
+    ``def``/``lambda`` parameters — a flat over-approximation); ``fresh``
+    is the subset only ever assigned from literal/constructor expressions,
+    whose mutation therefore cannot escape the function.
+    """
+    bound: Set[str] = set(params)
+    fresh: Set[str] = set()
+    tainted: Set[str] = set()
+
+    def bind(target: ast.AST, value: Optional[ast.expr]) -> None:
+        # Only genuine name bindings count: a ``container[key] = ...`` or
+        # ``obj.attr = ...`` target mutates an existing object and must
+        # not make ``container``/``obj`` look like a local.
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind(element, None)
+        elif isinstance(target, ast.Starred):
+            bind(target.value, None)
+        elif isinstance(target, ast.Name):
+            bound.add(target.id)
+            is_fresh = isinstance(value, _FRESH_EXPRESSIONS) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("list", "dict", "set", "tuple", "frozenset")
+            )
+            if is_fresh and target.id not in tainted:
+                fresh.add(target.id)
+            else:
+                tainted.add(target.id)
+                fresh.discard(target.id)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind(target, node.value)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            bind(node.target, None)
+        elif isinstance(node, ast.NamedExpr):
+            bind(node.target, node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target, None)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            bind(node.optional_vars, None)
+        elif isinstance(node, ast.comprehension):
+            bind(node.target, None)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+            for argument in _all_arguments(node.args):
+                bound.add(argument.arg)
+        elif isinstance(node, ast.Lambda):
+            for argument in _all_arguments(node.args):
+                bound.add(argument.arg)
+    return bound, fresh
+
+
+def _all_arguments(args: ast.arguments) -> List[ast.arg]:
+    collected = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        collected.append(args.vararg)
+    if args.kwarg is not None:
+        collected.append(args.kwarg)
+    return collected
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The leftmost :class:`ast.Name` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _ast_pass(function: types.FunctionType, scan: _FunctionScan) -> bool:
+    """Analyse the retrievable source of ``function``; return ``True`` when
+    the pass ran (source found and parsed).
+
+    The pass records unsafe evidence (writes outside fresh locals,
+    impure/mutating calls) and unknown evidence (calls into unanalysed
+    helpers, argument mutation).  When it completes without either, the
+    function is proven safe.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(function))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError, ValueError):
+        return False
+    definition = tree.body[0] if tree.body else None
+    if isinstance(definition, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        params = {argument.arg for argument in _all_arguments(definition.args)}
+    else:
+        # ``getsource`` of a lambda returns its enclosing statement, which
+        # parses but is not a clean function definition to scope — let the
+        # bytecode pass decide, degrade to UNKNOWN otherwise.
+        return False
+
+    bound, fresh = _collect_locals(definition, params)
+
+    def free_or_global(name: str) -> bool:
+        return name not in bound
+
+    def classify_write(target: ast.expr, what: str) -> None:
+        root = _root_name(target)
+        if root is None:
+            scan.flag_unknown(f"{what} on an unresolvable expression")
+        elif root == "self" or free_or_global(root):
+            scan.flag_unsafe(f"{what} on captured object {root!r}")
+        elif root in params:
+            scan.flag_unknown(f"{what} on argument {root!r} (mutates its input)")
+        elif root not in fresh:
+            scan.flag_unknown(f"{what} on local {root!r} (may alias captured state)")
+
+    for node in ast.walk(definition):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            scan.flag_unsafe(
+                f"declares {' and '.join(node.names)!r} "
+                f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}"
+            )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    kind = "attribute write" if isinstance(target, ast.Attribute) else "item write"
+                    classify_write(target, kind)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                kind = (
+                    "augmented attribute write"
+                    if isinstance(node.target, ast.Attribute)
+                    else "augmented item write"
+                )
+                classify_write(node.target, kind)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    classify_write(target, "deletion")
+        elif isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            scan.flag_unknown("suspends execution (await/yield)")
+        elif isinstance(node, ast.Call):
+            _classify_call(node, scan, bound, fresh, params, free_or_global, function)
+    return True
+
+
+def _classify_call(
+    node: ast.Call,
+    scan: _FunctionScan,
+    bound: Set[str],
+    fresh: Set[str],
+    params: Set[str],
+    free_or_global: Any,
+    function: types.FunctionType,
+) -> None:
+    callee = node.func
+    if isinstance(callee, ast.Name):
+        name = callee.id
+        if name in IMPURE_BUILTINS:
+            scan.flag_unsafe(f"calls impure builtin {name}()")
+        elif name in SAFE_BUILTINS:
+            return
+        elif name in bound:
+            scan.flag_unknown(f"calls local/argument callable {name}() (unanalysed)")
+        else:
+            # A global read: a function defined elsewhere, a class, a
+            # captured helper.  Pure helpers exist, but proving them would
+            # require whole-program analysis — stay honest.
+            scan.flag_unknown(f"calls unanalysed global {name}()")
+    elif isinstance(callee, ast.Attribute):
+        root = _root_name(callee)
+        method = callee.attr
+        if root is not None and root in IMPURE_MODULES:
+            bound_value = getattr(function, "__globals__", {}).get(root)
+            if isinstance(bound_value, types.ModuleType) or free_or_global(root):
+                scan.flag_unsafe(
+                    f"calls {root}.{method}() (nondeterminism or I/O)"
+                )
+                return
+        if method in MUTATING_METHODS:
+            if root is None:
+                scan.flag_unknown(f".{method}() on an unresolvable receiver")
+            elif root == "self" or free_or_global(root):
+                scan.flag_unsafe(f"calls mutating .{method}() on captured object {root!r}")
+            elif root in params:
+                scan.flag_unknown(f"calls mutating .{method}() on argument {root!r}")
+            elif root not in fresh:
+                scan.flag_unknown(
+                    f"calls mutating .{method}() on local {root!r} "
+                    "(may alias captured state)"
+                )
+            return
+        if method in SAFE_MAPPING_METHODS and root is not None and (root in params or root in bound):
+            return
+        if root == "self" or (root is not None and free_or_global(root)):
+            scan.flag_unknown(f"calls unanalysed method {root}.{method}()")
+        else:
+            scan.flag_unknown(f"calls unanalysed method .{method}()")
+    else:
+        scan.flag_unknown("calls a computed callable expression")
+
+
+def analyse_function(function: Any, name: Optional[str] = None) -> RuleAnalysis:
+    """Analyse one plain function (or bound method) for purity."""
+    target = _unwrap_function(function)
+    label = name or getattr(target, "__qualname__", None) or repr(function)
+    if target is None:
+        return RuleAnalysis(
+            verdict=Verdict.UNKNOWN,
+            unsafe=(),
+            unknown=(f"{label}: not a pure-Python function (no bytecode to analyse)",),
+            targets=(label,),
+        )
+    scan = _FunctionScan(label)
+    _bytecode_pass(target, scan)
+    scan.proved = _ast_pass(target, scan)
+    if not scan.proved and not scan.unsafe and not scan.unknown:
+        scan.flag_unknown("source unavailable; bytecode shows no mutation but cannot prove purity")
+    return RuleAnalysis(
+        verdict=scan.verdict,
+        unsafe=tuple(scan.unsafe),
+        unknown=tuple(scan.unknown),
+        targets=(label,),
+    )
+
+
+def _unwrap_function(function: Any) -> Optional[types.FunctionType]:
+    seen = 0
+    while seen < 8:
+        seen += 1
+        if isinstance(function, types.FunctionType):
+            return function
+        if isinstance(function, types.MethodType):
+            function = function.__func__
+            continue
+        if isinstance(function, (staticmethod, classmethod)):
+            function = function.__func__
+            continue
+        wrapped = getattr(function, "__wrapped__", None)
+        if wrapped is not None:
+            function = wrapped
+            continue
+        break
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Rule-level analysis (cached)
+# --------------------------------------------------------------------- #
+
+_ANALYSIS_CACHE: Dict[Tuple[Any, ...], RuleAnalysis] = {}
+_WARNED_RULES: "weakref.WeakSet[Any]" = weakref.WeakSet()
+_WARNED_RULE_IDS: Set[int] = set()
+
+
+def _rule_targets(rule: Any) -> List[Tuple[str, Any]]:
+    """The ``(label, function)`` pairs a rule's verdict is built from.
+
+    For classes and instances alike, ``update`` comes from the class (the
+    plain function, not the bound method); a
+    :class:`~repro.local_model.algorithm.FunctionRule`'s wrapped callable
+    and any ``update_batch`` hook are analysed too — an impure batch hook
+    corrupts the array tier just as surely.
+    """
+    owner = rule if isinstance(rule, type) else type(rule)
+    targets: List[Tuple[str, Any]] = []
+    update = getattr(owner, "update", None)
+    wrapped = getattr(rule, "_function", None) if not isinstance(rule, type) else None
+    if wrapped is not None and not callable(wrapped):
+        wrapped = None
+    if update is not None:
+        # A pure delegation trampoline (``return self._function(view)``,
+        # the FunctionRule pattern) is skipped in favour of the wrapped
+        # function itself — otherwise every FunctionRule would be capped
+        # at UNKNOWN by the unanalysable ``self._function`` call.
+        code = getattr(_unwrap_function(update), "__code__", None)
+        is_trampoline = (
+            wrapped is not None
+            and code is not None
+            and "_function" in code.co_names
+        )
+        if not is_trampoline:
+            targets.append((f"{owner.__name__}.update", update))
+    if wrapped is not None:
+        targets.append(
+            (getattr(wrapped, "__qualname__", f"{owner.__name__}._function"), wrapped)
+        )
+    batch = getattr(rule, "update_batch", None)
+    if batch is not None and callable(batch):
+        targets.append(
+            (getattr(batch, "__qualname__", f"{owner.__name__}.update_batch"), batch)
+        )
+    return targets
+
+
+def _cache_key(targets: List[Tuple[str, Any]]) -> Optional[Tuple[Any, ...]]:
+    key: List[Any] = []
+    for _, function in targets:
+        unwrapped = _unwrap_function(function)
+        if unwrapped is None:
+            return None
+        key.append(unwrapped.__code__)
+    return tuple(key)
+
+
+def analyse_rule(rule: Any) -> RuleAnalysis:
+    """Classify a rule (instance or class) as safe, unsafe or unknown.
+
+    The verdict merges every analysed target (see :func:`_rule_targets`):
+    any ``PROVEN_UNSAFE`` target decides the rule; otherwise any
+    ``UNKNOWN`` target leaves it undecided; a rule whose every target is
+    proven is ``PROVEN_SAFE``.  Analyses are cached per tuple of target
+    code objects, so repeated calls (the engines consult the verdict on
+    every sharded application) cost one dictionary lookup.
+    """
+    targets = _rule_targets(rule)
+    if not targets:
+        return RuleAnalysis(
+            verdict=Verdict.UNKNOWN,
+            unsafe=(),
+            unknown=("rule has no update/update_batch body to analyse",),
+            targets=(),
+        )
+    key = _cache_key(targets)
+    if key is not None:
+        cached = _ANALYSIS_CACHE.get(key)
+        if cached is not None:
+            return cached
+    analyses = [analyse_function(function, name) for name, function in targets]
+    if any(item.verdict is Verdict.PROVEN_UNSAFE for item in analyses):
+        verdict = Verdict.PROVEN_UNSAFE
+    elif all(item.verdict is Verdict.PROVEN_SAFE for item in analyses):
+        verdict = Verdict.PROVEN_SAFE
+    else:
+        verdict = Verdict.UNKNOWN
+    merged = RuleAnalysis(
+        verdict=verdict,
+        unsafe=tuple(reason for item in analyses for reason in item.unsafe),
+        unknown=tuple(reason for item in analyses for reason in item.unknown),
+        targets=tuple(label for item in analyses for label in item.targets),
+    )
+    if key is not None:
+        _ANALYSIS_CACHE[key] = merged
+    return merged
+
+
+def clear_analysis_cache() -> None:
+    """Drop cached analyses and warning bookkeeping (test isolation)."""
+    _ANALYSIS_CACHE.clear()
+    _WARNED_RULES.clear()
+    _WARNED_RULE_IDS.clear()
+
+
+def strict_mode() -> bool:
+    """Whether ``REPRO_STATICS_STRICT`` escalates mis-declarations to errors."""
+    return os.environ.get(STRICT_VARIABLE, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def maybe_warn_parallel_unsafe(rule: Any) -> None:
+    """Warn once per rule instance when a ``parallel_safe=True`` declaration
+    contradicts a ``PROVEN_UNSAFE`` verdict.
+
+    Called by the ``parallel``/``shm`` engines and the shm
+    :class:`~repro.runtime.pool.WorkerPool` *before* any pool forks.  The
+    warning is a :class:`RuntimeWarning` naming the rule and every unsafe
+    finding; ``REPRO_STATICS_STRICT=1`` escalates it to a
+    :class:`RuntimeError` so CI can refuse to shard such a rule at all.
+    ``UNKNOWN`` verdicts (lambdas, source-less rules) never warn.
+    """
+    if not getattr(rule, "parallel_safe", True):
+        return
+    analysis = analyse_rule(rule)
+    if analysis.verdict is not Verdict.PROVEN_UNSAFE:
+        return
+    message = (
+        f"rule {type(rule).__name__} is declared parallel_safe=True but its "
+        f"body is statically PROVEN_UNSAFE for sharded execution: "
+        f"{analysis.describe()}.  Worker processes would observe fork-time "
+        f"copies of the mutated state, so results could silently diverge "
+        f"between the serial and sharded tiers; declare parallel_safe=False "
+        f"(the engines then degrade byte-identically) or make the rule a "
+        f"pure function of its view."
+    )
+    if strict_mode():
+        raise RuntimeError(message)
+    if _already_warned(rule):
+        return
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _already_warned(rule: Any) -> bool:
+    try:
+        if rule in _WARNED_RULES:
+            return True
+        _WARNED_RULES.add(rule)
+        return False
+    except TypeError:  # non-weakref-able rule objects
+        if id(rule) in _WARNED_RULE_IDS:
+            return True
+        _WARNED_RULE_IDS.add(id(rule))
+        return False

@@ -1,0 +1,253 @@
+"""Static tier-eligibility inference for :class:`LocalRule` objects.
+
+The engine stack picks an execution tier per rule at run time (compiled
+lookup table, vectorised batch, sharded workers, serial list scan — see
+:mod:`repro.local_model.engine`), and a rule that silently misses the fast
+tiers simply runs slowly.  This module answers the question *statically*:
+given a rule's declared traits (radius, norm, ``update_batch``,
+``parallel_safe``) and its purity verdict, which tiers is it eligible for,
+and why?  ``python -m repro.statics --rules`` prints the report for every
+rule class in the repository, so a silent slow-path fallback becomes a
+visible line in CI output instead of a mystery in a flame graph.
+
+Eligibility mirrors the run-time checks exactly:
+
+* **table** — compiled lookup tables require the encoded neighbourhood
+  space ``|Σ|^ball_size`` to fit under the engine's table threshold.  The
+  alphabet size is a run-time quantity, so the report states the *largest*
+  alphabet the rule could be compiled for
+  (:func:`max_table_alphabet`); when the caller knows the alphabet it gets
+  a definite yes/no.
+* **batch** — the rule declares an ``update_batch`` hook.
+* **sharded** — the rule declares ``parallel_safe=True`` *and* the purity
+  analysis did not prove the declaration wrong.
+* **fallback-only** — none of the above: the rule can never leave the
+  serial list scan, whatever engine the caller requests.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Type
+
+from repro.statics.purity import RuleAnalysis, Verdict, analyse_rule
+
+
+def ball_size(dimension: int, radius: int, norm: str = "l1") -> int:
+    """Number of offsets in the radius-``radius`` ball (offset zero included).
+
+    Matches :func:`repro.grid.indexer.ball_offsets` combinatorially without
+    needing a grid: the L1 ball counts offsets with ``|x_1|+...+|x_d| <=
+    r``, the L∞ ball counts the full ``(2r+1)^d`` box.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if norm == "linf":
+        return (2 * radius + 1) ** dimension
+    if norm != "l1":
+        raise ValueError(f"unknown norm {norm!r}; expected 'l1' or 'linf'")
+    if dimension == 0:
+        return 1
+    # Iterative convolution: counts[s] = number of d-vectors with L1 mass s.
+    counts = [1] + [0] * radius
+    for _ in range(dimension):
+        next_counts = [0] * (radius + 1)
+        for mass, ways in enumerate(counts):
+            if not ways:
+                continue
+            for step in range(-(radius - mass), radius - mass + 1):
+                next_counts[mass + abs(step)] += ways
+        counts = next_counts
+    return sum(counts)
+
+
+def max_table_alphabet(table_threshold: int, size_of_ball: int) -> int:
+    """Largest alphabet whose ``|Σ|^ball_size`` fits the table threshold."""
+    from repro.local_model.engine import _max_table_alphabet
+
+    return int(_max_table_alphabet(table_threshold, size_of_ball))
+
+
+@dataclass(frozen=True)
+class TierEligibility:
+    """Static answer to "which engine tiers can this rule use?".
+
+    ``table_compilable`` is ``None`` when the alphabet size is unknown
+    (compile-eligibility then depends on the run-time alphabet staying at
+    most ``table_max_alphabet``); the ``eligible_tiers`` tuple lists the
+    tiers in the engines' own preference order, always ending in
+    ``"list"`` (the serial scan is universally available).
+    """
+
+    rule: str
+    radius: int
+    norm: str
+    size_of_ball: int
+    verdict: Verdict
+    parallel_safe_declared: bool
+    table_max_alphabet: int
+    table_compilable: Optional[bool]
+    batch_vectorisable: bool
+    shardable: bool
+    fallback_only: bool
+    eligible_tiers: Tuple[str, ...]
+    notes: Tuple[str, ...]
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable form for the CLI report."""
+        return {
+            "rule": self.rule,
+            "radius": self.radius,
+            "norm": self.norm,
+            "ball_size": self.size_of_ball,
+            "purity": self.verdict.value,
+            "parallel_safe_declared": self.parallel_safe_declared,
+            "table_max_alphabet": self.table_max_alphabet,
+            "table_compilable": self.table_compilable,
+            "batch_vectorisable": self.batch_vectorisable,
+            "shardable": self.shardable,
+            "fallback_only": self.fallback_only,
+            "eligible_tiers": list(self.eligible_tiers),
+            "notes": list(self.notes),
+        }
+
+
+def infer_tier_eligibility(
+    rule: Any,
+    alphabet_size: Optional[int] = None,
+    table_threshold: Optional[int] = None,
+    dimension: int = 2,
+) -> TierEligibility:
+    """Infer the engine tiers ``rule`` (instance or class) is eligible for.
+
+    ``alphabet_size`` — when the caller knows the labelling's alphabet —
+    turns the table answer from a bound into a definite yes/no;
+    ``table_threshold`` defaults to the engines'
+    :data:`~repro.local_model.engine.DEFAULT_TABLE_THRESHOLD`;
+    ``dimension`` is the grid dimension the ball size is computed for.
+    """
+    from repro.local_model.algorithm import rule_traits
+    from repro.local_model.engine import DEFAULT_TABLE_THRESHOLD
+
+    threshold = table_threshold if table_threshold is not None else DEFAULT_TABLE_THRESHOLD
+    traits = rule_traits(rule)
+    analysis: RuleAnalysis = analyse_rule(rule)
+    size = ball_size(dimension, traits.radius, traits.norm)
+    alphabet_bound = max_table_alphabet(threshold, size)
+
+    notes: List[str] = []
+    if alphabet_size is not None:
+        table_compilable: Optional[bool] = 0 < alphabet_size <= alphabet_bound
+    elif alphabet_bound <= 1:
+        # At most a one-letter alphabet fits: no useful rule compiles.
+        table_compilable = False
+        notes.append(
+            f"ball of {size} offsets leaves no usable alphabet under "
+            f"threshold {threshold} (silent slow path for table execution)"
+        )
+    else:
+        table_compilable = None
+        notes.append(
+            f"table-compilable for alphabets of at most {alphabet_bound} "
+            f"labels (|Σ|^{size} <= {threshold})"
+        )
+
+    batch_vectorisable = traits.update_batch is not None
+    declared_safe = traits.parallel_safe
+    shardable = declared_safe and analysis.verdict is not Verdict.PROVEN_UNSAFE
+    if declared_safe and analysis.verdict is Verdict.PROVEN_UNSAFE:
+        notes.append(
+            "declared parallel_safe=True but statically PROVEN_UNSAFE: "
+            + analysis.describe()
+        )
+    if not declared_safe:
+        notes.append("declared parallel_safe=False: sharding tiers degrade to the serial scan")
+    if analysis.verdict is Verdict.UNKNOWN and analysis.unknown:
+        notes.append("purity undecided: " + "; ".join(analysis.unknown[:3]))
+
+    eligible: List[str] = []
+    if table_compilable is not False:
+        eligible.append("table")
+    if batch_vectorisable:
+        eligible.append("batch")
+    if shardable:
+        eligible.append("sharded")
+    eligible.append("list")
+    fallback_only = eligible == ["list"]
+    if fallback_only:
+        notes.append(
+            "fallback-only: this rule can never leave the serial list scan, "
+            "whatever engine is requested"
+        )
+
+    name = rule.__name__ if isinstance(rule, type) else type(rule).__name__
+    return TierEligibility(
+        rule=name,
+        radius=traits.radius,
+        norm=traits.norm,
+        size_of_ball=size,
+        verdict=analysis.verdict,
+        parallel_safe_declared=declared_safe,
+        table_max_alphabet=alphabet_bound,
+        table_compilable=table_compilable,
+        batch_vectorisable=batch_vectorisable,
+        shardable=shardable,
+        fallback_only=fallback_only,
+        eligible_tiers=tuple(eligible),
+        notes=tuple(notes),
+    )
+
+
+def discover_rule_classes(package_name: str = "repro") -> List[Type[Any]]:
+    """Import every module of ``package_name`` and collect the concrete
+    :class:`~repro.local_model.algorithm.LocalRule` subclasses.
+
+    Import failures (an optional dependency missing on this platform) are
+    tolerated: the affected module's rules are simply absent from the
+    report rather than aborting it.
+    """
+    from repro.local_model.algorithm import LocalRule
+
+    package = importlib.import_module(package_name)
+    search_path: List[str] = list(getattr(package, "__path__", []))
+    for module_info in pkgutil.walk_packages(search_path, prefix=f"{package_name}."):
+        try:
+            importlib.import_module(module_info.name)
+        except Exception:  # noqa: BLE001 - optional deps may be missing
+            continue
+
+    collected: List[Type[Any]] = []
+    seen: Set[type] = set()
+
+    def visit(cls: type) -> None:
+        for subclass in cls.__subclasses__():
+            if subclass in seen:
+                continue
+            seen.add(subclass)
+            if not getattr(subclass, "__abstractmethods__", None):
+                collected.append(subclass)
+            visit(subclass)
+
+    visit(LocalRule)
+    return sorted(collected, key=lambda cls: (cls.__module__, cls.__qualname__))
+
+
+def tier_report(
+    rules: Optional[Iterable[Any]] = None,
+    alphabet_size: Optional[int] = None,
+    table_threshold: Optional[int] = None,
+    dimension: int = 2,
+) -> List[TierEligibility]:
+    """Per-rule eligibility report (defaults to every discoverable rule class)."""
+    targets = list(rules) if rules is not None else discover_rule_classes()
+    return [
+        infer_tier_eligibility(
+            rule,
+            alphabet_size=alphabet_size,
+            table_threshold=table_threshold,
+            dimension=dimension,
+        )
+        for rule in targets
+    ]

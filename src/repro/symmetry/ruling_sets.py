@@ -19,6 +19,7 @@ from typing import Dict, List, Set
 from repro.grid.identifiers import IdentifierAssignment
 from repro.grid.indexer import GridIndexer, cyclic_power_pattern
 from repro.grid.torus import Node, ToroidalGrid
+from repro.local_model.store import resolve_engine
 from repro.symmetry.fastpath import compute_mis_indexed
 from repro.symmetry.mis import compute_mis
 
@@ -74,6 +75,7 @@ def row_ruling_set(
     reference.  Both produce byte-identical results (pinned by the
     randomized equivalence harness).
     """
+    engine = resolve_engine(engine, allowed=("dict", "indexed"))
     members: Set[Node] = set()
     worst_rounds = 0
     worst_phases: Dict[str, int] = {}
@@ -87,7 +89,7 @@ def row_ruling_set(
             if computation.rounds > worst_rounds:
                 worst_rounds = computation.rounds
                 worst_phases = computation.phase_rounds
-    elif engine == "dict":
+    else:
         for row in grid.rows(axis):
             adjacency = _row_power_adjacency(row, spacing)
             initial = {node: identifiers[node] for node in row}
@@ -96,8 +98,6 @@ def row_ruling_set(
             if computation.rounds > worst_rounds:
                 worst_rounds = computation.rounds
                 worst_phases = computation.phase_rounds
-    else:
-        raise ValueError(f"unknown engine {engine!r}; expected 'indexed' or 'dict'")
     overhead = spacing
     return RowRulingSet(
         members=members,

@@ -12,6 +12,8 @@ sequential first-failing-node semantics.  The persistence invariant itself
 is pinned too: a multi-round schedule must spawn exactly one pool.
 """
 
+import warnings
+
 import pytest
 
 from equivalence import (
@@ -25,7 +27,12 @@ from equivalence import (
 from repro.grid.identifiers import random_identifiers
 from repro.grid.torus import ToroidalGrid
 from repro.local_model.algorithm import FunctionRule
-from repro.local_model.engine import SchedulePhase, ShmEngine, run_schedule
+from repro.local_model.engine import (
+    ParallelEngine,
+    SchedulePhase,
+    ShmEngine,
+    run_schedule,
+)
 from repro.local_model.simulator import apply_rule, iterate_rule
 from repro.local_model.store import (
     SHM_AUTO_THRESHOLD,
@@ -308,3 +315,86 @@ class TestAutoPolicy:
     def test_explicit_shm_requires_the_caller_to_allow_it(self):
         with pytest.raises(ValueError, match="unknown engine"):
             resolve_engine("shm", ("dict", "indexed", "array"))
+
+
+def _counter_rule():
+    """Deterministic rule whose body mutates a closure cell.
+
+    The output ignores the counter, so every tier stays byte-identical —
+    but the mutation makes the body statically PROVEN_UNSAFE, which a
+    ``parallel_safe=True`` declaration (the default) contradicts.
+    """
+    cell = [0]
+
+    def update(view):
+        cell[0] += 1
+        return min(view.values())
+
+    return FunctionRule(1, update)
+
+
+class TestStaticVerdictGate:
+    """The statics wiring of the sharding tiers (see repro.statics.purity)."""
+
+    def test_proven_unsafe_rule_warns_once_before_the_pool_spawns(
+        self, equivalence_seed, monkeypatch
+    ):
+        rng = derive_rng(equivalence_seed, "shm-verdict-gate")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+        labels = {node: identifiers[node] for node in grid.nodes()}
+        rule = _counter_rule()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with ShmEngine(grid, table_threshold=1) as engine:
+                current = engine.store(labels)
+                for _ in range(3):
+                    current = engine.apply_rule(current, rule)
+                assert engine.pool_spawns == 1
+                result = current.to_dict()
+        hits = [
+            w
+            for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "PROVEN_UNSAFE" in str(w.message)
+        ]
+        assert len(hits) == 1, "exactly one warning across three sharded rounds"
+        expected = labels
+        for _ in range(3):
+            expected = apply_rule(grid, expected, _counter_rule())
+        assert result == expected
+
+    def test_strict_mode_stops_the_rule_before_any_fork(
+        self, equivalence_seed, monkeypatch
+    ):
+        rng = derive_rng(equivalence_seed, "shm-verdict-strict")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_STATICS_STRICT", "1")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+        labels = {node: identifiers[node] for node in grid.nodes()}
+        with ShmEngine(grid, table_threshold=1) as engine:
+            with pytest.raises(RuntimeError, match="PROVEN_UNSAFE"):
+                engine.apply_rule(labels, _counter_rule())
+            assert engine.pool_spawns == 0
+
+    def test_parallel_tier_warns_too(self, equivalence_seed, monkeypatch):
+        rng = derive_rng(equivalence_seed, "parallel-verdict-gate")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+        labels = {node: identifiers[node] for node in grid.nodes()}
+        rule = _counter_rule()
+        engine = ParallelEngine(grid, table_threshold=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = engine.apply_rule(labels, rule).to_dict()
+        hits = [
+            w
+            for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "PROVEN_UNSAFE" in str(w.message)
+        ]
+        assert len(hits) == 1
+        assert result == apply_rule(grid, labels, _counter_rule())

@@ -1,0 +1,474 @@
+"""Tests for :mod:`repro.statics` — purity prover, tier inference, lint, CLI.
+
+The verdict-matrix rules below are defined at module level on purpose: the
+purity prover reads rule bodies through ``inspect.getsource``, which only
+works for code living in a real file (a heredoc/REPL rule degrades to
+``UNKNOWN``, which is itself covered by the lambda cases).
+"""
+
+import json
+import random
+import textwrap
+import time
+import warnings
+
+import pytest
+
+from repro.local_model.algorithm import (
+    FunctionRule,
+    LocalRule,
+    checked_parallel_safe,
+    rule_traits,
+)
+from repro.local_model.store import resolve_engine
+from repro.statics.contracts import (
+    AllowlistError,
+    apply_allowlist,
+    load_allowlist,
+    run_contract_checks,
+)
+from repro.statics.purity import (
+    STRICT_VARIABLE,
+    Verdict,
+    analyse_rule,
+    clear_analysis_cache,
+    maybe_warn_parallel_unsafe,
+)
+from repro.statics.tiers import ball_size, infer_tier_eligibility
+from repro.statics import cli
+
+
+# --------------------------------------------------------------------------
+# The verdict matrix
+# --------------------------------------------------------------------------
+
+_COUNTER = {"calls": 0}
+
+
+class PureMinRule(LocalRule):
+    radius = 1
+
+    def update(self, view):
+        return min(view.values())
+
+
+class PureFreshLocalsRule(LocalRule):
+    radius = 1
+
+    def update(self, view):
+        counts = {}
+        for value in view.values():
+            counts[value] = counts.get(value, 0) + 1
+        best = sorted(counts.items())
+        return best[0][0]
+
+
+class ClosureMutatingRule(LocalRule):
+    radius = 1
+
+    def __init__(self):
+        cell = [0]
+
+        def update(view):
+            cell[0] += 1
+            return min(view.values()) + cell[0] * 0
+
+        self._update = update
+
+    def update(self, view):
+        return self._update(view)
+
+
+class CapturedDictRule(LocalRule):
+    radius = 1
+
+    def update(self, view):
+        _COUNTER["calls"] += 1
+        return min(view.values())
+
+
+class RandomRule(LocalRule):
+    radius = 1
+
+    def update(self, view):
+        return random.random()
+
+
+class TimeRule(LocalRule):
+    radius = 1
+
+    def update(self, view):
+        return time.time()
+
+
+class SelfMutatingRule(LocalRule):
+    radius = 1
+
+    def __init__(self):
+        self.seen = []
+
+    def update(self, view):
+        self.seen.append(min(view.values()))
+        return self.seen[-1]
+
+
+class TestVerdictMatrix:
+    def setup_method(self):
+        clear_analysis_cache()
+
+    def test_pure_rules_are_proven_safe(self):
+        assert analyse_rule(PureMinRule()).verdict is Verdict.PROVEN_SAFE
+        assert analyse_rule(PureFreshLocalsRule()).verdict is Verdict.PROVEN_SAFE
+
+    def test_captured_dict_write_is_proven_unsafe(self):
+        analysis = analyse_rule(CapturedDictRule())
+        assert analysis.verdict is Verdict.PROVEN_UNSAFE
+
+    def test_random_and_time_calls_are_proven_unsafe(self):
+        assert analyse_rule(RandomRule()).verdict is Verdict.PROVEN_UNSAFE
+        assert analyse_rule(TimeRule()).verdict is Verdict.PROVEN_UNSAFE
+
+    def test_attribute_mutation_on_self_is_proven_unsafe(self):
+        assert analyse_rule(SelfMutatingRule()).verdict is Verdict.PROVEN_UNSAFE
+
+    def test_closure_cell_mutation_is_proven_unsafe(self):
+        # The rule's trampoline calls a captured closure; the closure body
+        # mutates its cell, and that is what must be detected.
+        rule = ClosureMutatingRule()
+        assert analyse_rule(FunctionRule(1, rule._update)).verdict is Verdict.PROVEN_UNSAFE
+
+    def test_pure_function_rule_is_proven_safe(self):
+        # FunctionRule's `update` is a trampoline through self._function;
+        # the analysis must look through it at the wrapped function.
+        def plain(view):
+            return min(view.values())
+
+        assert analyse_rule(FunctionRule(1, plain)).verdict is Verdict.PROVEN_SAFE
+
+    def test_lambda_degrades_to_unknown(self):
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        assert analyse_rule(rule).verdict is Verdict.UNKNOWN
+
+    def test_analysis_is_cached_per_code_object(self):
+        first = analyse_rule(PureMinRule())
+        second = analyse_rule(PureMinRule())
+        assert first is second
+
+
+# --------------------------------------------------------------------------
+# Warning semantics
+# --------------------------------------------------------------------------
+
+
+class TestWarnings:
+    def setup_method(self):
+        clear_analysis_cache()
+
+    def test_unsafe_declared_safe_warns_exactly_once_per_instance(self):
+        rule = SelfMutatingRule()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            maybe_warn_parallel_unsafe(rule)
+            maybe_warn_parallel_unsafe(rule)
+        hits = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(hits) == 1
+        assert "PROVEN_UNSAFE" in str(hits[0].message)
+
+    def test_unknown_rules_do_not_warn(self):
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                maybe_warn_parallel_unsafe(rule)
+        assert [w for w in caught if issubclass(w.category, RuntimeWarning)] == []
+
+    def test_opted_out_rules_do_not_warn(self):
+        rule = SelfMutatingRule()
+        rule.parallel_safe = False
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert checked_parallel_safe(rule) is False
+        assert [w for w in caught if issubclass(w.category, RuntimeWarning)] == []
+
+    def test_strict_mode_raises_every_time(self, monkeypatch):
+        monkeypatch.setenv(STRICT_VARIABLE, "1")
+        rule = SelfMutatingRule()
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="PROVEN_UNSAFE"):
+                maybe_warn_parallel_unsafe(rule)
+
+
+# --------------------------------------------------------------------------
+# Trait consolidation
+# --------------------------------------------------------------------------
+
+
+class TestRuleTraits:
+    def test_defaults_for_duck_typed_rules(self):
+        class Bare:
+            pass
+
+        traits = rule_traits(Bare())
+        assert traits.radius == 1
+        assert traits.norm == "l1"
+        assert traits.parallel_safe is True
+        assert traits.update_batch is None
+        assert traits.ball_spec == (1, "l1")
+
+    def test_declared_traits_are_read(self):
+        def batch(matrix):
+            return matrix[:, 0]
+
+        rule = FunctionRule(2, lambda view: 0, norm="linf", batch=batch)
+        traits = rule_traits(rule)
+        assert traits.ball_spec == (2, "linf")
+        assert traits.update_batch is batch
+
+    def test_resolve_engine_auto_respects_allowed(self):
+        assert resolve_engine("auto", allowed=("dict", "indexed")) == "indexed"
+        assert resolve_engine("auto", allowed=("dict",)) == "dict"
+
+
+# --------------------------------------------------------------------------
+# Tier-eligibility inference
+# --------------------------------------------------------------------------
+
+
+class TestTierInference:
+    def test_ball_sizes_match_the_paper_geometry(self):
+        assert ball_size(2, 1, "l1") == 5
+        assert ball_size(2, 2, "l1") == 13
+        assert ball_size(2, 1, "linf") == 9
+        assert ball_size(1, 3, "l1") == 7
+        assert ball_size(3, 1, "l1") == 7
+
+    def test_pure_small_rule_is_table_and_shard_eligible(self):
+        report = infer_tier_eligibility(PureMinRule(), alphabet_size=4)
+        assert report.table_compilable is True
+        assert report.shardable is True
+        assert not report.fallback_only
+        assert report.eligible_tiers[0] == "table"
+        assert report.eligible_tiers[-1] == "list"
+
+    def test_unsafe_rule_is_not_shardable(self):
+        report = infer_tier_eligibility(SelfMutatingRule(), alphabet_size=1000)
+        assert report.table_compilable is False
+        assert report.shardable is False
+        assert report.fallback_only
+        assert any("PROVEN_UNSAFE" in note for note in report.notes)
+
+    def test_batch_rule_is_batch_eligible(self):
+        rule = FunctionRule(1, lambda view: 0, batch=lambda matrix: matrix[:, 0])
+        report = infer_tier_eligibility(rule, alphabet_size=10**6)
+        assert report.batch_vectorisable
+        assert "batch" in report.eligible_tiers
+
+    def test_to_json_round_trips(self):
+        report = infer_tier_eligibility(PureMinRule())
+        document = json.loads(json.dumps(report.to_json()))
+        assert document["rule"] == "PureMinRule"
+        assert document["purity"] == "proven-safe"
+
+
+# --------------------------------------------------------------------------
+# Contract lint on seeded violations
+# --------------------------------------------------------------------------
+
+
+def _seed_tree(tmp_path, source, name="bad.py"):
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / name).write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+class TestContractLint:
+    def test_clean_repo_tree_has_no_findings(self, repo_root):
+        findings = run_contract_checks(repo_root)
+        allowlist = load_allowlist(repo_root / ".statics-allowlist")
+        new, _allowlisted, stale = apply_allowlist(findings, allowlist)
+        assert new == []
+        assert stale == []
+
+    def test_seeded_grid_shift_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def sneaky(grid, node):
+                return grid.shift(node, (1, 0))
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["grid-shift"]
+        assert findings[0].symbol == "sneaky"
+
+    def test_self_shift_is_not_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            class Torus:
+                def shift(self, node, offset):
+                    return node
+
+                def neighbour(self, node):
+                    return self.shift(node, (1, 0))
+            """,
+        )
+        assert run_contract_checks(root) == []
+
+    def test_seeded_unrouted_engine_param_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def compute(grid, engine="indexed"):
+                if engine == "indexed":
+                    return 1
+                return 2
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["engine-routing"]
+
+    def test_routed_engine_param_passes(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            from repro.local_model.store import resolve_engine
+
+            def compute(grid, engine="indexed"):
+                engine = resolve_engine(engine, allowed=("dict", "indexed"))
+                return engine
+
+            def forwarding(grid, engine="indexed"):
+                return compute(grid, engine=engine)
+            """,
+        )
+        assert run_contract_checks(root) == []
+
+    def test_synthesis_vocabulary_is_out_of_scope(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def synthesise(problem, engine="csp"):
+                return engine
+            """,
+        )
+        assert run_contract_checks(root) == []
+
+    def test_raw_multiprocessing_outside_runtime_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def leak():
+                return shared_memory
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["raw-multiprocessing"]
+
+    def test_buffer_acquire_without_release_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            from repro.runtime.buffers import SharedCodeBuffer
+
+            def grab(n):
+                return SharedCodeBuffer.create(n)
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["shared-buffer-lifecycle"]
+
+    def test_benchmark_without_bench_json_is_flagged(self, tmp_path):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "test_bench_thing.py").write_text("def test_thing(benchmark):\n    pass\n")
+        findings = run_contract_checks(tmp_path)
+        assert [f.check for f in findings] == ["bench-json"]
+
+
+class TestAllowlist:
+    def test_entry_requires_justification(self, tmp_path):
+        listing = tmp_path / ".statics-allowlist"
+        listing.write_text("grid-shift:src/repro/bad.py:sneaky\n")
+        with pytest.raises(AllowlistError, match="justification"):
+            load_allowlist(listing)
+
+    def test_allowlisted_finding_is_split_out_and_stale_entries_reported(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def sneaky(grid, node):
+                return grid.shift(node, (1, 0))
+            """,
+        )
+        listing = tmp_path / ".statics-allowlist"
+        listing.write_text(
+            "grid-shift:src/repro/bad.py:sneaky  # geometry helper\n"
+            "grid-shift:src/repro/gone.py:fixed  # finding since fixed\n"
+        )
+        findings = run_contract_checks(root)
+        new, allowlisted, stale = apply_allowlist(findings, load_allowlist(listing))
+        assert new == []
+        assert [f.symbol for f in allowlisted] == ["sneaky"]
+        assert stale == ["grid-shift:src/repro/gone.py:fixed"]
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        root = _seed_tree(tmp_path, "x = 1\n")
+        assert cli.main(["--root", str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_seeded_violation(self, tmp_path, capsys):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def sneaky(grid, node):
+                return grid.shift(node, (1, 0))
+            """,
+        )
+        assert cli.main(["--root", str(root)]) == 1
+        output = capsys.readouterr().out
+        assert "grid-shift" in output
+        assert "fingerprint:" in output
+
+    def test_json_document_shape(self, tmp_path, capsys):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def sneaky(grid, node):
+                return grid.shift(node, (1, 0))
+            """,
+        )
+        assert cli.main(["--root", str(root), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["findings"][0]["check"] == "grid-shift"
+        assert document["allowlisted"] == []
+        assert document["stale"] == []
+
+    def test_malformed_allowlist_exits_two(self, tmp_path, capsys):
+        root = _seed_tree(tmp_path, "x = 1\n")
+        (root / ".statics-allowlist").write_text("some:entry:here\n")
+        assert cli.main(["--root", str(root)]) == 2
+
+    def test_real_repo_is_green(self, repo_root, capsys):
+        assert cli.main(["--root", str(repo_root)]) == 0
+
+
+@pytest.fixture()
+def repo_root():
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    if not (root / "src" / "repro").is_dir():
+        pytest.skip("repository layout not available")
+    return root
