@@ -1,0 +1,140 @@
+"""Benchmark: engine fast paths on the non-torus topologies.
+
+The acceptance benchmark of the topology substrate: on a 4096-node
+directed cycle and a 4096-node random 3-regular graph, one application of
+a radius-2 rule through the indexed tier's precomputed ball tables must
+beat the per-node dict traversal (:func:`repro.grid.topology.apply_rule_dict`)
+by the same kind of margin the torus tables deliver — proving the new
+families ride the same fast paths rather than a compatibility shim.  The
+array tier's compiled lookup table is measured on the cycle as well (a
+3-letter alphabet over a 5-slot window compiles into 243 entries).  Run
+with ``-s`` to see the measured table.
+"""
+
+import os
+import time
+
+from repro.grid.topology import (
+    DirectedCycleTopology,
+    apply_rule_dict,
+    random_regular_graph,
+)
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import ArrayEngine, IndexedEngine
+
+NODES = 4096
+RADIUS = 2
+REPETITIONS = 3
+
+
+def _best_of(repetitions, run):
+    timings = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def test_indexed_tier_speedup_on_topologies(benchmark, bench_json):
+    rule = FunctionRule(RADIUS, lambda view: min(view.values()))
+    cases = [
+        ("cycle", DirectedCycleTopology.shared(NODES)),
+        ("regular", random_regular_graph(NODES, 3, seed=7)),
+    ]
+    prepared = []
+    for name, topology in cases:
+        labels = {
+            node: (node * 2654435761) % 997 for node in topology.nodes
+        }
+        engine = IndexedEngine(topology)
+        engine.indexer.ball_getters(RADIUS, "l1")  # build tables outside timing
+        prepared.append((name, topology, labels, engine, engine.store(labels)))
+
+    def measure():
+        rows = []
+        for name, topology, labels, engine, store in prepared:
+            dict_seconds = _best_of(
+                REPETITIONS, lambda: apply_rule_dict(topology, labels, rule)
+            )
+            fast_seconds = _best_of(
+                REPETITIONS, lambda: engine.apply_rule(store, rule)
+            )
+            rows.append((name, dict_seconds, fast_seconds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print(f"\n{NODES}-node topologies, radius-{RADIUS} rule, one application "
+          f"(best of {REPETITIONS}):")
+    print("family     dict (ms)  indexed (ms)  speedup")
+    for name, dict_seconds, fast_seconds in rows:
+        print(
+            f"{name:8s} {dict_seconds * 1000:9.1f}  {fast_seconds * 1000:12.1f}"
+            f"  {dict_seconds / fast_seconds:6.1f}x"
+        )
+
+    # Identical outputs on both families, then the speed floor.
+    for name, topology, labels, engine, store in prepared:
+        assert engine.apply_rule(store, rule).to_dict() == apply_rule_dict(
+            topology, labels, rule
+        ), name
+    # The cycle's 5-slot windows keep its dict traversal comparatively
+    # cheap (measured ~2.8x locally; the regular graph's 10-slot balls
+    # reach ~4x), so the floor is set by the cycle.
+    floor = 1.5 if os.environ.get("CI") else 2.0
+    bench_json(
+        {
+            "nodes": NODES,
+            "radius": RADIUS,
+            "floor": floor,
+            "families": [
+                {
+                    "family": name,
+                    "dict_seconds": dict_seconds,
+                    "indexed_seconds": fast_seconds,
+                    "speedup": dict_seconds / fast_seconds,
+                }
+                for name, dict_seconds, fast_seconds in rows
+            ],
+        }
+    )
+    for name, dict_seconds, fast_seconds in rows:
+        speedup = dict_seconds / fast_seconds
+        assert speedup >= floor, (
+            f"indexed tier only {speedup:.1f}x faster than the dict path "
+            f"on the {name} family"
+        )
+
+
+def test_compiled_table_tier_on_cycle(benchmark, bench_json):
+    """The array tier's |Σ|^ball lookup table compiles for cycle windows."""
+    topology = DirectedCycleTopology.shared(NODES)
+    alphabet = 3  # 3^5 = 243 table entries over the radius-2 window
+    rule = FunctionRule(RADIUS, lambda view: max(view.values()) - min(view.values()))
+    labels = {node: node % alphabet for node in topology.nodes}
+
+    engine = ArrayEngine(topology)
+    store = engine.store(labels)
+    assert engine.rule_tier(rule) == "table"
+
+    def measure():
+        return _best_of(REPETITIONS, lambda: engine.apply_rule(store, rule))
+
+    table_seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\n{NODES}-node cycle, radius-{RADIUS} rule, compiled table tier: "
+        f"{table_seconds * 1000:.1f} ms"
+    )
+
+    assert engine.apply_rule(store, rule).to_dict() == apply_rule_dict(
+        topology, labels, rule
+    )
+    bench_json(
+        {
+            "nodes": NODES,
+            "radius": RADIUS,
+            "alphabet": alphabet,
+            "table_seconds": table_seconds,
+        }
+    )

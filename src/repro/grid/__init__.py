@@ -14,6 +14,19 @@ from repro.grid.geometry import (
     linf_norm,
     offsets_within,
 )
+from repro.grid.topology import (
+    BaseTopology,
+    DirectedCycleTopology,
+    GraphTopology,
+    Topology,
+    TopologyCache,
+    TreeTopology,
+    apply_rule_dict,
+    clear_topology_cache,
+    random_bounded_degree_graph,
+    random_regular_graph,
+    topology_cache,
+)
 from repro.grid.indexer import GridIndexer
 from repro.grid.power import PowerGraph, power_neighbours
 from repro.grid.subgrid import Window, extract_window, render_pattern
@@ -25,14 +38,22 @@ from repro.grid.identifiers import (
 )
 
 __all__ = [
+    "BaseTopology",
     "Direction",
+    "DirectedCycleTopology",
+    "GraphTopology",
     "GridIndexer",
     "IdentifierAssignment",
     "PowerGraph",
+    "Topology",
+    "TopologyCache",
     "ToroidalGrid",
+    "TreeTopology",
     "Window",
     "adversarial_identifiers",
+    "apply_rule_dict",
     "ball_offsets",
+    "clear_topology_cache",
     "edge_endpoints",
     "edge_key",
     "extract_window",
@@ -40,7 +61,10 @@ __all__ = [
     "linf_norm",
     "offsets_within",
     "power_neighbours",
+    "random_bounded_degree_graph",
     "random_identifiers",
+    "random_regular_graph",
     "render_pattern",
     "row_major_identifiers",
+    "topology_cache",
 ]

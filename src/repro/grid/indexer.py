@@ -20,7 +20,6 @@ the equivalence tests assert byte-identical labellings on small grids.
 
 from __future__ import annotations
 
-from collections.abc import Sequence as SequenceABC
 from functools import lru_cache
 from operator import itemgetter
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
@@ -32,6 +31,7 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 
 from repro.errors import SimulationError
 from repro.grid.geometry import ball_offsets, l1_norm, linf_norm, offsets_within
+from repro.grid.topology import Topology, _ColumnGetters, _dedup, topology_cache
 from repro.grid.torus import Node, ToroidalGrid
 from repro.utils.math import toroidal_difference
 
@@ -41,8 +41,10 @@ IndexTable = Tuple[Tuple[int, ...], ...]
 Shell = Tuple[int, Tuple[Tuple[int, Offset], ...]]
 
 
-class GridIndexer:
-    """Flat-index view of a :class:`ToroidalGrid` with precomputed tables."""
+class GridIndexer(Topology):
+    """Flat-index view of a :class:`ToroidalGrid` — the torus
+    :class:`~repro.grid.topology.Topology` instance, with precomputed
+    tables and the torus-specific extras (rows, shells, powers)."""
 
     def __init__(self, grid: ToroidalGrid):
         self._grid = grid
@@ -60,20 +62,18 @@ class GridIndexer:
         self._node_tables: Dict[Tuple[int, str], Tuple[Tuple[int, ...], ...]] = {}
         self._array_tables: Dict[Tuple[Offset, ...], Any] = {}
 
-    # A small per-process cache: grids hash by their side lengths, and the
-    # benchmark sweeps reuse a handful of grids across many phases.
-    _instances: Dict[ToroidalGrid, "GridIndexer"] = {}
-
     @classmethod
     def for_grid(cls, grid: ToroidalGrid) -> "GridIndexer":
-        """Return the (cached) indexer of ``grid``."""
-        indexer = cls._instances.get(grid)
-        if indexer is None:
-            indexer = cls(grid)
-            if len(cls._instances) >= 64:
-                cls._instances.clear()
-            cls._instances[grid] = indexer
-        return indexer
+        """Return the (cached) indexer of ``grid``.
+
+        Grids hash by their side lengths and the benchmark sweeps reuse a
+        handful of grids across many phases, so indexers live in the shared
+        bounded :class:`~repro.grid.topology.TopologyCache` (LRU, one
+        eviction at a time) alongside the non-torus topology instances.
+        """
+        return topology_cache().get_or_create(
+            ("torus", grid), lambda: cls(grid)
+        )
 
     def __reduce__(self):
         """Pickle-cheap export: ship only the grid, never the tables.
@@ -95,6 +95,11 @@ class GridIndexer:
     def grid(self) -> ToroidalGrid:
         """The underlying grid."""
         return self._grid
+
+    @property
+    def dimension(self) -> int:
+        """The grid dimension (axes of the torus)."""
+        return self._grid.dimension
 
     @property
     def node_count(self) -> int:
@@ -156,6 +161,10 @@ class GridIndexer:
             )
             self._offset_tables[offsets] = table
         return table
+
+    def view_keys(self, radius: int, norm: str = "l1") -> Tuple[Offset, ...]:
+        """The view keys of the torus ball: its displacement offsets."""
+        return ball_offsets(self._grid.dimension, radius, norm)
 
     def ball_table(
         self, radius: int, norm: str = "l1"
@@ -434,35 +443,3 @@ def cyclic_power_pattern(length: int, spacing: int) -> Tuple[Tuple[int, ...], ..
     return tuple(pattern)
 
 
-class _ColumnGetters(SequenceABC):
-    """Per-node single-offset getters sharing one index column.
-
-    The previous implementation cached one closure per node; this sequence
-    stores only a reference to the (already cached) index table and builds
-    the tiny per-node callables lazily, so nothing per-node survives in the
-    indexer's caches on large grids.
-    """
-
-    __slots__ = ("_table",)
-
-    def __init__(self, table: IndexTable):
-        self._table = table
-
-    def __len__(self) -> int:
-        return len(self._table)
-
-    def __getitem__(self, position):
-        if isinstance(position, slice):
-            return tuple(self[i] for i in range(*position.indices(len(self._table))))
-        j = self._table[position][0]
-        return lambda values: (values[j],)
-
-
-def _dedup(indices: Tuple[int, ...]) -> Tuple[int, ...]:
-    seen = set()
-    result = []
-    for index in indices:
-        if index not in seen:
-            seen.add(index)
-            result.append(index)
-    return tuple(result)

@@ -1,0 +1,880 @@
+"""Topology-generic neighbourhood substrate behind the engine tiers.
+
+The paper's classification arguments range over cycles, trees and
+bounded-degree graphs, not just toroidal grids — and the engine tiers never
+actually needed a torus.  What the ``indexed``/``array``/``parallel``/``shm``
+tiers consume is a handful of flat integer tables: nodes in a fixed order,
+per-node ball member indices of a fixed width, and numpy gather matrices
+over them.  This module names that contract — the :class:`Topology`
+protocol — and provides the non-torus instances:
+
+* :class:`DirectedCycleTopology` — a consistently oriented cycle; view keys
+  are signed hop deltas ``-r .. +r`` along the orientation.
+* :class:`TreeTopology` — a finite tree built from a parent vector (with
+  ``path``/``star``/``random`` constructors).
+* :class:`GraphTopology` — any finite bounded-degree simple graph given by
+  adjacency lists.
+
+:class:`repro.grid.indexer.GridIndexer` is the torus instance of the same
+protocol; every engine tier accepts any :class:`Topology` and runs
+unchanged, byte-identical to :func:`apply_rule_dict` (the per-node dict
+reference that serves as the equivalence oracle for these families).
+
+Irregular balls
+---------------
+
+Trees and irregular graphs have per-node-varying ball sizes, while the
+engines' tables, itemgetter gathers and compiled lookup keys are
+rectangular.  The protocol squares that circle by *padding with self*:
+every ball row has the width of the largest ball, and slots beyond a
+node's actual ball repeat the node's own flat index.  A view therefore
+always has the same keys on every node — absent neighbours simply read as
+the node's own label — which keeps every tier (including ``|Σ|^ball``
+lookup-table compilation and shared-memory chunk halos) working with no
+per-tier special cases.  Rules that care can compare slot values against
+``view`` slot 0 (always the node itself for the slot-keyed families); the
+deduplicated :meth:`Topology.ball_node_table` drops the padding entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Sequence as SequenceABC
+from operator import itemgetter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # numpy backs the "array" engine tier; the other tiers never need it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+from repro.errors import InvalidProblemError, SimulationError
+
+#: A view key: a torus displacement offset, a signed cycle delta, or a
+#: ball-slot position — whatever the topology's ``view_keys`` declares.
+ViewKey = Any
+IndexTable = Tuple[Tuple[int, ...], ...]
+
+
+# --------------------------------------------------------------------- #
+# The shared bounded instance cache
+# --------------------------------------------------------------------- #
+
+
+class TopologyCache:
+    """Bounded, clearable LRU cache of topology/indexer instances.
+
+    Replaces the old ``GridIndexer._instances`` dict, which never evicted
+    until it hit 64 entries and then dropped *everything at once* — a
+    benchmark-style sweep over many grids alternately thrashed the cache
+    empty and grew it back.  This cache evicts one least-recently-used
+    entry at a time, so a sweep holds exactly its working set and a
+    long-running process never exceeds ``maxsize`` instances (each of
+    which can pin megabytes of warmed ball tables).
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+
+    @property
+    def maxsize(self) -> int:
+        """Largest number of instances retained at once."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def get_or_create(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Return the cached instance under ``key``, building it if absent.
+
+        A hit refreshes the entry's recency; a miss builds via ``factory``
+        and evicts the least-recently-used entries down to ``maxsize``.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        entry = factory()
+        self._entries[key] = entry
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every cached instance (their tables become collectable)."""
+        self._entries.clear()
+
+
+#: The process-wide instance cache shared by :meth:`GridIndexer.for_grid`
+#: and the topology families' ``shared``/``random`` constructors.
+_SHARED_INSTANCES = TopologyCache()
+
+
+def topology_cache() -> TopologyCache:
+    """The shared per-process instance cache (torus indexers + topologies)."""
+    return _SHARED_INSTANCES
+
+
+def clear_topology_cache() -> None:
+    """Evict every cached indexer/topology instance (test isolation hook)."""
+    _SHARED_INSTANCES.clear()
+
+
+# --------------------------------------------------------------------- #
+# The protocol
+# --------------------------------------------------------------------- #
+
+
+class Topology(ABC):
+    """The neighbourhood substrate every engine tier executes against.
+
+    A topology enumerates its nodes in a fixed flat order, converts
+    node-keyed mappings to flat value lists and back, and exports its
+    radius-``r`` balls as rectangular integer tables: per node, the flat
+    indices of the ball members under the fixed ``view_keys`` of the
+    ``(radius, norm)`` spec.  Everything the five tiers consume — the
+    ``indexed`` tier's itemgetter gathers, the ``array`` tier's numpy
+    gather matrices and ``|Σ|^ball`` lookup keys, the ``parallel``/``shm``
+    tiers' chunk plans and halos — derives from these tables, so a new
+    topology reaches every tier by implementing this protocol alone.
+    """
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Dimensionality charged by ``LocalRule.round_cost`` for linf views."""
+
+    @property
+    @abstractmethod
+    def node_count(self) -> int:
+        """Number of nodes (and length of every flat value list)."""
+
+    @property
+    @abstractmethod
+    def nodes(self) -> Tuple[Any, ...]:
+        """All nodes in flat-index order."""
+
+    @property
+    def grid(self) -> Any:
+        """The backing structural object (the topology itself by default).
+
+        :class:`~repro.grid.indexer.GridIndexer` overrides this to return
+        its :class:`~repro.grid.torus.ToroidalGrid`; engines only rely on
+        the returned object exposing ``dimension`` and ``node_count``.
+        """
+        return self
+
+    @abstractmethod
+    def index_of(self, node: Any) -> int:
+        """Flat index of ``node`` (``KeyError`` if not in the topology)."""
+
+    @abstractmethod
+    def node_at(self, index: int) -> Any:
+        """The node with the given flat index."""
+
+    @abstractmethod
+    def to_values(self, mapping: Mapping[Any, Any]) -> List[Any]:
+        """Read a node-keyed mapping into a flat value list (index order)."""
+
+    @abstractmethod
+    def to_mapping(self, values: List[Any]) -> Dict[Any, Any]:
+        """Materialise a flat value list as a node-keyed dict."""
+
+    @abstractmethod
+    def view_keys(self, radius: int, norm: str = "l1") -> Tuple[ViewKey, ...]:
+        """The fixed view keys of the ``(radius, norm)`` ball, in table order.
+
+        Every node's view has exactly these keys; ``len(view_keys)`` is the
+        ball-table width (and the exponent of ``|Σ|^ball`` lookup-table
+        compilation).
+        """
+
+    @abstractmethod
+    def ball_table(
+        self, radius: int, norm: str = "l1"
+    ) -> Tuple[Tuple[ViewKey, ...], IndexTable]:
+        """``(keys, table)``: per-node ball member indices under ``keys``."""
+
+    @abstractmethod
+    def ball_getters(
+        self, radius: int, norm: str = "l1"
+    ) -> Tuple[Tuple[ViewKey, ...], Sequence[Callable[[Sequence[Any]], Tuple[Any, ...]]]]:
+        """``(keys, getters)`` where ``getters[i](values)`` gathers node
+        ``i``'s ball values as a tuple in key order."""
+
+    @abstractmethod
+    def ball_index_array(self, radius: int, norm: str = "l1"):
+        """``(keys, array)``: the ball table as a read-only ``int32`` numpy
+        gather matrix of shape ``(node_count, len(keys))``."""
+
+    @abstractmethod
+    def ball_node_table(
+        self, radius: int, norm: str = "l1"
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Per-node deduplicated ball member indices (padding removed)."""
+
+    def warm_ball_tables(self, specs: Iterable[Tuple[int, str]]) -> None:
+        """Materialise tables and getters for ``(radius, norm)`` specs.
+
+        The pre-fork handoff of the persistent worker-pool runtime: warmed
+        tables are inherited by every worker through copy-on-write memory.
+        Idempotent and cheap when already warm.
+        """
+        for radius, norm in specs:
+            self.ball_table(radius, norm)
+            self.ball_getters(radius, norm)
+
+
+# --------------------------------------------------------------------- #
+# Generic table machinery
+# --------------------------------------------------------------------- #
+
+
+class BaseTopology(Topology):
+    """Table caching and padding machinery shared by the non-torus families.
+
+    Subclasses provide the structure: :meth:`_compute_ball_row` returns one
+    node's *unpadded* ball member indices in deterministic order (self
+    first), and :meth:`_view_keys_for` names the keys of a width-``w``
+    table.  Everything else — rectangular padding with the node's own
+    index, itemgetter/getter construction, numpy export, deduplication,
+    caching per ``(radius, norm)`` spec — is implemented here once, so a
+    new family is a page of code, not a re-implementation of the engine
+    contract.
+    """
+
+    def __init__(self, nodes: Tuple[Any, ...]):
+        self._nodes = nodes
+        self._index: Dict[Any, int] = {
+            node: position for position, node in enumerate(nodes)
+        }
+        self._plans: Dict[Tuple[int, str], Tuple[Tuple[ViewKey, ...], IndexTable]] = {}
+        self._getter_tables: Dict[Tuple[int, str], Any] = {}
+        self._array_tables: Dict[Tuple[int, str], Any] = {}
+        self._node_tables: Dict[Tuple[int, str], Tuple[Tuple[int, ...], ...]] = {}
+
+    # -- structure hooks ----------------------------------------------- #
+
+    @abstractmethod
+    def _compute_ball_row(self, index: int, radius: int) -> Tuple[int, ...]:
+        """Unpadded ball member indices of node ``index`` (self first)."""
+
+    @abstractmethod
+    def _view_keys_for(self, radius: int, width: int) -> Tuple[ViewKey, ...]:
+        """The view keys of a ``(radius)`` ball table of width ``width``."""
+
+    # -- node <-> index conversion ------------------------------------- #
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[Any, ...]:
+        return self._nodes
+
+    def index_of(self, node: Any) -> int:
+        return self._index[node]
+
+    def node_at(self, index: int) -> Any:
+        return self._nodes[index]
+
+    def to_values(self, mapping: Mapping[Any, Any]) -> List[Any]:
+        try:
+            return [mapping[node] for node in self._nodes]
+        except KeyError:
+            for node in self._nodes:
+                if node not in mapping:
+                    raise KeyError(
+                        f"labelling is missing an entry for node {node}"
+                    ) from None
+            raise
+
+    def to_mapping(self, values: List[Any]) -> Dict[Any, Any]:
+        return dict(zip(self._nodes, values))
+
+    # -- tables --------------------------------------------------------- #
+
+    @staticmethod
+    def _norm_key(norm: str) -> str:
+        # The non-torus families measure hop distance, under which the L1
+        # and L∞ balls coincide; both norms share one table cache.
+        if norm not in ("l1", "linf"):
+            raise ValueError(f"unknown norm {norm!r}; expected 'l1' or 'linf'")
+        return "hop"
+
+    def _ball_plan(
+        self, radius: int, norm: str
+    ) -> Tuple[Tuple[ViewKey, ...], IndexTable]:
+        key = (radius, self._norm_key(norm))
+        plan = self._plans.get(key)
+        if plan is None:
+            if radius < 0:
+                raise ValueError(f"radius must be non-negative, got {radius}")
+            rows = [
+                self._compute_ball_row(index, radius)
+                for index in range(len(self._nodes))
+            ]
+            width = max(len(row) for row in rows)
+            keys = self._view_keys_for(radius, width)
+            if len(keys) != width:
+                raise SimulationError(
+                    f"{type(self).__name__} produced {len(keys)} view keys "
+                    f"for ball tables of width {width}"
+                )
+            table = tuple(
+                row if len(row) == width else row + (index,) * (width - len(row))
+                for index, row in enumerate(rows)
+            )
+            plan = (keys, table)
+            self._plans[key] = plan
+        return plan
+
+    def view_keys(self, radius: int, norm: str = "l1") -> Tuple[ViewKey, ...]:
+        return self._ball_plan(radius, norm)[0]
+
+    def ball_table(
+        self, radius: int, norm: str = "l1"
+    ) -> Tuple[Tuple[ViewKey, ...], IndexTable]:
+        return self._ball_plan(radius, norm)
+
+    def ball_getters(self, radius: int, norm: str = "l1"):
+        cache_key = (radius, self._norm_key(norm))
+        getters = self._getter_tables.get(cache_key)
+        keys, table = self._ball_plan(radius, norm)
+        if getters is None:
+            if len(keys) == 1:
+                # itemgetter with one key returns a bare value, not a
+                # 1-tuple; share one gather over the index column instead.
+                getters = _ColumnGetters(table)
+            else:
+                getters = tuple(itemgetter(*row) for row in table)
+            self._getter_tables[cache_key] = getters
+        return keys, getters
+
+    def ball_index_array(self, radius: int, norm: str = "l1"):
+        if _np is None:  # pragma: no cover - exercised only on numpy-less installs
+            raise SimulationError(
+                "ball_index_array requires numpy, which is not installed"
+            )
+        cache_key = (radius, self._norm_key(norm))
+        array = self._array_tables.get(cache_key)
+        keys, table = self._ball_plan(radius, norm)
+        if array is None:
+            array = _np.asarray(table, dtype=_np.int32)
+            array.setflags(write=False)
+            self._array_tables[cache_key] = array
+        return keys, array
+
+    def ball_node_table(
+        self, radius: int, norm: str = "l1"
+    ) -> Tuple[Tuple[int, ...], ...]:
+        cache_key = (radius, self._norm_key(norm))
+        node_table = self._node_tables.get(cache_key)
+        if node_table is None:
+            _, table = self._ball_plan(radius, norm)
+            node_table = tuple(_dedup(row) for row in table)
+            self._node_tables[cache_key] = node_table
+        return node_table
+
+    # -- the dict-reference path --------------------------------------- #
+
+    def reference_ball(
+        self, node: Any, radius: int, norm: str = "l1"
+    ) -> Dict[ViewKey, Any]:
+        """``{view_key: member node}`` of one node, traversed freshly.
+
+        The gather is recomputed per call (no cached table rows), so
+        :func:`apply_rule_dict` exercises an execution path independent of
+        the tables the fast tiers share — the same division of labour as
+        the torus simulator versus :class:`GridIndexer`.
+        """
+        index = self.index_of(node)
+        keys = self.view_keys(radius, norm)
+        row = self._compute_ball_row(index, radius)
+        padded = row + (index,) * (len(keys) - len(row))
+        nodes = self._nodes
+        return {key: nodes[j] for key, j in zip(keys, padded)}
+
+
+def apply_rule_dict(
+    topology: BaseTopology,
+    labels: Mapping[Any, Any],
+    rule: Any,
+    ledger: Optional[Any] = None,
+    phase: str = "rule",
+) -> Dict[Any, Any]:
+    """Dict-reference rule application — the non-torus equivalence oracle.
+
+    The analogue of :func:`repro.local_model.simulator.apply_rule` for
+    :class:`BaseTopology` families: per node, the view is rebuilt by a
+    fresh traversal (:meth:`BaseTopology.reference_ball`) and handed to
+    ``rule.update`` as a plain dict, with no shared tables, getters or
+    code vectors involved.  Nodes are visited in flat-index order, so a
+    raising rule fails on the same first node as every engine tier.
+    """
+    update = rule.update
+    radius, norm = rule.radius, rule.norm
+    new_labels: Dict[Any, Any] = {}
+    for node in topology.nodes:
+        members = topology.reference_ball(node, radius, norm)
+        new_labels[node] = update(
+            {key: labels[member] for key, member in members.items()}
+        )
+    if ledger is not None:
+        ledger.charge(phase, rule.round_cost(topology.dimension))
+    return new_labels
+
+
+# --------------------------------------------------------------------- #
+# Directed cycles
+# --------------------------------------------------------------------- #
+
+
+class DirectedCycleTopology(BaseTopology):
+    """A consistently oriented cycle of ``length`` nodes (ints ``0..n-1``).
+
+    View keys are signed hop deltas ``-r .. +r`` along the orientation:
+    ``view[-1]`` is the predecessor's label, ``view[0]`` the node's own,
+    ``view[+1]`` the successor's.  On a cycle shorter than the window
+    (``length < 2r + 1``) deltas wrap onto repeated nodes and are kept
+    under their distinct keys — the same see-around-the-torus semantics as
+    small tori; at ``length == 2r + 1`` the window covers the whole cycle
+    exactly once.
+    """
+
+    def __init__(self, length: int):
+        if not isinstance(length, int) or isinstance(length, bool) or length < 1:
+            raise InvalidProblemError(
+                f"a directed cycle needs a positive integer length, got {length!r}"
+            )
+        self._length = length
+        super().__init__(tuple(range(length)))
+
+    @classmethod
+    def shared(cls, length: int) -> "DirectedCycleTopology":
+        """The (cached) cycle topology of ``length`` nodes."""
+        return _SHARED_INSTANCES.get_or_create(
+            ("cycle", length), lambda: cls(length)
+        )
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def length(self) -> int:
+        """Number of nodes on the cycle."""
+        return self._length
+
+    def _compute_ball_row(self, index: int, radius: int) -> Tuple[int, ...]:
+        length = self._length
+        # Self first (delta 0), then alternating +1, -1, +2, -2, ... so the
+        # row starts with the node itself like every other family; the
+        # padded table re-orders nothing because cycles are regular.
+        row = [index]
+        for delta in range(1, radius + 1):
+            row.append((index + delta) % length)
+            row.append((index - delta) % length)
+        return tuple(row)
+
+    def _view_keys_for(self, radius: int, width: int) -> Tuple[int, ...]:
+        keys = [0]
+        for delta in range(1, radius + 1):
+            keys.append(delta)
+            keys.append(-delta)
+        return tuple(keys)
+
+    def __repr__(self) -> str:
+        return f"DirectedCycleTopology({self._length})"
+
+    def __reduce__(self):
+        return (DirectedCycleTopology.shared, (self._length,))
+
+
+# --------------------------------------------------------------------- #
+# Bounded-degree graphs and trees
+# --------------------------------------------------------------------- #
+
+
+class GraphTopology(BaseTopology):
+    """A finite simple graph given by adjacency lists over ``0..n-1``.
+
+    Balls are hop-distance balls enumerated breadth first (self, then each
+    BFS layer in adjacency-list discovery order), so the table row order is
+    deterministic.  Ball sizes may differ per node; shorter rows are padded
+    with the node's own index (see the module docstring).  View keys are
+    ball-slot positions ``0..w-1`` with slot ``0`` always the node itself.
+
+    Malformed adjacency — out-of-range or non-integer neighbour indices,
+    self-loops, repeated neighbours, asymmetric edges — raises
+    :class:`repro.errors.InvalidProblemError` at construction.
+    """
+
+    def __init__(self, adjacency: Sequence[Sequence[int]]):
+        lists = tuple(tuple(neighbours) for neighbours in adjacency)
+        count = len(lists)
+        if count < 1:
+            raise InvalidProblemError("a graph topology needs at least one node")
+        for node, neighbours in enumerate(lists):
+            seen = set()
+            for neighbour in neighbours:
+                if (
+                    not isinstance(neighbour, int)
+                    or isinstance(neighbour, bool)
+                    or not 0 <= neighbour < count
+                ):
+                    raise InvalidProblemError(
+                        f"node {node} lists neighbour {neighbour!r}, which is "
+                        f"not a node index in 0..{count - 1}"
+                    )
+                if neighbour == node:
+                    raise InvalidProblemError(
+                        f"node {node} lists itself as a neighbour; "
+                        "self-loops are not allowed"
+                    )
+                if neighbour in seen:
+                    raise InvalidProblemError(
+                        f"node {node} lists neighbour {neighbour} more than once"
+                    )
+                seen.add(neighbour)
+        for node, neighbours in enumerate(lists):
+            for neighbour in neighbours:
+                if node not in lists[neighbour]:
+                    raise InvalidProblemError(
+                        f"edge {node}-{neighbour} is not symmetric: node "
+                        f"{neighbour} does not list node {node} back"
+                    )
+        self._adjacency = lists
+        super().__init__(tuple(range(count)))
+
+    @property
+    def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """The validated adjacency lists."""
+        return self._adjacency
+
+    @property
+    def max_degree(self) -> int:
+        """Largest node degree (0 for the single-node graph)."""
+        return max(len(neighbours) for neighbours in self._adjacency)
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    def _compute_ball_row(self, index: int, radius: int) -> Tuple[int, ...]:
+        adjacency = self._adjacency
+        seen = {index}
+        order = [index]
+        frontier = [index]
+        for _ in range(radius):
+            if not frontier:
+                break
+            next_frontier: List[int] = []
+            for member in frontier:
+                for neighbour in adjacency[member]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        order.append(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return tuple(order)
+
+    def _view_keys_for(self, radius: int, width: int) -> Tuple[int, ...]:
+        return tuple(range(width))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.node_count} nodes, "
+            f"max degree {self.max_degree})"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self._adjacency,))
+
+
+class TreeTopology(GraphTopology):
+    """A finite tree (connected acyclic graph), usually built from parents.
+
+    :meth:`from_parents` takes ``parents[i]`` = parent index of node ``i``
+    with exactly one ``None`` entry marking the root; neighbour order is
+    parent first, then children in index order.  The ``path``, ``star``
+    and ``random`` constructors cover the degenerate shapes the edge-case
+    tests pin (endpoint vs interior balls, hub vs leaf balls).
+    """
+
+    def __init__(self, adjacency: Sequence[Sequence[int]]):
+        super().__init__(adjacency)
+        count = self.node_count
+        edges = sum(len(neighbours) for neighbours in self._adjacency) // 2
+        if edges != count - 1:
+            raise InvalidProblemError(
+                f"a tree on {count} nodes has exactly {count - 1} edges, "
+                f"got {edges}"
+            )
+        if len(self._compute_ball_row(0, count)) != count:
+            raise InvalidProblemError(
+                "tree adjacency is not connected (some nodes are unreachable "
+                "from node 0)"
+            )
+
+    @classmethod
+    def from_parents(cls, parents: Sequence[Optional[int]]) -> "TreeTopology":
+        """Build a tree from a parent vector (``None`` marks the root)."""
+        vector = tuple(parents)
+        count = len(vector)
+        if count < 1:
+            raise InvalidProblemError("a tree needs at least one node")
+        root: Optional[int] = None
+        children: List[List[int]] = [[] for _ in range(count)]
+        for node, parent in enumerate(vector):
+            if parent is None:
+                if root is not None:
+                    raise InvalidProblemError(
+                        f"a tree has exactly one root; nodes {root} and "
+                        f"{node} both have no parent"
+                    )
+                root = node
+                continue
+            if (
+                not isinstance(parent, int)
+                or isinstance(parent, bool)
+                or not 0 <= parent < count
+            ):
+                raise InvalidProblemError(
+                    f"node {node} names parent {parent!r}, which is not a "
+                    f"node index in 0..{count - 1}"
+                )
+            if parent == node:
+                raise InvalidProblemError(
+                    f"node {node} names itself as its parent"
+                )
+            children[parent].append(node)
+        if root is None:
+            raise InvalidProblemError(
+                "a tree needs a root: exactly one parent entry must be None"
+            )
+        adjacency = [
+            ([vector[node]] if vector[node] is not None else [])
+            + children[node]
+            for node in range(count)
+        ]
+        return cls(adjacency)
+
+    @classmethod
+    def path(cls, count: int) -> "TreeTopology":
+        """The path on ``count`` nodes (``0 - 1 - ... - count-1``)."""
+        if count < 1:
+            raise InvalidProblemError("a path needs at least one node")
+        return cls.from_parents([None] + list(range(count - 1)))
+
+    @classmethod
+    def star(cls, count: int) -> "TreeTopology":
+        """The star on ``count`` nodes (node 0 the hub, the rest leaves)."""
+        if count < 1:
+            raise InvalidProblemError("a star needs at least one node")
+        return cls.from_parents([None] + [0] * (count - 1))
+
+    @classmethod
+    def random(cls, count: int, seed: int) -> "TreeTopology":
+        """A (cached) random recursive tree: node ``i`` attaches to a
+        uniform earlier node.  Deterministic in ``(count, seed)``."""
+        if count < 1:
+            raise InvalidProblemError("a tree needs at least one node")
+
+        def build() -> "TreeTopology":
+            rng = random.Random(f"tree:{count}:{seed}")
+            parents: List[Optional[int]] = [None]
+            parents.extend(rng.randrange(node) for node in range(1, count))
+            return cls.from_parents(parents)
+
+        return _SHARED_INSTANCES.get_or_create(
+            ("random-tree", count, seed), build
+        )
+
+    def __reduce__(self):
+        return (TreeTopology, (self._adjacency,))
+
+
+# --------------------------------------------------------------------- #
+# Random graph families (seeded, for the equivalence harness and benches)
+# --------------------------------------------------------------------- #
+
+
+def random_regular_graph(count: int, degree: int, seed: int) -> GraphTopology:
+    """A (cached) random ``degree``-regular simple graph on ``count`` nodes.
+
+    Samples the pairing model with rejection; after a bounded number of
+    rejected pairings it falls back to a circulant pattern over a random
+    node permutation, so construction always terminates deterministically
+    in ``(count, degree, seed)``.  Raises
+    :class:`repro.errors.InvalidProblemError` when no such graph exists
+    (``degree >= count`` or odd ``count * degree``).
+    """
+    if count < 1:
+        raise InvalidProblemError("a regular graph needs at least one node")
+    if degree < 0 or degree >= count:
+        raise InvalidProblemError(
+            f"a {degree}-regular graph on {count} nodes does not exist "
+            "(need 0 <= degree < count)"
+        )
+    if (count * degree) % 2:
+        raise InvalidProblemError(
+            f"a {degree}-regular graph on {count} nodes does not exist "
+            "(count * degree must be even)"
+        )
+
+    def build() -> GraphTopology:
+        rng = random.Random(f"regular:{count}:{degree}:{seed}")
+        for _ in range(200):
+            stubs = [node for node in range(count) for _ in range(degree)]
+            rng.shuffle(stubs)
+            adjacency: List[List[int]] = [[] for _ in range(count)]
+            edges = set()
+            valid = True
+            for position in range(0, len(stubs), 2):
+                u, v = stubs[position], stubs[position + 1]
+                edge = (u, v) if u < v else (v, u)
+                if u == v or edge in edges:
+                    valid = False
+                    break
+                edges.add(edge)
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+            if valid:
+                return GraphTopology(adjacency)
+        # Circulant fallback: connect a random permutation at hop offsets
+        # 1..degree//2 (plus the antipode for odd degree, where count is
+        # necessarily even) — always a valid simple degree-regular graph.
+        permutation = list(range(count))
+        rng.shuffle(permutation)
+        adjacency = [[] for _ in range(count)]
+        offsets = list(range(1, degree // 2 + 1))
+        for position in range(count):
+            u = permutation[position]
+            for offset in offsets:
+                v = permutation[(position + offset) % count]
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+            if degree % 2 and position < count // 2:
+                v = permutation[(position + count // 2) % count]
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+        return GraphTopology(adjacency)
+
+    return _SHARED_INSTANCES.get_or_create(
+        ("regular", count, degree, seed), build
+    )
+
+
+def random_bounded_degree_graph(
+    count: int, max_degree: int, seed: int
+) -> GraphTopology:
+    """A (cached) connected random graph with every degree ``<= max_degree``.
+
+    Grows a degree-bounded random tree (node ``i`` attaches to a uniform
+    earlier node that still has headroom), then sprinkles extra random
+    edges under the cap — so degrees, and therefore ball sizes, genuinely
+    vary per node.  Deterministic in ``(count, max_degree, seed)``; raises
+    :class:`repro.errors.InvalidProblemError` when the cap cannot connect
+    ``count`` nodes.
+    """
+    if count < 1:
+        raise InvalidProblemError("a graph needs at least one node")
+    if count > 1 and max_degree < 1:
+        raise InvalidProblemError(
+            f"max degree {max_degree} cannot connect {count} nodes"
+        )
+
+    def build() -> GraphTopology:
+        rng = random.Random(f"bounded:{count}:{max_degree}:{seed}")
+        adjacency: List[List[int]] = [[] for _ in range(count)]
+        degrees = [0] * count
+        for node in range(1, count):
+            candidates = [
+                earlier for earlier in range(node) if degrees[earlier] < max_degree
+            ]
+            if not candidates:
+                raise InvalidProblemError(
+                    f"max degree {max_degree} cannot connect {count} nodes"
+                )
+            parent = rng.choice(candidates)
+            adjacency[parent].append(node)
+            adjacency[node].append(parent)
+            degrees[parent] += 1
+            degrees[node] += 1
+        for _ in range(count):
+            u, v = rng.randrange(count), rng.randrange(count)
+            if (
+                u == v
+                or degrees[u] >= max_degree
+                or degrees[v] >= max_degree
+                or v in adjacency[u]
+            ):
+                continue
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            degrees[u] += 1
+            degrees[v] += 1
+        return GraphTopology(adjacency)
+
+    return _SHARED_INSTANCES.get_or_create(
+        ("bounded", count, max_degree, seed), build
+    )
+
+
+# --------------------------------------------------------------------- #
+# Shared helpers (also used by GridIndexer)
+# --------------------------------------------------------------------- #
+
+
+class _ColumnGetters(SequenceABC):
+    """Per-node single-key getters sharing one index column.
+
+    Caching one closure per node would leave a per-node object in the
+    topology's caches on large instances; this sequence stores only a
+    reference to the (already cached) index table and builds the tiny
+    per-node callables lazily.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: IndexTable):
+        self._table = table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return tuple(self[i] for i in range(*position.indices(len(self._table))))
+        j = self._table[position][0]
+        return lambda values: (values[j],)
+
+
+def _dedup(indices: Tuple[int, ...]) -> Tuple[int, ...]:
+    seen = set()
+    result = []
+    for index in indices:
+        if index not in seen:
+            seen.add(index)
+            result.append(index)
+    return tuple(result)

@@ -93,6 +93,7 @@ from typing import (
 
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
+from repro.grid.topology import Topology
 from repro.grid.torus import Node, ToroidalGrid
 from repro.local_model.algorithm import LocalRule, checked_parallel_safe, rule_traits
 from repro.local_model.simulator import RoundLedger
@@ -115,7 +116,9 @@ if TYPE_CHECKING:  # pragma: no cover - the runtime package imports this
     from repro.runtime.pool import WorkerPool
 
 Labels = Mapping[Node, Any]
-GridLike = Union[ToroidalGrid, GridIndexer]
+# Engines accept a bare torus (indexed on demand) or any Topology instance
+# — a GridIndexer, a directed cycle, a tree, a bounded-degree graph.
+GridLike = Union[ToroidalGrid, Topology]
 
 #: Largest encoded neighbourhood space ``|Σ|^ball_size`` for which the
 #: array engine precompiles a rule into a flat lookup table.  Compilation
@@ -129,7 +132,7 @@ class IndexedEngine:
     """Fast-path executor bound to one grid's precomputed index tables."""
 
     def __init__(self, grid_or_indexer: GridLike):
-        if isinstance(grid_or_indexer, GridIndexer):
+        if isinstance(grid_or_indexer, Topology):
             self.indexer = grid_or_indexer
         else:
             self.indexer = GridIndexer.for_grid(grid_or_indexer)

@@ -36,6 +36,7 @@ from typing import Any, Dict, Iterator, List, Mapping, MutableMapping, Optional,
 
 from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
+from repro.grid.topology import Topology
 from repro.grid.torus import Node, ToroidalGrid
 
 try:  # numpy is an optional dependency: only the "array" tier needs it.
@@ -246,7 +247,7 @@ class LabelStore(MutableMapping):
 
     __slots__ = ("_indexer", "_values")
 
-    def __init__(self, indexer: GridIndexer, values: List[Any]):
+    def __init__(self, indexer: Topology, values: List[Any]):
         if len(values) != indexer.node_count:
             raise SimulationError(
                 f"label store needs one value per node: got {len(values)} "
@@ -270,8 +271,8 @@ class LabelStore(MutableMapping):
         return cls(indexer, [value] * indexer.node_count)
 
     @property
-    def indexer(self) -> GridIndexer:
-        """The indexer defining the node order of the backing list."""
+    def indexer(self) -> Topology:
+        """The topology defining the node order of the backing list."""
         return self._indexer
 
     @property
@@ -469,7 +470,7 @@ class ArrayLabelStore(MutableMapping):
 
     __slots__ = ("_indexer", "_codec", "_codes")
 
-    def __init__(self, indexer: GridIndexer, codec: LabelCodec, codes):
+    def __init__(self, indexer: Topology, codec: LabelCodec, codes):
         np = require_numpy()
         codes = np.asarray(codes, dtype=np.int32)
         if codes.shape != (indexer.node_count,):
@@ -519,8 +520,8 @@ class ArrayLabelStore(MutableMapping):
         export_codes_into(self._codes, shared_codes)
 
     @property
-    def indexer(self) -> GridIndexer:
-        """The indexer defining the node order of the backing array."""
+    def indexer(self) -> Topology:
+        """The topology defining the node order of the backing array."""
         return self._indexer
 
     @property
@@ -612,11 +613,11 @@ def merge_codes_from_shared(shared_codes):
     return np.array(shared_codes, dtype=np.int32)
 
 
-def _as_indexer(grid_or_indexer) -> GridIndexer:
-    if isinstance(grid_or_indexer, GridIndexer):
+def _as_indexer(grid_or_indexer) -> Topology:
+    if isinstance(grid_or_indexer, Topology):
         return grid_or_indexer
     if isinstance(grid_or_indexer, ToroidalGrid):
         return GridIndexer.for_grid(grid_or_indexer)
     raise TypeError(
-        f"expected a ToroidalGrid or GridIndexer, got {type(grid_or_indexer).__name__}"
+        f"expected a ToroidalGrid or Topology, got {type(grid_or_indexer).__name__}"
     )

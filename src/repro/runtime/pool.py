@@ -1,8 +1,9 @@
 """The persistent worker pool driving ``shm``-tier rounds.
 
 One :class:`WorkerPool` spawns its workers **once** — via ``fork``, so the
-grid's :class:`repro.grid.indexer.GridIndexer` tables (pre-warmed through
-:meth:`~repro.grid.indexer.GridIndexer.warm_ball_tables`), the registered
+topology's ball tables (any :class:`repro.grid.topology.Topology`,
+pre-warmed through
+:meth:`~repro.grid.topology.Topology.warm_ball_tables`), the registered
 rules (lambdas welcome, nothing is pickled) and a snapshot of the
 :class:`repro.local_model.store.LabelCodec` are inherited through
 copy-on-write memory — and then drives arbitrarily many rounds with small
@@ -53,7 +54,7 @@ from multiprocessing import connection as _mp_connection
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.grid.indexer import GridIndexer
+from repro.grid.topology import Topology
 from repro.local_model.algorithm import rule_traits
 from repro.local_model.store import (
     LabelCodec,
@@ -90,7 +91,7 @@ def _worker_main(
     start: int,
     stop: int,
     connection,
-    indexer: GridIndexer,
+    indexer: Topology,
     codec: LabelCodec,
     rules: Dict[int, Any],
     buffer_names: Tuple[str, str],
@@ -267,7 +268,7 @@ class WorkerPool:
 
     def __init__(
         self,
-        indexer: GridIndexer,
+        indexer: Topology,
         codec: LabelCodec,
         rules: Dict[int, Any],
         chunks: Sequence[Tuple[int, int]],

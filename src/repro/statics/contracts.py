@@ -44,6 +44,15 @@ RUNTIME_PREFIX = "src/repro/runtime/"
 #: Module roots that count as "raw multiprocessing" outside runtime/.
 RAW_MP_MODULES = {"multiprocessing"}
 
+#: Directory whose modules own neighbour-table construction: every engine
+#: tier consumes the flat index tables of a Topology, never raw offset
+#: enumerations of its own.
+GRID_PREFIX = "src/repro/grid/"
+
+#: The offset-enumeration primitives that *are* neighbour-table
+#: construction when called outside the topology layer.
+NEIGHBOUR_TABLE_BUILDERS = {"ball_offsets", "offsets_within"}
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -349,6 +358,44 @@ def check_shared_buffer_lifecycle(path: str, tree: ast.Module) -> List[Finding]:
     return findings
 
 
+def check_neighbour_tables(path: str, tree: ast.Module) -> List[Finding]:
+    """Neighbour-table construction belongs to the topology layer.
+
+    Calling ``ball_offsets``/``offsets_within`` outside ``src/repro/grid/``
+    rebuilds a neighbourhood enumeration the :class:`Topology` protocol
+    already exports as cached flat tables (``ball_table``/``view_keys``/
+    ``ball_index_array``) — and, worse, hard-wires the caller to the torus
+    offset vocabulary, so the code silently stops generalising to the
+    cycle/tree/graph topologies.  Findings are deduplicated per enclosing
+    symbol, like the grid-shift check.
+    """
+    if path.startswith(GRID_PREFIX):
+        return []
+    sites: Dict[Tuple[str, str], ast.Call] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node.func)
+        if name not in NEIGHBOUR_TABLE_BUILDERS:
+            continue
+        symbol = _enclosing_symbol(tree, node)
+        sites.setdefault((symbol, name), node)
+    return [
+        Finding(
+            check="neighbour-tables",
+            path=path,
+            symbol=symbol,
+            line=call.lineno,
+            message=(
+                f"{symbol} calls {name}() outside repro.grid; neighbour "
+                "tables come from the Topology protocol (ball_table/"
+                "view_keys) so non-torus topologies stay supported"
+            ),
+        )
+        for (symbol, name), call in sorted(sites.items())
+    ]
+
+
 def check_bench_json(path: str, tree: ast.Module) -> List[Finding]:
     """Benchmark modules must record results through the bench_json fixture."""
     name = Path(path).name
@@ -378,6 +425,7 @@ _CHECKS = (
     check_shift_usage,
     check_raw_multiprocessing,
     check_shared_buffer_lifecycle,
+    check_neighbour_tables,
     check_bench_json,
 )
 

@@ -119,6 +119,7 @@ def infer_tier_eligibility(
     alphabet_size: Optional[int] = None,
     table_threshold: Optional[int] = None,
     dimension: int = 2,
+    topology: Optional[Any] = None,
 ) -> TierEligibility:
     """Infer the engine tiers ``rule`` (instance or class) is eligible for.
 
@@ -126,7 +127,12 @@ def infer_tier_eligibility(
     turns the table answer from a bound into a definite yes/no;
     ``table_threshold`` defaults to the engines'
     :data:`~repro.local_model.engine.DEFAULT_TABLE_THRESHOLD`;
-    ``dimension`` is the grid dimension the ball size is computed for.
+    ``dimension`` is the torus dimension the ball size is computed for.
+    ``topology`` — any :class:`repro.grid.topology.Topology` — replaces the
+    combinatorial torus ball size with the topology's own view width
+    (``len(topology.view_keys(radius, norm))``, the exponent the engines
+    actually compile against on that instance) and takes precedence over
+    ``dimension``.
     """
     from repro.local_model.algorithm import rule_traits
     from repro.local_model.engine import DEFAULT_TABLE_THRESHOLD
@@ -134,7 +140,10 @@ def infer_tier_eligibility(
     threshold = table_threshold if table_threshold is not None else DEFAULT_TABLE_THRESHOLD
     traits = rule_traits(rule)
     analysis: RuleAnalysis = analyse_rule(rule)
-    size = ball_size(dimension, traits.radius, traits.norm)
+    if topology is not None:
+        size = len(topology.view_keys(traits.radius, traits.norm))
+    else:
+        size = ball_size(dimension, traits.radius, traits.norm)
     alphabet_bound = max_table_alphabet(threshold, size)
 
     notes: List[str] = []
@@ -239,6 +248,7 @@ def tier_report(
     alphabet_size: Optional[int] = None,
     table_threshold: Optional[int] = None,
     dimension: int = 2,
+    topology: Optional[Any] = None,
 ) -> List[TierEligibility]:
     """Per-rule eligibility report (defaults to every discoverable rule class)."""
     targets = list(rules) if rules is not None else discover_rule_classes()
@@ -248,6 +258,7 @@ def tier_report(
             alphabet_size=alphabet_size,
             table_threshold=table_threshold,
             dimension=dimension,
+            topology=topology,
         )
         for rule in targets
     ]

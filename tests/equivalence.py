@@ -41,13 +41,38 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any, Callable, Iterator, Optional, Tuple
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
+from repro.grid.indexer import GridIndexer
+from repro.grid.topology import (
+    BaseTopology,
+    DirectedCycleTopology,
+    TreeTopology,
+    apply_rule_dict,
+    random_bounded_degree_graph,
+    random_regular_graph,
+)
 from repro.grid.torus import ToroidalGrid
 
 
+def _dict_reference(grid: Any, labels: Any, rule: Any) -> Callable[[], Any]:
+    """The ``"dict"`` oracle for any substrate the engines accept.
+
+    A torus (bare or indexed) replays through the coordinate-keyed
+    simulator; a non-torus :class:`BaseTopology` replays through
+    :func:`repro.grid.topology.apply_rule_dict` — both are per-node
+    traversals sharing nothing with the engines' precomputed tables.
+    """
+    from repro.local_model.simulator import apply_rule
+
+    if isinstance(grid, BaseTopology):
+        return lambda: apply_rule_dict(grid, labels, rule)
+    torus = grid.grid if isinstance(grid, GridIndexer) else grid
+    return lambda: apply_rule(torus, labels, rule)
+
+
 def rule_engine_factories(
-    grid: ToroidalGrid,
+    grid: Any,
     labels: Any,
     rule: Any,
     workers: Optional[int] = None,
@@ -56,11 +81,16 @@ def rule_engine_factories(
 ) -> "dict[str, Callable[[], Any]]":
     """Factories applying ``rule`` once on every engine tier.
 
-    Returns the ``{"dict": ..., "indexed": ..., "array": ..., "parallel":
-    ...}`` mapping consumed by :func:`assert_engines_agree` — the standard
-    four-tier comparison for plain rule application, extended to the
-    five-tier comparison with ``include_shm=True`` (an ``"shm"`` factory
-    running one persistent-pool round and shutting the pool down).
+    ``grid`` is any substrate the engines accept: a :class:`ToroidalGrid`,
+    a :class:`GridIndexer`, or a non-torus topology (directed cycle, tree,
+    bounded-degree graph).  Returns the ``{"dict": ..., "indexed": ...,
+    "array": ..., "parallel": ...}`` mapping consumed by
+    :func:`assert_engines_agree` — the standard four-tier comparison for
+    plain rule application, extended to the five-tier comparison with
+    ``include_shm=True`` (an ``"shm"`` factory running one persistent-pool
+    round and shutting the pool down).  The ``"dict"`` reference is the
+    coordinate-keyed simulator on tori and
+    :func:`repro.grid.topology.apply_rule_dict` on the other families.
     ``workers`` is forwarded to the parallel and shm tiers (``None``
     resolves via ``REPRO_WORKERS`` / CPU count as in production);
     ``table_threshold`` is forwarded to the array-backed tiers (pass ``1``
@@ -74,13 +104,12 @@ def rule_engine_factories(
         ParallelEngine,
         ShmEngine,
     )
-    from repro.local_model.simulator import apply_rule
 
     threshold = (
         table_threshold if table_threshold is not None else DEFAULT_TABLE_THRESHOLD
     )
     factories = {
-        "dict": lambda: apply_rule(grid, labels, rule),
+        "dict": _dict_reference(grid, labels, rule),
         "indexed": lambda: IndexedEngine(grid).apply_rule(labels, rule).to_dict(),
         "array": lambda: ArrayEngine(grid, table_threshold=threshold)
         .apply_rule(labels, rule)
@@ -150,6 +179,44 @@ def grid_corpus(
     yield random_torus(rng, min_side, max_side, force_odd=True)
     for _ in range(extras):
         yield random_torus(rng, min_side, max_side)
+
+
+def topology_cases(
+    rng: random.Random,
+    min_nodes: int = 8,
+    max_nodes: int = 30,
+    include_torus: bool = True,
+) -> Iterator[Tuple[str, Any]]:
+    """Yield named randomized substrates covering every topology family.
+
+    Always produces one instance per family — torus (as an indexed grid,
+    unless ``include_torus=False``), directed cycle, random recursive tree,
+    random d-regular graph and random irregular bounded-degree graph — with
+    sizes and seeds drawn from ``rng``, so every ``test_equivalence_*`` leg
+    exercises the same family mix under its own derived stream and the
+    master ``--equivalence-seed`` replays all of it.
+    """
+    if include_torus:
+        yield "torus", GridIndexer.for_grid(random_torus(rng))
+    yield "cycle", DirectedCycleTopology.shared(rng.randint(min_nodes, max_nodes))
+    yield "tree", TreeTopology.random(
+        rng.randint(min_nodes, max_nodes), rng.randrange(1 << 20)
+    )
+    count = rng.randint(min_nodes, max_nodes)
+    degree = rng.randint(3, 4)
+    if (count * degree) % 2:
+        count += 1
+    yield "regular", random_regular_graph(count, degree, rng.randrange(1 << 20))
+    yield "irregular", random_bounded_degree_graph(
+        rng.randint(min_nodes, max_nodes), rng.randint(3, 5), rng.randrange(1 << 20)
+    )
+
+
+def random_topology_labels(
+    rng: random.Random, topology: Any, alphabet: Sequence[Any]
+) -> "dict[Any, Any]":
+    """A random total labelling of ``topology`` over ``alphabet``."""
+    return {node: rng.choice(alphabet) for node in topology.nodes}
 
 
 def canonicalise(value: Any) -> Any:

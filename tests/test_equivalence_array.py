@@ -376,3 +376,22 @@ class TestConsumerEquivalence:
                 f"seed={equivalence_seed} trial={trial} grid={grid.sides} "
                 f"table_size={population}",
             )
+
+
+class TestTopologyFamilies:
+    def test_array_tier_matches_both_engines_on_every_family(
+        self, equivalence_seed
+    ):
+        from equivalence import random_topology_labels, rule_engine_factories, topology_cases
+
+        rng = derive_rng(equivalence_seed, "array-topology-families")
+        for case, (name, topology) in enumerate(topology_cases(rng)):
+            alphabet_size = rng.randint(2, 4)
+            rule = _random_finite_rule(rng, alphabet_size, rng.choice([1, 1, 2]))
+            labels = random_topology_labels(rng, topology, range(alphabet_size))
+            factories = rule_engine_factories(topology, labels, rule)
+            assert_engines_agree(
+                {tier: factories[tier] for tier in ("dict", "indexed", "array")},
+                f"seed={equivalence_seed} case={case} family={name} "
+                f"topology={topology!r} alphabet={alphabet_size}",
+            )

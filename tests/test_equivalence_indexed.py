@@ -237,3 +237,34 @@ class TestCycleEquivalence:
                         lambda s=state, l=length: graph.walk_of_length(s, l),
                         f"{context} walk_of_length state={state!r} length={length}",
                     )
+
+
+class TestTopologyFamilies:
+    def test_indexed_tier_matches_dict_on_every_family(self, equivalence_seed):
+        from equivalence import (
+            assert_engines_agree,
+            random_topology_labels,
+            rule_engine_factories,
+            topology_cases,
+        )
+
+        from repro.local_model.algorithm import FunctionRule
+
+        rng = derive_rng(equivalence_seed, "indexed-topology-families")
+        for case, (name, topology) in enumerate(topology_cases(rng)):
+            alphabet_size = rng.randint(2, 5)
+            a, b = rng.randrange(1, 7), rng.randrange(7)
+            rule = FunctionRule(
+                rng.choice([1, 1, 2]),
+                lambda view, a=a, b=b, m=alphabet_size: (
+                    a * min(view.values()) + b * max(view.values())
+                )
+                % m,
+            )
+            labels = random_topology_labels(rng, topology, range(alphabet_size))
+            factories = rule_engine_factories(topology, labels, rule)
+            assert_engines_agree(
+                {tier: factories[tier] for tier in ("dict", "indexed")},
+                f"seed={equivalence_seed} case={case} family={name} "
+                f"topology={topology!r} alphabet={alphabet_size}",
+            )

@@ -263,3 +263,23 @@ class TestWorkerConfiguration:
             lambda: ParallelEngine(grid, workers=8).apply_rule(labels, rule).to_dict(),
             f"seed={equivalence_seed} grid={grid.sides} workers=8",
         )
+
+
+class TestTopologyFamilies:
+    def test_sharded_tier_matches_all_engines_on_every_family(
+        self, equivalence_seed
+    ):
+        from equivalence import random_topology_labels, topology_cases
+
+        rng = derive_rng(equivalence_seed, "parallel-topology-families")
+        for case, (name, topology) in enumerate(topology_cases(rng)):
+            alphabet_size = rng.randint(2, 5)
+            rule = _identifier_rule(rng)
+            labels = random_topology_labels(rng, topology, range(alphabet_size))
+            assert_engines_agree(
+                rule_engine_factories(
+                    topology, labels, rule, workers=2, table_threshold=1
+                ),
+                f"seed={equivalence_seed} case={case} family={name} "
+                f"topology={topology!r} alphabet={alphabet_size}",
+            )

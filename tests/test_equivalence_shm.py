@@ -398,3 +398,28 @@ class TestStaticVerdictGate:
         ]
         assert len(hits) == 1
         assert result == apply_rule(grid, labels, _counter_rule())
+
+
+class TestTopologyFamilies:
+    def test_persistent_pool_matches_all_tiers_on_every_family(
+        self, equivalence_seed
+    ):
+        from equivalence import random_topology_labels, topology_cases
+
+        rng = derive_rng(equivalence_seed, "shm-topology-families")
+        for case, (name, topology) in enumerate(topology_cases(rng)):
+            alphabet_size = rng.randint(2, 5)
+            rule = _identifier_rule(rng)
+            labels = random_topology_labels(rng, topology, range(alphabet_size))
+            assert_engines_agree(
+                rule_engine_factories(
+                    topology,
+                    labels,
+                    rule,
+                    workers=2,
+                    table_threshold=1,
+                    include_shm=True,
+                ),
+                f"seed={equivalence_seed} case={case} family={name} "
+                f"topology={topology!r} alphabet={alphabet_size}",
+            )

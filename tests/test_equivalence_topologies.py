@@ -1,0 +1,189 @@
+"""Randomized five-tier equivalence suite on the non-torus topologies.
+
+Each test derives a private RNG from ``--equivalence-seed`` (default 0),
+draws one randomized instance per topology family — directed cycle, random
+recursive tree, random d-regular graph, random irregular bounded-degree
+graph (plus the torus via :func:`topology_cases`) — and asserts that the
+``"dict"`` reference (:func:`repro.grid.topology.apply_rule_dict`) and the
+``indexed``/``array``/``parallel``/``shm`` tiers produce byte-identical
+outcomes: same labellings, and for raising rules the same first-failing-node
+exception, across worker counts 0/1/N and with ``table_threshold=1`` so
+the sharding tiers genuinely shard.
+"""
+
+import pytest
+
+from equivalence import (
+    assert_engines_agree,
+    derive_rng,
+    random_topology_labels,
+    rule_engine_factories,
+    topology_cases,
+)
+
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import ArrayEngine, SchedulePhase, run_schedule
+from repro.local_model.store import shm_available
+
+WORKER_COUNTS = (0, 1, 2)
+
+
+def _random_finite_rule(rng, alphabet_size, radius):
+    """A deterministic, view-order-invariant rule over a finite alphabet."""
+    a, b, c = rng.randrange(1, 7), rng.randrange(7), rng.randrange(7)
+
+    def update(view):
+        values = sorted(view.values())
+        return (a * values[0] + b * values[-1] + c * sum(values)) % alphabet_size
+
+    return FunctionRule(radius, update)
+
+
+def _poisoned_rule(rng, alphabet_size, radius, poisoned):
+    """A rule raising on poisoned labels — all tiers must report the same
+    first-failing node, even when the failures span multiple shards."""
+    poison = frozenset(poisoned)
+
+    def update(view):
+        values = sorted(view.values())
+        smallest = values[0]
+        if smallest in poison:
+            raise ValueError(f"poisoned label {smallest}")
+        return (smallest + values[-1]) % alphabet_size
+
+    return FunctionRule(radius, update)
+
+
+class TestFiveTierEquivalence:
+    def test_all_tiers_agree_on_every_family(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "topologies-five-tier")
+        for case, (name, topology) in enumerate(
+            topology_cases(rng, include_torus=False)
+        ):
+            radius = rng.choice([1, 1, 2])
+            alphabet_size = rng.randint(2, 5)
+            rule = _random_finite_rule(rng, alphabet_size, radius)
+            labels = random_topology_labels(
+                rng, topology, range(alphabet_size)
+            )
+            for workers in WORKER_COUNTS:
+                context = (
+                    f"seed={equivalence_seed} case={case} family={name} "
+                    f"topology={topology!r} radius={radius} "
+                    f"alphabet={alphabet_size} workers={workers}"
+                )
+                outcome = assert_engines_agree(
+                    rule_engine_factories(
+                        topology,
+                        labels,
+                        rule,
+                        workers=workers,
+                        table_threshold=1,
+                        include_shm=shm_available(),
+                    ),
+                    context,
+                )
+                assert outcome[0] == "ok", context
+
+    def test_compiled_table_tier_agrees_on_every_family(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "topologies-table-tier")
+        for case, (name, topology) in enumerate(
+            topology_cases(rng, max_nodes=20, include_torus=False)
+        ):
+            # Radius 1 with a binary alphabet keeps |Σ|^ball_size under the
+            # default threshold on every family (the widest ball here is a
+            # degree-5 hub's 6 slots).
+            rule = _random_finite_rule(rng, 2, 1)
+            labels = random_topology_labels(rng, topology, (0, 1))
+            assert ArrayEngine(topology).rule_tier(rule) == "table", name
+            context = (
+                f"seed={equivalence_seed} case={case} family={name} "
+                f"topology={topology!r} compiled-table"
+            )
+            outcome = assert_engines_agree(
+                rule_engine_factories(
+                    topology,
+                    labels,
+                    rule,
+                    workers=2,
+                    include_shm=shm_available(),
+                ),
+                context,
+            )
+            assert outcome[0] == "ok", context
+
+    def test_raising_rules_fail_on_the_same_node_across_shards(
+        self, equivalence_seed
+    ):
+        rng = derive_rng(equivalence_seed, "topologies-raising")
+        for case, (name, topology) in enumerate(
+            topology_cases(rng, include_torus=False)
+        ):
+            alphabet_size = rng.randint(3, 5)
+            # Poison several labels (always including 0) so failures occur
+            # in more than one shard of the table_threshold=1 chunk plans;
+            # every tier must surface the lowest-index failing node.
+            poisoned = set(rng.sample(range(alphabet_size), 2))
+            poisoned.add(0)
+            rule = _poisoned_rule(rng, alphabet_size, 1, poisoned)
+            labels = random_topology_labels(
+                rng, topology, range(alphabet_size)
+            )
+            for workers in WORKER_COUNTS:
+                context = (
+                    f"seed={equivalence_seed} case={case} family={name} "
+                    f"topology={topology!r} poisoned={sorted(poisoned)} "
+                    f"workers={workers}"
+                )
+                outcome = assert_engines_agree(
+                    rule_engine_factories(
+                        topology,
+                        labels,
+                        rule,
+                        workers=workers,
+                        table_threshold=1,
+                        include_shm=shm_available(),
+                    ),
+                    context,
+                )
+                assert outcome[0] == "error", context
+                assert outcome[1] == "ValueError", context
+
+
+class TestSchedulesOnTopologies:
+    @pytest.mark.parametrize(
+        "engine",
+        ["indexed", "array", "parallel"]
+        + (["shm"] if shm_available() else []),
+    )
+    def test_run_schedule_matches_iterated_dict_reference(
+        self, equivalence_seed, engine
+    ):
+        from repro.grid.topology import apply_rule_dict
+
+        rng = derive_rng(equivalence_seed, f"topologies-schedule-{engine}")
+        for case, (name, topology) in enumerate(
+            topology_cases(rng, max_nodes=20, include_torus=False)
+        ):
+            alphabet_size = rng.randint(2, 4)
+            rule_a = _random_finite_rule(rng, alphabet_size, 1)
+            rule_b = _random_finite_rule(rng, alphabet_size, 1)
+            labels = random_topology_labels(
+                rng, topology, range(alphabet_size)
+            )
+            expected = labels
+            for rule in (rule_a, rule_a, rule_b):
+                expected = apply_rule_dict(topology, expected, rule)
+            result = run_schedule(
+                topology,
+                labels,
+                [
+                    SchedulePhase(rule_a, name="a", iterations=2),
+                    SchedulePhase(rule_b, name="b", iterations=1),
+                ],
+                engine=engine,
+            ).to_dict()
+            assert result == expected, (
+                f"seed={equivalence_seed} case={case} family={name} "
+                f"topology={topology!r} engine={engine}"
+            )

@@ -269,6 +269,23 @@ class TestTierInference:
         assert document["rule"] == "PureMinRule"
         assert document["purity"] == "proven-safe"
 
+    def test_topology_overrides_the_torus_ball_size(self):
+        from repro.grid.topology import DirectedCycleTopology, TreeTopology
+
+        # The star hub's radius-1 ball has 6 slots, against the 2-D torus
+        # default of 5 — the compile exponent follows the topology.
+        star = infer_tier_eligibility(
+            PureMinRule(), alphabet_size=2, topology=TreeTopology.star(6)
+        )
+        assert star.size_of_ball == 6
+        torus_default = infer_tier_eligibility(PureMinRule(), alphabet_size=2)
+        assert torus_default.size_of_ball == 5
+        cycle = infer_tier_eligibility(
+            PureMinRule(), alphabet_size=2, topology=DirectedCycleTopology(99)
+        )
+        assert cycle.size_of_ball == 3
+        assert cycle.table_compilable is True
+
 
 # --------------------------------------------------------------------------
 # Contract lint on seeded violations
@@ -380,6 +397,36 @@ class TestContractLint:
         )
         findings = run_contract_checks(root)
         assert [f.check for f in findings] == ["shared-buffer-lifecycle"]
+
+    def test_seeded_neighbour_table_call_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            from repro.grid.geometry import ball_offsets
+
+            def rebuild(grid, radius):
+                return [ball_offsets(grid.dimension, radius, "l1")]
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["neighbour-tables"]
+        assert findings[0].symbol == "rebuild"
+
+    def test_grid_layer_may_build_neighbour_tables(self, tmp_path):
+        root = _seed_tree(tmp_path, "", name="placeholder.py")
+        grid_package = root / "src" / "repro" / "grid"
+        grid_package.mkdir()
+        (grid_package / "mine.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.grid.geometry import offsets_within
+
+                def table(dimension, radius):
+                    return tuple(offsets_within(dimension, radius))
+                """
+            )
+        )
+        assert run_contract_checks(root) == []
 
     def test_benchmark_without_bench_json_is_flagged(self, tmp_path):
         bench = tmp_path / "benchmarks"

@@ -1,0 +1,268 @@
+"""Tests for the topology substrate (:mod:`repro.grid.topology`).
+
+Covers the degenerate shapes the engine tiers must survive — single-node
+graphs, window-sized directed cycles, star/path trees with hub-vs-leaf
+ball widths, irregular-degree graphs — plus input validation
+(:class:`InvalidProblemError` on malformed adjacency/parent vectors) and
+the bounded shared instance cache that replaced ``GridIndexer._instances``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.grid.indexer import GridIndexer
+from repro.grid.topology import (
+    DirectedCycleTopology,
+    GraphTopology,
+    TopologyCache,
+    TreeTopology,
+    apply_rule_dict,
+    clear_topology_cache,
+    random_bounded_degree_graph,
+    random_regular_graph,
+    topology_cache,
+)
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+
+
+class TestSingleNodeGraph:
+    def test_tables_have_shape_one_by_one(self):
+        topology = GraphTopology([[]])
+        for radius in (0, 1, 3):
+            keys, table = topology.ball_table(radius)
+            assert keys == (0,)
+            assert table == ((0,),)
+            assert topology.ball_node_table(radius) == ((0,),)
+
+    def test_rule_application_sees_only_the_node(self):
+        topology = GraphTopology([[]])
+        rule = FunctionRule(2, lambda view: view[0] + 1)
+        assert apply_rule_dict(topology, {0: 41}, rule) == {0: 42}
+
+
+class TestDirectedCycles:
+    def test_window_sized_cycle_rows_cover_the_whole_cycle(self):
+        # length == 2r + 1: every window is a permutation of all nodes.
+        radius = 2
+        topology = DirectedCycleTopology(2 * radius + 1)
+        keys, table = topology.ball_table(radius)
+        assert keys == (0, 1, -1, 2, -2)
+        for index, row in enumerate(table):
+            assert sorted(row) == [0, 1, 2, 3, 4]
+            assert row[0] == index
+
+    def test_view_keys_are_signed_deltas(self):
+        topology = DirectedCycleTopology(9)
+        assert topology.view_keys(1) == (0, 1, -1)
+        labels = {node: node for node in topology.nodes}
+        rule = FunctionRule(1, lambda view: (view[-1], view[0], view[1]))
+        out = apply_rule_dict(topology, labels, rule)
+        assert out[0] == (8, 0, 1)
+        assert out[4] == (3, 4, 5)
+
+    def test_short_cycle_wraps_onto_repeated_nodes(self):
+        topology = DirectedCycleTopology(3)
+        _, table = topology.ball_table(2)
+        # Deltas +2/-2 wrap onto the same nodes as -1/+1; keys stay distinct.
+        assert table[0] == (0, 1, 2, 2, 1)
+
+    def test_norms_coincide_and_share_tables(self):
+        topology = DirectedCycleTopology(7)
+        assert topology.ball_table(2, "l1") is topology.ball_table(2, "linf")
+
+    def test_rejects_malformed_lengths(self):
+        for length in (0, -3, 2.5, "8", True):
+            with pytest.raises(InvalidProblemError):
+                DirectedCycleTopology(length)
+
+    def test_rejects_negative_radius_and_unknown_norm(self):
+        topology = DirectedCycleTopology(5)
+        with pytest.raises(ValueError):
+            topology.ball_table(-1)
+        with pytest.raises(ValueError):
+            topology.ball_table(1, "l7")
+
+    def test_shared_instances_and_pickle_round_trip(self):
+        topology = DirectedCycleTopology.shared(11)
+        assert DirectedCycleTopology.shared(11) is topology
+        assert pickle.loads(pickle.dumps(topology)) is topology
+
+
+class TestTrees:
+    def test_star_hub_and_leaf_balls(self):
+        star = TreeTopology.star(6)
+        keys, table = star.ball_table(1)
+        # The hub sees everything; the table width is the hub's ball size.
+        assert keys == tuple(range(6))
+        assert table[0] == (0, 1, 2, 3, 4, 5)
+        # A leaf sees itself and the hub; the rest is self-padding.
+        for leaf in range(1, 6):
+            assert table[leaf] == (leaf, 0) + (leaf,) * 4
+            assert star.ball_node_table(1)[leaf] == (leaf, 0)
+
+    def test_path_endpoint_vs_interior_balls(self):
+        path = TreeTopology.path(5)
+        _, table = path.ball_table(1)
+        assert table[2] == (2, 1, 3)
+        assert table[0] == (0, 1, 0)  # endpoint: one neighbour + padding
+        assert table[4] == (4, 3, 4)
+        assert path.ball_node_table(1)[0] == (0, 1)
+
+    def test_radius_zero_is_the_identity_ball(self):
+        path = TreeTopology.path(4)
+        keys, table = path.ball_table(0)
+        assert keys == (0,)
+        assert table == ((0,), (1,), (2,), (3,))
+        _, getters = path.ball_getters(0)
+        assert getters[2](["a", "b", "c", "d"]) == ("c",)
+
+    def test_from_parents_rejects_malformed_vectors(self):
+        with pytest.raises(InvalidProblemError):
+            TreeTopology.from_parents([])  # no nodes
+        with pytest.raises(InvalidProblemError):
+            TreeTopology.from_parents([None, None, 0])  # two roots
+        with pytest.raises(InvalidProblemError):
+            TreeTopology.from_parents([0, 0])  # no root, node 0 its own parent
+        with pytest.raises(InvalidProblemError):
+            TreeTopology.from_parents([None, 5])  # parent out of range
+        with pytest.raises(InvalidProblemError):
+            TreeTopology.from_parents([None, "0"])  # non-integer parent
+
+    def test_rejects_non_tree_adjacency(self):
+        # Right edge count (3 = n-1) but a triangle plus an isolated node.
+        with pytest.raises(InvalidProblemError, match="not connected"):
+            TreeTopology([[1, 2], [0, 2], [0, 1], []])
+        # A cycle: n edges, one too many.
+        with pytest.raises(InvalidProblemError, match="edges"):
+            TreeTopology([[1, 3], [0, 2], [1, 3], [2, 0]])
+
+    def test_random_trees_are_cached_and_deterministic(self):
+        tree = TreeTopology.random(15, 3)
+        assert TreeTopology.random(15, 3) is tree
+        assert tree.adjacency == TreeTopology.random(15, 3).adjacency
+        assert tree.adjacency != TreeTopology.random(15, 4).adjacency
+
+
+class TestGraphValidation:
+    def test_rejects_malformed_adjacency(self):
+        with pytest.raises(InvalidProblemError, match="at least one node"):
+            GraphTopology([])
+        with pytest.raises(InvalidProblemError, match="not a node index"):
+            GraphTopology([[3], []])
+        with pytest.raises(InvalidProblemError, match="self-loop"):
+            GraphTopology([[0]])
+        with pytest.raises(InvalidProblemError, match="more than once"):
+            GraphTopology([[1, 1], [0, 0]])
+        with pytest.raises(InvalidProblemError, match="not symmetric"):
+            GraphTopology([[1], []])
+        with pytest.raises(InvalidProblemError, match="not a node index"):
+            GraphTopology([[True], [0]])
+
+    def test_irregular_degrees_give_per_node_ball_sizes(self):
+        # 0 is a hub of degree 3; 4 is a pendant leaf off node 3.
+        graph = GraphTopology([[1, 2, 3], [0], [0], [0, 4], [3]])
+        keys, table = graph.ball_table(1)
+        assert len(keys) == 4  # the hub's ball: itself + 3 neighbours
+        assert table[0] == (0, 1, 2, 3)
+        assert table[4] == (4, 3, 4, 4)
+        dedup = graph.ball_node_table(1)
+        assert [len(row) for row in dedup] == [4, 2, 2, 3, 2]
+
+    def test_padding_reads_the_nodes_own_label(self):
+        graph = GraphTopology([[1, 2, 3], [0], [0], [0, 4], [3]])
+        labels = {node: 10 + node for node in graph.nodes}
+        rule = FunctionRule(1, lambda view: tuple(sorted(view.values())))
+        out = apply_rule_dict(graph, labels, rule)
+        # Leaf 4's slots beyond its real ball repeat its own label.
+        assert out[4] == (13, 14, 14, 14)
+
+
+class TestRandomFamilies:
+    def test_regular_graphs_are_regular_and_deterministic(self):
+        for count, degree, seed in [(12, 3, 0), (9, 4, 5), (16, 3, 99)]:
+            graph = random_regular_graph(count, degree, seed)
+            assert all(len(n) == degree for n in graph.adjacency)
+            assert random_regular_graph(count, degree, seed) is graph
+
+    def test_regular_graph_rejects_impossible_parameters(self):
+        with pytest.raises(InvalidProblemError):
+            random_regular_graph(5, 5, 0)  # degree >= count
+        with pytest.raises(InvalidProblemError):
+            random_regular_graph(5, 3, 0)  # odd count * degree
+        with pytest.raises(InvalidProblemError):
+            random_regular_graph(0, 0, 0)
+
+    def test_bounded_degree_graphs_respect_the_cap(self):
+        for seed in range(4):
+            graph = random_bounded_degree_graph(20, 4, seed)
+            degrees = [len(n) for n in graph.adjacency]
+            assert max(degrees) <= 4
+            # Connectivity: the full-radius ball from node 0 covers the graph.
+            assert len(graph.ball_node_table(20)[0]) == 20
+
+    def test_bounded_degree_rejects_an_unconnectable_cap(self):
+        with pytest.raises(InvalidProblemError):
+            random_bounded_degree_graph(3, 0, 0)
+        with pytest.raises(InvalidProblemError):
+            random_bounded_degree_graph(5, 1, 0)
+
+
+class TestTopologyCache:
+    def test_benchmark_style_sweeps_stay_bounded(self):
+        cache = topology_cache()
+        clear_topology_cache()
+        try:
+            for side in range(4, 4 + cache.maxsize + 40):
+                GridIndexer.for_grid(ToroidalGrid((side, 4)))
+                assert len(cache) <= cache.maxsize
+            assert len(cache) == cache.maxsize
+        finally:
+            clear_topology_cache()
+
+    def test_evicts_one_entry_at_a_time_in_lru_order(self):
+        cache = TopologyCache(maxsize=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: 1)  # refresh: b is now oldest
+        cache.get_or_create("c", lambda: 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+
+    def test_clear_forgets_instances(self):
+        clear_topology_cache()
+        grid = ToroidalGrid((4, 5))
+        first = GridIndexer.for_grid(grid)
+        assert GridIndexer.for_grid(grid) is first
+        clear_topology_cache()
+        assert GridIndexer.for_grid(grid) is not first
+        clear_topology_cache()
+
+    def test_shared_across_topology_families(self):
+        clear_topology_cache()
+        try:
+            GridIndexer.for_grid(ToroidalGrid((4, 4)))
+            DirectedCycleTopology.shared(6)
+            TreeTopology.random(5, 0)
+            random_regular_graph(6, 2, 0)
+            random_bounded_degree_graph(6, 3, 0)
+            assert len(topology_cache()) == 5
+        finally:
+            clear_topology_cache()
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            TopologyCache(maxsize=0)
+
+
+class TestGraphPickling:
+    def test_graphs_and_trees_round_trip(self):
+        graph = GraphTopology([[1], [0, 2], [1]])
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.adjacency == graph.adjacency
+        tree = TreeTopology.path(4)
+        clone = pickle.loads(pickle.dumps(tree))
+        assert isinstance(clone, TreeTopology)
+        assert clone.adjacency == tree.adjacency
