@@ -192,6 +192,11 @@ def test_shm_engine_amortises_fork_cost_on_512_torus(benchmark, bench_json):
             "spawn_seconds": spawn_seconds,
             "speedup": speedup,
             "floor": floor,
+            # Resilience telemetry: a healthy benchmark run heals nothing
+            # and degrades nothing — nonzero values flag an environment
+            # where the measurement itself is suspect.
+            "pool_heals": shm_engine.pool_heals,
+            "degrade_events": len(shm_engine.degrade_events),
         }
     )
 

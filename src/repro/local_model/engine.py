@@ -76,6 +76,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import time
 import warnings
 from dataclasses import dataclass
 from typing import (
@@ -631,6 +632,13 @@ class ParallelEngine(IndexedEngine):
             else None
         )
         self._warned_serial_fallback = False
+        self._degrade_log: List[Any] = []
+
+    @property
+    def degrade_events(self) -> Tuple[Any, ...]:
+        """Structured :class:`repro.runtime.telemetry.DegradeEvent` records
+        of every tier drop this engine instance has taken."""
+        return tuple(self._degrade_log)
 
     # ------------------------------------------------------------------ #
     # Tier selection
@@ -773,6 +781,17 @@ class ParallelEngine(IndexedEngine):
             # silently never materialise.
             if not self._warned_serial_fallback:
                 self._warned_serial_fallback = True
+                from repro.runtime.telemetry import DegradeEvent
+
+                self._degrade_log.append(
+                    DegradeEvent(
+                        engine="parallel",
+                        tier_from="sharded",
+                        tier_to="list",
+                        reason=f"worker-pool failure: {error!r}",
+                        rule=repr(rule),
+                    )
+                )
                 warnings.warn(
                     f"parallel engine degraded to the serial scan after a "
                     f"worker-pool failure: {error!r}",
@@ -833,16 +852,26 @@ class ShmEngine(ArrayEngine):
     rule arriving later transparently respawns the pool with the enlarged
     registry, trading one extra spawn for correctness.
 
-    Degradation is deterministic and byte-identical, announced once per
+    A pool broken *mid-round* (a worker died, hung past the
+    ``REPRO_ROUND_TIMEOUT`` deadline, or corrupted its reply) is first
+    **healed**: :meth:`WorkerPool.heal` respawns the workers that did not
+    finish the round and the round is retried on the same pool, bounded
+    by ``REPRO_POOL_RETRIES`` with backoff.  Spawn failures get the same
+    retry budget through :meth:`WorkerPool.spawn`.
+
+    Degradation — when healing is exhausted or sharding was never
+    possible — is deterministic and byte-identical, announced once per
     instance via a ``RuntimeWarning``: with one worker or fewer
     (``REPRO_WORKERS=0``/``1``), without numpy/shared-memory/fork, for
     ``parallel_safe=False`` rules, or when the pool fails to *spawn*,
     sharded rounds fall back to the ``parallel`` tier's per-round forks —
     which themselves degrade to the serial indexed scan.  A pool broken
-    *mid-round* (a worker died while computing) degrades straight to the
-    serial scan instead: the same rule would kill per-round fork workers
-    too, and a fork pool hangs rather than fails on abrupt worker death
-    (see :meth:`_apply_fallback`).
+    *mid-round* whose heals ran out degrades straight to the serial scan
+    instead: the same rule would kill per-round fork workers too, and a
+    fork pool hangs rather than fails on abrupt worker death (see
+    :meth:`_apply_fallback`).  Every heal and every tier drop is recorded
+    as a structured :class:`repro.runtime.telemetry.DegradeEvent` on
+    :attr:`degrade_events`.
     """
 
     def __init__(
@@ -870,6 +899,16 @@ class ShmEngine(ArrayEngine):
         #: amortisation invariant (one spawn per schedule) is asserted on
         #: this by the runtime tests.
         self.pool_spawns = 0
+        #: How many broken rounds were recovered by healing the pool in
+        #: place (and how many worker processes those heals re-forked)
+        #: instead of degrading a tier.
+        self.pool_heals = 0
+        self.worker_respawns = 0
+        self._degrade_log: List[Any] = []
+        # (tier_from, tier_to, reason, rule identity) triples already
+        # recorded — keeps per-round repeats of the same degradation from
+        # growing the log unboundedly.
+        self._noted_degrades: set = set()
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
@@ -914,7 +953,7 @@ class ShmEngine(ArrayEngine):
         if self._pool is None:
             chunks = plan_chunks(self.indexer.node_count, self.workers)
             try:
-                self._pool = WorkerPool(
+                self._pool = WorkerPool.spawn(
                     self.indexer, self.codec, dict(self._registry), chunks
                 )
             except PoolBrokenError:
@@ -970,32 +1009,70 @@ class ShmEngine(ArrayEngine):
             try:
                 pool = self._ensure_pool()
             except PoolBrokenError as error:
-                # Spawn failure (process limits, /dev/shm quota): the
-                # parallel tier's per-round forks are still available.
+                # Spawn failure (process limits, /dev/shm quota) that
+                # survived WorkerPool.spawn's own retries: the parallel
+                # tier's per-round forks are still available.
                 self._broken = True
-                self._note_degrade(f"pool spawn failure: {error}")
+                self._record_degrade(
+                    "shm",
+                    "parallel",
+                    f"pool spawn failure: {error}",
+                    rule=rule,
+                )
             if pool is not None:
-                try:
-                    return self._apply_shm(pool, codes, key)
-                except PoolBrokenError as error:
-                    self._broken = True
-                    self._serial_only = True
-                    self._shutdown_pool()
-                    self._note_degrade(f"worker-pool failure: {error}")
+                from repro.runtime.pool import RETRY_BACKOFF, pool_retry_budget
+
+                budget = pool_retry_budget()
+                attempt = 0
+                while True:
+                    try:
+                        return self._apply_shm(pool, codes, key)
+                    except PoolBrokenError as error:
+                        if attempt < budget and self._heal_pool(pool, rule):
+                            # Healed in place: retry the round on the
+                            # same pool after a short backoff.
+                            time.sleep(RETRY_BACKOFF * (2**attempt))
+                            attempt += 1
+                            continue
+                        self._broken = True
+                        self._serial_only = True
+                        self._record_degrade(
+                            "shm",
+                            "indexed",
+                            f"worker-pool failure: {error}",
+                            rule=rule,
+                            round=pool.rounds_run,
+                        )
+                        self._shutdown_pool()
+                        break
         elif not self._broken and rule_traits(rule).parallel_safe:
-            # parallel_safe=False is a rule property, not a platform
-            # shortfall — it degrades silently, exactly as in the
-            # parallel tier.
             if self.workers <= 1:
-                self._note_degrade(
+                self._record_degrade(
+                    "shm",
+                    "indexed",
                     f"{self.workers} worker(s) cannot shard rounds "
-                    "(REPRO_WORKERS or the CPU count allows at most one)"
+                    "(REPRO_WORKERS or the CPU count allows at most one)",
+                    rule=rule,
                 )
             elif not shm_available():
-                self._note_degrade(
+                self._record_degrade(
+                    "shm",
+                    "parallel",
                     "this platform lacks numpy, "
-                    "multiprocessing.shared_memory or the fork start method"
+                    "multiprocessing.shared_memory or the fork start method",
+                    rule=rule,
                 )
+        elif not self._broken:
+            # parallel_safe=False is a rule property, not a platform
+            # shortfall — it degrades silently (no warning, exactly as in
+            # the parallel tier) but is still worth a telemetry record.
+            self._record_degrade(
+                "shm",
+                "indexed",
+                "rule is declared parallel_safe=False",
+                rule=rule,
+                warn=False,
+            )
         return self._apply_fallback(codes, rule)
 
     def _apply_shm(self, pool: "WorkerPool", codes, key: int):
@@ -1029,15 +1106,87 @@ class ShmEngine(ArrayEngine):
         new_values = self._fallback._apply_values(values, rule)
         return self.codec.encode_values(new_values)
 
-    def _note_degrade(self, reason: str) -> None:
-        if self._warned_degrade:
-            return
-        self._warned_degrade = True
-        warnings.warn(
-            f"shm engine degraded to the parallel/indexed fallback: {reason}",
-            RuntimeWarning,
-            stacklevel=4,
+    def _heal_pool(self, pool: "WorkerPool", rule: LocalRule) -> bool:
+        """Try to heal a broken pool in place; ``True`` means retry.
+
+        A heal that raises (respawn failed, pool already shut down) — or
+        a :class:`PoolBrokenError` that did not actually break the pool —
+        sends the caller down the degrade ladder instead.
+        """
+        try:
+            if not pool.broken:
+                return False
+            reason = pool.broken_reason
+            respawned = pool.heal()
+        except Exception:  # noqa: BLE001 - a failed heal is just a vote
+            # for the degrade ladder; the original error carries the story.
+            return False
+        self.pool_heals += 1
+        self.worker_respawns += respawned
+        self._record_degrade(
+            "shm",
+            "shm",
+            f"healed {respawned} worker(s) after: {reason}",
+            rule=rule,
+            round=pool.rounds_run,
+            healed=True,
+            warn=False,
         )
+        return True
+
+    @property
+    def degrade_events(self) -> Tuple[Any, ...]:
+        """Structured :class:`repro.runtime.telemetry.DegradeEvent`
+        records — every heal and every tier drop, this engine's own and
+        its parallel fallback's."""
+        events = tuple(self._degrade_log)
+        if self._fallback is not None:
+            events += self._fallback.degrade_events
+        return events
+
+    def _record_degrade(
+        self,
+        tier_from: str,
+        tier_to: str,
+        reason: str,
+        rule: Optional[LocalRule] = None,
+        round: Optional[int] = None,
+        healed: bool = False,
+        warn: bool = True,
+    ) -> None:
+        """Append a :class:`DegradeEvent`; emit the pinned warning from it.
+
+        Heals are always recorded (each one is a distinct recovery);
+        repeated tier drops with the same shape are recorded once so a
+        long schedule cannot grow the log per round.  The warning text and
+        once-per-instance semantics predate the structured log and are
+        pinned by tests — they must not change.
+        """
+        from repro.runtime.telemetry import DegradeEvent
+
+        if not healed:
+            key = (tier_from, tier_to, reason, None if rule is None else id(rule))
+            if key in self._noted_degrades:
+                return
+            self._noted_degrades.add(key)
+        self._degrade_log.append(
+            DegradeEvent(
+                engine="shm",
+                tier_from=tier_from,
+                tier_to=tier_to,
+                reason=reason,
+                rule=None if rule is None else repr(rule),
+                round=round,
+                healed=healed,
+            )
+        )
+        if warn and not self._warned_degrade:
+            self._warned_degrade = True
+            warnings.warn(
+                f"shm engine degraded to the parallel/indexed fallback: {reason}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
 
 @dataclass

@@ -60,21 +60,41 @@ labels ever cross the pipes; the O(n) payload stays in shared memory.
 
 Failure modes are deterministic: a raising rule reproduces the sequential
 first-failing-node exception (lowest flat index wins, like the parallel
-tier's merger) and leaves the pool healthy; a dead worker or broken pipe
-raises :class:`repro.runtime.pool.PoolBrokenError`, the pool shuts down
-(segments unlinked), and the engine degrades with a one-time warning,
-never a wrong labelling — to ``parallel`` per-round forks after a
-pool-*spawn* failure, but straight to the serial indexed scan after a
-worker died *mid-round* (the same rule would kill fork workers too, and
-a fork pool hangs rather than fails on abrupt worker death).
+tier's merger) and leaves the pool healthy; a dead, hung (when a
+``REPRO_ROUND_TIMEOUT`` deadline is configured) or corrupt worker raises
+:class:`repro.runtime.pool.PoolBrokenError` and leaves the pool *broken
+but healable*.  The engine first tries :meth:`WorkerPool.heal` — respawn
+exactly the workers that did not finish the round, re-forked from the
+parent's live codec, and retry the round on the same segments — bounded
+by ``REPRO_POOL_RETRIES`` with backoff.  Only when healing is exhausted
+(or itself fails) does the pool shut down (segments unlinked) and the
+engine degrade with a one-time warning, never a wrong labelling — to
+``parallel`` per-round forks after a pool-*spawn* failure, but straight
+to the serial indexed scan after a worker died *mid-round* (the same
+rule would kill fork workers too, and a fork pool hangs rather than
+fails on abrupt worker death).  Every heal and every tier drop is also
+recorded as a structured
+:class:`repro.runtime.telemetry.DegradeEvent` on the engine.
+
+All of these paths are exercised deterministically through the
+fault-injection plane (:mod:`repro.runtime.faults`): a seedable
+:class:`~repro.runtime.faults.FaultPlan` — installed programmatically or
+via ``REPRO_FAULT_PLAN`` — kills, hangs or corrupts chosen workers at
+chosen rounds and fails spawns/segment creation, with zero overhead when
+no plan is active.
 """
 
 from repro.runtime.buffers import SharedCodeBuffer, default_segment_names
+from repro.runtime.faults import FaultPlan, WorkerFault
 from repro.runtime.pool import PoolBrokenError, WorkerPool
+from repro.runtime.telemetry import DegradeEvent
 
 __all__ = [
+    "DegradeEvent",
+    "FaultPlan",
     "PoolBrokenError",
     "SharedCodeBuffer",
+    "WorkerFault",
     "WorkerPool",
     "default_segment_names",
 ]

@@ -36,6 +36,7 @@ from typing import Iterable, Iterator, Optional
 
 from repro.errors import SimulationError
 from repro.local_model.store import require_numpy
+from repro.runtime.faults import current_plan
 
 try:  # pragma: no cover - absent only on exotic platforms
     from multiprocessing import shared_memory as _shared_memory
@@ -122,6 +123,12 @@ class SharedCodeBuffer:
             raise SimulationError(
                 f"a shared code buffer needs a positive node count, got {node_count}"
             )
+        plan = current_plan()
+        if plan is not None and plan.fail_segment_create():
+            # Chaos hook: stands in for transient allocation failures
+            # (shm_open ENOSPC/EMFILE) that the spawn retry ladder in
+            # WorkerPool.spawn must absorb.
+            raise OSError("injected shared-segment creation failure")
         candidates = iter(names) if names is not None else default_segment_names()
         last_error: Optional[BaseException] = None
         for _ in range(MAX_NAME_ATTEMPTS):

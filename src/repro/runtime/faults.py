@@ -1,0 +1,345 @@
+"""Deterministic fault-injection plane for the shared-memory runtime.
+
+Chaos testing for the ``shm`` tier: a :class:`FaultPlan` describes, ahead
+of time and reproducibly, which transport faults to inject — kill worker
+*k* at round *r*, hang a reply for *t* seconds, corrupt a pipe message,
+fail shared-segment creation on attempt *n*, fail the pool spawn *m*
+times before letting it succeed.  The runtime consults the plane at
+exactly three injection points, all inside :mod:`repro.runtime`:
+
+* :func:`repro.runtime.pool._worker_main` — worker-side, between
+  computing a round reply and sending it (``kill``/``hang``/``corrupt``);
+* :class:`repro.runtime.pool.WorkerPool` construction — parent-side
+  (:meth:`FaultPlan.fail_spawn`);
+* :meth:`repro.runtime.buffers.SharedCodeBuffer.create` — parent-side
+  (:meth:`FaultPlan.fail_segment_create`).
+
+Nothing outside the runtime package may reference this module — the
+contract lint (``fault-plane`` check in :mod:`repro.statics.contracts`)
+enforces that, because an algorithm or engine layer steering on the fault
+plan would make *results* depend on chaos configuration, which is exactly
+what the equivalence suite must rule out.  Faults only ever break the
+transport; the degrade/heal ladder keeps the labelling byte-identical.
+
+Activation
+----------
+
+* Programmatic: :func:`install` a plan (or ``None``), or scope one with
+  the :func:`active` context manager.  Worker processes inherit the
+  installed plan at ``fork`` time, so install it **before** the pool
+  spawns; a plan installed later is seen by parent-side hooks and by any
+  workers respawned afterwards (:meth:`WorkerPool.heal`), but not by
+  already-forked workers.
+* Environment: set ``REPRO_FAULT_PLAN`` to the plan's JSON document (see
+  :meth:`FaultPlan.to_json`).  The parsed plan is cached per raw string —
+  the parent-side attempt counters must persist across injection-point
+  calls — and an unparseable value warns once and is ignored.
+
+When no plan is installed and the variable is unset, every injection
+point reduces to one module-global check plus one ``environ`` lookup per
+*round* (never per node): the plane is effectively zero-overhead.
+
+Determinism
+-----------
+
+Worker-side fault matching is stateless — a fault fires when its
+``worker``/``round`` selectors match (``None`` matches anything) — and
+:meth:`WorkerPool.round` numbers rounds monotonically across retries, so
+a fault pinned to round *r* fires exactly once: after a heal, the retry
+runs as round *r+1* and the plan lets it through.  A fault with
+``round=None`` fires on every attempt and therefore exhausts the heal
+budget, forcing the degrade ladder.  :meth:`FaultPlan.random` derives a
+plan from a seed alone, so chaos equivalence legs replay exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import random as _random
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Environment variable holding a JSON fault plan (see module docstring).
+PLAN_VARIABLE = "REPRO_FAULT_PLAN"
+
+#: Worker-side fault kinds understood by the pool's injection point.
+WORKER_FAULT_KINDS = ("kill", "hang", "corrupt")
+
+#: How a ``corrupt`` fault mangles the reply: ``"garbage"`` sends bytes
+#: that are not a pickle at all, ``"truncate"`` sends a prefix of the real
+#: reply's pickle — both must surface as :class:`PoolBrokenError`.
+CORRUPT_MODES = ("garbage", "truncate")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One worker-side fault: what to do, to whom, and when.
+
+    ``worker``/``round`` are selectors (``None`` matches every worker /
+    round); ``seconds`` applies to ``hang``, ``exit_code`` to ``kill``,
+    ``mode`` to ``corrupt``.
+    """
+
+    kind: str
+    worker: Optional[int] = None
+    round: Optional[int] = None
+    seconds: float = 30.0
+    exit_code: int = 17
+    mode: str = "garbage"
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"unknown corrupt mode {self.mode!r}; "
+                f"expected one of {CORRUPT_MODES}"
+            )
+
+    def matches(self, worker_id: int, round_id: int) -> bool:
+        """Whether this fault fires for ``worker_id`` in ``round_id``."""
+        return (self.worker is None or self.worker == worker_id) and (
+            self.round is None or self.round == round_id
+        )
+
+    def corrupt_payload(self, reply: Any) -> bytes:
+        """The raw bytes a ``corrupt`` fault sends instead of the reply."""
+        if self.mode == "truncate":
+            blob = pickle.dumps(reply)
+            return blob[: max(1, len(blob) // 2)]
+        return b"\xde\xad\xbe\xef not a pickle"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "round": self.round,
+            "seconds": self.seconds,
+            "exit_code": self.exit_code,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_json(cls, document: Dict[str, Any]) -> "WorkerFault":
+        return cls(
+            kind=str(document["kind"]),
+            worker=None if document.get("worker") is None else int(document["worker"]),
+            round=None if document.get("round") is None else int(document["round"]),
+            seconds=float(document.get("seconds", 30.0)),
+            exit_code=int(document.get("exit_code", 17)),
+            mode=str(document.get("mode", "garbage")),
+        )
+
+
+class FaultPlan:
+    """A deterministic set of faults to inject into one simulation.
+
+    Worker-side matching (:meth:`worker_action`) is stateless, so forked
+    workers can evaluate it against their inherited copy.  The spawn and
+    segment counters are parent-side mutable state: each plan *instance*
+    counts attempts, which is why the environment activation path caches
+    the parsed plan per raw ``REPRO_FAULT_PLAN`` string.
+    """
+
+    def __init__(
+        self,
+        worker_faults: Iterable[WorkerFault] = (),
+        spawn_failures: int = 0,
+        segment_failures: Iterable[int] = (),
+        seed: Optional[int] = None,
+    ):
+        self.worker_faults: Tuple[WorkerFault, ...] = tuple(worker_faults)
+        self.spawn_failures = int(spawn_failures)
+        self.segment_failures = frozenset(int(n) for n in segment_failures)
+        self.seed = seed
+        self._spawn_attempts = 0
+        self._segment_attempts = 0
+
+    # ------------------------------------------------------------------ #
+    # Injection-point queries
+    # ------------------------------------------------------------------ #
+
+    def worker_action(self, worker_id: int, round_id: int) -> Optional[WorkerFault]:
+        """The first fault that fires for this (worker, round), if any."""
+        for fault in self.worker_faults:
+            if fault.matches(worker_id, round_id):
+                return fault
+        return None
+
+    def fail_spawn(self) -> bool:
+        """Whether this pool-spawn attempt should fail (counts attempts)."""
+        self._spawn_attempts += 1
+        return self._spawn_attempts <= self.spawn_failures
+
+    def fail_segment_create(self) -> bool:
+        """Whether this segment-creation attempt should fail.
+
+        Attempts are numbered from 1 across the plan's lifetime (a pool
+        spawn creates two segments, so its double buffer consumes two
+        attempt numbers).
+        """
+        self._segment_attempts += 1
+        return self._segment_attempts in self.segment_failures
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """The JSON document accepted back by :meth:`from_json` and
+        ``REPRO_FAULT_PLAN``."""
+        return json.dumps(
+            {
+                "workers": [fault.to_json() for fault in self.worker_faults],
+                "spawn_failures": self.spawn_failures,
+                "segment_failures": sorted(self.segment_failures),
+                "seed": self.seed,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        document = json.loads(text)
+        if not isinstance(document, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        return cls(
+            worker_faults=[
+                WorkerFault.from_json(entry) for entry in document.get("workers", ())
+            ],
+            spawn_failures=int(document.get("spawn_failures", 0)),
+            segment_failures=document.get("segment_failures", ()),
+            seed=document.get("seed"),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        workers: int = 2,
+        rounds: int = 3,
+        hang_seconds: float = 30.0,
+        max_worker_faults: int = 2,
+        allow_spawn_failures: bool = True,
+        allow_segment_failures: bool = True,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan for a schedule of ``rounds`` rounds.
+
+        ``hang_seconds`` should comfortably exceed the configured
+        ``REPRO_ROUND_TIMEOUT`` so a drawn hang deterministically trips
+        the deadline instead of racing it.  The fault budget is sized so
+        the default ``REPRO_POOL_RETRIES`` can absorb the worst draw:
+        at most ``max_worker_faults`` single-round worker faults plus at
+        most one spawn failure and one first-attempt segment failure.
+        """
+        rng = _random.Random(f"repro-fault-plan:{seed}")
+        faults: List[WorkerFault] = []
+        for _ in range(rng.randint(1, max(1, max_worker_faults))):
+            faults.append(
+                WorkerFault(
+                    kind=rng.choice(WORKER_FAULT_KINDS),
+                    worker=rng.randrange(max(1, workers)),
+                    round=rng.randint(1, max(1, rounds)),
+                    seconds=hang_seconds,
+                    exit_code=rng.randint(1, 63),
+                    mode=rng.choice(CORRUPT_MODES),
+                )
+            )
+        spawn_failures = 1 if allow_spawn_failures and rng.random() < 0.25 else 0
+        segment_failures: Tuple[int, ...] = (
+            (1,) if allow_segment_failures and rng.random() < 0.15 else ()
+        )
+        return cls(faults, spawn_failures, segment_failures, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return (
+            self.worker_faults == other.worker_faults
+            and self.spawn_failures == other.spawn_failures
+            and self.segment_failures == other.segment_failures
+            and self.seed == other.seed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({len(self.worker_faults)} worker faults, "
+            f"spawn_failures={self.spawn_failures}, "
+            f"segment_failures={sorted(self.segment_failures)}, "
+            f"seed={self.seed!r})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Activation
+# --------------------------------------------------------------------- #
+
+_ACTIVE: Optional[FaultPlan] = None
+
+#: ``(raw env string, parsed plan)`` — the plan instance must be stable
+#: across injection-point calls so its attempt counters advance.
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` as the process-wide active plan (``None`` clears)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+@contextmanager
+def active(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scope ``plan`` as the active plan, restoring the previous one."""
+    previous = _ACTIVE
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def reset() -> None:
+    """Clear the installed plan and the env parse cache (test isolation)."""
+    global _ENV_CACHE
+    install(None)
+    _ENV_CACHE = (None, None)
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The active plan: the installed one, else ``REPRO_FAULT_PLAN``.
+
+    Called once per injection point (per round / spawn / segment attempt,
+    never per node).  With nothing installed and the variable unset this
+    is one global check plus one ``environ`` lookup.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    raw = os.environ.get(PLAN_VARIABLE)
+    if not raw:
+        return None
+    global _ENV_CACHE
+    cached_raw, cached_plan = _ENV_CACHE
+    if raw != cached_raw:
+        try:
+            cached_plan = FaultPlan.from_json(raw)
+        except Exception as error:  # noqa: BLE001 - a typo'd plan must not
+            # crash the simulation; it degrades to "no faults", loudly.
+            warnings.warn(
+                f"ignoring unparseable {PLAN_VARIABLE}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            cached_plan = None
+        _ENV_CACHE = (raw, cached_plan)
+    return _ENV_CACHE[1]

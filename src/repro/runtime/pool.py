@@ -38,20 +38,38 @@ assigned ``[start, stop)`` chunk with the same itemgetter inner loop as
 the indexed tier (reading ``src``, writing ``dst``), reply, repeat until
 the ``("stop",)`` sentinel.
 
-A worker that dies mid-round (crash, kill, unpicklable reply) is detected
-by the barrier's aliveness polling and surfaces as
-:class:`PoolBrokenError`; the engine catches that, shuts the pool down
-(buffers unlinked, survivors joined) and degrades to the per-round-fork
-``parallel`` path — never to a wrong or partial labelling.  Rule
-exceptions, by contrast, leave the pool healthy: the destination buffer is
-simply discarded and the next round reuses the same workers.
+Failure, healing, degradation
+-----------------------------
+
+A worker that dies mid-round (crash, kill, corrupt or unpicklable reply)
+is detected by the barrier — reply errors immediately, silent deaths via
+aliveness polling, hangs via the optional ``REPRO_ROUND_TIMEOUT`` round
+deadline — and surfaces as :class:`PoolBrokenError`.  The pool is then
+*broken but not closed*: its buffers, surviving workers and codec sync
+state stay intact, and :meth:`WorkerPool.heal` can respawn exactly the
+workers that did not complete the round (re-forked from the parent's
+current codec and registry, attached to the same segments), after which
+the engine retries the failed round — bounded by ``REPRO_POOL_RETRIES``
+with backoff — before taking the existing degrade ladder to the
+per-round-fork ``parallel`` path.  Either way the labelling is never
+wrong or partial: a broken round's destination buffer is discarded and
+the retry (or the fallback tier) recomputes it from the untouched source
+codes.  Rule exceptions, by contrast, leave the pool healthy: the
+destination buffer is simply discarded and the next round reuses the
+same workers.
+
+Deterministic chaos for all of the above is injected through
+:mod:`repro.runtime.faults` (``REPRO_FAULT_PLAN``); with no plan active
+the injection points are a single no-op check per round.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from multiprocessing import connection as _mp_connection
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.grid.topology import Topology
@@ -64,17 +82,68 @@ from repro.local_model.store import (
     shm_available,
 )
 from repro.runtime.buffers import SharedCodeBuffer
+from repro.runtime.faults import current_plan
 
 #: Seconds between aliveness checks while a round's replies are pending.
 #: Replies wake the barrier immediately (``multiprocessing.connection.wait``);
 #: the interval only bounds how quickly a worker that died *without*
 #: closing its pipe is noticed.  The barrier blocks as long as every
-#: pending worker is alive — a slow rule is legitimate.
+#: pending worker is alive — a slow rule is legitimate (unless a round
+#: deadline is configured, see :func:`round_timeout_seconds`).
 POLL_INTERVAL = 0.2
 
 #: Seconds granted to workers to drain the stop sentinel before they are
 #: terminated during shutdown.
 SHUTDOWN_GRACE = 2.0
+
+#: Base delay for spawn/heal retry backoff; attempt ``n`` sleeps
+#: ``RETRY_BACKOFF * 2**n`` seconds.
+RETRY_BACKOFF = 0.05
+
+#: Environment variable: round deadline in seconds (default: no deadline).
+TIMEOUT_VARIABLE = "REPRO_ROUND_TIMEOUT"
+
+#: Environment variable: how many times spawn/heal-retry ladders may try
+#: again after the first failure.
+RETRIES_VARIABLE = "REPRO_POOL_RETRIES"
+
+#: Default retry budget when ``REPRO_POOL_RETRIES`` is unset.
+DEFAULT_POOL_RETRIES = 2
+
+
+def round_timeout_seconds() -> Optional[float]:
+    """The configured round deadline, or ``None`` when rounds may block.
+
+    ``REPRO_ROUND_TIMEOUT`` is read once per pool, at spawn time.  Unset,
+    empty and non-positive values all mean "no deadline" (the historical
+    behaviour: the barrier waits as long as every pending worker stays
+    alive); a value that does not parse as a number is a configuration
+    error and raises rather than silently disabling the supervisor.
+    """
+    raw = os.environ.get(TIMEOUT_VARIABLE, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError as error:
+        raise SimulationError(
+            f"{TIMEOUT_VARIABLE} must be a number of seconds, got {raw!r}"
+        ) from error
+    return value if value > 0 else None
+
+
+def pool_retry_budget() -> int:
+    """How many retries spawn/heal ladders get (``REPRO_POOL_RETRIES``)."""
+    raw = os.environ.get(RETRIES_VARIABLE, "").strip()
+    if not raw:
+        return DEFAULT_POOL_RETRIES
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise SimulationError(
+            f"{RETRIES_VARIABLE} must be an integer, got {raw!r}"
+        ) from error
+    return max(0, value)
 
 
 class PoolBrokenError(SimulationError):
@@ -135,6 +204,20 @@ def _worker_main(
                 worker_id,
                 reuse,
             )
+            fault = _worker_fault(worker_id, round_id)
+            if fault is not None:
+                if fault.kind == "kill":
+                    # Die exactly like a crashed worker: no cleanup, no
+                    # reply, pipe collapses with the process.
+                    os._exit(fault.exit_code)
+                if fault.kind == "hang":
+                    time.sleep(fault.seconds)
+                elif fault.kind == "corrupt":
+                    try:
+                        connection.send_bytes(fault.corrupt_payload(reply))
+                    except Exception:  # noqa: BLE001 - pipe gone
+                        break
+                    continue
             try:
                 connection.send(reply)
             except Exception:  # noqa: BLE001 - reply unpicklable / pipe gone:
@@ -145,6 +228,19 @@ def _worker_main(
         for buffer in buffers:
             buffer.close()
         connection.close()
+
+
+def _worker_fault(worker_id: int, round_id: int):
+    """The fault (if any) the active plan injects for this reply.
+
+    Workers see the plan that was installed in the parent at their fork
+    time (or the live ``REPRO_FAULT_PLAN`` environment value); with no
+    plan active this is a single global check per round.
+    """
+    plan = current_plan()
+    if plan is None:
+        return None
+    return plan.worker_action(worker_id, round_id)
 
 
 class _ChunkCache:
@@ -264,6 +360,10 @@ class WorkerPool:
         The ``(start, stop)`` shards, one worker process per chunk (the
         engine plans them with
         :func:`repro.local_model.engine.plan_chunks`).
+    round_timeout:
+        Round deadline in seconds; ``None`` (the default) resolves
+        ``REPRO_ROUND_TIMEOUT``, non-positive values disable the
+        deadline.
     """
 
     def __init__(
@@ -272,6 +372,7 @@ class WorkerPool:
         codec: LabelCodec,
         rules: Dict[int, Any],
         chunks: Sequence[Tuple[int, int]],
+        round_timeout: Optional[float] = None,
     ):
         require_numpy()
         if not shm_available():
@@ -290,6 +391,19 @@ class WorkerPool:
         self._synced_alphabet = codec.size
         self._current = 0
         self._closed = False
+        if round_timeout is None:
+            self.round_timeout = round_timeout_seconds()
+        else:
+            self.round_timeout = round_timeout if round_timeout > 0 else None
+        # Broken-but-healable state: ``_broken_reason`` is set by the
+        # barrier on a protocol failure (the pool refuses work until
+        # healed or closed), ``_trusted`` holds the worker ids whose
+        # round replies were consumed before the break — they completed
+        # the round and are still blocked on the next recv, so heal()
+        # keeps them and respawns everyone else.
+        self._broken_reason: Optional[str] = None
+        self._trusted: set = set()
+        self.respawned_workers = 0
         # ``_dirty`` tracks whether the current buffer's contents are
         # anything other than the previous round's outputs (fresh pool,
         # external load, failed round); workers may only reuse their
@@ -314,6 +428,9 @@ class WorkerPool:
         self._connections: List[Any] = []
         self._processes: List[Any] = []
         try:
+            plan = current_plan()
+            if plan is not None and plan.fail_spawn():
+                raise OSError("injected pool spawn failure")
             self._buffers = [
                 SharedCodeBuffer.create(self.node_count) for _ in range(2)
             ]
@@ -346,6 +463,39 @@ class WorkerPool:
             self.close()
             raise
 
+    @classmethod
+    def spawn(
+        cls,
+        indexer: Topology,
+        codec: LabelCodec,
+        rules: Dict[int, Any],
+        chunks: Sequence[Tuple[int, int]],
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ) -> "WorkerPool":
+        """Construct a pool, retrying transient spawn failures with backoff.
+
+        Segment creation and process forks can fail transiently (name
+        collisions, momentary fd/pid pressure); the budget comes from
+        ``REPRO_POOL_RETRIES`` unless ``retries`` overrides it.
+        :class:`PoolBrokenError` raised by the constructor itself is a
+        *precondition* failure (no shm support, no chunks) that time will
+        not fix, and is re-raised immediately.
+        """
+        budget = pool_retry_budget() if retries is None else max(0, int(retries))
+        delay = RETRY_BACKOFF if backoff is None else backoff
+        attempt = 0
+        while True:
+            try:
+                return cls(indexer, codec, rules, chunks)
+            except PoolBrokenError:
+                raise
+            except Exception:
+                if attempt >= budget:
+                    raise
+                time.sleep(delay * (2**attempt))
+                attempt += 1
+
     # ------------------------------------------------------------------ #
     # The double buffer
     # ------------------------------------------------------------------ #
@@ -367,7 +517,7 @@ class WorkerPool:
 
     def load(self, codes) -> None:
         """Publish a code vector into the current source buffer."""
-        self._require_open()
+        self._require_healthy()
         export_codes_into(codes, self._buffers[self._current].array)
         self._dirty = True
         self._last_snapshot = None
@@ -378,7 +528,7 @@ class WorkerPool:
         ``snapshot -> store -> next apply``) — that also preserves the
         workers' reuse fast path, since the buffer provably still holds
         the previous round's outputs."""
-        self._require_open()
+        self._require_healthy()
         if codes is self._last_snapshot:
             return
         self.load(codes)
@@ -391,7 +541,7 @@ class WorkerPool:
         (:class:`repro.local_model.store.ArrayLabelStore` copies on first
         write instead).
         """
-        self._require_open()
+        self._require_healthy()
         array = merge_codes_from_shared(self._buffers[self._current].array)
         array.setflags(write=False)
         self._last_snapshot = array
@@ -408,9 +558,9 @@ class WorkerPool:
         raising rule re-raises the lowest-flat-index exception and leaves
         the pool healthy with the source buffer still current; protocol
         failures raise :class:`PoolBrokenError` after marking the pool
-        unusable.
+        broken — :meth:`heal` can then repair it, or :meth:`close` ends it.
         """
-        self._require_open()
+        self._require_healthy()
         if rule_key not in self.rules:
             raise PoolBrokenError(
                 f"rule key {rule_key} is not registered with this pool"
@@ -425,7 +575,12 @@ class WorkerPool:
             for connection in self._connections:
                 connection.send(message)
         except Exception as error:
-            self._mark_broken()
+            # No worker is trusted: some received the round and will
+            # compute it, but heal() replaces their connections, so any
+            # late replies die with the old pipes.
+            self._note_break(
+                (), f"round {self._round_id} could not be dispatched"
+            )
             raise PoolBrokenError(
                 f"could not dispatch round {self._round_id} to the worker "
                 f"pool: {error!r}"
@@ -468,42 +623,101 @@ class WorkerPool:
         self._dirty = False
 
     def _collect_replies(self) -> List[Tuple]:
+        deadline = (
+            None
+            if self.round_timeout is None
+            else time.monotonic() + self.round_timeout
+        )
         pending = {
             connection: worker_id
             for worker_id, connection in enumerate(self._connections)
         }
         replies: List[Tuple] = []
+        # Workers whose replies were consumed: they completed the round
+        # and survive a heal() untouched.
+        trusted: List[int] = []
         while pending:
             # wait() wakes the moment any reply (or EOF) arrives; the
             # timeout only paces the aliveness sweep for workers that died
-            # without their pipe collapsing.
-            ready = _mp_connection.wait(list(pending), timeout=POLL_INTERVAL)
+            # without their pipe collapsing — and, when a round deadline
+            # is configured, caps how long a hung worker can stall the
+            # barrier.
+            wait_for = POLL_INTERVAL
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    stragglers = sorted(pending.values())
+                    self._note_break(
+                        trusted,
+                        f"round {self._round_id} exceeded its "
+                        f"{self.round_timeout}s deadline",
+                    )
+                    raise PoolBrokenError(
+                        f"round {self._round_id} exceeded its "
+                        f"{self.round_timeout}s deadline waiting on "
+                        f"workers {stragglers}"
+                    )
+                wait_for = min(POLL_INTERVAL, remaining)
+            ready = _mp_connection.wait(list(pending), timeout=wait_for)
             for connection in ready:
                 worker_id = pending[connection]
                 try:
                     reply = connection.recv()
                 except (EOFError, OSError) as error:
-                    self._mark_broken()
+                    self._note_break(
+                        trusted,
+                        f"worker {worker_id} closed its pipe mid-round",
+                    )
                     raise PoolBrokenError(
                         f"worker {worker_id} closed its pipe mid-round: "
                         f"{error!r}"
                     ) from error
+                except Exception as error:
+                    # Truncated or corrupt pipe messages surface as
+                    # UnpicklingError (and friends); they are protocol
+                    # failures exactly like a closed pipe and must reach
+                    # the degrade ladder as PoolBrokenError, never leak
+                    # raw to the caller.
+                    self._note_break(
+                        trusted,
+                        f"worker {worker_id} sent an unreadable reply",
+                    )
+                    raise PoolBrokenError(
+                        f"worker {worker_id} sent an unreadable reply for "
+                        f"round {self._round_id}: {error!r}"
+                    ) from error
+                if not (
+                    isinstance(reply, tuple)
+                    and len(reply) >= 4
+                    and reply[0] in ("ok", "error")
+                ):
+                    self._note_break(
+                        trusted, f"worker {worker_id} sent a malformed reply"
+                    )
+                    raise PoolBrokenError(
+                        f"worker {worker_id} sent a malformed reply for "
+                        f"round {self._round_id}: {reply!r}"
+                    )
                 if reply[1] != self._round_id:
-                    self._mark_broken()
+                    self._note_break(
+                        trusted,
+                        f"worker {worker_id} answered the wrong round",
+                    )
                     raise PoolBrokenError(
                         f"worker {worker_id} answered round {reply[1]}, "
                         f"expected {self._round_id}"
                     )
                 replies.append(reply)
+                trusted.append(worker_id)
                 del pending[connection]
             if pending and not ready:
                 for connection, worker_id in pending.items():
                     process = self._processes[worker_id]
                     if not process.is_alive():
-                        # Read the exit code before _mark_broken(): close()
-                        # empties the process list.
                         exitcode = process.exitcode
-                        self._mark_broken()
+                        self._note_break(
+                            trusted, f"worker {worker_id} died mid-round"
+                        )
                         raise PoolBrokenError(
                             f"worker {worker_id} died during round "
                             f"{self._round_id} (exit code {exitcode})"
@@ -518,9 +732,94 @@ class WorkerPool:
         if self._closed:
             raise PoolBrokenError("the worker pool has been shut down")
 
-    def _mark_broken(self) -> None:
-        """Shut down after a protocol failure; safe to call repeatedly."""
-        self.close()
+    def _require_healthy(self) -> None:
+        self._require_open()
+        if self._broken_reason is not None:
+            raise PoolBrokenError(
+                f"the worker pool is broken ({self._broken_reason}); "
+                "heal() it or shut it down"
+            )
+
+    def _note_break(self, trusted, reason: str) -> None:
+        """Mark the pool broken-but-healable after a protocol failure.
+
+        Resources stay alive — buffers mapped, surviving workers blocked
+        on their pipes — so :meth:`heal` can repair in place; until then
+        every entry point refuses work.  The source buffer still holds
+        the round's input codes, but some workers' caches may be ahead of
+        it, so the next (healed) round must decode fresh.
+        """
+        self._broken_reason = reason
+        self._trusted = set(trusted)
+        self._dirty = True
+        self._last_snapshot = None
+
+    def heal(self) -> int:
+        """Respawn every worker that did not complete the broken round.
+
+        Untrusted workers are terminated (a hung worker is exactly the
+        case that needs it) and re-forked from the parent's *current*
+        state: the live codec (``extend`` is idempotent, so the usual
+        round deltas stay correct for mixed fork points), the same rule
+        registry, the same shared segments.  Trusted workers — those
+        whose round replies were consumed — keep running untouched.
+        Returns the number of workers respawned (0 when the pool was not
+        broken); if a respawn itself fails the pool is closed for good
+        and :class:`PoolBrokenError` is raised.
+        """
+        self._require_open()
+        if self._broken_reason is None:
+            return 0
+        respawned = 0
+        try:
+            context = multiprocessing.get_context("fork")
+            buffer_names = tuple(buffer.name for buffer in self._buffers)
+            for worker_id, (start, stop) in enumerate(self.chunks):
+                if worker_id in self._trusted:
+                    continue
+                process = self._processes[worker_id]
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=SHUTDOWN_GRACE)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=SHUTDOWN_GRACE)
+                try:
+                    self._connections[worker_id].close()
+                except Exception:  # noqa: BLE001 - pipe may already be gone
+                    pass
+                parent_end, child_end = context.Pipe()
+                replacement = context.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        start,
+                        stop,
+                        child_end,
+                        self.indexer,
+                        self.codec,
+                        self.rules,
+                        buffer_names,
+                        self.node_count,
+                    ),
+                    daemon=True,
+                )
+                replacement.start()
+                child_end.close()
+                self._connections[worker_id] = parent_end
+                self._processes[worker_id] = replacement
+                respawned += 1
+        except Exception as error:
+            self.close()
+            raise PoolBrokenError(
+                f"could not heal the worker pool: {error!r}"
+            ) from error
+        self._broken_reason = None
+        self._trusted = set()
+        self._dirty = True
+        self._last_snapshot = None
+        self.respawned_workers += respawned
+        return respawned
 
     def close(self) -> None:
         """Deterministic shutdown: stop workers, join, unlink the segments.
@@ -540,7 +839,9 @@ class WorkerPool:
         for process in self._processes:
             process.join(timeout=SHUTDOWN_GRACE)
         for process in self._processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
+            if process.is_alive():
+                # Stuck mid-rule (or hung): terminate so the segments can
+                # be unlinked without racing an attached mapping.
                 process.terminate()
                 process.join(timeout=SHUTDOWN_GRACE)
         for connection in self._connections:
@@ -560,6 +861,16 @@ class WorkerPool:
         return self._closed
 
     @property
+    def broken(self) -> bool:
+        """Whether the pool is broken-but-healable (see :meth:`heal`)."""
+        return self._broken_reason is not None
+
+    @property
+    def broken_reason(self) -> Optional[str]:
+        """Why the pool broke, or ``None`` while it is healthy."""
+        return self._broken_reason
+
+    @property
     def worker_count(self) -> int:
         """Number of live worker processes (0 after shutdown)."""
         return len(self._processes)
@@ -571,7 +882,12 @@ class WorkerPool:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else f"{len(self._processes)} workers"
+        if self._closed:
+            state = "closed"
+        elif self._broken_reason is not None:
+            state = f"broken: {self._broken_reason}"
+        else:
+            state = f"{len(self._processes)} workers"
         return (
             f"WorkerPool({self.indexer.grid!r}, {len(self.rules)} rules, "
             f"{state}, round {self._round_id})"

@@ -1,0 +1,62 @@
+"""Structured degradation telemetry for the engine stack.
+
+Every tier boundary in the engine ladder (shm → parallel → indexed →
+serial) used to report itself only through one-time ``RuntimeWarning``s.
+Those warnings still fire — their exact texts are pinned by tests — but
+they are now *emitted from* a structured :class:`DegradeEvent` record
+that the engines accumulate, so callers (benchmarks, the CI resilience
+pipeline, operators reading logs) can query what happened, per engine,
+without scraping warning filters:
+
+>>> engine.degrade_events          # doctest: +SKIP
+(DegradeEvent(engine='shm', tier_from='shm', tier_to='shm', ...,
+              healed=True),)
+
+``healed=True`` events record a *recovery* — a :meth:`WorkerPool.heal`
+respawn that kept the schedule on its tier — and never warn; only
+genuine tier drops do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class DegradeEvent:
+    """One resilience event: a tier drop, or a heal that prevented one.
+
+    ``rule`` is the rule's ``repr`` (not the object — events outlive the
+    engines that record them) and ``round`` is the pool round counter at
+    the time of the event, when a pool was involved.
+    """
+
+    engine: str
+    tier_from: str
+    tier_to: str
+    reason: str
+    rule: Optional[str] = None
+    round: Optional[int] = None
+    healed: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "tier_from": self.tier_from,
+            "tier_to": self.tier_to,
+            "reason": self.reason,
+            "rule": self.rule,
+            "round": self.round,
+            "healed": self.healed,
+        }
+
+
+def summarise(events: Iterable[DegradeEvent]) -> Dict[str, int]:
+    """Counts for the ``BENCH_*.json`` → ``bench-summary.json`` pipeline."""
+    total = healed = 0
+    for event in events:
+        total += 1
+        if event.healed:
+            healed += 1
+    return {"total": total, "healed": healed, "degraded": total - healed}

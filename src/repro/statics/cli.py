@@ -4,7 +4,9 @@ Exit codes: ``0`` when the tree is clean (every finding allowlisted),
 ``1`` when new findings exist, ``2`` when the allowlist file itself is
 malformed.  ``--format json`` emits one machine-readable document (the CI
 job uploads it as an artifact next to the ``BENCH_*.json`` files);
-``--rules`` appends the per-rule tier-eligibility report.
+``--rules`` appends the per-rule tier-eligibility report, including each
+rule's run-time degrade ladder (the rung order the engines fall through
+when a worker pool breaks).
 """
 
 from __future__ import annotations
@@ -53,9 +55,11 @@ def _print_text(
         print(f"-- tier eligibility ({len(rules)} rules) --", file=stream)
         for entry in rules:
             tiers = ",".join(entry["eligible_tiers"])
+            ladder = ">".join(entry["degrade_ladder"])
             print(
                 f"{entry['rule']}: r={entry['radius']} {entry['norm']} "
-                f"ball={entry['ball_size']} purity={entry['purity']} tiers=[{tiers}]",
+                f"ball={entry['ball_size']} purity={entry['purity']} "
+                f"tiers=[{tiers}] ladder={ladder}",
                 file=stream,
             )
             for note in entry["notes"]:

@@ -6,8 +6,10 @@ parameters through :func:`repro.local_model.store.resolve_engine`, keep
 ``grid.shift`` inside the simulator, keep raw ``multiprocessing`` /
 ``shared_memory`` plumbing inside :mod:`repro.runtime`, pair every
 :class:`~repro.runtime.buffers.SharedCodeBuffer` acquisition with a
-close/unlink path, and record benchmark output through the ``bench_json``
-fixture.  This module walks the tree (``src/`` plus ``benchmarks/``),
+close/unlink path, keep fault-injection hooks
+(:mod:`repro.runtime.faults`) out of algorithm layers, and record
+benchmark output through the ``bench_json`` fixture.  This module walks
+the tree (``src/`` plus ``benchmarks/``),
 parses each file once, and reports every violation as a :class:`Finding`.
 
 Accepted findings live in an annotated allowlist file
@@ -43,6 +45,12 @@ RUNTIME_PREFIX = "src/repro/runtime/"
 
 #: Module roots that count as "raw multiprocessing" outside runtime/.
 RAW_MP_MODULES = {"multiprocessing"}
+
+#: The fault-injection module, plus the names it exports through the
+#: ``repro.runtime`` package surface.  Referencing either outside
+#: runtime/ would let chaos hooks steer an algorithm layer.
+FAULT_PLANE_MODULE = "repro.runtime.faults"
+FAULT_PLANE_SYMBOLS = {"faults", "FaultPlan", "WorkerFault"}
 
 #: Directory whose modules own neighbour-table construction: every engine
 #: tier consumes the flat index tables of a Topology, never raw offset
@@ -297,6 +305,52 @@ def check_raw_multiprocessing(path: str, tree: ast.Module) -> List[Finding]:
     ]
 
 
+def check_fault_plane(path: str, tree: ast.Module) -> List[Finding]:
+    """Fault-injection hooks stay inside runtime/ (tests are not linted).
+
+    The fault plane (:mod:`repro.runtime.faults`) perturbs the *runtime*
+    — worker processes, pipes, shared segments — and the chaos
+    equivalence leg asserts that results stay byte-identical whatever it
+    injects.  An algorithm or engine layer that consulted the plan could
+    make chaos part of the computed labelling, silently voiding that
+    invariant, so only runtime modules (and the test tree, which the lint
+    does not walk) may import it.
+    """
+    if path.startswith(RUNTIME_PREFIX):
+        return []
+    sites: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == FAULT_PLANE_MODULE or alias.name.startswith(
+                    FAULT_PLANE_MODULE + "."
+                ):
+                    sites.setdefault(alias.name, node)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == FAULT_PLANE_MODULE or node.module.startswith(
+                FAULT_PLANE_MODULE + "."
+            ):
+                sites.setdefault(node.module, node)
+            elif node.module == "repro.runtime":
+                for alias in node.names:
+                    if alias.name in FAULT_PLANE_SYMBOLS:
+                        sites.setdefault(f"{node.module}.{alias.name}", node)
+    return [
+        Finding(
+            check="fault-plane",
+            path=path,
+            symbol=module,
+            line=node.lineno,
+            message=(
+                f"imports {module!r} outside repro.runtime; fault-injection "
+                "hooks belong to the runtime layer (and tests) so chaos can "
+                "never steer algorithm results"
+            ),
+        )
+        for module, node in sorted(sites.items())
+    ]
+
+
 def check_shared_buffer_lifecycle(path: str, tree: ast.Module) -> List[Finding]:
     """Every ``SharedCodeBuffer`` acquisition needs a close/unlink path.
 
@@ -424,6 +478,7 @@ _CHECKS = (
     check_engine_routing,
     check_shift_usage,
     check_raw_multiprocessing,
+    check_fault_plane,
     check_shared_buffer_lifecycle,
     check_neighbour_tables,
     check_bench_json,

@@ -79,6 +79,13 @@ class TierEligibility:
     most ``table_max_alphabet``); the ``eligible_tiers`` tuple lists the
     tiers in the engines' own preference order, always ending in
     ``"list"`` (the serial scan is universally available).
+
+    ``degrade_ladder`` lists the run-time rungs in the order the engine
+    stack falls through them when one breaks: a worker-pool failure
+    demotes the persistent ``shm`` rung to per-round ``parallel`` forks,
+    a second failure lands on the ``serial`` scan (see the
+    ``DegradeEvent`` telemetry in :mod:`repro.local_model.engine`).  The
+    ladder always ends in ``"serial"`` — the rung that cannot break.
     """
 
     rule: str
@@ -93,6 +100,7 @@ class TierEligibility:
     shardable: bool
     fallback_only: bool
     eligible_tiers: Tuple[str, ...]
+    degrade_ladder: Tuple[str, ...]
     notes: Tuple[str, ...]
 
     def to_json(self) -> Dict[str, Any]:
@@ -110,6 +118,7 @@ class TierEligibility:
             "shardable": self.shardable,
             "fallback_only": self.fallback_only,
             "eligible_tiers": list(self.eligible_tiers),
+            "degrade_ladder": list(self.degrade_ladder),
             "notes": list(self.notes),
         }
 
@@ -185,6 +194,19 @@ def infer_tier_eligibility(
         eligible.append("sharded")
     eligible.append("list")
     fallback_only = eligible == ["list"]
+
+    # The run-time fall-through: sharded rules enter at the persistent
+    # shm rung and demote to per-round parallel forks, then to the
+    # serial scan; the fast per-rule paths (table, batch) sit above the
+    # sharding rungs and never break, so they only appear when eligible.
+    ladder: List[str] = []
+    if table_compilable is not False:
+        ladder.append("table")
+    if batch_vectorisable:
+        ladder.append("batch")
+    if shardable:
+        ladder.extend(("shm", "parallel"))
+    ladder.append("serial")
     if fallback_only:
         notes.append(
             "fallback-only: this rule can never leave the serial list scan, "
@@ -205,6 +227,7 @@ def infer_tier_eligibility(
         shardable=shardable,
         fallback_only=fallback_only,
         eligible_tiers=tuple(eligible),
+        degrade_ladder=tuple(ladder),
         notes=tuple(notes),
     )
 

@@ -306,6 +306,93 @@ def assert_equivalent(
     return reference_outcome
 
 
+# --------------------------------------------------------------------- #
+# The chaos leg: schedules under randomized fault plans
+# --------------------------------------------------------------------- #
+
+
+def chaos_fault_plan(
+    rng: random.Random,
+    workers: int,
+    rounds: int,
+    hang_seconds: float = 30.0,
+) -> Any:
+    """Draw a reproducible :class:`FaultPlan` for a chaos schedule.
+
+    The plan's own seed is drawn from ``rng``, so the master
+    ``--equivalence-seed`` replays the exact fault mix.  ``hang_seconds``
+    must comfortably exceed the test's ``REPRO_ROUND_TIMEOUT`` so hang
+    faults deterministically trip the deadline instead of racing it.
+    """
+    from repro.runtime.faults import FaultPlan
+
+    return FaultPlan.random(
+        rng.randrange(1 << 30),
+        workers=workers,
+        rounds=rounds,
+        hang_seconds=hang_seconds,
+    )
+
+
+def run_dict_schedule(
+    grid: Any, labels: Any, schedule: Sequence[Tuple[Any, int]]
+) -> "dict[Any, Any]":
+    """Replay a ``(rule, iterations)`` schedule on the dict oracle."""
+    from repro.local_model.simulator import apply_rule
+
+    current = dict(labels)
+    for rule, iterations in schedule:
+        for _ in range(iterations):
+            current = apply_rule(grid, current, rule)
+    return current
+
+
+def run_chaos_schedule(
+    grid: Any,
+    labels: Any,
+    schedule: Sequence[Tuple[Any, int]],
+    plan: Any,
+    workers: int = 2,
+    table_threshold: int = 1,
+    stats: Optional[dict] = None,
+) -> "dict[Any, Any]":
+    """Run a schedule on the shm tier with ``plan`` injecting faults.
+
+    The plan is activated *before* the engine spawns its pool, so forked
+    workers inherit it.  Whatever the faults do — healed in place or
+    degraded down the ladder — the returned labelling (or the raised
+    first-failing-node exception) must be byte-identical to
+    :func:`run_dict_schedule`.  When ``stats`` is given, resilience
+    counters (pool spawns/heals/respawns, the degrade-event summary)
+    are recorded into it even if the schedule raises.
+    """
+    from repro.local_model.engine import ShmEngine
+    from repro.runtime import faults
+
+    with faults.active(plan):
+        with ShmEngine(
+            grid, workers=workers, table_threshold=table_threshold
+        ) as engine:
+            engine.prepare([rule for rule, _ in schedule])
+            try:
+                current = engine.store(labels)
+                for rule, iterations in schedule:
+                    for _ in range(iterations):
+                        current = engine.apply_rule(current, rule)
+                return current.to_dict()
+            finally:
+                if stats is not None:
+                    from repro.runtime.telemetry import summarise
+
+                    stats.update(
+                        pool_spawns=engine.pool_spawns,
+                        pool_heals=engine.pool_heals,
+                        worker_respawns=engine.worker_respawns,
+                        broken=engine._broken,
+                        events=summarise(engine.degrade_events),
+                    )
+
+
 def _compare_blobs(reference_blob: bytes, candidate_blob: bytes, context: str) -> None:
     if reference_blob == candidate_blob:
         return

@@ -1,0 +1,218 @@
+"""Chaos equivalence leg: schedules under randomized fault plans.
+
+Each test derives a private RNG from ``--equivalence-seed``, draws a
+randomized :class:`FaultPlan` (worker kills, hangs, corrupt replies,
+spawn/segment failures — see :meth:`FaultPlan.random`) and asserts that
+shm-tier schedules run under it stay **byte-identical** to the dict
+oracle: same labellings, same first-failing-node exceptions — whichever
+faults fire, whether healing succeeds (:meth:`WorkerPool.heal` respawns
+the broken workers and the round retries) or the retry budget exhausts
+into the established degrade ladder.
+
+The two acceptance paths of the resilience layer are pinned explicitly:
+a healed pool *finishing its schedule on the shm tier* (one pool spawn,
+respawned workers, no serial degrade) and bounded retries *exhausting
+into the degrade ladder* (the pinned ``worker-pool failure`` warning,
+serial for the rest of the schedule, still byte-identical).
+
+When ``BENCH_RESULTS_DIR`` is set (the CI chaos leg), the module writes
+``BENCH_chaos_resilience.json`` with the observed heal/degrade counters
+so resilience regressions show up in ``bench-summary.json``.
+"""
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+from equivalence import (
+    assert_equivalent,
+    chaos_fault_plan,
+    derive_rng,
+    grid_corpus,
+    run_chaos_schedule,
+    run_dict_schedule,
+)
+
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.store import shm_available
+from repro.runtime import faults
+from repro.runtime.faults import FaultPlan, WorkerFault
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+
+#: Round deadline for every chaos run: far below the 30 s hang faults
+#: inject, far above what a real round on these grids needs.
+ROUND_TIMEOUT = "0.5"
+
+_RESILIENCE = {
+    "schedules": 0,
+    "pool_spawns": 0,
+    "pool_heals": 0,
+    "worker_respawns": 0,
+    "degraded_runs": 0,
+    "healed_events": 0,
+    "degrade_events": 0,
+}
+
+
+def _tally(stats):
+    _RESILIENCE["schedules"] += 1
+    _RESILIENCE["pool_spawns"] += stats.get("pool_spawns", 0)
+    _RESILIENCE["pool_heals"] += stats.get("pool_heals", 0)
+    _RESILIENCE["worker_respawns"] += stats.get("worker_respawns", 0)
+    _RESILIENCE["degraded_runs"] += 1 if stats.get("broken") else 0
+    events = stats.get("events", {})
+    _RESILIENCE["healed_events"] += events.get("healed", 0)
+    _RESILIENCE["degrade_events"] += events.get("degraded", 0)
+
+
+@pytest.fixture(autouse=True)
+def _chaos_env(monkeypatch):
+    """Hermetic fault plane + round deadline for every test here."""
+    faults.reset()
+    monkeypatch.delenv(faults.PLAN_VARIABLE, raising=False)
+    monkeypatch.setenv("REPRO_ROUND_TIMEOUT", ROUND_TIMEOUT)
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _record_resilience():
+    """Fold the module's resilience counters into the bench pipeline."""
+    yield
+    directory = os.environ.get("BENCH_RESULTS_DIR")
+    if not directory:
+        return
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {"benchmark": "chaos_resilience", **_RESILIENCE}
+    scratch = path / "BENCH_chaos_resilience.json.tmp"
+    scratch.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(scratch, path / "BENCH_chaos_resilience.json")
+
+
+def _min_plus(offset):
+    return FunctionRule(1, lambda view: min(view.values()) + offset)
+
+
+def _schedule(rng):
+    """A two-phase schedule totalling 4 rounds over a 40-label alphabet."""
+    a = rng.randrange(1, 7)
+    spread = FunctionRule(1, lambda view: min(view.values()) + a)
+    mix = FunctionRule(
+        1, lambda view: (max(view.values()) * 3 + min(view.values())) % 97
+    )
+    return [(spread, 2), (mix, 2)]
+
+
+def _labels(rng, grid):
+    return {node: rng.randrange(40) for node in grid.nodes()}
+
+
+class TestChaosEquivalence:
+    def test_random_fault_plans_stay_byte_identical(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "chaos:random-plans")
+        for grid in grid_corpus(rng, extras=0):
+            for workers in (2, 3):
+                labels = _labels(rng, grid)
+                schedule = _schedule(rng)
+                plan = chaos_fault_plan(rng, workers=workers, rounds=4)
+                stats = {}
+                with warnings.catch_warnings():
+                    # Degrades are legitimate chaos outcomes; equivalence
+                    # is the invariant under test.
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    assert_equivalent(
+                        lambda: run_dict_schedule(grid, labels, schedule),
+                        lambda: run_chaos_schedule(
+                            grid, labels, schedule, plan,
+                            workers=workers, stats=stats,
+                        ),
+                        f"seed={equivalence_seed} grid={grid!r} "
+                        f"workers={workers} plan={plan!r}",
+                    )
+                _tally(stats)
+
+    def test_raising_rules_fail_identically_under_faults(
+        self, equivalence_seed
+    ):
+        rng = derive_rng(equivalence_seed, "chaos:raising-rules")
+        for grid in grid_corpus(rng, extras=0):
+            poison = rng.randrange(40)
+
+            def update(view, poison=poison):
+                values = sorted(view.values())
+                if values[0] == poison:
+                    raise ValueError(f"poisoned label {poison}")
+                return values[0] + 1
+
+            schedule = [(FunctionRule(1, update), 3)]
+            labels = _labels(rng, grid)
+            plan = chaos_fault_plan(rng, workers=2, rounds=3)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert_equivalent(
+                    lambda: run_dict_schedule(grid, labels, schedule),
+                    lambda: run_chaos_schedule(
+                        grid, labels, schedule, plan, workers=2
+                    ),
+                    f"seed={equivalence_seed} grid={grid!r} "
+                    f"poison={poison} plan={plan!r}",
+                )
+
+    def test_healed_pool_finishes_the_schedule_on_the_shm_tier(
+        self, equivalence_seed
+    ):
+        # Acceptance: one worker kill mid-schedule, healed in place — the
+        # schedule finishes on the persistent pool (a single spawn, the
+        # dead worker respawned) with no serial degrade and no warning.
+        rng = derive_rng(equivalence_seed, "chaos:healed")
+        grid = next(grid_corpus(rng, extras=0))
+        labels = _labels(rng, grid)
+        schedule = _schedule(rng)
+        plan = FaultPlan(
+            worker_faults=[WorkerFault(kind="kill", worker=0, round=2)]
+        )
+        stats = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_chaos_schedule(
+                grid, labels, schedule, plan, workers=2, stats=stats
+            )
+        assert result == run_dict_schedule(grid, labels, schedule)
+        assert stats["pool_spawns"] == 1
+        assert stats["pool_heals"] >= 1
+        assert stats["worker_respawns"] >= 1
+        assert not stats["broken"]
+        assert stats["events"]["healed"] >= 1
+        assert stats["events"]["degraded"] == 0
+        _tally(stats)
+
+    def test_exhausted_retries_take_the_degrade_ladder(
+        self, equivalence_seed, monkeypatch
+    ):
+        # Acceptance: a worker that dies on *every* round exhausts the
+        # bounded retry budget and the engine takes the established
+        # serial-degrade ladder — with the pinned warning — while the
+        # labelling stays byte-identical.
+        monkeypatch.setenv("REPRO_POOL_RETRIES", "1")
+        rng = derive_rng(equivalence_seed, "chaos:exhausted")
+        grid = next(grid_corpus(rng, extras=0))
+        labels = _labels(rng, grid)
+        schedule = _schedule(rng)
+        plan = FaultPlan(worker_faults=[WorkerFault(kind="kill", worker=0)])
+        stats = {}
+        with pytest.warns(RuntimeWarning, match="worker-pool failure"):
+            result = run_chaos_schedule(
+                grid, labels, schedule, plan, workers=2, stats=stats
+            )
+        assert result == run_dict_schedule(grid, labels, schedule)
+        assert stats["pool_heals"] == 1  # the budget, fully spent
+        assert stats["broken"]
+        assert stats["events"]["degraded"] >= 1
+        _tally(stats)

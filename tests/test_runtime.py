@@ -196,7 +196,11 @@ class TestWorkerDeath:
             pool.load(np.zeros(pool.node_count, dtype=np.int32))
             with pytest.raises(PoolBrokenError, match="worker"):
                 pool.round(id(rule))
-            assert pool.closed
+            # Broken, not closed: resources stay alive so heal() can
+            # repair the pool in place; until then work is refused.
+            assert pool.broken and not pool.closed
+            with pytest.raises(PoolBrokenError, match="broken"):
+                pool.round(id(rule))
         finally:
             pool.close()
 

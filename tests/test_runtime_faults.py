@@ -1,0 +1,454 @@
+"""Deterministic chaos suite for the fault-injection plane (PR 8).
+
+Covers the plane itself (plan serialisation, env activation + caching,
+seeded randomness, inertness when unset) and every injection point
+end-to-end: worker kills, hangs and corrupt replies across worker counts
+1/2/4, spawn and segment-creation failures with their retry ladders, the
+``REPRO_ROUND_TIMEOUT`` round deadline, pool-level heal-then-degrade
+sequencing, and the two regression satellites — corrupt pipe messages
+surfacing as :class:`PoolBrokenError` (never raw
+``EOFError``/``UnpicklingError``) and :meth:`WorkerPool.close` unlinking
+its segments even when a stuck worker must be terminated.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.grid.indexer import GridIndexer
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import ShmEngine, plan_chunks
+from repro.local_model.simulator import apply_rule
+from repro.local_model.store import LabelCodec, shm_available
+from repro.runtime import PoolBrokenError, SharedCodeBuffer, WorkerPool
+from repro.runtime import faults
+from repro.runtime.faults import FaultPlan, WorkerFault
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+
+np = pytest.importorskip("numpy")
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_fault_plane(monkeypatch):
+    """No plan, no deadline, default retries unless a test opts in."""
+    faults.reset()
+    monkeypatch.delenv(faults.PLAN_VARIABLE, raising=False)
+    monkeypatch.delenv("REPRO_ROUND_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_POOL_RETRIES", raising=False)
+    yield
+    faults.reset()
+
+
+def _segment_exists(name):
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _grid_fixture(side=6):
+    grid = ToroidalGrid((side, side))
+    labels = {node: (i * 13) % 40 for i, node in enumerate(grid.nodes())}
+    return grid, labels
+
+
+def _min_plus(offset):
+    return FunctionRule(1, lambda view: min(view.values()) + offset)
+
+
+def _make_pool(grid, codec, rules, workers=2, **kwargs):
+    indexer = GridIndexer.for_grid(grid)
+    return WorkerPool(
+        indexer,
+        codec,
+        {id(rule): rule for rule in rules},
+        plan_chunks(indexer.node_count, workers),
+        **kwargs,
+    )
+
+
+def _loaded_pool(grid, labels, rule, workers=2, **kwargs):
+    codec = LabelCodec(sorted(set(labels.values())))
+    pool = _make_pool(grid, codec, [rule], workers=workers, **kwargs)
+    indexer = GridIndexer.for_grid(grid)
+    codes = np.array(
+        [codec.encode(labels[node]) for node in indexer.nodes],
+        dtype=np.int32,
+    )
+    pool.load(codes)
+    return pool
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            worker_faults=[
+                WorkerFault(kind="kill", worker=1, round=3, exit_code=5),
+                WorkerFault(kind="hang", seconds=2.5),
+                WorkerFault(kind="corrupt", worker=0, mode="truncate"),
+            ],
+            spawn_failures=2,
+            segment_failures=[1, 4],
+            seed=99,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_random_plans_are_deterministic(self):
+        first = FaultPlan.random(1234, workers=3, rounds=5)
+        second = FaultPlan.random(1234, workers=3, rounds=5)
+        assert first == second
+        assert first != FaultPlan.random(1235, workers=3, rounds=5)
+        # Every drawn worker fault targets a real worker and round.
+        for fault in first.worker_faults:
+            assert fault.kind in ("kill", "hang", "corrupt")
+            assert 0 <= fault.worker < 3
+            assert 1 <= fault.round <= 5
+
+    def test_unknown_kinds_are_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            WorkerFault(kind="meltdown")
+        with pytest.raises(ValueError, match="corrupt mode"):
+            WorkerFault(kind="corrupt", mode="sprinkle")
+
+    def test_worker_matching_wildcards(self):
+        fault = WorkerFault(kind="kill")
+        assert fault.matches(0, 1) and fault.matches(7, 99)
+        pinned = WorkerFault(kind="kill", worker=1, round=2)
+        assert pinned.matches(1, 2)
+        assert not pinned.matches(0, 2) and not pinned.matches(1, 3)
+        plan = FaultPlan(worker_faults=[pinned])
+        assert plan.worker_action(1, 2) is pinned
+        assert plan.worker_action(1, 3) is None
+
+    def test_spawn_and_segment_counters(self):
+        plan = FaultPlan(spawn_failures=2, segment_failures=[1, 3])
+        assert plan.fail_spawn() and plan.fail_spawn()
+        assert not plan.fail_spawn()  # third attempt succeeds
+        assert plan.fail_segment_create()       # attempt 1
+        assert not plan.fail_segment_create()   # attempt 2
+        assert plan.fail_segment_create()       # attempt 3
+        assert not plan.fail_segment_create()
+
+
+class TestActivation:
+    def test_inert_when_unset(self):
+        assert faults.current_plan() is None
+
+    def test_empty_env_value_is_inert(self, monkeypatch):
+        monkeypatch.setenv(faults.PLAN_VARIABLE, "")
+        assert faults.current_plan() is None
+
+    def test_env_plan_is_parsed_once_and_keeps_its_counters(
+        self, monkeypatch
+    ):
+        plan = FaultPlan(spawn_failures=1)
+        monkeypatch.setenv(faults.PLAN_VARIABLE, plan.to_json())
+        seen = faults.current_plan()
+        assert seen == plan
+        # Same instance on every lookup: parent-side attempt counters
+        # must persist across injection-point calls.
+        assert faults.current_plan() is seen
+        assert seen.fail_spawn()
+        assert not faults.current_plan().fail_spawn()
+
+    def test_invalid_env_plan_warns_once_and_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(faults.PLAN_VARIABLE, "{not json")
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            assert faults.current_plan() is None
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert faults.current_plan() is None  # cached, no re-warn
+
+    def test_installed_plan_shadows_the_environment(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.PLAN_VARIABLE, FaultPlan(spawn_failures=9).to_json()
+        )
+        programmatic = FaultPlan()
+        with faults.active(programmatic):
+            assert faults.current_plan() is programmatic
+        assert faults.current_plan() == FaultPlan(spawn_failures=9)
+
+    def test_unset_plane_leaves_the_pool_untouched(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(5)
+        reference = apply_rule(grid, labels, rule)
+        with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+            assert engine.apply_rule(labels, rule).to_dict() == reference
+            assert engine.pool_heals == 0
+            assert engine.degrade_events == ()
+
+
+class TestEnvKnobs:
+    def test_round_timeout_parsing(self, monkeypatch):
+        from repro.runtime.pool import round_timeout_seconds
+
+        assert round_timeout_seconds() is None
+        monkeypatch.setenv("REPRO_ROUND_TIMEOUT", "2.5")
+        assert round_timeout_seconds() == 2.5
+        monkeypatch.setenv("REPRO_ROUND_TIMEOUT", "0")
+        assert round_timeout_seconds() is None
+        monkeypatch.setenv("REPRO_ROUND_TIMEOUT", "soon")
+        with pytest.raises(SimulationError, match="REPRO_ROUND_TIMEOUT"):
+            round_timeout_seconds()
+
+    def test_retry_budget_parsing(self, monkeypatch):
+        from repro.runtime.pool import DEFAULT_POOL_RETRIES, pool_retry_budget
+
+        assert pool_retry_budget() == DEFAULT_POOL_RETRIES
+        monkeypatch.setenv("REPRO_POOL_RETRIES", "5")
+        assert pool_retry_budget() == 5
+        monkeypatch.setenv("REPRO_POOL_RETRIES", "-3")
+        assert pool_retry_budget() == 0
+        monkeypatch.setenv("REPRO_POOL_RETRIES", "many")
+        with pytest.raises(SimulationError, match="REPRO_POOL_RETRIES"):
+            pool_retry_budget()
+
+
+class TestEngineFaultMatrix:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("kind", ["kill", "hang", "corrupt", "spawn"])
+    def test_engine_stays_byte_identical(self, kind, workers, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUND_TIMEOUT", "0.4")
+        grid, labels = _grid_fixture()
+        rule = _min_plus(3)
+        reference = apply_rule(grid, apply_rule(grid, labels, rule), rule)
+        if kind == "spawn":
+            plan = FaultPlan(spawn_failures=1)
+        else:
+            plan = FaultPlan(
+                worker_faults=[
+                    WorkerFault(kind=kind, worker=0, round=1, seconds=30.0)
+                ]
+            )
+        with faults.active(plan):
+            with ShmEngine(grid, workers=workers, table_threshold=1) as engine:
+                import warnings as warnings_module
+
+                with warnings_module.catch_warnings():
+                    # workers=1 degrades with its own (pinned elsewhere)
+                    # warning; the invariant here is byte-equality.
+                    warnings_module.simplefilter("ignore", RuntimeWarning)
+                    result = engine.apply_rule(labels, rule)
+                    result = engine.apply_rule(result, rule).to_dict()
+                assert result == reference
+                if workers == 1:
+                    # No pool, so worker/spawn faults never fire: the
+                    # plane must be inert on the serial path.
+                    assert engine.pool_spawns == 0
+                    assert engine.pool_heals == 0
+                elif kind == "spawn":
+                    # Absorbed by WorkerPool.spawn's retry, not a degrade.
+                    assert engine.pool_spawns == 1
+                    assert not engine._broken
+                else:
+                    assert engine.pool_spawns == 1
+                    assert engine.pool_heals >= 1
+                    assert engine.worker_respawns >= 1
+                    assert not engine._broken
+
+
+class TestPoolSupervision:
+    def test_round_deadline_is_honored(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(1)
+        plan = FaultPlan(
+            worker_faults=[WorkerFault(kind="hang", worker=0, seconds=30.0)]
+        )
+        with faults.active(plan):
+            pool = _loaded_pool(grid, labels, rule, round_timeout=0.3)
+        try:
+            start = time.monotonic()
+            with pytest.raises(PoolBrokenError, match="deadline"):
+                pool.round(id(rule))
+            assert time.monotonic() - start < 5.0
+            assert pool.broken and not pool.closed
+        finally:
+            import repro.runtime.pool as pool_module
+
+            # The hung worker would otherwise burn the full default grace.
+            original = pool_module.SHUTDOWN_GRACE
+            pool_module.SHUTDOWN_GRACE = 0.2
+            try:
+                pool.close()
+            finally:
+                pool_module.SHUTDOWN_GRACE = original
+
+    def test_heal_then_degrade_sequencing(self):
+        # Pool-level sequencing: a worker that dies every round is healed
+        # as many times as the caller retries, each heal restoring a
+        # working (then immediately re-broken) pool; the engine's bounded
+        # budget turns the final failure into the degrade ladder.
+        grid, labels = _grid_fixture()
+        rule = _min_plus(2)
+        plan = FaultPlan(worker_faults=[WorkerFault(kind="kill", worker=0)])
+        with faults.active(plan):
+            pool = _loaded_pool(grid, labels, rule)
+            try:
+                for expected_heals in (1, 2):
+                    with pytest.raises(PoolBrokenError):
+                        pool.round(id(rule))
+                    assert pool.broken
+                    assert pool.heal() >= 1
+                    assert not pool.broken
+                    assert pool.respawned_workers >= expected_heals
+            finally:
+                pool.close()
+
+    def test_heal_without_a_break_is_a_no_op(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(4)
+        pool = _loaded_pool(grid, labels, rule)
+        try:
+            assert pool.heal() == 0
+            assert pool.respawned_workers == 0
+        finally:
+            pool.close()
+
+    def test_healed_pool_finishes_byte_identical_rounds(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(6)
+        reference = apply_rule(grid, labels, rule)
+        codec_reference = sorted(set(reference.values()))
+        plan = FaultPlan(
+            worker_faults=[WorkerFault(kind="kill", worker=1, round=1)]
+        )
+        with faults.active(plan):
+            pool = _loaded_pool(grid, labels, rule)
+            try:
+                with pytest.raises(PoolBrokenError):
+                    pool.round(id(rule))
+                assert pool.heal() >= 1
+                pool.round(id(rule))  # round 2: the pinned fault is spent
+                codes = pool.snapshot()
+                codec = pool.codec
+                indexer = GridIndexer.for_grid(grid)
+                result = {
+                    node: codec.decode(codes[position])
+                    for position, node in enumerate(indexer.nodes)
+                }
+                assert result == reference
+                assert sorted(set(result.values())) == codec_reference
+            finally:
+                pool.close()
+
+    def test_spawn_retry_classmethod(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(8)
+        codec = LabelCodec(sorted(set(labels.values())))
+        indexer = GridIndexer.for_grid(grid)
+        chunks = plan_chunks(indexer.node_count, 2)
+        with faults.active(FaultPlan(spawn_failures=2)):
+            pool = WorkerPool.spawn(
+                indexer, codec, {id(rule): rule}, chunks, retries=2
+            )
+            pool.close()
+        with faults.active(FaultPlan(spawn_failures=3)):
+            with pytest.raises(OSError, match="injected pool spawn"):
+                WorkerPool.spawn(
+                    indexer, codec, {id(rule): rule}, chunks, retries=1
+                )
+
+    def test_segment_creation_fault_is_absorbed_by_spawn_retry(self):
+        grid, labels = _grid_fixture()
+        rule = _min_plus(9)
+        with faults.active(FaultPlan(segment_failures=[1])):
+            with pytest.raises(OSError, match="injected shared-segment"):
+                SharedCodeBuffer.create(4)
+            # Attempt 2 (and later) succeed: one WorkerPool.spawn retry
+            # absorbs a first-attempt segment failure.
+            buffer = SharedCodeBuffer.create(4)
+            buffer.unlink()
+        reference = apply_rule(grid, labels, rule)
+        with faults.active(FaultPlan(segment_failures=[1])):
+            with ShmEngine(grid, workers=2, table_threshold=1) as engine:
+                import warnings as warnings_module
+
+                with warnings_module.catch_warnings():
+                    warnings_module.simplefilter("error")
+                    assert engine.apply_rule(labels, rule).to_dict() == reference
+
+
+class TestSatelliteRegressions:
+    @pytest.mark.parametrize("mode", ["garbage", "truncate"])
+    def test_corrupt_replies_surface_as_pool_broken_error(self, mode):
+        # Regression: a corrupt/truncated pipe message used to escape as
+        # raw UnpicklingError/EOFError from _collect_replies.
+        grid, labels = _grid_fixture()
+        rule = _min_plus(7)
+        plan = FaultPlan(
+            worker_faults=[
+                WorkerFault(kind="corrupt", worker=0, round=1, mode=mode)
+            ]
+        )
+        with faults.active(plan):
+            pool = _loaded_pool(grid, labels, rule)
+            try:
+                with pytest.raises(PoolBrokenError, match="worker 0"):
+                    pool.round(id(rule))
+                assert pool.broken and not pool.closed
+                # Healed, the same pool finishes the round.
+                assert pool.heal() >= 1
+                pool.round(id(rule))
+            finally:
+                pool.close()
+
+    def test_malformed_reply_shapes_surface_as_pool_broken_error(self):
+        # A reply that unpickles fine but is not a protocol tuple must be
+        # rejected by shape, not crash the barrier with an IndexError.
+        import multiprocessing
+
+        grid, labels = _grid_fixture()
+        rule = _min_plus(11)
+        pool = _loaded_pool(grid, labels, rule)
+        try:
+            real = pool._connections[0]
+            test_end, pool_end = multiprocessing.Pipe()
+            pool._connections[0] = pool_end
+            pool._round_id += 1
+            test_end.send(("nonsense",))
+            with pytest.raises(PoolBrokenError, match="malformed"):
+                pool._collect_replies()
+            assert pool.broken
+            # Let worker 0 (still wired to the real pipe) exit promptly.
+            real.close()
+            test_end.close()
+        finally:
+            pool.close()
+
+    def test_stuck_worker_close_still_unlinks_segments(self, monkeypatch):
+        # Regression: the close() terminate path was never covered.  A
+        # worker hung mid-round must be terminated within the (shortened)
+        # grace period and both shared segments still unlinked.
+        import repro.runtime.pool as pool_module
+
+        grid, labels = _grid_fixture()
+        rule = _min_plus(1)
+        plan = FaultPlan(
+            worker_faults=[WorkerFault(kind="hang", worker=0, seconds=30.0)]
+        )
+        with faults.active(plan):
+            pool = _loaded_pool(grid, labels, rule, round_timeout=0.3)
+        segment_names = [buffer.name for buffer in pool._buffers]
+        processes = list(pool._processes)
+        with pytest.raises(PoolBrokenError, match="deadline"):
+            pool.round(id(rule))
+        monkeypatch.setattr(pool_module, "SHUTDOWN_GRACE", 0.2)
+        start = time.monotonic()
+        pool.close()
+        assert time.monotonic() - start < 5.0
+        assert pool.closed
+        for process in processes:
+            assert not process.is_alive()
+        for name in segment_names:
+            assert not _segment_exists(name)

@@ -257,6 +257,20 @@ class TestTierInference:
         assert report.fallback_only
         assert any("PROVEN_UNSAFE" in note for note in report.notes)
 
+    def test_degrade_ladder_mirrors_the_runtime_fallthrough(self):
+        # Shardable rules enter at the persistent shm rung and demote
+        # through parallel forks to the serial scan; unsafe rules have
+        # nothing to fall from.
+        safe = infer_tier_eligibility(PureMinRule(), alphabet_size=4)
+        assert safe.degrade_ladder == ("table", "shm", "parallel", "serial")
+        unsafe = infer_tier_eligibility(SelfMutatingRule(), alphabet_size=1000)
+        assert unsafe.degrade_ladder == ("serial",)
+
+    def test_degrade_ladder_round_trips_through_json(self):
+        document = infer_tier_eligibility(PureMinRule(), alphabet_size=4).to_json()
+        assert document["degrade_ladder"] == ["table", "shm", "parallel", "serial"]
+        assert document["degrade_ladder"][-1] == "serial"
+
     def test_batch_rule_is_batch_eligible(self):
         rule = FunctionRule(1, lambda view: 0, batch=lambda matrix: matrix[:, 0])
         report = infer_tier_eligibility(rule, alphabet_size=10**6)
@@ -385,6 +399,44 @@ class TestContractLint:
         findings = run_contract_checks(root)
         assert [f.check for f in findings] == ["raw-multiprocessing"]
 
+    def test_fault_plane_import_outside_runtime_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            from repro.runtime.faults import current_plan
+
+            def cheat(view):
+                return 0 if current_plan() else 1
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["fault-plane"]
+        assert findings[0].symbol == "repro.runtime.faults"
+
+    def test_fault_symbols_via_the_package_surface_are_flagged(self, tmp_path):
+        # `from repro.runtime import FaultPlan` is the same leak through
+        # the package front door.
+        root = _seed_tree(
+            tmp_path,
+            """
+            from repro.runtime import FaultPlan, WorkerPool
+
+            def plan():
+                return FaultPlan(spawn_failures=1)
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [f.check for f in findings] == ["fault-plane"]
+        assert findings[0].symbol == "repro.runtime.FaultPlan"
+
+    def test_runtime_layer_may_import_the_fault_plane(self, tmp_path):
+        runtime = tmp_path / "src" / "repro" / "runtime"
+        runtime.mkdir(parents=True)
+        (runtime / "helper.py").write_text(
+            "from repro.runtime.faults import current_plan\n"
+        )
+        assert run_contract_checks(tmp_path) == []
+
     def test_buffer_acquire_without_release_is_flagged(self, tmp_path):
         root = _seed_tree(
             tmp_path,
@@ -506,6 +558,16 @@ class TestCli:
         root = _seed_tree(tmp_path, "x = 1\n")
         (root / ".statics-allowlist").write_text("some:entry:here\n")
         assert cli.main(["--root", str(root)]) == 2
+
+    def test_rules_report_prints_the_degrade_ladder(self):
+        import io
+
+        entry = infer_tier_eligibility(PureMinRule(), alphabet_size=4).to_json()
+        stream = io.StringIO()
+        cli._print_text([], [], [], [entry], stream)
+        output = stream.getvalue()
+        assert "tiers=[table,sharded,list]" in output
+        assert "ladder=table>shm>parallel>serial" in output
 
     def test_real_repo_is_green(self, repo_root, capsys):
         assert cli.main(["--root", str(repo_root)]) == 0
