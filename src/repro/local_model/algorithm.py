@@ -64,6 +64,16 @@ class LocalRule(abc.ABC):
     #: indexed scan, byte-identical.
     parallel_safe: bool = True
 
+    #: Optional declared label alphabet Σ.  LCL rules in the paper's sense
+    #: are finite-alphabet; declaring Σ lets the statics layer's
+    #: alphabet-closure analysis (:mod:`repro.statics.alphabets`) *prove*
+    #: that every label :meth:`update` can return stays inside Σ, which in
+    #: turn makes lookup-table compilability and the shm tier's
+    #: overflow-free fast path evidence-based instead of declared-on-faith
+    #: (see :func:`repro.statics.tiers.infer_tier_eligibility`).  ``None``
+    #: (the default) skips the closure analysis entirely.
+    alphabet: Optional[Tuple[Any, ...]] = None
+
     @abc.abstractmethod
     def update(self, view: LabelView) -> Any:
         """Compute the node's next label from its current local view."""
@@ -90,11 +100,53 @@ class RuleTraits:
     norm: str
     parallel_safe: bool
     update_batch: Optional[Callable[[Any], Any]]
+    #: Whether ``parallel_safe`` was *explicitly declared* (set on the
+    #: instance, or on a class below :class:`LocalRule` in the MRO) as
+    #: opposed to inherited from the trusting default.  Under
+    #: ``REPRO_STATICS_AUTOPROVE=1`` the sharding tiers gate undeclared
+    #: rules on the interprocedural purity verdict instead of the default.
+    parallel_safe_declared: bool = False
+    #: Declared label alphabet Σ (``None`` when the rule declares none);
+    #: consumed by the statics layer's alphabet-closure analysis.
+    alphabet: Optional[Tuple[Any, ...]] = None
 
     @property
     def ball_spec(self) -> Tuple[int, str]:
         """The ``(radius, norm)`` key of the rule's ball tables."""
         return (self.radius, self.norm)
+
+
+def _declared_parallel_safe(rule: Any) -> bool:
+    """Whether ``parallel_safe`` is an explicit author declaration.
+
+    True when the attribute lives in the instance ``__dict__`` or on a
+    class strictly below :class:`LocalRule` in the MRO.  The ``True``
+    default inherited from :class:`LocalRule` (or the ``getattr`` default
+    on a duck-typed rule with no such attribute) is *not* a declaration —
+    it is the engines trusting the LOCAL-model contract on faith, which
+    is exactly what ``REPRO_STATICS_AUTOPROVE=1`` replaces with evidence.
+    """
+    if not isinstance(rule, type):
+        instance_dict = getattr(rule, "__dict__", None)
+        if isinstance(instance_dict, dict) and "parallel_safe" in instance_dict:
+            return True
+    owner = rule if isinstance(rule, type) else type(rule)
+    for klass in getattr(owner, "__mro__", ()):
+        if klass is LocalRule:
+            break
+        if "parallel_safe" in klass.__dict__:
+            return True
+    return False
+
+
+def _declared_alphabet(rule: Any) -> Optional[Tuple[Any, ...]]:
+    alphabet = getattr(rule, "alphabet", None)
+    if alphabet is None:
+        return None
+    try:
+        return tuple(alphabet)
+    except TypeError:
+        return None
 
 
 def rule_traits(rule: Any) -> RuleTraits:
@@ -109,10 +161,14 @@ def rule_traits(rule: Any) -> RuleTraits:
         norm=getattr(rule, "norm", "l1"),
         parallel_safe=bool(getattr(rule, "parallel_safe", True)),
         update_batch=getattr(rule, "update_batch", None),
+        parallel_safe_declared=_declared_parallel_safe(rule),
+        alphabet=_declared_alphabet(rule),
     )
 
 
-def checked_parallel_safe(rule: Any) -> bool:
+def checked_parallel_safe(
+    rule: Any, recorder: Optional[Callable[[str, str], None]] = None
+) -> bool:
     """Whether the sharding tiers may fork workers for ``rule``.
 
     Reads the declared ``parallel_safe`` trait and — when it is ``True`` —
@@ -123,15 +179,53 @@ def checked_parallel_safe(rule: Any) -> bool:
     :class:`RuntimeError`) *before* any worker pool forks.  The declared
     value is still returned: the author's declaration stays authoritative
     outside strict mode, the contradiction merely becomes visible.
+
+    Under ``REPRO_STATICS_AUTOPROVE=1`` a rule with *no explicit*
+    declaration is gated on evidence instead: it shards only when the
+    interprocedural analysis proves its body safe, and degrades
+    byte-identically otherwise.  ``recorder`` (when given) receives one
+    ``("autoprove" | "autoblock", reason)`` notice per decision so the
+    engines can surface it through telemetry; declared rules and the
+    default posture never invoke it.
     """
-    if not rule_traits(rule).parallel_safe:
+    traits = rule_traits(rule)
+    if not traits.parallel_safe:
         return False
     # Imported lazily: the statics package is analysis tooling layered on
     # top of this module, not a load-bearing dependency of it.
-    from repro.statics.purity import maybe_warn_parallel_unsafe
+    from repro.statics.purity import autoprove_mode, maybe_warn_parallel_unsafe
 
-    maybe_warn_parallel_unsafe(rule)
-    return True
+    if traits.parallel_safe_declared or not autoprove_mode():
+        maybe_warn_parallel_unsafe(rule)
+        return True
+    from repro.statics.purity import autoprove_decision
+
+    allowed, reason = autoprove_decision(rule)
+    if recorder is not None:
+        recorder("autoprove" if allowed else "autoblock", reason)
+    return allowed
+
+
+def sharding_eligible(rule: Any) -> bool:
+    """Silent twin of :func:`checked_parallel_safe` for policy decisions.
+
+    Same outcome, no side effects: no mis-declaration warning, no strict
+    escalation, no telemetry notice.  The ``auto`` engine policy
+    (:func:`repro.local_model.store.resolve_engine`) uses this to skip
+    the sharding tiers entirely when no rule in a schedule could shard —
+    probing eligibility must not itself emit the one-time warning that
+    belongs to an actual sharding attempt.
+    """
+    traits = rule_traits(rule)
+    if not traits.parallel_safe:
+        return False
+    from repro.statics.purity import autoprove_mode
+
+    if traits.parallel_safe_declared or not autoprove_mode():
+        return True
+    from repro.statics.purity import autoprove_decision
+
+    return autoprove_decision(rule)[0]
 
 
 class FunctionRule(LocalRule):

@@ -633,12 +633,39 @@ class ParallelEngine(IndexedEngine):
         )
         self._warned_serial_fallback = False
         self._degrade_log: List[Any] = []
+        self._statics_log: List[Any] = []
+        self._noted_statics: set = set()
 
     @property
     def degrade_events(self) -> Tuple[Any, ...]:
         """Structured :class:`repro.runtime.telemetry.DegradeEvent` records
         of every tier drop this engine instance has taken."""
         return tuple(self._degrade_log)
+
+    @property
+    def statics_events(self) -> Tuple[Any, ...]:
+        """Structured :class:`repro.runtime.telemetry.StaticsEvent`
+        records — one per autoprove/autoblock decision the purity prover
+        took for this engine (only under ``REPRO_STATICS_AUTOPROVE=1``)."""
+        return tuple(self._statics_log)
+
+    def _note_statics(self, rule: LocalRule, kind: str, detail: str) -> None:
+        """Record an autoprove decision once per ``(kind, rule)`` pair.
+
+        ``_can_shard``/``_can_shm`` run per application, so without the
+        dedup a long schedule would grow the log by one event per round.
+        """
+        from repro.runtime.telemetry import StaticsEvent
+
+        key = (kind, id(rule))
+        if key in self._noted_statics:
+            return
+        self._noted_statics.add(key)
+        self._statics_log.append(
+            StaticsEvent(
+                engine="parallel", kind=kind, rule=repr(rule), detail=detail
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Tier selection
@@ -722,7 +749,12 @@ class ParallelEngine(IndexedEngine):
         return (
             self.workers > 1
             and "fork" in multiprocessing.get_all_start_methods()
-            and checked_parallel_safe(rule)
+            and checked_parallel_safe(
+                rule,
+                recorder=lambda kind, detail: self._note_statics(
+                    rule, kind, detail
+                ),
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -909,6 +941,8 @@ class ShmEngine(ArrayEngine):
         # recorded — keeps per-round repeats of the same degradation from
         # growing the log unboundedly.
         self._noted_degrades: set = set()
+        self._statics_log: List[Any] = []
+        self._noted_statics: set = set()
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
@@ -989,7 +1023,12 @@ class ShmEngine(ArrayEngine):
             and self.workers > 1
             and shm_available()
             and self.indexer.node_count > 1
-            and checked_parallel_safe(rule)
+            and checked_parallel_safe(
+                rule,
+                recorder=lambda kind, detail: self._note_statics(
+                    rule, kind, detail
+                ),
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -1144,6 +1183,31 @@ class ShmEngine(ArrayEngine):
             events += self._fallback.degrade_events
         return events
 
+    @property
+    def statics_events(self) -> Tuple[Any, ...]:
+        """Structured :class:`repro.runtime.telemetry.StaticsEvent`
+        records — autoprove/autoblock decisions the purity prover took
+        for this engine and its parallel fallback (only under
+        ``REPRO_STATICS_AUTOPROVE=1``)."""
+        events = tuple(self._statics_log)
+        if self._fallback is not None:
+            events += self._fallback.statics_events
+        return events
+
+    def _note_statics(self, rule: LocalRule, kind: str, detail: str) -> None:
+        """Record an autoprove decision once per ``(kind, rule)`` pair
+        (``_can_shm`` runs per application; see
+        :meth:`ParallelEngine._note_statics`)."""
+        from repro.runtime.telemetry import StaticsEvent
+
+        key = (kind, id(rule))
+        if key in self._noted_statics:
+            return
+        self._noted_statics.add(key)
+        self._statics_log.append(
+            StaticsEvent(engine="shm", kind=kind, rule=repr(rule), detail=detail)
+        )
+
     def _record_degrade(
         self,
         tier_from: str,
@@ -1234,8 +1298,11 @@ def run_schedule(
     platform supports it), the parallel tier from
     :data:`repro.local_model.store.PARALLEL_AUTO_THRESHOLD` nodes — both
     only when more than one worker is available (``REPRO_WORKERS``
-    overrides the count) — else the array tier when numpy is available,
-    else indexed.  A schedule is the shm tier's natural workload: every
+    overrides the count) — and only when at least one scheduled rule is
+    actually sharding-eligible (declared ``parallel_safe``, or proven
+    safe under ``REPRO_STATICS_AUTOPROVE=1``) — else the array tier when
+    numpy is available, else indexed.  A schedule is the shm tier's
+    natural workload: every
     phase's rule is registered up front, so one pool spawn serves all
     rounds, and the pool is deterministically shut down before returning.
     Returns the final store (use ``.to_dict()`` for a plain dict).
@@ -1244,6 +1311,7 @@ def run_schedule(
         engine,
         allowed=("indexed", "array", "parallel", "shm"),
         node_count=grid_or_indexer.node_count,
+        rules=[step.rule for step in schedule],
     )
     if tier == "shm":
         executor: IndexedEngine = ShmEngine(grid_or_indexer)

@@ -1,0 +1,198 @@
+"""A catalogue of concrete helper-structured LCL rules.
+
+Every rule here follows the idiom the interprocedural statics layer is
+built for: ``update`` delegates to module-level helper functions instead
+of inlining its logic.  Under the old intraprocedural prover each of
+these rules was capped at ``UNKNOWN`` (``calls unanalysed global
+helper()``); the summary-based analysis (:mod:`repro.statics.callgraph`)
+proves them ``PROVEN_SAFE``, and — under ``REPRO_STATICS_AUTOPROVE=1`` —
+that proof alone makes them sharding-eligible on the ``parallel``/``shm``
+tiers, byte-identical to the dict oracle (pinned by
+``tests/test_equivalence_autoprove.py``).
+
+None of the rules declares ``parallel_safe``: that is the point.  The
+finite-alphabet rules additionally declare their Σ so the
+alphabet-closure analysis (:mod:`repro.statics.alphabets`) can prove
+their outputs stay inside it, which the tier report
+(``python -m repro.statics --rules``) surfaces as a proven output
+alphabet.
+
+The rules themselves are the standard radius-1 building blocks of the
+paper's toroidal-grid constructions: neighbourhood minima (the
+contagion step of flood-fill arguments), local majority, boundary
+detection between constant regions, threshold dynamics on a binary
+alphabet, and greedy first-free colouring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.local_model.algorithm import LabelView, LocalRule
+
+Offset = Tuple[int, ...]
+
+
+def _origin(view: LabelView) -> Offset:
+    """The all-zero offset of ``view`` (the node's own position)."""
+    for offset in view.keys():
+        return (0,) * len(offset)
+    return ()
+
+
+def _own_label(view: LabelView) -> Any:
+    """The node's current label."""
+    return view[_origin(view)]
+
+
+def _min_label(view: LabelView) -> Any:
+    """The minimum label in the view, the node's own included."""
+    best = _own_label(view)
+    for value in view.values():
+        if value < best:
+            best = value
+    return best
+
+
+def _label_counts(view: LabelView) -> dict:
+    """Multiplicity of each label in the view."""
+    counts: dict = {}
+    for value in view.values():
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def _most_frequent(counts: dict) -> Any:
+    """The most frequent label; ties break towards the smallest label.
+
+    Iterates in sorted label order so the outcome is a deterministic
+    function of the multiset alone — a requirement for byte-identical
+    results across engine tiers.
+    """
+    best_value = None
+    best_count = 0
+    for value, count in sorted(counts.items()):
+        if count > best_count:
+            best_value = value
+            best_count = count
+    return best_value
+
+
+def _count_value(view: LabelView, needle: Any) -> int:
+    """How many positions of the view carry ``needle``."""
+    count = 0
+    for value in view.values():
+        if value == needle:
+            count = count + 1
+    return count
+
+
+def _differs_from_neighbour(view: LabelView) -> bool:
+    """Whether any non-origin position carries a different label."""
+    origin = _origin(view)
+    own = view[origin]
+    for offset, value in sorted(view.items()):
+        if offset != origin and value != own:
+            return True
+    return False
+
+
+def _first_free(view: LabelView, palette: Tuple[Any, ...]) -> Any:
+    """The smallest palette colour not present among the neighbours.
+
+    With ``len(palette)`` exceeding the view size a free colour always
+    exists; the final fallback only keeps the function total.
+    """
+    origin = _origin(view)
+    used = _label_counts(view)
+    own = view[origin]
+    for candidate in palette:
+        if candidate == own or candidate not in used:
+            return candidate
+    return palette[0]
+
+
+class MinNeighbourRule(LocalRule):
+    """Propagate the minimum label seen in the radius-1 view.
+
+    The contagion step of the flood-fill/leader-election arguments: after
+    ``diam`` applications every node carries the global minimum.  Works
+    over any totally ordered label set, so no alphabet is declared.
+    """
+
+    radius = 1
+
+    def update(self, view: LabelView) -> Any:
+        return _min_label(view)
+
+
+class MajorityRule(LocalRule):
+    """Replace the node's label by the view's most frequent label.
+
+    Ties break towards the smallest label, making the rule a
+    deterministic function of the view (the cross-tier byte-identity
+    requirement).  Alphabet-generic, so no Σ is declared.
+    """
+
+    radius = 1
+
+    def update(self, view: LabelView) -> Any:
+        return _most_frequent(_label_counts(view))
+
+
+class BorderRule(LocalRule):
+    """Mark nodes on the boundary between differently-labelled regions.
+
+    Output alphabet Σ = (``"interior"``, ``"border"``): closure is
+    provable because both returns are literals from Σ, whatever the
+    input labelling.
+    """
+
+    radius = 1
+    alphabet = ("interior", "border")
+
+    def update(self, view: LabelView) -> Any:
+        if _differs_from_neighbour(view):
+            return "border"
+        return "interior"
+
+
+class ThresholdFlipRule(LocalRule):
+    """Binary threshold dynamics: become 1 iff the view is majority-1.
+
+    Σ = (0, 1); the closure analysis proves both branches return
+    elements of Σ even though the helper's counting loop itself widens.
+    """
+
+    radius = 1
+    alphabet = (0, 1)
+
+    def update(self, view: LabelView) -> Any:
+        ones = _count_value(view, 1)
+        return 1 if ones * 2 > len(view) else 0
+
+
+class GreedyColourRule(LocalRule):
+    """Greedy recolouring towards a proper colouring over a 5-palette.
+
+    A radius-1 view on the 2-dimensional torus sees 4 neighbours, so the
+    5-colour palette always has a free colour; keeping the own colour
+    when it is still free makes fixpoints of the rule proper colourings.
+    Σ is the palette, read by the helpers through ``self.alphabet``.
+    """
+
+    radius = 1
+    alphabet = (0, 1, 2, 3, 4)
+
+    def update(self, view: LabelView) -> Any:
+        return _first_free(view, self.alphabet)
+
+
+#: The catalogue in one place, for tests and reports.
+CATALOGUE: List[type] = [
+    MinNeighbourRule,
+    MajorityRule,
+    BorderRule,
+    ThresholdFlipRule,
+    GreedyColourRule,
+]

@@ -127,6 +127,7 @@ def resolve_engine(
     engine: str,
     allowed: Tuple[str, ...] = ("dict", "indexed", "array"),
     node_count: Optional[int] = None,
+    rules: Optional[Sequence[Any]] = None,
 ) -> str:
     """Resolve an ``engine`` argument, mapping ``"auto"`` to the fastest tier.
 
@@ -136,18 +137,32 @@ def resolve_engine(
     (:func:`shm_available`) and more than one worker is available; else
     ``"parallel"`` under the analogous conditions with
     :data:`PARALLEL_AUTO_THRESHOLD`; otherwise ``"array"`` when numpy is
-    importable and ``"indexed"`` as the last resort.  Explicit engine names
-    are validated against ``allowed``; an explicit ``"shm"`` on a
-    numpy-less install degrades (with a one-time warning) to the best
-    allowed fallback — ``"parallel"`` then ``"indexed"`` — because the shm
-    tier's code-vector transport cannot exist without numpy.  The remaining
-    shm preconditions (worker count, fork, shared memory) are checked by
-    the engine itself per application, so a requested ``"shm"`` stays
-    byte-identical on every platform.
+    importable and ``"indexed"`` as the last resort.  When the caller
+    additionally passes the ``rules`` the schedule will run, the sharded
+    rungs are only taken when at least one of those rules is actually
+    sharding-eligible (declared ``parallel_safe``, or — under
+    ``REPRO_STATICS_AUTOPROVE=1`` — interprocedurally ``PROVEN_SAFE``;
+    see :func:`repro.local_model.algorithm.sharding_eligible`): spawning
+    workers that every round would bypass wins nothing and costs a pool.
+    Explicit engine names are validated against ``allowed``; an explicit
+    ``"shm"`` on a numpy-less install degrades (with a one-time warning)
+    to the best allowed fallback — ``"parallel"`` then ``"indexed"`` —
+    because the shm tier's code-vector transport cannot exist without
+    numpy.  The remaining shm preconditions (worker count, fork, shared
+    memory) are checked by the engine itself per application, so a
+    requested ``"shm"`` stays byte-identical on every platform.
     """
     if engine == "auto":
         workers: Optional[int] = None
-        if node_count is not None:
+        want_shards = True
+        if rules is not None and (
+            "shm" in allowed or "parallel" in allowed
+        ):
+            # Imported lazily: algorithm imports this module at top level.
+            from repro.local_model.algorithm import sharding_eligible
+
+            want_shards = any(sharding_eligible(rule) for rule in rules)
+        if node_count is not None and want_shards:
             if (
                 "shm" in allowed
                 and node_count >= SHM_AUTO_THRESHOLD

@@ -416,11 +416,16 @@ class WorkerPool:
         # Last line of defence before processes fork: a registered rule
         # whose body is statically proven impure gets its one-time
         # RuntimeWarning (or a RuntimeError under REPRO_STATICS_STRICT=1)
-        # here, even when the pool is driven without the shm engine.
-        from repro.statics.purity import maybe_warn_parallel_unsafe
+        # here, even when the pool is driven without the shm engine.  The
+        # per-rule verdicts (interprocedural analysis, memoised) are kept
+        # on the pool so operators and the equivalence harness can audit
+        # what the prover thought of every sharded rule.
+        from repro.statics.purity import analyse_rule, maybe_warn_parallel_unsafe
 
-        for rule in self.rules.values():
+        self.spawn_verdicts: Dict[int, str] = {}
+        for key, rule in self.rules.items():
             maybe_warn_parallel_unsafe(rule)
+            self.spawn_verdicts[key] = analyse_rule(rule).verdict.value
         indexer.warm_ball_tables(
             {rule_traits(rule).ball_spec for rule in self.rules.values()}
         )

@@ -52,6 +52,37 @@ class DegradeEvent:
         }
 
 
+@dataclass(frozen=True)
+class StaticsEvent:
+    """One static-analysis tier decision taken by an engine.
+
+    Recorded only under ``REPRO_STATICS_AUTOPROVE=1``, when the purity
+    prover — not a declared ``parallel_safe`` attribute — decides whether
+    an undeclared rule may shard:
+
+    * ``kind="autoprove"`` — the rule was interprocedurally
+      ``PROVEN_SAFE`` and is executing on the sharded tier.
+    * ``kind="autoblock"`` — the proof did not go through (``UNKNOWN``
+      or ``PROVEN_UNSAFE``) and the rule stays on the serial tier.
+
+    Like :class:`DegradeEvent`, ``rule`` is the rule's ``repr`` so the
+    event can outlive the engine that recorded it.
+    """
+
+    engine: str
+    kind: str
+    rule: str
+    detail: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "kind": self.kind,
+            "rule": self.rule,
+            "detail": self.detail,
+        }
+
+
 def summarise(events: Iterable[DegradeEvent]) -> Dict[str, int]:
     """Counts for the ``BENCH_*.json`` → ``bench-summary.json`` pipeline."""
     total = healed = 0

@@ -10,20 +10,36 @@ turns those conventions into machine-checked contracts:
   ``LocalRule.update`` / ``update_batch`` bodies classifying each rule as
   ``PROVEN_SAFE``, ``PROVEN_UNSAFE`` (closure-cell or global mutation,
   ``random``/``time``/I-O calls, writes to captured objects) or
-  ``UNKNOWN``.  The ``parallel`` and ``shm`` tiers consult the cached
-  verdict and emit a one-time :class:`RuntimeWarning` (escalated to an
-  error under ``REPRO_STATICS_STRICT=1``) when a rule declared
-  ``parallel_safe=True`` is proven unsafe — *before* any pool forks.
+  ``UNKNOWN``.  The analysis is *interprocedural*: same-package helper
+  calls resolve through :mod:`repro.statics.callgraph` and fold the
+  callee's own summary into the verdict.  The ``parallel`` and ``shm``
+  tiers consult the cached verdict and emit a one-time
+  :class:`RuntimeWarning` (escalated to an error under
+  ``REPRO_STATICS_STRICT=1``) when a rule declared ``parallel_safe=True``
+  is proven unsafe — *before* any pool forks; under
+  ``REPRO_STATICS_AUTOPROVE=1`` an *undeclared* rule shards exactly when
+  the proof goes through.
+* :mod:`repro.statics.callgraph` — call-site resolution and the
+  summary-walk context (cycle detection, depth bound) behind the
+  interprocedural verdicts.
+* :mod:`repro.statics.alphabets` — abstract interpretation of ``update``
+  over a declared finite alphabet Σ, proving output closure
+  (``proven-closed`` / ``proven-escapes`` / ``unknown``) and, when
+  closed, the exact proven output alphabet.
 * :mod:`repro.statics.tiers` — static tier-eligibility inference
   (table-compilable via the ``|Σ|^ball_size`` bound, batch-vectorisable,
-  shardable, fallback-only), making silent slow-path fallbacks visible.
+  shardable, autoprove-shardable, fallback-only, closure verdicts),
+  making silent slow-path fallbacks visible.
 * :mod:`repro.statics.contracts` — a repo-wide lint over ``src/`` (and
   ``benchmarks/``) enforcing the engine-stack conventions, with an
   annotated allowlist (``.statics-allowlist``) for accepted findings.
-* :mod:`repro.statics.cli` — ``python -m repro.statics`` with text/JSON
-  output, exiting non-zero on findings not covered by the allowlist.
+* :mod:`repro.statics.cli` — ``python -m repro.statics`` with
+  text/JSON/GitHub-annotation output, exiting non-zero on findings not
+  covered by the allowlist (and on stale allowlist entries; ``--prune``
+  rewrites them away).
 
-Import layering: :mod:`~repro.statics.purity` and
+Import layering: :mod:`~repro.statics.purity`,
+:mod:`~repro.statics.callgraph`, :mod:`~repro.statics.alphabets` and
 :mod:`~repro.statics.contracts` depend on nothing inside
 :mod:`repro.local_model` (the engines import *them*), while
 :mod:`~repro.statics.tiers` imports the engine module for its thresholds.
@@ -43,10 +59,19 @@ _EXPORTS = {
     "analyse_function": "repro.statics.purity",
     "maybe_warn_parallel_unsafe": "repro.statics.purity",
     "clear_analysis_cache": "repro.statics.purity",
+    "strict_mode": "repro.statics.purity",
+    "autoprove_mode": "repro.statics.purity",
+    "autoprove_decision": "repro.statics.purity",
+    "InterproceduralContext": "repro.statics.callgraph",
+    "ClosureVerdict": "repro.statics.alphabets",
+    "ClosureAnalysis": "repro.statics.alphabets",
+    "analyse_closure": "repro.statics.alphabets",
+    "clear_closure_cache": "repro.statics.alphabets",
     "TierEligibility": "repro.statics.tiers",
     "infer_tier_eligibility": "repro.statics.tiers",
     "discover_rule_classes": "repro.statics.tiers",
     "tier_report": "repro.statics.tiers",
+    "closure_findings": "repro.statics.tiers",
     "Finding": "repro.statics.contracts",
     "run_contract_checks": "repro.statics.contracts",
     "load_allowlist": "repro.statics.contracts",

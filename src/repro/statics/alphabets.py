@@ -1,0 +1,1126 @@
+"""Alphabet-closure abstract interpretation of rule bodies.
+
+LCL rules in the conf_podc_BrandtHKLOPRSU17 sense are *finite-alphabet*:
+every label a correct ``update`` returns comes from the problem's label
+set Σ.  The engine stack leans on that finiteness twice — lookup-table
+compilation bounds the table by ``|Σ|^ball_size``, and the shm tier's
+codec snapshot is overflow-free only while no new labels appear — but
+until now both leaned on the *declared* alphabet on faith.  This module
+proves (or refutes) **output closure**: that every label ``update`` can
+return is an element of the declared Σ.
+
+The analysis is a small abstract interpreter over the function's AST:
+
+* **Abstract values** are finite sets of concrete labels.  Constants
+  abstract to singletons, tuples to bounded products, joins (branches,
+  ``or``, conditional expressions) to unions.
+* **View reads are ⊤-of-alphabet**: ``view[offset]``, ``view.get(...)``,
+  iteration over ``view.values()`` all abstract to the full Σ — the
+  analysis asks "assuming inputs range over Σ, do outputs stay in Σ?",
+  which is exactly the LCL closure property.
+* **Branches are joined**, loops run to a bounded fixpoint and widen to
+  ⊤ (an unconstrained value) when they fail to stabilise, and helper
+  calls are resolved through :mod:`repro.statics.callgraph` and
+  interpreted recursively (cycle-safe, depth-bounded) so the catalogue
+  idiom — ``update`` delegating to module-level helpers — stays
+  analysable.
+
+Verdicts are three-valued, mirroring the purity prover:
+
+* ``PROVEN_CLOSED`` — every syntactic return abstracts to a finite set
+  ``⊆ Σ``; the union of those sets is reported as the *proven output
+  alphabet* and consumed by
+  :func:`repro.statics.tiers.infer_tier_eligibility`.
+* ``PROVEN_ESCAPES`` — some return abstracts to a finite set containing
+  a label outside Σ (a relabelling through a dict with out-of-Σ values,
+  string concatenation building new labels, a branch returning a
+  sentinel...).  The abstraction over-approximates path feasibility, so
+  an escape is "provable under the abstraction" — the contract lint
+  surfaces it as an ``alphabet-closure`` finding and the annotated
+  allowlist absorbs deliberate ones.
+* ``UNKNOWN`` — some return abstracts to ⊤ (unresolvable call, widened
+  loop, unsupported construct).  ``UNKNOWN`` never gates and never
+  lints; it only withholds the proven output alphabet.
+
+Like the purity layer, this module imports nothing from
+:mod:`repro.local_model`; rule objects are plain inputs.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.statics.callgraph import (
+    MAX_CALL_DEPTH,
+    resolve_class_method,
+    resolve_global,
+    resolve_module_function,
+)
+from repro.statics.purity import MUTATING_METHODS, _rule_targets, _unwrap_function
+
+#: Abstract sets wider than this widen to ⊤ — keeps products (tuple
+#: construction, binary operators over Σ × Σ) bounded.
+SET_LIMIT = 256
+
+#: Passes a loop body is re-interpreted before widening to ⊤.
+LOOP_LIMIT = 8
+
+
+class ClosureVerdict(enum.Enum):
+    """Three-valued outcome of the closure analysis."""
+
+    PROVEN_CLOSED = "proven-closed"
+    PROVEN_ESCAPES = "proven-escapes"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ClosureAnalysis:
+    """Outcome of analysing one rule's output closure.
+
+    ``proven_output`` is the union of all return-value abstractions when
+    the verdict is ``PROVEN_CLOSED`` (ordered as in the declared
+    alphabet) and ``None`` otherwise; ``escapes`` holds ``repr``s of
+    labels provably (under the abstraction) returned outside Σ;
+    ``reasons`` the human-readable notes behind ⊤ values.
+    """
+
+    verdict: ClosureVerdict
+    alphabet: Tuple[Any, ...]
+    proven_output: Optional[Tuple[Any, ...]]
+    escapes: Tuple[str, ...]
+    reasons: Tuple[str, ...]
+
+    def describe(self) -> str:
+        parts = list(self.escapes) + list(self.reasons)
+        return "; ".join(parts) if parts else "no findings"
+
+
+# --------------------------------------------------------------------- #
+# Abstract values
+# --------------------------------------------------------------------- #
+
+
+class _Top:
+    """⊤ — an unconstrained value."""
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+TOP = _Top()
+
+
+class _View:
+    """The rule's view parameter: a mapping from offsets to Σ labels."""
+
+    def __repr__(self) -> str:
+        return "view"
+
+
+class _SelfRef:
+    """The rule instance; only ``.alphabet`` resolves to a known value."""
+
+    def __init__(self, alphabet: Tuple[Any, ...]) -> None:
+        self.alphabet = alphabet
+
+    def __repr__(self) -> str:
+        return "self"
+
+
+class _Elements:
+    """An iterable whose *elements* abstract to ``value`` (order unknown)."""
+
+    def __init__(self, value: "AbstractValue") -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Elements) and other.value == self.value
+
+    def __hash__(self) -> int:  # pragma: no cover - never keyed
+        return hash("_Elements")
+
+    def __repr__(self) -> str:
+        return f"elements({self.value!r})"
+
+
+class _Pairs:
+    """An iterable of 2-tuples: ``(keys, values)`` component abstractions."""
+
+    def __init__(self, keys: "AbstractValue", values: "AbstractValue") -> None:
+        self.keys = keys
+        self.values = values
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _Pairs)
+            and other.keys == self.keys
+            and other.values == self.values
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - never keyed
+        return hash("_Pairs")
+
+    def __repr__(self) -> str:
+        return f"pairs({self.keys!r}, {self.values!r})"
+
+
+class _Map:
+    """A dict with concretely-known keys and abstract values.
+
+    Mutations *join* rather than replace (branch copies share the map
+    object, so accumulating is the sound direction), and any write
+    through a non-concrete key poisons the map: every later lookup and
+    iteration answers ⊤.
+    """
+
+    def __init__(self) -> None:
+        self.entries: Dict[Any, "AbstractValue"] = {}
+        self.poisoned = False
+
+    def assign(self, keys: "AbstractValue", value: "AbstractValue") -> None:
+        if self.poisoned:
+            return
+        if not isinstance(keys, frozenset):
+            self.poisoned = True
+            return
+        for key in keys:
+            existing = self.entries.get(key)
+            self.entries[key] = value if existing is None else _join(existing, value)
+
+    def lookup(self, keys: "AbstractValue") -> "AbstractValue":
+        if self.poisoned:
+            return TOP
+        if isinstance(keys, frozenset):
+            hits = [self.entries[key] for key in keys if key in self.entries]
+            if not hits:
+                return TOP
+            result: AbstractValue = hits[0]
+            for hit in hits[1:]:
+                result = _join(result, hit)
+            return result
+        return self.joined_values()
+
+    def joined_values(self) -> "AbstractValue":
+        if self.poisoned or not self.entries:
+            return TOP
+        values = list(self.entries.values())
+        result: AbstractValue = values[0]
+        for value in values[1:]:
+            result = _join(result, value)
+        return result
+
+    def key_set(self) -> "AbstractValue":
+        if self.poisoned:
+            return TOP
+        return frozenset(self.entries.keys())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _Map)
+            and other.poisoned == self.poisoned
+            and other.entries == self.entries
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - never keyed
+        return hash("_Map")
+
+    def __repr__(self) -> str:
+        return f"map({self.entries!r}, poisoned={self.poisoned})"
+
+
+AbstractValue = Union[_Top, FrozenSet[Any], _View, _SelfRef, _Elements, _Pairs, _Map]
+
+
+def _join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a is b:
+        return a
+    if isinstance(a, frozenset) and isinstance(b, frozenset):
+        union = a | b
+        return union if len(union) <= SET_LIMIT else TOP
+    if isinstance(a, _View) and isinstance(b, _View):
+        return a
+    if isinstance(a, _Elements) and isinstance(b, _Elements):
+        return _Elements(_join(a.value, b.value))
+    if isinstance(a, _Pairs) and isinstance(b, _Pairs):
+        return _Pairs(_join(a.keys, b.keys), _join(a.values, b.values))
+    if isinstance(a, _Map) and isinstance(b, _Map):
+        merged = _Map()
+        merged.poisoned = a.poisoned or b.poisoned
+        for key in set(a.entries) | set(b.entries):
+            left, right = a.entries.get(key), b.entries.get(key)
+            if left is None:
+                assert right is not None
+                merged.entries[key] = right
+            elif right is None:
+                merged.entries[key] = left
+            else:
+                merged.entries[key] = _join(left, right)
+        return merged
+    if a == b:
+        return a
+    return TOP
+
+
+def _singleton(value: Any) -> AbstractValue:
+    try:
+        hash(value)
+    except TypeError:
+        return TOP
+    return frozenset({value})
+
+
+_IMMUTABLE_MEMBERS = (str, int, float, bool, bytes, tuple, frozenset, type(None))
+
+_BIN_OPERATORS: Dict[type, Any] = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitXor: lambda a, b: a ^ b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+}
+
+_UNARY_OPERATORS: Dict[type, Any] = {
+    ast.USub: lambda a: -a,
+    ast.UAdd: lambda a: +a,
+    ast.Invert: lambda a: ~a,
+    ast.Not: lambda a: not a,
+}
+
+#: Single-argument pure builtins applied elementwise over finite sets.
+_ELEMENTWISE_BUILTINS: Dict[str, Any] = {
+    "abs": abs,
+    "bool": bool,
+    "chr": chr,
+    "float": float,
+    "int": int,
+    "len": len,
+    "ord": ord,
+    "repr": repr,
+    "round": round,
+    "str": str,
+}
+
+
+def _product_members(
+    parts: Sequence[AbstractValue],
+) -> Optional[List[Tuple[Any, ...]]]:
+    """Concrete tuples from per-component finite sets, ``None`` when ⊤."""
+    members: List[Tuple[Any, ...]] = [()]
+    for part in parts:
+        if not isinstance(part, frozenset):
+            return None
+        grown = [prefix + (value,) for prefix in members for value in part]
+        if len(grown) > SET_LIMIT:
+            return None
+        members = grown
+    return members
+
+
+class _Interpreter:
+    """One abstract stack frame: interprets a function body over Σ."""
+
+    def __init__(
+        self,
+        function: types.FunctionType,
+        sigma: FrozenSet[Any],
+        declared: Tuple[Any, ...],
+        owner: Optional[type],
+        depth: int,
+        stack: FrozenSet[types.CodeType],
+        notes: List[str],
+    ) -> None:
+        self.function = function
+        self.sigma = sigma
+        self.declared = declared
+        self.owner = owner
+        self.depth = depth
+        self.stack = stack | {function.__code__}
+        self.notes = notes
+        self.returns: List[AbstractValue] = []
+
+    # ------------------------------------------------------------- #
+    # Entry
+    # ------------------------------------------------------------- #
+
+    def note(self, reason: str) -> None:
+        label = getattr(self.function, "__qualname__", self.function.__name__)
+        message = f"{label}: {reason}"
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def run(self, arguments: List[AbstractValue]) -> List[AbstractValue]:
+        """Interpret the body with positional ``arguments``; return the
+        list of abstract return values (including an implicit ``None``
+        when the body may fall through)."""
+        definition = self._definition()
+        if definition is None:
+            self.note("source unavailable for abstract interpretation")
+            return [TOP]
+        env: Dict[str, AbstractValue] = {}
+        parameters = list(definition.args.posonlyargs) + list(definition.args.args)
+        for index, parameter in enumerate(parameters):
+            if index < len(arguments):
+                env[parameter.arg] = arguments[index]
+            else:
+                default = self._parameter_default(definition.args, index, len(parameters))
+                env[parameter.arg] = default
+        for parameter in definition.args.kwonlyargs:
+            env[parameter.arg] = TOP
+        if definition.args.vararg is not None:
+            env[definition.args.vararg.arg] = TOP
+        if definition.args.kwarg is not None:
+            env[definition.args.kwarg.arg] = TOP
+        self.exec_block(definition.body, env)
+        if not _terminates(definition.body):
+            self.returns.append(_singleton(None))
+        return self.returns or [_singleton(None)]
+
+    def _definition(self) -> Optional[ast.FunctionDef]:
+        try:
+            source = textwrap.dedent(inspect.getsource(self.function))
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError, IndentationError, ValueError):
+            return None
+        definition = tree.body[0] if tree.body else None
+        if isinstance(definition, ast.AsyncFunctionDef):
+            self.note("async function (not abstractly interpretable)")
+            return None
+        if not isinstance(definition, ast.FunctionDef):
+            return None
+        return definition
+
+    def _parameter_default(
+        self, args: ast.arguments, index: int, count: int
+    ) -> AbstractValue:
+        offset = index - (count - len(args.defaults))
+        if 0 <= offset < len(args.defaults):
+            default = args.defaults[offset]
+            if isinstance(default, ast.Constant):
+                return _singleton(default.value)
+        return TOP
+
+    # ------------------------------------------------------------- #
+    # Statements
+    # ------------------------------------------------------------- #
+
+    def exec_block(self, stmts: Sequence[ast.stmt], env: Dict[str, AbstractValue]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: Dict[str, AbstractValue]) -> None:
+        if isinstance(stmt, ast.Return):
+            value = _singleton(None) if stmt.value is None else self.eval(stmt.value, env)
+            self.returns.append(value)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.bind_target(target, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            synthetic = ast.BinOp(
+                left=_load_of(stmt.target), op=stmt.op, right=stmt.value
+            )
+            self.bind_target(stmt.target, self.eval(synthetic, env), env)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = TOP if stmt.value is None else self.eval(stmt.value, env)
+            self.bind_target(stmt.target, value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            self.exec_branches([stmt.body, stmt.orelse], env)
+        elif isinstance(stmt, ast.For):
+            self.exec_loop(stmt, env, target=stmt.target, iterable=stmt.iter)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            self.exec_loop(stmt, env, target=None, iterable=None)
+        elif isinstance(stmt, ast.Try):
+            blocks: List[List[ast.stmt]] = [list(stmt.body)]
+            for handler in stmt.handlers:
+                if handler.name is not None:
+                    env[handler.name] = TOP
+                blocks.append(list(handler.body))
+            if stmt.orelse:
+                blocks.append(list(stmt.orelse))
+            self.exec_branches(blocks, env)
+            if stmt.finalbody:
+                self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.bind_target(item.optional_vars, TOP, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+            # A raising path produces no label; nothing to record.
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = TOP
+        elif isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Assert)):
+            if isinstance(stmt, ast.Assert):
+                self.eval(stmt.test, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # A nested definition's returns are its own; the bound name is
+            # an opaque callable.
+            env[stmt.name] = TOP
+            self.note(f"nested definition {stmt.name!r} is not interpreted")
+        else:
+            # Unknown statement kind (match statements, imports, ...):
+            # havoc the environment and count any return buried inside it
+            # as ⊤ so no syntactic return is ever silently dropped.
+            self.note(f"unsupported statement {type(stmt).__name__}")
+            for name in list(env):
+                env[name] = TOP
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Return):
+                    self.returns.append(TOP)
+
+    def exec_branches(
+        self, blocks: Sequence[List[ast.stmt]], env: Dict[str, AbstractValue]
+    ) -> None:
+        snapshots: List[Dict[str, AbstractValue]] = []
+        for block in blocks:
+            branch_env = dict(env)
+            self.exec_block(block, branch_env)
+            snapshots.append(branch_env)
+        names = set(env)
+        for snapshot in snapshots:
+            names |= set(snapshot)
+        for name in names:
+            values = [snapshot.get(name, env.get(name, TOP)) for snapshot in snapshots]
+            joined = values[0]
+            for value in values[1:]:
+                joined = _join(joined, value)
+            env[name] = joined
+
+    def exec_loop(
+        self,
+        stmt: Union[ast.For, ast.While],
+        env: Dict[str, AbstractValue],
+        target: Optional[ast.expr],
+        iterable: Optional[ast.expr],
+    ) -> None:
+        for _ in range(LOOP_LIMIT):
+            before = dict(env)
+            if target is not None and iterable is not None:
+                self.bind_iteration_target(target, self.eval(iterable, env), env)
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            for name in set(env) | set(body_env):
+                joined = _join(env.get(name, TOP), body_env.get(name, TOP))
+                env[name] = joined
+            if env == before:
+                break
+        else:
+            # No fixpoint within the bound: widen everything this loop
+            # could have touched — i.e. the whole frame — and take one
+            # final pass so returns inside the body are recorded at ⊤.
+            for name in list(env):
+                env[name] = TOP
+            if target is not None:
+                self.bind_iteration_target(target, TOP, env)
+            self.exec_block(stmt.body, dict(env))
+        if stmt.orelse:
+            self.exec_block(stmt.orelse, env)
+
+    def bind_target(
+        self, target: ast.expr, value: AbstractValue, env: Dict[str, AbstractValue]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            components = self.unpack(value, len(target.elts))
+            for element, component in zip(target.elts, components):
+                self.bind_target(element, component, env)
+        elif isinstance(target, ast.Starred):
+            self.bind_target(target.value, TOP, env)
+        elif isinstance(target, ast.Subscript):
+            container = self.eval(target.value, env)
+            if isinstance(container, _Map):
+                container.assign(self.eval(target.slice, env), value)
+            elif isinstance(target.value, ast.Name):
+                env[target.value.id] = TOP
+        elif isinstance(target, ast.Attribute):
+            # ``self.x = ...`` — the purity layer's business; the written
+            # slot reads back as ⊤ here anyway.
+            pass
+
+    def unpack(self, value: AbstractValue, arity: int) -> List[AbstractValue]:
+        if isinstance(value, _Pairs) and arity == 2:
+            return [value.keys, value.values]
+        if isinstance(value, frozenset):
+            components: List[AbstractValue] = []
+            for index in range(arity):
+                projected = set()
+                for member in value:
+                    if not isinstance(member, tuple) or len(member) != arity:
+                        return [TOP] * arity
+                    projected.add(member[index])
+                if len(projected) > SET_LIMIT:
+                    return [TOP] * arity
+                components.append(frozenset(projected))
+            return components
+        return [TOP] * arity
+
+    def bind_iteration_target(
+        self, target: ast.expr, iterable: AbstractValue, env: Dict[str, AbstractValue]
+    ) -> None:
+        element = self.element_of(iterable)
+        if (
+            isinstance(target, (ast.Tuple, ast.List))
+            and isinstance(iterable, _Pairs)
+            and len(target.elts) == 2
+        ):
+            self.bind_target(target.elts[0], iterable.keys, env)
+            self.bind_target(target.elts[1], iterable.values, env)
+            return
+        self.bind_target(target, element, env)
+
+    def element_of(self, iterable: AbstractValue) -> AbstractValue:
+        if isinstance(iterable, _View):
+            return TOP  # iterating a view yields offsets, not labels
+        if isinstance(iterable, _Elements):
+            return iterable.value
+        if isinstance(iterable, _Pairs):
+            merged = _product_members([iterable.keys, iterable.values])
+            if merged is None:
+                return TOP
+            return frozenset(merged) if len(merged) <= SET_LIMIT else TOP
+        if isinstance(iterable, _Map):
+            return iterable.key_set()
+        if isinstance(iterable, frozenset):
+            elements: set = set()
+            for member in iterable:
+                if isinstance(member, (tuple, str, frozenset)):
+                    elements.update(member)
+                else:
+                    return TOP
+            return frozenset(elements) if len(elements) <= SET_LIMIT else TOP
+        return TOP
+
+    # ------------------------------------------------------------- #
+    # Expressions
+    # ------------------------------------------------------------- #
+
+    def eval(self, node: ast.expr, env: Dict[str, AbstractValue]) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            return _singleton(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return self.global_constant(node.id)
+        if isinstance(node, ast.Tuple):
+            members = _product_members([self.eval(el, env) for el in node.elts])
+            return TOP if members is None else frozenset(members)
+        if isinstance(node, ast.Dict):
+            return self.eval_dict(node, env)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node, env)
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_unaryop(node, env)
+        if isinstance(node, ast.BoolOp):
+            joined: AbstractValue = self.eval(node.values[0], env)
+            for value in node.values[1:]:
+                joined = _join(joined, self.eval(value, env))
+            return joined
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, env)
+            for comparator in node.comparators:
+                self.eval(comparator, env)
+            return frozenset({True, False})
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return _join(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.JoinedStr):
+            return self.eval_joined_str(node, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value, env)
+            self.bind_target(node.target, value, env)
+            return value
+        if isinstance(node, ast.Starred):
+            self.eval(node.value, env)
+            return TOP
+        # Lambdas, comprehensions, sets/lists, await/yield, slices...
+        return TOP
+
+    def global_constant(self, name: str) -> AbstractValue:
+        bound = getattr(self.function, "__globals__", {}).get(name)
+        if isinstance(bound, _IMMUTABLE_MEMBERS) and not isinstance(bound, types.ModuleType):
+            return _singleton(bound)
+        return TOP
+
+    def eval_dict(self, node: ast.Dict, env: Dict[str, AbstractValue]) -> AbstractValue:
+        mapping = _Map()
+        for key, value in zip(node.keys, node.values):
+            abstract_value = self.eval(value, env)
+            if key is None:  # ``{**other}`` unpacking
+                mapping.poisoned = True
+                continue
+            mapping.assign(self.eval(key, env), abstract_value)
+        return mapping
+
+    def eval_subscript(
+        self, node: ast.Subscript, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        container = self.eval(node.value, env)
+        if isinstance(node.slice, ast.Slice):
+            return TOP
+        index = self.eval(node.slice, env)
+        if isinstance(container, _View):
+            return frozenset(self.sigma)
+        if isinstance(container, _Map):
+            return container.lookup(index)
+        if isinstance(container, _Elements):
+            return container.value
+        if isinstance(container, frozenset) and isinstance(index, frozenset):
+            projected: set = set()
+            for member in container:
+                if not isinstance(member, (tuple, str)):
+                    return TOP
+                for position in index:
+                    if not isinstance(position, int):
+                        return TOP
+                    if -len(member) <= position < len(member):
+                        projected.add(member[position])
+            if not projected or len(projected) > SET_LIMIT:
+                return TOP
+            return frozenset(projected)
+        return TOP
+
+    def eval_attribute(
+        self, node: ast.Attribute, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        base = self.eval(node.value, env)
+        if isinstance(base, _SelfRef) and node.attr == "alphabet":
+            return _singleton(base.alphabet)
+        if isinstance(node.value, ast.Name) and node.value.id not in env:
+            module = getattr(self.function, "__globals__", {}).get(node.value.id)
+            if isinstance(module, types.ModuleType):
+                bound = getattr(module, node.attr, None)
+                if isinstance(bound, _IMMUTABLE_MEMBERS):
+                    return _singleton(bound)
+        return TOP
+
+    def eval_binop(self, node: ast.BinOp, env: Dict[str, AbstractValue]) -> AbstractValue:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        operator = _BIN_OPERATORS.get(type(node.op))
+        if (
+            operator is None
+            or not isinstance(left, frozenset)
+            or not isinstance(right, frozenset)
+        ):
+            return TOP
+        if len(left) * len(right) > SET_LIMIT:
+            return TOP
+        results: set = set()
+        for a in left:
+            for b in right:
+                try:
+                    value = operator(a, b)
+                    hash(value)
+                except Exception:
+                    continue  # that combination raises; no label flows
+                results.add(value)
+        if not results or len(results) > SET_LIMIT:
+            return TOP
+        return frozenset(results)
+
+    def eval_unaryop(
+        self, node: ast.UnaryOp, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        operand = self.eval(node.operand, env)
+        operator = _UNARY_OPERATORS.get(type(node.op))
+        if operator is None or not isinstance(operand, frozenset):
+            return frozenset({True, False}) if isinstance(node.op, ast.Not) else TOP
+        results: set = set()
+        for member in operand:
+            try:
+                value = operator(member)
+                hash(value)
+            except Exception:
+                continue
+            results.add(value)
+        return frozenset(results) if results else TOP
+
+    def eval_joined_str(
+        self, node: ast.JoinedStr, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        parts: List[AbstractValue] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(_singleton(str(piece.value)))
+            elif isinstance(piece, ast.FormattedValue):
+                if piece.format_spec is not None:
+                    return TOP
+                value = self.eval(piece.value, env)
+                if not isinstance(value, frozenset):
+                    return TOP
+                render = repr if piece.conversion == 114 else str
+                rendered = frozenset(render(member) for member in value)
+                if len(rendered) > SET_LIMIT:
+                    return TOP
+                parts.append(rendered)
+            else:
+                return TOP
+        members = _product_members(parts)
+        if members is None:
+            return TOP
+        return frozenset("".join(member) for member in members)
+
+    # ------------------------------------------------------------- #
+    # Calls
+    # ------------------------------------------------------------- #
+
+    def eval_call(self, node: ast.Call, env: Dict[str, AbstractValue]) -> AbstractValue:
+        if isinstance(node.func, ast.Attribute):
+            return self.eval_method_call(node, node.func, env)
+        if isinstance(node.func, ast.Name):
+            return self.eval_named_call(node, node.func.id, env)
+        for argument in node.args:
+            self.eval(argument, env)
+        return TOP
+
+    def eval_named_call(
+        self, node: ast.Call, name: str, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        arguments = [self.eval(argument, env) for argument in node.args]
+        for keyword in node.keywords:
+            self.eval(keyword.value, env)
+        if name in env:
+            return TOP  # locally-bound callables stay opaque
+        if name in ("min", "max"):
+            if len(arguments) == 1:
+                return self.element_of(arguments[0])
+            if arguments:
+                joined: AbstractValue = arguments[0]
+                for argument in arguments[1:]:
+                    joined = _join(joined, argument)
+                return joined
+            return TOP
+        if name in ("sorted", "list", "tuple", "set", "frozenset", "reversed", "iter"):
+            if len(arguments) == 1 and not node.keywords:
+                argument = arguments[0]
+                if isinstance(argument, (_Pairs, _Elements)):
+                    return argument  # reordering keeps the same elements
+                return _Elements(self.element_of(argument))
+            return TOP
+        if name == "dict" and not node.args and not node.keywords:
+            return _Map()
+        if name in _ELEMENTWISE_BUILTINS and len(arguments) == 1:
+            argument = arguments[0]
+            if isinstance(argument, frozenset):
+                results: set = set()
+                for member in argument:
+                    try:
+                        value = _ELEMENTWISE_BUILTINS[name](member)
+                        hash(value)
+                    except Exception:
+                        continue
+                    results.add(value)
+                return frozenset(results) if results else TOP
+            return TOP
+        target = resolve_global(self.function, name)
+        if target is not None:
+            return self.interpret_callee(target, arguments, owner=None, label=name)
+        return TOP
+
+    def eval_method_call(
+        self, node: ast.Call, callee: ast.Attribute, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        receiver = self.eval(callee.value, env)
+        method = callee.attr
+        arguments = [self.eval(argument, env) for argument in node.args]
+        for keyword in node.keywords:
+            self.eval(keyword.value, env)
+        if isinstance(receiver, _View):
+            if method == "values":
+                return _Elements(frozenset(self.sigma))
+            if method == "items":
+                return _Pairs(TOP, frozenset(self.sigma))
+            if method == "keys":
+                return _Elements(TOP)
+            if method == "copy":
+                return _View()
+            if method == "get":
+                default = arguments[1] if len(arguments) > 1 else _singleton(None)
+                return _join(frozenset(self.sigma), default)
+            return TOP
+        if isinstance(receiver, _Map):
+            if method in MUTATING_METHODS:
+                receiver.poisoned = True
+                return TOP
+            if method == "get":
+                default = arguments[1] if len(arguments) > 1 else _singleton(None)
+                looked = receiver.lookup(arguments[0]) if arguments else TOP
+                return _join(looked, default)
+            if method == "values":
+                return _Elements(receiver.joined_values())
+            if method == "keys":
+                return _Elements(receiver.key_set())
+            if method == "items":
+                return _Pairs(receiver.key_set(), receiver.joined_values())
+            if method == "copy":
+                copied = _Map()
+                copied.entries = dict(receiver.entries)
+                copied.poisoned = receiver.poisoned
+                return copied
+            return TOP
+        if isinstance(receiver, _SelfRef) or (
+            isinstance(callee.value, ast.Name) and callee.value.id not in env
+        ):
+            target: Optional[types.FunctionType] = None
+            owner: Optional[type] = None
+            if isinstance(receiver, _SelfRef) and self.owner is not None:
+                target = resolve_class_method(self.owner, method)
+                owner = self.owner
+                if target is not None:
+                    return self.interpret_callee(
+                        target,
+                        [receiver] + arguments,
+                        owner=owner,
+                        label=f"self.{method}",
+                    )
+            elif isinstance(callee.value, ast.Name):
+                target = resolve_module_function(
+                    self.function, callee.value.id, method
+                )
+                if target is not None:
+                    return self.interpret_callee(
+                        target,
+                        arguments,
+                        owner=None,
+                        label=f"{callee.value.id}.{method}",
+                    )
+            return TOP
+        if (
+            isinstance(receiver, frozenset)
+            and method not in MUTATING_METHODS
+            and all(isinstance(member, _IMMUTABLE_MEMBERS) for member in receiver)
+            and all(isinstance(argument, frozenset) for argument in arguments)
+        ):
+            # Pure method application over immutable members (str.upper,
+            # str.replace, tuple.count, ...), elementwise over the bounded
+            # product of receiver × arguments.
+            frames = _product_members([receiver] + arguments)
+            if frames is None:
+                return TOP
+            results: set = set()
+            for frame in frames:
+                bound = getattr(frame[0], method, None)
+                if bound is None or not callable(bound):
+                    continue
+                try:
+                    value = bound(*frame[1:])
+                    hash(value)
+                except Exception:
+                    continue
+                results.add(value)
+            if not results or len(results) > SET_LIMIT:
+                return TOP
+            return frozenset(results)
+        return TOP
+
+    def interpret_callee(
+        self,
+        target: Any,
+        arguments: List[AbstractValue],
+        owner: Optional[type],
+        label: str,
+    ) -> AbstractValue:
+        function = _unwrap_function(target)
+        if function is None:
+            return TOP
+        if function.__code__ in self.stack:
+            self.note(f"recursive call to {label}() widens to ⊤")
+            return TOP
+        if self.depth >= MAX_CALL_DEPTH:
+            self.note(f"call to {label}() beyond depth bound widens to ⊤")
+            return TOP
+        child = _Interpreter(
+            function,
+            self.sigma,
+            self.declared,
+            owner,
+            self.depth + 1,
+            self.stack,
+            self.notes,
+        )
+        values = child.run(arguments)
+        joined: AbstractValue = values[0]
+        for value in values[1:]:
+            joined = _join(joined, value)
+        return joined
+
+
+def _load_of(target: ast.expr) -> ast.expr:
+    """A Load-context copy of an AugAssign target."""
+    clone = ast.copy_location(
+        ast.parse(ast.unparse(target), mode="eval").body, target
+    )
+    return clone
+
+
+def _terminates(stmts: Sequence[ast.stmt]) -> bool:
+    """Whether every path through ``stmts`` ends in ``return``/``raise``.
+
+    Conservative: loops and try blocks never count, so a fall-through
+    implicit ``return None`` may be recorded for bodies that in fact
+    always return — an over-approximation, never a missed path.
+    """
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return True
+        if (
+            isinstance(stmt, ast.If)
+            and stmt.orelse
+            and _terminates(stmt.body)
+            and _terminates(stmt.orelse)
+        ):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Rule-level entry point (cached)
+# --------------------------------------------------------------------- #
+
+_CLOSURE_CACHE: Dict[Tuple[Any, ...], ClosureAnalysis] = {}
+
+
+def _unknown(
+    alphabet: Tuple[Any, ...], reasons: Tuple[str, ...]
+) -> ClosureAnalysis:
+    return ClosureAnalysis(
+        verdict=ClosureVerdict.UNKNOWN,
+        alphabet=alphabet,
+        proven_output=None,
+        escapes=(),
+        reasons=reasons,
+    )
+
+
+def analyse_closure(
+    rule: Any, alphabet: Optional[Sequence[Any]] = None
+) -> ClosureAnalysis:
+    """Prove (or refute) output closure of ``rule`` over its alphabet.
+
+    ``alphabet`` overrides the rule's declared ``alphabet`` attribute;
+    when neither is given the analysis is vacuously ``UNKNOWN`` — there
+    is no Σ to be closed over.  Only the scalar ``update`` path is
+    interpreted (``update_batch`` is the array tier's vectorised twin,
+    pinned byte-identical to ``update`` by the equivalence harness).
+    Results are cached per ``(code objects, Σ)``.
+    """
+    declared = alphabet if alphabet is not None else getattr(rule, "alphabet", None)
+    if declared is None:
+        return _unknown((), ("no declared alphabet to close over",))
+    try:
+        declared_tuple = tuple(declared)
+        sigma = frozenset(declared_tuple)
+    except TypeError:
+        return _unknown((), ("declared alphabet is not a finite hashable set",))
+    if not declared_tuple:
+        return _unknown((), ("declared alphabet is empty",))
+
+    batch = getattr(rule, "update_batch", None)
+    targets = [
+        (label, function, owner)
+        for label, function, owner in _rule_targets(rule)
+        if function is not batch or batch is None
+    ]
+    if not targets:
+        return _unknown(declared_tuple, ("rule has no update body to interpret",))
+
+    key_parts: List[Any] = [declared_tuple]
+    for _, function, _owner in targets:
+        unwrapped = _unwrap_function(function)
+        if unwrapped is not None:
+            key_parts.append(unwrapped.__code__)
+    cache_key = tuple(key_parts)
+    cached = _CLOSURE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    notes: List[str] = []
+    returns: List[AbstractValue] = []
+    for label, function, owner in targets:
+        unwrapped = _unwrap_function(function)
+        if unwrapped is None:
+            notes.append(f"{label}: not a pure-Python function")
+            returns.append(TOP)
+            continue
+        interpreter = _Interpreter(
+            unwrapped, sigma, declared_tuple, owner, 0, frozenset(), notes
+        )
+        parameters = unwrapped.__code__.co_varnames[: unwrapped.__code__.co_argcount]
+        arguments: List[AbstractValue] = []
+        if owner is not None and parameters and parameters[0] == "self":
+            arguments.append(_SelfRef(declared_tuple))
+        arguments.append(_View())
+        try:
+            returns.extend(interpreter.run(arguments))
+        except Exception as error:  # pragma: no cover - interpreter bug guard
+            notes.append(f"{label}: abstract interpretation failed ({error!r})")
+            returns.append(TOP)
+
+    escapes: List[str] = []
+    output: set = set()
+    undecided = False
+    for value in returns:
+        if isinstance(value, frozenset):
+            bad = sorted((repr(member) for member in value if member not in sigma))
+            if bad:
+                escapes.extend(bad)
+            else:
+                output |= set(value)
+        else:
+            undecided = True
+    if escapes:
+        analysis = ClosureAnalysis(
+            verdict=ClosureVerdict.PROVEN_ESCAPES,
+            alphabet=declared_tuple,
+            proven_output=None,
+            escapes=tuple(dict.fromkeys(escapes)),
+            reasons=tuple(notes),
+        )
+    elif undecided:
+        analysis = _unknown(declared_tuple, tuple(notes) or ("a return value widened to ⊤",))
+    else:
+        ordered = tuple(member for member in declared_tuple if member in output)
+        analysis = ClosureAnalysis(
+            verdict=ClosureVerdict.PROVEN_CLOSED,
+            alphabet=declared_tuple,
+            proven_output=ordered,
+            escapes=(),
+            reasons=tuple(notes),
+        )
+    _CLOSURE_CACHE[cache_key] = analysis
+    return analysis
+
+
+def clear_closure_cache() -> None:
+    """Drop cached closure analyses (test isolation)."""
+    _CLOSURE_CACHE.clear()

@@ -1,0 +1,219 @@
+"""Call-graph resolution for the interprocedural purity analysis.
+
+PR 6's purity prover was strictly intraprocedural: any rule whose
+``update`` calls a helper function — however obviously pure — landed at
+``UNKNOWN`` with a ``calls unanalysed global helper()`` finding.  This
+module closes that gap with a *summary-based* call-graph analysis:
+
+* **Resolution.**  A syntactic call site (``helper(...)``,
+  ``module.helper(...)``, ``self.method(...)``) is resolved against the
+  caller's ``__globals__`` (or, for ``self.*``, against the owning rule
+  class) to a concrete pure-Python function.  Only *same-package*
+  callees are resolved — the top-level package of the callee's
+  ``__module__`` must match the caller's, or be the ``repro`` package
+  itself — so third-party code (numpy, stdlib internals) is never pulled
+  into the analysis; unresolvable call sites keep today's honest
+  ``UNKNOWN``.
+* **Summaries.**  Each resolved callee is analysed with the same
+  bytecode + AST passes as the rule body itself, bottom-up: a call to a
+  ``PROVEN_SAFE`` callee contributes no finding (a proven-safe body has
+  no heap effect outside function-fresh objects, so its arguments are
+  never mutated either); a ``PROVEN_UNSAFE`` callee makes the caller
+  unsafe; an ``UNKNOWN`` callee keeps the caller undecided.  Summaries
+  are memoised per ``(code object, owner class)`` in
+  :data:`repro.statics.purity._SUMMARY_CACHE`.
+* **Termination.**  The analysis walks the call graph depth-first with
+  an explicit stack of in-flight code objects: re-entering a code object
+  (direct or mutual recursion) bottoms the fixpoint at ``UNKNOWN``, and
+  the walk is bounded at :data:`MAX_CALL_DEPTH` frames.  Summaries whose
+  computation hit either boundary are *not* memoised — they depend on
+  where the walk entered the graph, not only on the callee.
+
+The dataflow direction is deliberately one-way: this module imports
+:mod:`repro.statics.purity` helpers lazily inside methods (purity drives
+the analysis and calls back into the resolver), and nothing here touches
+:mod:`repro.local_model` — the import layering contract of the statics
+package (see ``repro/statics/__init__.py``) is preserved.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import TYPE_CHECKING, Any, FrozenSet, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.statics.purity import _FunctionScan
+
+#: Bound on the depth of the interprocedural walk.  Rule bodies in this
+#: reproduction are shallow (a rule calling a helper calling a helper);
+#: anything deeper is more likely an analysis runaway than a real rule.
+MAX_CALL_DEPTH = 8
+
+#: Package whose helpers are always resolvable, regardless of where the
+#: calling rule lives (test modules routinely define rules that call
+#: catalogue helpers from ``repro.local_model.rules``).
+HOME_PACKAGE = "repro"
+
+
+def _top_package(function: Any) -> str:
+    module = getattr(function, "__module__", None) or ""
+    return module.split(".")[0]
+
+
+def _same_package(caller: types.FunctionType, callee: types.FunctionType) -> bool:
+    """Whether ``callee`` is fair game for interprocedural analysis.
+
+    Same top-level package as the caller, or anywhere inside the
+    reproduction's own :data:`HOME_PACKAGE`.  Everything else (stdlib,
+    numpy, site-packages) stays unanalysed — their purity is a packaging
+    question, not a rule-authoring one.
+    """
+    callee_root = _top_package(callee)
+    if not callee_root:
+        return False
+    return callee_root == _top_package(caller) or callee_root == HOME_PACKAGE
+
+
+def resolve_global(
+    caller: types.FunctionType, name: str
+) -> Optional[types.FunctionType]:
+    """Resolve a bare-name call site against the caller's globals."""
+    from repro.statics.purity import _unwrap_function
+
+    candidate = getattr(caller, "__globals__", {}).get(name)
+    if candidate is None:
+        return None
+    function = _unwrap_function(candidate)
+    if function is None or not _same_package(caller, function):
+        return None
+    return function
+
+
+def resolve_module_function(
+    caller: types.FunctionType, module_name: str, attribute: str
+) -> Optional[types.FunctionType]:
+    """Resolve a ``module.helper(...)`` call site.
+
+    ``module_name`` must be bound to a real module object in the
+    caller's globals; the attribute is then resolved and subjected to
+    the same same-package test as bare-name calls.
+    """
+    from repro.statics.purity import _unwrap_function
+
+    module = getattr(caller, "__globals__", {}).get(module_name)
+    if not isinstance(module, types.ModuleType):
+        return None
+    candidate = getattr(module, attribute, None)
+    if candidate is None:
+        return None
+    function = _unwrap_function(candidate)
+    if function is None or not _same_package(caller, function):
+        return None
+    return function
+
+
+def resolve_class_method(
+    owner: type, method_name: str
+) -> Optional[types.FunctionType]:
+    """Resolve a ``self.method(...)`` call site against the owning class.
+
+    Only functions found on the class (or its bases) resolve — an
+    instance attribute holding a callable (the ``FunctionRule``
+    trampoline pattern) is per-instance state the class-level analysis
+    cannot see, and stays ``UNKNOWN``.
+    """
+    from repro.statics.purity import _unwrap_function
+
+    candidate = getattr(owner, method_name, None)
+    if candidate is None:
+        return None
+    return _unwrap_function(candidate)
+
+
+def _first_reason(reasons: Any) -> str:
+    for reason in reasons:
+        return str(reason)
+    return "no recorded finding"
+
+
+class InterproceduralContext:
+    """State threaded through one interprocedural analysis walk.
+
+    ``stack`` carries the code objects currently being analysed on this
+    path (cycle detection); ``depth`` the number of call frames below
+    the entry function; ``owner`` the class against which ``self.*``
+    call sites resolve (``None`` for plain functions).  ``truncated``
+    is set as soon as any judgement on this path hit the recursion or
+    depth boundary — such results are path-dependent and must not be
+    memoised as context-free summaries.
+    """
+
+    def __init__(
+        self,
+        function: types.FunctionType,
+        owner: Optional[type] = None,
+        depth: int = 0,
+        stack: Optional[FrozenSet[types.CodeType]] = None,
+    ) -> None:
+        self.function = function
+        self.owner = owner
+        self.depth = depth
+        self.stack: FrozenSet[types.CodeType] = (stack or frozenset()) | {
+            function.__code__
+        }
+        self.truncated = False
+
+    def child(
+        self, callee: types.FunctionType, owner: Optional[type]
+    ) -> "InterproceduralContext":
+        return InterproceduralContext(
+            callee, owner=owner, depth=self.depth + 1, stack=self.stack
+        )
+
+    def judge_call(
+        self,
+        scan: "_FunctionScan",
+        label: str,
+        target: Any,
+        owner: Optional[type] = None,
+    ) -> None:
+        """Fold a resolved callee's purity summary into the caller's scan.
+
+        ``label`` is the human-readable call-site spelling (``helper()``,
+        ``self.method()``); ``owner`` the class for resolving the
+        *callee's* own ``self.*`` calls when the callee is a method.
+        """
+        from repro.statics import purity
+
+        function = purity._unwrap_function(target)
+        if function is None:
+            scan.flag_unknown(f"calls {label} (no analysable function body)")
+            return
+        if function.__code__ in self.stack:
+            self.truncated = True
+            scan.flag_unknown(
+                f"calls {label} recursively (summary fixpoint bottoms at UNKNOWN)"
+            )
+            return
+        if self.depth >= MAX_CALL_DEPTH:
+            self.truncated = True
+            scan.flag_unknown(
+                f"calls {label} beyond the interprocedural depth bound "
+                f"({MAX_CALL_DEPTH})"
+            )
+            return
+        summary, truncated = purity._callee_summary(function, owner, self)
+        if truncated:
+            self.truncated = True
+        if summary.verdict is purity.Verdict.PROVEN_UNSAFE:
+            scan.flag_unsafe(
+                f"calls {label}, itself impure ({_first_reason(summary.unsafe)})"
+            )
+        elif summary.verdict is purity.Verdict.UNKNOWN:
+            scan.flag_unknown(
+                f"calls {label}, itself undecided "
+                f"({_first_reason(summary.unknown or summary.unsafe)})"
+            )
+        # PROVEN_SAFE callees contribute no finding: a proven-safe body
+        # has no effect outside function-fresh objects, so it neither
+        # mutates its arguments nor any captured state.

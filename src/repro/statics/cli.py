@@ -1,12 +1,19 @@
 """``python -m repro.statics`` — run the contract lint (and rule reports).
 
-Exit codes: ``0`` when the tree is clean (every finding allowlisted),
-``1`` when new findings exist, ``2`` when the allowlist file itself is
-malformed.  ``--format json`` emits one machine-readable document (the CI
-job uploads it as an artifact next to the ``BENCH_*.json`` files);
-``--rules`` appends the per-rule tier-eligibility report, including each
-rule's run-time degrade ladder (the rung order the engines fall through
-when a worker pool breaks).
+Exit codes: ``0`` when the tree is clean (every finding allowlisted and
+no stale allowlist entries), ``1`` when new findings or stale entries
+exist, ``2`` when the allowlist file itself is malformed.  Stale entries
+fail the run because a fingerprint that matches nothing is a fixed
+finding nobody cleaned up — ``--prune`` rewrites the allowlist in place
+without them.  ``--format json`` emits one machine-readable document
+(the CI job uploads it as an artifact next to the ``BENCH_*.json``
+files) with a ``summary`` of purity and closure verdict counts;
+``--format github`` emits GitHub workflow annotation lines
+(``::error file=...``) so findings land on the PR diff.  ``--rules``
+appends the per-rule tier-eligibility report — purity verdict, proven
+output alphabet, autoprove eligibility, and each rule's run-time degrade
+ladder — and folds alphabet-closure violations (a rule provably
+returning labels outside its declared Σ) into the finding flow.
 """
 
 from __future__ import annotations
@@ -36,6 +43,27 @@ def _find_root(start: Path) -> Path:
     return start
 
 
+def _rule_line(entry: Dict[str, Any]) -> str:
+    """One ``--rules`` text row: tiers, purity, closure, autoprove flag."""
+    tiers = ",".join(entry["eligible_tiers"])
+    ladder = ">".join(entry["degrade_ladder"])
+    columns = [
+        f"{entry['rule']}: r={entry['radius']} {entry['norm']}",
+        f"ball={entry['ball_size']}",
+        f"purity={entry['purity']}",
+    ]
+    if entry.get("alphabet") is not None:
+        columns.append(f"closure={entry['closure']}")
+        proven = entry.get("proven_output_alphabet")
+        if proven is not None:
+            columns.append("Σ_out=[" + ",".join(proven) + "]")
+    if entry.get("autoprove_shardable"):
+        columns.append("autoprove=yes")
+    columns.append(f"tiers=[{tiers}]")
+    columns.append(f"ladder={ladder}")
+    return " ".join(columns)
+
+
 def _print_text(
     new: Sequence[Finding],
     allowlisted: Sequence[Finding],
@@ -50,24 +78,97 @@ def _print_text(
         )
         print(f"    fingerprint: {finding.fingerprint}", file=stream)
     for fingerprint in stale:
-        print(f"warning: stale allowlist entry (no longer matches): {fingerprint}", file=stream)
+        print(
+            f"stale allowlist entry (no longer matches): {fingerprint} "
+            "(run with --prune to drop it)",
+            file=stream,
+        )
     if rules is not None:
         print(f"-- tier eligibility ({len(rules)} rules) --", file=stream)
         for entry in rules:
-            tiers = ",".join(entry["eligible_tiers"])
-            ladder = ">".join(entry["degrade_ladder"])
-            print(
-                f"{entry['rule']}: r={entry['radius']} {entry['norm']} "
-                f"ball={entry['ball_size']} purity={entry['purity']} "
-                f"tiers=[{tiers}] ladder={ladder}",
-                file=stream,
-            )
+            print(_rule_line(entry), file=stream)
             for note in entry["notes"]:
                 print(f"    note: {note}", file=stream)
     print(
         f"{len(new)} finding(s), {len(allowlisted)} allowlisted, {len(stale)} stale",
         file=stream,
     )
+
+
+def _print_github(
+    new: Sequence[Finding], stale: Sequence[str], stream: IO[str]
+) -> None:
+    """GitHub workflow-command annotations: one ``::error`` per finding.
+
+    The format is line-oriented (``::error file={path},line={line}::{msg}``)
+    and the message must stay on one line; newlines would terminate the
+    command, so they are flattened defensively.
+    """
+    for finding in new:
+        message = f"[{finding.check}] {finding.message} (fingerprint: {finding.fingerprint})"
+        message = message.replace("\n", " ")
+        print(
+            f"::error file={finding.path},line={finding.line}::{message}",
+            file=stream,
+        )
+    for fingerprint in stale:
+        print(
+            "::error file=.statics-allowlist::stale allowlist entry "
+            f"{fingerprint} matches no finding (run python -m repro.statics --prune)",
+            file=stream,
+        )
+
+
+def _prune_allowlist(path: Path, stale: Sequence[str]) -> int:
+    """Rewrite ``path`` without the ``stale`` fingerprints; count removals.
+
+    Comments and blank lines survive untouched — only lines whose
+    fingerprint column matches a stale entry are dropped.
+    """
+    if not path.is_file() or not stale:
+        return 0
+    doomed = set(stale)
+    kept: List[str] = []
+    removed = 0
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            fingerprint = line.partition("#")[0].strip()
+            if fingerprint in doomed:
+                removed += 1
+                continue
+        kept.append(raw)
+    path.write_text("\n".join(kept) + ("\n" if kept else ""), encoding="utf-8")
+    return removed
+
+
+def _summarise(
+    new: Sequence[Finding],
+    allowlisted: Sequence[Finding],
+    stale: Sequence[str],
+    rules: Optional[List[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Verdict counts for the ``statics-report.json`` CI artifact."""
+    summary: Dict[str, Any] = {
+        "findings": len(new),
+        "allowlisted": len(allowlisted),
+        "stale": len(stale),
+    }
+    if rules is not None:
+        purity: Dict[str, int] = {}
+        closure: Dict[str, int] = {}
+        autoprove = 0
+        for entry in rules:
+            purity[entry["purity"]] = purity.get(entry["purity"], 0) + 1
+            if entry.get("alphabet") is not None:
+                closure[entry["closure"]] = closure.get(entry["closure"], 0) + 1
+            if entry.get("autoprove_shardable"):
+                autoprove += 1
+        summary["rules"] = len(rules)
+        summary["purity"] = purity
+        summary["closure"] = closure
+        summary["autoprove_shardable"] = autoprove
+    return summary
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -89,14 +190,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; github emits ::error annotations)",
     )
     parser.add_argument(
         "--rules",
         action="store_true",
         help="also emit the per-rule tier-eligibility report (imports the repo)",
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="rewrite the allowlist dropping stale entries, then report",
     )
     args = parser.parse_args(argv)
 
@@ -110,13 +216,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     findings = run_contract_checks(root)
-    new, allowlisted, stale = apply_allowlist(findings, allowlist)
 
     rules_json: Optional[List[Dict[str, Any]]] = None
     if args.rules:
-        from repro.statics.tiers import tier_report
+        from repro.statics.tiers import closure_findings, tier_report
 
         rules_json = [entry.to_json() for entry in tier_report()]
+        findings = sorted(
+            findings + closure_findings(root=root),
+            key=lambda f: (f.path, f.line, f.check, f.symbol),
+        )
+
+    new, allowlisted, stale = apply_allowlist(findings, allowlist)
+
+    if args.prune and stale:
+        removed = _prune_allowlist(allowlist_path, stale)
+        print(
+            f"pruned {removed} stale allowlist entr{'y' if removed == 1 else 'ies'}",
+            file=sys.stderr,
+        )
+        stale = []
 
     if args.format == "json":
         document = {
@@ -125,14 +244,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "allowlisted": [finding.to_json() for finding in allowlisted],
             "stale": list(stale),
             "rules": rules_json,
-            "ok": not new,
+            "summary": _summarise(new, allowlisted, stale, rules_json),
+            "ok": not new and not stale,
         }
         json.dump(document, sys.stdout, indent=2, sort_keys=True)
         print()
+    elif args.format == "github":
+        _print_github(new, stale, sys.stdout)
     else:
         _print_text(new, allowlisted, stale, rules_json, sys.stdout)
 
-    return 0 if not new else 1
+    return 0 if not new and not stale else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -33,6 +33,16 @@ wrapped function) through two cooperating passes:
   a provably fresh local, or a whitelisted pure builtin, and whose every
   call resolves to one of those, is ``PROVEN_SAFE``.
 
+The AST pass is **interprocedural** by default: a call site that names a
+same-package helper function (``helper(view)``, ``module.helper(view)``,
+``self.method(view)``) is resolved through
+:mod:`repro.statics.callgraph` and the callee analysed bottom-up with
+the same two passes, memoised per code object, cycle-safe (recursion
+bottoms the fixpoint at ``UNKNOWN``) and depth-bounded.  Pass
+``interprocedural=False`` to :func:`analyse_rule` /
+:func:`analyse_function` to reproduce the strictly intraprocedural
+verdicts of earlier revisions.
+
 Verdicts are deliberately three-valued:
 
 * ``PROVEN_UNSAFE`` — sound: every unsafe finding names a concrete
@@ -62,12 +72,21 @@ import types
 import warnings
 import weakref
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.statics.callgraph import InterproceduralContext
 
 #: Environment variable escalating the mis-declaration warning (a rule
 #: declared ``parallel_safe=True`` whose body is ``PROVEN_UNSAFE``) into a
 #: :class:`RuntimeError` raised before any worker pool forks.
 STRICT_VARIABLE = "REPRO_STATICS_STRICT"
+
+#: Environment variable opting the sharding tiers into evidence-based
+#: gating: a rule with *no explicit* ``parallel_safe`` declaration shards
+#: only when the interprocedural analysis proves it safe (see
+#: :func:`autoprove_decision`); declared rules keep the author's word.
+AUTOPROVE_VARIABLE = "REPRO_STATICS_AUTOPROVE"
 
 #: Modules whose mere use inside a rule body is impure: nondeterminism
 #: (``random``, ``secrets``, ``uuid``), wall-clock reads (``time``,
@@ -133,6 +152,28 @@ SAFE_BUILTINS: FrozenSet[str] = frozenset(
         "sum",
         "tuple",
         "zip",
+    }
+)
+
+#: Exception constructors a ``PROVEN_SAFE`` body may call: raising is a
+#: deterministic function of the inputs (the equivalence harness pins
+#: first-failing-node exceptions byte-identically across tiers), so
+#: building the exception object is as pure as building a tuple.
+SAFE_EXCEPTION_TYPES: FrozenSet[str] = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "Exception",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "NotImplementedError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
     }
 )
 
@@ -311,10 +352,17 @@ def _collect_locals(tree: ast.AST, params: Set[str]) -> Tuple[Set[str], Set[str]
         if isinstance(node, ast.Assign):
             for target in node.targets:
                 bind(target, node.value)
-        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        elif isinstance(node, ast.AugAssign):
             bind(node.target, None)
-        elif isinstance(node, ast.NamedExpr):
+        elif isinstance(node, ast.AnnAssign):
+            # ``counts: dict = {}`` is as fresh as the unannotated form.
             bind(node.target, node.value)
+        elif isinstance(node, ast.NamedExpr):
+            # Walrus targets are never *fresh*: the assignment is an
+            # expression whose value keeps flowing (``(xs := []).append``
+            # aliases before the binding is even visible), so mutating a
+            # walrus-bound name must degrade to UNKNOWN, not prove safe.
+            bind(node.target, None)
         elif isinstance(node, (ast.For, ast.AsyncFor)):
             bind(node.target, None)
         elif isinstance(node, ast.withitem) and node.optional_vars is not None:
@@ -327,7 +375,11 @@ def _collect_locals(tree: ast.AST, params: Set[str]) -> Tuple[Set[str], Set[str]
             for alias in node.names:
                 bound.add(alias.asname or alias.name.split(".")[0])
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            bound.add(node.name)
+            # A def's name binds in the *enclosing* scope, so the analysed
+            # function's own name is not one of its locals — a recursive
+            # self-call resolves through globals like any helper call.
+            if node is not tree:
+                bound.add(node.name)
             for argument in _all_arguments(node.args):
                 bound.add(argument.arg)
         elif isinstance(node, ast.Lambda):
@@ -354,14 +406,19 @@ def _root_name(node: ast.expr) -> Optional[str]:
     return None
 
 
-def _ast_pass(function: types.FunctionType, scan: _FunctionScan) -> bool:
+def _ast_pass(
+    function: types.FunctionType,
+    scan: _FunctionScan,
+    context: Optional["InterproceduralContext"] = None,
+) -> bool:
     """Analyse the retrievable source of ``function``; return ``True`` when
     the pass ran (source found and parsed).
 
     The pass records unsafe evidence (writes outside fresh locals,
     impure/mutating calls) and unknown evidence (calls into unanalysed
     helpers, argument mutation).  When it completes without either, the
-    function is proven safe.
+    function is proven safe.  ``context`` (when given) resolves helper
+    call sites interprocedurally instead of flagging them unknown.
     """
     try:
         source = textwrap.dedent(inspect.getsource(function))
@@ -376,8 +433,14 @@ def _ast_pass(function: types.FunctionType, scan: _FunctionScan) -> bool:
         # parses but is not a clean function definition to scope — let the
         # bytecode pass decide, degrade to UNKNOWN otherwise.
         return False
+    if isinstance(definition, ast.AsyncFunctionDef):
+        # The engines call ``update`` synchronously; an async body never
+        # runs to completion under them, and its suspension points step
+        # outside the analysed control flow.
+        scan.flag_unknown("async function (engines call update synchronously)")
 
     bound, fresh = _collect_locals(definition, params)
+    nested_scope_flagged = False
 
     def free_or_global(name: str) -> bool:
         return name not in bound
@@ -418,8 +481,23 @@ def _ast_pass(function: types.FunctionType, scan: _FunctionScan) -> bool:
                     classify_write(target, "deletion")
         elif isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
             scan.flag_unknown("suspends execution (await/yield)")
+        elif (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not definition
+        ):
+            # A nested scope can capture and mutate locals of this body in
+            # ways the flat fresh-locals tracking cannot see; degrade to
+            # UNKNOWN rather than risk a wrong PROVEN_SAFE.
+            if not nested_scope_flagged:
+                nested_scope_flagged = True
+                scan.flag_unknown(
+                    "defines a nested function or lambda "
+                    "(nested scopes are not tracked)"
+                )
         elif isinstance(node, ast.Call):
-            _classify_call(node, scan, bound, fresh, params, free_or_global, function)
+            _classify_call(
+                node, scan, bound, fresh, params, free_or_global, function, context
+            )
     return True
 
 
@@ -431,20 +509,28 @@ def _classify_call(
     params: Set[str],
     free_or_global: Any,
     function: types.FunctionType,
+    context: Optional["InterproceduralContext"] = None,
 ) -> None:
     callee = node.func
     if isinstance(callee, ast.Name):
         name = callee.id
         if name in IMPURE_BUILTINS:
             scan.flag_unsafe(f"calls impure builtin {name}()")
-        elif name in SAFE_BUILTINS:
+        elif name in SAFE_BUILTINS or name in SAFE_EXCEPTION_TYPES:
             return
         elif name in bound:
             scan.flag_unknown(f"calls local/argument callable {name}() (unanalysed)")
         else:
             # A global read: a function defined elsewhere, a class, a
-            # captured helper.  Pure helpers exist, but proving them would
-            # require whole-program analysis — stay honest.
+            # captured helper.  Same-package helpers are resolved and
+            # analysed interprocedurally; everything else stays honest.
+            if context is not None:
+                from repro.statics.callgraph import resolve_global
+
+                target = resolve_global(function, name)
+                if target is not None:
+                    context.judge_call(scan, f"{name}()", target)
+                    return
             scan.flag_unknown(f"calls unanalysed global {name}()")
     elif isinstance(callee, ast.Attribute):
         root = _root_name(callee)
@@ -471,6 +557,26 @@ def _classify_call(
             return
         if method in SAFE_MAPPING_METHODS and root is not None and (root in params or root in bound):
             return
+        if context is not None and isinstance(callee.value, ast.Name):
+            # Only one-hop attribute calls resolve (``self.method(...)``,
+            # ``module.helper(...)``); deeper chains stay unanalysed.
+            base = callee.value.id
+            if base == "self" and context.owner is not None:
+                from repro.statics.callgraph import resolve_class_method
+
+                target = resolve_class_method(context.owner, method)
+                if target is not None:
+                    context.judge_call(
+                        scan, f"self.{method}()", target, owner=context.owner
+                    )
+                    return
+            elif free_or_global(base):
+                from repro.statics.callgraph import resolve_module_function
+
+                target = resolve_module_function(function, base, method)
+                if target is not None:
+                    context.judge_call(scan, f"{base}.{method}()", target)
+                    return
         if root == "self" or (root is not None and free_or_global(root)):
             scan.flag_unknown(f"calls unanalysed method {root}.{method}()")
         else:
@@ -479,8 +585,20 @@ def _classify_call(
         scan.flag_unknown("calls a computed callable expression")
 
 
-def analyse_function(function: Any, name: Optional[str] = None) -> RuleAnalysis:
-    """Analyse one plain function (or bound method) for purity."""
+def analyse_function(
+    function: Any,
+    name: Optional[str] = None,
+    *,
+    owner: Optional[type] = None,
+    interprocedural: bool = True,
+) -> RuleAnalysis:
+    """Analyse one plain function (or bound method) for purity.
+
+    ``owner`` is the class against which ``self.method(...)`` call sites
+    resolve (``None`` for free functions); ``interprocedural=False``
+    restores the strictly intraprocedural analysis, under which every
+    helper call is an ``UNKNOWN`` finding.
+    """
     target = _unwrap_function(function)
     label = name or getattr(target, "__qualname__", None) or repr(function)
     if target is None:
@@ -490,9 +608,22 @@ def analyse_function(function: Any, name: Optional[str] = None) -> RuleAnalysis:
             unknown=(f"{label}: not a pure-Python function (no bytecode to analyse)",),
             targets=(label,),
         )
+    context: Optional["InterproceduralContext"] = None
+    if interprocedural:
+        from repro.statics.callgraph import InterproceduralContext
+
+        context = InterproceduralContext(target, owner=owner)
+    return _scan_function(target, label, context)
+
+
+def _scan_function(
+    target: types.FunctionType,
+    label: str,
+    context: Optional["InterproceduralContext"],
+) -> RuleAnalysis:
     scan = _FunctionScan(label)
     _bytecode_pass(target, scan)
-    scan.proved = _ast_pass(target, scan)
+    scan.proved = _ast_pass(target, scan, context)
     if not scan.proved and not scan.unsafe and not scan.unknown:
         scan.flag_unknown("source unavailable; bytecode shows no mutation but cannot prove purity")
     return RuleAnalysis(
@@ -501,6 +632,31 @@ def analyse_function(function: Any, name: Optional[str] = None) -> RuleAnalysis:
         unknown=tuple(scan.unknown),
         targets=(label,),
     )
+
+
+#: Interprocedural callee summaries, memoised per ``(code, owner)``.
+#: Only *complete* summaries are stored — a summary whose computation
+#: hit the recursion or depth boundary depends on the walk's entry point
+#: and is recomputed per path instead.
+_SUMMARY_CACHE: Dict[Tuple[types.CodeType, Optional[type]], RuleAnalysis] = {}
+
+
+def _callee_summary(
+    function: types.FunctionType,
+    owner: Optional[type],
+    parent: "InterproceduralContext",
+) -> Tuple[RuleAnalysis, bool]:
+    """Purity summary for a resolved callee; ``(analysis, truncated)``."""
+    key = (function.__code__, owner)
+    cached = _SUMMARY_CACHE.get(key)
+    if cached is not None:
+        return cached, False
+    context = parent.child(function, owner)
+    label = getattr(function, "__qualname__", None) or function.__name__
+    analysis = _scan_function(function, label, context)
+    if not context.truncated:
+        _SUMMARY_CACHE[key] = analysis
+    return analysis, context.truncated
 
 
 def _unwrap_function(function: Any) -> Optional[types.FunctionType]:
@@ -532,8 +688,10 @@ _WARNED_RULES: "weakref.WeakSet[Any]" = weakref.WeakSet()
 _WARNED_RULE_IDS: Set[int] = set()
 
 
-def _rule_targets(rule: Any) -> List[Tuple[str, Any]]:
-    """The ``(label, function)`` pairs a rule's verdict is built from.
+def _rule_targets(rule: Any) -> List[Tuple[str, Any, Optional[type]]]:
+    """The ``(label, function, owner)`` triples a rule's verdict is built
+    from; ``owner`` is the class ``self.method(...)`` call sites resolve
+    against (``None`` for functions with no class context).
 
     For classes and instances alike, ``update`` comes from the class (the
     plain function, not the bound method); a
@@ -542,7 +700,7 @@ def _rule_targets(rule: Any) -> List[Tuple[str, Any]]:
     corrupts the array tier just as surely.
     """
     owner = rule if isinstance(rule, type) else type(rule)
-    targets: List[Tuple[str, Any]] = []
+    targets: List[Tuple[str, Any, Optional[type]]] = []
     update = getattr(owner, "update", None)
     wrapped = getattr(rule, "_function", None) if not isinstance(rule, type) else None
     if wrapped is not None and not callable(wrapped):
@@ -559,22 +717,25 @@ def _rule_targets(rule: Any) -> List[Tuple[str, Any]]:
             and "_function" in code.co_names
         )
         if not is_trampoline:
-            targets.append((f"{owner.__name__}.update", update))
+            targets.append((f"{owner.__name__}.update", update, owner))
     if wrapped is not None:
         targets.append(
-            (getattr(wrapped, "__qualname__", f"{owner.__name__}._function"), wrapped)
+            (getattr(wrapped, "__qualname__", f"{owner.__name__}._function"), wrapped, None)
         )
     batch = getattr(rule, "update_batch", None)
     if batch is not None and callable(batch):
+        batch_owner = owner if getattr(owner, "update_batch", None) is not None else None
         targets.append(
-            (getattr(batch, "__qualname__", f"{owner.__name__}.update_batch"), batch)
+            (getattr(batch, "__qualname__", f"{owner.__name__}.update_batch"), batch, batch_owner)
         )
     return targets
 
 
-def _cache_key(targets: List[Tuple[str, Any]]) -> Optional[Tuple[Any, ...]]:
+def _cache_key(
+    targets: List[Tuple[str, Any, Optional[type]]]
+) -> Optional[Tuple[Any, ...]]:
     key: List[Any] = []
-    for _, function in targets:
+    for _, function, _owner in targets:
         unwrapped = _unwrap_function(function)
         if unwrapped is None:
             return None
@@ -582,7 +743,7 @@ def _cache_key(targets: List[Tuple[str, Any]]) -> Optional[Tuple[Any, ...]]:
     return tuple(key)
 
 
-def analyse_rule(rule: Any) -> RuleAnalysis:
+def analyse_rule(rule: Any, *, interprocedural: bool = True) -> RuleAnalysis:
     """Classify a rule (instance or class) as safe, unsafe or unknown.
 
     The verdict merges every analysed target (see :func:`_rule_targets`):
@@ -591,6 +752,10 @@ def analyse_rule(rule: Any) -> RuleAnalysis:
     proven is ``PROVEN_SAFE``.  Analyses are cached per tuple of target
     code objects, so repeated calls (the engines consult the verdict on
     every sharded application) cost one dictionary lookup.
+
+    ``interprocedural=False`` restores the strictly intraprocedural
+    verdicts (every helper call an ``UNKNOWN`` finding) — useful for
+    pinning what the summary analysis *added* on a given rule.
     """
     targets = _rule_targets(rule)
     if not targets:
@@ -602,10 +767,14 @@ def analyse_rule(rule: Any) -> RuleAnalysis:
         )
     key = _cache_key(targets)
     if key is not None:
+        key = key + (interprocedural,)
         cached = _ANALYSIS_CACHE.get(key)
         if cached is not None:
             return cached
-    analyses = [analyse_function(function, name) for name, function in targets]
+    analyses = [
+        analyse_function(function, name, owner=owner, interprocedural=interprocedural)
+        for name, function, owner in targets
+    ]
     if any(item.verdict is Verdict.PROVEN_UNSAFE for item in analyses):
         verdict = Verdict.PROVEN_UNSAFE
     elif all(item.verdict is Verdict.PROVEN_SAFE for item in analyses):
@@ -626,13 +795,55 @@ def analyse_rule(rule: Any) -> RuleAnalysis:
 def clear_analysis_cache() -> None:
     """Drop cached analyses and warning bookkeeping (test isolation)."""
     _ANALYSIS_CACHE.clear()
+    _SUMMARY_CACHE.clear()
     _WARNED_RULES.clear()
     _WARNED_RULE_IDS.clear()
 
 
+def _env_flag(variable: str) -> bool:
+    return os.environ.get(variable, "").strip().lower() in ("1", "true", "yes", "on")
+
+
 def strict_mode() -> bool:
     """Whether ``REPRO_STATICS_STRICT`` escalates mis-declarations to errors."""
-    return os.environ.get(STRICT_VARIABLE, "").strip().lower() in ("1", "true", "yes", "on")
+    return _env_flag(STRICT_VARIABLE)
+
+
+def autoprove_mode() -> bool:
+    """Whether ``REPRO_STATICS_AUTOPROVE`` gates undeclared rules on evidence.
+
+    Under this opt-in posture an *undeclared* ``parallel_safe`` (the
+    inherited ``LocalRule`` default, or a duck-typed rule with no such
+    attribute) is no longer taken on faith by the sharding tiers: the
+    rule shards only when :func:`analyse_rule` proves it safe
+    interprocedurally, and degrades byte-identically to the serial scan
+    otherwise.  Explicit declarations keep the author's word either way.
+    """
+    return _env_flag(AUTOPROVE_VARIABLE)
+
+
+def autoprove_decision(rule: Any) -> Tuple[bool, str]:
+    """``(may_shard, reason)`` for an undeclared rule under autoprove mode.
+
+    The decision rides the cached interprocedural verdict: only a
+    ``PROVEN_SAFE`` body shards.  The reason string is surfaced once per
+    rule through the engines' statics telemetry (see
+    :class:`repro.runtime.telemetry.StaticsEvent`), so an operator can
+    see both what was autoproved and why something silently stayed
+    serial.
+    """
+    analysis = analyse_rule(rule)
+    name = rule.__name__ if isinstance(rule, type) else type(rule).__name__
+    if analysis.verdict is Verdict.PROVEN_SAFE:
+        return True, (
+            f"rule {name} declares no parallel_safe but is interprocedurally "
+            f"PROVEN_SAFE; autoproved for sharded execution"
+        )
+    return False, (
+        f"rule {name} declares no parallel_safe and its body is "
+        f"{analysis.verdict.value}; staying on the serial tier "
+        f"({analysis.describe()})"
+    )
 
 
 def maybe_warn_parallel_unsafe(rule: Any) -> None:

@@ -20,9 +20,19 @@ Eligibility mirrors the run-time checks exactly:
   a definite yes/no.
 * **batch** — the rule declares an ``update_batch`` hook.
 * **sharded** — the rule declares ``parallel_safe=True`` *and* the purity
-  analysis did not prove the declaration wrong.
+  analysis did not prove the declaration wrong.  Rules that declare
+  nothing but are interprocedurally ``PROVEN_SAFE`` are additionally
+  reported ``autoprove_shardable`` — under ``REPRO_STATICS_AUTOPROVE=1``
+  the engines shard them on the proof alone.
 * **fallback-only** — none of the above: the rule can never leave the
   serial list scan, whatever engine the caller requests.
+
+Rules that declare a finite output alphabet (``alphabet = (...)``) also
+get the alphabet-closure verdict from :mod:`repro.statics.alphabets`: a
+``proven-closed`` rule's outputs provably stay inside Σ (so the shm
+tier's synced alphabet can never overflow it mid-schedule), while a
+``proven-escapes`` rule is a contract-lint finding
+(:func:`closure_findings`).
 """
 
 from __future__ import annotations
@@ -30,9 +40,13 @@ from __future__ import annotations
 import importlib
 import pkgutil
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Type
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple, Type
 
+from repro.statics.alphabets import ClosureVerdict, analyse_closure
 from repro.statics.purity import RuleAnalysis, Verdict, analyse_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.statics.contracts import Finding
 
 
 def ball_size(dimension: int, radius: int, norm: str = "l1") -> int:
@@ -93,11 +107,17 @@ class TierEligibility:
     norm: str
     size_of_ball: int
     verdict: Verdict
+    parallel_safe: bool
     parallel_safe_declared: bool
     table_max_alphabet: int
     table_compilable: Optional[bool]
     batch_vectorisable: bool
     shardable: bool
+    autoprove_shardable: bool
+    alphabet: Optional[Tuple[Any, ...]]
+    closure: str
+    proven_output_alphabet: Optional[Tuple[Any, ...]]
+    shm_overflow_free: Optional[bool]
     fallback_only: bool
     eligible_tiers: Tuple[str, ...]
     degrade_ladder: Tuple[str, ...]
@@ -111,11 +131,21 @@ class TierEligibility:
             "norm": self.norm,
             "ball_size": self.size_of_ball,
             "purity": self.verdict.value,
+            "parallel_safe": self.parallel_safe,
             "parallel_safe_declared": self.parallel_safe_declared,
             "table_max_alphabet": self.table_max_alphabet,
             "table_compilable": self.table_compilable,
             "batch_vectorisable": self.batch_vectorisable,
             "shardable": self.shardable,
+            "autoprove_shardable": self.autoprove_shardable,
+            "alphabet": None if self.alphabet is None else [repr(label) for label in self.alphabet],
+            "closure": self.closure,
+            "proven_output_alphabet": (
+                None
+                if self.proven_output_alphabet is None
+                else [repr(label) for label in self.proven_output_alphabet]
+            ),
+            "shm_overflow_free": self.shm_overflow_free,
             "fallback_only": self.fallback_only,
             "eligible_tiers": list(self.eligible_tiers),
             "degrade_ladder": list(self.degrade_ladder),
@@ -175,6 +205,10 @@ def infer_tier_eligibility(
     batch_vectorisable = traits.update_batch is not None
     declared_safe = traits.parallel_safe
     shardable = declared_safe and analysis.verdict is not Verdict.PROVEN_UNSAFE
+    autoprove_shardable = (
+        not traits.parallel_safe_declared
+        and analysis.verdict is Verdict.PROVEN_SAFE
+    )
     if declared_safe and analysis.verdict is Verdict.PROVEN_UNSAFE:
         notes.append(
             "declared parallel_safe=True but statically PROVEN_UNSAFE: "
@@ -184,6 +218,36 @@ def infer_tier_eligibility(
         notes.append("declared parallel_safe=False: sharding tiers degrade to the serial scan")
     if analysis.verdict is Verdict.UNKNOWN and analysis.unknown:
         notes.append("purity undecided: " + "; ".join(analysis.unknown[:3]))
+    if autoprove_shardable:
+        notes.append(
+            "undeclared but interprocedurally PROVEN_SAFE: shards under "
+            "REPRO_STATICS_AUTOPROVE=1 on the proof alone"
+        )
+
+    closure_analysis = analyse_closure(rule)
+    closure = closure_analysis.verdict.value
+    proven_output = closure_analysis.proven_output
+    if traits.alphabet is None:
+        shm_overflow_free: Optional[bool] = None
+    else:
+        # A proven-closed rule can never intern a label outside its
+        # declared Σ mid-schedule, so the shm pool's synced alphabet is
+        # bounded by |Σ| for the whole run.
+        shm_overflow_free = closure_analysis.verdict is ClosureVerdict.PROVEN_CLOSED
+        if closure_analysis.verdict is ClosureVerdict.PROVEN_CLOSED:
+            notes.append(
+                "output alphabet proven closed over Σ="
+                + repr(tuple(traits.alphabet))
+            )
+        elif closure_analysis.verdict is ClosureVerdict.PROVEN_ESCAPES:
+            notes.append(
+                "output provably escapes the declared alphabet: "
+                + closure_analysis.describe()
+            )
+        else:
+            notes.append(
+                "alphabet closure undecided: " + closure_analysis.describe()
+            )
 
     eligible: List[str] = []
     if table_compilable is not False:
@@ -220,11 +284,17 @@ def infer_tier_eligibility(
         norm=traits.norm,
         size_of_ball=size,
         verdict=analysis.verdict,
-        parallel_safe_declared=declared_safe,
+        parallel_safe=declared_safe,
+        parallel_safe_declared=traits.parallel_safe_declared,
         table_max_alphabet=alphabet_bound,
         table_compilable=table_compilable,
         batch_vectorisable=batch_vectorisable,
         shardable=shardable,
+        autoprove_shardable=autoprove_shardable,
+        alphabet=traits.alphabet,
+        closure=closure,
+        proven_output_alphabet=proven_output,
+        shm_overflow_free=shm_overflow_free,
         fallback_only=fallback_only,
         eligible_tiers=tuple(eligible),
         degrade_ladder=tuple(ladder),
@@ -245,6 +315,10 @@ def discover_rule_classes(package_name: str = "repro") -> List[Type[Any]]:
     package = importlib.import_module(package_name)
     search_path: List[str] = list(getattr(package, "__path__", []))
     for module_info in pkgutil.walk_packages(search_path, prefix=f"{package_name}."):
+        # ``__main__`` modules run their CLI at import; discovery must
+        # never execute an entry point just to enumerate rule classes.
+        if module_info.name.rsplit(".", 1)[-1] == "__main__":
+            continue
         try:
             importlib.import_module(module_info.name)
         except Exception:  # noqa: BLE001 - optional deps may be missing
@@ -258,12 +332,76 @@ def discover_rule_classes(package_name: str = "repro") -> List[Type[Any]]:
             if subclass in seen:
                 continue
             seen.add(subclass)
-            if not getattr(subclass, "__abstractmethods__", None):
+            # __subclasses__ sees every live class in the interpreter;
+            # only report rules defined inside the requested package
+            # (a test harness importing this module brings its own).
+            module = getattr(subclass, "__module__", "")
+            in_package = module == package_name or module.startswith(
+                f"{package_name}."
+            )
+            if in_package and not getattr(subclass, "__abstractmethods__", None):
                 collected.append(subclass)
             visit(subclass)
 
     visit(LocalRule)
     return sorted(collected, key=lambda cls: (cls.__module__, cls.__qualname__))
+
+
+def closure_findings(
+    rules: Optional[Iterable[Any]] = None, root: Optional[Any] = None
+) -> List["Finding"]:
+    """Contract-lint findings for rules that provably escape their Σ.
+
+    A rule that declares a finite output alphabet but whose ``update``
+    provably returns a label outside it has a broken contract — the tier
+    report would silently show ``closure=proven-escapes`` while every
+    downstream consumer (codec sizing, shm alphabet sync, table
+    compilation bounds) trusts the declaration.  These findings ride the
+    same allowlist flow as the AST contract checks; they are only
+    computed alongside the rule report because they need the imported
+    rule classes (the pure-AST lint never imports the tree).
+
+    ``root`` (a :class:`pathlib.Path`) relativises source paths so the
+    fingerprints match allowlist entries written from the repo root.
+    """
+    import inspect
+    from pathlib import Path
+
+    from repro.statics.contracts import Finding
+
+    targets = list(rules) if rules is not None else discover_rule_classes()
+    findings: List[Finding] = []
+    for rule in targets:
+        analysis = analyse_closure(rule)
+        if analysis.verdict is not ClosureVerdict.PROVEN_ESCAPES:
+            continue
+        cls = rule if isinstance(rule, type) else type(rule)
+        try:
+            source = inspect.getsourcefile(cls)
+            line = inspect.getsourcelines(cls)[1]
+        except (OSError, TypeError):
+            source, line = None, 1
+        path = Path(source).as_posix() if source else "<unknown>"
+        if root is not None and source:
+            try:
+                path = Path(source).resolve().relative_to(Path(root).resolve()).as_posix()
+            except ValueError:
+                pass
+        escapes = ", ".join(analysis.escapes) or "see closure reasons"
+        findings.append(
+            Finding(
+                check="alphabet-closure",
+                path=path,
+                symbol=cls.__qualname__,
+                line=line,
+                message=(
+                    f"declared alphabet {tuple(analysis.alphabet)!r} but update "
+                    f"provably returns labels outside it: {escapes}"
+                ),
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.symbol))
+    return findings
 
 
 def tier_report(

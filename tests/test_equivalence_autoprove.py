@@ -1,0 +1,273 @@
+"""Equivalence suite for ``REPRO_STATICS_AUTOPROVE=1`` (PR 9's tentpole).
+
+Under the autoprove posture a rule with *no* ``parallel_safe``
+declaration shards exactly when the interprocedural purity analysis
+proves its body safe, and stays on the serial tier otherwise — in both
+cases byte-identical to the dict oracle, labels *and* first-failing-node
+exceptions, across all five engine tiers.  These tests pin that
+contract, the one-pool-spawn invariant, the one-time
+:class:`~repro.runtime.telemetry.StaticsEvent` telemetry, and the
+auto-policy rung skipping for schedules with no sharding-eligible rule.
+"""
+
+import warnings
+
+import pytest
+
+from equivalence import (
+    assert_engines_agree,
+    derive_rng,
+    random_torus,
+    rule_engine_factories,
+)
+
+from repro.grid.identifiers import random_identifiers
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule, LocalRule
+from repro.local_model.engine import ParallelEngine, ShmEngine
+from repro.local_model.rules import (
+    CATALOGUE,
+    BorderRule,
+    MinNeighbourRule,
+    ThresholdFlipRule,
+    _origin,
+)
+from repro.local_model.simulator import apply_rule
+from repro.local_model.store import resolve_engine, shm_available
+from repro.statics.purity import clear_analysis_cache
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+
+
+@pytest.fixture(autouse=True)
+def _autoprove(monkeypatch):
+    """Every test here runs under the autoprove posture with 2 workers."""
+    monkeypatch.setenv("REPRO_STATICS_AUTOPROVE", "1")
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    clear_analysis_cache()
+    yield
+    clear_analysis_cache()
+
+
+def _identifier_labels(rng, grid):
+    identifiers = random_identifiers(grid, seed=rng.randrange(10_000))
+    return {node: identifiers[node] for node in grid.nodes()}
+
+
+def _poison_rule():
+    """A helper-based raising rule: proven safe, raises on one label."""
+
+    class PoisonHelperRule(LocalRule):
+        radius = 1
+
+        def update(self, view):
+            return _checked_minimum(view)
+
+    return PoisonHelperRule()
+
+
+def _checked_minimum(view):
+    smallest = min(view.values())
+    if smallest == 0:
+        raise ValueError(f"poisoned label {smallest}")
+    return smallest
+
+
+class TestAutoprovedSharding:
+    def test_catalogue_rules_match_all_five_tiers(self, equivalence_seed):
+        """Undeclared-but-proven rules shard byte-identically, warning-free."""
+        rng = derive_rng(equivalence_seed, "autoprove-catalogue")
+        for rule_class in (MinNeighbourRule, BorderRule, ThresholdFlipRule):
+            grid = random_torus(rng)
+            if rule_class is MinNeighbourRule:
+                labels = _identifier_labels(rng, grid)
+            else:
+                labels = {node: rng.choice([0, 1]) for node in grid.nodes()}
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert_engines_agree(
+                    rule_engine_factories(
+                        grid,
+                        labels,
+                        rule_class(),
+                        workers=2,
+                        table_threshold=1,
+                        include_shm=True,
+                    ),
+                    f"seed={equivalence_seed} rule={rule_class.__name__} "
+                    f"grid={grid.sides}",
+                )
+
+    def test_shm_tier_executes_the_proof_with_one_pool_spawn(
+        self, equivalence_seed
+    ):
+        """The acceptance criterion: a real undeclared catalogue rule runs
+        on the shm tier (pool actually spawned) byte-identically to the
+        dict oracle, with exactly one autoprove telemetry event."""
+        rng = derive_rng(equivalence_seed, "autoprove-shm-spawn")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        labels = _identifier_labels(rng, grid)
+        rule = MinNeighbourRule()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ShmEngine(grid, table_threshold=1) as engine:
+                store = engine.store(labels)
+                assert engine.rule_tier(rule) == "shm"
+                current = store
+                for _ in range(3):
+                    current = engine.apply_rule(current, rule)
+                assert engine.pool_spawns == 1
+                assert engine._pool.spawn_verdicts == {id(rule): "proven-safe"}
+                result = current.to_dict()
+        events = engine.statics_events
+        assert len(events) == 1
+        assert (events[0].engine, events[0].kind) == ("shm", "autoprove")
+        assert "PROVEN_SAFE" in events[0].detail
+        expected = labels
+        for _ in range(3):
+            expected = apply_rule(grid, expected, MinNeighbourRule())
+        assert result == expected
+
+    def test_parallel_tier_shards_on_the_proof(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "autoprove-parallel")
+        grid = random_torus(rng)
+        labels = _identifier_labels(rng, grid)
+        rule = MinNeighbourRule()
+        engine = ParallelEngine(grid, workers=2, table_threshold=1)
+        assert engine.rule_tier(rule, labels) == "sharded"
+        result = engine.apply_rule(labels, rule).to_dict()
+        assert result == apply_rule(grid, labels, MinNeighbourRule())
+        kinds = [(event.engine, event.kind) for event in engine.statics_events]
+        assert kinds == [("parallel", "autoprove")]
+
+    def test_exceptions_stay_first_failing_node_across_tiers(
+        self, equivalence_seed
+    ):
+        """The exception leg: a proven-safe helper rule that raises must
+        fail identically (type, message, node) on every tier."""
+        rng = derive_rng(equivalence_seed, "autoprove-poison")
+        grid = random_torus(rng)
+        labels = _identifier_labels(rng, grid)
+        # Plant the poison label so at least one ball raises.
+        poisoned = rng.choice(sorted(labels))
+        labels[poisoned] = 0
+        from repro.statics.purity import Verdict, analyse_rule
+
+        rule = _poison_rule()
+        assert analyse_rule(rule).verdict is Verdict.PROVEN_SAFE
+        assert_engines_agree(
+            rule_engine_factories(
+                grid, labels, rule, workers=2, table_threshold=1, include_shm=True
+            ),
+            f"seed={equivalence_seed} grid={grid.sides} poisoned={poisoned}",
+        )
+
+
+class TestAutoblockedDegradation:
+    def test_unknown_rule_degrades_byte_identically(self, equivalence_seed):
+        """An undecided rule must not shard — and must not change results."""
+        rng = derive_rng(equivalence_seed, "autoblock-unknown")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        labels = _identifier_labels(rng, grid)
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ShmEngine(grid, table_threshold=1) as engine:
+                store = engine.store(labels)
+                assert engine.rule_tier(rule) == "list"
+                result = engine.apply_rule(store, rule).to_dict()
+                assert engine.pool_spawns == 0
+        # The shm engine blocks the rule, then its parallel fallback
+        # re-judges (and blocks) it for the per-round-fork rung: one
+        # deduped event per engine.
+        events = engine.statics_events
+        assert [(event.engine, event.kind) for event in events] == [
+            ("shm", "autoblock"),
+            ("parallel", "autoblock"),
+        ]
+        assert all("serial tier" in event.detail for event in events)
+        assert result == apply_rule(
+            grid, labels, FunctionRule(1, lambda view: min(view.values()))
+        )
+
+    def test_declared_rules_keep_the_old_path(self, equivalence_seed):
+        """An explicit parallel_safe declaration bypasses autoprove
+        entirely: the rule shards on the author's word, no telemetry."""
+        rng = derive_rng(equivalence_seed, "autoprove-declared")
+        grid = ToroidalGrid((rng.randint(6, 9), rng.randint(6, 9)))
+        labels = _identifier_labels(rng, grid)
+
+        class DeclaredRule(LocalRule):
+            radius = 1
+            parallel_safe = True
+
+            def update(self, view):
+                pick = lambda values: min(values)  # noqa: E731 - UNKNOWN body
+                return pick(view.values())
+
+        rule = DeclaredRule()
+        with ShmEngine(grid, table_threshold=1) as engine:
+            store = engine.store(labels)
+            assert engine.rule_tier(rule) == "shm"
+            engine.apply_rule(store, rule)
+            assert engine.pool_spawns == 1
+        assert engine.statics_events == ()
+
+
+class TestAutoPolicy:
+    def test_auto_skips_sharded_rungs_for_unprovable_schedules(self):
+        unknown = FunctionRule(1, lambda view: min(view.values()))
+        resolved = resolve_engine(
+            "auto",
+            allowed=("indexed", "array", "parallel", "shm"),
+            node_count=1 << 21,
+            rules=[unknown],
+        )
+        assert resolved in ("array", "indexed")
+
+    def test_auto_keeps_sharded_rungs_for_proven_schedules(self):
+        resolved = resolve_engine(
+            "auto",
+            allowed=("indexed", "array", "parallel", "shm"),
+            node_count=1 << 21,
+            rules=[MinNeighbourRule()],
+        )
+        assert resolved == "shm"
+
+    def test_auto_is_unchanged_without_rules(self):
+        resolved = resolve_engine(
+            "auto",
+            allowed=("indexed", "array", "parallel", "shm"),
+            node_count=1 << 21,
+        )
+        assert resolved == "shm"
+
+    def test_default_posture_trusts_every_undeclared_rule(self, monkeypatch):
+        """Without AUTOPROVE the rung skipping never engages: the declared
+        default (trust) keeps today's behaviour byte-for-byte."""
+        monkeypatch.delenv("REPRO_STATICS_AUTOPROVE", raising=False)
+        unknown = FunctionRule(1, lambda view: min(view.values()))
+        resolved = resolve_engine(
+            "auto",
+            allowed=("indexed", "array", "parallel", "shm"),
+            node_count=1 << 21,
+            rules=[unknown],
+        )
+        assert resolved == "shm"
+
+    def test_every_catalogue_rule_is_autoprove_eligible(self):
+        from repro.local_model.algorithm import sharding_eligible
+
+        for rule_class in CATALOGUE:
+            assert sharding_eligible(rule_class()), rule_class.__name__
+
+
+def test_origin_helper_matches_view_shape():
+    """Guard the catalogue's origin helper the closure proofs lean on."""
+    grid = ToroidalGrid((4, 4))
+    labels = {node: 1 for node in grid.nodes()}
+    result = apply_rule(grid, labels, MinNeighbourRule())
+    assert result == labels
+    assert _origin({(0, 0): 1, (0, 1): 2}) == (0, 0)

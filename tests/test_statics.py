@@ -581,3 +581,149 @@ def repo_root():
     if not (root / "src" / "repro").is_dir():
         pytest.skip("repository layout not available")
     return root
+
+
+# --------------------------------------------------------------------------
+# CLI: allowlist hygiene, GitHub annotations, closure columns (PR 9)
+# --------------------------------------------------------------------------
+
+
+class TestCliHygiene:
+    def test_stale_allowlist_entries_fail_the_run(self, tmp_path, capsys):
+        root = _seed_tree(tmp_path, "x = 1\n")
+        (root / ".statics-allowlist").write_text(
+            "grid-shift:src/repro/gone.py:fixed  # finding since fixed\n"
+        )
+        assert cli.main(["--root", str(root)]) == 1
+        output = capsys.readouterr().out
+        assert "stale allowlist entry" in output
+        assert "--prune" in output
+
+    def test_prune_rewrites_the_allowlist_and_exits_zero(self, tmp_path, capsys):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def sneaky(grid, node):
+                return grid.shift(node, (1, 0))
+            """,
+        )
+        listing = root / ".statics-allowlist"
+        listing.write_text(
+            "# kept comment\n"
+            "grid-shift:src/repro/bad.py:sneaky  # geometry helper\n"
+            "grid-shift:src/repro/gone.py:fixed  # finding since fixed\n"
+        )
+        assert cli.main(["--root", str(root), "--prune"]) == 0
+        text = listing.read_text()
+        assert "# kept comment" in text
+        assert "bad.py:sneaky" in text
+        assert "gone.py:fixed" not in text
+        # A second run is clean without --prune.
+        assert cli.main(["--root", str(root)]) == 0
+
+    def test_stale_entries_fail_the_json_document(self, tmp_path, capsys):
+        root = _seed_tree(tmp_path, "x = 1\n")
+        (root / ".statics-allowlist").write_text(
+            "grid-shift:src/repro/gone.py:fixed  # fixed\n"
+        )
+        assert cli.main(["--root", str(root), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["stale"] == ["grid-shift:src/repro/gone.py:fixed"]
+        assert document["summary"]["stale"] == 1
+
+
+class TestCliGithubFormat:
+    def test_findings_become_error_annotations(self, tmp_path, capsys):
+        root = _seed_tree(
+            tmp_path,
+            """
+            def sneaky(grid, node):
+                return grid.shift(node, (1, 0))
+            """,
+        )
+        assert cli.main(["--root", str(root), "--format", "github"]) == 1
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("::error file=src/repro/bad.py,line=")
+        assert "[grid-shift]" in lines[0]
+        assert "fingerprint: grid-shift:src/repro/bad.py:sneaky" in lines[0]
+
+    def test_stale_entries_annotate_the_allowlist(self, tmp_path, capsys):
+        root = _seed_tree(tmp_path, "x = 1\n")
+        (root / ".statics-allowlist").write_text(
+            "grid-shift:src/repro/gone.py:fixed  # fixed\n"
+        )
+        assert cli.main(["--root", str(root), "--format", "github"]) == 1
+        output = capsys.readouterr().out
+        assert "::error file=.statics-allowlist::" in output
+
+    def test_clean_tree_emits_nothing(self, tmp_path, capsys):
+        root = _seed_tree(tmp_path, "x = 1\n")
+        assert cli.main(["--root", str(root), "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestClosureReporting:
+    def test_rules_report_shows_closure_columns(self):
+        import io
+
+        from repro.local_model.rules import BorderRule
+
+        entry = infer_tier_eligibility(BorderRule()).to_json()
+        stream = io.StringIO()
+        cli._print_text([], [], [], [entry], stream)
+        output = stream.getvalue()
+        assert "closure=proven-closed" in output
+        assert "Σ_out=['interior','border']" in output
+        assert "autoprove=yes" in output
+
+    def test_tier_eligibility_carries_closure_fields(self):
+        from repro.local_model.rules import GreedyColourRule
+
+        entry = infer_tier_eligibility(GreedyColourRule())
+        assert entry.closure == "proven-closed"
+        assert entry.proven_output_alphabet == (0, 1, 2, 3, 4)
+        assert entry.autoprove_shardable is True
+        assert entry.shm_overflow_free is True
+        assert not entry.parallel_safe_declared
+
+    def test_escaping_rule_becomes_a_contract_finding(self):
+        from repro.statics.tiers import closure_findings
+
+        class LeakyRule(LocalRule):
+            radius = 1
+            alphabet = (0, 1)
+
+            def update(self, view):
+                return 2
+
+        findings = closure_findings(rules=[LeakyRule])
+        assert [f.check for f in findings] == ["alphabet-closure"]
+        assert findings[0].symbol.endswith("LeakyRule")
+        assert "2" in findings[0].message
+
+    def test_closed_rules_produce_no_findings(self):
+        from repro.local_model.rules import CATALOGUE
+        from repro.statics.tiers import closure_findings
+
+        assert closure_findings(rules=[cls for cls in CATALOGUE]) == []
+
+    def test_json_summary_counts_verdicts(self):
+        from repro.local_model.rules import BorderRule, MinNeighbourRule
+
+        rules = [
+            infer_tier_eligibility(BorderRule()).to_json(),
+            infer_tier_eligibility(MinNeighbourRule()).to_json(),
+        ]
+        summary = cli._summarise([], [], [], rules)
+        assert summary["rules"] == 2
+        assert summary["purity"] == {"proven-safe": 2}
+        assert summary["closure"] == {"proven-closed": 1}
+        assert summary["autoprove_shardable"] == 2
+
+    def test_real_repo_rules_report_is_green(self, repo_root, capsys):
+        assert cli.main(["--root", str(repo_root), "--rules"]) == 0
+        output = capsys.readouterr().out
+        assert "purity=proven-safe" in output
+        assert "closure=proven-closed" in output

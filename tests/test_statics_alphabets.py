@@ -1,0 +1,266 @@
+"""Adversarial tests for the alphabet-closure abstract interpretation.
+
+Each rule below is a trap for a specific unsoundness: concatenation
+pushing labels outside Σ, dict-lookup relabelling (closed and escaping
+variants), escapes hidden on one branch only, implicit ``return None``,
+and helper indirection.  The analysis must stay sound — ``PROVEN_CLOSED``
+only when every abstract return is inside Σ — while proving the closed
+cases precisely.
+"""
+
+import pytest
+
+from repro.local_model.algorithm import LocalRule
+from repro.local_model.rules import (
+    CATALOGUE,
+    BorderRule,
+    GreedyColourRule,
+    MajorityRule,
+    MinNeighbourRule,
+    ThresholdFlipRule,
+)
+from repro.statics.alphabets import (
+    ClosureVerdict,
+    analyse_closure,
+    clear_closure_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_closure_cache()
+    yield
+    clear_closure_cache()
+
+
+# --------------------------------------------------------------------------
+# Closed rules the analysis must prove
+# --------------------------------------------------------------------------
+
+
+class LiteralRule(LocalRule):
+    radius = 1
+    alphabet = ("red", "black")
+
+    def update(self, view):
+        if view[(0, 0)] == "red":
+            return "black"
+        return "red"
+
+
+class EchoRule(LocalRule):
+    radius = 1
+    alphabet = (0, 1, 2)
+
+    def update(self, view):
+        return view[(0, 0)]
+
+
+class MinOverViewRule(LocalRule):
+    radius = 1
+    alphabet = (0, 1, 2)
+
+    def update(self, view):
+        return min(view.values())
+
+
+class ClosedRelabelRule(LocalRule):
+    """Dict-lookup relabelling whose table stays inside Σ."""
+
+    radius = 1
+    alphabet = (0, 1)
+
+    def update(self, view):
+        return {0: 1, 1: 0}[view[(0, 0)]]
+
+
+class SelfAlphabetRule(LocalRule):
+    radius = 1
+    alphabet = ("a", "b", "c")
+
+    def update(self, view):
+        for candidate in self.alphabet:
+            if candidate != view[(0, 0)]:
+                return candidate
+        return self.alphabet[0]
+
+
+class PartialOutputRule(LocalRule):
+    """Only ever returns a strict subset of Σ — the proven output shows it."""
+
+    radius = 1
+    alphabet = (0, 1, 2, 3)
+
+    def update(self, view):
+        return 1 if view[(0, 0)] == 0 else 0
+
+
+class TestProvenClosed:
+    @pytest.mark.parametrize(
+        "rule_class",
+        [LiteralRule, EchoRule, MinOverViewRule, ClosedRelabelRule, SelfAlphabetRule],
+        ids=lambda c: c.__name__,
+    )
+    def test_closed_rules_prove(self, rule_class):
+        analysis = analyse_closure(rule_class())
+        assert analysis.verdict is ClosureVerdict.PROVEN_CLOSED, (
+            analysis.describe()
+        )
+        assert set(analysis.proven_output) <= set(rule_class.alphabet)
+
+    def test_proven_output_is_exact_for_partial_rules(self):
+        analysis = analyse_closure(PartialOutputRule())
+        assert analysis.verdict is ClosureVerdict.PROVEN_CLOSED
+        assert analysis.proven_output == (0, 1)
+
+    def test_proven_output_ordering_follows_the_declared_alphabet(self):
+        analysis = analyse_closure(EchoRule())
+        assert analysis.proven_output == (0, 1, 2)
+
+
+# --------------------------------------------------------------------------
+# Escaping rules the analysis must refute
+# --------------------------------------------------------------------------
+
+
+class ConcatEscapeRule(LocalRule):
+    """String concatenation manufactures labels outside Σ."""
+
+    radius = 1
+    alphabet = ("a", "b")
+
+    def update(self, view):
+        return view[(0, 0)] + "!"
+
+
+class EscapingRelabelRule(LocalRule):
+    """Dict-lookup relabelling with one out-of-Σ table entry."""
+
+    radius = 1
+    alphabet = (0, 1)
+
+    def update(self, view):
+        return {0: 1, 1: 2}[view[(0, 0)]]
+
+
+class BranchEscapeRule(LocalRule):
+    """The escape hides on one branch; the other is perfectly closed."""
+
+    radius = 1
+    alphabet = ("interior", "border")
+
+    def update(self, view):
+        if view[(0, 0)] == view[(0, 1)]:
+            return "interior"
+        return "outside"
+
+
+class ImplicitNoneRule(LocalRule):
+    """Falling off the end returns None, which is not in Σ."""
+
+    radius = 1
+    alphabet = (0, 1)
+
+    def update(self, view):
+        if view[(0, 0)] == 0:
+            return 1
+
+
+class TestProvenEscapes:
+    @pytest.mark.parametrize(
+        ("rule_class", "fragment"),
+        [
+            (ConcatEscapeRule, "a!"),
+            (EscapingRelabelRule, "2"),
+            (BranchEscapeRule, "outside"),
+            (ImplicitNoneRule, "None"),
+        ],
+        ids=lambda v: v.__name__ if isinstance(v, type) else v,
+    )
+    def test_escapes_are_refuted_with_the_label(self, rule_class, fragment):
+        analysis = analyse_closure(rule_class())
+        assert analysis.verdict is ClosureVerdict.PROVEN_ESCAPES, (
+            analysis.describe()
+        )
+        assert any(fragment in escape for escape in analysis.escapes), (
+            analysis.escapes
+        )
+
+
+# --------------------------------------------------------------------------
+# Honest unknowns
+# --------------------------------------------------------------------------
+
+
+class ArithmeticRule(LocalRule):
+    radius = 1
+    alphabet = (0, 1)
+
+    def update(self, view):
+        return len(view) % 2
+
+
+class TestUnknowns:
+    def test_no_declared_alphabet_is_vacuously_unknown(self):
+        analysis = analyse_closure(MinNeighbourRule())
+        assert analysis.verdict is ClosureVerdict.UNKNOWN
+        assert any("no declared alphabet" in r for r in analysis.reasons)
+
+    def test_unbounded_arithmetic_stays_unknown(self):
+        # len(view) % 2 happens to stay in {0, 1}, but the abstraction
+        # has no view-size model — honest ⊤, never a wrong escape proof.
+        analysis = analyse_closure(ArithmeticRule())
+        assert analysis.verdict is ClosureVerdict.UNKNOWN
+
+    def test_alphabet_override_parameter(self):
+        # MinNeighbour over a known binary labelling: closure provable
+        # only once the caller supplies the Σ the rule never declared
+        # (its helper seeds the fold from the node's own label, so no
+        # out-of-Σ initializer leaks into the abstraction).
+        analysis = analyse_closure(MinNeighbourRule(), alphabet=(0, 1))
+        assert analysis.verdict is ClosureVerdict.PROVEN_CLOSED
+        assert analysis.proven_output == (0, 1)
+
+    def test_over_approximation_is_documented_behaviour(self):
+        # Majority's tie-break helper initialises its fold with None;
+        # concretely a non-empty view never returns it, but the
+        # abstraction joins branches, so the None escape is "provable
+        # under the abstraction" — the documented over-approximation.
+        analysis = analyse_closure(MajorityRule(), alphabet=(0, 1))
+        assert analysis.verdict is ClosureVerdict.PROVEN_ESCAPES
+        assert analysis.escapes == ("None",)
+
+
+# --------------------------------------------------------------------------
+# The in-repo catalogue (acceptance criterion)
+# --------------------------------------------------------------------------
+
+
+class TestCatalogueClosure:
+    @pytest.mark.parametrize(
+        ("rule_class", "expected_output"),
+        [
+            (BorderRule, ("interior", "border")),
+            (ThresholdFlipRule, (0, 1)),
+            (GreedyColourRule, (0, 1, 2, 3, 4)),
+        ],
+        ids=lambda v: v.__name__ if isinstance(v, type) else str(v),
+    )
+    def test_declared_catalogue_rules_prove_closed(self, rule_class, expected_output):
+        analysis = analyse_closure(rule_class())
+        assert analysis.verdict is ClosureVerdict.PROVEN_CLOSED, (
+            analysis.describe()
+        )
+        assert analysis.proven_output == expected_output
+
+    def test_every_catalogue_rule_is_never_refuted(self):
+        for rule_class in CATALOGUE:
+            analysis = analyse_closure(rule_class())
+            assert analysis.verdict is not ClosureVerdict.PROVEN_ESCAPES
+
+    def test_results_are_cached(self):
+        from repro.statics.alphabets import _CLOSURE_CACHE
+
+        first = analyse_closure(BorderRule())
+        assert _CLOSURE_CACHE
+        assert analyse_closure(BorderRule()) is first
