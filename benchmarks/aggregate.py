@@ -12,9 +12,19 @@ a dozen files::
 
 Unparseable files are skipped (and listed in the summary under
 ``skipped``) rather than failing the merge — a crashed benchmark run must
-not also lose the artifacts of the runs that succeeded.  The summary file
-deliberately does not match the ``BENCH_*.json`` glob, so re-running the
-merge never ingests its own output.
+not also lose the artifacts of the runs that succeeded.  Each skip also
+emits a :class:`BenchArtifactWarning` naming the file and the reason, so
+a truncated artifact shows up in the CI log instead of only as a silent
+entry in the summary.  The summary file deliberately does not match the
+``BENCH_*.json`` glob, so re-running the merge never ingests its own
+output.
+
+When the directory also holds trace exports (``*-trace.json`` Chrome
+trace-event documents written by ``REPRO_TRACE=1`` runs, see
+``docs/observability.md``), their embedded metrics snapshots are folded
+into the summary under ``trace_rounds``: per-tier engine round counts
+summed across every trace file, so the tier mix of a traced CI leg can be
+diffed run-over-run alongside the timings.
 """
 
 from __future__ import annotations
@@ -22,18 +32,76 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
 from typing import Dict, List
 
 DEFAULT_SUMMARY_NAME = "bench-summary.json"
 
+ROUNDS_METRIC = "engine_rounds_total"
+
+
+class BenchArtifactWarning(UserWarning):
+    """A benchmark or trace artifact could not be ingested and was skipped."""
+
+
+def _skip(path: Path, reason: str, skipped: List[str]) -> None:
+    skipped.append(path.name)
+    warnings.warn(
+        f"skipping benchmark artifact {path.name}: {reason}",
+        BenchArtifactWarning,
+        stacklevel=3,
+    )
+
+
+def trace_round_counts(results_dir: Path, skipped: List[str]) -> Dict[str, int]:
+    """Sum per-tier ``engine_rounds_total`` counters across trace exports.
+
+    Reads every ``*-trace.json`` in ``results_dir``, pulls the metrics
+    snapshot that :func:`repro.observability.trace.chrome_document` embeds
+    under ``repro.metrics.counters``, and accumulates the
+    ``engine_rounds_total{tier=...}`` counters into ``{tier: rounds}``.
+    Malformed trace files are skipped with a :class:`BenchArtifactWarning`,
+    like any other artifact.
+    """
+    rounds: Dict[str, int] = {}
+    prefix = ROUNDS_METRIC + "{tier="
+    for path in sorted(results_dir.glob("*-trace.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            _skip(path, "unreadable or not valid JSON", skipped)
+            continue
+        if not isinstance(payload, dict):
+            _skip(path, "not a JSON object", skipped)
+            continue
+        counters = payload
+        for key in ("repro", "metrics", "counters"):
+            counters = counters.get(key) if isinstance(counters, dict) else None
+        if counters is None:
+            counters = {}
+        if not isinstance(counters, dict):
+            _skip(path, "malformed metrics snapshot", skipped)
+            continue
+        for key, value in counters.items():
+            if not (isinstance(key, str) and key.startswith(prefix)):
+                continue
+            tier = key[len(prefix):].rstrip("}")
+            try:
+                rounds[tier] = rounds.get(tier, 0) + int(value)
+            except (TypeError, ValueError):
+                _skip(path, f"non-numeric counter {key!r}", skipped)
+                break
+    return {tier: rounds[tier] for tier in sorted(rounds)}
+
 
 def aggregate(results_dir: Path) -> Dict:
     """Fold every ``BENCH_*.json`` under ``results_dir`` into one document.
 
-    Returns ``{"count", "benchmarks": {name: payload}, "skipped": [...]}``
-    with benchmarks keyed by their recorded name (falling back to the file
-    stem) and sorted for stable diffs.
+    Returns ``{"count", "benchmarks": {name: payload}, "skipped": [...],
+    "trace_rounds": {tier: rounds}}`` with benchmarks keyed by their
+    recorded name (falling back to the file stem) and sorted for stable
+    diffs.
     """
     benchmarks: Dict[str, Dict] = {}
     skipped: List[str] = []
@@ -41,10 +109,10 @@ def aggregate(results_dir: Path) -> Dict:
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
-            skipped.append(path.name)
+            _skip(path, "unreadable or not valid JSON", skipped)
             continue
         if not isinstance(payload, dict):
-            skipped.append(path.name)
+            _skip(path, "not a JSON object", skipped)
             continue
         name = str(payload.get("benchmark") or path.stem[len("BENCH_"):])
         benchmarks[name] = payload
@@ -52,6 +120,7 @@ def aggregate(results_dir: Path) -> Dict:
         "count": len(benchmarks),
         "benchmarks": {name: benchmarks[name] for name in sorted(benchmarks)},
         "skipped": skipped,
+        "trace_rounds": trace_round_counts(results_dir, skipped),
     }
 
 

@@ -1,0 +1,104 @@
+"""Benchmark: the disabled tracer must cost < 5% of a 128x128 schedule.
+
+The observability contract (``docs/observability.md``) promises a
+near-zero disabled path: with ``REPRO_TRACE`` unset every instrumented
+site pays one module-global read plus an ``is None`` check.  This
+benchmark makes that promise a number: it counts the spans a traced
+128x128 schedule would emit, measures the per-site cost of the disabled
+pattern directly (millions of iterations, so the figure is stable on
+shared CI runners where a wall-vs-wall ratio of two ~10 ms runs is pure
+noise), and asserts that their product stays under 5% of the untraced
+schedule's wall time.  The raw traced-vs-untraced walls are recorded in
+the artifact for the perf trajectory but deliberately not asserted.
+"""
+
+import time
+
+from repro.grid.torus import ToroidalGrid
+from repro.local_model.algorithm import FunctionRule
+from repro.local_model.engine import SchedulePhase, run_schedule
+from repro.observability import trace
+from repro.observability.metrics import registry
+
+SIDE = 128
+ROUNDS = 3
+REPETITIONS = 3
+PROBE_ITERATIONS = 200_000
+OVERHEAD_CEILING = 0.05
+
+
+def _best_of(repetitions, run):
+    timings = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _disabled_site_seconds():
+    """Per-site cost of the disabled hot-path pattern, measured in bulk."""
+    probe = range(PROBE_ITERATIONS)
+
+    def spin():
+        for _ in probe:
+            tracer = trace.ACTIVE
+            if tracer is not None:  # pragma: no cover - tracer is disabled
+                with tracer.span("never"):
+                    pass
+
+    assert trace.ACTIVE is None
+    return _best_of(REPETITIONS, spin) / PROBE_ITERATIONS
+
+
+def test_disabled_tracing_overhead_under_5_percent(benchmark, bench_json):
+    grid = ToroidalGrid.square(SIDE)
+    rule = FunctionRule(1, lambda view: min(view.values()))
+    labels = {node: (node[0] * SIDE + node[1]) % 7 for node in grid.nodes()}
+    schedule = [SchedulePhase(rule, "settle", ROUNDS)]
+
+    def run():
+        return run_schedule(grid, labels, schedule, engine="array")
+
+    # How many instrumented sites does one run actually hit?
+    registry().reset()
+    with trace.capture() as tracer:
+        run()
+    spans_per_run = tracer.span_count
+
+    with trace.disabled():
+        untraced_seconds = benchmark.pedantic(
+            lambda: _best_of(REPETITIONS, run), rounds=1, iterations=1
+        )
+        site_seconds = _disabled_site_seconds()
+    with trace.capture():
+        traced_seconds = _best_of(REPETITIONS, run)
+
+    overhead_seconds = spans_per_run * site_seconds
+    overhead_ratio = overhead_seconds / untraced_seconds
+
+    print(
+        f"\n{SIDE}x{SIDE} torus, {ROUNDS} rounds (best of {REPETITIONS}):\n"
+        f"  untraced wall      {untraced_seconds * 1000:8.2f} ms\n"
+        f"  traced wall        {traced_seconds * 1000:8.2f} ms\n"
+        f"  spans per run      {spans_per_run:8d}\n"
+        f"  disabled site cost {site_seconds * 1e9:8.1f} ns\n"
+        f"  disabled overhead  {overhead_ratio * 100:8.4f} %"
+    )
+
+    bench_json(
+        {
+            "side": SIDE,
+            "rounds": ROUNDS,
+            "untraced_seconds": untraced_seconds,
+            "traced_seconds": traced_seconds,
+            "spans_per_run": spans_per_run,
+            "disabled_site_seconds": site_seconds,
+            "disabled_overhead_ratio": overhead_ratio,
+            "ceiling": OVERHEAD_CEILING,
+        }
+    )
+    assert overhead_ratio < OVERHEAD_CEILING, (
+        f"disabled tracing costs {overhead_ratio * 100:.2f}% of a "
+        f"{SIDE}x{SIDE} schedule (ceiling {OVERHEAD_CEILING * 100:.0f}%)"
+    )

@@ -110,6 +110,8 @@ from repro.local_model.store import (
     shm_available,
 )
 from repro.local_model.views import NeighbourhoodView
+from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover - the runtime package imports this
     # module's sibling ``store``, so the real import happens lazily inside
@@ -127,6 +129,24 @@ GridLike = Union[ToroidalGrid, Topology]
 #: node and round that reuses the table); above the threshold the engine
 #: uses the ``update_batch`` hook or falls back to the list path.
 DEFAULT_TABLE_THRESHOLD = 1 << 16
+
+
+def _traced_round(tier: str, rule: LocalRule, runner: Callable[[], Any]) -> Any:
+    """Run one round's leaf execution, counted and (when tracing) spanned.
+
+    Every round increments exactly one ``engine_rounds_total{tier=...}``
+    series — at the leaf that actually executed, so a degrade path that
+    runs two leaves honestly counts both.  With no tracer installed the
+    only cost beyond the counter bump is one global read and an ``is
+    None`` check (the disabled-path contract of
+    :mod:`repro.observability.trace`).
+    """
+    _metrics.registry().inc("engine_rounds_total", tier=tier)
+    tracer = _trace.ACTIVE
+    if tracer is None:
+        return runner()
+    with tracer.span(_trace.SPAN_ROUND, tier=tier, rule=type(rule).__name__):
+        return runner()
 
 
 class IndexedEngine:
@@ -176,6 +196,11 @@ class IndexedEngine:
         return LabelStore(self.indexer, new_values)
 
     def _apply_values(self, values: List[Any], rule: LocalRule) -> List[Any]:
+        return _traced_round(
+            "list", rule, lambda: self._apply_values_serial(values, rule)
+        )
+
+    def _apply_values_serial(self, values: List[Any], rule: LocalRule) -> List[Any]:
         update = rule.update
         offsets, table = self.indexer.ball_table(rule.radius, rule.norm)
         if len(offsets) == 1:
@@ -431,9 +456,31 @@ class ArrayEngine(IndexedEngine):
         offsets, gather = self.indexer.ball_index_array(rule.radius, rule.norm)
         alphabet_size = self.codec.size
         if self._table_fits(alphabet_size, len(offsets)):
-            return self._apply_table(codes, rule, offsets, gather, alphabet_size)
-        if rule_traits(rule).update_batch is not None:
-            return self._apply_batch(codes, rule, gather)
+            tier = "table"
+        elif rule_traits(rule).update_batch is not None:
+            tier = "batch"
+        else:
+            tier = "list"
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                _trace.SPAN_TIER_DISPATCH,
+                tier=tier,
+                rule=type(rule).__name__,
+                alphabet=alphabet_size,
+                ball=len(offsets),
+            )
+        if tier == "table":
+            return _traced_round(
+                "table",
+                rule,
+                lambda: self._apply_table(codes, rule, offsets, gather, alphabet_size),
+            )
+        if tier == "batch":
+            return _traced_round(
+                "batch", rule, lambda: self._apply_batch(codes, rule, gather)
+            )
+        # The list leaf counts/spans itself inside IndexedEngine._apply_values.
         return self._apply_list(codes, rule)
 
     def _apply_table(self, codes, rule, offsets, gather, alphabet_size):
@@ -655,17 +702,17 @@ class ParallelEngine(IndexedEngine):
         ``_can_shard``/``_can_shm`` run per application, so without the
         dedup a long schedule would grow the log by one event per round.
         """
-        from repro.runtime.telemetry import StaticsEvent
+        from repro.runtime.telemetry import StaticsEvent, publish
 
         key = (kind, id(rule))
         if key in self._noted_statics:
             return
         self._noted_statics.add(key)
-        self._statics_log.append(
-            StaticsEvent(
-                engine="parallel", kind=kind, rule=repr(rule), detail=detail
-            )
+        event = StaticsEvent(
+            engine="parallel", kind=kind, rule=repr(rule), detail=detail
         )
+        self._statics_log.append(event)
+        publish(event)
 
     # ------------------------------------------------------------------ #
     # Tier selection
@@ -802,8 +849,12 @@ class ParallelEngine(IndexedEngine):
         if len(chunks) <= 1:
             return IndexedEngine._apply_values(self, values, rule)
         try:
-            results = self._map_chunks(
-                values, rule.update, offsets, table, getters, chunks
+            results = _traced_round(
+                "sharded",
+                rule,
+                lambda: self._map_chunks(
+                    values, rule.update, offsets, table, getters, chunks
+                ),
             )
         except Exception as error:  # noqa: BLE001 - worker pools can fail for
             # environmental reasons (process limits, unpicklable labels or
@@ -813,17 +864,17 @@ class ParallelEngine(IndexedEngine):
             # silently never materialise.
             if not self._warned_serial_fallback:
                 self._warned_serial_fallback = True
-                from repro.runtime.telemetry import DegradeEvent
+                from repro.runtime.telemetry import DegradeEvent, publish
 
-                self._degrade_log.append(
-                    DegradeEvent(
-                        engine="parallel",
-                        tier_from="sharded",
-                        tier_to="list",
-                        reason=f"worker-pool failure: {error!r}",
-                        rule=repr(rule),
-                    )
+                event = DegradeEvent(
+                    engine="parallel",
+                    tier_from="sharded",
+                    tier_to="list",
+                    reason=f"worker-pool failure: {error!r}",
+                    rule=repr(rule),
                 )
+                self._degrade_log.append(event)
+                publish(event)
                 warnings.warn(
                     f"parallel engine degraded to the serial scan after a "
                     f"worker-pool failure: {error!r}",
@@ -1061,11 +1112,21 @@ class ShmEngine(ArrayEngine):
             if pool is not None:
                 from repro.runtime.pool import RETRY_BACKOFF, pool_retry_budget
 
+                tracer = _trace.ACTIVE
+                if tracer is not None:
+                    tracer.instant(
+                        _trace.SPAN_TIER_DISPATCH,
+                        tier="shm",
+                        rule=type(rule).__name__,
+                        workers=self.workers,
+                    )
                 budget = pool_retry_budget()
                 attempt = 0
                 while True:
                     try:
-                        return self._apply_shm(pool, codes, key)
+                        return _traced_round(
+                            "shm", rule, lambda: self._apply_shm(pool, codes, key)
+                        )
                     except PoolBrokenError as error:
                         if attempt < budget and self._heal_pool(pool, rule):
                             # Healed in place: retry the round on the
@@ -1198,15 +1259,15 @@ class ShmEngine(ArrayEngine):
         """Record an autoprove decision once per ``(kind, rule)`` pair
         (``_can_shm`` runs per application; see
         :meth:`ParallelEngine._note_statics`)."""
-        from repro.runtime.telemetry import StaticsEvent
+        from repro.runtime.telemetry import StaticsEvent, publish
 
         key = (kind, id(rule))
         if key in self._noted_statics:
             return
         self._noted_statics.add(key)
-        self._statics_log.append(
-            StaticsEvent(engine="shm", kind=kind, rule=repr(rule), detail=detail)
-        )
+        event = StaticsEvent(engine="shm", kind=kind, rule=repr(rule), detail=detail)
+        self._statics_log.append(event)
+        publish(event)
 
     def _record_degrade(
         self,
@@ -1226,24 +1287,24 @@ class ShmEngine(ArrayEngine):
         once-per-instance semantics predate the structured log and are
         pinned by tests — they must not change.
         """
-        from repro.runtime.telemetry import DegradeEvent
+        from repro.runtime.telemetry import DegradeEvent, publish
 
         if not healed:
             key = (tier_from, tier_to, reason, None if rule is None else id(rule))
             if key in self._noted_degrades:
                 return
             self._noted_degrades.add(key)
-        self._degrade_log.append(
-            DegradeEvent(
-                engine="shm",
-                tier_from=tier_from,
-                tier_to=tier_to,
-                reason=reason,
-                rule=None if rule is None else repr(rule),
-                round=round,
-                healed=healed,
-            )
+        event = DegradeEvent(
+            engine="shm",
+            tier_from=tier_from,
+            tier_to=tier_to,
+            reason=reason,
+            rule=None if rule is None else repr(rule),
+            round=round,
+            healed=healed,
         )
+        self._degrade_log.append(event)
+        publish(event)
         if warn and not self._warned_degrade:
             self._warned_degrade = True
             warnings.warn(
@@ -1323,32 +1384,43 @@ def run_schedule(
     else:
         executor = IndexedEngine(grid_or_indexer)
     try:
-        current = executor.store(labels)
-        for step in schedule:
-            if step.until is not None:
-                if step.max_iterations <= 0:
-                    raise SimulationError(
-                        f"phase {step.name!r} has an `until` predicate but no "
-                        "positive max_iterations budget"
-                    )
-                current = executor.iterate_rule(
-                    current,
-                    step.rule,
-                    should_stop=step.until,
-                    max_iterations=step.max_iterations,
-                    ledger=ledger,
+        with _trace.span(
+            _trace.SPAN_SCHEDULE,
+            tier=tier,
+            phases=len(schedule),
+            nodes=grid_or_indexer.node_count,
+        ):
+            current = executor.store(labels)
+            for step in schedule:
+                with _trace.span(
+                    _trace.SPAN_PHASE,
                     phase=step.name,
-                )
-            else:
-                if step.iterations < 0:
-                    raise SimulationError(
-                        f"phase {step.name!r} has a negative iteration count"
-                    )
-                for _ in range(step.iterations):
-                    current = executor.apply_rule(
-                        current, step.rule, ledger=ledger, phase=step.name
-                    )
-        return current
+                    rule=type(step.rule).__name__,
+                ):
+                    if step.until is not None:
+                        if step.max_iterations <= 0:
+                            raise SimulationError(
+                                f"phase {step.name!r} has an `until` predicate but no "
+                                "positive max_iterations budget"
+                            )
+                        current = executor.iterate_rule(
+                            current,
+                            step.rule,
+                            should_stop=step.until,
+                            max_iterations=step.max_iterations,
+                            ledger=ledger,
+                            phase=step.name,
+                        )
+                    else:
+                        if step.iterations < 0:
+                            raise SimulationError(
+                                f"phase {step.name!r} has a negative iteration count"
+                            )
+                        for _ in range(step.iterations):
+                            current = executor.apply_rule(
+                                current, step.rule, ledger=ledger, phase=step.name
+                            )
+            return current
     finally:
         if isinstance(executor, ShmEngine):
             executor.close()

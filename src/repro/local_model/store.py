@@ -38,6 +38,7 @@ from repro.errors import SimulationError
 from repro.grid.indexer import GridIndexer
 from repro.grid.topology import Topology
 from repro.grid.torus import Node, ToroidalGrid
+from repro.observability.decision import DecisionRecorder
 
 try:  # numpy is an optional dependency: only the "array" tier needs it.
     import numpy as _np
@@ -151,7 +152,16 @@ def resolve_engine(
     numpy.  The remaining shm preconditions (worker count, fork, shared
     memory) are checked by the engine itself per application, so a
     requested ``"shm"`` stays byte-identical on every platform.
+
+    Every call records a structured decision trace — each rung reached
+    and the predicate that accepted or rejected it — queryable via
+    :func:`repro.observability.decision.last_decision` and emitted as a
+    ``resolve_engine`` instant on the active tracer.  Recording never
+    changes the walk: in particular :func:`parallel_workers` is still
+    evaluated only on the rungs that always evaluated it, so a bad
+    ``REPRO_WORKERS`` raises in exactly the same cases as before.
     """
+    recorder = DecisionRecorder(engine, allowed, node_count=node_count)
     if engine == "auto":
         workers: Optional[int] = None
         want_shards = True
@@ -162,24 +172,78 @@ def resolve_engine(
             from repro.local_model.algorithm import sharding_eligible
 
             want_shards = any(sharding_eligible(rule) for rule in rules)
+            if not want_shards:
+                for tier in ("shm", "parallel"):
+                    if tier in allowed:
+                        recorder.rung(
+                            tier, False, "no schedule rule is sharding-eligible"
+                        )
         if node_count is not None and want_shards:
-            if (
-                "shm" in allowed
-                and node_count >= SHM_AUTO_THRESHOLD
-                and shm_available()
-            ):
-                workers = parallel_workers()
-                if workers > 1:
-                    return "shm"
-            if "parallel" in allowed and node_count >= PARALLEL_AUTO_THRESHOLD:
-                if workers is None:
+            if "shm" in allowed:
+                if node_count < SHM_AUTO_THRESHOLD:
+                    recorder.rung(
+                        "shm",
+                        False,
+                        f"node_count {node_count} < SHM_AUTO_THRESHOLD {SHM_AUTO_THRESHOLD}",
+                    )
+                elif not shm_available():
+                    recorder.rung(
+                        "shm",
+                        False,
+                        "platform lacks numpy, POSIX shared memory or fork",
+                    )
+                else:
                     workers = parallel_workers()
-                if workers > 1:
-                    return "parallel"
-        if "array" in allowed and HAS_NUMPY:
-            return "array"
+                    if workers > 1:
+                        recorder.rung(
+                            "shm",
+                            True,
+                            f"node_count {node_count} >= SHM_AUTO_THRESHOLD with {workers} workers",
+                        )
+                        recorder.finish("shm", workers=workers)
+                        return "shm"
+                    recorder.rung(
+                        "shm", False, f"only {workers} worker(s) configured"
+                    )
+            if "parallel" in allowed:
+                if node_count >= PARALLEL_AUTO_THRESHOLD:
+                    if workers is None:
+                        workers = parallel_workers()
+                    if workers > 1:
+                        recorder.rung(
+                            "parallel",
+                            True,
+                            f"node_count {node_count} >= PARALLEL_AUTO_THRESHOLD "
+                            f"with {workers} workers",
+                        )
+                        recorder.finish("parallel", workers=workers)
+                        return "parallel"
+                    recorder.rung(
+                        "parallel", False, f"only {workers} worker(s) configured"
+                    )
+                else:
+                    recorder.rung(
+                        "parallel",
+                        False,
+                        f"node_count {node_count} < PARALLEL_AUTO_THRESHOLD "
+                        f"{PARALLEL_AUTO_THRESHOLD}",
+                    )
+        elif node_count is None and want_shards:
+            for tier in ("shm", "parallel"):
+                if tier in allowed:
+                    recorder.rung(tier, False, "caller supplied no node_count")
+        if "array" in allowed:
+            if HAS_NUMPY:
+                recorder.rung("array", True, "numpy is importable")
+                recorder.finish("array", workers=workers)
+                return "array"
+            recorder.rung("array", False, "numpy is not importable")
         if "indexed" in allowed:
+            recorder.rung("indexed", True, "last resort before the dict oracle")
+            recorder.finish("indexed", workers=workers)
             return "indexed"
+        recorder.rung("dict", True, "only remaining allowed tier")
+        recorder.finish("dict", workers=workers)
         return "dict"
     if engine not in allowed:
         raise ValueError(
@@ -191,7 +255,12 @@ def resolve_engine(
             f"engine='shm' requires numpy, which is not installed; "
             f"running on engine={fallback!r} instead"
         )
+        recorder.rung("shm", False, "engine='shm' requires numpy, which is not installed")
+        recorder.rung(fallback, True, "best allowed fallback for a numpy-less shm request")
+        recorder.finish(fallback)
         return fallback
+    recorder.rung(engine, True, "explicitly requested")
+    recorder.finish(engine)
     return engine
 
 
@@ -206,11 +275,21 @@ def resolve_vector_engine(engine: str) -> str:
     both resolve to the ``array`` tier here (or its indexed fallback when
     numpy is missing).
     """
-    resolved = resolve_engine(
-        engine, allowed=("dict", "indexed", "array", "parallel", "shm")
-    )
+    allowed = ("dict", "indexed", "array", "parallel", "shm")
+    resolved = resolve_engine(engine, allowed=allowed)
+    recorder = DecisionRecorder(engine, allowed, vector=True)
     if resolved in ("parallel", "shm"):
-        return "array" if HAS_NUMPY else "indexed"
+        vector = "array" if HAS_NUMPY else "indexed"
+        recorder.rung(
+            resolved,
+            False,
+            "single vectorised sweep: sharded tiers have no multi-round scans to win on",
+        )
+        recorder.rung(vector, True, f"vector twin of the {resolved!r} tier")
+        recorder.finish(vector)
+        return vector
+    recorder.rung(resolved, True, "already a vector-capable tier")
+    recorder.finish(resolved)
     return resolved
 
 

@@ -1,0 +1,64 @@
+"""Observability for the five-tier engine stack: tracing, metrics, decisions.
+
+Three cooperating modules, all dependency-free with respect to the rest
+of the package (the engine/runtime layers import *us*, never the other
+way around):
+
+* :mod:`repro.observability.trace` — nested span tracer, off by default
+  (``REPRO_TRACE=1`` or :func:`~repro.observability.trace.install`),
+  exporting Chrome trace-event JSON and a plain-text tree;
+* :mod:`repro.observability.metrics` — always-on counters and latency
+  summaries, folded into every trace export;
+* :mod:`repro.observability.decision` — structured
+  ``resolve_engine`` decision traces, queryable via
+  :func:`~repro.observability.decision.last_decision`.
+
+``python -m repro.observability`` renders an exported trace.  See
+``docs/observability.md`` for the span model and metric catalogue.
+"""
+
+from repro.observability.decision import (
+    DecisionRecorder,
+    DecisionRung,
+    EngineDecision,
+    last_decision,
+    recent_decisions,
+)
+from repro.observability.metrics import MetricsRegistry, record_event, registry
+from repro.observability.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    capture,
+    chrome_document,
+    current,
+    disabled,
+    install,
+    instant,
+    span,
+    uninstall,
+    write_trace,
+)
+
+__all__ = [
+    "DecisionRecorder",
+    "DecisionRung",
+    "EngineDecision",
+    "last_decision",
+    "recent_decisions",
+    "MetricsRegistry",
+    "record_event",
+    "registry",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "capture",
+    "chrome_document",
+    "current",
+    "disabled",
+    "install",
+    "instant",
+    "span",
+    "uninstall",
+    "write_trace",
+]

@@ -1,0 +1,174 @@
+"""``python -m repro.observability`` — render an exported trace.
+
+Reads a Chrome trace-event JSON produced by
+:func:`repro.observability.trace.write_trace` (typically
+``repro-trace.json`` from a ``REPRO_TRACE=1`` run) and prints a
+plain-text report: the span tree rebuilt from the flat event list, the
+metrics snapshot, and the engine-decision log.  ``--format json`` dumps
+the machine-readable ``repro`` section instead, for scripting.
+
+The span tree is reconstructed per ``(pid, tid)`` lane by interval
+containment — a complete event nests under the closest earlier event
+whose ``[ts, ts+dur]`` window still covers it — so any well-nested trace
+renders faithfully even though the wire format is flat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.trace import DEFAULT_TRACE_FILE, TRACE_FILE_VARIABLE
+
+
+class TraceFormatError(ValueError):
+    """The input file is not a Chrome trace-event document."""
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise TraceFormatError(
+            f"{path!r} is not a Chrome trace-event document (no traceEvents list)"
+        )
+    return payload
+
+
+def _lane(event: Dict[str, Any]) -> Tuple[Any, Any]:
+    return event.get("pid", 0), event.get("tid", 0)
+
+
+def render_events(events: Sequence[Dict[str, Any]], max_depth: Optional[int] = None) -> str:
+    """The plain-text span tree for a flat Chrome event list."""
+    lanes: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    for event in events:
+        if event.get("ph") in ("X", "i") and isinstance(event.get("ts"), (int, float)):
+            lanes.setdefault(_lane(event), []).append(event)
+
+    lines: List[str] = []
+    for lane in sorted(lanes, key=repr):
+        if len(lanes) > 1:
+            lines.append(f"[pid={lane[0]} tid={lane[1]}]")
+        # Sort by start, longest-first on ties, so parents precede children.
+        ordered = sorted(
+            lanes[lane], key=lambda event: (event["ts"], -float(event.get("dur", 0.0)))
+        )
+        open_spans: List[Tuple[float, int]] = []  # (end timestamp, depth)
+        for event in ordered:
+            ts = float(event["ts"])
+            while open_spans and open_spans[-1][0] <= ts:
+                open_spans.pop()
+            depth = open_spans[-1][1] + 1 if open_spans else 0
+            if max_depth is not None and depth > max_depth:
+                continue
+            name = str(event.get("name", "?"))
+            args = event.get("args") or {}
+            suffix = ""
+            if args:
+                suffix = " " + " ".join(f"{key}={value!r}" for key, value in sorted(args.items()))
+            if event.get("ph") == "i":
+                lines.append(f"{'  ' * depth}· {name}{suffix}")
+            else:
+                duration = float(event.get("dur", 0.0))
+                lines.append(f"{'  ' * depth}{name} {duration / 1e3:.3f}ms{suffix}")
+                open_spans.append((ts + duration, depth))
+    return "\n".join(lines)
+
+
+def _render_metrics(snapshot: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        lines.append(f"{name} = {value}")
+    for name, summary in sorted((snapshot.get("summaries") or {}).items()):
+        lines.append(
+            f"{name}: count={summary.get('count', 0)} mean={summary.get('mean', 0.0):.6f}s"
+            f" max={summary.get('max', 0.0):.6f}s"
+        )
+    return "\n".join(lines)
+
+
+def _render_decisions(decisions: Sequence[Dict[str, Any]]) -> str:
+    lines: List[str] = []
+    for entry in decisions:
+        kind = "resolve_vector_engine" if entry.get("vector") else "resolve_engine"
+        lines.append(f"{kind}({entry.get('requested')!r}) -> {entry.get('resolved')!r}")
+        for rung in entry.get("rungs") or []:
+            verdict = "accepted" if rung.get("accepted") else "rejected"
+            lines.append(f"  {rung.get('tier')}: {verdict} — {rung.get('reason')}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Render a Chrome trace exported by a REPRO_TRACE=1 run.",
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help=f"trace file (default: ${TRACE_FILE_VARIABLE} or {DEFAULT_TRACE_FILE})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text report (default) or the machine-readable repro section",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="limit the span tree to this nesting depth",
+    )
+    parser.add_argument(
+        "--section",
+        choices=("all", "spans", "metrics", "decisions"),
+        default="all",
+        help="which report section to print (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    path = args.trace or os.environ.get(TRACE_FILE_VARIABLE) or DEFAULT_TRACE_FILE
+    try:
+        payload = load_trace(path)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    repro_section = payload.get("repro") or {}
+    if args.format == "json":
+        json.dump(repro_section, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+
+    events = payload["traceEvents"]
+    if args.section in ("all", "spans"):
+        print(f"-- spans ({len(events)} events, {path}) --")
+        tree = render_events(events, max_depth=args.depth)
+        if tree:
+            print(tree)
+    if args.section in ("all", "metrics"):
+        metrics_snapshot = repro_section.get("metrics") or {}
+        rendered = _render_metrics(metrics_snapshot)
+        print("-- metrics --")
+        if rendered:
+            print(rendered)
+    if args.section in ("all", "decisions"):
+        decisions = repro_section.get("decisions") or []
+        print(f"-- engine decisions ({len(decisions)}) --")
+        rendered = _render_decisions(decisions)
+        if rendered:
+            print(rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

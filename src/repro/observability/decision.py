@@ -1,0 +1,152 @@
+"""Engine-decision explainability: why ``auto`` picked the tier it did.
+
+``resolve_engine``/``resolve_vector_engine`` (:mod:`repro.local_model.store`)
+walk a ladder of rungs — shm, parallel, array, indexed, dict — and until
+now the answer to "why did auto pick ``parallel`` and not ``shm``" lived
+only in their control flow.  They now thread a :class:`DecisionRecorder`
+through the walk, noting every rung considered and the predicate that
+accepted or rejected it, and finish with an :class:`EngineDecision` that
+
+* is queryable afterwards via :func:`last_decision` (and the short
+  :func:`recent_decisions` ring),
+* is emitted as a ``resolve_engine`` instant on the active tracer, and
+* bumps the ``engine_decisions_total{resolved=...}`` counter.
+
+A rung that was never *reached* (the walk returns at the first accepted
+rung) simply does not appear; a rung that was considered and rejected
+carries its rejection reason verbatim.  The recorder never evaluates
+predicates itself — in particular ``parallel_workers()`` stays exactly
+as lazy as the resolution walk makes it, because eagerly evaluating it
+for the record would surface ``REPRO_WORKERS`` errors on paths that
+never used to read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability import metrics
+from repro.observability import trace
+
+
+@dataclass(frozen=True)
+class DecisionRung:
+    """One ladder rung considered during resolution."""
+
+    tier: str
+    accepted: bool
+    reason: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"tier": self.tier, "accepted": self.accepted, "reason": self.reason}
+
+
+@dataclass(frozen=True)
+class EngineDecision:
+    """The structured outcome of one ``resolve_engine`` call."""
+
+    requested: str
+    resolved: str
+    allowed: Tuple[str, ...]
+    rungs: Tuple[DecisionRung, ...]
+    node_count: Optional[int] = None
+    workers: Optional[int] = None
+    vector: bool = False
+
+    def why(self, tier: str) -> Optional[str]:
+        """The recorded reason for ``tier``, or ``None`` if never reached."""
+        for rung in self.rungs:
+            if rung.tier == tier:
+                return rung.reason
+        return None
+
+    def explain(self) -> str:
+        """A human-readable account of the whole walk."""
+        kind = "resolve_vector_engine" if self.vector else "resolve_engine"
+        header = f"{kind}({self.requested!r}) -> {self.resolved!r}"
+        details = [f"allowed={list(self.allowed)}"]
+        if self.node_count is not None:
+            details.append(f"node_count={self.node_count}")
+        if self.workers is not None:
+            details.append(f"workers={self.workers}")
+        lines = [header + "  [" + ", ".join(details) + "]"]
+        for rung in self.rungs:
+            verdict = "accepted" if rung.accepted else "rejected"
+            lines.append(f"  {rung.tier}: {verdict} — {rung.reason}")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "requested": self.requested,
+            "resolved": self.resolved,
+            "allowed": list(self.allowed),
+            "rungs": [rung.to_json() for rung in self.rungs],
+            "node_count": self.node_count,
+            "workers": self.workers,
+            "vector": self.vector,
+        }
+
+
+class DecisionRecorder:
+    """Accumulates rungs during one resolution walk, then publishes."""
+
+    def __init__(
+        self,
+        requested: str,
+        allowed: Sequence[str],
+        node_count: Optional[int] = None,
+        vector: bool = False,
+    ) -> None:
+        self.requested = requested
+        self.allowed = tuple(allowed)
+        self.node_count = node_count
+        self.vector = vector
+        self._rungs: List[DecisionRung] = []
+
+    def rung(self, tier: str, accepted: bool, reason: str) -> None:
+        self._rungs.append(DecisionRung(tier, accepted, reason))
+
+    def finish(self, resolved: str, workers: Optional[int] = None) -> EngineDecision:
+        decision = EngineDecision(
+            requested=self.requested,
+            resolved=resolved,
+            allowed=self.allowed,
+            rungs=tuple(self._rungs),
+            node_count=self.node_count,
+            workers=workers,
+            vector=self.vector,
+        )
+        _publish(decision)
+        return decision
+
+
+#: How many decisions the ring buffer keeps for trace exports.
+HISTORY_LIMIT = 64
+
+_HISTORY: List[EngineDecision] = []
+
+
+def _publish(decision: EngineDecision) -> None:
+    _HISTORY.append(decision)
+    if len(_HISTORY) > HISTORY_LIMIT:
+        del _HISTORY[: len(_HISTORY) - HISTORY_LIMIT]
+    metrics.registry().inc("engine_decisions_total", resolved=decision.resolved)
+    tracer = trace.ACTIVE
+    if tracer is not None:
+        tracer.instant(trace.SPAN_RESOLVE_ENGINE, **decision.to_json())
+
+
+def last_decision() -> Optional[EngineDecision]:
+    """The most recent resolution, or ``None`` if none happened yet."""
+    return _HISTORY[-1] if _HISTORY else None
+
+
+def recent_decisions() -> Tuple[EngineDecision, ...]:
+    """The ring buffer, oldest first (at most :data:`HISTORY_LIMIT`)."""
+    return tuple(_HISTORY)
+
+
+def clear_decisions() -> None:
+    """Drop the history (test isolation)."""
+    _HISTORY.clear()

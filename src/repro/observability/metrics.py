@@ -1,0 +1,161 @@
+"""Always-on counters and latency summaries for the engine stack.
+
+Unlike the tracer (off by default, per-run), the metrics registry is a
+cheap process-global accumulator: engines bump counters every round
+whether or not anyone is looking, and the registry is folded into every
+trace export and queryable via :func:`registry`.
+
+Two instrument kinds:
+
+* **counters** — monotonically increasing integers
+  (``engine_rounds_total{tier=table}``, ``pool_heals_total``, ...);
+* **summaries** — count/total/min/max over observed values
+  (``pool_round_barrier_seconds``, ``worker_chunk_seconds``) — a
+  histogram-lite that answers "how many, how long on average, how bad
+  was the worst" without bucket configuration.
+
+Labels are passed as keyword arguments and coerced to strings; each
+distinct label combination is its own series, so label values must come
+from small closed sets (tier names, booleans, event kinds) — never node
+counts or rule reprs.
+
+:func:`record_event` is the bridge from the telemetry event bus
+(:mod:`repro.runtime.telemetry`): every published ``DegradeEvent`` /
+``StaticsEvent`` lands here as a counter bump, keyed by the event's
+``event`` tag, without this module importing the runtime layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.observability.trace import clock
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class Summary:
+    """count/total/min/max over observed values (a bucketless histogram)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def to_json(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+        }
+
+
+def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    if not labels:
+        return name, ()
+    return name, tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _flat(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{label}={value}" for label, value in labels) + "}"
+
+
+class MetricsRegistry:
+    """Thread-safe counter/summary store keyed by (name, sorted labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[MetricKey, int] = {}
+        self._summaries: Dict[MetricKey, Summary] = {}
+
+    def inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            summary = self._summaries.get(key)
+            if summary is None:
+                summary = self._summaries[key] = Summary()
+            summary.observe(value)
+
+    @contextmanager
+    def timed(self, name: str, **labels: Any) -> Iterator[None]:
+        """Observe the wall time of the enclosed block into ``name``."""
+        started = clock()
+        try:
+            yield
+        finally:
+            self.observe(name, clock() - started, **labels)
+
+    def counter(self, name: str, **labels: Any) -> int:
+        """Read one counter series (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of every series of ``name`` across all label combinations."""
+        with self._lock:
+            return sum(value for key, value in self._counters.items() if key[0] == name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump: ``{"counters": {...}, "summaries": {...}}``."""
+        with self._lock:
+            return {
+                "counters": {_flat(key): value for key, value in sorted(self._counters.items())},
+                "summaries": {
+                    _flat(key): summary.to_json()
+                    for key, summary in sorted(self._summaries.items(), key=lambda item: item[0])
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._summaries.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (forked workers get their own copy)."""
+    return _REGISTRY
+
+
+def record_event(event: Any) -> None:
+    """Event-bus subscriber: fold a telemetry event into the registry.
+
+    Events are duck-typed via their ``event`` class tag so this module
+    never imports :mod:`repro.runtime.telemetry` (which imports us).
+    """
+    tag = getattr(event, "event", None)
+    if tag == "degrade":
+        _REGISTRY.inc(
+            "telemetry_degrade_events_total",
+            healed="true" if getattr(event, "healed", False) else "false",
+        )
+    elif tag == "statics":
+        _REGISTRY.inc("telemetry_statics_events_total", kind=getattr(event, "kind", "unknown"))

@@ -1,0 +1,383 @@
+"""Low-overhead span tracing for the engine stack.
+
+The tracer records a tree of **spans** — simulation → schedule → round →
+tier-dispatch → worker chunk — and exports them as Chrome trace-event
+JSON (loadable at https://ui.perfetto.dev) or a plain-text tree report.
+
+It is **off by default** and the disabled path is engineered to cost
+nothing measurable:
+
+* ``ACTIVE`` is a module-level global; hot sites read it once and skip
+  all tracing work with a single ``is None`` check::
+
+      tracer = _trace.ACTIVE
+      if tracer is not None:
+          with tracer.span("round", tier=tier):
+              ...
+
+* the convenience helpers :func:`span`/:func:`instant` return the shared
+  :data:`NOOP_SPAN` singleton when disabled, so cool sites can call them
+  unconditionally without allocating a real span.
+
+Enable it either programmatically (:func:`install`, or the
+:func:`capture` context manager, which restores the previous tracer on
+exit) or by setting ``REPRO_TRACE=1`` in the environment, in which case
+the trace is exported at interpreter exit to ``REPRO_TRACE_FILE``
+(default ``repro-trace.json``).  Forked pool workers inherit the parent's
+tracer object but never export it — the atexit hook is pinned to the
+installing process id.
+
+Timestamps come from :data:`clock` (``time.perf_counter``).  This module
+is the stack's only sanctioned timing source: the ``observability``
+contract check (``python -m repro.statics``) flags ad-hoc ``time.*``
+timing calls elsewhere under ``src/``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import time
+from contextlib import contextmanager
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type, Union
+
+clock = time.perf_counter
+
+TRACE_VARIABLE = "REPRO_TRACE"
+TRACE_FILE_VARIABLE = "REPRO_TRACE_FILE"
+DEFAULT_TRACE_FILE = "repro-trace.json"
+
+#: Spans stop being recorded (and are counted as dropped) beyond this,
+#: so a runaway schedule cannot exhaust parent memory.
+DEFAULT_MAX_SPANS = 1_000_000
+
+# Canonical span names, pinned by tests and documented in
+# docs/observability.md — emit these rather than ad-hoc strings so the
+# CLI and the benchmark aggregator can recognise them.
+SPAN_SCHEDULE = "run_schedule"
+SPAN_PHASE = "phase"
+SPAN_ROUND = "round"
+SPAN_TIER_DISPATCH = "tier-dispatch"
+SPAN_POOL_ROUND = "pool-round"
+SPAN_WORKER_CHUNK = "worker-chunk"
+SPAN_RESOLVE_ENGINE = "resolve_engine"
+
+
+class Span:
+    """One node of the trace tree; also its own ``with`` handle.
+
+    ``start`` is seconds relative to the owning tracer's epoch;
+    ``duration`` is filled in on exit (it stays ``0.0`` for instants,
+    ``phase == "i"``).
+    """
+
+    __slots__ = ("name", "start", "duration", "tid", "phase", "args", "children", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        tid: int = 0,
+        phase: str = "X",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.duration = 0.0
+        self.tid = tid
+        self.phase = phase
+        self.args = args
+        self.children: List[Span] = []
+        self._tracer: Optional[Tracer] = None
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._exit(self, exc_type)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, start={self.start:.6f}, duration={self.duration:.6f})"
+
+
+class _NoopSpan:
+    """Shared do-nothing ``with`` handle for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+SpanLike = Union[Span, _NoopSpan]
+
+
+class Tracer:
+    """Records a forest of :class:`Span` trees against one epoch."""
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.epoch = clock()
+        self.roots: List[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._count = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **args: Any) -> SpanLike:
+        """Open a nested span; use as ``with tracer.span("round", tier=t):``."""
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return NOOP_SPAN
+        span = Span(name, clock() - self.epoch, args=args or None)
+        span._tracer = self
+        self._attach(span)
+        self._stack.append(span)
+        return span
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration marker at the current position."""
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return
+        self._attach(Span(name, clock() - self.epoch, phase="i", args=args or None))
+
+    def record(self, name: str, duration: float, tid: int = 0, **args: Any) -> None:
+        """Attach a completed span whose duration was measured elsewhere.
+
+        This is how worker-side chunk timings (measured in the forked
+        child, shipped back on the reply message) merge into the parent
+        trace: the span is back-dated to ``now - duration``, clamped to
+        its parent's start so the tree stays well-nested.
+        """
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return
+        now = clock() - self.epoch
+        start = now - max(duration, 0.0)
+        if self._stack and start < self._stack[-1].start:
+            start = self._stack[-1].start
+        span = Span(name, start, tid=tid, args=args or None)
+        span.duration = max(duration, 0.0)
+        self._attach(span)
+
+    def _attach(self, span: Span) -> None:
+        self._count += 1
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def _exit(self, span: Span, exc_type: Optional[Type[BaseException]]) -> None:
+        span.duration = clock() - self.epoch - span.start
+        if exc_type is not None:
+            args = dict(span.args) if span.args else {}
+            args.setdefault("error", exc_type.__name__)
+            span.args = args
+        # Pop defensively down to the exiting span so one forgotten exit
+        # cannot skew every later attachment.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        return self._count
+
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        """Yield every recorded span depth-first with its nesting depth."""
+        stack: List[Tuple[Span, int]] = [(span, 0) for span in reversed(self.roots)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def find(self, name: str) -> List[Span]:
+        return [span for span, _ in self.walk() if span.name == name]
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event document (Perfetto-loadable).
+
+        Complete spans become ``ph: "X"`` events, instants ``ph: "i"``;
+        timestamps and durations are microseconds as the format requires.
+        A ``repro`` section carries span counts (and, when exported via
+        :func:`write_trace`, the metrics snapshot and decision log).
+        """
+        pid = os.getpid()
+        events: List[Dict[str, Any]] = []
+        for span, _ in self.walk():
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "ph": span.phase,
+                "ts": span.start * 1e6,
+                "pid": pid,
+                "tid": span.tid,
+                "args": span.args or {},
+            }
+            if span.phase == "X":
+                event["dur"] = span.duration * 1e6
+            else:
+                event["s"] = "t"
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "repro": {"spans": self._count, "dropped": self.dropped},
+        }
+
+    def render_tree(self, max_depth: Optional[int] = None) -> str:
+        """Plain-text tree report: one line per span, indented by depth."""
+        lines: List[str] = []
+        for span, depth in self.walk():
+            if max_depth is not None and depth > max_depth:
+                continue
+            label = "· " + span.name if span.phase == "i" else span.name
+            detail = f" {span.duration * 1e3:.3f}ms" if span.phase == "X" else ""
+            args = ""
+            if span.args:
+                args = " " + " ".join(f"{key}={value!r}" for key, value in sorted(span.args.items()))
+            lines.append(f"{'  ' * depth}{label}{detail}{args}")
+        if self.dropped:
+            lines.append(f"... {self.dropped} span(s) dropped past the {self.max_spans} cap")
+        return "\n".join(lines)
+
+
+# -- the module-level switchboard ------------------------------------------
+
+#: The installed tracer, or ``None`` when tracing is disabled.  Hot sites
+#: read this directly; everything else goes through the helpers below.
+ACTIVE: Optional[Tracer] = None
+
+
+def current() -> Optional[Tracer]:
+    return ACTIVE
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the active tracer."""
+    global ACTIVE
+    ACTIVE = tracer if tracer is not None else Tracer()
+    return ACTIVE
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was active."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = None
+    return previous
+
+
+@contextmanager
+def capture(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Trace the enclosed block, restoring the previous tracer on exit."""
+    global ACTIVE
+    previous = ACTIVE
+    active = install(tracer)
+    try:
+        yield active
+    finally:
+        ACTIVE = previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Force-disable tracing for the enclosed block (benchmark baselines)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = None
+    try:
+        yield
+    finally:
+        ACTIVE = previous
+
+
+def span(name: str, **args: Any) -> SpanLike:
+    """Open a span on the active tracer, or return :data:`NOOP_SPAN`."""
+    tracer = ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **args)
+
+
+def instant(name: str, **args: Any) -> None:
+    tracer = ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **args)
+
+
+# -- export ----------------------------------------------------------------
+
+
+def chrome_document(tracer: Tracer) -> Dict[str, Any]:
+    """The full export payload: trace events + metrics + decision log."""
+    from repro.observability import decision, metrics
+
+    document = tracer.to_chrome()
+    document["repro"]["metrics"] = metrics.registry().snapshot()
+    document["repro"]["decisions"] = [entry.to_json() for entry in decision.recent_decisions()]
+    return document
+
+
+def write_trace(tracer: Tracer, path: Union[str, "os.PathLike[str]"]) -> str:
+    """Atomically write the Chrome trace JSON for ``tracer`` to ``path``."""
+    destination = os.fspath(path)
+    payload = json.dumps(chrome_document(tracer), sort_keys=True)
+    scratch = f"{destination}.tmp.{os.getpid()}"
+    with open(scratch, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(scratch, destination)
+    return destination
+
+
+def _env_enabled(value: Optional[str]) -> bool:
+    return (value or "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def _install_from_env() -> None:
+    if not _env_enabled(os.environ.get(TRACE_VARIABLE)):
+        return
+    tracer = install()
+    owner_pid = os.getpid()
+
+    def _export_at_exit() -> None:
+        # Forked pool workers inherit this hook with the parent's tracer;
+        # only the installing process may write the trace file.
+        if os.getpid() != owner_pid:
+            return
+        path = os.environ.get(TRACE_FILE_VARIABLE) or DEFAULT_TRACE_FILE
+        try:
+            write_trace(tracer, path)
+        except Exception:  # pragma: no cover - atexit must never raise
+            pass
+
+    atexit.register(_export_at_exit)
+
+
+_install_from_env()

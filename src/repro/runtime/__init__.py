@@ -39,13 +39,17 @@ Buffer/barrier protocol, in one round
     export codes into buffers[src]
     delta = codec.labels_since(synced)
     send ("round", id, rule, src, dst,
-          delta) to every worker  ──────▶    codec.extend(delta)
+          delta, reuse[, stats_rev])
+          to every worker         ──────▶    codec.extend(delta)
                                              scan chunk [start_i, stop_i):
                                                gather codes from buffers[src]
+                                               (reuse cached values when the
+                                                parent granted ``reuse``)
                                                decode, rule.update(view)
                                                encode / overflow if unknown
                                                write codes to buffers[dst]
-    barrier: wait for w replies   ◀──────    send ("ok", id, i, overflow)
+    barrier: wait for w replies   ◀──────    send ("ok", id, i, overflow
+                                                   [, stats])
                                              or ("error", id, i, index, exc)
     any error → re-raise lowest index
     intern overflow, patch buffers[dst]
@@ -57,6 +61,11 @@ The barrier is strict — no round ``k+1`` message is sent while a round
 within a round the two buffers split reads from writes, and across rounds
 the barrier orders them.  Only task messages, codec deltas and overflow
 labels ever cross the pipes; the O(n) payload stays in shared memory.
+When a tracer is active the parent sets ``stats_rev`` to
+:data:`repro.runtime.pool.PROTOCOL_REV` and rev-matching workers append a
+small timing dict to their ``ok`` reply, which the parent merges into the
+trace as per-worker ``worker-chunk`` spans; either side at a different
+revision simply ignores the extra field.
 
 Failure modes are deterministic: a raising rule reproduces the sequential
 first-failing-node exception (lowest flat index wins, like the parallel

@@ -81,6 +81,8 @@ from repro.local_model.store import (
     require_numpy,
     shm_available,
 )
+from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
 from repro.runtime.buffers import SharedCodeBuffer
 from repro.runtime.faults import current_plan
 
@@ -109,6 +111,15 @@ RETRIES_VARIABLE = "REPRO_POOL_RETRIES"
 
 #: Default retry budget when ``REPRO_POOL_RETRIES`` is unset.
 DEFAULT_POOL_RETRIES = 2
+
+#: Wire-protocol revision for the optional per-chunk stats exchange.
+#: The parent appends it to each round message only when a tracer is
+#: active; a worker echoes a stats dict tagged with the same revision on
+#: its ``ok`` reply.  Both sides ignore the extension unless the
+#: revision matches exactly, so mixed parent/worker generations (a heal
+#: respawning workers from newer parent code, an old trace-less parent)
+#: simply fall back to the stats-free protocol instead of mismatching.
+PROTOCOL_REV = 2
 
 
 def round_timeout_seconds() -> Optional[float]:
@@ -185,7 +196,10 @@ def _worker_main(
                 break
             if message[0] != "round":
                 break
-            _, round_id, rule_key, src_index, dst_index, delta, reuse = message
+            # Field 8 (the stats revision) arrived with PROTOCOL_REV 2;
+            # tolerate its absence so a healed pool can mix generations.
+            _, round_id, rule_key, src_index, dst_index, delta, reuse = message[:7]
+            stats_rev = message[7] if len(message) > 7 else 0
             codec.extend(delta)
             cache = caches.get(rule_key)
             if cache is None:
@@ -203,6 +217,7 @@ def _worker_main(
                 round_id,
                 worker_id,
                 reuse,
+                collect_stats=stats_rev == PROTOCOL_REV,
             )
             fault = _worker_fault(worker_id, round_id)
             if fault is not None:
@@ -284,6 +299,7 @@ def _run_chunk(
     round_id: int,
     worker_id: int,
     reuse: bool,
+    collect_stats: bool = False,
 ) -> Tuple:
     """Evaluate ``[start, stop)`` of one round against the shared buffers.
 
@@ -302,14 +318,23 @@ def _run_chunk(
     On the first raising node the scan stops (the sequential scan never
     evaluates nodes past a failure) and ``("error", round_id, worker_id,
     index, exception)`` reports the failing flat index.
+
+    With ``collect_stats`` (the parent set the :data:`PROTOCOL_REV` field
+    on the round message, i.e. a tracer is active there) the ``ok`` reply
+    grows a fifth element: a stats dict with the chunk's wall time,
+    decode counts and cache-reuse outcome, tagged with ``rev`` so the
+    parent only merges stats from its own protocol generation.  Error
+    replies never change shape.
     """
+    started = _trace.clock() if collect_stats else 0.0
     labels = codec._labels  # the worker's private copy; hot path
     codes_map = codec._codes
     update = rule.update
     offsets = cache.offsets
     getters = cache.getters
     values = cache.values
-    if not (reuse and cache.last_round == round_id - 1):
+    reused = reuse and cache.last_round == round_id - 1
+    if not reused:
         values[start:stop] = map(labels.__getitem__, src[start:stop].tolist())
     for index in cache.halo:
         values[index] = labels[src[index]]
@@ -338,6 +363,16 @@ def _run_chunk(
     dst[start:stop] = out_codes
     values[start:stop] = out_values
     cache.last_round = round_id
+    if collect_stats:
+        stats = {
+            "rev": PROTOCOL_REV,
+            "wall": _trace.clock() - started,
+            "nodes": stop - start,
+            "decoded": (0 if reused else stop - start) + len(cache.halo),
+            "reused": reused,
+            "overflow": len(overflow),
+        }
+        return ("ok", round_id, worker_id, overflow, stats)
     return ("ok", round_id, worker_id, overflow)
 
 
@@ -467,6 +502,7 @@ class WorkerPool:
         except Exception:
             self.close()
             raise
+        _metrics.registry().inc("pool_spawns_total")
 
     @classmethod
     def spawn(
@@ -575,57 +611,116 @@ class WorkerPool:
         self._last_snapshot = None
         delta = self.codec.labels_since(self._synced_alphabet)
         reuse = not self._dirty
-        message = ("round", self._round_id, rule_key, src, dst, delta, reuse)
-        try:
-            for connection in self._connections:
-                connection.send(message)
-        except Exception as error:
-            # No worker is trusted: some received the round and will
-            # compute it, but heal() replaces their connections, so any
-            # late replies die with the old pipes.
-            self._note_break(
-                (), f"round {self._round_id} could not be dispatched"
+        tracer = _trace.ACTIVE
+        # The stats field makes workers time their chunks; only ask when
+        # a tracer is there to consume the answer.
+        stats_rev = PROTOCOL_REV if tracer is not None else 0
+        message = (
+            "round", self._round_id, rule_key, src, dst, delta, reuse, stats_rev
+        )
+        registry = _metrics.registry()
+        registry.inc("pool_rounds_total")
+        if delta:
+            registry.inc("pool_codec_delta_labels_total", len(delta))
+        if reuse:
+            registry.inc("pool_reuse_granted_total")
+        round_span = (
+            tracer.span(
+                _trace.SPAN_POOL_ROUND,
+                round=self._round_id,
+                workers=len(self._connections),
+                reuse=reuse,
             )
-            raise PoolBrokenError(
-                f"could not dispatch round {self._round_id} to the worker "
-                f"pool: {error!r}"
-            ) from error
-        # The delta (and any labels it carried) is now part of every
-        # worker's codec, whatever the round's outcome.
-        self._synced_alphabet = self.codec.size
-        replies = self._collect_replies()
-        failures = [
-            (reply[3], reply[4]) for reply in replies if reply[0] == "error"
-        ]
-        if failures:
-            # The destination buffer is part-written garbage and some
-            # workers' caches are ahead of the (unswapped) source buffer:
-            # the next round must rebuild from codes.
-            self._dirty = True
-            _, error = min(failures, key=lambda failure: failure[0])
-            raise error
-        destination = self._buffers[dst].array
-        encode = self.codec.encode
+            if tracer is not None
+            else _trace.NOOP_SPAN
+        )
+        with round_span:
+            try:
+                for connection in self._connections:
+                    connection.send(message)
+            except Exception as error:
+                # No worker is trusted: some received the round and will
+                # compute it, but heal() replaces their connections, so any
+                # late replies die with the old pipes.
+                self._note_break(
+                    (), f"round {self._round_id} could not be dispatched"
+                )
+                raise PoolBrokenError(
+                    f"could not dispatch round {self._round_id} to the worker "
+                    f"pool: {error!r}"
+                ) from error
+            # The delta (and any labels it carried) is now part of every
+            # worker's codec, whatever the round's outcome.
+            self._synced_alphabet = self.codec.size
+            with registry.timed("pool_round_barrier_seconds"):
+                replies = self._collect_replies()
+            if tracer is not None:
+                self._merge_worker_stats(tracer, replies)
+            failures = [
+                (reply[3], reply[4]) for reply in replies if reply[0] == "error"
+            ]
+            if failures:
+                # The destination buffer is part-written garbage and some
+                # workers' caches are ahead of the (unswapped) source buffer:
+                # the next round must rebuild from codes.
+                self._dirty = True
+                _, error = min(failures, key=lambda failure: failure[0])
+                raise error
+            destination = self._buffers[dst].array
+            encode = self.codec.encode
+            for reply in sorted(replies, key=lambda reply: reply[2]):
+                overflow = reply[3]
+                if overflow:
+                    # One vectorised patch per worker: overflow bursts (a rule
+                    # minting thousands of new labels in one round) must not
+                    # degenerate into per-element numpy writes.
+                    np = require_numpy()
+                    positions = np.fromiter(
+                        (position for position, _ in overflow),
+                        dtype=np.int64,
+                        count=len(overflow),
+                    )
+                    codes = np.fromiter(
+                        (encode(value) for _, value in overflow),
+                        dtype=np.int32,
+                        count=len(overflow),
+                    )
+                    destination[positions] = codes
+                    registry.inc("pool_overflow_interned_total", len(overflow))
+            self._current = dst
+            self._dirty = False
+
+    def _merge_worker_stats(self, tracer, replies: List[Tuple]) -> None:
+        """Fold rev-matching worker stats into the parent trace + metrics.
+
+        Worker chunks ran concurrently during the barrier, so each one is
+        back-dated by its own wall time and rendered on a per-worker lane
+        (``tid = worker_id + 1``; the parent keeps lane 0).  Replies from
+        other protocol generations — no stats field, or a foreign ``rev``
+        — are silently skipped.
+        """
+        registry = _metrics.registry()
         for reply in sorted(replies, key=lambda reply: reply[2]):
-            overflow = reply[3]
-            if overflow:
-                # One vectorised patch per worker: overflow bursts (a rule
-                # minting thousands of new labels in one round) must not
-                # degenerate into per-element numpy writes.
-                np = require_numpy()
-                positions = np.fromiter(
-                    (position for position, _ in overflow),
-                    dtype=np.int64,
-                    count=len(overflow),
-                )
-                codes = np.fromiter(
-                    (encode(value) for _, value in overflow),
-                    dtype=np.int32,
-                    count=len(overflow),
-                )
-                destination[positions] = codes
-        self._current = dst
-        self._dirty = False
+            if reply[0] != "ok" or len(reply) <= 4:
+                continue
+            stats = reply[4]
+            if not (isinstance(stats, dict) and stats.get("rev") == PROTOCOL_REV):
+                continue
+            wall = float(stats.get("wall", 0.0))
+            registry.observe("worker_chunk_seconds", wall)
+            if stats.get("reused"):
+                registry.inc("worker_halo_reuse_total")
+            tracer.record(
+                _trace.SPAN_WORKER_CHUNK,
+                wall,
+                tid=int(reply[2]) + 1,
+                worker=int(reply[2]),
+                round=int(reply[1]),
+                nodes=stats.get("nodes"),
+                decoded=stats.get("decoded"),
+                reused=stats.get("reused"),
+                overflow=stats.get("overflow"),
+            )
 
     def _collect_replies(self) -> List[Tuple]:
         deadline = (
@@ -824,6 +919,9 @@ class WorkerPool:
         self._dirty = True
         self._last_snapshot = None
         self.respawned_workers += respawned
+        registry = _metrics.registry()
+        registry.inc("pool_heals_total")
+        registry.inc("pool_worker_respawns_total", respawned)
         return respawned
 
     def close(self) -> None:

@@ -15,12 +15,27 @@ without scraping warning filters:
 ``healed=True`` events record a *recovery* — a :meth:`WorkerPool.heal`
 respawn that kept the schedule on its tier — and never warn; only
 genuine tier drops do.
+
+Event bus
+---------
+
+Beyond the per-engine ``degrade_events`` / ``statics_events`` lists, both
+event types flow through one process-wide bus: engines call
+:func:`publish` at the moment they append, and any subscriber registered
+via :func:`subscribe` sees every event.  The observability metrics
+registry (:func:`repro.observability.metrics.record_event`) is subscribed
+by default, so degrade/autoprove activity shows up in every metrics
+snapshot and trace export without the engines knowing about metrics at
+all.  Both event types carry an ``event`` class tag (``"degrade"`` /
+``"statics"``) that also leads their ``to_json()`` payloads, so bus
+consumers can dispatch without isinstance checks.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Callable, ClassVar, Dict, Iterable, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -32,6 +47,8 @@ class DegradeEvent:
     the time of the event, when a pool was involved.
     """
 
+    event: ClassVar[str] = "degrade"
+
     engine: str
     tier_from: str
     tier_to: str
@@ -42,6 +59,7 @@ class DegradeEvent:
 
     def to_json(self) -> Dict[str, Any]:
         return {
+            "event": self.event,
             "engine": self.engine,
             "tier_from": self.tier_from,
             "tier_to": self.tier_to,
@@ -69,6 +87,8 @@ class StaticsEvent:
     event can outlive the engine that recorded it.
     """
 
+    event: ClassVar[str] = "statics"
+
     engine: str
     kind: str
     rule: str
@@ -76,6 +96,7 @@ class StaticsEvent:
 
     def to_json(self) -> Dict[str, Any]:
         return {
+            "event": self.event,
             "engine": self.engine,
             "kind": self.kind,
             "rule": self.rule,
@@ -83,11 +104,75 @@ class StaticsEvent:
         }
 
 
-def summarise(events: Iterable[DegradeEvent]) -> Dict[str, int]:
-    """Counts for the ``BENCH_*.json`` → ``bench-summary.json`` pipeline."""
-    total = healed = 0
+TelemetryEvent = Union[DegradeEvent, StaticsEvent]
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+_SUBSCRIBERS: List[Subscriber] = []
+
+
+def subscribe(subscriber: Subscriber) -> Subscriber:
+    """Register ``subscriber`` for every future :func:`publish`.
+
+    Returns the subscriber so the call can be used as a decorator.
+    """
+    _SUBSCRIBERS.append(subscriber)
+    return subscriber
+
+
+def unsubscribe(subscriber: Subscriber) -> None:
+    """Remove one registration (no-op when absent)."""
+    try:
+        _SUBSCRIBERS.remove(subscriber)
+    except ValueError:
+        pass
+
+
+def publish(event: TelemetryEvent) -> None:
+    """Fan ``event`` out to every subscriber.
+
+    A subscriber that raises is reported as a ``RuntimeWarning`` and the
+    remaining subscribers still run: telemetry is published from degrade
+    paths where an observer bug must never change engine behaviour.
+    """
+    for subscriber in tuple(_SUBSCRIBERS):
+        try:
+            subscriber(event)
+        except Exception as exc:
+            warnings.warn(
+                f"telemetry subscriber {subscriber!r} raised {exc!r}; event dropped for it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
+def _subscribe_metrics() -> None:
+    # The metrics registry is the one default bus consumer.  Imported
+    # lazily-at-module-scope (observability never imports the runtime
+    # layer, so this cannot cycle).
+    from repro.observability.metrics import record_event
+
+    subscribe(record_event)
+
+
+_subscribe_metrics()
+
+
+def summarise(events: Iterable[TelemetryEvent]) -> Dict[str, int]:
+    """Counts for the ``BENCH_*.json`` → ``bench-summary.json`` pipeline.
+
+    Accepts a mixed stream of :class:`DegradeEvent` and
+    :class:`StaticsEvent`.  ``healed``/``degraded`` keep their original
+    meaning (they partition the degrade events only); statics events are
+    tallied under their ``kind`` (``autoprove``/``autoblock``).
+    """
+    summary = {"total": 0, "healed": 0, "degraded": 0, "autoprove": 0, "autoblock": 0}
     for event in events:
-        total += 1
-        if event.healed:
-            healed += 1
-    return {"total": total, "healed": healed, "degraded": total - healed}
+        summary["total"] += 1
+        if isinstance(event, StaticsEvent):
+            summary[event.kind] = summary.get(event.kind, 0) + 1
+        elif event.healed:
+            summary["healed"] += 1
+        else:
+            summary["degraded"] += 1
+    return summary

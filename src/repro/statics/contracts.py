@@ -7,8 +7,10 @@ parameters through :func:`repro.local_model.store.resolve_engine`, keep
 ``shared_memory`` plumbing inside :mod:`repro.runtime`, pair every
 :class:`~repro.runtime.buffers.SharedCodeBuffer` acquisition with a
 close/unlink path, keep fault-injection hooks
-(:mod:`repro.runtime.faults`) out of algorithm layers, and record
-benchmark output through the ``bench_json`` fixture.  This module walks
+(:mod:`repro.runtime.faults`) out of algorithm layers, record
+benchmark output through the ``bench_json`` fixture, and measure wall
+time only through :mod:`repro.observability` (no ad-hoc ``time.*`` clock
+reads in ``src/``).  This module walks
 the tree (``src/`` plus ``benchmarks/``),
 parses each file once, and reports every violation as a :class:`Finding`.
 
@@ -60,6 +62,16 @@ GRID_PREFIX = "src/repro/grid/"
 #: The offset-enumeration primitives that *are* neighbour-table
 #: construction when called outside the topology layer.
 NEIGHBOUR_TABLE_BUILDERS = {"ball_offsets", "offsets_within"}
+
+#: Directory whose modules own wall-clock measurement: engines and the
+#: runtime record timings through the span tracer / metrics registry,
+#: never with ad-hoc clock reads.
+OBSERVABILITY_PREFIX = "src/repro/observability/"
+
+#: ``time.<attr>`` clock reads that count as ad-hoc timing outside the
+#: observability package (``time.sleep`` is pacing, not measurement, and
+#: stays out of scope).
+CLOCK_ATTRIBUTES = {"monotonic", "perf_counter", "process_time", "time", "monotonic_ns", "perf_counter_ns"}
 
 
 @dataclass(frozen=True)
@@ -474,6 +486,50 @@ def check_bench_json(path: str, tree: ast.Module) -> List[Finding]:
     ]
 
 
+def check_observability(path: str, tree: ast.Module) -> List[Finding]:
+    """Wall-clock reads outside the observability layer are findings.
+
+    Timing that matters belongs in the span tracer or a metrics summary
+    (``repro.observability``), where it is attributable, exportable and
+    disabled-path-free — an ad-hoc ``time.monotonic()`` pair in an engine
+    is invisible to every trace and skews nothing but a local variable.
+    Only ``src/`` is in scope: benchmarks measure wall time as their whole
+    job, and the observability package is the sanctioned consumer.
+    Deadline arithmetic that genuinely needs a raw clock (e.g. the pool's
+    round-timeout barrier) is what the allowlist is for.
+    """
+    if not path.startswith("src/") or path.startswith(OBSERVABILITY_PREFIX):
+        return []
+    sites: Dict[Tuple[str, str], ast.Call] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in CLOCK_ATTRIBUTES
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            continue
+        symbol = _enclosing_symbol(tree, node)
+        sites.setdefault((symbol, func.attr), node)
+    return [
+        Finding(
+            check="observability",
+            path=path,
+            symbol=symbol,
+            line=call.lineno,
+            message=(
+                f"{symbol} calls time.{attr}() directly; measure through "
+                "repro.observability (tracer spans / registry.timed) so the "
+                "timing is attributable and trace-exportable"
+            ),
+        )
+        for (symbol, attr), call in sorted(sites.items())
+    ]
+
+
 _CHECKS = (
     check_engine_routing,
     check_shift_usage,
@@ -482,6 +538,7 @@ _CHECKS = (
     check_shared_buffer_lifecycle,
     check_neighbour_tables,
     check_bench_json,
+    check_observability,
 )
 
 

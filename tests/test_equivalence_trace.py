@@ -1,0 +1,216 @@
+"""Tracing must observe, never perturb: byte-identity with tracing on.
+
+The acceptance leg for the observability tentpole.  Two contracts:
+
+* every engine tier produces byte-identical labellings whether the span
+  tracer is installed or not — across all five tiers, on randomized
+  inputs, with ``table_threshold=1`` so the sharding tiers demonstrably
+  shard;
+* a traced five-tier run on the shm tier yields a valid Chrome
+  trace-event document containing the documented span hierarchy
+  (``round`` → ``pool-round`` → ``worker-chunk``), the ``tier-dispatch``
+  markers, the pool/worker metrics and the ``resolve_engine`` decision
+  instant for ``engine="auto"`` schedules.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from equivalence import (
+    assert_engines_agree,
+    call_outcome,
+    canonical_bytes,
+    derive_rng,
+    grid_corpus,
+    rule_engine_factories,
+)
+
+from repro.grid.torus import ToroidalGrid
+from repro.local_model import FunctionRule, SchedulePhase, run_schedule
+from repro.local_model.rules import MajorityRule, MinNeighbourRule
+from repro.local_model.store import shm_available
+from repro.observability import metrics, trace
+from repro.observability.decision import clear_decisions
+
+
+@pytest.fixture(autouse=True)
+def _isolated_observability():
+    metrics.registry().reset()
+    clear_decisions()
+    previous = trace.uninstall()
+    yield
+    metrics.registry().reset()
+    clear_decisions()
+    trace.ACTIVE = previous
+
+
+def _random_labels(rng, grid, alphabet_size=6):
+    return {node: rng.randrange(alphabet_size) for node in grid.nodes()}
+
+
+class TestTracingIsPure:
+    def test_all_tiers_byte_identical_with_tracing_on(
+        self, equivalence_seed, monkeypatch
+    ):
+        """Traced runs match untraced runs on every tier, rule by rule."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        include_shm = shm_available()
+        rng = derive_rng(equivalence_seed, "trace-purity")
+        for grid in grid_corpus(rng, extras=0):
+            for rule in (MinNeighbourRule(), MajorityRule()):
+                labels = _random_labels(rng, grid)
+                context = (
+                    f"trace-purity {grid.sides} rule={type(rule).__name__}"
+                )
+                with trace.disabled():
+                    untraced = canonical_bytes(
+                        call_outcome(
+                            rule_engine_factories(
+                                grid, labels, rule,
+                                table_threshold=1, include_shm=include_shm,
+                            )["dict"]
+                        )
+                    )
+                with trace.capture():
+                    traced = assert_engines_agree(
+                        rule_engine_factories(
+                            grid, labels, rule,
+                            table_threshold=1, include_shm=include_shm,
+                        ),
+                        context,
+                    )
+                assert canonical_bytes(traced) == untraced, context
+
+    def test_traced_schedule_matches_untraced_schedule(self, equivalence_seed):
+        rng = derive_rng(equivalence_seed, "trace-schedule")
+        grid = ToroidalGrid((rng.randint(5, 8), rng.randint(5, 8)))
+        labels = _random_labels(rng, grid)
+        schedule = [SchedulePhase(MinNeighbourRule(), "settle", 3)]
+        with trace.disabled():
+            baseline = run_schedule(grid, labels, schedule, engine="array").to_dict()
+        with trace.capture():
+            traced = run_schedule(grid, labels, schedule, engine="array").to_dict()
+        assert canonical_bytes(traced) == canonical_bytes(baseline)
+
+
+@pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shm-tier prerequisites"
+)
+class TestTracedShmSchedule:
+    def test_trace_contains_the_documented_span_hierarchy(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance criterion: a traced shm run exports a valid
+        Chrome document with round, pool-round, worker-chunk and
+        tier-dispatch spans plus the pool/worker metrics."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        grid = ToroidalGrid((8, 8))
+        rule = MinNeighbourRule()
+        labels = {node: (3 * node[0] + node[1]) % 5 for node in grid.nodes()}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with trace.capture() as tracer:
+                from repro.local_model.engine import ShmEngine
+
+                with ShmEngine(grid, table_threshold=1) as engine:
+                    current = engine.store(labels)
+                    for _ in range(3):
+                        current = engine.apply_rule(current, rule)
+                destination = trace.write_trace(tracer, tmp_path / "shm-trace.json")
+
+        rounds = tracer.find(trace.SPAN_ROUND)
+        assert len(rounds) == 3
+        assert {span.args["tier"] for span in rounds} == {"shm"}
+        pool_rounds = tracer.find(trace.SPAN_POOL_ROUND)
+        assert len(pool_rounds) == 3
+        chunks = tracer.find(trace.SPAN_WORKER_CHUNK)
+        assert len(chunks) == 6  # 3 rounds x 2 workers
+        assert {span.tid for span in chunks} == {1, 2}
+        for chunk in chunks:
+            assert chunk.duration > 0.0
+            assert chunk.args["nodes"] == 32
+        dispatches = tracer.find(trace.SPAN_TIER_DISPATCH)
+        assert all(span.args["tier"] == "shm" for span in dispatches)
+
+        registry = metrics.registry()
+        assert registry.counter("engine_rounds_total", tier="shm") == 3
+        assert registry.counter("pool_rounds_total") == 3
+        assert registry.counter("pool_spawns_total") == 1
+        assert registry.counter("pool_reuse_granted_total") == 2
+        snapshot = registry.snapshot()["summaries"]
+        assert snapshot["pool_round_barrier_seconds"]["count"] == 3
+        assert snapshot["worker_chunk_seconds"]["count"] == 6
+
+        payload = json.loads((tmp_path / "shm-trace.json").read_text())
+        assert destination == str(tmp_path / "shm-trace.json")
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {
+            trace.SPAN_ROUND,
+            trace.SPAN_POOL_ROUND,
+            trace.SPAN_WORKER_CHUNK,
+            trace.SPAN_TIER_DISPATCH,
+        } <= names
+        counters = payload["repro"]["metrics"]["counters"]
+        assert counters["engine_rounds_total{tier=shm}"] == 3
+
+    def test_auto_schedule_records_the_decision_in_the_export(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        grid = ToroidalGrid((6, 6))
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        labels = {node: (node[0] + 2 * node[1]) % 4 for node in grid.nodes()}
+        with trace.capture() as tracer:
+            run_schedule(
+                grid, labels, [SchedulePhase(rule, "one", 1)], engine="auto"
+            )
+            trace.write_trace(tracer, tmp_path / "auto-trace.json")
+        payload = json.loads((tmp_path / "auto-trace.json").read_text())
+        decisions = payload["repro"]["decisions"]
+        assert decisions and decisions[-1]["requested"] == "auto"
+        instants = [
+            event
+            for event in payload["traceEvents"]
+            if event["name"] == trace.SPAN_RESOLVE_ENGINE
+        ]
+        assert instants and instants[0]["ph"] == "i"
+        (schedule_span,) = tracer.find(trace.SPAN_SCHEDULE)
+        assert schedule_span.args["tier"] == decisions[-1]["resolved"]
+
+    def test_untraced_pool_replies_carry_no_stats(self, monkeypatch):
+        """Without a tracer the parent asks for (and gets) lean replies."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        np = pytest.importorskip("numpy")
+        from repro.grid.indexer import GridIndexer
+        from repro.local_model.engine import plan_chunks
+        from repro.local_model.store import LabelCodec
+        from repro.runtime.pool import WorkerPool
+
+        grid = ToroidalGrid((6, 6))
+        indexer = GridIndexer.for_grid(grid)
+        codec = LabelCodec(range(6))
+        rule = MinNeighbourRule()
+        labels = {node: (node[0] + node[1]) % 3 for node in grid.nodes()}
+        codes = np.asarray(
+            [codec.encode(labels[node]) for node in indexer.nodes],
+            dtype=np.int32,
+        )
+        assert trace.ACTIVE is None
+        pool = WorkerPool(
+            indexer,
+            codec,
+            {id(rule): rule},
+            plan_chunks(indexer.node_count, 2),
+        )
+        try:
+            pool.load(codes)
+            pool.round(id(rule))
+            assert len(pool.snapshot()) == 36
+        finally:
+            pool.close()
+        registry = metrics.registry()
+        assert registry.counter("pool_rounds_total") == 1
+        # No tracer => stats_rev 0 => workers never timed their chunks.
+        assert registry.snapshot()["summaries"].get("worker_chunk_seconds") is None

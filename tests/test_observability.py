@@ -1,0 +1,572 @@
+"""Unit tests for the observability stack (PR 10's tentpole).
+
+Covers the span tracer (nesting, caps, export formats, the env-driven
+install), the metrics registry, the engine-decision recorder wired into
+``resolve_engine``/``resolve_vector_engine``, the telemetry event bus
+bridging :mod:`repro.runtime.telemetry` onto the metrics registry, the
+``python -m repro.observability`` renderer, and the ``observability``
+contract check of the statics lint.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.observability import decision, metrics, trace
+from repro.observability.cli import TraceFormatError, load_trace, main, render_events
+from repro.observability.decision import clear_decisions, last_decision, recent_decisions
+from repro.observability.metrics import MetricsRegistry, record_event, registry
+from repro.observability.trace import (
+    NOOP_SPAN,
+    Tracer,
+    capture,
+    chrome_document,
+    disabled,
+    write_trace,
+)
+from repro.runtime.telemetry import (
+    DegradeEvent,
+    StaticsEvent,
+    publish,
+    subscribe,
+    summarise,
+    unsubscribe,
+)
+from repro.statics.contracts import run_contract_checks
+
+
+@pytest.fixture(autouse=True)
+def _isolated_observability():
+    """Every test starts from a clean registry, history and tracer."""
+    registry().reset()
+    clear_decisions()
+    previous = trace.uninstall()
+    yield
+    registry().reset()
+    clear_decisions()
+    trace.ACTIVE = previous
+
+
+# --------------------------------------------------------------------------
+# Tracer
+# --------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_and_walk_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("outer", tier="shm"):
+            with tracer.span("inner"):
+                tracer.instant("marker", note=1)
+            with tracer.span("sibling"):
+                pass
+        walked = [(span.name, depth) for span, depth in tracer.walk()]
+        assert walked == [("outer", 0), ("inner", 1), ("marker", 2), ("sibling", 1)]
+        assert tracer.span_count == 4
+        (outer,) = tracer.find("outer")
+        assert outer.args == {"tier": "shm"}
+        assert outer.duration > 0.0
+
+    def test_exception_exit_tags_the_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("round", tier="table"):
+                raise RuntimeError("boom")
+        (span,) = tracer.find("round")
+        assert span.args == {"tier": "table", "error": "RuntimeError"}
+        # The stack unwound: a later span is a fresh root, not a child.
+        with tracer.span("next"):
+            pass
+        assert [span.name for span in tracer.roots] == ["round", "next"]
+
+    def test_record_backdates_and_clamps_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("pool-round"):
+            tracer.record("worker-chunk", duration=1e-4, tid=3, worker=2)
+            tracer.record("worker-chunk", duration=1e9, tid=4)
+        parent = tracer.find("pool-round")[0]
+        short, absurd = tracer.find("worker-chunk")
+        assert short.tid == 3 and short.args == {"worker": 2}
+        assert short.duration == pytest.approx(1e-4)
+        assert short.start >= parent.start
+        # A duration longer than the trace itself cannot start before its
+        # parent: the start is clamped so the tree stays well-nested.
+        assert absurd.start >= parent.start
+
+    def test_max_spans_cap_drops_and_counts(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("kept"):
+            tracer.instant("also-kept")
+            tracer.instant("dropped")
+            assert tracer.span("dropped-too") is NOOP_SPAN
+        assert tracer.span_count == 2
+        assert tracer.dropped == 2
+        assert "2 span(s) dropped" in tracer.render_tree()
+
+    def test_chrome_export_units_and_shape(self):
+        tracer = Tracer()
+        with tracer.span("outer", tier="shm"):
+            tracer.instant("mark")
+        document = tracer.to_chrome()
+        assert document["displayTimeUnit"] == "ms"
+        assert document["repro"] == {"spans": 2, "dropped": 0}
+        outer, mark = document["traceEvents"]
+        assert outer["ph"] == "X" and outer["name"] == "outer"
+        assert outer["dur"] > 0 and outer["ts"] >= 0  # microseconds
+        assert outer["args"] == {"tier": "shm"}
+        assert mark["ph"] == "i" and mark["s"] == "t" and "dur" not in mark
+        json.dumps(document)  # JSON-serialisable end to end
+
+    def test_render_tree_depth_limit(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        text = tracer.render_tree(max_depth=1)
+        assert "a " in text and "b " in text and "c " not in text
+
+
+class TestSwitchboard:
+    def test_disabled_module_helpers_are_noops(self):
+        assert trace.ACTIVE is None
+        assert trace.span("anything", key=1) is NOOP_SPAN
+        trace.instant("anything")  # must not raise
+        with trace.span("still-nothing"):
+            pass
+
+    def test_capture_restores_previous_tracer(self):
+        outer = trace.install()
+        with capture() as inner:
+            assert trace.ACTIVE is inner
+            assert inner is not outer
+            with trace.span("seen"):
+                pass
+        assert trace.ACTIVE is outer
+        assert inner.find("seen")
+
+    def test_disabled_context_suppresses_recording(self):
+        with capture() as tracer:
+            with disabled():
+                assert trace.ACTIVE is None
+                with trace.span("invisible"):
+                    pass
+            with trace.span("visible"):
+                pass
+        assert [span.name for span, _ in tracer.walk()] == ["visible"]
+
+    def test_env_enabled_parsing(self):
+        assert trace._env_enabled("1")
+        assert trace._env_enabled("TRUE")
+        assert trace._env_enabled(" on ")
+        assert not trace._env_enabled("0")
+        assert not trace._env_enabled("")
+        assert not trace._env_enabled(None)
+
+    def test_env_install_exports_at_exit(self, tmp_path):
+        """A REPRO_TRACE=1 interpreter writes the trace file at exit."""
+        out = tmp_path / "env-trace.json"
+        script = (
+            "from repro.observability import trace\n"
+            "assert trace.ACTIVE is not None\n"
+            "with trace.span('round', tier='table'):\n"
+            "    pass\n"
+        )
+        environment = dict(os.environ)
+        environment.update(
+            PYTHONPATH="src",
+            REPRO_TRACE="1",
+            REPRO_TRACE_FILE=str(out),
+        )
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env=environment,
+            cwd=str(Path(__file__).resolve().parent.parent),
+        )
+        payload = load_trace(str(out))
+        assert [event["name"] for event in payload["traceEvents"]] == ["round"]
+        assert payload["repro"]["spans"] == 1
+
+    def test_write_trace_is_atomic_and_loadable(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        destination = tmp_path / "trace.json"
+        write_trace(tracer, destination)
+        assert load_trace(str(destination))["repro"]["spans"] == 1
+        assert list(tmp_path.iterdir()) == [destination]  # no tmp leftovers
+
+
+# --------------------------------------------------------------------------
+# Metrics
+# --------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters_label_series_and_totals(self):
+        reg = MetricsRegistry()
+        reg.inc("engine_rounds_total", tier="table")
+        reg.inc("engine_rounds_total", tier="table")
+        reg.inc("engine_rounds_total", tier="shm")
+        reg.inc("plain_total", 5)
+        assert reg.counter("engine_rounds_total", tier="table") == 2
+        assert reg.counter("engine_rounds_total", tier="missing") == 0
+        assert reg.counter_total("engine_rounds_total") == 3
+        assert reg.counter("plain_total") == 5
+
+    def test_summaries_and_timed(self):
+        reg = MetricsRegistry()
+        reg.observe("latency_seconds", 0.25)
+        reg.observe("latency_seconds", 0.75)
+        with reg.timed("latency_seconds"):
+            pass
+        snapshot = reg.snapshot()["summaries"]["latency_seconds"]
+        assert snapshot["count"] == 3
+        assert snapshot["max"] == 0.75
+        assert snapshot["min"] < 0.25
+        assert snapshot["mean"] == pytest.approx(snapshot["total"] / 3)
+
+    def test_snapshot_flattens_sorted_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", tier="shm", healed="true")
+        assert reg.snapshot()["counters"] == {"x_total{healed=true,tier=shm}": 1}
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.observe("b", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "summaries": {}}
+
+    def test_record_event_dispatches_on_the_event_tag(self):
+        record_event(DegradeEvent("shm", "shm", "parallel", "died"))
+        record_event(DegradeEvent("shm", "shm", "shm", "healed", healed=True))
+        record_event(StaticsEvent("shm", "autoprove", "Rule()", "proven"))
+        record_event(object())  # unknown events are ignored, not errors
+        reg = registry()
+        assert reg.counter("telemetry_degrade_events_total", healed="false") == 1
+        assert reg.counter("telemetry_degrade_events_total", healed="true") == 1
+        assert reg.counter("telemetry_statics_events_total", kind="autoprove") == 1
+
+
+# --------------------------------------------------------------------------
+# Telemetry event bus
+# --------------------------------------------------------------------------
+
+
+class TestTelemetryBus:
+    def test_publish_reaches_subscribers_and_metrics(self):
+        seen = []
+        subscriber = subscribe(seen.append)
+        try:
+            event = DegradeEvent("shm", "shm", "parallel", "spawn failed")
+            publish(event)
+            assert seen == [event]
+            assert registry().counter("telemetry_degrade_events_total", healed="false") == 1
+        finally:
+            unsubscribe(subscriber)
+
+    def test_raising_subscriber_warns_but_others_still_run(self):
+        seen = []
+
+        def broken(event):
+            raise ValueError("observer bug")
+
+        subscribe(broken)
+        subscriber = subscribe(seen.append)
+        try:
+            with pytest.warns(RuntimeWarning, match="telemetry subscriber"):
+                publish(StaticsEvent("parallel", "autoblock", "Rule()", "unproven"))
+            assert len(seen) == 1
+        finally:
+            unsubscribe(broken)
+            unsubscribe(subscriber)
+
+    def test_event_json_leads_with_the_event_tag(self):
+        degrade = DegradeEvent("shm", "shm", "indexed", "worker died").to_json()
+        statics = StaticsEvent("shm", "autoprove", "Rule()", "proven").to_json()
+        assert next(iter(degrade)) == "event" and degrade["event"] == "degrade"
+        assert next(iter(statics)) == "event" and statics["event"] == "statics"
+
+    def test_summarise_accepts_a_mixed_event_stream(self):
+        events = [
+            DegradeEvent("shm", "shm", "parallel", "dead"),
+            DegradeEvent("shm", "shm", "shm", "healed", healed=True),
+            StaticsEvent("shm", "autoprove", "Rule()", "proven"),
+            StaticsEvent("parallel", "autoblock", "Rule()", "unproven"),
+        ]
+        assert summarise(events) == {
+            "total": 4,
+            "healed": 1,
+            "degraded": 1,
+            "autoprove": 1,
+            "autoblock": 1,
+        }
+
+
+# --------------------------------------------------------------------------
+# Engine-decision explainability
+# --------------------------------------------------------------------------
+
+
+class TestEngineDecisions:
+    def test_auto_resolution_records_the_rejected_rungs(self):
+        from repro.local_model.store import resolve_engine
+
+        resolved = resolve_engine(
+            "auto",
+            allowed=("dict", "indexed", "array", "parallel", "shm"),
+            node_count=64,
+        )
+        recorded = last_decision()
+        assert recorded is not None
+        assert recorded.requested == "auto"
+        assert recorded.resolved == resolved
+        # Small node count: both sharding tiers rejected on thresholds.
+        assert recorded.why("shm") is not None and "node" in recorded.why("shm")
+        assert recorded.why("parallel") is not None
+        assert recorded.explain().startswith("resolve_engine('auto')")
+        assert registry().counter("engine_decisions_total", resolved=resolved) == 1
+
+    def test_explicit_request_is_one_accepted_rung(self):
+        from repro.local_model.store import resolve_engine
+
+        assert resolve_engine("indexed") == "indexed"
+        recorded = last_decision()
+        assert [(rung.tier, rung.accepted) for rung in recorded.rungs] == [
+            ("indexed", True)
+        ]
+        assert recorded.why("indexed") == "explicitly requested"
+
+    def test_invalid_request_records_nothing(self):
+        from repro.local_model.store import resolve_engine
+
+        with pytest.raises(ValueError):
+            resolve_engine("warp-drive")
+        assert last_decision() is None
+
+    def test_vector_resolution_maps_sharded_tiers_to_array(self):
+        from repro.local_model.store import resolve_vector_engine
+
+        resolved = resolve_vector_engine("parallel")
+        assert resolved == "array"
+        recorded = last_decision()
+        assert recorded.vector is True
+        assert recorded.resolved == "array"
+        assert any(not rung.accepted for rung in recorded.rungs)
+
+    def test_history_ring_is_bounded(self):
+        recorder_count = decision.HISTORY_LIMIT + 7
+        for index in range(recorder_count):
+            recorder = decision.DecisionRecorder("auto", ("indexed",))
+            recorder.finish("indexed")
+        assert len(recent_decisions()) == decision.HISTORY_LIMIT
+
+    def test_decisions_emit_an_instant_on_the_active_tracer(self):
+        from repro.local_model.store import resolve_engine
+
+        with capture() as tracer:
+            resolve_engine("dict")
+        (instant,) = tracer.find(trace.SPAN_RESOLVE_ENGINE)
+        assert instant.phase == "i"
+        assert instant.args["requested"] == "dict"
+        assert instant.args["resolved"] == "dict"
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+
+def _exported_trace(tmp_path):
+    tracer = Tracer()
+    with capture(tracer):
+        with trace.span("run_schedule", tier="array"):
+            with trace.span("round", tier="table"):
+                pass
+        registry().inc("engine_rounds_total", tier="table")
+        recorder = decision.DecisionRecorder("auto", ("indexed", "array"), node_count=9)
+        recorder.rung("array", True, "numpy available")
+        recorder.finish("array")
+    path = tmp_path / "trace.json"
+    write_trace(tracer, path)
+    return path
+
+
+class TestCli:
+    def test_text_report_rebuilds_the_tree(self, tmp_path, capsys):
+        path = _exported_trace(tmp_path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run_schedule" in out
+        assert "\n  round" in out  # nested one level under run_schedule
+        assert "engine_rounds_total{tier=table} = 1" in out
+        assert "resolve_engine('auto') -> 'array'" in out
+
+    def test_json_format_dumps_the_repro_section(self, tmp_path, capsys):
+        path = _exported_trace(tmp_path)
+        assert main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # run_schedule + round + the resolve_engine decision instant.
+        assert payload["spans"] == 3
+        assert payload["metrics"]["counters"] == {
+            "engine_decisions_total{resolved=array}": 1,
+            "engine_rounds_total{tier=table}": 1,
+        }
+        assert payload["decisions"][0]["resolved"] == "array"
+
+    def test_sections_and_depth_filter(self, tmp_path, capsys):
+        path = _exported_trace(tmp_path)
+        assert main([str(path), "--section", "spans", "--depth", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "run_schedule" in out and "round" not in out
+        assert "engine_rounds_total" not in out
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+        good_json_bad_shape = tmp_path / "shape.json"
+        good_json_bad_shape.write_text(json.dumps({"events": []}))
+        assert main([str(good_json_bad_shape)]) == 2
+
+    def test_render_events_groups_foreign_lanes(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 1, "dur": 2, "pid": 1, "tid": 7},
+        ]
+        text = render_events(events)
+        assert "[pid=1 tid=0]" in text and "[pid=1 tid=7]" in text
+
+    def test_load_trace_requires_the_event_list(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": "nope"}))
+        with pytest.raises(TraceFormatError):
+            load_trace(str(path))
+
+
+# --------------------------------------------------------------------------
+# The observability contract check
+# --------------------------------------------------------------------------
+
+
+def _seed_tree(tmp_path, source, name="timed.py", package="src/repro"):
+    root = tmp_path / package
+    root.mkdir(parents=True)
+    (root / name).write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+class TestObservabilityContract:
+    def test_seeded_clock_read_is_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            import time
+
+            def slow_path():
+                started = time.monotonic()
+                return time.monotonic() - started
+            """,
+        )
+        findings = run_contract_checks(root)
+        assert [finding.check for finding in findings] == ["observability"]
+        assert findings[0].symbol == "slow_path"
+        assert "time.monotonic" in findings[0].message
+
+    def test_time_sleep_is_not_flagged(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+            """,
+        )
+        assert run_contract_checks(root) == []
+
+    def test_observability_package_is_exempt(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            import time
+
+            def clock():
+                return time.perf_counter()
+            """,
+            package="src/repro/observability",
+        )
+        assert run_contract_checks(root) == []
+
+    def test_benchmarks_are_exempt(self, tmp_path):
+        root = _seed_tree(
+            tmp_path,
+            """
+            import time
+
+            def measure(bench_json):
+                return time.perf_counter()
+            """,
+            name="helper.py",
+            package="benchmarks",
+        )
+        assert run_contract_checks(root) == []
+
+
+# --------------------------------------------------------------------------
+# Engine wiring (serial tiers; the pool side lives in the equivalence leg)
+# --------------------------------------------------------------------------
+
+
+class TestEngineWiring:
+    def test_run_schedule_emits_the_span_hierarchy(self):
+        from repro.grid.torus import ToroidalGrid
+        from repro.local_model import FunctionRule, SchedulePhase, run_schedule
+
+        grid = ToroidalGrid((6, 6))
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        labels = {node: (node[0] + node[1]) % 5 for node in grid.nodes()}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with capture() as tracer:
+                run_schedule(
+                    grid, labels, [SchedulePhase(rule, "settle", 2)], engine="indexed"
+                )
+        (schedule,) = tracer.find(trace.SPAN_SCHEDULE)
+        assert schedule.args["tier"] == "indexed"
+        (phase,) = tracer.find(trace.SPAN_PHASE)
+        assert phase.args["phase"] == "settle"
+        rounds = tracer.find(trace.SPAN_ROUND)
+        assert [span.args["tier"] for span in rounds] == ["list", "list"]
+        assert registry().counter("engine_rounds_total", tier="list") == 2
+
+    def test_untraced_run_still_counts_rounds(self):
+        from repro.grid.torus import ToroidalGrid
+        from repro.local_model import FunctionRule, SchedulePhase, run_schedule
+
+        grid = ToroidalGrid((4, 4))
+        rule = FunctionRule(1, lambda view: min(view.values()))
+        labels = {node: (node[0] * 4 + node[1]) % 3 for node in grid.nodes()}
+        assert trace.ACTIVE is None
+        run_schedule(grid, labels, [SchedulePhase(rule, "one", 1)], engine="array")
+        assert registry().counter_total("engine_rounds_total") == 1
+
+    def test_chrome_document_folds_metrics_and_decisions(self):
+        from repro.local_model.store import resolve_engine
+
+        with capture() as tracer:
+            resolve_engine("array")
+            registry().inc("engine_rounds_total", tier="table")
+        document = chrome_document(tracer)
+        counters = document["repro"]["metrics"]["counters"]
+        assert counters["engine_rounds_total{tier=table}"] == 1
+        assert document["repro"]["decisions"][-1]["resolved"] == "array"
